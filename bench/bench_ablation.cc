@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md calls out (not a
+ * paper figure):
+ *
+ *  1. the Section 4.3 branch-subdivision heuristic: 50-instruction
+ *     post-dominator-block bound vs subdividing every divergent branch
+ *     vs a tight bound;
+ *  2. PC-based re-convergence on/off inside the full DWS.ReviveSplit;
+ *  3. the over-subdivision guard (minimum split width).
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Ablations: subdivision heuristic / PC re-convergence / "
+           "min split width",
+           "design-choice sensitivity (not a paper figure)");
+
+    const PolicyRun conv = runAll(
+            "Conv", SystemConfig::table3(PolicyConfig::conv()),
+            opts.scale, opts.benchmarks);
+
+    TextTable t;
+    t.header({"variant", "h-mean speedup"});
+
+    // 1. Branch-subdivision heuristic bound.
+    for (int bound : {10, 50, 1 << 20}) {
+        PolicyConfig pol = PolicyConfig::reviveSplit();
+        pol.subdivMaxPostBlock = bound;
+        const PolicyRun run = runAll(
+                "", SystemConfig::table3(pol), opts.scale,
+                opts.benchmarks);
+        const std::string label =
+                bound >= (1 << 20)
+                ? "subdiv bound = unlimited (every branch)"
+                : "subdiv bound = " + std::to_string(bound);
+        t.row({label, fmt(hmeanSpeedup(conv, run), 3)});
+    }
+
+    // 2. PC-based re-convergence off.
+    {
+        PolicyConfig pol = PolicyConfig::reviveSplit();
+        pol.pcReconv = false;
+        const PolicyRun run = runAll(
+                "", SystemConfig::table3(pol), opts.scale,
+                opts.benchmarks);
+        t.row({"PC re-convergence disabled",
+               fmt(hmeanSpeedup(conv, run), 3)});
+    }
+
+    // 3. Minimum split width.
+    for (int w : {1, 4, 8, 12}) {
+        PolicyConfig pol = PolicyConfig::reviveSplit();
+        pol.minSplitWidth = w;
+        const PolicyRun run = runAll(
+                "", SystemConfig::table3(pol), opts.scale,
+                opts.benchmarks);
+        t.row({"min split width = " + std::to_string(w),
+               fmt(hmeanSpeedup(conv, run), 3)});
+    }
+    t.print();
+    return 0;
+}

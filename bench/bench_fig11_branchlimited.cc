@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 11 reproduction: DWS upon memory divergence alone with
+ * BranchLimited re-convergence. The paper shows that limiting a
+ * warp-split's lifespan to one basic block ("BL") yields little gain
+ * for all three subdivision schemes, because basic blocks are only
+ * tens of instructions long (Table 1).
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 11: memory-divergence DWS with BranchLimited "
+           "re-convergence",
+           "AggressSplit.BL / LazySplit.BL / ReviveSplit.BL all show "
+           "little speedup (h-mean close to 1.0)");
+
+    const PolicyRun conv = runAll(
+            "Conv", SystemConfig::table3(PolicyConfig::conv()),
+            opts.scale, opts.benchmarks);
+
+    TextTable t;
+    t.header({"scheme", "h-mean speedup"});
+    const std::vector<std::pair<std::string, SplitScheme>> schemes = {
+        {"AggressSplit.BL", SplitScheme::Aggressive},
+        {"LazySplit.BL", SplitScheme::Lazy},
+        {"ReviveSplit.BL", SplitScheme::Revive},
+    };
+    for (const auto &[label, scheme] : schemes) {
+        const PolicyRun run = runAll(
+                label,
+                SystemConfig::table3(
+                        PolicyConfig::memOnlyBranchLimited(scheme)),
+                opts.scale, opts.benchmarks);
+        t.row({label, fmt(hmeanSpeedup(conv, run), 3)});
+    }
+    // Contrast: ReviveSplit with BranchBypass (memory-only).
+    const PolicyRun bypass = runAll(
+            "ReviveSplit.MemOnly (BranchBypass)",
+            SystemConfig::table3(PolicyConfig::reviveMemOnly()),
+            opts.scale, opts.benchmarks);
+    t.row({"ReviveSplit.MemOnly (BranchBypass)",
+           fmt(hmeanSpeedup(conv, bypass), 3)});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 13 reproduction: the full scheme comparison, per benchmark.
+ *
+ * Schemes: DWS.BranchOnly, DWS.ReviveSplit.MemOnly, DWS.AggressSplit,
+ * DWS.LazySplit, DWS.ReviveSplit, Slip, Slip.BranchBypass; speedups
+ * normalized to Conv. The paper reports: BranchOnly 1.13X,
+ * ReviveSplit.MemOnly 1.20X, ReviveSplit 1.71X (never harmful),
+ * Aggress/Lazy can degrade, Slip only helps Filter and often degrades.
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 13: DWS scheme comparison (speedup vs Conv)",
+           "BranchOnly 1.13X; MemOnly 1.20X; ReviveSplit 1.71X; "
+           "Slip helps only Filter");
+
+    const std::vector<std::pair<std::string, PolicyConfig>> schemes = {
+        {"BranchOnly", PolicyConfig::branchOnly()},
+        {"MemOnly", PolicyConfig::reviveMemOnly()},
+        {"Aggress", PolicyConfig::dws(SplitScheme::Aggressive)},
+        {"Lazy", PolicyConfig::dws(SplitScheme::Lazy)},
+        {"Revive", PolicyConfig::reviveSplit()},
+        {"Slip", PolicyConfig::adaptiveSlip()},
+        {"Slip.BB", PolicyConfig::slipBranchBypassCfg()},
+    };
+
+    const PolicyRun conv = runAll(
+            "Conv", SystemConfig::table3(PolicyConfig::conv()),
+            opts.scale, opts.benchmarks);
+
+    std::vector<PolicyRun> runs;
+    for (const auto &[label, pol] : schemes)
+        runs.push_back(runAll(label, SystemConfig::table3(pol),
+                              opts.scale, opts.benchmarks));
+
+    TextTable t;
+    std::vector<std::string> head = {"benchmark"};
+    for (const auto &[label, pol] : schemes)
+        head.push_back(label);
+    t.header(head);
+
+    for (const auto &[name, cs] : conv.stats) {
+        std::vector<std::string> row = {name};
+        for (const auto &run : runs)
+            row.push_back(fmt(speedup(cs, run.stats.at(name))));
+        t.row(row);
+    }
+    std::vector<std::string> hrow = {"h-mean"};
+    for (const auto &run : runs)
+        hrow.push_back(fmt(hmeanSpeedup(conv, run)));
+    t.row(hrow);
+    t.print();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 14 reproduction: spatial distribution of memory divergence
+ * among SIMD threads. For each benchmark, prints the per-thread L1
+ * D-cache miss counts of WPU 0 as a warps x lanes grid, normalized to
+ * the maximum (0..9 scale; the paper renders this as a heat map).
+ * The pattern varies across benchmarks, demonstrating why statically
+ * pinning threads or lanes for subdivision would not work.
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 14: per-thread miss map (WPU 0, warps x lanes)",
+           "miss patterns vary across benchmarks and are not statically "
+           "predictable");
+
+    const SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    const std::vector<std::string> &names =
+            opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
+
+    for (const auto &name : names) {
+        const RunResult r = runKernel(name, cfg, opts.scale);
+        const auto &misses = r.stats.wpus[0].threadMisses;
+        std::uint64_t maxMiss = 1;
+        for (auto m : misses)
+            maxMiss = std::max(maxMiss, m);
+        std::printf("%s (max %llu misses/thread):\n", name.c_str(),
+                    (unsigned long long)maxMiss);
+        for (int w = 0; w < cfg.wpu.numWarps; w++) {
+            std::printf("  warp %d  ", w);
+            for (int lane = 0; lane < cfg.wpu.simdWidth; lane++) {
+                const std::uint64_t m = misses[static_cast<size_t>(
+                        w * cfg.wpu.simdWidth + lane)];
+                std::printf("%llu",
+                            (unsigned long long)(m * 9 / maxMiss));
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 15 reproduction: speedup vs D-cache associativity (4, 8, 16,
+ * fully associative). DWS's benefit shrinks with higher associativity
+ * (fewer misses to hide), and at very low associativity simultaneous
+ * misses reduce divergence, so the gain is not monotonic.
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 15: speedup vs D-cache associativity (norm. to Conv "
+           "at each assoc)",
+           "DWS benefit decreases with larger associativity");
+
+    TextTable t;
+    t.header({"assoc", "conv time (norm)", "dws time (norm)",
+              "dws speedup"});
+    double baseConv = 0;
+    for (int assoc : {4, 8, 16, 0}) {
+        const PolicyRun conv = runAll(
+                "Conv",
+                cfgWithDcache(PolicyConfig::conv(), 32 * 1024, assoc),
+                opts.scale, opts.benchmarks);
+        const PolicyRun dws = runAll(
+                "DWS",
+                cfgWithDcache(PolicyConfig::reviveSplit(), 32 * 1024,
+                              assoc),
+                opts.scale, opts.benchmarks);
+        std::vector<double> convCycles, dwsCycles;
+        for (const auto &[name, cs] : conv.stats) {
+            convCycles.push_back(double(cs.cycles));
+            dwsCycles.push_back(double(dws.stats.at(name).cycles));
+        }
+        const double hc = harmonicMean(convCycles);
+        const double hd = harmonicMean(dwsCycles);
+        if (baseConv == 0)
+            baseConv = hc;
+        t.row({assoc == 0 ? "full" : std::to_string(assoc),
+               fmt(hc / baseConv), fmt(hd / baseConv),
+               fmt(hmeanSpeedup(conv, dws))});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 16 reproduction: speedup vs L2 lookup latency (10..300
+ * cycles). Longer miss latencies need more latency hiding, so DWS's
+ * advantage over Conv *increases* with L2 latency (the paper uses this
+ * to model systems without an L2, whose L1 misses cost hundreds of
+ * cycles).
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 16: speedup vs L2 lookup latency",
+           "DWS speedup over Conv increases with longer L2 latency");
+
+    TextTable t;
+    t.header({"L2 latency", "dws speedup over conv"});
+    for (int lat : {10, 30, 100, 200, 300}) {
+        SystemConfig convCfg = SystemConfig::table3(PolicyConfig::conv());
+        convCfg.mem.l2.hitLatency = lat;
+        SystemConfig dwsCfg =
+                SystemConfig::table3(PolicyConfig::reviveSplit());
+        dwsCfg.mem.l2.hitLatency = lat;
+        const PolicyRun conv =
+                runAll("Conv", convCfg, opts.scale, opts.benchmarks);
+        const PolicyRun dws =
+                runAll("DWS", dwsCfg, opts.scale, opts.benchmarks);
+        t.row({std::to_string(lat), fmt(hmeanSpeedup(conv, dws))});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 17 reproduction: speedup vs D-cache size (8 KB .. 128 KB,
+ * 8-way). DWS helps latency hiding, so its benefit shrinks as the
+ * D-cache grows and misses disappear; the paper notes DWS at 32 KB is
+ * roughly equivalent to doubling the D-cache.
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 17: speedup vs D-cache size (8-way)",
+           "DWS benefit decreases with larger D-caches; DWS ~= doubling "
+           "the D-cache");
+
+    TextTable t;
+    t.header({"D$ size", "conv time (norm)", "dws time (norm)",
+              "dws speedup"});
+    double base = 0;
+    for (std::uint64_t kb : {8, 16, 32, 64, 128}) {
+        const PolicyRun conv = runAll(
+                "Conv", cfgWithDcache(PolicyConfig::conv(), kb * 1024, 8),
+                opts.scale, opts.benchmarks);
+        const PolicyRun dws = runAll(
+                "DWS",
+                cfgWithDcache(PolicyConfig::reviveSplit(), kb * 1024, 8),
+                opts.scale, opts.benchmarks);
+        std::vector<double> convCycles, dwsCycles;
+        for (const auto &[name, cs] : conv.stats) {
+            convCycles.push_back(double(cs.cycles));
+            dwsCycles.push_back(double(dws.stats.at(name).cycles));
+        }
+        const double hc = harmonicMean(convCycles);
+        const double hd = harmonicMean(dwsCycles);
+        if (base == 0)
+            base = hc;
+        t.row({std::to_string(kb) + " KB", fmt(hc / base),
+               fmt(hd / base), fmt(hmeanSpeedup(conv, dws))});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 18 reproduction: Conv vs DWS vs Slip.BranchBypass across
+ * SIMD width x multi-threading depth, under different D-cache setups.
+ * All times are normalized to the single-warp conventional WPU of the
+ * same cache setup (the paper normalizes to single-threaded Conv).
+ *
+ * The paper's findings: DWS works especially well for wide SIMD; a few
+ * wide warps with DWS beat many narrow warps without it; with large,
+ * highly associative D-caches the DWS advantage disappears.
+ *
+ * Default runs cache setups (a) 8-way 32 KB and (c) 8-way 256 KB;
+ * --full adds the fully associative variants (b) and (d).
+ */
+
+#include <cstring>
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+namespace {
+
+double
+hmeanCycles(const PolicyRun &run)
+{
+    std::vector<double> v;
+    for (const auto &[name, s] : run.stats)
+        v.push_back(double(s.cycles));
+    return harmonicMean(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+    bool full = false;
+    for (int i = 1; i < argc; i++)
+        if (std::strcmp(argv[i], "--full") == 0)
+            full = true;
+
+    banner("Figure 18: Conv / DWS / Slip.BB over width x depth and "
+           "cache setups (norm. speedup vs 8-wide 1-warp Conv per setup)",
+           "DWS shines for wide SIMD; large associative caches erase "
+           "the advantage");
+
+    struct Setup
+    {
+        const char *label;
+        std::uint64_t size;
+        int assoc;
+    };
+    std::vector<Setup> setups = {
+        {"(a) 8-way 32KB", 32 * 1024, 8},
+        {"(c) 8-way 256KB", 256 * 1024, 8},
+    };
+    if (full) {
+        setups.push_back({"(b) fully-assoc 32KB", 32 * 1024, 0});
+        setups.push_back({"(d) fully-assoc 256KB", 256 * 1024, 0});
+    }
+
+    const std::vector<std::pair<int, int>> shapes = {
+        {8, 1}, {8, 2}, {8, 4}, {16, 1}, {16, 2}, {16, 4},
+        {32, 1}, {32, 2},
+    };
+
+    for (const auto &setup : setups) {
+        std::printf("%s\n", setup.label);
+        TextTable t;
+        t.header({"width x warps", "Conv", "DWS", "Slip.BB"});
+        double base = 0;
+        for (const auto &[width, warps] : shapes) {
+            auto mkCfg = [&](const PolicyConfig &pol) {
+                SystemConfig cfg = cfgWithShape(pol, width, warps);
+                cfg.wpu.dcache.sizeBytes = setup.size;
+                cfg.wpu.dcache.assoc = setup.assoc;
+                return cfg;
+            };
+            const PolicyRun conv = runAll(
+                    "Conv", mkCfg(PolicyConfig::conv()), opts.scale,
+                    opts.benchmarks);
+            const PolicyRun dws = runAll(
+                    "DWS", mkCfg(PolicyConfig::reviveSplit()), opts.scale,
+                    opts.benchmarks);
+            const PolicyRun slip = runAll(
+                    "Slip.BB", mkCfg(PolicyConfig::slipBranchBypassCfg()),
+                    opts.scale, opts.benchmarks);
+            const double c = hmeanCycles(conv);
+            if (base == 0)
+                base = c;
+            t.row({std::to_string(width) + "x" + std::to_string(warps),
+                   fmt(base / c), fmt(base / hmeanCycles(dws)),
+                   fmt(base / hmeanCycles(slip))});
+        }
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 19 reproduction: energy of Conv, DWS.ReviveSplit and
+ * Slip.BranchBypass per benchmark, normalized to Conv. At 65 nm
+ * leakage grows linearly with runtime, so energy savings track the
+ * speedups; the paper reports DWS saving ~30% and Slip.BB only ~5%.
+ */
+
+#include "bench_util.hh"
+#include "energy/energy.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 19: normalized energy (Conv / DWS / Slip.BB)",
+           "DWS ~30% energy savings; Slip.BB ~5%");
+
+    const PolicyRun conv = runAll(
+            "Conv", SystemConfig::table3(PolicyConfig::conv()),
+            opts.scale, opts.benchmarks);
+    const PolicyRun dws = runAll(
+            "DWS", SystemConfig::table3(PolicyConfig::reviveSplit()),
+            opts.scale, opts.benchmarks);
+    const PolicyRun slip = runAll(
+            "Slip.BB",
+            SystemConfig::table3(PolicyConfig::slipBranchBypassCfg()),
+            opts.scale, opts.benchmarks);
+
+    TextTable t;
+    t.header({"benchmark", "Conv", "DWS", "Slip.BB"});
+    double sumC = 0, sumD = 0, sumS = 0;
+    for (const auto &[name, cs] : conv.stats) {
+        const double d = dws.stats.at(name).energyNj / cs.energyNj;
+        const double s = slip.stats.at(name).energyNj / cs.energyNj;
+        sumC += 1.0;
+        sumD += d;
+        sumS += s;
+        t.row({name, "1.00", fmt(d), fmt(s)});
+    }
+    const double n = double(conv.stats.size());
+    t.row({"mean", "1.00", fmt(sumD / n), fmt(sumS / n)});
+    t.print();
+    return 0;
+}

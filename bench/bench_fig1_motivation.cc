@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Figure 1 reproduction: why intra-warp latency tolerance is needed.
+ *
+ * (a) Execution time (split into SIMD-computation and waiting-for-
+ *     memory cycles) vs SIMD width 1..16 at 4 warps: wider SIMD first
+ *     helps, then memory waiting dominates.
+ * (b) 16-wide WPUs still wait on memory even with fully associative
+ *     D-caches (capacity, not conflicts).
+ * (c) 8-wide WPUs vs warp count: a few warps hide latency, too many
+ *     thrash the D-cache.
+ *
+ * All numbers are harmonic means across the benchmarks, normalized to
+ * the first column, under the conventional policy.
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+namespace {
+
+struct Breakdown
+{
+    double computeFrac = 0;
+    double memFrac = 0;
+    double meanCycles = 0;
+};
+
+Breakdown
+measure(const SystemConfig &cfg, const BenchOptions &opts)
+{
+    const std::vector<std::string> &names =
+            opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
+    std::vector<double> cycles;
+    double cf = 0, mf = 0;
+    for (const auto &name : names) {
+        const RunResult r = runKernel(name, cfg, opts.scale);
+        cycles.push_back(double(r.stats.cycles));
+        double act = 0, mem = 0, tot = 0;
+        for (const auto &w : r.stats.wpus) {
+            act += double(w.activeCycles);
+            mem += double(w.memStallCycles);
+            tot += double(w.totalCycles());
+        }
+        cf += act / tot;
+        mf += mem / tot;
+    }
+    Breakdown b;
+    b.meanCycles = harmonicMean(cycles);
+    b.computeFrac = cf / double(names.size());
+    b.memFrac = mf / double(names.size());
+    return b;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 1: SIMD width / associativity / warp-count "
+           "motivation (Conv)",
+           "wider SIMD eventually loses to memory waiting; "
+           "associativity does not fix it; too many warps thrash");
+
+    // (a) SIMD width sweep at 4 warps.
+    {
+        std::printf("(a) width sweep, 4 warps, 32 KB 8-way D-cache\n");
+        TextTable t;
+        t.header({"width", "norm. time", "compute%", "memwait%"});
+        double base = 0;
+        for (int width : {1, 2, 4, 8, 16}) {
+            SystemConfig cfg =
+                    cfgWithShape(PolicyConfig::conv(), width, 4);
+            const Breakdown b = measure(cfg, opts);
+            if (base == 0)
+                base = b.meanCycles;
+            t.row({std::to_string(width), fmt(b.meanCycles / base),
+                   fmt(100 * b.computeFrac, 1), fmt(100 * b.memFrac, 1)});
+        }
+        t.print();
+    }
+
+    // (b) associativity sweep at 16-wide.
+    {
+        std::printf("\n(b) 16-wide, 4 warps, 32 KB D-cache "
+                    "associativity sweep\n");
+        TextTable t;
+        t.header({"assoc", "norm. time", "compute%", "memwait%"});
+        double base = 0;
+        for (int assoc : {4, 8, 16, 0}) {
+            SystemConfig cfg = cfgWithDcache(PolicyConfig::conv(),
+                                             32 * 1024, assoc);
+            const Breakdown b = measure(cfg, opts);
+            if (base == 0)
+                base = b.meanCycles;
+            t.row({assoc == 0 ? "full" : std::to_string(assoc),
+                   fmt(b.meanCycles / base), fmt(100 * b.computeFrac, 1),
+                   fmt(100 * b.memFrac, 1)});
+        }
+        t.print();
+    }
+
+    // (c) warp-count sweep at 8-wide.
+    {
+        std::printf("\n(c) 8-wide, warp-count sweep\n");
+        TextTable t;
+        t.header({"warps", "norm. time", "compute%", "memwait%"});
+        double base = 0;
+        for (int warps : {1, 2, 4, 8, 16}) {
+            SystemConfig cfg =
+                    cfgWithShape(PolicyConfig::conv(), 8, warps);
+            const Breakdown b = measure(cfg, opts);
+            if (base == 0)
+                base = b.meanCycles;
+            t.row({std::to_string(warps), fmt(b.meanCycles / base),
+                   fmt(100 * b.computeFrac, 1), fmt(100 * b.memFrac, 1)});
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 20 reproduction: DWS sensitivity to scheduler slot count.
+ * The paper finds a moderate slot count best: too few limits the
+ * multithreading of warp-splits, too many increases cache contention.
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 20: DWS speedup vs scheduler slots (4 warps x "
+           "16-wide)",
+           "a moderate slot count (2x warps) performs best");
+
+    const PolicyRun conv = runAll(
+            "Conv", SystemConfig::table3(PolicyConfig::conv()),
+            opts.scale, opts.benchmarks);
+
+    TextTable t;
+    t.header({"sched slots", "dws speedup over conv"});
+    for (int slots : {4, 6, 8, 12, 16}) {
+        SystemConfig cfg = SystemConfig::table3(PolicyConfig::reviveSplit());
+        cfg.wpu.schedSlots = slots;
+        const PolicyRun dws =
+                runAll("DWS", cfg, opts.scale, opts.benchmarks);
+        t.row({std::to_string(slots), fmt(hmeanSpeedup(conv, dws), 3)});
+    }
+    t.print();
+    return 0;
+}

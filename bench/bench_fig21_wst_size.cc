@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 21 reproduction: DWS sensitivity to the warp-split table
+ * size. The paper finds that twice as many WST entries as scheduler
+ * slots suffices; larger tables no longer help. Slip.BranchBypass is
+ * shown for comparison (it uses no WST).
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 21: DWS speedup vs WST entries (8 scheduler slots)",
+           "2x the scheduler slots is enough; more entries don't help");
+
+    const PolicyRun conv = runAll(
+            "Conv", SystemConfig::table3(PolicyConfig::conv()),
+            opts.scale, opts.benchmarks);
+
+    TextTable t;
+    t.header({"wst entries", "dws speedup over conv"});
+    for (int entries : {4, 8, 16, 32, 64}) {
+        SystemConfig cfg = SystemConfig::table3(PolicyConfig::reviveSplit());
+        cfg.wpu.wstEntries = entries;
+        const PolicyRun dws =
+                runAll("DWS", cfg, opts.scale, opts.benchmarks);
+        t.row({std::to_string(entries),
+               fmt(hmeanSpeedup(conv, dws), 3)});
+    }
+    const PolicyRun slip = runAll(
+            "Slip.BB",
+            SystemConfig::table3(PolicyConfig::slipBranchBypassCfg()),
+            opts.scale, opts.benchmarks);
+    t.row({"Slip.BB (no WST)", fmt(hmeanSpeedup(conv, slip), 3)});
+    t.print();
+    return 0;
+}

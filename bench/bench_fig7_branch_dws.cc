@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 7 reproduction: DWS upon branch divergence only, comparing
+ * stack-based vs PC-based re-convergence. Speedups are normalized to
+ * the conventional WPU. The paper reports PC-based re-convergence
+ * reducing unrelenting subdivision (average executed SIMD width 4 -> 9
+ * for KMeans on 16-wide WPUs) and a 1.13X average speedup.
+ */
+
+#include "bench_util.hh"
+
+using namespace dws;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const BenchOptions opts =
+            parseBenchArgs(argc, argv, KernelScale::Tiny);
+
+    banner("Figure 7: DWS on branch divergence only (stack vs PC "
+           "re-convergence)",
+           "PC-based re-convergence outperforms stack-based; avg "
+           "speedup 1.13X; never worse than Conv");
+
+    const PolicyRun conv = runAll(
+            "Conv", SystemConfig::table3(PolicyConfig::conv()),
+            opts.scale, opts.benchmarks);
+    const PolicyRun stack = runAll(
+            "Stack", SystemConfig::table3(PolicyConfig::branchOnlyStack()),
+            opts.scale, opts.benchmarks);
+    const PolicyRun pc = runAll(
+            "PC", SystemConfig::table3(PolicyConfig::branchOnly()),
+            opts.scale, opts.benchmarks);
+
+    TextTable t;
+    t.header({"benchmark", "stack-based", "PC-based", "width stack",
+              "width PC"});
+    std::vector<double> spStack, spPc;
+    for (const auto &[name, cs] : conv.stats) {
+        const RunStats &ss = stack.stats.at(name);
+        const RunStats &ps = pc.stats.at(name);
+        spStack.push_back(speedup(cs, ss));
+        spPc.push_back(speedup(cs, ps));
+        t.row({name, fmt(spStack.back()), fmt(spPc.back()),
+               fmt(ss.avgSimdWidth(), 1), fmt(ps.avgSimdWidth(), 1)});
+    }
+    t.row({"h-mean", fmt(harmonicMean(spStack)),
+           fmt(harmonicMean(spPc)), "", ""});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): raw simulation speed
+ * of the WPU pipeline, the cache hierarchy, and the CFG analysis.
+ * These measure the *simulator*, not the simulated system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/runner.hh"
+#include "harness/system.hh"
+#include "isa/builder.hh"
+#include "isa/cfg.hh"
+#include "kernels/kernel.hh"
+#include "mem/memsys.hh"
+#include "sim/logging.hh"
+
+namespace dws {
+namespace {
+
+/** Simulate the Filter kernel end to end; report simulated cycles/s. */
+void
+BM_SimulateFilter(benchmark::State &state)
+{
+    setQuiet(true);
+    KernelParams kp;
+    kp.scale = KernelScale::Tiny;
+    auto kernel = makeKernel("Filter", kp);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+        System sys(cfg, *kernel);
+        cycles += sys.run().cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+            double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateFilter)->Unit(benchmark::kMillisecond);
+
+/** Same under the headline DWS policy (more scheduler entities). */
+void
+BM_SimulateFilterDws(benchmark::State &state)
+{
+    setQuiet(true);
+    KernelParams kp;
+    kp.scale = KernelScale::Tiny;
+    auto kernel = makeKernel("Filter", kp);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        SystemConfig cfg =
+                SystemConfig::table3(PolicyConfig::reviveSplit());
+        System sys(cfg, *kernel);
+        cycles += sys.run().cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+            double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateFilterDws)->Unit(benchmark::kMillisecond);
+
+/** Cache array lookup/allocation throughput. */
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    setQuiet(true);
+    SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    EventQueue events;
+    MemSystem memsys(cfg, events);
+    std::uint64_t accesses = 0;
+    Addr addr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        memsys.accessData(0, addr & ~Addr(127), false, 0, now);
+        addr += 128;
+        if (addr > 512 * 1024)
+            addr = 0;
+        now += 2;
+        events.runUntil(now);
+        accesses++;
+    }
+    state.counters["accesses/s"] = benchmark::Counter(
+            double(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheAccess);
+
+/** CFG post-dominator analysis on the largest kernel program. */
+void
+BM_CfgAnalysis(benchmark::State &state)
+{
+    setQuiet(true);
+    KernelParams kp;
+    kp.scale = KernelScale::Tiny;
+    auto kernel = makeKernel("KMeans", kp);
+    for (auto _ : state) {
+        Program p = kernel->buildProgram();
+        benchmark::DoNotOptimize(p.size());
+    }
+}
+BENCHMARK(BM_CfgAnalysis)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace dws
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Helpers shared by the paper-reproduction bench binaries.
+ */
+
+#ifndef DWS_BENCH_BENCH_UTIL_HH
+#define DWS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+namespace dws {
+
+/** @return Table 3 config with the given D-cache size/assoc override. */
+inline SystemConfig
+cfgWithDcache(const PolicyConfig &pol, std::uint64_t sizeBytes, int assoc)
+{
+    SystemConfig cfg = SystemConfig::table3(pol);
+    cfg.wpu.dcache.sizeBytes = sizeBytes;
+    cfg.wpu.dcache.assoc = assoc;
+    return cfg;
+}
+
+/** @return Table 3 config with the given SIMD width and warp count. */
+inline SystemConfig
+cfgWithShape(const PolicyConfig &pol, int width, int warps)
+{
+    SystemConfig cfg = SystemConfig::table3(pol);
+    cfg.wpu.simdWidth = width;
+    cfg.wpu.numWarps = warps;
+    cfg.wpu.schedSlots = 2 * warps;
+    cfg.wpu.dcache.banks = width;
+    return cfg;
+}
+
+/** Print a standard bench banner. */
+inline void
+banner(const char *what, const char *paper)
+{
+    std::printf("%s\n", what);
+    std::printf("paper reference: %s\n\n", paper);
+}
+
+} // namespace dws
+
+#endif // DWS_BENCH_BENCH_UTIL_HH

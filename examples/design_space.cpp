@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Design-space exploration: a scenario an architect would run — given
+ * an area budget expressed as total lane count, is it better to build
+ * few wide warps with DWS or many narrow warps without it?
+ * (This is the question behind the paper's Figure 18.)
+ *
+ * Sweeps (width x warps) shapes with the same lane budget over two
+ * benchmarks with opposite personalities (Filter: memory-divergent,
+ * Short: branch-divergent) and prints the winner per shape.
+ *
+ *   $ ./examples/design_space
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "sim/logging.hh"
+
+using namespace dws;
+
+namespace {
+
+RunStats
+run(const std::string &bench, const PolicyConfig &pol, int width,
+    int warps)
+{
+    SystemConfig cfg = SystemConfig::table3(pol);
+    cfg.wpu.simdWidth = width;
+    cfg.wpu.numWarps = warps;
+    cfg.wpu.schedSlots = 2 * warps;
+    cfg.wpu.dcache.banks = width;
+    return runKernel(bench, cfg, KernelScale::Tiny).stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+
+    // Equal lane budget: width x warps = 32 lanes of register file.
+    const std::vector<std::pair<int, int>> shapes = {
+        {4, 8}, {8, 4}, {16, 2}, {32, 1},
+    };
+
+    for (const char *bench : {"Filter", "Short"}) {
+        std::printf("%s (equal 32-lane budget per WPU):\n", bench);
+        std::printf("  %-10s %14s %14s %10s\n", "shape", "conv cycles",
+                    "dws cycles", "dws win");
+        double bestConv = 0, bestDws = 0;
+        std::string bestConvShape, bestDwsShape;
+        for (const auto &[width, warps] : shapes) {
+            const RunStats conv =
+                    run(bench, PolicyConfig::conv(), width, warps);
+            const RunStats dws =
+                    run(bench, PolicyConfig::reviveSplit(), width, warps);
+            std::printf("  %2dx%-7d %14llu %14llu %9.2fx\n", width,
+                        warps, (unsigned long long)conv.cycles,
+                        (unsigned long long)dws.cycles,
+                        double(conv.cycles) / double(dws.cycles));
+            if (bestConv == 0 || double(conv.cycles) < bestConv) {
+                bestConv = double(conv.cycles);
+                bestConvShape = std::to_string(width) + "x" +
+                                std::to_string(warps);
+            }
+            if (bestDws == 0 || double(dws.cycles) < bestDws) {
+                bestDws = double(dws.cycles);
+                bestDwsShape = std::to_string(width) + "x" +
+                               std::to_string(warps);
+            }
+        }
+        std::printf("  best conventional shape: %s; best DWS shape: %s "
+                    "(%.2fx vs best conv)\n\n",
+                    bestConvShape.c_str(), bestDwsShape.c_str(),
+                    bestConv / bestDws);
+    }
+    std::printf("The paper's Figure 18 finding: under a fixed budget, "
+                "a few wide warps with DWS\ncompete with (or beat) many "
+                "narrow warps without it, while also needing\nfewer "
+                "instruction sequencers.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "energy/energy.hh"
+
+namespace dws {
+
+EnergyBreakdown
+computeEnergy(const RunStats &stats, const SystemConfig &cfg,
+              const EnergyParams &p)
+{
+    EnergyBreakdown e;
+
+    // Pipeline dynamic energy: fetch/decode once per SIMD issue, the
+    // per-lane datapath once per scalar instruction (two RF reads, one
+    // RF write, ALU, result bus).
+    for (const auto &w : stats.wpus) {
+        e.pipeline += double(w.issuedInstrs) * p.fetchDecodePerInstr;
+        e.pipeline += double(w.scalarInstrs) *
+                      (p.aluPerLane + 2.0 * p.rfReadPerLane +
+                       p.rfWritePerLane + p.resultBusPerLane);
+    }
+    // Clock tree: every WPU, every cycle.
+    e.pipeline += double(stats.cycles) * cfg.numWpus * p.clockPerCycle;
+
+    // Cache dynamic energy.
+    for (const auto &c : stats.icaches)
+        e.caches += double(c.accesses()) * p.l1iAccess;
+    for (const auto &c : stats.dcaches) {
+        e.caches += double(c.accesses()) * p.l1dAccess;
+        e.caches += double(c.writebacks) * p.l1dAccess;
+    }
+    e.caches += double(stats.mem.l2.accesses() + stats.mem.l2.writebacks) *
+                p.l2Access;
+
+    // Interconnect and DRAM.
+    e.network = double(stats.mem.xbarTransfers) * p.xbarPerTransfer;
+    e.dram = double(stats.mem.dramAccesses) * p.dramPerAccess;
+
+    // Leakage grows linearly with runtime (65 nm; Section 6.5).
+    const double l1Kb =
+            double(cfg.wpu.icache.sizeBytes + cfg.wpu.dcache.sizeBytes) /
+            1024.0;
+    const double l2Kb = double(cfg.mem.l2.sizeBytes) / 1024.0;
+    const double leakPerCycle =
+            cfg.numWpus * (p.wpuLeakPerCycle +
+                           l1Kb * p.cacheLeakPerKbCycle) +
+            l2Kb * p.cacheLeakPerKbCycle;
+    e.leakage = double(stats.cycles) * leakPerCycle;
+
+    return e;
+}
+
+} // namespace dws

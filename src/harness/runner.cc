@@ -1,0 +1,39 @@
+#include "harness/runner.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+RunResult
+runKernel(const std::string &kernelName, const SystemConfig &cfg,
+          KernelScale scale)
+{
+    KernelParams kp;
+    kp.scale = scale;
+    kp.seed = cfg.seed;
+    kp.subdivThreshold = cfg.policy.subdivMaxPostBlock;
+    auto kernel = makeKernel(kernelName, kp);
+    if (!kernel)
+        fatal("unknown kernel '%s'", kernelName.c_str());
+
+    System sys(cfg, *kernel);
+    RunResult r;
+    r.kernel = kernelName;
+    r.policy = cfg.policy.name();
+    r.stats = sys.run();
+    r.valid = kernel->validate(sys.memory());
+    if (!r.valid)
+        warn("%s/%s: output failed validation", kernelName.c_str(),
+             r.policy.c_str());
+    return r;
+}
+
+double
+speedup(const RunStats &base, const RunStats &test)
+{
+    if (test.cycles == 0)
+        return 0.0;
+    return double(base.cycles) / double(test.cycles);
+}
+
+} // namespace dws

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * One-call simulation API used by tests, benches and examples.
+ */
+
+#ifndef DWS_HARNESS_RUNNER_HH
+#define DWS_HARNESS_RUNNER_HH
+
+#include <string>
+
+#include "harness/system.hh"
+#include "kernels/kernel.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace dws {
+
+/** Result of one benchmark run. */
+struct RunResult
+{
+    RunStats stats;
+    /** Output matched the host-side golden reference. */
+    bool valid = false;
+    /** Kernel name. */
+    std::string kernel;
+    /** Policy name. */
+    std::string policy;
+};
+
+/**
+ * Build the system, run the named kernel to completion and validate
+ * its output.
+ *
+ * @param kernelName one of kernelNames()
+ * @param cfg        system configuration (policy included)
+ * @param scale      kernel input-size preset
+ */
+RunResult runKernel(const std::string &kernelName,
+                    const SystemConfig &cfg,
+                    KernelScale scale = KernelScale::Default);
+
+/** @return execution-time speedup of `test` relative to `base`. */
+double speedup(const RunStats &base, const RunStats &test);
+
+} // namespace dws
+
+#endif // DWS_HARNESS_RUNNER_HH

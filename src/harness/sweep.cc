@@ -1,0 +1,61 @@
+#include "harness/sweep.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+PolicyRun
+runAll(const std::string &label, const SystemConfig &cfg,
+       KernelScale scale, const std::vector<std::string> &benchmarks)
+{
+    PolicyRun out;
+    out.label = label;
+    const std::vector<std::string> &names =
+            benchmarks.empty() ? kernelNames() : benchmarks;
+    for (const auto &name : names) {
+        const RunResult r = runKernel(name, cfg, scale);
+        out.stats[name] = r.stats;
+    }
+    return out;
+}
+
+std::vector<double>
+speedups(const PolicyRun &base, const PolicyRun &test)
+{
+    std::vector<double> out;
+    for (const auto &[name, bs] : base.stats) {
+        auto it = test.stats.find(name);
+        if (it == test.stats.end())
+            fatal("speedups: '%s' missing from test run", name.c_str());
+        out.push_back(speedup(bs, it->second));
+    }
+    return out;
+}
+
+double
+hmeanSpeedup(const PolicyRun &base, const PolicyRun &test)
+{
+    return harmonicMean(speedups(base, test));
+}
+
+BenchOptions
+parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
+{
+    BenchOptions opts;
+    opts.scale = defaultScale;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--fast") == 0) {
+            opts.scale = KernelScale::Tiny;
+        } else if (std::strcmp(argv[i], "--full") == 0) {
+            opts.scale = KernelScale::Default;
+        } else if (std::strcmp(argv[i], "--bench") == 0 &&
+                   i + 1 < argc) {
+            opts.benchmarks.emplace_back(argv[++i]);
+        }
+    }
+    return opts;
+}
+
+} // namespace dws

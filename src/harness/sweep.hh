@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sweep helpers shared by the bench binaries: run a policy across all
+ * benchmarks, compute per-benchmark speedups and harmonic means.
+ */
+
+#ifndef DWS_HARNESS_SWEEP_HH
+#define DWS_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/config.hh"
+
+namespace dws {
+
+/** Per-benchmark results of one configuration. */
+struct PolicyRun
+{
+    std::string label;
+    /** keyed by benchmark name */
+    std::map<std::string, RunStats> stats;
+};
+
+/**
+ * Run every benchmark (or a subset) under one configuration.
+ *
+ * @param label      row label for tables
+ * @param cfg        the configuration (including policy)
+ * @param scale      kernel input preset
+ * @param benchmarks subset of kernelNames(); empty = all
+ */
+PolicyRun runAll(const std::string &label, const SystemConfig &cfg,
+                 KernelScale scale,
+                 const std::vector<std::string> &benchmarks = {});
+
+/**
+ * @return per-benchmark speedups of `test` over `base` (matching
+ *         benchmark sets required), in base's iteration order.
+ */
+std::vector<double> speedups(const PolicyRun &base, const PolicyRun &test);
+
+/** @return harmonic-mean speedup of `test` over `base`. */
+double hmeanSpeedup(const PolicyRun &base, const PolicyRun &test);
+
+/**
+ * Parse common bench CLI flags.
+ *
+ *   --fast        use tiny kernel inputs
+ *   --bench NAME  restrict to one benchmark (repeatable)
+ *
+ * @return selected scale and benchmark subset
+ */
+struct BenchOptions
+{
+    KernelScale scale = KernelScale::Default;
+    std::vector<std::string> benchmarks;
+};
+
+BenchOptions parseBenchArgs(int argc, char **argv,
+                            KernelScale defaultScale =
+                                    KernelScale::Default);
+
+} // namespace dws
+
+#endif // DWS_HARNESS_SWEEP_HH

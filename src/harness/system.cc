@@ -1,0 +1,110 @@
+#include "harness/system.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+namespace {
+/** Hard cap when the user sets no maxCycles: catches runaway runs. */
+constexpr Cycle kDefaultMaxCycles = 2'000'000'000ULL;
+} // namespace
+
+System::System(const SystemConfig &sysCfg, const Kernel &kernel)
+    : cfg(sysCfg), prog(kernel.buildProgram()), mem(kernel.memBytes()),
+      memsys(sysCfg, events)
+{
+    kernel.initMemory(mem);
+    const int perWpu = cfg.wpu.numThreads();
+    for (WpuId i = 0; i < cfg.numWpus; i++) {
+        wpus.push_back(std::make_unique<Wpu>(
+                i, cfg, prog, mem, memsys, events, &kbar));
+        kbar.addWpu(wpus.back().get());
+    }
+    kbar.setAliveThreads(cfg.totalThreads());
+    for (WpuId i = 0; i < cfg.numWpus; i++)
+        wpus[static_cast<size_t>(i)]->launch(i * perWpu,
+                                             cfg.totalThreads());
+}
+
+bool
+System::finished() const
+{
+    for (const auto &w : wpus)
+        if (!w->finished())
+            return false;
+    return true;
+}
+
+RunStats
+System::run()
+{
+    const Cycle maxCycles =
+            cfg.maxCycles ? cfg.maxCycles : kDefaultMaxCycles;
+
+    while (!finished()) {
+        events.runUntil(cycle);
+        bool any = false;
+        for (auto &w : wpus)
+            any |= w->tick(cycle);
+        if (finished()) {
+            cycle++;
+            break;
+        }
+        if (!any) {
+            bool imminent = false;
+            for (const auto &w : wpus)
+                imminent |= w->hasImminentWork();
+            if (!imminent) {
+                if (events.empty()) {
+                    for (const auto &w : wpus)
+                        std::fputs(w->dumpState().c_str(), stderr);
+                    panic("deadlock at cycle %llu: no events, no ready "
+                          "groups", (unsigned long long)cycle);
+                }
+                const Cycle next = events.nextEventCycle();
+                if (next > cycle + 1) {
+                    const Cycle skip = next - cycle - 1;
+                    for (auto &w : wpus)
+                        w->addStallCycles(skip);
+                    cycle += skip;
+                }
+            }
+        }
+        cycle++;
+        if (cycle > maxCycles) {
+            for (const auto &w : wpus)
+                std::fputs(w->dumpState().c_str(), stderr);
+            fatal("simulation exceeded %llu cycles",
+                  (unsigned long long)maxCycles);
+        }
+    }
+    return collect();
+}
+
+RunStats
+System::collect() const
+{
+    RunStats r;
+    r.cycles = cycle;
+    for (const auto &w : wpus) {
+        r.wpus.push_back(w->stats);
+        // Pad the per-WPU cycle accounting so active+stall+idle spans
+        // the whole run (tail cycles after local completion).
+        WpuStats &ws = r.wpus.back();
+        const std::uint64_t accounted = ws.totalCycles();
+        if (accounted < cycle)
+            ws.idleCycles += cycle - accounted;
+    }
+    MemSystem &ms = const_cast<MemSystem &>(memsys);
+    for (int i = 0; i < cfg.numWpus; i++) {
+        r.icaches.push_back(ms.icache(i).stats);
+        r.dcaches.push_back(ms.dcache(i).stats);
+    }
+    r.mem = ms.stats();
+    r.energyNj = computeEnergy(r, cfg, energyParams).total();
+    return r;
+}
+
+} // namespace dws

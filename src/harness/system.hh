@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The full simulated system: WPUs + coherent cache hierarchy + kernel,
+ * with the top-level simulation loop.
+ */
+
+#ifndef DWS_HARNESS_SYSTEM_HH
+#define DWS_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "energy/energy.hh"
+#include "kernels/kernel.hh"
+#include "mem/memory.hh"
+#include "mem/memsys.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "wpu/kernel_barrier.hh"
+#include "wpu/wpu.hh"
+
+namespace dws {
+
+/** One complete simulation instance. */
+class System
+{
+  public:
+    /**
+     * Build the system and load the kernel (program + memory image).
+     *
+     * @param cfg    system configuration
+     * @param kernel the benchmark to run (not owned; must outlive run())
+     */
+    System(const SystemConfig &cfg, const Kernel &kernel);
+
+    /**
+     * Simulate until every thread halts.
+     * @return the collected statistics (including energy).
+     */
+    RunStats run();
+
+    /** @return true once the simulation has completed. */
+    bool finished() const;
+
+    /** @return the functional memory (for output validation). */
+    Memory &memory() { return mem; }
+
+    /** @return a WPU (tests, diagnostics). */
+    Wpu &wpu(int i) { return *wpus[static_cast<size_t>(i)]; }
+
+    /** @return the memory hierarchy (tests, diagnostics). */
+    MemSystem &memSystem() { return memsys; }
+
+    /** @return current simulated cycle. */
+    Cycle now() const { return cycle; }
+
+    /** Energy parameters applied when collecting statistics. */
+    EnergyParams energyParams{};
+
+  private:
+    RunStats collect() const;
+
+    SystemConfig cfg;
+    Program prog;
+    Memory mem;
+    EventQueue events;
+    MemSystem memsys;
+    KernelBarrier kbar;
+    std::vector<std::unique_ptr<Wpu>> wpus;
+    Cycle cycle = 0;
+};
+
+} // namespace dws
+
+#endif // DWS_HARNESS_SYSTEM_HH

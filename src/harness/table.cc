@@ -1,0 +1,76 @@
+#include "harness/table.hh"
+
+#include <cstdio>
+#include <iostream>
+
+namespace dws {
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    rows.insert(rows.begin(), std::move(cells));
+    hasHeader = true;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::numericRow(const std::string &label,
+                      const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells{label};
+    for (double v : values)
+        cells.push_back(fmt(v, precision));
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths;
+    for (const auto &r : rows) {
+        if (widths.size() < r.size())
+            widths.resize(r.size(), 0);
+        for (size_t i = 0; i < r.size(); i++)
+            widths[i] = std::max(widths[i], r[i].size());
+    }
+    for (size_t ri = 0; ri < rows.size(); ri++) {
+        const auto &r = rows[ri];
+        for (size_t i = 0; i < r.size(); i++) {
+            const int pad = static_cast<int>(widths[i] - r[i].size());
+            if (i == 0) {
+                os << r[i] << std::string(static_cast<size_t>(pad), ' ');
+            } else {
+                os << "  " << std::string(static_cast<size_t>(pad), ' ')
+                   << r[i];
+            }
+        }
+        os << "\n";
+        if (ri == 0 && hasHeader) {
+            size_t total = 0;
+            for (size_t i = 0; i < widths.size(); i++)
+                total += widths[i] + (i ? 2 : 0);
+            os << std::string(total, '-') << "\n";
+        }
+    }
+}
+
+void
+TextTable::print() const
+{
+    print(std::cout);
+}
+
+} // namespace dws

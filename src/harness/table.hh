@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-width text tables for the bench binaries (paper figure/table
+ * reproduction output).
+ */
+
+#ifndef DWS_HARNESS_TABLE_HH
+#define DWS_HARNESS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dws {
+
+/** A simple left-column + numeric-columns text table. */
+class TextTable
+{
+  public:
+    /** Set the header cells. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a row of preformatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a row with a label and numeric cells (fixed precision). */
+    void numericRow(const std::string &label,
+                    const std::vector<double> &values, int precision = 2);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+    bool hasHeader = false;
+};
+
+/** @return a double formatted with the given precision. */
+std::string fmt(double v, int precision = 2);
+
+} // namespace dws
+
+#endif // DWS_HARNESS_TABLE_HH

@@ -1,0 +1,91 @@
+#include "isa/builder.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+KernelBuilder::Label
+KernelBuilder::newLabel()
+{
+    labelPcs.push_back(kPcUnknown);
+    return static_cast<Label>(labelPcs.size()) - 1;
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    if (l < 0 || l >= static_cast<Label>(labelPcs.size()))
+        panic("bind of unknown label %d", l);
+    if (labelPcs[static_cast<size_t>(l)] != kPcUnknown)
+        panic("label %d bound twice", l);
+    labelPcs[static_cast<size_t>(l)] = here();
+}
+
+void
+KernelBuilder::emit3(Op op, int rd, int ra, int rb)
+{
+    Instr in;
+    in.op = op;
+    in.rd = static_cast<std::uint8_t>(rd);
+    in.ra = static_cast<std::uint8_t>(ra);
+    in.rb = static_cast<std::uint8_t>(rb);
+    code.push_back(in);
+}
+
+void
+KernelBuilder::emitImm(Op op, int rd, int ra, std::int64_t imm)
+{
+    Instr in;
+    in.op = op;
+    in.rd = static_cast<std::uint8_t>(rd);
+    in.ra = static_cast<std::uint8_t>(ra);
+    in.imm = imm;
+    code.push_back(in);
+}
+
+void
+KernelBuilder::st(int ra, int rb, std::int64_t byteOff)
+{
+    Instr in;
+    in.op = Op::St;
+    in.ra = static_cast<std::uint8_t>(ra);
+    in.rb = static_cast<std::uint8_t>(rb);
+    in.imm = byteOff;
+    code.push_back(in);
+}
+
+void
+KernelBuilder::br(int ra, Label l)
+{
+    Instr in;
+    in.op = Op::Br;
+    in.ra = static_cast<std::uint8_t>(ra);
+    in.target = 0;
+    fixups.emplace_back(here(), l);
+    code.push_back(in);
+}
+
+void
+KernelBuilder::jmp(Label l)
+{
+    Instr in;
+    in.op = Op::Jmp;
+    in.target = 0;
+    fixups.emplace_back(here(), l);
+    code.push_back(in);
+}
+
+Program
+KernelBuilder::build(std::string name, int subdivThreshold)
+{
+    for (const auto &[pc, label] : fixups) {
+        const Pc target = labelPcs[static_cast<size_t>(label)];
+        if (target == kPcUnknown)
+            fatal("kernel '%s': unbound label %d referenced at pc %d",
+                  name.c_str(), label, pc);
+        code[static_cast<size_t>(pc)].target = target;
+    }
+    return Program(std::move(code), std::move(name), subdivThreshold);
+}
+
+} // namespace dws

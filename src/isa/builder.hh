@@ -1,0 +1,104 @@
+/**
+ * @file
+ * KernelBuilder: an assembler-style API for authoring IR programs.
+ *
+ * Labels may be referenced before they are bound; build() patches all
+ * forward references and runs the CFG analysis.
+ */
+
+#ifndef DWS_ISA_BUILDER_HH
+#define DWS_ISA_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace dws {
+
+/** Incrementally builds a Program. */
+class KernelBuilder
+{
+  public:
+    /** Opaque label handle. */
+    using Label = int;
+
+    /** @return a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the current emission point. */
+    void bind(Label l);
+
+    /** @return the pc the next emitted instruction will occupy. */
+    Pc here() const { return static_cast<Pc>(code.size()); }
+
+    // --- three-register ALU ---------------------------------------
+    void add(int rd, int ra, int rb) { emit3(Op::Add, rd, ra, rb); }
+    void sub(int rd, int ra, int rb) { emit3(Op::Sub, rd, ra, rb); }
+    void mul(int rd, int ra, int rb) { emit3(Op::Mul, rd, ra, rb); }
+    void div(int rd, int ra, int rb) { emit3(Op::Div, rd, ra, rb); }
+    void rem(int rd, int ra, int rb) { emit3(Op::Rem, rd, ra, rb); }
+    void and_(int rd, int ra, int rb) { emit3(Op::And, rd, ra, rb); }
+    void or_(int rd, int ra, int rb) { emit3(Op::Or, rd, ra, rb); }
+    void xor_(int rd, int ra, int rb) { emit3(Op::Xor, rd, ra, rb); }
+    void shl(int rd, int ra, int rb) { emit3(Op::Shl, rd, ra, rb); }
+    void shr(int rd, int ra, int rb) { emit3(Op::Shr, rd, ra, rb); }
+    void slt(int rd, int ra, int rb) { emit3(Op::Slt, rd, ra, rb); }
+    void sle(int rd, int ra, int rb) { emit3(Op::Sle, rd, ra, rb); }
+    void seq(int rd, int ra, int rb) { emit3(Op::Seq, rd, ra, rb); }
+    void sne(int rd, int ra, int rb) { emit3(Op::Sne, rd, ra, rb); }
+    void min(int rd, int ra, int rb) { emit3(Op::Min, rd, ra, rb); }
+    void max(int rd, int ra, int rb) { emit3(Op::Max, rd, ra, rb); }
+
+    // --- register-immediate ALU ------------------------------------
+    void addi(int rd, int ra, std::int64_t imm)
+    { emitImm(Op::Addi, rd, ra, imm); }
+    void muli(int rd, int ra, std::int64_t imm)
+    { emitImm(Op::Muli, rd, ra, imm); }
+    void andi(int rd, int ra, std::int64_t imm)
+    { emitImm(Op::Andi, rd, ra, imm); }
+    void shli(int rd, int ra, std::int64_t imm)
+    { emitImm(Op::Shli, rd, ra, imm); }
+    void shri(int rd, int ra, std::int64_t imm)
+    { emitImm(Op::Shri, rd, ra, imm); }
+    void slti(int rd, int ra, std::int64_t imm)
+    { emitImm(Op::Slti, rd, ra, imm); }
+    void movi(int rd, std::int64_t imm) { emitImm(Op::Movi, rd, 0, imm); }
+    void mov(int rd, int ra) { emit3(Op::Mov, rd, ra, 0); }
+
+    // --- memory -----------------------------------------------------
+    /** rd = mem[ra + byteOff] */
+    void ld(int rd, int ra, std::int64_t byteOff = 0)
+    { emitImm(Op::Ld, rd, ra, byteOff); }
+    /** mem[ra + byteOff] = rb */
+    void st(int ra, int rb, std::int64_t byteOff = 0);
+
+    // --- control ------------------------------------------------------
+    /** if (ra != 0) goto l */
+    void br(int ra, Label l);
+    void jmp(Label l);
+    void bar() { code.push_back(Instr{.op = Op::Bar}); }
+    void halt() { code.push_back(Instr{.op = Op::Halt}); }
+    void nop() { code.push_back(Instr{.op = Op::Nop}); }
+
+    /**
+     * Finalize into a Program. All labels referenced by emitted branches
+     * must be bound.
+     *
+     * @param name            kernel name
+     * @param subdivThreshold branch-subdivision heuristic bound
+     */
+    Program build(std::string name, int subdivThreshold = 50);
+
+  private:
+    void emit3(Op op, int rd, int ra, int rb);
+    void emitImm(Op op, int rd, int ra, std::int64_t imm);
+
+    std::vector<Instr> code;
+    std::vector<Pc> labelPcs;            ///< bound pc or kPcUnknown
+    std::vector<std::pair<Pc, Label>> fixups;
+};
+
+} // namespace dws
+
+#endif // DWS_ISA_BUILDER_HH

@@ -1,0 +1,210 @@
+#include "isa/cfg.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+std::vector<Pc>
+CfgAnalysis::successors(const std::vector<Instr> &instrs, Pc pc)
+{
+    const Instr &in = instrs[static_cast<size_t>(pc)];
+    const Pc n = static_cast<Pc>(instrs.size());
+    std::vector<Pc> out;
+    switch (in.op) {
+      case Op::Halt:
+        break;
+      case Op::Jmp:
+        if (in.target < n)
+            out.push_back(in.target);
+        break;
+      case Op::Br:
+        if (pc + 1 < n)
+            out.push_back(pc + 1);
+        if (in.target < n)
+            out.push_back(in.target);
+        break;
+      default:
+        if (pc + 1 < n)
+            out.push_back(pc + 1);
+        break;
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Intersect two nodes in the (post)dominator tree using the classic
+ * Cooper-Harvey-Kennedy two-finger walk over postorder numbers.
+ */
+int
+intersect(const std::vector<int> &idom, const std::vector<int> &poNum,
+          int a, int b)
+{
+    while (a != b) {
+        while (poNum[a] < poNum[b])
+            a = idom[a];
+        while (poNum[b] < poNum[a])
+            b = idom[b];
+    }
+    return a;
+}
+
+} // namespace
+
+std::vector<Pc>
+CfgAnalysis::immediatePostDominators(const std::vector<Instr> &instrs)
+{
+    const int n = static_cast<int>(instrs.size());
+    const int exitNode = n; // virtual exit
+
+    // Build CFG successor lists, with off-end fallthrough and Halt edges
+    // to the virtual exit node.
+    std::vector<std::vector<int>> succ(n + 1);
+    std::vector<std::vector<int>> pred(n + 1);
+    for (int pc = 0; pc < n; pc++) {
+        std::vector<Pc> s = successors(instrs, pc);
+        const Instr &in = instrs[static_cast<size_t>(pc)];
+        if (s.empty() || (in.op != Op::Jmp && in.op != Op::Halt &&
+                          pc + 1 >= n)) {
+            // Halt, or fall-through past the end of the program.
+        }
+        if (in.op == Op::Halt) {
+            succ[pc].push_back(exitNode);
+        } else {
+            for (Pc t : s)
+                succ[pc].push_back(t);
+            const bool falls = (in.op != Op::Jmp);
+            if (falls && pc + 1 >= n)
+                succ[pc].push_back(exitNode);
+            if (in.op == Op::Br && in.target >= n)
+                succ[pc].push_back(exitNode);
+            if (in.op == Op::Jmp && in.target >= n)
+                succ[pc].push_back(exitNode);
+        }
+        for (int t : succ[pc])
+            pred[t].push_back(pc);
+    }
+
+    // Postorder of the *reverse* CFG rooted at the exit node. In the
+    // reverse graph the successor of a node is its CFG predecessor.
+    std::vector<int> poNum(n + 1, -1);
+    std::vector<int> order; // nodes in postorder
+    {
+        std::vector<int> stack{exitNode};
+        std::vector<int> childIdx(n + 1, 0);
+        std::vector<bool> onStack(n + 1, false);
+        std::vector<bool> visited(n + 1, false);
+        visited[exitNode] = true;
+        onStack[exitNode] = true;
+        while (!stack.empty()) {
+            int v = stack.back();
+            if (childIdx[v] < static_cast<int>(pred[v].size())) {
+                int w = pred[v][childIdx[v]++];
+                if (!visited[w]) {
+                    visited[w] = true;
+                    stack.push_back(w);
+                }
+            } else {
+                poNum[v] = static_cast<int>(order.size());
+                order.push_back(v);
+                stack.pop_back();
+            }
+        }
+    }
+
+    // Cooper-Harvey-Kennedy on the reverse graph.
+    std::vector<int> idom(n + 1, -1);
+    idom[exitNode] = exitNode;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate in reverse postorder of the reverse graph.
+        for (int i = static_cast<int>(order.size()) - 1; i >= 0; i--) {
+            const int u = order[i];
+            if (u == exitNode)
+                continue;
+            // Predecessors of u in the reverse graph = CFG successors.
+            int newIdom = -1;
+            for (int p : succ[u]) {
+                if (poNum[p] < 0 || idom[p] < 0)
+                    continue; // unreachable from exit / not yet processed
+                newIdom = (newIdom < 0)
+                        ? p : intersect(idom, poNum, newIdom, p);
+            }
+            if (newIdom >= 0 && idom[u] != newIdom) {
+                idom[u] = newIdom;
+                changed = true;
+            }
+        }
+    }
+
+    std::vector<Pc> result(n, kPcExit);
+    for (int pc = 0; pc < n; pc++) {
+        if (idom[pc] < 0 || idom[pc] == exitNode)
+            result[pc] = kPcExit;
+        else
+            result[pc] = static_cast<Pc>(idom[pc]);
+    }
+    return result;
+}
+
+int
+CfgAnalysis::basicBlockLength(const std::vector<Instr> &instrs, Pc pc)
+{
+    const int n = static_cast<int>(instrs.size());
+    if (pc < 0 || pc >= n)
+        return 0;
+
+    // Block leaders: entry, branch/jump targets, and instructions
+    // following control flow.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (int i = 0; i < n; i++) {
+        const Instr &in = instrs[static_cast<size_t>(i)];
+        if (in.op == Op::Br || in.op == Op::Jmp) {
+            if (in.target >= 0 && in.target < n)
+                leader[static_cast<size_t>(in.target)] = true;
+        }
+        if (in.isControl() && i + 1 < n)
+            leader[static_cast<size_t>(i) + 1] = true;
+    }
+
+    int len = 0;
+    for (int i = pc; i < n; i++) {
+        if (i > pc && leader[static_cast<size_t>(i)])
+            break;
+        len++;
+        if (instrs[static_cast<size_t>(i)].isControl())
+            break;
+    }
+    return len;
+}
+
+void
+CfgAnalysis::analyze(Program &prog, int subdivThreshold)
+{
+    auto &code = prog.code;
+    const int n = static_cast<int>(code.size());
+    prog.brInfo.assign(static_cast<size_t>(n), BranchInfo{});
+    if (n == 0)
+        return;
+
+    const std::vector<Pc> ipdom = immediatePostDominators(code);
+    for (int pc = 0; pc < n; pc++) {
+        Instr &in = code[static_cast<size_t>(pc)];
+        if (in.op != Op::Br)
+            continue;
+        BranchInfo &bi = prog.brInfo[static_cast<size_t>(pc)];
+        bi.ipdom = ipdom[static_cast<size_t>(pc)];
+        bi.postBlockLen = (bi.ipdom == kPcExit)
+                ? subdivThreshold + 1 // exit: treat as "long" post block
+                : basicBlockLength(code, bi.ipdom);
+        if (bi.postBlockLen <= subdivThreshold)
+            in.flags |= kFlagSubdividable;
+    }
+}
+
+} // namespace dws

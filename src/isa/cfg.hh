@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Instruction-level CFG analysis: post-dominator computation and the
+ * static branch-subdivision heuristic.
+ *
+ * The paper manually instrumented application code with post-dominators
+ * "due to the lack of compiler support" (Section 3.3) and manually
+ * selected subdividable branches with the 50-instruction heuristic
+ * (Section 4.3), noting "in practice this process would be automated by
+ * the compiler". This pass is that automation.
+ */
+
+#ifndef DWS_ISA_CFG_HH
+#define DWS_ISA_CFG_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Post-dominator analysis over a Program's instruction-level CFG. */
+class CfgAnalysis
+{
+  public:
+    /**
+     * Analyze a program in place: fills brInfo (immediate post-dominator
+     * and post-block length per conditional branch) and sets the
+     * kFlagSubdividable flag on qualifying branches.
+     *
+     * @param prog            the program to annotate
+     * @param subdivThreshold max post-dominator block length for a branch
+     *                        to be subdividable (paper: 50)
+     */
+    static void analyze(Program &prog, int subdivThreshold);
+
+    /**
+     * Compute the immediate post-dominator of every instruction.
+     * Index kPcExit is represented by the value kPcExit.
+     *
+     * @param instrs instruction sequence
+     * @return per-pc immediate post-dominator (kPcExit when exit)
+     */
+    static std::vector<Pc> immediatePostDominators(
+            const std::vector<Instr> &instrs);
+
+    /**
+     * @return the length of the straight-line basic block starting at pc
+     *         (counting up to and including the first control-flow
+     *         instruction or branch target boundary).
+     */
+    static int basicBlockLength(const std::vector<Instr> &instrs, Pc pc);
+
+    /** @return the CFG successors of the instruction at pc. */
+    static std::vector<Pc> successors(const std::vector<Instr> &instrs,
+                                      Pc pc);
+};
+
+} // namespace dws
+
+#endif // DWS_ISA_CFG_HH

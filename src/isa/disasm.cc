@@ -1,0 +1,74 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dws {
+
+std::string
+disasm(const Instr &in)
+{
+    char buf[128];
+    switch (in.op) {
+      case Op::Nop:
+      case Op::Bar:
+      case Op::Halt:
+        std::snprintf(buf, sizeof(buf), "%s", opName(in.op));
+        break;
+      case Op::Movi:
+        std::snprintf(buf, sizeof(buf), "movi r%d, %lld", in.rd,
+                      (long long)in.imm);
+        break;
+      case Op::Mov:
+        std::snprintf(buf, sizeof(buf), "mov r%d, r%d", in.rd, in.ra);
+        break;
+      case Op::Addi: case Op::Muli: case Op::Andi:
+      case Op::Shli: case Op::Shri: case Op::Slti:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, %lld", opName(in.op),
+                      in.rd, in.ra, (long long)in.imm);
+        break;
+      case Op::Ld:
+        std::snprintf(buf, sizeof(buf), "ld r%d, [r%d + %lld]", in.rd,
+                      in.ra, (long long)in.imm);
+        break;
+      case Op::St:
+        std::snprintf(buf, sizeof(buf), "st [r%d + %lld], r%d", in.ra,
+                      (long long)in.imm, in.rb);
+        break;
+      case Op::Br:
+        std::snprintf(buf, sizeof(buf), "br r%d, %d%s", in.ra, in.target,
+                      in.subdividable() ? "  ; subdividable" : "");
+        break;
+      case Op::Jmp:
+        std::snprintf(buf, sizeof(buf), "jmp %d", in.target);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, r%d", opName(in.op),
+                      in.rd, in.ra, in.rb);
+        break;
+    }
+    return buf;
+}
+
+std::string
+disasm(const Program &prog)
+{
+    std::ostringstream os;
+    os << "; kernel " << prog.name() << " (" << prog.size()
+       << " instructions)\n";
+    for (Pc pc = 0; pc < prog.size(); pc++) {
+        const Instr &in = prog.at(pc);
+        char head[32];
+        std::snprintf(head, sizeof(head), "%4d: ", pc);
+        os << head << disasm(in);
+        if (in.op == Op::Br) {
+            const BranchInfo &bi = prog.branchInfo(pc);
+            os << "  ; ipdom=" << bi.ipdom
+               << " postblock=" << bi.postBlockLen;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dws

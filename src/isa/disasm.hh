@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable disassembly of IR programs, for debugging and tests.
+ */
+
+#ifndef DWS_ISA_DISASM_HH
+#define DWS_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace dws {
+
+/** @return a one-line disassembly of a single instruction. */
+std::string disasm(const Instr &in);
+
+/**
+ * @return the full program listing, one instruction per line, annotated
+ *         with branch post-dominators and subdivision flags.
+ */
+std::string disasm(const Program &prog);
+
+} // namespace dws
+
+#endif // DWS_ISA_DISASM_HH

@@ -1,0 +1,82 @@
+#include "isa/instr.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+std::int64_t
+evalAlu(Op op, std::int64_t a, std::int64_t b, std::int64_t imm)
+{
+    using U = std::uint64_t;
+    switch (op) {
+      case Op::Nop:  return 0;
+      case Op::Add:  return static_cast<std::int64_t>(U(a) + U(b));
+      case Op::Sub:  return static_cast<std::int64_t>(U(a) - U(b));
+      case Op::Mul:  return static_cast<std::int64_t>(U(a) * U(b));
+      case Op::Div:  return b == 0 ? 0 : a / b;
+      case Op::Rem:  return b == 0 ? 0 : a % b;
+      case Op::And:  return a & b;
+      case Op::Or:   return a | b;
+      case Op::Xor:  return a ^ b;
+      case Op::Shl:  return static_cast<std::int64_t>(U(a) << (U(b) & 63));
+      case Op::Shr:  return a >> (U(b) & 63);
+      case Op::Slt:  return a < b;
+      case Op::Sle:  return a <= b;
+      case Op::Seq:  return a == b;
+      case Op::Sne:  return a != b;
+      case Op::Min:  return a < b ? a : b;
+      case Op::Max:  return a > b ? a : b;
+      case Op::Addi: return static_cast<std::int64_t>(U(a) + U(imm));
+      case Op::Muli: return static_cast<std::int64_t>(U(a) * U(imm));
+      case Op::Andi: return a & imm;
+      case Op::Shli: return static_cast<std::int64_t>(U(a) << (U(imm) & 63));
+      case Op::Shri: return a >> (U(imm) & 63);
+      case Op::Slti: return a < imm;
+      case Op::Movi: return imm;
+      case Op::Mov:  return a;
+      default:
+        panic("evalAlu on non-ALU opcode %s", opName(op));
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop:  return "nop";
+      case Op::Add:  return "add";
+      case Op::Sub:  return "sub";
+      case Op::Mul:  return "mul";
+      case Op::Div:  return "div";
+      case Op::Rem:  return "rem";
+      case Op::And:  return "and";
+      case Op::Or:   return "or";
+      case Op::Xor:  return "xor";
+      case Op::Shl:  return "shl";
+      case Op::Shr:  return "shr";
+      case Op::Slt:  return "slt";
+      case Op::Sle:  return "sle";
+      case Op::Seq:  return "seq";
+      case Op::Sne:  return "sne";
+      case Op::Min:  return "min";
+      case Op::Max:  return "max";
+      case Op::Addi: return "addi";
+      case Op::Muli: return "muli";
+      case Op::Andi: return "andi";
+      case Op::Shli: return "shli";
+      case Op::Shri: return "shri";
+      case Op::Slti: return "slti";
+      case Op::Movi: return "movi";
+      case Op::Mov:  return "mov";
+      case Op::Ld:   return "ld";
+      case Op::St:   return "st";
+      case Op::Br:   return "br";
+      case Op::Jmp:  return "jmp";
+      case Op::Bar:  return "bar";
+      case Op::Halt: return "halt";
+      case Op::NumOps: break;
+    }
+    return "???";
+}
+
+} // namespace dws

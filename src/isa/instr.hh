@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The kernel IR: a compact scalar register-machine instruction set.
+ *
+ * The paper runs Alpha binaries on MV5; we replace that with this IR,
+ * which preserves everything the WPU model cares about: unit-latency ALU
+ * ops, loads/stores with per-thread (gather/scatter) addresses,
+ * conditional branches with immediate-post-dominator re-convergence, a
+ * global barrier, and thread termination. Each thread has kNumRegs 64-bit
+ * integer registers; at launch r0 = global thread id and r1 = total
+ * thread count.
+ */
+
+#ifndef DWS_ISA_INSTR_HH
+#define DWS_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Operation codes of the kernel IR. */
+enum class Op : std::uint8_t {
+    Nop,
+
+    // Three-register ALU: rd = ra <op> rb. All unit latency (paper 3.3).
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Slt,  ///< rd = (ra < rb)
+    Sle,  ///< rd = (ra <= rb)
+    Seq,  ///< rd = (ra == rb)
+    Sne,  ///< rd = (ra != rb)
+    Min, Max,
+
+    // Register-immediate ALU: rd = ra <op> imm.
+    Addi, Muli, Andi, Shli, Shri, Slti,
+
+    Movi, ///< rd = imm
+    Mov,  ///< rd = ra
+
+    // Memory: 64-bit word loads/stores, per-thread addresses.
+    Ld,   ///< rd = mem[ra + imm]
+    St,   ///< mem[ra + imm] = rb
+
+    // Control flow.
+    Br,   ///< if (ra != 0) goto target
+    Jmp,  ///< goto target
+    Bar,  ///< global barrier across all kernel threads
+    Halt, ///< thread terminates
+
+    NumOps,
+};
+
+/** Instruction flag bits. */
+enum InstrFlags : std::uint16_t {
+    /**
+     * Branch selected by the static heuristic of Section 4.3 as allowed
+     * to subdivide a warp (post-dominator followed by a basic block of
+     * at most subdivMaxPostBlock instructions).
+     */
+    kFlagSubdividable = 1 << 0,
+};
+
+/** One decoded IR instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t ra = 0;
+    std::uint8_t rb = 0;
+    Pc target = 0;          ///< branch/jump destination
+    std::int64_t imm = 0;   ///< immediate operand / address offset
+    std::uint16_t flags = 0;
+
+    bool isBranch() const { return op == Op::Br; }
+    bool isMem() const { return op == Op::Ld || op == Op::St; }
+    bool isControl() const
+    {
+        return op == Op::Br || op == Op::Jmp || op == Op::Bar ||
+               op == Op::Halt;
+    }
+    bool subdividable() const { return flags & kFlagSubdividable; }
+};
+
+/**
+ * Evaluate a (non-memory, non-control) ALU operation.
+ *
+ * Division and remainder by zero yield zero so that data-dependent
+ * kernels can never trap.
+ *
+ * @param op  the ALU opcode
+ * @param a   value of ra
+ * @param b   value of rb
+ * @param imm immediate operand
+ * @return the value written to rd
+ */
+std::int64_t evalAlu(Op op, std::int64_t a, std::int64_t b,
+                     std::int64_t imm);
+
+/** @return the mnemonic for an opcode. */
+const char *opName(Op op);
+
+} // namespace dws
+
+#endif // DWS_ISA_INSTR_HH

@@ -1,0 +1,34 @@
+#include "isa/program.hh"
+
+#include <utility>
+
+#include "isa/cfg.hh"
+#include "sim/logging.hh"
+
+namespace dws {
+
+Program::Program(std::vector<Instr> instrs, std::string name,
+                 int subdivThreshold)
+    : code(std::move(instrs)), progName(std::move(name))
+{
+    for (size_t pc = 0; pc < code.size(); pc++) {
+        const Instr &in = code[pc];
+        if ((in.op == Op::Br || in.op == Op::Jmp) &&
+            (in.target < 0 ||
+             in.target > static_cast<Pc>(code.size()))) {
+            fatal("program '%s': pc %zu has out-of-range target %d",
+                  progName.c_str(), pc, in.target);
+        }
+    }
+    CfgAnalysis::analyze(*this, subdivThreshold);
+}
+
+const BranchInfo &
+Program::branchInfo(Pc pc) const
+{
+    if (pc < 0 || pc >= size() || at(pc).op != Op::Br)
+        panic("branchInfo(%d) on non-branch in '%s'", pc, progName.c_str());
+    return brInfo[static_cast<size_t>(pc)];
+}
+
+} // namespace dws

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A Program: a fixed sequence of IR instructions plus the control-flow
+ * metadata the WPU's re-convergence hardware needs.
+ */
+
+#ifndef DWS_ISA_PROGRAM_HH
+#define DWS_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Re-convergence metadata of one conditional branch. */
+struct BranchInfo
+{
+    /**
+     * PC of the branch's immediate post-dominator, i.e. the point at
+     * which the conventional re-convergence stack re-unites both paths.
+     * kPcExit when the only post-dominator is program exit.
+     */
+    Pc ipdom = kPcExit;
+    /**
+     * Length in instructions of the basic block starting at the
+     * post-dominator (block "F" in the paper's Figure 6), used by the
+     * Section 4.3 subdivision heuristic.
+     */
+    int postBlockLen = 0;
+};
+
+/** An executable kernel program. */
+class Program
+{
+  public:
+    Program() = default;
+
+    /**
+     * Build a program from raw instructions and run the CFG analysis
+     * (computes post-dominators and marks subdividable branches).
+     *
+     * @param instrs          instruction sequence; entry PC is 0
+     * @param name            human-readable kernel name
+     * @param subdivThreshold Section 4.3 heuristic bound (instructions)
+     */
+    Program(std::vector<Instr> instrs, std::string name,
+            int subdivThreshold = 50);
+
+    /** @return number of instructions. */
+    int size() const { return static_cast<int>(code.size()); }
+
+    /** @return the instruction at pc (bounds-checked in debug). */
+    const Instr &at(Pc pc) const { return code[static_cast<size_t>(pc)]; }
+
+    /** @return metadata for the branch at pc (must be a Br). */
+    const BranchInfo &branchInfo(Pc pc) const;
+
+    /** @return the kernel's name. */
+    const std::string &name() const { return progName; }
+
+    /** @return byte "address" of an instruction, for the I-cache. */
+    Addr instrAddr(Pc pc) const
+    {
+        return static_cast<Addr>(pc) * kInstrBytes;
+    }
+
+    /** @return all instructions (for tests and the disassembler). */
+    const std::vector<Instr> &instructions() const { return code; }
+
+  private:
+    friend class CfgAnalysis;
+
+    std::vector<Instr> code;
+    std::vector<BranchInfo> brInfo; ///< indexed by pc; valid for Br only
+    std::string progName;
+};
+
+} // namespace dws
+
+#endif // DWS_ISA_PROGRAM_HH

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * FFT: iterative radix-2 fast Fourier transform in Q16 fixed point
+ * (paper Table 2, from Splash2: "Spectral methods. Butterfly
+ * computation"; input scaled from 65,536 to 16,384 points).
+ *
+ * Bit-reversal permutation, then log2(N) butterfly stages separated by
+ * kernel barriers. The strided twiddle and element accesses make FFT
+ * memory-divergence heavy while its branches stay uniform (Table 1).
+ */
+
+#include <cmath>
+
+#include "kernels/kernel.hh"
+#include "sim/rng.hh"
+
+namespace dws {
+
+namespace {
+
+class FftKernel : public Kernel
+{
+  public:
+    explicit FftKernel(const KernelParams &p) : Kernel(p)
+    {
+        logN = (p.scale == KernelScale::Tiny) ? 13 : 14;
+        n = 1 << logN;
+    }
+
+    std::string name() const override { return "FFT"; }
+
+    std::string
+    description() const override
+    {
+        return "radix-2 FFT of " + std::to_string(n) +
+               " Q16 complex points";
+    }
+
+    std::uint64_t
+    memBytes() const override
+    {
+        // re, im, twiddle-re, twiddle-im (half used), each n words.
+        return std::uint64_t(4) * n * kWordBytes;
+    }
+
+    Program
+    buildProgram() const override
+    {
+        const std::int64_t nb = std::int64_t(n) * kWordBytes;
+        const std::int64_t imBase = nb;
+        const std::int64_t twReBase = 2 * nb;
+        const std::int64_t twImBase = 3 * nb;
+
+        KernelBuilder b;
+
+        // --- bit-reversal permutation ---------------------------------
+        emitBlockRange(b, 2, 3, n);
+        b.mov(4, 2);
+        auto bitLoop = b.newLabel();
+        auto bitDone = b.newLabel();
+        auto noSwap = b.newLabel();
+        b.bind(bitLoop);
+        b.sle(16, 3, 4);
+        b.br(16, bitDone);
+        // rev = bit-reverse(i, logN)
+        b.mov(5, 4);
+        b.movi(6, 0);
+        b.movi(7, 0);
+        auto revLoop = b.newLabel();
+        auto revDone = b.newLabel();
+        b.bind(revLoop);
+        b.slti(16, 7, logN);
+        b.seq(16, 16, 30);
+        b.br(16, revDone);
+        b.shli(6, 6, 1);
+        b.andi(8, 5, 1);
+        b.or_(6, 6, 8);
+        b.shri(5, 5, 1);
+        b.addi(7, 7, 1);
+        b.jmp(revLoop);
+        b.bind(revDone);
+        // swap only when i < rev (each pair handled once)
+        b.slt(16, 4, 6);
+        b.seq(16, 16, 30);
+        b.br(16, noSwap);
+        b.muli(9, 4, kWordBytes);
+        b.muli(10, 6, kWordBytes);
+        b.ld(11, 9, 0);
+        b.ld(12, 10, 0);
+        b.st(9, 12, 0);
+        b.st(10, 11, 0);
+        b.ld(11, 9, imBase);
+        b.ld(12, 10, imBase);
+        b.st(9, 12, imBase);
+        b.st(10, 11, imBase);
+        b.bind(noSwap);
+        b.addi(4, 4, 1);
+        b.jmp(bitLoop);
+        b.bind(bitDone);
+        b.bar();
+
+        // --- butterfly stages -----------------------------------------
+        emitBlockRange(b, 5, 6, n / 2); // pair range, constant
+        b.movi(2, 1);                   // stage s
+        auto sLoop = b.newLabel();
+        auto sDone = b.newLabel();
+        b.bind(sLoop);
+        b.slti(16, 2, logN + 1);
+        b.seq(16, 16, 30);
+        b.br(16, sDone);
+
+        b.movi(8, 1);
+        b.shl(8, 8, 2);     // m = 1 << s
+        b.shri(9, 8, 1);    // half = m / 2
+        b.movi(10, n);
+        b.div(10, 10, 8);   // twiddle stride = n / m
+
+        b.mov(4, 5);        // j = lo
+        auto jLoop = b.newLabel();
+        auto jDone = b.newLabel();
+        b.bind(jLoop);
+        b.sle(16, 6, 4);
+        b.br(16, jDone);
+
+        b.div(12, 4, 9);    // group
+        b.rem(13, 4, 9);    // k
+        b.mul(14, 12, 8);
+        b.add(14, 14, 13);  // i1
+        b.add(15, 14, 9);   // i2
+        b.mul(11, 13, 10);  // twiddle index
+
+        b.muli(26, 14, kWordBytes); // &re[i1]
+        b.muli(27, 15, kWordBytes); // &re[i2]
+        b.muli(28, 11, kWordBytes); // twiddle byte offset
+        b.ld(18, 26, 0);            // re1
+        b.ld(19, 26, imBase);       // im1
+        b.ld(20, 27, 0);            // re2
+        b.ld(21, 27, imBase);       // im2
+        b.ld(22, 28, twReBase);     // w_re
+        b.ld(23, 28, twImBase);     // w_im
+
+        // t = w * x2 (complex, Q16)
+        b.mul(24, 22, 20);
+        b.mul(25, 23, 21);
+        b.sub(24, 24, 25);
+        b.shri(24, 24, kFxShift);   // t_re
+        b.mul(25, 22, 21);
+        b.mul(29, 23, 20);
+        b.add(25, 25, 29);
+        b.shri(25, 25, kFxShift);   // t_im
+
+        b.sub(29, 18, 24);
+        b.st(27, 29, 0);            // re2' = re1 - t_re
+        b.sub(29, 19, 25);
+        b.st(27, 29, imBase);       // im2' = im1 - t_im
+        b.add(29, 18, 24);
+        b.st(26, 29, 0);            // re1' = re1 + t_re
+        b.add(29, 19, 25);
+        b.st(26, 29, imBase);       // im1' = im1 + t_im
+
+        b.addi(4, 4, 1);
+        b.jmp(jLoop);
+        b.bind(jDone);
+
+        b.bar();
+        b.addi(2, 2, 1);
+        b.jmp(sLoop);
+        b.bind(sDone);
+        b.halt();
+        return b.build("FFT", params.subdivThreshold);
+    }
+
+    void
+    initMemory(Memory &mem) const override
+    {
+        mem.resize(memBytes());
+        Rng rng(params.seed + 7);
+        for (int i = 0; i < n; i++) {
+            mem.writeWord(static_cast<std::uint64_t>(i),
+                          rng.nextRange(-kFxOne, kFxOne));
+            mem.writeWord(static_cast<std::uint64_t>(n + i),
+                          rng.nextRange(-kFxOne, kFxOne));
+        }
+        const auto tw = twiddles();
+        for (int i = 0; i < n / 2; i++) {
+            mem.writeWord(static_cast<std::uint64_t>(2 * n + i),
+                          tw[static_cast<size_t>(i)].first);
+            mem.writeWord(static_cast<std::uint64_t>(3 * n + i),
+                          tw[static_cast<size_t>(i)].second);
+        }
+    }
+
+    bool
+    validate(const Memory &mem) const override
+    {
+        Rng rng(params.seed + 7);
+        std::vector<std::int64_t> re(static_cast<size_t>(n));
+        std::vector<std::int64_t> im(static_cast<size_t>(n));
+        for (int i = 0; i < n; i++) {
+            re[static_cast<size_t>(i)] = rng.nextRange(-kFxOne, kFxOne);
+            im[static_cast<size_t>(i)] = rng.nextRange(-kFxOne, kFxOne);
+        }
+        // Bit reversal.
+        for (int i = 0; i < n; i++) {
+            int rev = 0;
+            int v = i;
+            for (int bIdx = 0; bIdx < logN; bIdx++) {
+                rev = (rev << 1) | (v & 1);
+                v >>= 1;
+            }
+            if (i < rev) {
+                std::swap(re[static_cast<size_t>(i)],
+                          re[static_cast<size_t>(rev)]);
+                std::swap(im[static_cast<size_t>(i)],
+                          im[static_cast<size_t>(rev)]);
+            }
+        }
+        const auto tw = twiddles();
+        for (int s = 1; s <= logN; s++) {
+            const int m = 1 << s;
+            const int half = m >> 1;
+            const int stride = n / m;
+            for (int j = 0; j < n / 2; j++) {
+                const int grp = j / half;
+                const int k = j % half;
+                const int i1 = grp * m + k;
+                const int i2 = i1 + half;
+                const auto [wre, wim] =
+                        tw[static_cast<size_t>(k * stride)];
+                const std::int64_t tre =
+                        (wre * re[static_cast<size_t>(i2)] -
+                         wim * im[static_cast<size_t>(i2)]) >> kFxShift;
+                const std::int64_t tim =
+                        (wre * im[static_cast<size_t>(i2)] +
+                         wim * re[static_cast<size_t>(i2)]) >> kFxShift;
+                re[static_cast<size_t>(i2)] =
+                        re[static_cast<size_t>(i1)] - tre;
+                im[static_cast<size_t>(i2)] =
+                        im[static_cast<size_t>(i1)] - tim;
+                re[static_cast<size_t>(i1)] += tre;
+                im[static_cast<size_t>(i1)] += tim;
+            }
+        }
+        for (int i = 0; i < n; i++) {
+            if (mem.readWord(static_cast<std::uint64_t>(i)) !=
+                        re[static_cast<size_t>(i)] ||
+                mem.readWord(static_cast<std::uint64_t>(n + i)) !=
+                        im[static_cast<size_t>(i)]) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::vector<std::pair<std::int64_t, std::int64_t>>
+    twiddles() const
+    {
+        std::vector<std::pair<std::int64_t, std::int64_t>> tw(
+                static_cast<size_t>(n / 2));
+        for (int i = 0; i < n / 2; i++) {
+            const double angle = -2.0 * M_PI * i / n;
+            tw[static_cast<size_t>(i)] = {
+                std::llround(std::cos(angle) * kFxOne),
+                std::llround(std::sin(angle) * kFxOne),
+            };
+        }
+        return tw;
+    }
+
+    int logN;
+    int n;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeFft(const KernelParams &p)
+{
+    return std::make_unique<FftKernel>(p);
+}
+
+} // namespace dws

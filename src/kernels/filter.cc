@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Filter: edge detection of an input image by 3x3 Laplacian
+ * convolution (paper Table 2: "Convolution. Gathering a 3-by-3
+ * neighborhood"; input scaled from 500x500 to 288x288).
+ *
+ * No data-dependent branches: Table 1 reports 0% divergent branches
+ * for Filter; all its divergence is memory divergence from the
+ * neighborhood gathers.
+ */
+
+#include <cstdlib>
+
+#include "kernels/kernel.hh"
+#include "sim/rng.hh"
+
+namespace dws {
+
+namespace {
+
+class FilterKernel : public Kernel
+{
+  public:
+    explicit FilterKernel(const KernelParams &p) : Kernel(p)
+    {
+        // A non-power-of-two default keeps lanes' pixel ranges out of
+        // row/cache-set phase (a 2048-byte row would alias).
+        side = (p.scale == KernelScale::Tiny) ? 192 : 288;
+    }
+
+    std::string name() const override { return "Filter"; }
+
+    std::string
+    description() const override
+    {
+        return "3x3 Laplacian edge detection of a " +
+               std::to_string(side) + "x" + std::to_string(side) +
+               " grayscale image";
+    }
+
+    std::uint64_t
+    memBytes() const override
+    {
+        return std::uint64_t(2) * side * side * kWordBytes;
+    }
+
+    Program
+    buildProgram() const override
+    {
+        const std::int64_t w = side;
+        const std::int64_t interior = (side - 2) * (side - 2);
+        const std::int64_t inBase = 0;
+        const std::int64_t outBase = std::int64_t(side) * side *
+                                     kWordBytes;
+
+        KernelBuilder b;
+        // r2 = lo, r3 = hi over interior pixels
+        emitBlockRange(b, 2, 3, interior);
+        b.movi(30, 0); // zero
+
+        auto loop = b.newLabel();
+        auto done = b.newLabel();
+        b.bind(loop);
+        b.sle(4, 3, 2);       // r4 = (hi <= lo)
+        b.br(4, done);
+
+        // y = idx / (w-2) + 1 ; x = idx % (w-2) + 1
+        b.movi(5, w - 2);
+        b.div(6, 2, 5);       // r6 = idx / (w-2)
+        b.rem(7, 2, 5);       // r7 = idx % (w-2)
+        b.addi(6, 6, 1);      // y
+        b.addi(7, 7, 1);      // x
+        // r8 = (y*w + x)*8 + inBase  (center address)
+        b.muli(8, 6, w);
+        b.add(8, 8, 7);
+        b.muli(8, 8, kWordBytes);
+        b.addi(8, 8, inBase);
+
+        // Gather the 3x3 neighborhood.
+        const std::int64_t rowB = w * kWordBytes;
+        b.ld(10, 8, 0);                 // center
+        b.muli(10, 10, 8);              // 8 * center
+        b.ld(11, 8, -kWordBytes);       // west
+        b.ld(12, 8, +kWordBytes);       // east
+        b.ld(13, 8, -rowB);             // north
+        b.ld(14, 8, +rowB);             // south
+        b.ld(15, 8, -rowB - kWordBytes);
+        b.ld(16, 8, -rowB + kWordBytes);
+        b.ld(17, 8, +rowB - kWordBytes);
+        b.ld(18, 8, +rowB + kWordBytes);
+        b.add(11, 11, 12);
+        b.add(13, 13, 14);
+        b.add(15, 15, 16);
+        b.add(17, 17, 18);
+        b.add(11, 11, 13);
+        b.add(15, 15, 17);
+        b.add(11, 11, 15);              // neighbor sum
+        b.sub(10, 10, 11);              // 8c - sum
+        // |v| = max(v, 0 - v)
+        b.sub(19, 30, 10);
+        b.max(10, 10, 19);
+
+        // store to out[y][x]
+        b.addi(20, 8, outBase - inBase);
+        b.st(20, 10, 0);
+
+        b.addi(2, 2, 1);
+        b.jmp(loop);
+        b.bind(done);
+        b.halt();
+        return b.build("Filter", params.subdivThreshold);
+    }
+
+    void
+    initMemory(Memory &mem) const override
+    {
+        mem.resize(memBytes());
+        Rng rng(params.seed);
+        for (int i = 0; i < side * side; i++)
+            mem.writeWord(static_cast<std::uint64_t>(i),
+                          rng.nextRange(0, 255));
+        // Output image starts zeroed (edges remain zero).
+        for (int i = 0; i < side * side; i++)
+            mem.writeWord(static_cast<std::uint64_t>(side * side + i), 0);
+    }
+
+    bool
+    validate(const Memory &mem) const override
+    {
+        Rng rng(params.seed);
+        std::vector<std::int64_t> in(
+                static_cast<size_t>(side) * side);
+        for (auto &v : in)
+            v = rng.nextRange(0, 255);
+        for (int y = 1; y < side - 1; y++) {
+            for (int x = 1; x < side - 1; x++) {
+                std::int64_t sum = 0;
+                for (int dy = -1; dy <= 1; dy++)
+                    for (int dx = -1; dx <= 1; dx++)
+                        if (dy || dx)
+                            sum += in[static_cast<size_t>(
+                                    (y + dy) * side + x + dx)];
+                std::int64_t v = 8 * in[static_cast<size_t>(
+                        y * side + x)] - sum;
+                if (v < 0)
+                    v = -v;
+                const std::int64_t got = mem.readWord(
+                        static_cast<std::uint64_t>(side * side +
+                                                   y * side + x));
+                if (got != v)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    int side;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeFilter(const KernelParams &p)
+{
+    return std::make_unique<FilterKernel>(p);
+}
+
+} // namespace dws

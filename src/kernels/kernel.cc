@@ -1,0 +1,53 @@
+#include "kernels/kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+// Factories defined by the individual kernel translation units.
+std::unique_ptr<Kernel> makeFft(const KernelParams &);
+std::unique_ptr<Kernel> makeFilter(const KernelParams &);
+std::unique_ptr<Kernel> makeHotSpot(const KernelParams &);
+std::unique_ptr<Kernel> makeLu(const KernelParams &);
+std::unique_ptr<Kernel> makeMerge(const KernelParams &);
+std::unique_ptr<Kernel> makeShort(const KernelParams &);
+std::unique_ptr<Kernel> makeKMeans(const KernelParams &);
+std::unique_ptr<Kernel> makeSvm(const KernelParams &);
+
+const std::vector<std::string> &
+kernelNames()
+{
+    static const std::vector<std::string> names = {
+        "FFT", "Filter", "HotSpot", "LU",
+        "Merge", "Short", "KMeans", "SVM",
+    };
+    return names;
+}
+
+std::unique_ptr<Kernel>
+makeKernel(const std::string &name, const KernelParams &params)
+{
+    if (name == "FFT")     return makeFft(params);
+    if (name == "Filter")  return makeFilter(params);
+    if (name == "HotSpot") return makeHotSpot(params);
+    if (name == "LU")      return makeLu(params);
+    if (name == "Merge")   return makeMerge(params);
+    if (name == "Short")   return makeShort(params);
+    if (name == "KMeans")  return makeKMeans(params);
+    if (name == "SVM")     return makeSvm(params);
+    return nullptr;
+}
+
+void
+emitBlockRange(KernelBuilder &b, int regLo, int regHi, std::int64_t total)
+{
+    // regLo = tid * total / nthreads
+    b.muli(regLo, 0, total);
+    b.div(regLo, regLo, 1);
+    // regHi = (tid + 1) * total / nthreads
+    b.addi(regHi, 0, 1);
+    b.muli(regHi, regHi, total);
+    b.div(regHi, regHi, 1);
+}
+
+} // namespace dws

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The benchmark-kernel interface and registry (paper Table 2).
+ *
+ * Each kernel provides: an IR program (the data-parallel code every
+ * thread executes, in the persistent-thread style: r0 = global thread
+ * id, r1 = thread count, each thread loops over a blocked range of
+ * tasks so neighboring tasks land in the same warp, per [18]), the
+ * functional-memory image, and a host-side golden reference used to
+ * validate simulated output bit-exactly.
+ *
+ * Input sizes are scaled down from the paper (which itself scaled them
+ * to fit six-hour simulations) so the full evaluation runs on one core;
+ * see DESIGN.md Section 4. `scale` selects a size preset.
+ */
+
+#ifndef DWS_KERNELS_KERNEL_HH
+#define DWS_KERNELS_KERNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/builder.hh"
+#include "isa/program.hh"
+#include "mem/memory.hh"
+#include "sim/rng.hh"
+
+namespace dws {
+
+/** Kernel input-size presets. */
+enum class KernelScale {
+    Tiny,    ///< for wide parameter sweeps
+    Default, ///< for headline results
+};
+
+/** Construction parameters common to all kernels. */
+struct KernelParams
+{
+    KernelScale scale = KernelScale::Default;
+    std::uint64_t seed = 12345;
+    /** Branch-subdivision heuristic bound (paper Section 4.3). */
+    int subdivThreshold = 50;
+};
+
+/** Abstract benchmark kernel. */
+class Kernel
+{
+  public:
+    explicit Kernel(const KernelParams &p) : params(p) {}
+    virtual ~Kernel() = default;
+
+    /** @return the benchmark's short name (FFT, Filter, ...). */
+    virtual std::string name() const = 0;
+
+    /** @return a one-line description (Table 2). */
+    virtual std::string description() const = 0;
+
+    /** @return the IR program all threads execute. */
+    virtual Program buildProgram() const = 0;
+
+    /** @return bytes of functional memory the kernel needs. */
+    virtual std::uint64_t memBytes() const = 0;
+
+    /** Fill the functional memory with the (seeded) input data. */
+    virtual void initMemory(Memory &mem) const = 0;
+
+    /**
+     * Check the simulated output against the host-side golden
+     * reference (bit-exact integer math).
+     */
+    virtual bool validate(const Memory &mem) const = 0;
+
+  protected:
+    KernelParams params;
+};
+
+/** @return the registered kernel names in paper order. */
+const std::vector<std::string> &kernelNames();
+
+/**
+ * Instantiate a kernel by name.
+ * @return nullptr for unknown names.
+ */
+std::unique_ptr<Kernel> makeKernel(const std::string &name,
+                                   const KernelParams &params);
+
+/**
+ * Emit code computing this thread's blocked task range:
+ *   regLo = tid * total / nthreads
+ *   regHi = (tid + 1) * total / nthreads
+ * Clobbers only regLo/regHi. Assumes r0 = tid, r1 = nthreads.
+ */
+void emitBlockRange(KernelBuilder &b, int regLo, int regHi,
+                    std::int64_t total);
+
+/** Fixed-point scale used by the numeric kernels (Q16). */
+constexpr int kFxShift = 16;
+constexpr std::int64_t kFxOne = std::int64_t(1) << kFxShift;
+
+/** @return (a * b) >> kFxShift, the Q16 product (host-side golden). */
+inline std::int64_t
+fxMul(std::int64_t a, std::int64_t b)
+{
+    return (a * b) >> kFxShift;
+}
+
+} // namespace dws
+
+#endif // DWS_KERNELS_KERNEL_HH

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * KMeans: unsupervised classification by map-reduce distance
+ * aggregation (paper Table 2, from MineBench; input scaled from
+ * 10,000 x 20-D to 4,000 x 20-D).
+ *
+ * Map phase: each thread assigns its block of points to the nearest
+ * center (the running-minimum update is a data-dependent branch) and
+ * accumulates per-thread partial sums. Reduce phase: partial sums are
+ * combined and centers recomputed, with kernel barriers between
+ * phases. The scratch area is sized for the maximum hardware thread
+ * count so one program serves every WPU configuration.
+ */
+
+#include "kernels/kernel.hh"
+#include "sim/rng.hh"
+
+namespace dws {
+
+namespace {
+
+/** Scratch is sized for this many hardware threads. */
+constexpr int kMaxThreads = 4096;
+
+class KMeansKernel : public Kernel
+{
+  public:
+    explicit KMeansKernel(const KernelParams &p) : Kernel(p)
+    {
+        // Line-aligned 16-D points: lanes contend for the same cache
+        // sets, reproducing the cache-pressure regime of the paper's
+        // 10,000-point runs (see EXPERIMENTS.md).
+        if (p.scale == KernelScale::Tiny) {
+            points = 2048;
+            dims = 16;
+            clusters = 8;
+            iters = 1;
+        } else {
+            points = 4096;
+            dims = 16;
+            clusters = 8;
+            iters = 2;
+        }
+    }
+
+    std::string name() const override { return "KMeans"; }
+
+    std::string
+    description() const override
+    {
+        return "k-means, " + std::to_string(points) + " points x " +
+               std::to_string(dims) + "-D, k=" +
+               std::to_string(clusters) + ", " + std::to_string(iters) +
+               " iterations";
+    }
+
+    // --- memory layout (words) -----------------------------------
+    std::int64_t ptWords() const { return std::int64_t(points) * dims; }
+    std::int64_t centBase() const { return ptWords(); }
+    std::int64_t cellsPerThread() const
+    {
+        return std::int64_t(clusters) * (dims + 1);
+    }
+    std::int64_t scratchBase() const
+    {
+        return centBase() + std::int64_t(clusters) * dims;
+    }
+    std::int64_t reduceBase() const
+    {
+        return scratchBase() + std::int64_t(kMaxThreads) *
+               cellsPerThread();
+    }
+
+    std::uint64_t
+    memBytes() const override
+    {
+        return static_cast<std::uint64_t>(
+                (reduceBase() + cellsPerThread()) * kWordBytes);
+    }
+
+    Program
+    buildProgram() const override
+    {
+        const std::int64_t d = dims;
+        const std::int64_t k = clusters;
+        const std::int64_t cpt = cellsPerThread();
+        const std::int64_t centB = centBase() * kWordBytes;
+        const std::int64_t scratchB = scratchBase() * kWordBytes;
+        const std::int64_t reduceB = reduceBase() * kWordBytes;
+
+        KernelBuilder b;
+        // myBase = scratchB + tid * cpt * 8
+        b.muli(3, 0, cpt * kWordBytes);
+        b.addi(3, 3, scratchB);
+        b.movi(2, 0); // iteration
+
+        auto itLoop = b.newLabel();
+        auto itDone = b.newLabel();
+        b.bind(itLoop);
+        b.slti(16, 2, iters);
+        b.seq(16, 16, 30);
+        b.br(16, itDone);
+
+        // --- zero my partial sums ---------------------------------
+        b.movi(4, 0);
+        auto zLoop = b.newLabel();
+        auto zDone = b.newLabel();
+        b.bind(zLoop);
+        b.slti(16, 4, cpt);
+        b.seq(16, 16, 30);
+        b.br(16, zDone);
+        b.muli(17, 4, kWordBytes);
+        b.add(17, 17, 3);
+        b.st(17, 30, 0);
+        b.addi(4, 4, 1);
+        b.jmp(zLoop);
+        b.bind(zDone);
+
+        // --- map: assign my block of points -------------------------
+        emitBlockRange(b, 5, 6, points);
+        b.mov(7, 5);
+        auto pLoop = b.newLabel();
+        auto pDone = b.newLabel();
+        b.bind(pLoop);
+        b.sle(16, 6, 7);
+        b.br(16, pDone);
+
+        b.muli(8, 7, d * kWordBytes); // point byte base
+        b.movi(10, std::int64_t(1) << 40); // best distance
+        b.movi(11, 0);                     // best cluster
+        b.movi(12, 0);                     // cluster loop
+        auto kLoop = b.newLabel();
+        auto kDone = b.newLabel();
+        auto skipUpd = b.newLabel();
+        b.bind(kLoop);
+        b.slti(16, 12, k);
+        b.seq(16, 16, 30);
+        b.br(16, kDone);
+        b.muli(15, 12, d * kWordBytes);
+        b.addi(15, 15, centB);      // center byte base
+        b.movi(13, 0);              // dist
+        b.movi(14, 0);              // dim loop
+        auto dLoop = b.newLabel();
+        auto dDone = b.newLabel();
+        b.bind(dLoop);
+        b.slti(16, 14, d);
+        b.seq(16, 16, 30);
+        b.br(16, dDone);
+        b.muli(17, 14, kWordBytes);
+        b.add(18, 17, 8);
+        b.ld(19, 18, 0);            // x
+        b.add(18, 17, 15);
+        b.ld(20, 18, 0);            // c
+        b.sub(19, 19, 20);
+        b.mul(19, 19, 19);
+        b.add(13, 13, 19);
+        b.addi(14, 14, 1);
+        b.jmp(dLoop);
+        b.bind(dDone);
+        // running minimum (data-dependent branch)
+        b.slt(16, 13, 10);
+        b.seq(16, 16, 30);
+        b.br(16, skipUpd);
+        b.mov(10, 13);
+        b.mov(11, 12);
+        b.bind(skipUpd);
+        b.addi(12, 12, 1);
+        b.jmp(kLoop);
+        b.bind(kDone);
+
+        // accumulate point into partial[bestK]
+        b.muli(21, 11, (d + 1) * kWordBytes);
+        b.add(21, 21, 3);           // acc base
+        b.movi(14, 0);
+        auto aLoop = b.newLabel();
+        auto aDone = b.newLabel();
+        b.bind(aLoop);
+        b.slti(16, 14, d);
+        b.seq(16, 16, 30);
+        b.br(16, aDone);
+        b.muli(17, 14, kWordBytes);
+        b.add(18, 17, 8);
+        b.ld(19, 18, 0);
+        b.add(18, 17, 21);
+        b.ld(20, 18, 0);
+        b.add(20, 20, 19);
+        b.st(18, 20, 0);
+        b.addi(14, 14, 1);
+        b.jmp(aLoop);
+        b.bind(aDone);
+        b.ld(20, 21, d * kWordBytes);
+        b.addi(20, 20, 1);
+        b.st(21, 20, d * kWordBytes); // count++
+
+        b.addi(7, 7, 1);
+        b.jmp(pLoop);
+        b.bind(pDone);
+        b.bar();
+
+        // --- reduce partial sums over threads ------------------------
+        emitBlockRange(b, 5, 6, cpt);
+        b.mov(4, 5);
+        auto rLoop = b.newLabel();
+        auto rDone = b.newLabel();
+        b.bind(rLoop);
+        b.sle(16, 6, 4);
+        b.br(16, rDone);
+        b.movi(19, 0); // sum
+        b.movi(20, 0); // thread index
+        auto sLoop = b.newLabel();
+        auto sDone = b.newLabel();
+        b.bind(sLoop);
+        b.slt(16, 20, 1);
+        b.seq(16, 16, 30);
+        b.br(16, sDone);
+        b.muli(17, 20, cpt * kWordBytes);
+        b.addi(17, 17, scratchB);
+        b.muli(18, 4, kWordBytes);
+        b.add(17, 17, 18);
+        b.ld(21, 17, 0);
+        b.add(19, 19, 21);
+        b.addi(20, 20, 1);
+        b.jmp(sLoop);
+        b.bind(sDone);
+        b.muli(17, 4, kWordBytes);
+        b.addi(17, 17, reduceB);
+        b.st(17, 19, 0);
+        b.addi(4, 4, 1);
+        b.jmp(rLoop);
+        b.bind(rDone);
+        b.bar();
+
+        // --- recompute centers ----------------------------------------
+        emitBlockRange(b, 5, 6, k * d);
+        b.mov(4, 5);
+        auto uLoop = b.newLabel();
+        auto uDone = b.newLabel();
+        auto keepOld = b.newLabel();
+        b.bind(uLoop);
+        b.sle(16, 6, 4);
+        b.br(16, uDone);
+        b.movi(17, d);
+        b.div(18, 4, 17);           // cluster
+        b.rem(19, 4, 17);           // dim
+        // count = reduce[cluster*(d+1) + d]
+        b.muli(20, 18, (d + 1) * kWordBytes);
+        b.addi(20, 20, reduceB);
+        b.ld(21, 20, d * kWordBytes);
+        b.seq(16, 21, 30);
+        b.br(16, keepOld);
+        // center = sum / count
+        b.muli(22, 19, kWordBytes);
+        b.add(22, 22, 20);
+        b.ld(23, 22, 0);
+        b.div(23, 23, 21);
+        b.muli(24, 4, kWordBytes);
+        b.addi(24, 24, centB);
+        b.st(24, 23, 0);
+        b.bind(keepOld);
+        b.addi(4, 4, 1);
+        b.jmp(uLoop);
+        b.bind(uDone);
+        b.bar();
+
+        b.addi(2, 2, 1);
+        b.jmp(itLoop);
+        b.bind(itDone);
+        b.halt();
+        return b.build("KMeans", params.subdivThreshold);
+    }
+
+    void
+    initMemory(Memory &mem) const override
+    {
+        mem.resize(memBytes());
+        Rng rng(params.seed + 5);
+        for (std::int64_t i = 0; i < ptWords(); i++)
+            mem.writeWord(static_cast<std::uint64_t>(i),
+                          rng.nextRange(0, 1000));
+        // Initial centers: the first `clusters` points.
+        for (int c = 0; c < clusters; c++)
+            for (int j = 0; j < dims; j++)
+                mem.writeWord(static_cast<std::uint64_t>(
+                                      centBase() + c * dims + j),
+                              mem.readWord(static_cast<std::uint64_t>(
+                                      c * dims + j)));
+    }
+
+    bool
+    validate(const Memory &mem) const override
+    {
+        Rng rng(params.seed + 5);
+        std::vector<std::int64_t> pts(static_cast<size_t>(ptWords()));
+        for (auto &v : pts)
+            v = rng.nextRange(0, 1000);
+        std::vector<std::int64_t> cent(
+                static_cast<size_t>(clusters) * dims);
+        for (int c = 0; c < clusters; c++)
+            for (int j = 0; j < dims; j++)
+                cent[static_cast<size_t>(c * dims + j)] =
+                        pts[static_cast<size_t>(c * dims + j)];
+
+        for (int it = 0; it < iters; it++) {
+            std::vector<std::int64_t> sums(
+                    static_cast<size_t>(clusters) * dims, 0);
+            std::vector<std::int64_t> counts(
+                    static_cast<size_t>(clusters), 0);
+            for (int p = 0; p < points; p++) {
+                std::int64_t best = std::int64_t(1) << 40;
+                int bestK = 0;
+                for (int c = 0; c < clusters; c++) {
+                    std::int64_t dist = 0;
+                    for (int j = 0; j < dims; j++) {
+                        const std::int64_t diff =
+                                pts[static_cast<size_t>(p * dims + j)] -
+                                cent[static_cast<size_t>(c * dims + j)];
+                        dist += diff * diff;
+                    }
+                    if (dist < best) {
+                        best = dist;
+                        bestK = c;
+                    }
+                }
+                for (int j = 0; j < dims; j++)
+                    sums[static_cast<size_t>(bestK * dims + j)] +=
+                            pts[static_cast<size_t>(p * dims + j)];
+                counts[static_cast<size_t>(bestK)]++;
+            }
+            for (int c = 0; c < clusters; c++) {
+                if (counts[static_cast<size_t>(c)] == 0)
+                    continue;
+                for (int j = 0; j < dims; j++)
+                    cent[static_cast<size_t>(c * dims + j)] =
+                            sums[static_cast<size_t>(c * dims + j)] /
+                            counts[static_cast<size_t>(c)];
+            }
+        }
+        for (size_t i = 0; i < cent.size(); i++)
+            if (mem.readWord(static_cast<std::uint64_t>(centBase()) + i)
+                != cent[i])
+                return false;
+        return true;
+    }
+
+  private:
+    int points;
+    int dims;
+    int clusters;
+    int iters;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeKMeans(const KernelParams &p)
+{
+    return std::make_unique<KMeansKernel>(p);
+}
+
+} // namespace dws

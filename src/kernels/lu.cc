@@ -1,0 +1,196 @@
+/**
+ * @file
+ * LU: dense LU decomposition without pivoting on a diagonally dominant
+ * Q16 fixed-point matrix (paper Table 2, from Splash2; input scaled
+ * from 300x300 to 192x192).
+ *
+ * Right-looking elimination: step k updates the trailing rows in
+ * parallel (rows blocked over threads), with a kernel barrier between
+ * steps. The shrinking row range gives the loop-bound divergence and
+ * alternating access patterns characteristic of LU.
+ */
+
+#include "kernels/kernel.hh"
+#include "sim/rng.hh"
+
+namespace dws {
+
+namespace {
+
+class LuKernel : public Kernel
+{
+  public:
+    explicit LuKernel(const KernelParams &p) : Kernel(p)
+    {
+        dim = (p.scale == KernelScale::Tiny) ? 160 : 192;
+    }
+
+    std::string name() const override { return "LU"; }
+
+    std::string
+    description() const override
+    {
+        return "LU decomposition of a " + std::to_string(dim) + "x" +
+               std::to_string(dim) + " Q16 matrix";
+    }
+
+    std::uint64_t
+    memBytes() const override
+    {
+        return std::uint64_t(dim) * dim * kWordBytes;
+    }
+
+    Program
+    buildProgram() const override
+    {
+        const std::int64_t m = dim;
+
+        KernelBuilder b;
+        b.movi(2, 0); // k
+
+        auto kLoop = b.newLabel();
+        auto kDone = b.newLabel();
+        b.bind(kLoop);
+        b.slti(8, 2, m - 1);
+        b.seq(8, 8, 30);
+        b.br(8, kDone);
+
+        // rows = m-1-k ; lo = k+1 + tid*rows/nt ; hi likewise for tid+1
+        b.movi(3, m - 1);
+        b.sub(3, 3, 2);             // rows
+        b.mul(4, 0, 3);
+        b.div(4, 4, 1);
+        b.add(4, 4, 2);
+        b.addi(4, 4, 1);            // lo
+        b.addi(5, 0, 1);
+        b.mul(5, 5, 3);
+        b.div(5, 5, 1);
+        b.add(5, 5, 2);
+        b.addi(5, 5, 1);            // hi
+
+        // pivot address: &A[k][k]
+        b.muli(9, 2, m);
+        b.add(9, 9, 2);
+        b.muli(9, 9, kWordBytes);   // r9 = pivot byte address
+        b.ld(10, 9, 0);             // pivot value
+
+        b.mov(6, 4); // i = lo
+        auto iLoop = b.newLabel();
+        auto iDone = b.newLabel();
+        b.bind(iLoop);
+        b.sle(11, 5, 6);
+        b.br(11, iDone);
+
+        // l = (A[i][k] << 16) / pivot; A[i][k] = l
+        b.muli(12, 6, m);
+        b.add(13, 12, 2);
+        b.muli(13, 13, kWordBytes); // &A[i][k]
+        b.ld(14, 13, 0);
+        b.shli(14, 14, kFxShift);
+        b.div(14, 14, 10);          // l
+        b.st(13, 14, 0);
+
+        // row base addresses for the j loop
+        b.muli(15, 12, kWordBytes); // &A[i][0]
+        b.muli(16, 2, m);
+        b.muli(16, 16, kWordBytes); // &A[k][0]
+
+        b.addi(7, 2, 1); // j = k+1
+        auto jLoop = b.newLabel();
+        auto jDone = b.newLabel();
+        b.bind(jLoop);
+        b.slti(17, 7, m);
+        b.seq(17, 17, 30);
+        b.br(17, jDone);
+
+        b.muli(18, 7, kWordBytes);
+        b.add(19, 15, 18);          // &A[i][j]
+        b.add(20, 16, 18);          // &A[k][j]
+        b.ld(21, 20, 0);
+        b.mul(21, 21, 14);
+        b.shri(21, 21, kFxShift);   // (l * A[k][j]) >> 16
+        b.ld(22, 19, 0);
+        b.sub(22, 22, 21);
+        b.st(19, 22, 0);
+
+        b.addi(7, 7, 1);
+        b.jmp(jLoop);
+        b.bind(jDone);
+
+        b.addi(6, 6, 1);
+        b.jmp(iLoop);
+        b.bind(iDone);
+
+        b.bar();
+        b.addi(2, 2, 1);
+        b.jmp(kLoop);
+
+        b.bind(kDone);
+        b.halt();
+        return b.build("LU", params.subdivThreshold);
+    }
+
+    void
+    initMemory(Memory &mem) const override
+    {
+        mem.resize(memBytes());
+        const std::vector<std::int64_t> a = makeInput();
+        for (size_t i = 0; i < a.size(); i++)
+            mem.writeWord(i, a[i]);
+    }
+
+    bool
+    validate(const Memory &mem) const override
+    {
+        std::vector<std::int64_t> a = makeInput();
+        const int m = dim;
+        for (int k = 0; k < m - 1; k++) {
+            const std::int64_t pivot =
+                    a[static_cast<size_t>(k * m + k)];
+            for (int i = k + 1; i < m; i++) {
+                const std::int64_t l =
+                        pivot == 0
+                        ? 0
+                        : (a[static_cast<size_t>(i * m + k)]
+                           << kFxShift) / pivot;
+                a[static_cast<size_t>(i * m + k)] = l;
+                for (int j = k + 1; j < m; j++) {
+                    a[static_cast<size_t>(i * m + j)] -=
+                            (l * a[static_cast<size_t>(k * m + j)]) >>
+                            kFxShift;
+                }
+            }
+        }
+        for (size_t i = 0; i < a.size(); i++)
+            if (mem.readWord(i) != a[i])
+                return false;
+        return true;
+    }
+
+  private:
+    std::vector<std::int64_t>
+    makeInput() const
+    {
+        Rng rng(params.seed + 2);
+        std::vector<std::int64_t> a(static_cast<size_t>(dim) * dim);
+        for (auto &v : a)
+            v = rng.nextRange(-kFxOne / 4, kFxOne / 4);
+        // Diagonal dominance keeps the fixed-point math stable.
+        for (int i = 0; i < dim; i++)
+            a[static_cast<size_t>(i * dim + i)] =
+                    kFxOne * 4 + rng.nextRange(0, kFxOne);
+        return a;
+    }
+
+    int dim;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeLu(const KernelParams &p)
+{
+    return std::make_unique<LuKernel>(p);
+}
+
+} // namespace dws

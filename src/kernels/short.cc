@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Short: winning path search for chess by dynamic programming (paper
+ * Table 2: "Neighborhood calculation based on the previous row"; input
+ * scaled from 6 steps x 150,000 choices to 6 x 30,000).
+ *
+ * Each DP row takes the best of three neighbors from the previous row.
+ * The neighbor maxima are implemented with data-dependent branches,
+ * reproducing Short's very high divergent-branch fraction (Table 1:
+ * 22%).
+ */
+
+#include "kernels/kernel.hh"
+#include "sim/rng.hh"
+
+namespace dws {
+
+namespace {
+
+class ShortKernel : public Kernel
+{
+  public:
+    explicit ShortKernel(const KernelParams &p) : Kernel(p)
+    {
+        // A non-power-of-two choice count keeps the blocked per-thread
+        // ranges unequal, so lanes drift out of cache-line phase and
+        // memory divergence arises naturally (as it does at the paper's
+        // 150,000-choice scale).
+        if (p.scale == KernelScale::Tiny) {
+            steps = 3;
+            choices = 30000;
+        } else {
+            steps = 6;
+            choices = 30000;
+        }
+    }
+
+    std::string name() const override { return "Short"; }
+
+    std::string
+    description() const override
+    {
+        return "DP winning-path search, " + std::to_string(steps) +
+               " steps x " + std::to_string(choices) + " choices";
+    }
+
+    std::uint64_t
+    memBytes() const override
+    {
+        return (std::uint64_t(steps) * choices + 2u * choices) *
+               kWordBytes;
+    }
+
+    Program
+    buildProgram() const override
+    {
+        const std::int64_t c = choices;
+        const std::int64_t cb = c * kWordBytes;
+        const std::int64_t scoreBase =
+                std::int64_t(steps) * c * kWordBytes;
+
+        KernelBuilder b;
+        emitBlockRange(b, 3, 4, c);
+        b.movi(2, 1); // t
+
+        auto rowLoop = b.newLabel();
+        auto rowDone = b.newLabel();
+        b.bind(rowLoop);
+        b.slti(16, 2, steps + 1);
+        b.seq(16, 16, 30);
+        b.br(16, rowDone);
+
+        // prev/cur score row byte bases from parity of t
+        b.addi(6, 2, -1);
+        b.andi(6, 6, 1);
+        b.muli(6, 6, cb);
+        b.addi(6, 6, scoreBase);    // prev
+        b.andi(7, 2, 1);
+        b.muli(7, 7, cb);
+        b.addi(7, 7, scoreBase);    // cur
+
+        b.mov(5, 3); // j = lo
+        auto jLoop = b.newLabel();
+        auto jDone = b.newLabel();
+        auto skipL = b.newLabel();
+        auto skipR = b.newLabel();
+        b.bind(jLoop);
+        b.sle(16, 4, 5);
+        b.br(16, jDone);
+
+        b.muli(8, 5, kWordBytes);   // j byte offset
+        b.add(9, 8, 6);             // &prev[j]
+        b.ld(10, 9, 0);             // best = prev[j]
+
+        // left neighbor (branch-implemented max)
+        b.seq(16, 5, 30);           // j == 0 ?
+        b.br(16, skipL);
+        b.ld(11, 9, -kWordBytes);
+        b.sle(16, 11, 10);
+        b.br(16, skipL);
+        b.mov(10, 11);
+        b.bind(skipL);
+
+        // right neighbor
+        b.slti(16, 5, c - 1);
+        b.seq(16, 16, 30);
+        b.br(16, skipR);
+        b.ld(11, 9, kWordBytes);
+        b.sle(16, 11, 10);
+        b.br(16, skipR);
+        b.mov(10, 11);
+        b.bind(skipR);
+
+        // cur[j] = best + cost[(t-1)*c + j]
+        b.addi(12, 2, -1);
+        b.muli(12, 12, cb);
+        b.add(12, 12, 8);
+        b.ld(13, 12, 0);
+        b.add(10, 10, 13);
+        b.add(14, 8, 7);
+        b.st(14, 10, 0);
+
+        b.addi(5, 5, 1);
+        b.jmp(jLoop);
+        b.bind(jDone);
+
+        b.bar();
+        b.addi(2, 2, 1);
+        b.jmp(rowLoop);
+
+        b.bind(rowDone);
+        b.halt();
+        return b.build("Short", params.subdivThreshold);
+    }
+
+    void
+    initMemory(Memory &mem) const override
+    {
+        mem.resize(memBytes());
+        Rng rng(params.seed + 4);
+        const std::uint64_t costWords =
+                std::uint64_t(steps) * choices;
+        for (std::uint64_t i = 0; i < costWords; i++)
+            mem.writeWord(i, rng.nextRange(0, 1000));
+        for (std::uint64_t i = 0; i < 2u * choices; i++)
+            mem.writeWord(costWords + i, 0);
+    }
+
+    bool
+    validate(const Memory &mem) const override
+    {
+        Rng rng(params.seed + 4);
+        std::vector<std::int64_t> cost(
+                static_cast<size_t>(steps) * choices);
+        for (auto &v : cost)
+            v = rng.nextRange(0, 1000);
+        std::vector<std::int64_t> prev(static_cast<size_t>(choices), 0);
+        std::vector<std::int64_t> cur(static_cast<size_t>(choices), 0);
+        for (int t = 1; t <= steps; t++) {
+            for (int j = 0; j < choices; j++) {
+                std::int64_t best = prev[static_cast<size_t>(j)];
+                if (j > 0 && prev[static_cast<size_t>(j - 1)] > best)
+                    best = prev[static_cast<size_t>(j - 1)];
+                if (j < choices - 1 &&
+                    prev[static_cast<size_t>(j + 1)] > best)
+                    best = prev[static_cast<size_t>(j + 1)];
+                cur[static_cast<size_t>(j)] =
+                        best + cost[static_cast<size_t>(
+                                (t - 1) * choices + j)];
+            }
+            std::swap(prev, cur);
+        }
+        // After the loop `prev` holds row `steps`, stored in the
+        // parity-(steps&1) buffer.
+        const std::uint64_t base =
+                std::uint64_t(steps) * choices +
+                std::uint64_t(steps % 2) * choices;
+        for (int j = 0; j < choices; j++)
+            if (mem.readWord(base + static_cast<std::uint64_t>(j)) !=
+                prev[static_cast<size_t>(j)])
+                return false;
+        return true;
+    }
+
+  private:
+    int steps;
+    int choices;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeShort(const KernelParams &p)
+{
+    return std::make_unique<ShortKernel>(p);
+}
+
+} // namespace dws

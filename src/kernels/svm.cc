@@ -1,0 +1,169 @@
+/**
+ * @file
+ * SVM: support-vector-machine kernel computation (paper Table 2, from
+ * MineBench; input scaled from 100,000 x 20-D to 4,000 x 20-D).
+ *
+ * Each thread computes dot products of its block of sample vectors
+ * against the weight vector, with a rare clipping branch (large margins
+ * are compressed) that reproduces SVM's small divergent-branch
+ * fraction (Table 1: 4.3%).
+ */
+
+#include "kernels/kernel.hh"
+#include "sim/rng.hh"
+
+namespace dws {
+
+namespace {
+
+constexpr std::int64_t kClipThreshold = 20000;
+
+class SvmKernel : public Kernel
+{
+  public:
+    explicit SvmKernel(const KernelParams &p) : Kernel(p)
+    {
+        // Line-aligned 16-D records: lanes working on vectors a fixed
+        // stride apart contend for the same cache sets, reproducing the
+        // memory-bound, divergence-heavy behavior the paper measures at
+        // its 100,000-vector scale (see EXPERIMENTS.md on this
+        // substitution).
+        if (p.scale == KernelScale::Tiny) {
+            vectors = 2048;
+            dims = 16;
+        } else {
+            vectors = 4096;
+            dims = 16;
+        }
+    }
+
+    std::string name() const override { return "SVM"; }
+
+    std::string
+    description() const override
+    {
+        return "SVM kernel computation, " + std::to_string(vectors) +
+               " vectors x " + std::to_string(dims) + "-D";
+    }
+
+    std::uint64_t
+    memBytes() const override
+    {
+        return (std::uint64_t(vectors) * dims + dims + vectors) *
+               kWordBytes;
+    }
+
+    Program
+    buildProgram() const override
+    {
+        const std::int64_t d = dims;
+        const std::int64_t wBase =
+                std::int64_t(vectors) * d * kWordBytes;
+        const std::int64_t outBase = wBase + d * kWordBytes;
+
+        KernelBuilder b;
+        emitBlockRange(b, 2, 3, vectors);
+        b.mov(4, 2);
+
+        auto vLoop = b.newLabel();
+        auto vDone = b.newLabel();
+        b.bind(vLoop);
+        b.sle(16, 3, 4);
+        b.br(16, vDone);
+
+        b.muli(5, 4, d * kWordBytes); // vector byte base
+        b.movi(6, 0);                 // dot
+        b.movi(7, 0);                 // dim
+        auto dLoop = b.newLabel();
+        auto dDone = b.newLabel();
+        b.bind(dLoop);
+        b.slti(16, 7, d);
+        b.seq(16, 16, 30);
+        b.br(16, dDone);
+        b.muli(8, 7, kWordBytes);
+        b.add(9, 8, 5);
+        b.ld(10, 9, 0);              // x
+        b.addi(9, 8, 0);
+        b.addi(9, 9, wBase);
+        b.ld(11, 9, 0);              // w
+        b.mul(10, 10, 11);
+        b.add(6, 6, 10);
+        b.addi(7, 7, 1);
+        b.jmp(dLoop);
+        b.bind(dDone);
+
+        // Rare clipping branch: compress large margins.
+        auto noClip = b.newLabel();
+        b.slti(16, 6, kClipThreshold + 1);
+        b.br(16, noClip);
+        b.addi(12, 6, -kClipThreshold);
+        b.shri(12, 12, 1);
+        b.movi(6, kClipThreshold);
+        b.add(6, 6, 12);
+        b.bind(noClip);
+
+        b.muli(13, 4, kWordBytes);
+        b.addi(13, 13, outBase);
+        b.st(13, 6, 0);
+
+        b.addi(4, 4, 1);
+        b.jmp(vLoop);
+        b.bind(vDone);
+        b.halt();
+        return b.build("SVM", params.subdivThreshold);
+    }
+
+    void
+    initMemory(Memory &mem) const override
+    {
+        mem.resize(memBytes());
+        Rng rng(params.seed + 6);
+        const std::uint64_t xWords = std::uint64_t(vectors) * dims;
+        for (std::uint64_t i = 0; i < xWords; i++)
+            mem.writeWord(i, rng.nextRange(-100, 100));
+        for (int j = 0; j < dims; j++)
+            mem.writeWord(xWords + static_cast<std::uint64_t>(j),
+                          rng.nextRange(-100, 100));
+    }
+
+    bool
+    validate(const Memory &mem) const override
+    {
+        Rng rng(params.seed + 6);
+        std::vector<std::int64_t> x(
+                static_cast<size_t>(vectors) * dims);
+        for (auto &v : x)
+            v = rng.nextRange(-100, 100);
+        std::vector<std::int64_t> w(static_cast<size_t>(dims));
+        for (auto &v : w)
+            v = rng.nextRange(-100, 100);
+        const std::uint64_t outBase =
+                std::uint64_t(vectors) * dims + dims;
+        for (int i = 0; i < vectors; i++) {
+            std::int64_t dot = 0;
+            for (int j = 0; j < dims; j++)
+                dot += x[static_cast<size_t>(i * dims + j)] *
+                       w[static_cast<size_t>(j)];
+            if (dot > kClipThreshold)
+                dot = kClipThreshold + ((dot - kClipThreshold) >> 1);
+            if (mem.readWord(outBase + static_cast<std::uint64_t>(i)) !=
+                dot)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    int vectors;
+    int dims;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeSvm(const KernelParams &p)
+{
+    return std::make_unique<SvmKernel>(p);
+}
+
+} // namespace dws

@@ -1,0 +1,110 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+const char *
+coherStateName(CoherState s)
+{
+    switch (s) {
+      case CoherState::Invalid:   return "I";
+      case CoherState::Shared:    return "S";
+      case CoherState::Exclusive: return "E";
+      case CoherState::Modified:  return "M";
+    }
+    return "?";
+}
+
+CacheArray::CacheArray(const CacheConfig &cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name))
+{
+    const std::uint64_t nLines = cfg_.sizeBytes / cfg_.lineBytes;
+    if (nLines == 0)
+        fatal("cache '%s' has no lines", name_.c_str());
+    if (cfg_.assoc == 0) {
+        sets_ = 1;
+        ways_ = static_cast<int>(nLines);
+    } else {
+        sets_ = cfg_.numSets();
+        ways_ = cfg_.assoc;
+    }
+    if ((sets_ & (sets_ - 1)) != 0)
+        fatal("cache '%s': set count %d is not a power of two",
+              name_.c_str(), sets_);
+    lines_.resize(static_cast<size_t>(sets_) * ways_);
+}
+
+int
+CacheArray::setIndex(Addr line) const
+{
+    return static_cast<int>((line / cfg_.lineBytes) &
+                            static_cast<Addr>(sets_ - 1));
+}
+
+CacheLine *
+CacheArray::find(Addr line)
+{
+    CacheLine *set = &lines_[static_cast<size_t>(setIndex(line)) * ways_];
+    for (int w = 0; w < ways_; w++) {
+        if (set[w].valid() && set[w].tag == line)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr line) const
+{
+    return const_cast<CacheArray *>(this)->find(line);
+}
+
+CacheLine *
+CacheArray::allocate(Addr line, Cycle now,
+                     const std::function<void(Addr, CoherState)> &evictCb)
+{
+    CacheLine *set = &lines_[static_cast<size_t>(setIndex(line)) * ways_];
+    CacheLine *victim = nullptr;
+    for (int w = 0; w < ways_; w++) {
+        CacheLine &l = set[w];
+        if (!l.valid()) {
+            victim = &l;
+            break;
+        }
+        if (l.readyAt > now)
+            continue; // pending fill: pinned
+        if (!victim || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    if (!victim)
+        return nullptr;
+    if (victim->valid() && evictCb)
+        evictCb(victim->tag, victim->state);
+    *victim = CacheLine{};
+    victim->tag = line;
+    victim->lastUse = now + 1;
+    return victim;
+}
+
+CoherState
+CacheArray::invalidate(Addr line)
+{
+    CacheLine *l = find(line);
+    if (!l)
+        return CoherState::Invalid;
+    const CoherState prior = l->state;
+    *l = CacheLine{};
+    return prior;
+}
+
+int
+CacheArray::validLines() const
+{
+    int n = 0;
+    for (const auto &l : lines_)
+        if (l.valid())
+            n++;
+    return n;
+}
+
+} // namespace dws

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A set-associative, LRU, write-back cache tag array with MESI state.
+ *
+ * Used for L1 I-caches (states degenerate to Shared/Invalid), banked L1
+ * D-caches, and the shared, inclusive L2. The L2 additionally uses the
+ * per-line directory fields (sharer bitmask and exclusive owner) for the
+ * MESI directory protocol (paper Section 3.3).
+ */
+
+#ifndef DWS_MEM_CACHE_HH
+#define DWS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** MESI coherence states. */
+enum class CoherState : std::uint8_t {
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** @return a printable name of a coherence state. */
+const char *coherStateName(CoherState s);
+
+/** One cache line's tags and metadata. */
+struct CacheLine
+{
+    Addr tag = 0;                       ///< full line address
+    CoherState state = CoherState::Invalid;
+    Cycle lastUse = 0;                  ///< LRU timestamp
+    Cycle readyAt = 0;                  ///< fill completion time (pending)
+
+    // Directory state, used by the L2 only.
+    std::uint32_t sharers = 0;          ///< bitmask of WPUs with a copy
+    std::int32_t owner = -1;            ///< WPU holding the line M/E
+
+    bool valid() const { return state != CoherState::Invalid; }
+    bool writable() const
+    {
+        return state == CoherState::Modified ||
+               state == CoherState::Exclusive;
+    }
+};
+
+/** A set-associative tag array. */
+class CacheArray
+{
+  public:
+    /**
+     * @param cfg  geometry (assoc == 0 means fully associative)
+     * @param name for error messages
+     */
+    CacheArray(const CacheConfig &cfg, std::string name);
+
+    /** @return the line address containing addr. */
+    Addr lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    }
+
+    /** @return the D-cache bank serving the given line address. */
+    int bankOf(Addr line) const
+    {
+        return static_cast<int>((line / cfg_.lineBytes) %
+                                static_cast<unsigned>(cfg_.banks));
+    }
+
+    /**
+     * Find a present (non-Invalid) line.
+     * @return pointer into the array, or nullptr.
+     */
+    CacheLine *find(Addr line);
+    const CacheLine *find(Addr line) const;
+
+    /**
+     * Allocate a way for the given line, evicting the LRU victim if
+     * needed. Lines whose fill is still pending (readyAt > now) are
+     * pinned and cannot be victimized.
+     *
+     * @param line    line address to install
+     * @param now     current cycle (for pinning and LRU)
+     * @param evictCb invoked with the victim's (address, state) before
+     *                it is overwritten; may be nullptr
+     * @return the installed line (state Invalid, tag set), or nullptr if
+     *         every way in the set is pinned
+     */
+    CacheLine *allocate(Addr line, Cycle now,
+                        const std::function<void(Addr, CoherState)> &evictCb);
+
+    /** Mark a line most-recently-used. */
+    void touch(CacheLine *line, Cycle now) { line->lastUse = now + 1; }
+
+    /** Invalidate the line if present. @return its prior state. */
+    CoherState invalidate(Addr line);
+
+    /** @return geometry. */
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Per-cache statistics (updated by the memory system). */
+    CacheStats stats;
+
+    /** @return number of valid lines (for tests). */
+    int validLines() const;
+
+    /** @return cache name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    int setIndex(Addr line) const;
+
+    CacheConfig cfg_;
+    std::string name_;
+    int ways_;
+    int sets_;
+    std::vector<CacheLine> lines_; ///< sets_ x ways_
+};
+
+} // namespace dws
+
+#endif // DWS_MEM_CACHE_HH

@@ -1,0 +1,16 @@
+#include "mem/crossbar.hh"
+
+namespace dws {
+
+Cycle
+Crossbar::transfer(Cycle earliest, int bytes)
+{
+    const Cycle start = earliest > nextFree ? earliest : nextFree;
+    const auto occupancy = static_cast<Cycle>(
+            (bytes + bytesPerCycle - 1.0) / bytesPerCycle);
+    nextFree = start + (occupancy ? occupancy : 1);
+    transfers++;
+    return nextFree + latency;
+}
+
+} // namespace dws

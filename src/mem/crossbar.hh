@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A bandwidth-limited crossbar between the private L1s and the shared L2.
+ *
+ * Modeled as a fixed per-hop latency plus a next-free-time bandwidth
+ * account for line-sized data transfers (paper Table 3: 300 MHz,
+ * 57 GB/s, here expressed in WPU cycles).
+ */
+
+#ifndef DWS_MEM_CROSSBAR_HH
+#define DWS_MEM_CROSSBAR_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Crossbar timing model. */
+class Crossbar
+{
+  public:
+    explicit Crossbar(const MemConfig &cfg)
+        : latency(cfg.xbarLatency), bytesPerCycle(cfg.xbarBytesPerCycle)
+    {}
+
+    /** @return the one-way traversal latency in cycles. */
+    int hopLatency() const { return latency; }
+
+    /**
+     * Reserve bandwidth for a data transfer of the given size starting
+     * no earlier than `earliest`.
+     *
+     * @return the cycle at which the transfer completes (including the
+     *         hop latency).
+     */
+    Cycle transfer(Cycle earliest, int bytes);
+
+    /** Total data transfers performed. */
+    std::uint64_t transfers = 0;
+
+  private:
+    int latency;
+    double bytesPerCycle;
+    Cycle nextFree = 0;
+};
+
+} // namespace dws
+
+#endif // DWS_MEM_CROSSBAR_HH

@@ -1,0 +1,67 @@
+#include "mem/directory.hh"
+
+namespace dws {
+
+namespace {
+std::uint32_t
+bit(WpuId w)
+{
+    return 1u << static_cast<unsigned>(w);
+}
+} // namespace
+
+int
+Directory::sharerCount(const CacheLine &line)
+{
+    return __builtin_popcount(line.sharers);
+}
+
+DirOutcome
+Directory::getS(CacheLine &line, WpuId wpu)
+{
+    DirOutcome out;
+    if (line.owner >= 0 && line.owner != wpu) {
+        // Remote M/E owner: recall and downgrade to Shared.
+        out.recall = true;
+        out.dirtyRecall = true; // owner may hold M; charge the data hop
+        line.owner = -1;
+    }
+    const bool alone = line.sharers == 0 ||
+                       line.sharers == bit(wpu);
+    line.sharers |= bit(wpu);
+    if (alone && line.owner < 0) {
+        out.grant = CoherState::Exclusive;
+        line.owner = wpu;
+    } else {
+        out.grant = CoherState::Shared;
+        // A downgraded owner keeps a Shared copy; previous owner cleared.
+    }
+    return out;
+}
+
+DirOutcome
+Directory::getX(CacheLine &line, WpuId wpu)
+{
+    DirOutcome out;
+    if (line.owner >= 0 && line.owner != wpu) {
+        out.recall = true;
+        out.dirtyRecall = true;
+        line.owner = -1;
+    }
+    const std::uint32_t others = line.sharers & ~bit(wpu);
+    out.invalidations = __builtin_popcount(others);
+    line.sharers = bit(wpu);
+    line.owner = wpu;
+    out.grant = CoherState::Modified;
+    return out;
+}
+
+void
+Directory::removeSharer(CacheLine &line, WpuId wpu)
+{
+    line.sharers &= ~bit(wpu);
+    if (line.owner == wpu)
+        line.owner = -1;
+}
+
+} // namespace dws

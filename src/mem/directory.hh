@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Directory bookkeeping helpers for the MESI protocol at the L2.
+ *
+ * The directory state itself lives in the L2's CacheLine entries
+ * (sharers bitmask + exclusive owner); this class wraps the transitions
+ * so memsys.cc stays readable and the protocol is unit-testable.
+ */
+
+#ifndef DWS_MEM_DIRECTORY_HH
+#define DWS_MEM_DIRECTORY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Result of a directory transition: what the requester must pay for. */
+struct DirOutcome
+{
+    /** A recall (probe of a remote M/E owner) was needed. */
+    bool recall = false;
+    /** The recalled owner held the line Modified (dirty data motion). */
+    bool dirtyRecall = false;
+    /** Number of sharer invalidations sent (GetX only). */
+    int invalidations = 0;
+    /** Coherence state granted to the requester's L1 copy. */
+    CoherState grant = CoherState::Shared;
+};
+
+/** MESI directory transition functions over an L2 line. */
+class Directory
+{
+  public:
+    /**
+     * Apply a GetS (read) from `wpu` to the directory state of `line`.
+     * Downgrades a remote exclusive owner to Shared if present.
+     */
+    static DirOutcome getS(CacheLine &line, WpuId wpu);
+
+    /**
+     * Apply a GetX (write/upgrade) from `wpu`: invalidates all other
+     * sharers and recalls a remote owner; grants Modified.
+     */
+    static DirOutcome getX(CacheLine &line, WpuId wpu);
+
+    /** Remove a WPU from the sharer set (L1 eviction / PutS / PutM). */
+    static void removeSharer(CacheLine &line, WpuId wpu);
+
+    /** @return true if the WPU is recorded as holding the line. */
+    static bool isSharer(const CacheLine &line, WpuId wpu)
+    {
+        return (line.sharers >> static_cast<unsigned>(wpu)) & 1u;
+    }
+
+    /** @return number of recorded sharers. */
+    static int sharerCount(const CacheLine &line);
+};
+
+} // namespace dws
+
+#endif // DWS_MEM_DIRECTORY_HH

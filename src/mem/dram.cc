@@ -1,0 +1,16 @@
+#include "mem/dram.hh"
+
+namespace dws {
+
+Cycle
+Dram::access(Cycle earliest, int bytes)
+{
+    const Cycle start = earliest > nextFree ? earliest : nextFree;
+    const auto occupancy = static_cast<Cycle>(
+            (bytes + bytesPerCycle - 1.0) / bytesPerCycle);
+    nextFree = start + (occupancy ? occupancy : 1);
+    accesses++;
+    return nextFree + latency;
+}
+
+} // namespace dws

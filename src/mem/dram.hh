@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Off-chip memory timing: fixed access latency, pipelined requests,
+ * bounded bus bandwidth (paper Table 3: 100 cycles, 16 GB/s bus).
+ */
+
+#ifndef DWS_MEM_DRAM_HH
+#define DWS_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** DRAM timing model. */
+class Dram
+{
+  public:
+    explicit Dram(const MemConfig &cfg)
+        : latency(cfg.dramLatency), bytesPerCycle(cfg.dramBytesPerCycle)
+    {}
+
+    /**
+     * Reserve bus bandwidth for a line transfer starting no earlier
+     * than `earliest`.
+     *
+     * @return completion cycle of the access (bus occupancy + latency).
+     */
+    Cycle access(Cycle earliest, int bytes);
+
+    /** Total accesses performed (reads + writebacks). */
+    std::uint64_t accesses = 0;
+
+  private:
+    int latency;
+    double bytesPerCycle;
+    Cycle nextFree = 0;
+};
+
+} // namespace dws
+
+#endif // DWS_MEM_DRAM_HH

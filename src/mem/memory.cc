@@ -1,0 +1,62 @@
+#include "mem/memory.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+Memory::Memory(std::uint64_t sizeBytes)
+{
+    resize(sizeBytes);
+}
+
+void
+Memory::resize(std::uint64_t sizeBytes)
+{
+    const std::uint64_t need = (sizeBytes + kWordBytes - 1) / kWordBytes;
+    if (need > words.size())
+        words.resize(need, 0);
+}
+
+std::uint64_t
+Memory::checkAddr(Addr addr) const
+{
+    if (addr % kWordBytes != 0)
+        panic("unaligned memory access at %#llx", (unsigned long long)addr);
+    const std::uint64_t idx = addr / kWordBytes;
+    if (idx >= words.size())
+        panic("memory access at %#llx beyond size %#llx",
+              (unsigned long long)addr, (unsigned long long)sizeBytes());
+    return idx;
+}
+
+std::int64_t
+Memory::read(Addr addr) const
+{
+    return words[checkAddr(addr)];
+}
+
+void
+Memory::write(Addr addr, std::int64_t value)
+{
+    words[checkAddr(addr)] = value;
+}
+
+std::int64_t
+Memory::readWord(std::uint64_t wordIdx) const
+{
+    return read(wordIdx * kWordBytes);
+}
+
+void
+Memory::writeWord(std::uint64_t wordIdx, std::int64_t value)
+{
+    write(wordIdx * kWordBytes, value);
+}
+
+void
+Memory::clear()
+{
+    std::fill(words.begin(), words.end(), 0);
+}
+
+} // namespace dws

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional (architectural) memory: a flat array of 64-bit words.
+ *
+ * The simulator executes "functional-first": loads and stores update
+ * architectural state the moment the instruction issues, while the
+ * timing model separately decides when the issuing SIMD group may
+ * proceed. This is safe because kernels written for the SIMT model only
+ * communicate across explicit barriers (paper Section 5.4).
+ */
+
+#ifndef DWS_MEM_MEMORY_HH
+#define DWS_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Flat word-addressable simulated memory. */
+class Memory
+{
+  public:
+    /** Create a memory of sizeBytes (rounded up to a whole word). */
+    explicit Memory(std::uint64_t sizeBytes = 0);
+
+    /** Resize (zero-filling) to at least sizeBytes. */
+    void resize(std::uint64_t sizeBytes);
+
+    /** @return memory size in bytes. */
+    std::uint64_t sizeBytes() const { return words.size() * kWordBytes; }
+
+    /** Read the 64-bit word at byte address addr (must be 8-aligned). */
+    std::int64_t read(Addr addr) const;
+
+    /** Write the 64-bit word at byte address addr (must be 8-aligned). */
+    void write(Addr addr, std::int64_t value);
+
+    /** Word-indexed convenience accessors for host-side setup. */
+    std::int64_t readWord(std::uint64_t wordIdx) const;
+    void writeWord(std::uint64_t wordIdx, std::int64_t value);
+
+    /** Zero all contents. */
+    void clear();
+
+  private:
+    std::uint64_t checkAddr(Addr addr) const;
+
+    std::vector<std::int64_t> words;
+};
+
+} // namespace dws
+
+#endif // DWS_MEM_MEMORY_HH

@@ -1,0 +1,309 @@
+#include "mem/memsys.hh"
+
+#include "mem/directory.hh"
+#include "sim/logging.hh"
+
+namespace dws {
+
+MemSystem::MemSystem(const SystemConfig &sysCfg, EventQueue &eq)
+    : cfg(sysCfg), events(eq),
+      l2Mshrs(sysCfg.mem.l2.mshrs, sysCfg.mem.l2.mshrTargets),
+      xbar(sysCfg.mem), dram(sysCfg.mem)
+{
+    for (int w = 0; w < cfg.numWpus; w++) {
+        icaches_.push_back(std::make_unique<CacheArray>(
+                cfg.wpu.icache, "l1i" + std::to_string(w)));
+        dcaches_.push_back(std::make_unique<CacheArray>(
+                cfg.wpu.dcache, "l1d" + std::to_string(w)));
+        l1Mshrs.emplace_back(cfg.wpu.dcache.mshrs,
+                             cfg.wpu.dcache.mshrTargets);
+        reqChannelFree.push_back(0);
+    }
+    l2_ = std::make_unique<CacheArray>(cfg.mem.l2, "l2");
+}
+
+void
+MemSystem::evictL1Data(WpuId wpu, Addr lineAddr, CoherState state, Cycle now)
+{
+    CacheArray &d = *dcaches_[static_cast<size_t>(wpu)];
+    CacheLine *l2l = l2_->find(lineAddr);
+    if (state == CoherState::Modified) {
+        // Write the dirty line back to the inclusive L2.
+        d.stats.writebacks++;
+        xbar.transfer(now, cfg.wpu.dcache.lineBytes);
+        if (l2l)
+            l2l->state = CoherState::Modified;
+    }
+    if (l2l)
+        Directory::removeSharer(*l2l, wpu);
+}
+
+void
+MemSystem::evictL2(Addr lineAddr, CoherState state, Cycle now)
+{
+    // Inclusive L2: back-invalidate any L1 copies of the victim.
+    for (int w = 0; w < cfg.numWpus; w++) {
+        CacheArray &d = *dcaches_[static_cast<size_t>(w)];
+        const CoherState prior = d.invalidate(lineAddr);
+        if (prior != CoherState::Invalid) {
+            d.stats.invalidationsReceived++;
+            if (prior == CoherState::Modified) {
+                d.stats.writebacks++;
+                state = CoherState::Modified;
+            }
+        }
+        // Instruction lines can also live under kInstrAddrBase.
+        if (lineAddr >= kInstrAddrBase)
+            icaches_[static_cast<size_t>(w)]->invalidate(lineAddr);
+    }
+    if (state == CoherState::Modified) {
+        l2_->stats.writebacks++;
+        dram.access(now, cfg.mem.l2.lineBytes);
+    }
+}
+
+LineResponse
+MemSystem::accessData(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
+                      Cycle now)
+{
+    CacheArray &d = *dcaches_[static_cast<size_t>(wpu)];
+    MshrFile &mshrs = l1Mshrs[static_cast<size_t>(wpu)];
+    if (write)
+        d.stats.writes++;
+    else
+        d.stats.reads++;
+
+    CacheLine *line = d.find(lineAddr);
+    MshrEntry *mshr = mshrs.find(lineAddr);
+
+    if (line && !mshr) {
+        // Stable line present.
+        if (!write || line->writable()) {
+            if (write)
+                line->state = CoherState::Modified;
+            d.touch(line, now);
+            return LineResponse{
+                .l1Hit = true,
+                .readyAt = now + cfg.wpu.dcache.hitLatency + bankDelay};
+        }
+        // Write to a Shared copy: upgrade via GetX (counts as a miss).
+        d.stats.writeMisses++;
+        return missPath(wpu, lineAddr, true, bankDelay, now, line, false);
+    }
+
+    if (mshr) {
+        // Fill in flight: coalesce into the MSHR.
+        if (!mshrs.addTarget(mshr)) {
+            d.stats.mshrFullEvents++;
+            return LineResponse{.retry = true, .readyAt = mshr->readyAt};
+        }
+        d.stats.coalescedRequests++;
+        if (write && !mshr->write) {
+            // The in-flight fill only requested S/E; upgrade after it
+            // lands: one more round trip through the directory.
+            mshr->write = true;
+            CacheLine *pend = d.find(lineAddr);
+            Cycle t = mshr->readyAt + 2 * xbar.hopLatency() +
+                      cfg.mem.l2.hitLatency;
+            CacheLine *l2l = l2_->find(lineAddr);
+            if (l2l) {
+                const DirOutcome out = Directory::getX(*l2l, wpu);
+                for (int w = 0; w < cfg.numWpus; w++) {
+                    if (w == wpu)
+                        continue;
+                    CacheArray &rd = *dcaches_[static_cast<size_t>(w)];
+                    if (rd.invalidate(lineAddr) != CoherState::Invalid)
+                        rd.stats.invalidationsReceived++;
+                }
+                d.stats.invalidationsSent +=
+                        static_cast<std::uint64_t>(out.invalidations);
+            }
+            mshr->readyAt = t;
+            if (pend) {
+                pend->state = CoherState::Modified;
+                pend->readyAt = t;
+            }
+        }
+        return LineResponse{.l1Hit = false, .readyAt = mshr->readyAt};
+    }
+
+    // True miss.
+    if (write)
+        d.stats.writeMisses++;
+    else
+        d.stats.readMisses++;
+    return missPath(wpu, lineAddr, write, bankDelay, now, nullptr, false);
+}
+
+LineResponse
+MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
+                    Cycle now, CacheLine *existing, bool instr)
+{
+    CacheArray &l1 = instr ? *icaches_[static_cast<size_t>(wpu)]
+                           : *dcaches_[static_cast<size_t>(wpu)];
+    MshrFile &mshrs = l1Mshrs[static_cast<size_t>(wpu)];
+
+    if (!mshrs.available()) {
+        l1.stats.mshrFullEvents++;
+        return LineResponse{.retry = true,
+                            .readyAt = mshrs.earliestReady()};
+    }
+
+    // Reserve the L1 way first so we can cleanly retry before any
+    // directory state has been touched.
+    CacheLine *fill = existing;
+    if (!fill) {
+        fill = l1.allocate(lineAddr, now,
+                [&](Addr victim, CoherState st) {
+                    if (!instr)
+                        evictL1Data(wpu, victim, st, now);
+                });
+        if (!fill) {
+            l1.stats.mshrFullEvents++;
+            return LineResponse{.retry = true,
+                                .readyAt = mshrs.earliestReady()};
+        }
+    }
+
+    // Request hop: L1 lookup, then the WPU's L2 request channel (one
+    // request per crossbar cycle: requests to distinct lines
+    // serialize), then the crossbar traversal.
+    Cycle t = now + bankDelay + l1.config().hitLatency;
+    Cycle &chan = reqChannelFree[static_cast<size_t>(wpu)];
+    if (chan > t)
+        t = chan;
+    chan = t + cfg.mem.xbarRequestCycles;
+    t += xbar.hopLatency();
+
+    // --- L2 side -----------------------------------------------------
+    CacheLine *l2l = l2_->find(lineAddr);
+    MshrEntry *m2 = l2Mshrs.find(lineAddr);
+    if (m2) {
+        // A fill for this line is already in flight (another WPU's miss
+        // or an earlier request): serialize behind it. This stands in
+        // for the protocol's transient states.
+        if (m2->readyAt > t)
+            t = m2->readyAt;
+        t += cfg.mem.l2.hitLatency;
+        l2_->stats.reads++;
+        l2l = l2_->find(lineAddr);
+    } else if (l2l) {
+        t += cfg.mem.l2.hitLatency;
+        l2_->stats.reads++;
+    } else {
+        // L2 miss: go to DRAM and fill the L2.
+        l2_->stats.reads++;
+        l2_->stats.readMisses++;
+        t += cfg.mem.l2.hitLatency;
+        l2l = l2_->allocate(lineAddr, now,
+                [&](Addr victim, CoherState st) {
+                    evictL2(victim, st, now);
+                });
+        if (!l2l) {
+            // Every way pinned by in-flight fills: rare; retry.
+            return LineResponse{.retry = true,
+                                .readyAt = l2Mshrs.earliestReady()};
+        }
+        t = dram.access(t, cfg.mem.l2.lineBytes);
+        l2l->state = CoherState::Exclusive; // clean w.r.t. DRAM
+        l2l->readyAt = t;
+        if (l2Mshrs.available()) {
+            l2Mshrs.allocate(lineAddr, t, write);
+            events.schedule(t, [this, lineAddr] {
+                l2Mshrs.release(lineAddr);
+            });
+        }
+    }
+    l2_->touch(l2l, now);
+
+    // --- Coherence actions (data lines only) ---------------------------
+    if (!instr) {
+        const DirOutcome out = write ? Directory::getX(*l2l, wpu)
+                                     : Directory::getS(*l2l, wpu);
+        if (out.recall) {
+            coherenceRecalls++;
+            // Probe round trip to the remote owner.
+            Cycle probe = 2 * xbar.hopLatency() +
+                          cfg.wpu.dcache.hitLatency;
+            t += probe;
+        }
+        if (out.invalidations > 0) {
+            // One overlapped invalidation round trip.
+            t += 2 * xbar.hopLatency();
+            l1.stats.invalidationsSent +=
+                    static_cast<std::uint64_t>(out.invalidations);
+        }
+        // Apply remote L1 state changes immediately.
+        for (int w = 0; w < cfg.numWpus; w++) {
+            if (w == wpu)
+                continue;
+            CacheArray &rd = *dcaches_[static_cast<size_t>(w)];
+            CacheLine *rl = rd.find(lineAddr);
+            if (!rl)
+                continue;
+            if (rl->readyAt > t)
+                t = rl->readyAt; // recall serializes behind its fill
+            if (write) {
+                rd.invalidate(lineAddr);
+                rd.stats.invalidationsReceived++;
+            } else if (rl->state == CoherState::Modified ||
+                       rl->state == CoherState::Exclusive) {
+                if (rl->state == CoherState::Modified) {
+                    rd.stats.writebacks++;
+                    l2l->state = CoherState::Modified;
+                    xbar.transfer(now, cfg.wpu.dcache.lineBytes);
+                }
+                rl->state = CoherState::Shared;
+            }
+        }
+        fill->state = out.grant;
+    } else {
+        fill->state = CoherState::Shared;
+    }
+
+    // --- Response hop: data transfer back over the crossbar ------------
+    t = xbar.transfer(t, l1.config().lineBytes);
+
+    fill->tag = lineAddr;
+    fill->readyAt = t;
+    l1.touch(fill, now);
+
+    mshrs.allocate(lineAddr, t, write);
+    events.schedule(t, [this, wpu, lineAddr] {
+        l1Mshrs[static_cast<size_t>(wpu)].release(lineAddr);
+    });
+
+    return LineResponse{.l1Hit = false, .readyAt = t};
+}
+
+LineResponse
+MemSystem::accessInstr(WpuId wpu, Addr lineAddr, Cycle now)
+{
+    CacheArray &i = *icaches_[static_cast<size_t>(wpu)];
+    i.stats.reads++;
+    CacheLine *line = i.find(lineAddr);
+    if (line && line->readyAt <= now) {
+        i.touch(line, now);
+        return LineResponse{
+            .l1Hit = true, .readyAt = now + cfg.wpu.icache.hitLatency};
+    }
+    if (line) {
+        // Fill in flight for this line.
+        return LineResponse{.l1Hit = false, .readyAt = line->readyAt};
+    }
+    i.stats.readMisses++;
+    return missPath(wpu, lineAddr, false, 0, now, nullptr, true);
+}
+
+MemStats
+MemSystem::stats() const
+{
+    MemStats s;
+    s.l2 = l2_->stats;
+    s.dramAccesses = dram.accesses;
+    s.xbarTransfers = xbar.transfers;
+    s.coherenceRecalls = coherenceRecalls;
+    return s;
+}
+
+} // namespace dws

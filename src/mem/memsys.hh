@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The coherent two-level memory hierarchy (paper Section 3.3, Table 3).
+ *
+ * Private, banked L1 D-caches and L1 I-caches per WPU; a shared,
+ * inclusive L2 with a directory-based MESI protocol; a bandwidth-limited
+ * crossbar between them; fixed-latency pipelined DRAM behind the L2.
+ *
+ * Timing approximation: coherence state transitions are applied
+ * atomically at request-issue time while the requester pays a
+ * deterministic latency composed of L1 lookup, crossbar hops, L2
+ * lookup, recall/invalidation round trips, DRAM and bandwidth queuing.
+ * Requests racing for the same L2 line serialize behind the line's
+ * in-flight transaction (MSHR readyAt), which stands in for transient
+ * protocol states. See DESIGN.md.
+ */
+
+#ifndef DWS_MEM_MEMSYS_HH
+#define DWS_MEM_MEMSYS_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/crossbar.hh"
+#include "mem/dram.hh"
+#include "mem/mshr.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Base of the pseudo address range used for instruction fetches. */
+constexpr Addr kInstrAddrBase = Addr(1) << 40;
+
+/** Outcome of one line-granular cache access. */
+struct LineResponse
+{
+    /** Resources exhausted (MSHRs / pinned set); retry next cycle. */
+    bool retry = false;
+    /** The access hit in the L1 (no outstanding miss). */
+    bool l1Hit = false;
+    /** Cycle at which the data is available to the requesting threads. */
+    Cycle readyAt = 0;
+};
+
+/** The full memory hierarchy shared by all WPUs. */
+class MemSystem
+{
+  public:
+    /**
+     * @param cfg    system configuration (cache geometry, latencies)
+     * @param events shared event queue (for MSHR release timing)
+     */
+    MemSystem(const SystemConfig &cfg, EventQueue &events);
+
+    /**
+     * Access one cache line of data from a WPU's L1 D-cache.
+     *
+     * @param wpu       requesting WPU
+     * @param lineAddr  line-aligned byte address
+     * @param write     true for stores (needs M)
+     * @param bankDelay queuing cycles from D-cache bank conflicts
+     * @param now       current cycle
+     */
+    LineResponse accessData(WpuId wpu, Addr lineAddr, bool write,
+                            int bankDelay, Cycle now);
+
+    /**
+     * Fetch one instruction line through a WPU's L1 I-cache.
+     * Instruction lines are read-only and not directory-tracked.
+     */
+    LineResponse accessInstr(WpuId wpu, Addr lineAddr, Cycle now);
+
+    /** @return the D-cache of a WPU (stats, tests). */
+    CacheArray &dcache(WpuId w) { return *dcaches_[static_cast<size_t>(w)]; }
+    /** @return the I-cache of a WPU. */
+    CacheArray &icache(WpuId w) { return *icaches_[static_cast<size_t>(w)]; }
+    /** @return the shared L2. */
+    CacheArray &l2() { return *l2_; }
+
+    /** @return aggregated memory-side statistics. */
+    MemStats stats() const;
+
+    /** @return line size in bytes of the D-caches. */
+    int lineBytes() const { return cfg.wpu.dcache.lineBytes; }
+
+  private:
+    /**
+     * Shared miss path: request hop, L2 (hit/serialize/miss+DRAM),
+     * coherence actions, response hop, L1 fill.
+     *
+     * @param existing a stable L1 line being upgraded (S->M), or nullptr
+     */
+    LineResponse missPath(WpuId wpu, Addr lineAddr, bool write,
+                          int bankDelay, Cycle now, CacheLine *existing,
+                          bool instr);
+
+    /** Evict callback applied to an L1 D-cache victim. */
+    void evictL1Data(WpuId wpu, Addr lineAddr, CoherState state, Cycle now);
+
+    /** Evict callback applied to an L2 victim (back-invalidation). */
+    void evictL2(Addr lineAddr, CoherState state, Cycle now);
+
+    SystemConfig cfg;
+    EventQueue &events;
+
+    std::vector<std::unique_ptr<CacheArray>> icaches_;
+    std::vector<std::unique_ptr<CacheArray>> dcaches_;
+    std::unique_ptr<CacheArray> l2_;
+
+    std::vector<MshrFile> l1Mshrs;
+    MshrFile l2Mshrs;
+
+    Crossbar xbar;
+    Dram dram;
+
+    /** Per-WPU L2 request-channel next-free time (request serialization). */
+    std::vector<Cycle> reqChannelFree;
+
+    std::uint64_t coherenceRecalls = 0;
+};
+
+} // namespace dws
+
+#endif // DWS_MEM_MEMSYS_HH

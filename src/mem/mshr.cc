@@ -1,0 +1,55 @@
+#include "mem/mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+MshrEntry *
+MshrFile::find(Addr line)
+{
+    auto it = pending.find(line);
+    return it == pending.end() ? nullptr : &it->second;
+}
+
+MshrEntry *
+MshrFile::allocate(Addr line, Cycle readyAt, bool write)
+{
+    if (!available())
+        return nullptr;
+    if (pending.count(line))
+        panic("MSHR double-allocated for line %#llx",
+              (unsigned long long)line);
+    MshrEntry &e = pending[line];
+    e.readyAt = readyAt;
+    e.targets = 1;
+    e.write = write;
+    return &e;
+}
+
+bool
+MshrFile::addTarget(MshrEntry *entry)
+{
+    if (entry->targets >= maxTargets)
+        return false;
+    entry->targets++;
+    return true;
+}
+
+void
+MshrFile::release(Addr line)
+{
+    pending.erase(line);
+}
+
+Cycle
+MshrFile::earliestReady() const
+{
+    Cycle best = 0;
+    for (const auto &[line, e] : pending) {
+        if (best == 0 || e.readyAt < best)
+            best = e.readyAt;
+    }
+    return best;
+}
+
+} // namespace dws

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * One MSHR tracks one outstanding missing cache line; requests from the
+ * same warp to the same line are coalesced into the MSHR as "targets"
+ * (paper Section 3.3: "All requests from a warp to the same cache line
+ * are coalesced in the MSHR. Each MSHR hosts a cache line and can track
+ * as many requests to that line as the SIMD width requires").
+ */
+
+#ifndef DWS_MEM_MSHR_HH
+#define DWS_MEM_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** State of one outstanding miss. */
+struct MshrEntry
+{
+    Cycle readyAt = 0;   ///< when the fill completes
+    int targets = 0;     ///< coalesced requests so far
+    bool write = false;  ///< exclusive (GetX) transaction
+};
+
+/** A file of MSHRs for one cache. */
+class MshrFile
+{
+  public:
+    /**
+     * @param numEntries number of MSHRs
+     * @param maxTargets coalesced-request capacity per MSHR
+     */
+    MshrFile(int numEntries, int maxTargets)
+        : capacity(numEntries), maxTargets(maxTargets)
+    {}
+
+    /** @return the entry for a pending line, or nullptr. */
+    MshrEntry *find(Addr line);
+
+    /** @return true if a new MSHR can be allocated. */
+    bool available() const
+    {
+        return static_cast<int>(pending.size()) < capacity;
+    }
+
+    /**
+     * Allocate an MSHR for a missing line.
+     * @return the new entry, or nullptr if the file is full.
+     */
+    MshrEntry *allocate(Addr line, Cycle readyAt, bool write);
+
+    /**
+     * Coalesce one more request into an existing entry.
+     * @return false if the entry's target capacity is exhausted.
+     */
+    bool addTarget(MshrEntry *entry);
+
+    /** Release the MSHR for a completed line fill. */
+    void release(Addr line);
+
+    /** @return number of in-flight MSHRs. */
+    int inUse() const { return static_cast<int>(pending.size()); }
+
+    /** @return the earliest completion among in-flight MSHRs (0 if none). */
+    Cycle earliestReady() const;
+
+  private:
+    int capacity;
+    int maxTargets;
+    std::unordered_map<Addr, MshrEntry> pending;
+};
+
+} // namespace dws
+
+#endif // DWS_MEM_MSHR_HH

@@ -1,0 +1,130 @@
+#include "sim/config.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+int
+CacheConfig::numSets() const
+{
+    if (lineBytes <= 0 || sizeBytes == 0)
+        panic("cache config with zero geometry");
+    const std::uint64_t lines = sizeBytes / lineBytes;
+    if (assoc == 0)
+        return 1; // fully associative: one set holding every line
+    if (lines % assoc != 0)
+        fatal("cache size %llu not divisible by assoc %d x line %d",
+              (unsigned long long)sizeBytes, assoc, lineBytes);
+    return static_cast<int>(lines / assoc);
+}
+
+std::string
+PolicyConfig::name() const
+{
+    if (slip)
+        return slipBranchBypass ? "Slip.BranchBypass" : "Slip";
+    if (!splitOnBranch && splitScheme == SplitScheme::None)
+        return "Conv";
+    std::string n = "DWS";
+    if (splitOnBranch && splitScheme == SplitScheme::None)
+        return pcReconv ? "DWS.BranchOnly" : "DWS.BranchOnly.Stack";
+    switch (splitScheme) {
+      case SplitScheme::Aggressive: n += ".AggressSplit"; break;
+      case SplitScheme::Lazy:       n += ".LazySplit"; break;
+      case SplitScheme::Revive:     n += ".ReviveSplit"; break;
+      case SplitScheme::None:       break;
+    }
+    if (!splitOnBranch)
+        n += ".MemOnly";
+    if (memReconv == MemReconv::BranchLimited)
+        n += ".BL";
+    return n;
+}
+
+PolicyConfig
+PolicyConfig::conv()
+{
+    return PolicyConfig{};
+}
+
+PolicyConfig
+PolicyConfig::branchOnlyStack()
+{
+    PolicyConfig p;
+    p.splitOnBranch = true;
+    p.pcReconv = false;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::branchOnly()
+{
+    PolicyConfig p;
+    p.splitOnBranch = true;
+    p.pcReconv = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::memOnlyBranchLimited(SplitScheme scheme)
+{
+    PolicyConfig p;
+    p.splitScheme = scheme;
+    p.memReconv = MemReconv::BranchLimited;
+    p.pcReconv = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::reviveMemOnly()
+{
+    PolicyConfig p;
+    p.splitScheme = SplitScheme::Revive;
+    p.memReconv = MemReconv::BranchBypass;
+    p.pcReconv = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::dws(SplitScheme scheme)
+{
+    PolicyConfig p;
+    p.splitOnBranch = true;
+    p.splitScheme = scheme;
+    p.memReconv = MemReconv::BranchBypass;
+    p.pcReconv = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::reviveSplit()
+{
+    return dws(SplitScheme::Revive);
+}
+
+PolicyConfig
+PolicyConfig::adaptiveSlip()
+{
+    PolicyConfig p;
+    p.slip = true;
+    return p;
+}
+
+PolicyConfig
+PolicyConfig::slipBranchBypassCfg()
+{
+    PolicyConfig p;
+    p.slip = true;
+    p.slipBranchBypass = true;
+    return p;
+}
+
+SystemConfig
+SystemConfig::table3(const PolicyConfig &policy)
+{
+    SystemConfig cfg;
+    cfg.policy = policy;
+    return cfg;
+}
+
+} // namespace dws

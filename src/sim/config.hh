@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Configuration structures for the whole simulated system.
+ *
+ * Defaults reproduce Table 3 of Meng, Tarjan & Skadron, "Dynamic Warp
+ * Subdivision for Integrated Branch and Memory Divergence Tolerance"
+ * (ISCA 2010 / UVa TR CS-2010-5): four 16-wide, 4-warp WPUs over a
+ * coherent two-level cache hierarchy.
+ */
+
+#ifndef DWS_SIM_CONFIG_HH
+#define DWS_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/**
+ * Scheme used to decide *when* a warp is subdivided upon memory
+ * divergence (paper Section 5.2).
+ */
+enum class SplitScheme {
+    /** Never subdivide on memory divergence. */
+    None,
+    /** Subdivide on every divergent memory access (AggressSplit). */
+    Aggressive,
+    /**
+     * Subdivide only when no other SIMD group is ready to hide latency
+     * (LazySplit).
+     */
+    Lazy,
+    /**
+     * LazySplit, plus: when the pipeline stalls, find one suspended SIMD
+     * group with partially completed memory requests and subdivide it so
+     * the satisfied threads can run (ReviveSplit).
+     */
+    Revive,
+};
+
+/**
+ * How warp-splits created on memory divergence are re-converged with
+ * respect to control flow (paper Section 5.3).
+ */
+enum class MemReconv {
+    /**
+     * A memory-divergence split may not outlive the current basic block:
+     * siblings re-unite at the next conditional branch or post-dominator
+     * (BranchLimited, Section 5.3.1).
+     */
+    BranchLimited,
+    /**
+     * Run-ahead splits may pass branches; divergent branches subdivide
+     * them further and PC-based re-convergence merges them
+     * (BranchBypass, Section 5.3.2).
+     */
+    BranchBypass,
+};
+
+/** Divergence-handling policy of one WPU. */
+struct PolicyConfig
+{
+    /**
+     * Subdivide full-width SIMD groups upon *subdividable* divergent
+     * branches (Section 4). When false, divergent branches are handled
+     * by the conventional re-convergence stack.
+     */
+    bool splitOnBranch = false;
+
+    /** Memory-divergence subdivision scheme (Section 5.2). */
+    SplitScheme splitScheme = SplitScheme::None;
+
+    /** Re-convergence style for memory-divergence splits (Section 5.3). */
+    MemReconv memReconv = MemReconv::BranchBypass;
+
+    /**
+     * Opportunistically merge ready sibling warp-splits whose PCs match
+     * when one of them issues a memory instruction (PC-based
+     * re-convergence, Section 4.5). Stack-based re-convergence is always
+     * active as the fallback.
+     */
+    bool pcReconv = true;
+
+    /**
+     * Enable the adaptive-slip baseline (Tarjan et al., SC'09; paper
+     * Section 5.7) instead of DWS. Mutually exclusive with the split
+     * options above.
+     */
+    bool slip = false;
+
+    /** Allow slipped warps to bypass branches via DWS (Slip.BranchBypass). */
+    bool slipBranchBypass = false;
+
+    /** Profiling interval for the adaptive slip threshold, in cycles. */
+    Cycle slipInterval = 100000;
+
+    /** Raise the slip threshold above this fraction of memory-wait time. */
+    double slipRaiseMemFrac = 0.70;
+
+    /** Lower the slip threshold above this fraction of active time. */
+    double slipLowerActiveFrac = 0.50;
+
+    /**
+     * Branch-subdivision heuristic (Section 4.3): a branch may subdivide
+     * a warp only if the basic block that follows its immediate
+     * post-dominator contains at most this many instructions.
+     */
+    int subdivMaxPostBlock = 50;
+
+    /**
+     * Over-subdivision guard: a SIMD group narrower than this many
+     * active lanes is never subdivided further (Section 1 warns that
+     * aggressive subdivision yields narrow splits that waste the SIMD
+     * datapath).
+     */
+    int minSplitWidth = 8;
+
+    /** @return a human-readable policy name for table output. */
+    std::string name() const;
+
+    /** Conventional baseline: no subdivision at all. */
+    static PolicyConfig conv();
+    /** DWS on branch divergence only, stack-based re-convergence. */
+    static PolicyConfig branchOnlyStack();
+    /** DWS on branch divergence only, PC-based re-convergence. */
+    static PolicyConfig branchOnly();
+    /** Memory-divergence-only DWS with the given scheme, BranchLimited. */
+    static PolicyConfig memOnlyBranchLimited(SplitScheme scheme);
+    /** Memory-divergence-only DWS.ReviveSplit with BranchBypass. */
+    static PolicyConfig reviveMemOnly();
+    /** Integrated DWS with the given memory scheme plus branch DWS. */
+    static PolicyConfig dws(SplitScheme scheme);
+    /** Headline configuration DWS.ReviveSplit (Figure 13). */
+    static PolicyConfig reviveSplit();
+    /** Adaptive slip baseline. */
+    static PolicyConfig adaptiveSlip();
+    /** Adaptive slip combined with branch bypass. */
+    static PolicyConfig slipBranchBypassCfg();
+};
+
+/** Geometry and timing of one cache. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 32 * 1024;
+    /** Associativity; 0 means fully associative. */
+    int assoc = 8;
+    /** Line size in bytes. */
+    int lineBytes = 128;
+    /** Hit latency in cycles. */
+    int hitLatency = 3;
+    /** Number of MSHRs (outstanding missing lines). */
+    int mshrs = 32;
+    /** Maximum coalesced requests tracked per MSHR. */
+    int mshrTargets = 32;
+    /** Number of banks (D-caches are banked per lane). */
+    int banks = 16;
+
+    /** @return number of sets implied by size/assoc/line. */
+    int numSets() const;
+};
+
+/** Parameters of one WPU (Table 3). */
+struct WpuConfig
+{
+    /** SIMD width: number of lanes operating in lockstep. */
+    int simdWidth = 16;
+    /** Multi-threading depth: number of warps. */
+    int numWarps = 4;
+    /**
+     * Number of scheduler slots. SIMD groups beyond this sit idle until
+     * a slot frees up (Section 6.6). The paper doubles a conventional
+     * scheduler: 2 x numWarps.
+     */
+    int schedSlots = 8;
+    /**
+     * Maximum entries in the warp-split table. Subdivision is disabled
+     * while the WST is full (Section 6.7). Paper default: 16.
+     */
+    int wstEntries = 16;
+
+    CacheConfig icache{.sizeBytes = 16 * 1024, .assoc = 4, .lineBytes = 128,
+                       .hitLatency = 1, .mshrs = 4, .mshrTargets = 8,
+                       .banks = 1};
+    CacheConfig dcache{};
+
+    /** @return total hardware thread contexts (width x depth). */
+    int numThreads() const { return simdWidth * numWarps; }
+};
+
+/** Shared L2 + interconnect + DRAM parameters. */
+struct MemConfig
+{
+    CacheConfig l2{.sizeBytes = 1024 * 1024, .assoc = 16, .lineBytes = 128,
+                   .hitLatency = 30, .mshrs = 256, .mshrTargets = 64,
+                   .banks = 1};
+    /** One-way crossbar traversal latency in cycles. */
+    int xbarLatency = 8;
+    /**
+     * Cycles between successive L2-bound requests from one WPU: the
+     * 300 MHz crossbar (Table 3) accepts one request per crossbar
+     * cycle, i.e. every ~3 WPU cycles. Requests from a warp to
+     * different lines are therefore serialized (Section 3.3), which is
+     * precisely the memory-level-parallelism bottleneck DWS's
+     * run-ahead splits attack (Figures 8 and 9).
+     */
+    int xbarRequestCycles = 3;
+    /** Crossbar bandwidth in bytes per WPU-cycle (57 GB/s at 1 GHz). */
+    double xbarBytesPerCycle = 57.0;
+    /** DRAM access latency in cycles (pipelined). */
+    int dramLatency = 100;
+    /** Memory bus bandwidth in bytes per cycle (16 GB/s at 1 GHz). */
+    double dramBytesPerCycle = 16.0;
+};
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    /** Number of WPUs sharing the L2. */
+    int numWpus = 4;
+    WpuConfig wpu{};
+    MemConfig mem{};
+    PolicyConfig policy{};
+
+    /** Seed for kernel input generation. */
+    std::uint64_t seed = 12345;
+
+    /**
+     * Safety valve: abort the simulation if it exceeds this many cycles
+     * (deadlock detection in tests). 0 disables the limit.
+     */
+    Cycle maxCycles = 0;
+
+    /** @return total thread contexts across all WPUs. */
+    int totalThreads() const { return numWpus * wpu.numThreads(); }
+
+    /** Paper Table 3 configuration with the given policy. */
+    static SystemConfig table3(const PolicyConfig &policy);
+};
+
+} // namespace dws
+
+#endif // DWS_SIM_CONFIG_HH

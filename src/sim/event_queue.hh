@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A tiny deterministic event queue used for memory-completion timing.
+ *
+ * The WPU pipelines are cycle-driven (tick() once per cycle); only memory
+ * request completions are event-driven. Events with equal firing cycles
+ * pop in insertion order so that simulations are fully reproducible.
+ */
+
+#ifndef DWS_SIM_EVENT_QUEUE_HH
+#define DWS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** FIFO-stable min-heap of (cycle, callback) events. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule cb to run at absolute cycle when (>= current cycle). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        heap.push(Event{when, seq++, std::move(cb)});
+    }
+
+    /** @return the firing cycle of the earliest pending event. */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap.empty() ? ~Cycle(0) : heap.top().when;
+    }
+
+    /** @return true if no events are pending. */
+    bool empty() const { return heap.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    /**
+     * Run every event scheduled at or before cycle now, in (cycle, FIFO)
+     * order. Callbacks may schedule further events.
+     */
+    void
+    runUntil(Cycle now)
+    {
+        while (!heap.empty() && heap.top().when <= now) {
+            // Copy out before pop so the callback can schedule new events.
+            Callback cb = std::move(const_cast<Event &>(heap.top()).cb);
+            heap.pop();
+            cb();
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t order;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : order > o.order;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+    std::uint64_t seq = 0;
+};
+
+} // namespace dws
+
+#endif // DWS_SIM_EVENT_QUEUE_HH

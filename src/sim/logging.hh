@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic()  - simulator bug; never the user's fault. Aborts.
+ * fatal()  - user/configuration error the simulation cannot survive. Exits.
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef DWS_SIM_LOGGING_HH
+#define DWS_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dws {
+
+/** Print an error for an internal simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print an error caused by bad user input/configuration and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a warning; simulation continues. */
+void warn(const char *fmt, ...);
+
+/** Print an informational message. */
+void inform(const char *fmt, ...);
+
+/** Globally silence warn()/inform() (used by benches and tests). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() are currently silenced. */
+bool quiet();
+
+} // namespace dws
+
+#endif // DWS_SIM_LOGGING_HH

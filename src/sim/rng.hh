@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic xorshift64* random number generator.
+ *
+ * The simulator must be bit-for-bit reproducible across runs and hosts, so
+ * all randomness (kernel input data, tie-breaking) goes through this
+ * seeded generator rather than std::random_device or rand().
+ */
+
+#ifndef DWS_SIM_RNG_HH
+#define DWS_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace dws {
+
+/** Small, fast, seedable PRNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 1)
+    {}
+
+    /** @return the next raw 64-bit pseudo-random value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** @return a value uniformly distributed in [0, bound). */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** @return a signed value uniformly distributed in [lo, hi]. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                nextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace dws
+
+#endif // DWS_SIM_RNG_HH

@@ -1,0 +1,99 @@
+#include "sim/stats.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+double
+WpuStats::avgSimdWidth() const
+{
+    return issuedInstrs ? double(scalarInstrs) / double(issuedInstrs) : 0.0;
+}
+
+std::uint64_t
+WpuStats::totalCycles() const
+{
+    return activeCycles + memStallCycles + otherStallCycles + idleCycles;
+}
+
+double
+WpuStats::memStallFrac() const
+{
+    const std::uint64_t busy =
+        activeCycles + memStallCycles + otherStallCycles;
+    return busy ? double(memStallCycles) / double(busy) : 0.0;
+}
+
+double
+CacheStats::missRate() const
+{
+    const std::uint64_t a = accesses();
+    return a ? double(misses()) / double(a) : 0.0;
+}
+
+std::uint64_t
+RunStats::totalScalarInstrs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : wpus)
+        n += w.scalarInstrs;
+    return n;
+}
+
+std::uint64_t
+RunStats::totalIssuedInstrs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : wpus)
+        n += w.issuedInstrs;
+    return n;
+}
+
+double
+RunStats::avgSimdWidth() const
+{
+    const std::uint64_t issued = totalIssuedInstrs();
+    return issued ? double(totalScalarInstrs()) / double(issued) : 0.0;
+}
+
+double
+RunStats::memStallFrac() const
+{
+    if (wpus.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &w : wpus)
+        sum += w.memStallFrac();
+    return sum / double(wpus.size());
+}
+
+std::string
+RunStats::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%llu instrs=%llu width=%.2f memstall=%.1f%% "
+                  "energy=%.3f mJ",
+                  (unsigned long long)cycles,
+                  (unsigned long long)totalScalarInstrs(), avgSimdWidth(),
+                  100.0 * memStallFrac(), energyNj * 1e-6);
+    return buf;
+}
+
+double
+harmonicMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            panic("harmonicMean over non-positive value %f", x);
+        denom += 1.0 / x;
+    }
+    return double(v.size()) / denom;
+}
+
+} // namespace dws

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Statistics collected per WPU and aggregated per run.
+ *
+ * These counters are exactly what the paper's figures need: execution-time
+ * breakdown into SIMD computation vs memory waiting (Figure 1), divergence
+ * characterization (Table 1), average issued SIMD width (Sections 4.6 and
+ * 5.5), per-thread miss maps (Figure 14) and the event counts that feed
+ * the energy model (Figure 19).
+ */
+
+#ifndef DWS_SIM_STATS_HH
+#define DWS_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Counters for one WPU. */
+struct WpuStats
+{
+    /** Cycles in which an instruction was issued. */
+    std::uint64_t activeCycles = 0;
+    /** Cycles in which no SIMD group was ready and >=1 waited on memory. */
+    std::uint64_t memStallCycles = 0;
+    /** Cycles with no ready group for other reasons (barriers etc.). */
+    std::uint64_t otherStallCycles = 0;
+    /** Cycles after all local threads finished (tail idle). */
+    std::uint64_t idleCycles = 0;
+
+    /** SIMD instructions issued (one per sequencer issue). */
+    std::uint64_t issuedInstrs = 0;
+    /** Sum over issues of the number of active threads (scalar instrs). */
+    std::uint64_t scalarInstrs = 0;
+
+    /** Conditional branches executed (warp level). */
+    std::uint64_t branches = 0;
+    /** Conditional branches whose outcome diverged within the group. */
+    std::uint64_t divergentBranches = 0;
+
+    /** SIMD memory accesses (group level). */
+    std::uint64_t memAccesses = 0;
+    /** Accesses where >=1 thread hit and >=1 missed the L1 D-cache. */
+    std::uint64_t divergentAccesses = 0;
+    /** Accesses with >=1 L1 D-cache miss. */
+    std::uint64_t missAccesses = 0;
+
+    /** Warp-splits created upon branch divergence. */
+    std::uint64_t branchSplits = 0;
+    /** Warp-splits created upon memory divergence. */
+    std::uint64_t memSplits = 0;
+    /** Splits that were denied because the WST was full. */
+    std::uint64_t wstFullDenials = 0;
+    /** Merges performed by PC-based re-convergence. */
+    std::uint64_t pcMerges = 0;
+    /** Merges performed by stack-based re-convergence. */
+    std::uint64_t stackMerges = 0;
+
+    /** Per-thread L1 D-cache miss counts (index = warp*width+lane). */
+    std::vector<std::uint64_t> threadMisses;
+
+    /** Adaptive slip: slips taken / forced re-convergences. */
+    std::uint64_t slipsTaken = 0;
+    std::uint64_t slipStallsAtBranch = 0;
+
+    /** @return average SIMD width over all issued instructions. */
+    double avgSimdWidth() const;
+    /** @return total cycles accounted (active + stalls + idle). */
+    std::uint64_t totalCycles() const;
+    /** @return fraction of time the WPU stalled waiting for memory. */
+    double memStallFrac() const;
+};
+
+/** Counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t invalidationsReceived = 0;
+    std::uint64_t mshrFullEvents = 0;
+    std::uint64_t bankConflicts = 0;
+    std::uint64_t coalescedRequests = 0;
+
+    /** @return total accesses. */
+    std::uint64_t accesses() const { return reads + writes; }
+    /** @return total misses. */
+    std::uint64_t misses() const { return readMisses + writeMisses; }
+    /** @return miss rate in [0,1]. */
+    double missRate() const;
+};
+
+/** System-level memory statistics. */
+struct MemStats
+{
+    CacheStats l2;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t xbarTransfers = 0;
+    std::uint64_t coherenceRecalls = 0;
+};
+
+/** Aggregate results of one simulation run. */
+struct RunStats
+{
+    Cycle cycles = 0;
+    std::vector<WpuStats> wpus;
+    std::vector<CacheStats> icaches;
+    std::vector<CacheStats> dcaches;
+    MemStats mem;
+    /** Total simulated energy in nanojoules (see energy/). */
+    double energyNj = 0.0;
+
+    /** @return sum of scalar instructions over all WPUs. */
+    std::uint64_t totalScalarInstrs() const;
+    /** @return sum of issued SIMD instructions over all WPUs. */
+    std::uint64_t totalIssuedInstrs() const;
+    /** @return run-wide average issued SIMD width. */
+    double avgSimdWidth() const;
+    /** @return average fraction of WPU time stalled on memory. */
+    double memStallFrac() const;
+    /** @return short human-readable summary line. */
+    std::string summary() const;
+};
+
+/** @return harmonic mean of v (all entries must be > 0). */
+double harmonicMean(const std::vector<double> &v);
+
+} // namespace dws
+
+#endif // DWS_SIM_STATS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef DWS_SIM_TYPES_HH
+#define DWS_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace dws {
+
+/** Simulated clock cycle count. The whole system runs on one clock. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Program counter: index of an instruction inside a Program. */
+using Pc = std::int32_t;
+
+/** Sentinel PC used as the re-convergence point of the outermost frame. */
+constexpr Pc kPcExit = -1;
+
+/** Sentinel PC for "not yet known" (BranchLimited dynamic barriers). */
+constexpr Pc kPcUnknown = -2;
+
+/** Global thread identifier (across all WPUs). */
+using ThreadId = std::int32_t;
+
+/** Warp identifier, local to one WPU. */
+using WarpId = std::int32_t;
+
+/** SIMD group (warp-split) identifier, local to one WPU. */
+using GroupId = std::int32_t;
+
+/** Identifier of a WPU within the system. */
+using WpuId = std::int32_t;
+
+/** Number of architectural registers per scalar thread. */
+constexpr int kNumRegs = 32;
+
+/** Size in bytes of one simulated data word (registers are 64-bit). */
+constexpr int kWordBytes = 8;
+
+/** Simulated size in bytes of one encoded instruction (for I-cache). */
+constexpr int kInstrBytes = 8;
+
+} // namespace dws
+
+#endif // DWS_SIM_TYPES_HH

@@ -1,0 +1,3 @@
+// ReconvBarrier and Frame are plain data; see frame.hh. This file exists
+// so the module has a translation unit for future out-of-line helpers.
+#include "wpu/frame.hh"

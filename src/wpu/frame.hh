@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Re-convergence frames and barriers.
+ *
+ * A Frame is one entry of a SIMT re-convergence stack (Fung et al.
+ * MICRO'07, paper Section 4.1): the path's next pc, the pc at which the
+ * path re-converges (the enclosing branch's immediate post-dominator),
+ * and the set of lanes on the path.
+ *
+ * A ReconvBarrier is the DWS replacement for the serialization the stack
+ * would have imposed: when a warp is subdivided, the siblings no longer
+ * execute in stack order, but they must still eventually re-unite at the
+ * post-dominator associated with the top of the stack at split time
+ * (paper Section 4.4, "stack-based re-convergence"). The barrier
+ * remembers the frames *below* the split point so the merged group can
+ * resume exactly where a conventional stack pop would have resumed.
+ */
+
+#ifndef DWS_WPU_FRAME_HH
+#define DWS_WPU_FRAME_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+#include "wpu/mask.hh"
+
+namespace dws {
+
+/** One SIMT re-convergence stack entry. */
+struct Frame
+{
+    Pc pc = 0;          ///< next pc of this path
+    Pc rpc = kPcExit;   ///< re-convergence pc (immediate post-dominator)
+    ThreadMask mask = 0;
+};
+
+struct ReconvBarrier;
+using BarrierRef = std::shared_ptr<ReconvBarrier>;
+
+/** Re-convergence point shared by the warp-splits of one subdivision. */
+struct ReconvBarrier
+{
+    /**
+     * The pc at which siblings re-unite. For subdivisions this is the
+     * rpc of the frame that was split (known statically); for
+     * BranchLimited memory splits it is kPcUnknown until the first
+     * sibling reaches a boundary (next branch or post-dominator).
+     */
+    Pc pc = kPcExit;
+
+    /** rpc of the split frame; becomes the merged group's frame rpc. */
+    Pc origRpc = kPcExit;
+
+    /** Lanes that must arrive (the split frame's full mask). */
+    ThreadMask expected = 0;
+
+    /** Lanes that have arrived so far. */
+    ThreadMask arrived = 0;
+
+    /** Frames below the split point, restored on completion. */
+    std::vector<Frame> contFrames;
+
+    /** The barrier enclosing the split group (its own barrier). */
+    BarrierRef outer;
+
+    /** Warp this barrier belongs to (sanity checking). */
+    WarpId warp = -1;
+
+    /** True for the synthetic outermost (program exit) barrier. */
+    bool isExit = false;
+
+    /** Set once the barrier has completed (guards double completion). */
+    bool done = false;
+
+    /** Splits parked here (their WST entries stay occupied). */
+    int parkedSplits = 0;
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_FRAME_HH

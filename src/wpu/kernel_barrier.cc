@@ -1,0 +1,48 @@
+#include "wpu/kernel_barrier.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "wpu/wpu.hh"
+
+namespace dws {
+
+void
+KernelBarrier::arrive(int count, Pc barPc, Cycle now)
+{
+    if (pendingBarPc == kPcUnknown)
+        pendingBarPc = barPc;
+    else if (pendingBarPc != barPc)
+        panic("threads at different kernel barriers (%d vs %d)",
+              pendingBarPc, barPc);
+    arrived += count;
+    if (arrived > alive) {
+        for (Wpu *w : wpus)
+            std::fputs(w->dumpState().c_str(), stderr);
+        panic("kernel barrier overflow: %d arrived, %d alive", arrived,
+              alive);
+    }
+    check(now);
+}
+
+void
+KernelBarrier::onHalt(int count, Cycle now)
+{
+    alive -= count;
+    if (alive < 0)
+        panic("kernel barrier underflow: %d alive", alive);
+    check(now);
+}
+
+void
+KernelBarrier::check(Cycle now)
+{
+    if (arrived == 0 || arrived != alive)
+        return;
+    arrived = 0;
+    pendingBarPc = kPcUnknown;
+    for (Wpu *w : wpus)
+        w->releaseKernelBarrier(now);
+}
+
+} // namespace dws

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Kernel-wide barrier (the IR's Bar instruction).
+ *
+ * All live threads of all WPUs must arrive before any may proceed.
+ * Explicit synchronization primitives are also full re-convergence
+ * points: every warp collapses back to a single SIMD group when the
+ * barrier releases (paper Section 5.4).
+ */
+
+#ifndef DWS_WPU_KERNEL_BARRIER_HH
+#define DWS_WPU_KERNEL_BARRIER_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+class Wpu;
+
+/** Global (kernel-wide) thread barrier. */
+class KernelBarrier
+{
+  public:
+    /** Register a participating WPU (called by the System at build). */
+    void addWpu(Wpu *wpu) { wpus.push_back(wpu); }
+
+    /** Set the number of live threads (called at kernel launch). */
+    void setAliveThreads(int n) { alive = n; }
+
+    /**
+     * A SIMD group arrived with `count` threads at the barrier at
+     * instruction `barPc`.
+     */
+    void arrive(int count, Pc barPc, Cycle now);
+
+    /** `count` threads halted (they will never arrive). */
+    void onHalt(int count, Cycle now);
+
+    /** @return threads currently waiting. */
+    int waiting() const { return arrived; }
+
+  private:
+    void check(Cycle now);
+
+    std::vector<Wpu *> wpus;
+    int alive = 0;
+    int arrived = 0;
+    Pc pendingBarPc = kPcUnknown;
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_KERNEL_BARRIER_HH

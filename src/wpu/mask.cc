@@ -1,0 +1,15 @@
+#include "wpu/mask.hh"
+
+namespace dws {
+
+std::string
+maskToString(ThreadMask m, int width)
+{
+    std::string s;
+    s.reserve(static_cast<size_t>(width));
+    for (int i = 0; i < width; i++)
+        s.push_back((m >> i) & 1 ? '1' : '0');
+    return s;
+}
+
+} // namespace dws

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Active-mask helpers. A ThreadMask has one bit per lane of a warp
+ * (SIMD width up to 64).
+ */
+
+#ifndef DWS_WPU_MASK_HH
+#define DWS_WPU_MASK_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dws {
+
+/** One bit per lane within a warp. */
+using ThreadMask = std::uint64_t;
+
+/** @return a mask with the low `width` bits set. */
+constexpr ThreadMask
+fullMask(int width)
+{
+    return width >= 64 ? ~ThreadMask(0)
+                       : ((ThreadMask(1) << width) - 1);
+}
+
+/** @return a mask with only `lane` set. */
+constexpr ThreadMask
+laneBit(int lane)
+{
+    return ThreadMask(1) << lane;
+}
+
+/** @return number of set lanes. */
+inline int
+popcount(ThreadMask m)
+{
+    return __builtin_popcountll(m);
+}
+
+/** @return index of the lowest set lane (mask must be non-zero). */
+inline int
+lowestLane(ThreadMask m)
+{
+    return __builtin_ctzll(m);
+}
+
+/** @return "0101..." string, lane 0 first, for debugging. */
+std::string maskToString(ThreadMask m, int width);
+
+/**
+ * Iterate over set lanes: for (int lane : Lanes(mask)).
+ */
+class Lanes
+{
+  public:
+    explicit Lanes(ThreadMask m) : mask(m) {}
+
+    class Iter
+    {
+      public:
+        explicit Iter(ThreadMask m) : rest(m) {}
+        int operator*() const { return lowestLane(rest); }
+        Iter &
+        operator++()
+        {
+            rest &= rest - 1;
+            return *this;
+        }
+        bool operator!=(const Iter &o) const { return rest != o.rest; }
+
+      private:
+        ThreadMask rest;
+    };
+
+    Iter begin() const { return Iter(mask); }
+    Iter end() const { return Iter(0); }
+
+  private:
+    ThreadMask mask;
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_MASK_HH

@@ -1,0 +1,2 @@
+// DivergencePolicy is header-only; see policy.hh.
+#include "wpu/policy.hh"

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Divergence-policy decision logic (paper Sections 4.3, 5.2, 5.3).
+ *
+ * Wraps a PolicyConfig and answers, at each divergence event, whether
+ * the WPU should subdivide. The mechanics of subdivision live in Wpu.
+ */
+
+#ifndef DWS_WPU_POLICY_HH
+#define DWS_WPU_POLICY_HH
+
+#include "isa/instr.hh"
+#include "sim/config.hh"
+
+namespace dws {
+
+/** Pure decision functions over the configured policy. */
+class DivergencePolicy
+{
+  public:
+    explicit DivergencePolicy(const PolicyConfig &cfg) : cfg(cfg) {}
+
+    /** @return true if DWS (any form of subdivision) is enabled. */
+    bool
+    dwsEnabled() const
+    {
+        return !cfg.slip && (cfg.splitOnBranch ||
+                             cfg.splitScheme != SplitScheme::None);
+    }
+
+    /**
+     * Should a divergent branch subdivide this group?
+     *
+     * A lone (undivided) warp subdivides only on branches selected by
+     * the static heuristic (Section 4.3). A group that is already a
+     * warp-split cannot fall back on the warp's re-convergence stack,
+     * so under BranchBypass it subdivides on any divergent branch
+     * (Section 5.3.2: splits "keep being subdivided upon future
+     * divergent branches").
+     *
+     * @param loneWarp true if the group is its warp's only group
+     * @param in       the branch instruction
+     */
+    bool
+    wantBranchSplit(bool loneWarp, const Instr &in, int groupWidth) const
+    {
+        if (cfg.slip || groupWidth < cfg.minSplitWidth)
+            return false;
+        if (loneWarp)
+            return cfg.splitOnBranch && in.subdividable();
+        // Existing warp-splits:
+        if (cfg.splitOnBranch)
+            return true;
+        return cfg.splitScheme != SplitScheme::None &&
+               cfg.memReconv == MemReconv::BranchBypass;
+    }
+
+    /**
+     * Should a divergent memory access subdivide the issuing group?
+     *
+     * Groups below the minimum split width are never subdivided:
+     * "aggressive subdivision ... may lead to a large number of narrow
+     * warp-splits that only exploit a fraction of the SIMD computation
+     * resources" (Section 1). The floor bounds recursion depth the way
+     * the paper's over-subdivision guards intend.
+     *
+     * @param anyOtherReady another SIMD group on the WPU could issue
+     * @param groupWidth    active lanes of the group considering a split
+     */
+    bool
+    wantMemSplit(bool anyOtherReady, int groupWidth) const
+    {
+        if (cfg.slip || groupWidth < cfg.minSplitWidth)
+            return false;
+        switch (cfg.splitScheme) {
+          case SplitScheme::None:       return false;
+          case SplitScheme::Aggressive: return true;
+          case SplitScheme::Lazy:
+          case SplitScheme::Revive:     return !anyOtherReady;
+        }
+        return false;
+    }
+
+    /** @return true if stalls should attempt a revive split. */
+    bool
+    reviveOnStall() const
+    {
+        return !cfg.slip && cfg.splitScheme == SplitScheme::Revive;
+    }
+
+    /** @return true if memory splits are BranchLimited. */
+    bool
+    branchLimited() const
+    {
+        return cfg.memReconv == MemReconv::BranchLimited;
+    }
+
+    /** @return true if PC-based re-convergence is enabled. */
+    bool pcReconv() const { return cfg.pcReconv; }
+
+    /** @return true for the adaptive-slip baseline. */
+    bool slip() const { return cfg.slip; }
+
+    /** @return true if slipped warps may pass branches. */
+    bool slipBranchBypass() const { return cfg.slipBranchBypass; }
+
+    /** @return the underlying configuration. */
+    const PolicyConfig &config() const { return cfg; }
+
+  private:
+    PolicyConfig cfg;
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_POLICY_HH

@@ -1,0 +1,96 @@
+#include "wpu/scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+void
+Scheduler::requestSlot(SimdGroup *g)
+{
+    if (g->hasSlot)
+        return;
+    if (used < capacity) {
+        g->hasSlot = true;
+        used++;
+        return;
+    }
+    // Already queued?
+    for (GroupId id : waitQueue)
+        if (id == g->id)
+            return;
+    waitQueue.push_back(g->id);
+    queuedGroups.push_back(g);
+}
+
+void
+Scheduler::drainQueue()
+{
+    while (used < capacity && !waitQueue.empty()) {
+        SimdGroup *g = queuedGroups.front();
+        waitQueue.pop_front();
+        queuedGroups.erase(queuedGroups.begin());
+        if (g->state == GroupState::Dead || g->hasSlot)
+            continue;
+        g->hasSlot = true;
+        used++;
+    }
+}
+
+void
+Scheduler::releaseSlot(SimdGroup *g)
+{
+    if (!g->hasSlot)
+        return;
+    g->hasSlot = false;
+    used--;
+    drainQueue();
+}
+
+void
+Scheduler::dequeue(GroupId id)
+{
+    for (size_t i = 0; i < waitQueue.size(); i++) {
+        if (waitQueue[i] == id) {
+            waitQueue.erase(waitQueue.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            queuedGroups.erase(queuedGroups.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+SimdGroup *
+Scheduler::pick(const std::vector<SimdGroup *> &groups, int numWarps,
+                Cycle now)
+{
+    (void)numWarps;
+    drainQueue();
+    if (groups.empty())
+        return nullptr;
+
+    // Round-robin over groups by ascending id, starting after the last
+    // picked id. New splits get fresh (larger) ids, so siblings take
+    // turns naturally.
+    size_t start = 0;
+    for (size_t i = 0; i < groups.size(); i++) {
+        if (groups[i]->id > lastPicked) {
+            start = i;
+            break;
+        }
+        if (i + 1 == groups.size())
+            start = 0; // wrapped
+    }
+    for (size_t k = 0; k < groups.size(); k++) {
+        SimdGroup *g = groups[(start + k) % groups.size()];
+        if (g->issuable(now)) {
+            lastPicked = g->id;
+            return g;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace dws

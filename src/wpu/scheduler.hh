@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The WPU's SIMD-group scheduler (paper Sections 3.3 and 6.6).
+ *
+ * The scheduler has a fixed number of slots (the paper doubles a
+ * conventional warp scheduler: 2 x warps). A SIMD group must hold a slot
+ * to be issued; groups beyond the slot count sit idle until a slot
+ * frees. A group retains its slot across memory waits and releases it
+ * when it reaches a synchronization point (re-convergence barrier,
+ * global barrier) or dies. Ready groups without slots queue FIFO.
+ * Issue selection is round-robin among issuable slot holders; switching
+ * groups costs no extra latency.
+ */
+
+#ifndef DWS_WPU_SCHEDULER_HH
+#define DWS_WPU_SCHEDULER_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/types.hh"
+#include "wpu/simd_group.hh"
+
+namespace dws {
+
+/** Slot management and round-robin selection. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(int slots) : capacity(slots) {}
+
+    /** @return true if a free slot exists. */
+    bool slotAvailable() const { return used < capacity; }
+
+    /**
+     * Try to give the group a slot; otherwise append it to the FIFO
+     * wait queue. Idempotent for groups that already hold a slot.
+     */
+    void requestSlot(SimdGroup *g);
+
+    /** Release the group's slot (and grant it to the queue head). */
+    void releaseSlot(SimdGroup *g);
+
+    /** Remove a (dying) group from the wait queue if queued. */
+    void dequeue(GroupId id);
+
+    /**
+     * Round-robin selection of the next issuable group, rotating over
+     * warps first ("preferably from a different warp", paper
+     * Section 4.5) and over a warp's splits second.
+     *
+     * @param groups   all live groups of the WPU
+     * @param numWarps warps on the WPU
+     * @param now      current cycle
+     * @return the chosen group, or nullptr if none is issuable
+     */
+    SimdGroup *pick(const std::vector<SimdGroup *> &groups, int numWarps,
+                    Cycle now);
+
+    /** @return slots currently held. */
+    int slotsUsed() const { return used; }
+
+  private:
+    /** Grant free slots to queued groups (FIFO). */
+    void drainQueue();
+
+    int capacity;
+    int used = 0;
+    std::deque<GroupId> waitQueue;
+    std::vector<SimdGroup *> queuedGroups; ///< parallel to waitQueue
+    GroupId lastPicked = -1;
+    int lastWarp = -1;
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_SCHEDULER_HH

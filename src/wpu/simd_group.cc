@@ -1,0 +1,19 @@
+#include "wpu/simd_group.hh"
+
+namespace dws {
+
+const char *
+groupStateName(GroupState s)
+{
+    switch (s) {
+      case GroupState::Ready:       return "Ready";
+      case GroupState::WaitMem:     return "WaitMem";
+      case GroupState::WaitRetry:   return "WaitRetry";
+      case GroupState::WaitReconv:  return "WaitReconv";
+      case GroupState::WaitBarrier: return "WaitBarrier";
+      case GroupState::Dead:        return "Dead";
+    }
+    return "?";
+}
+
+} // namespace dws

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * SimdGroup: one independently schedulable SIMD entity.
+ *
+ * A full (undivided) warp is the root group covering the whole SIMD
+ * width; dynamic warp subdivision creates additional groups
+ * (warp-splits) that share the warp's register file but carry their own
+ * pc, active mask, private re-convergence frames and memory-wait state
+ * (paper Sections 4.4 and 5.4). Each group corresponds to one entry of
+ * the warp-split table once its warp is subdivided.
+ */
+
+#ifndef DWS_WPU_SIMD_GROUP_HH
+#define DWS_WPU_SIMD_GROUP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "wpu/frame.hh"
+#include "wpu/mask.hh"
+
+namespace dws {
+
+/** Scheduling state of a SIMD group. */
+enum class GroupState : std::uint8_t {
+    /** May be issued by the scheduler. */
+    Ready,
+    /** Suspended until outstanding cache accesses complete. */
+    WaitMem,
+    /** Re-attempting a partially issued memory access (MSHRs full). */
+    WaitRetry,
+    /** Arrived at a re-convergence barrier; waiting for siblings. */
+    WaitReconv,
+    /** Arrived at a global (kernel-wide) barrier. */
+    WaitBarrier,
+    /** All lanes halted; entry is reclaimable. */
+    Dead,
+};
+
+/** @return printable state name. */
+const char *groupStateName(GroupState s);
+
+/** A partially issued SIMD memory access awaiting retry. */
+struct PendingAccess
+{
+    bool active = false;
+    bool write = false;
+    /** Unique line addresses not yet accepted by the cache. */
+    std::vector<Addr> lines;
+    /** Lanes mapped to each pending line (parallel to lines). */
+    std::vector<ThreadMask> laneMasks;
+    /** Accumulated outcome of lanes already issued. */
+    ThreadMask hitMask = 0;
+    ThreadMask missMask = 0;
+    /** Latest completion among already-issued hit lanes. */
+    Cycle hitReadyAt = 0;
+    /** Latest completion among already-issued miss lanes. */
+    Cycle missReadyAt = 0;
+};
+
+/** One schedulable SIMD entity (a full warp or a warp-split). */
+struct SimdGroup
+{
+    GroupId id = -1;
+    WarpId warp = -1;
+
+    /** Next pc to execute. */
+    Pc pc = 0;
+
+    /** Lanes this group currently drives (never includes halted lanes). */
+    ThreadMask mask = 0;
+
+    /**
+     * Private re-convergence stack. Invariant: frames.back().mask,
+     * intersected with live lanes, equals mask. When the stack empties
+     * the group has reached its barrier.
+     */
+    std::vector<Frame> frames;
+
+    /** Barrier at which this group re-unites with its siblings. */
+    BarrierRef barrier;
+
+    GroupState state = GroupState::Ready;
+
+    /** Lanes with outstanding memory requests (WaitMem only). */
+    ThreadMask pendingMem = 0;
+
+    /** Earliest cycle the group may issue again. */
+    Cycle readyAt = 0;
+
+    /**
+     * Memory-divergence split under BranchLimited re-convergence: the
+     * group must stop at the next conditional branch or post-dominator
+     * and wait for its sibling (Section 5.3.1).
+     */
+    bool branchLimited = false;
+
+    /** Holds one of the WPU's scheduler slots. */
+    bool hasSlot = false;
+
+    /** Created by a branch subdivision (scheduling hint only). */
+    bool fromBranchSplit = false;
+
+    /** Retry buffer for a partially issued access. */
+    PendingAccess pending;
+
+    /** pc of the memory instruction being waited on (for revive/stats). */
+    Pc memPc = 0;
+
+    /** @return true if the group can be considered by the scheduler. */
+    bool
+    issuable(Cycle now) const
+    {
+        return (state == GroupState::Ready ||
+                state == GroupState::WaitRetry) &&
+               readyAt <= now && hasSlot && mask != 0;
+    }
+
+    /** @return lanes whose memory requests have completed (WaitMem). */
+    ThreadMask doneLanes() const { return mask & ~pendingMem; }
+
+    /** @return true if this group is eligible for a revive split. */
+    bool
+    reviveEligible() const
+    {
+        return state == GroupState::WaitMem && pendingMem != 0 &&
+               doneLanes() != 0;
+    }
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_SIMD_GROUP_HH

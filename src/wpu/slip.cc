@@ -1,0 +1,2 @@
+// SlipController is header-only; see slip.hh.
+#include "wpu/slip.hh"

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Adaptive-slip threshold controller (paper Section 5.7; Tarjan et al.,
+ * "Increasing memory miss tolerance for SIMD cores", SC 2009).
+ *
+ * Slip lets the threads of a warp that hit the cache continue while the
+ * missing threads stay suspended until the run-ahead threads revisit
+ * the same memory instruction. The number of concurrently suspended
+ * threads per warp is bounded by an adaptive threshold: every profiling
+ * interval (100k cycles) the threshold is incremented if the WPU spent
+ * more than 70% of the time waiting for memory, and decremented if the
+ * pipeline was actively executing more than 50% of the time.
+ */
+
+#ifndef DWS_WPU_SLIP_HH
+#define DWS_WPU_SLIP_HH
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Per-WPU adaptive threshold for slip. */
+class SlipController
+{
+  public:
+    /**
+     * @param cfg       the slip policy parameters
+     * @param simdWidth upper bound for the threshold
+     */
+    SlipController(const PolicyConfig &cfg, int simdWidth)
+        : cfg(cfg), width(simdWidth),
+          maxDiv(simdWidth / 2 > 0 ? simdWidth / 2 : 1)
+    {}
+
+    /** @return the current maximum allowed suspended-thread count. */
+    int maxDivergence() const { return maxDiv; }
+
+    /**
+     * @return true if suspending `missCount` more threads (on top of
+     *         `alreadySuspended`) stays within the threshold.
+     */
+    bool
+    maySlip(int alreadySuspended, int missCount) const
+    {
+        return alreadySuspended + missCount <= maxDiv;
+    }
+
+    /** @return the profiling interval in cycles. */
+    Cycle interval() const { return cfg.slipInterval; }
+
+    /**
+     * End-of-interval adaptation.
+     *
+     * @param activeCycles   cycles spent issuing during the interval
+     * @param memWaitCycles  cycles stalled on memory during the interval
+     * @param intervalCycles length of the interval
+     */
+    void
+    adapt(Cycle activeCycles, Cycle memWaitCycles, Cycle intervalCycles)
+    {
+        if (intervalCycles == 0)
+            return;
+        const double memFrac =
+                double(memWaitCycles) / double(intervalCycles);
+        const double activeFrac =
+                double(activeCycles) / double(intervalCycles);
+        if (memFrac > cfg.slipRaiseMemFrac) {
+            if (maxDiv < width)
+                maxDiv++;
+        } else if (activeFrac > cfg.slipLowerActiveFrac) {
+            if (maxDiv > 0)
+                maxDiv--;
+        }
+    }
+
+  private:
+    PolicyConfig cfg;
+    int width;
+    int maxDiv;
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_SLIP_HH

@@ -1,0 +1,2 @@
+// Warp is plain data; see warp.hh.
+#include "wpu/warp.hh"

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-warp bookkeeping shared by all of the warp's SIMD groups.
+ */
+
+#ifndef DWS_WPU_WARP_HH
+#define DWS_WPU_WARP_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+#include "wpu/frame.hh"
+#include "wpu/mask.hh"
+
+namespace dws {
+
+/** One suspended thread set of the adaptive-slip mechanism. */
+struct SlipEntry
+{
+    /** Lanes suspended while waiting for memory. */
+    ThreadMask mask = 0;
+    /** pc of the memory instruction they must resume at. */
+    Pc pc = 0;
+    /** Completion time of their outstanding requests. */
+    Cycle readyAt = 0;
+};
+
+/** State common to all groups of one warp. */
+struct Warp
+{
+    WarpId id = -1;
+
+    /** Lanes whose threads have executed Halt. */
+    ThreadMask halted = 0;
+
+    /** Lanes that exist at all (== fullMask(simdWidth)). */
+    ThreadMask all = 0;
+
+    /** Number of live SIMD groups belonging to this warp. */
+    int liveGroups = 0;
+
+    /** Adaptive slip: suspended thread sets (paper Section 5.7). */
+    std::vector<SlipEntry> slipEntries;
+
+    /** @return lanes still running threads. */
+    ThreadMask alive() const { return all & ~halted; }
+
+    /** @return total lanes currently suspended by slip. */
+    ThreadMask
+    slippedMask() const
+    {
+        ThreadMask m = 0;
+        for (const auto &e : slipEntries)
+            m |= e.mask;
+        return m;
+    }
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_WARP_HH

@@ -1,0 +1,1280 @@
+#include "wpu/wpu.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+Wpu::Wpu(WpuId id, const SystemConfig &sysCfg, const Program &program,
+         Memory &memory, MemSystem &msys, EventQueue &eq,
+         KernelBarrier *kernelBar)
+    : wpuId(id), cfg(sysCfg), policy(sysCfg.policy), prog(program),
+      mem(memory), memsys(msys), events(eq), kbar(kernelBar),
+      wstTable(sysCfg.wpu.wstEntries, sysCfg.wpu.numWarps),
+      sched(sysCfg.wpu.schedSlots),
+      slipCtl(sysCfg.policy, sysCfg.wpu.simdWidth)
+{
+    numThreads = cfg.wpu.numThreads();
+    regs.assign(static_cast<size_t>(numThreads) * kNumRegs, 0);
+    warps.resize(static_cast<size_t>(cfg.wpu.numWarps));
+    warpBarriers.resize(static_cast<size_t>(cfg.wpu.numWarps));
+    warpBarPc.assign(static_cast<size_t>(cfg.wpu.numWarps), kPcUnknown);
+    stats.threadMisses.assign(static_cast<size_t>(numThreads), 0);
+}
+
+ThreadId
+Wpu::tidOf(WarpId w, int lane) const
+{
+    return tidBase + w * cfg.wpu.simdWidth + lane;
+}
+
+std::int64_t &
+Wpu::reg(WarpId w, int lane, int r)
+{
+    return regs[(static_cast<size_t>(w) * cfg.wpu.simdWidth + lane) *
+                        kNumRegs + static_cast<size_t>(r)];
+}
+
+std::int64_t
+Wpu::regAt(WarpId w, int lane, int r) const
+{
+    return regs[(static_cast<size_t>(w) * cfg.wpu.simdWidth + lane) *
+                        kNumRegs + static_cast<size_t>(r)];
+}
+
+void
+Wpu::launch(ThreadId base, int totalThreads)
+{
+    tidBase = base;
+    const ThreadMask full = fullMask(cfg.wpu.simdWidth);
+    for (WarpId w = 0; w < cfg.wpu.numWarps; w++) {
+        Warp &warp = warps[static_cast<size_t>(w)];
+        warp.id = w;
+        warp.all = full;
+        warp.halted = 0;
+        for (int lane = 0; lane < cfg.wpu.simdWidth; lane++) {
+            reg(w, lane, 0) = tidOf(w, lane);
+            reg(w, lane, 1) = totalThreads;
+        }
+        auto exitBar = std::make_shared<ReconvBarrier>();
+        exitBar->isExit = true;
+        exitBar->pc = kPcExit;
+        exitBar->expected = full;
+        exitBar->warp = w;
+        SimdGroup *g = createGroup(
+                w, 0, full, {Frame{0, kPcExit, full}}, exitBar,
+                GroupState::Ready, false);
+        (void)g;
+    }
+}
+
+// --------------------------------------------------------------------
+// Group lifecycle
+// --------------------------------------------------------------------
+
+SimdGroup *
+Wpu::createGroup(WarpId w, Pc pc, ThreadMask mask,
+                 std::vector<Frame> frames, BarrierRef barrier,
+                 GroupState state, bool branchLimited)
+{
+    auto owned = std::make_unique<SimdGroup>();
+    SimdGroup *g = owned.get();
+    g->id = nextGroupId++;
+    g->warp = w;
+    g->pc = pc;
+    g->mask = mask;
+    g->frames = std::move(frames);
+    g->barrier = std::move(barrier);
+    g->state = state;
+    g->branchLimited = branchLimited;
+    // Invariant: live groups of one warp drive disjoint lane sets.
+    for (const SimdGroup *o : live) {
+        if (o->warp == w && (o->mask & mask) != 0) {
+            panic("warp %d: new group %d mask %llx overlaps group %d "
+                  "mask %llx (state %s, pc %d)",
+                  w, g->id, (unsigned long long)mask, o->id,
+                  (unsigned long long)o->mask, groupStateName(o->state),
+                  o->pc);
+        }
+    }
+    groupStore.push_back(std::move(owned));
+    live.push_back(g);
+    wstTable.addGroup(w);
+    sched.requestSlot(g);
+    return g;
+}
+
+void
+Wpu::destroyGroup(SimdGroup *g)
+{
+    g->state = GroupState::Dead;
+    sched.releaseSlot(g);
+    sched.dequeue(g->id);
+    wstTable.removeGroup(g->warp);
+    live.erase(std::remove(live.begin(), live.end(), g), live.end());
+    for (size_t i = 0; i < groupStore.size(); i++) {
+        if (groupStore[i].get() == g) {
+            groupStore.erase(groupStore.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+}
+
+SimdGroup *
+Wpu::findGroup(GroupId id)
+{
+    for (SimdGroup *g : live)
+        if (g->id == id)
+            return g;
+    return nullptr;
+}
+
+// --------------------------------------------------------------------
+// Re-convergence machinery
+// --------------------------------------------------------------------
+
+void
+Wpu::registerBarrier(const BarrierRef &b)
+{
+    warpBarriers[static_cast<size_t>(b->warp)].push_back(b);
+}
+
+void
+Wpu::recheckWarpBarriers(WarpId w)
+{
+    // Copy: checkBarrier can complete barriers and mutate the registry.
+    std::vector<BarrierRef> barriers =
+            warpBarriers[static_cast<size_t>(w)];
+    for (const auto &b : barriers)
+        checkBarrier(b);
+}
+
+void
+Wpu::arriveAtBarrier(const BarrierRef &b, ThreadMask mask, Pc meetPc)
+{
+    if (!b || b->isExit || b->done)
+        return; // program exit: nothing to resume
+    if (meetPc != kPcUnknown) {
+        if (b->pc == kPcUnknown) {
+            b->pc = meetPc; // BranchLimited: first sibling defines the stop
+        } else if (mask != 0 && b->pc != meetPc) {
+            panic("warp %d: siblings met at pc %d vs %d", b->warp, meetPc,
+                  b->pc);
+        }
+    }
+    if (mask != 0) {
+        // The arriving split stays parked in the WST until the merge.
+        b->parkedSplits++;
+        wstTable.addParked(b->warp);
+    }
+    b->arrived |= mask;
+    checkBarrier(b);
+    if (!b->done && policy.slip())
+        spawnNextCatchup(b, lastTickCycle);
+}
+
+void
+Wpu::checkBarrier(const BarrierRef &b)
+{
+    if (b->isExit || b->done)
+        return;
+    const Warp &warp = warps[static_cast<size_t>(b->warp)];
+    const ThreadMask need = b->expected & ~warp.halted;
+    if ((b->arrived & need) != need)
+        return;
+    if (need == 0 && b->pc == kPcUnknown) {
+        // All expected lanes died before any sibling reached a boundary:
+        // nothing to resume at; propagate outward.
+        b->done = true;
+        wstTable.removeParked(b->warp, b->parkedSplits);
+        auto &reg = warpBarriers[static_cast<size_t>(b->warp)];
+        reg.erase(std::remove(reg.begin(), reg.end(), b), reg.end());
+        if (b->outer)
+            arriveAtBarrier(b->outer, 0, kPcUnknown);
+        return;
+    }
+    completeBarrier(b);
+}
+
+void
+Wpu::completeBarrier(const BarrierRef &b)
+{
+    b->done = true;
+    wstTable.removeParked(b->warp, b->parkedSplits);
+    auto &reg = warpBarriers[static_cast<size_t>(b->warp)];
+    reg.erase(std::remove(reg.begin(), reg.end(), b), reg.end());
+    stats.stackMerges++;
+    if (getenv("DWS_TRACE"))
+        fprintf(stderr, "COMPLETE wpu%d w%d pc=%d origRpc=%d "
+                "expected=%llx arrived=%llx depth=%zu\n",
+                wpuId, b->warp, b->pc, b->origRpc,
+                (unsigned long long)b->expected,
+                (unsigned long long)b->arrived, b->contFrames.size());
+    std::vector<Frame> frames = b->contFrames;
+    frames.push_back(Frame{b->pc, b->origRpc, b->expected});
+    resumeFromFrames(b->warp, std::move(frames), b->outer);
+}
+
+void
+Wpu::resumeFromFrames(WarpId w, std::vector<Frame> frames,
+                      const BarrierRef &outer)
+{
+    const Warp &warp = warps[static_cast<size_t>(w)];
+    const ThreadMask off = warp.halted | warp.slippedMask();
+    while (!frames.empty() && (frames.back().mask & ~off) == 0)
+        frames.pop_back();
+    if (frames.empty()) {
+        arriveAtBarrier(outer, 0, kPcUnknown);
+        checkBarrier(outer);
+        return;
+    }
+    const Frame &top = frames.back();
+    SimdGroup *g = createGroup(w, top.pc, top.mask & ~off,
+                               std::move(frames), outer,
+                               GroupState::Ready, false);
+    advanceControl(g);
+}
+
+bool
+Wpu::advanceControl(SimdGroup *g)
+{
+    const Warp &warp = warps[static_cast<size_t>(g->warp)];
+    const ThreadMask off = warp.halted | warp.slippedMask();
+    while (true) {
+        if (g->frames.empty())
+            panic("group %d of warp %d has no frames", g->id, g->warp);
+        Frame &top = g->frames.back();
+        if (g->pc != top.rpc) {
+            // BranchLimited splits stop at the next conditional branch.
+            if (g->branchLimited && g->pc >= 0 && g->pc < prog.size() &&
+                prog.at(g->pc).op == Op::Br) {
+                const ThreadMask m = g->mask;
+                const BarrierRef b = g->barrier;
+                const Pc meet = g->pc;
+                destroyGroup(g);
+                arriveAtBarrier(b, m, meet);
+                return false;
+            }
+            return true;
+        }
+        // Reached the re-convergence point of the top frame.
+        if (policy.slip() && (warp.slippedMask() & top.mask) != 0) {
+            // Slip: the stack cannot pop while lanes masked on this
+            // frame are suspended waiting for memory — the boundary
+            // handler converts them into catch-up groups first.
+            return true;
+        }
+        g->frames.pop_back();
+        while (!g->frames.empty() &&
+               (g->frames.back().mask & ~off) == 0) {
+            g->frames.pop_back();
+        }
+        if (g->frames.empty()) {
+            const ThreadMask m = g->mask;
+            const BarrierRef b = g->barrier;
+            const Pc meet = g->pc;
+            destroyGroup(g);
+            arriveAtBarrier(b, m, meet);
+            return false;
+        }
+        g->mask = g->frames.back().mask & ~off;
+        g->pc = g->frames.back().pc;
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue path
+// --------------------------------------------------------------------
+
+bool
+Wpu::hasImminentWork() const
+{
+    // WaitRetry groups are event-driven (wakeRetry); only Ready groups
+    // require cycle-by-cycle ticking.
+    for (const SimdGroup *g : live) {
+        if (g->state == GroupState::Ready)
+            return true;
+    }
+    return false;
+}
+
+void
+Wpu::classifyStall()
+{
+    for (const SimdGroup *g : live) {
+        if (g->state == GroupState::WaitMem ||
+            g->state == GroupState::WaitRetry) {
+            stats.memStallCycles++;
+            return;
+        }
+    }
+    stats.otherStallCycles++;
+}
+
+void
+Wpu::addStallCycles(std::uint64_t n)
+{
+    stallStreak += static_cast<int>(n > 1000 ? 1000 : n);
+    if (finished()) {
+        stats.idleCycles += n;
+        return;
+    }
+    for (const SimdGroup *g : live) {
+        if (g->state == GroupState::WaitMem ||
+            g->state == GroupState::WaitRetry) {
+            stats.memStallCycles += n;
+            return;
+        }
+    }
+    stats.otherStallCycles += n;
+}
+
+SimdGroup *
+Wpu::pickExecutable(Cycle now)
+{
+    while (true) {
+        SimdGroup *g = sched.pick(live, cfg.wpu.numWarps, now);
+        if (!g)
+            return nullptr;
+        // A partially issued access resumes without a new fetch.
+        if (g->pending.active)
+            return g;
+        // Laggard-first among ready siblings of the same warp: letting
+        // the split with the smallest pc run makes it catch up to its
+        // waiting sibling so PC-based re-convergence can re-unite them
+        // (the paper's scheduler likewise biases selection to help the
+        // PC comparison, Section 4.5).
+        if (policy.pcReconv() && g->fromBranchSplit &&
+            wstTable.groups(g->warp) > 1) {
+            // Laggard-first among nearby *branch-split* siblings: the
+            // two sides of a short diamond re-unite fastest when the
+            // trailing side runs first (PC re-convergence then merges
+            // them at the join). Memory splits are exempt: their
+            // run-ahead must keep running to prefetch for the
+            // fall-behind (Section 5.1).
+            constexpr Pc kCatchupWindow = 24;
+            for (SimdGroup *s : live) {
+                if (s != g && s->warp == g->warp && s->issuable(now) &&
+                    s->fromBranchSplit && !s->pending.active &&
+                    s->pc < g->pc && g->pc - s->pc <= kCatchupWindow &&
+                    s->barrier == g->barrier) {
+                    g = s;
+                }
+            }
+        }
+        // Adaptive slip: forced re-convergence boundaries.
+        if (policy.slip() && slipHandleBoundary(g, now))
+            continue;
+        // I-fetch through the I-cache.
+        const Addr iaddr = kInstrAddrBase + prog.instrAddr(g->pc);
+        const Addr iline = memsys.icache(wpuId).lineAddr(iaddr);
+        const LineResponse resp = memsys.accessInstr(wpuId, iline, now);
+        if (resp.retry) {
+            g->readyAt = now + 1;
+            continue;
+        }
+        if (!resp.l1Hit) {
+            g->state = GroupState::WaitMem;
+            g->pendingMem = 0;
+            g->readyAt = resp.readyAt;
+            const GroupId id = g->id;
+            const Cycle at = resp.readyAt;
+            events.schedule(at, [this, id, at] { wake(id, 0, at); });
+            continue;
+        }
+        return g;
+    }
+}
+
+void
+Wpu::checkLaneInvariant(Cycle now)
+{
+    for (WarpId w = 0; w < cfg.wpu.numWarps; w++) {
+        const Warp &warp = warps[static_cast<size_t>(w)];
+        ThreadMask covered = warp.halted | warp.slippedMask();
+        for (const SimdGroup *g : live) {
+            if (g->warp != w)
+                continue;
+            covered |= g->mask;
+            for (const Frame &f : g->frames)
+                covered |= f.mask;
+        }
+        for (const auto &b : warpBarriers[static_cast<size_t>(w)]) {
+            covered |= b->arrived;
+            covered |= b->expected;
+            for (const Frame &f : b->contFrames)
+                covered |= f.mask;
+        }
+        if (covered != warp.all) {
+            fprintf(stderr, "%s", dumpState().c_str());
+            panic("cycle %llu wpu %d warp %d: lanes %llx unaccounted",
+                  (unsigned long long)now, wpuId, w,
+                  (unsigned long long)(warp.all & ~covered));
+        }
+    }
+}
+
+bool
+Wpu::tick(Cycle now)
+{
+    lastTickCycle = now;
+    if (getenv("DWS_CHECK_LANES") && now % 64 == 0)
+        checkLaneInvariant(now);
+    if (finished()) {
+        stats.idleCycles++;
+        return false;
+    }
+
+    if (policy.slip() && now - lastSlipAdapt >= slipCtl.interval()) {
+        slipCtl.adapt(stats.activeCycles - lastActive,
+                      stats.memStallCycles - lastMemStall,
+                      now - lastSlipAdapt);
+        lastSlipAdapt = now;
+        lastActive = stats.activeCycles;
+        lastMemStall = stats.memStallCycles;
+    }
+
+    SimdGroup *g = pickExecutable(now);
+    if (!g) {
+        classifyStall();
+        stallStreak++;
+        // Revive only once a stall has outlasted a cache hit: transient
+        // single-cycle bubbles between hit-waiting warps are not worth
+        // a subdivision (they resolve by themselves).
+        if (policy.reviveOnStall() &&
+            stallStreak > cfg.wpu.dcache.hitLatency) {
+            tryReviveSplit(now);
+        }
+        return false;
+    }
+    stallStreak = 0;
+    issue(g, now);
+    stats.activeCycles++;
+    return true;
+}
+
+void
+Wpu::issue(SimdGroup *g, Cycle now)
+{
+    // Resume a partially issued SIMD memory access first.
+    if (g->pending.active) {
+        issueLines(g, now);
+        return;
+    }
+
+    const Instr &in = prog.at(g->pc);
+
+    // Adaptive slip: fall-behind threads re-unite when the run-ahead
+    // revisits their memory instruction.
+    if (policy.slip())
+        slipMergeCheck(g, now);
+
+    // PC-based re-convergence (Section 4.5): re-unite ready sibling
+    // splits whose pc matches the running split's. The paper compares
+    // at cache accesses; our splits park one instruction after their
+    // access (the load has architecturally completed), so the running
+    // split performs the comparison at every issue in a subdivided
+    // warp — same merge events, shifted by one instruction.
+    if (policy.pcReconv() && wstTable.groups(g->warp) > 1)
+        tryPcMerge(g, now);
+
+    stats.issuedInstrs++;
+    stats.scalarInstrs += static_cast<std::uint64_t>(popcount(g->mask));
+
+    switch (in.op) {
+      case Op::Ld:
+      case Op::St:
+        execMem(g, in, now);
+        return;
+      case Op::Br:
+        execBranch(g, in, now);
+        return;
+      case Op::Jmp:
+        g->pc = in.target;
+        advanceControl(g);
+        return;
+      case Op::Bar:
+        execBar(g, now);
+        return;
+      case Op::Halt:
+        execHalt(g, now);
+        return;
+      default:
+        execAlu(g, in);
+        g->pc++;
+        advanceControl(g);
+        return;
+    }
+}
+
+void
+Wpu::execAlu(SimdGroup *g, const Instr &in)
+{
+    if (in.op == Op::Nop)
+        return;
+    for (int lane : Lanes(g->mask)) {
+        const std::int64_t a = reg(g->warp, lane, in.ra);
+        const std::int64_t b = reg(g->warp, lane, in.rb);
+        reg(g->warp, lane, in.rd) = evalAlu(in.op, a, b, in.imm);
+    }
+}
+
+// --------------------------------------------------------------------
+// Branches
+// --------------------------------------------------------------------
+
+void
+Wpu::execBranch(SimdGroup *g, const Instr &in, Cycle now)
+{
+    (void)now;
+    stats.branches++;
+    ThreadMask taken = 0;
+    for (int lane : Lanes(g->mask)) {
+        if (reg(g->warp, lane, in.ra) != 0)
+            taken |= laneBit(lane);
+    }
+    const ThreadMask notTaken = g->mask & ~taken;
+
+    if (notTaken == 0) {
+        g->pc = in.target;
+        advanceControl(g);
+        return;
+    }
+    if (taken == 0) {
+        g->pc++;
+        advanceControl(g);
+        return;
+    }
+
+    stats.divergentBranches++;
+    const bool loneWarp = wstTable.groups(g->warp) == 1;
+    const bool want = policy.wantBranchSplit(loneWarp, in,
+                                             popcount(g->mask)) &&
+                      !g->branchLimited;
+    if (want && wstTable.canSubdivide(g->warp)) {
+        branchSplit(g, in, taken, notTaken);
+        return;
+    }
+    if (want)
+        stats.wstFullDenials++;
+    conventionalBranch(g, in, taken, notTaken);
+}
+
+void
+Wpu::conventionalBranch(SimdGroup *g, const Instr &in, ThreadMask taken,
+                        ThreadMask notTaken)
+{
+    const Pc rpc = prog.branchInfo(g->pc).ipdom;
+    Frame &top = g->frames.back();
+    top.pc = rpc; // continuation once both paths re-converge
+    g->frames.push_back(Frame{g->pc + 1, rpc, notTaken});
+    g->frames.push_back(Frame{in.target, rpc, taken});
+    g->mask = taken;
+    g->pc = in.target;
+    advanceControl(g);
+}
+
+BarrierRef
+Wpu::splitBarrier(SimdGroup *g, bool branchLimited)
+{
+    // The paper keeps ONE re-convergence point per warp: warp-splits
+    // "keep being subdivided upon future divergent branches until they
+    // reach the post-dominator associated with the top of the
+    // re-convergence stack" (Section 4.4). A split subdividing again
+    // therefore joins its existing barrier rather than nesting a new
+    // one — this is also what lets PC-based re-convergence merge any
+    // two splits of the warp.
+    if (!g->barrier->isExit && !g->barrier->done &&
+        g->frames.size() == 1 &&
+        g->barrier->origRpc == g->frames.back().rpc) {
+        return g->barrier;
+    }
+    const Frame &top = g->frames.back();
+    auto b = std::make_shared<ReconvBarrier>();
+    b->pc = branchLimited ? kPcUnknown : top.rpc;
+    b->origRpc = top.rpc;
+    b->expected = top.mask;
+    b->contFrames.assign(g->frames.begin(), g->frames.end() - 1);
+    b->outer = g->barrier;
+    b->warp = g->warp;
+    registerBarrier(b);
+    return b;
+}
+
+void
+Wpu::branchSplit(SimdGroup *g, const Instr &in, ThreadMask taken,
+                 ThreadMask notTaken)
+{
+    stats.branchSplits++;
+    const Frame top = g->frames.back();
+    BarrierRef b = splitBarrier(g, false);
+
+    const Pc fallPc = g->pc + 1;
+
+    // The issuing group becomes the taken-path split...
+    g->frames = {Frame{in.target, top.rpc, taken}};
+    g->mask = taken;
+    g->pc = in.target;
+    g->barrier = b;
+
+    // ... and a new split takes the fall-through path. Both are active
+    // scheduling entities; their execution can interleave (Figure 6d).
+    g->fromBranchSplit = true;
+    SimdGroup *other = createGroup(
+            g->warp, fallPc, notTaken, {Frame{fallPc, top.rpc, notTaken}},
+            b, GroupState::Ready, false);
+    other->fromBranchSplit = true;
+    advanceControl(other);
+    advanceControl(g);
+}
+
+// --------------------------------------------------------------------
+// Memory
+// --------------------------------------------------------------------
+
+void
+Wpu::execMem(SimdGroup *g, const Instr &in, Cycle now)
+{
+    const bool isStore = (in.op == Op::St);
+    stats.memAccesses++;
+
+    PendingAccess &pa = g->pending;
+    pa = PendingAccess{};
+    pa.active = true;
+    pa.write = isStore;
+
+    CacheArray &d = memsys.dcache(wpuId);
+    for (int lane : Lanes(g->mask)) {
+        const Addr addr = static_cast<Addr>(
+                reg(g->warp, lane, in.ra) + in.imm);
+        if (addr % kWordBytes != 0 || addr >= mem.sizeBytes()) {
+            panic("wpu %d warp %d lane %d group %d: bad address %#llx "
+                  "at pc %d (ra r%d=%lld imm %lld)",
+                  wpuId, g->warp, lane, g->id,
+                  (unsigned long long)addr, g->pc, in.ra,
+                  (long long)reg(g->warp, lane, in.ra),
+                  (long long)in.imm);
+        }
+        if (in.op == Op::Ld)
+            reg(g->warp, lane, in.rd) = mem.read(addr);
+        else
+            mem.write(addr, reg(g->warp, lane, in.rb));
+        const Addr lineA = d.lineAddr(addr);
+        bool found = false;
+        for (size_t i = 0; i < pa.lines.size(); i++) {
+            if (pa.lines[i] == lineA) {
+                pa.laneMasks[i] |= laneBit(lane);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            pa.lines.push_back(lineA);
+            pa.laneMasks.push_back(laneBit(lane));
+        }
+    }
+
+    g->memPc = g->pc;
+    g->pc = g->pc + 1; // threads resume past the access
+    g->state = GroupState::WaitMem;
+    g->pendingMem = 0;
+
+    issueLines(g, now);
+}
+
+void
+Wpu::issueLines(SimdGroup *g, Cycle now)
+{
+    PendingAccess &pa = g->pending;
+    CacheArray &d = memsys.dcache(wpuId);
+
+    // Bank-conflict queuing among the lines of this attempt: one extra
+    // cycle per additional line mapping to the same bank.
+    std::vector<int> bankUse(static_cast<size_t>(d.config().banks), 0);
+
+    std::vector<Addr> remaining;
+    std::vector<ThreadMask> remainingMasks;
+    Cycle retryAt = 0;
+    for (size_t i = 0; i < pa.lines.size(); i++) {
+        const Addr lineA = pa.lines[i];
+        const ThreadMask lanes = pa.laneMasks[i];
+        const int bank = d.bankOf(lineA);
+        const int delay = bankUse[static_cast<size_t>(bank)];
+        const LineResponse resp =
+                memsys.accessData(wpuId, lineA, pa.write, delay, now);
+        if (resp.retry) {
+            remaining.push_back(lineA);
+            remainingMasks.push_back(lanes);
+            // Re-attempt when the blocking resource frees (earliest
+            // in-flight MSHR completion), not by busy-spinning on the
+            // issue port.
+            if (resp.readyAt > 0 &&
+                (retryAt == 0 || resp.readyAt < retryAt)) {
+                retryAt = resp.readyAt;
+            }
+            continue;
+        }
+        bankUse[static_cast<size_t>(bank)]++;
+        if (delay > 0)
+            d.stats.bankConflicts++;
+        if (resp.l1Hit) {
+            pa.hitMask |= lanes;
+            if (resp.readyAt > pa.hitReadyAt)
+                pa.hitReadyAt = resp.readyAt;
+        } else {
+            pa.missMask |= lanes;
+            if (resp.readyAt > pa.missReadyAt)
+                pa.missReadyAt = resp.readyAt;
+            g->pendingMem |= lanes;
+            for (int lane : Lanes(lanes)) {
+                stats.threadMisses[static_cast<size_t>(
+                        g->warp * cfg.wpu.simdWidth + lane)]++;
+            }
+            const GroupId id = g->id;
+            const Cycle at = resp.readyAt;
+            events.schedule(at, [this, id, lanes, at] {
+                wake(id, lanes, at);
+            });
+        }
+    }
+    pa.lines = std::move(remaining);
+    pa.laneMasks = std::move(remainingMasks);
+
+    if (!pa.lines.empty()) {
+        g->state = GroupState::WaitRetry;
+        g->readyAt = std::max(retryAt, now + 1);
+        const GroupId id = g->id;
+        const Cycle at = g->readyAt;
+        events.schedule(at, [this, id, at] { wakeRetry(id, at); });
+        return;
+    }
+    finalizeAccess(g, now);
+}
+
+void
+Wpu::finalizeAccess(SimdGroup *g, Cycle now)
+{
+    PendingAccess pa = g->pending;
+    g->pending = PendingAccess{};
+
+    if (pa.missMask != 0)
+        stats.missAccesses++;
+    const bool divergent = pa.hitMask != 0 && pa.missMask != 0;
+    if (divergent)
+        stats.divergentAccesses++;
+
+    if (pa.hitReadyAt == 0)
+        pa.hitReadyAt = now + cfg.wpu.dcache.hitLatency;
+
+    g->state = GroupState::WaitMem;
+    g->readyAt = pa.hitReadyAt;
+
+    Warp &warp = warps[static_cast<size_t>(g->warp)];
+
+    // Adaptive slip: suspend the missing threads, let the hitters run.
+    // Only a warp that is a single clean group may slip: during a
+    // catch-up phase (pending boundary barrier) further slipping could
+    // strand lanes behind a barrier nobody completes.
+    if (policy.slip() && divergent &&
+        wstTable.groups(g->warp) == 1 &&
+        wstTable.parked(g->warp) == 0 &&
+        warpBarriers[static_cast<size_t>(g->warp)].empty() &&
+        slipCtl.maySlip(popcount(warp.slippedMask()),
+                        popcount(pa.missMask))) {
+        if (getenv("DWS_TRACE") && g->warp == 0)
+            fprintf(stderr, "SLIP w%d pc=%d miss=%llx gmask=%llx\n",
+                    g->warp, g->memPc,
+                    (unsigned long long)pa.missMask,
+                    (unsigned long long)g->mask);
+        warp.slipEntries.push_back(
+                SlipEntry{pa.missMask, g->memPc, pa.missReadyAt});
+        g->mask &= ~pa.missMask;
+        g->pendingMem = 0;
+        stats.slipsTaken++;
+        const GroupId id = g->id;
+        const Cycle at = std::max(pa.hitReadyAt, now + 1);
+        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+        return;
+    }
+
+    if (pa.missMask == 0) {
+        const GroupId id = g->id;
+        const Cycle at = std::max(pa.hitReadyAt, now + 1);
+        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+        return;
+    }
+
+    if (divergent && !policy.slip()) {
+        const bool want =
+                policy.wantMemSplit(anyOtherReady(g), popcount(g->mask));
+        if (want && wstTable.canSubdivide(g->warp)) {
+            memSplit(g, pa.hitMask, pa.hitReadyAt, now);
+            return;
+        }
+        if (want)
+            stats.wstFullDenials++;
+    }
+    // Conventional: the group waits for all lanes; the pending wake
+    // events will ready it once pendingMem drains.
+}
+
+void
+Wpu::memSplit(SimdGroup *g, ThreadMask readyMask, Cycle readyAt, Cycle now)
+{
+    stats.memSplits++;
+    const Frame top = g->frames.back();
+    const bool bl = policy.branchLimited();
+    BarrierRef b = splitBarrier(g, bl);
+
+    // Fall-behind split first: the issuing group keeps its id (and
+    // shrinks to the missing lanes) so in-flight completion events
+    // still find the waiting lanes.
+    const ThreadMask miss = g->mask & ~readyMask;
+    g->mask = miss;
+    g->frames = {Frame{g->pc, top.rpc, miss}};
+    g->barrier = b;
+    g->branchLimited = bl;
+    // state stays WaitMem; pendingMem already covers the missing lanes.
+
+    // Run-ahead split: threads whose requests are satisfied.
+    SimdGroup *run = createGroup(
+            g->warp, g->pc, readyMask,
+            {Frame{g->pc, top.rpc, readyMask}}, b, GroupState::WaitMem, bl);
+    run->readyAt = readyAt;
+    {
+        const GroupId id = run->id;
+        const Cycle at = std::max(readyAt, now + 1);
+        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+    }
+}
+
+void
+Wpu::wakeRetry(GroupId id, Cycle now)
+{
+    SimdGroup *g = findGroup(id);
+    if (!g || g->state != GroupState::WaitRetry || now < g->readyAt)
+        return;
+    g->state = GroupState::Ready;
+    sched.requestSlot(g);
+}
+
+void
+Wpu::wake(GroupId id, ThreadMask lanes, Cycle now)
+{
+    SimdGroup *g = findGroup(id);
+    if (!g || g->state == GroupState::Dead)
+        return;
+    g->pendingMem &= ~lanes;
+    if (g->state != GroupState::WaitMem || g->pendingMem != 0)
+        return;
+    if (now < g->readyAt) {
+        const Cycle at = g->readyAt;
+        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+        return;
+    }
+    becomeReady(g, now);
+}
+
+void
+Wpu::becomeReady(SimdGroup *g, Cycle now)
+{
+    g->state = GroupState::Ready;
+    sched.requestSlot(g);
+    if (!advanceControl(g))
+        return;
+    // PC-based re-convergence also fires when a split wakes up at a pc
+    // where a ready sibling already waits ("resumed warp-splits from
+    // the ready queue" are the natural comparison point, Section 4.5).
+    if (policy.pcReconv() && !policy.slip() &&
+        wstTable.groups(g->warp) > 1) {
+        tryPcMerge(g, now);
+    }
+}
+
+bool
+Wpu::anyOtherReady(const SimdGroup *g) const
+{
+    // LazySplit/ReviveSplit subdivide only when "all other SIMD groups
+    // are waiting for memory" (Section 5.2). A group merely paying the
+    // D-cache hit latency is about to issue again and can hide latency,
+    // so it does not count as waiting.
+    const int hitLat = cfg.wpu.dcache.hitLatency;
+    for (const SimdGroup *o : live) {
+        if (o == g)
+            continue;
+        if (o->state == GroupState::Ready)
+            return true;
+        if (o->state == GroupState::WaitMem && o->pendingMem == 0 &&
+            o->readyAt <= lastTickCycle + hitLat) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Wpu::tryReviveSplit(Cycle now)
+{
+    for (SimdGroup *g : live) {
+        if (g->state != GroupState::WaitMem || g->pendingMem == 0)
+            continue;
+        const ThreadMask done = g->doneLanes();
+        if (done == 0 || now < g->readyAt)
+            continue;
+        if (popcount(g->mask) < policy.config().minSplitWidth)
+            continue;
+        if (!wstTable.canSubdivide(g->warp)) {
+            stats.wstFullDenials++;
+            return;
+        }
+        memSplit(g, done, now, now);
+        return; // only one group is subdivided at a time
+    }
+}
+
+void
+Wpu::tryPcMerge(SimdGroup *g, Cycle now)
+{
+    (void)now;
+    if (g->frames.size() != 1)
+        return;
+    // Collect merge candidates first: merging mutates `live`.
+    std::vector<SimdGroup *> candidates;
+    for (SimdGroup *s : live) {
+        if (s == g || s->warp != g->warp)
+            continue;
+        if (s->state != GroupState::Ready)
+            continue;
+        if (s->pc != g->pc || s->frames.size() != 1)
+            continue;
+        if (s->barrier != g->barrier)
+            continue;
+        if (s->branchLimited != g->branchLimited)
+            continue;
+        candidates.push_back(s);
+    }
+    for (SimdGroup *s : candidates) {
+        g->mask |= s->mask;
+        g->frames.back().mask |= s->frames.back().mask;
+        stats.pcMerges++;
+        destroyGroup(s);
+    }
+}
+
+// --------------------------------------------------------------------
+// Barriers and termination
+// --------------------------------------------------------------------
+
+void
+Wpu::execBar(SimdGroup *g, Cycle now)
+{
+    const WarpId w = g->warp;
+    if (warpBarPc[static_cast<size_t>(w)] != kPcUnknown &&
+        warpBarPc[static_cast<size_t>(w)] != g->pc) {
+        panic("warp %d: groups at different kernel barriers (%d vs %d)",
+              w, warpBarPc[static_cast<size_t>(w)], g->pc);
+    }
+    warpBarPc[static_cast<size_t>(w)] = g->pc;
+    g->state = GroupState::WaitBarrier;
+    sched.releaseSlot(g);
+    if (getenv("DWS_TRACE"))
+        fprintf(stderr, "[%llu] BAR-ARRIVE wpu%d warp%d group%d pc=%d "
+                "mask=%llx\n", (unsigned long long)now, wpuId, w, g->id,
+                g->pc, (unsigned long long)g->mask);
+    kbar->arrive(popcount(g->mask), g->pc, now);
+}
+
+void
+Wpu::releaseKernelBarrier(Cycle now)
+{
+    for (WarpId w = 0; w < cfg.wpu.numWarps; w++) {
+        std::vector<SimdGroup *> waiting;
+        for (SimdGroup *g : live) {
+            if (g->warp != w)
+                continue;
+            if (g->state != GroupState::WaitBarrier)
+                panic("kernel barrier released while warp %d group %d "
+                      "is %s", w, g->id, groupStateName(g->state));
+            waiting.push_back(g);
+        }
+        if (waiting.empty())
+            continue;
+        const Pc barPc = warpBarPc[static_cast<size_t>(w)];
+        warpBarPc[static_cast<size_t>(w)] = kPcUnknown;
+        for (SimdGroup *g : waiting)
+            destroyGroup(g);
+        warpBarriers[static_cast<size_t>(w)].clear();
+        wstTable.clearParked(w);
+        Warp &warp = warps[static_cast<size_t>(w)];
+        if (!warp.slipEntries.empty())
+            panic("wpu %d warp %d: slip entries survived a kernel "
+                  "barrier", wpuId, w);
+        const ThreadMask alive = warp.alive();
+        if (alive == 0)
+            continue;
+        auto exitBar = std::make_shared<ReconvBarrier>();
+        exitBar->isExit = true;
+        exitBar->pc = kPcExit;
+        exitBar->expected = alive;
+        exitBar->warp = w;
+        SimdGroup *g = createGroup(
+                w, barPc + 1, alive, {Frame{barPc + 1, kPcExit, alive}},
+                exitBar, GroupState::Ready, false);
+        advanceControl(g);
+    }
+    (void)now;
+}
+
+void
+Wpu::haltLanes(SimdGroup *g, Cycle now)
+{
+    Warp &warp = warps[static_cast<size_t>(g->warp)];
+    const ThreadMask lanes = g->mask;
+    warp.halted |= lanes;
+    haltedThreads += popcount(lanes);
+    const WarpId w = g->warp;
+
+    // Walk the stack the way a re-convergence pop would.
+    const ThreadMask off = warp.halted | warp.slippedMask();
+    while (!g->frames.empty() &&
+           (g->frames.back().mask & ~off) == 0) {
+        g->frames.pop_back();
+    }
+    if (g->frames.empty()) {
+        const BarrierRef b = g->barrier;
+        destroyGroup(g);
+        arriveAtBarrier(b, 0, kPcUnknown);
+        checkBarrier(b);
+    } else {
+        g->mask = g->frames.back().mask & ~off;
+        g->pc = g->frames.back().pc;
+        advanceControl(g);
+    }
+
+    recheckWarpBarriers(w);
+    kbar->onHalt(popcount(lanes), now);
+
+    if (policy.slip() && !warps[static_cast<size_t>(w)].slipEntries.empty()
+        && wstTable.groups(w) == 0) {
+        slipReleaseOrphans(w, now);
+    }
+}
+
+void
+Wpu::execHalt(SimdGroup *g, Cycle now)
+{
+    haltLanes(g, now);
+}
+
+// --------------------------------------------------------------------
+// Adaptive slip
+// --------------------------------------------------------------------
+
+void
+Wpu::slipMergeCheck(SimdGroup *g, Cycle now)
+{
+    Warp &warp = warps[static_cast<size_t>(g->warp)];
+    if (warp.slipEntries.empty() || getenv("DWS_NO_SLIP_MERGE"))
+        return;
+    for (size_t i = 0; i < warp.slipEntries.size();) {
+        SlipEntry &e = warp.slipEntries[i];
+        // A suspended thread set may only re-unite with a group whose
+        // current frame already masks its lanes (the frame they were
+        // suspended from or one of its re-convergence ancestors).
+        // Merging into an unrelated group (e.g. a catch-up split
+        // passing the same pc) would smuggle the lanes into a barrier
+        // that does not expect them.
+        if (e.pc == g->pc && e.readyAt <= now &&
+            (e.mask & ~warp.halted & ~g->frames.back().mask) == 0) {
+            const ThreadMask lanes = e.mask & ~warp.halted;
+            if (getenv("DWS_CHECK_MERGE")) {
+                const Instr &min = prog.at(e.pc);
+                if (min.op == Op::Ld) {
+                    for (int lane : Lanes(lanes)) {
+                        const Addr a = static_cast<Addr>(
+                                reg(g->warp, lane, min.ra) + min.imm);
+                        const std::int64_t nowV = mem.read(a);
+                        const std::int64_t oldV =
+                                reg(g->warp, lane, min.rd);
+                        if (nowV != oldV)
+                            fprintf(stderr, "MERGE-DIFF wpu%d w%d lane%d "
+                                    "pc=%d addr=%llx old=%lld now=%lld\n",
+                                    wpuId, g->warp, lane, e.pc,
+                                    (unsigned long long)a,
+                                    (long long)oldV, (long long)nowV);
+                    }
+                }
+            }
+            if (getenv("DWS_TRACE") && g->warp == 0)
+                fprintf(stderr, "[%llu] MERGE w%d pc=%d lanes=%llx gmask=%llx\n",
+                        (unsigned long long)now, g->warp, g->pc,
+                        (unsigned long long)lanes, (unsigned long long)g->mask);
+            g->mask |= lanes;
+            // The lanes are already masked on this frame and all of
+            // its ancestors (stack construction), so no frame update
+            // is needed.
+            warp.slipEntries.erase(
+                    warp.slipEntries.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+        } else {
+            i++;
+        }
+    }
+}
+
+bool
+Wpu::slipHandleBoundary(SimdGroup *g, Cycle now)
+{
+    Warp &warp = warps[static_cast<size_t>(g->warp)];
+    if (warp.slipEntries.empty())
+        return false;
+    const Instr &in = prog.at(g->pc);
+    const bool branchStop = (in.op == Op::Br) && !policy.slipBranchBypass();
+    const bool barStop = (in.op == Op::Bar) || (in.op == Op::Halt);
+    // A re-convergence point whose frame still masks suspended lanes is
+    // also a forced boundary: the stack may not pop past them.
+    const bool rpcStop =
+            g->pc == g->frames.back().rpc &&
+            (warp.slippedMask() & g->frames.back().mask) != 0;
+    if (!branchStop && !barStop && !rpcStop)
+        return false;
+
+    // Only entries masked on the current frame can catch up to this
+    // boundary; entries belonging to an outer frame (possible under
+    // BranchBypass) stay suspended until the stack returns to their
+    // level, where the rpc rule above forces their re-convergence.
+    const ThreadMask frameMask = g->frames.back().mask;
+    bool anyCovered = false;
+    for (const SlipEntry &e : warp.slipEntries) {
+        if ((e.mask & ~warp.halted & frameMask) != 0) {
+            anyCovered = true;
+            break;
+        }
+    }
+    if (!anyCovered)
+        return false; // proceed; outer-level entries resolve later
+
+    stats.slipStallsAtBranch++;
+
+    // Convert into a barrier re-convergence: the runner parks, the
+    // suspended thread sets catch up to the boundary pc.
+    const Frame top = g->frames.back();
+    auto b = std::make_shared<ReconvBarrier>();
+    b->pc = g->pc;
+    b->origRpc = top.rpc;
+    b->expected = top.mask;
+    b->contFrames.assign(g->frames.begin(), g->frames.end() - 1);
+    b->outer = g->barrier;
+    b->warp = g->warp;
+    registerBarrier(b);
+
+    const Pc stopPc = g->pc;
+    const ThreadMask runnerMask = g->mask;
+    if (getenv("DWS_TRACE"))
+        fprintf(stderr, "BOUNDARY wpu%d w%d stop=%d origRpc=%d "
+                "expected=%llx runner=%llx nent=%zu depth=%zu\n",
+                wpuId, g->warp, stopPc, b->origRpc,
+                (unsigned long long)b->expected,
+                (unsigned long long)runnerMask, warp.slipEntries.size(),
+                b->contFrames.size());
+    destroyGroup(g);
+    arriveAtBarrier(b, runnerMask, stopPc);
+    // Unlike DWS, slip has no extra scheduling entities (paper Section
+    // 5.7): suspended thread sets catch up to the boundary ONE AT A
+    // TIME; spawnNextCatchup() chains the rest as each one arrives.
+    spawnNextCatchup(b, now);
+    return true;
+}
+
+void
+Wpu::spawnNextCatchup(const BarrierRef &b, Cycle now)
+{
+    if (b->done)
+        return;
+    Warp &warp = warps[static_cast<size_t>(b->warp)];
+    // Earliest-ready entry whose lanes this barrier still expects.
+    size_t best = warp.slipEntries.size();
+    for (size_t i = 0; i < warp.slipEntries.size(); i++) {
+        const SlipEntry &e = warp.slipEntries[i];
+        const ThreadMask m = e.mask & ~warp.halted;
+        if (m == 0 || (m & b->expected & ~b->arrived) != m)
+            continue;
+        if (best == warp.slipEntries.size() ||
+            e.readyAt < warp.slipEntries[best].readyAt) {
+            best = i;
+        }
+    }
+    if (best == warp.slipEntries.size()) {
+        checkBarrier(b);
+        return;
+    }
+    const SlipEntry e = warp.slipEntries[best];
+    warp.slipEntries.erase(warp.slipEntries.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+    const ThreadMask m = e.mask & ~warp.halted;
+    SimdGroup *c = createGroup(
+            b->warp, e.pc, m, {Frame{e.pc, b->pc, m}}, b,
+            e.readyAt <= now ? GroupState::Ready : GroupState::WaitMem,
+            false);
+    if (c->state == GroupState::WaitMem) {
+        c->readyAt = e.readyAt;
+        const GroupId id = c->id;
+        const Cycle at = std::max(e.readyAt, now + 1);
+        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+    }
+}
+
+void
+Wpu::slipReleaseOrphans(WarpId w, Cycle now)
+{
+    Warp &warp = warps[static_cast<size_t>(w)];
+    std::vector<SlipEntry> entries = std::move(warp.slipEntries);
+    warp.slipEntries.clear();
+    for (const SlipEntry &e : entries) {
+        const ThreadMask m = e.mask & ~warp.halted;
+        if (m == 0)
+            continue;
+        auto exitBar = std::make_shared<ReconvBarrier>();
+        exitBar->isExit = true;
+        exitBar->pc = kPcExit;
+        exitBar->expected = m;
+        exitBar->warp = w;
+        SimdGroup *c = createGroup(
+                w, e.pc, m, {Frame{e.pc, kPcExit, m}}, exitBar,
+                e.readyAt <= now ? GroupState::Ready : GroupState::WaitMem,
+                false);
+        if (c->state == GroupState::WaitMem) {
+            c->readyAt = e.readyAt;
+            const GroupId id = c->id;
+            const Cycle at = e.readyAt;
+            events.schedule(at, [this, id, at] { wake(id, 0, at); });
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Diagnostics
+// --------------------------------------------------------------------
+
+std::string
+Wpu::dumpState() const
+{
+    std::ostringstream os;
+    os << "wpu" << wpuId << ": halted " << haltedThreads << "/"
+       << numThreads << "\n";
+    for (const SimdGroup *g : live) {
+        os << "  group " << g->id << " warp " << g->warp << " pc "
+           << g->pc << " state " << groupStateName(g->state) << " mask "
+           << maskToString(g->mask, cfg.wpu.simdWidth) << " pend "
+           << maskToString(g->pendingMem, cfg.wpu.simdWidth)
+           << " frames " << g->frames.size() << " slot "
+           << (g->hasSlot ? "y" : "n") << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dws

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The Warp Processing Unit: an in-order SIMD core with multi-threading,
+ * a per-warp re-convergence stack, and dynamic warp subdivision
+ * (the paper's primary contribution, Sections 3-5).
+ *
+ * Execution model (Section 3.3):
+ *  - one instruction issued per cycle, executed by all active lanes of
+ *    the selected SIMD group;
+ *  - all instructions have unit latency except memory references, which
+ *    are modeled through the cache hierarchy;
+ *  - the WPU switches SIMD groups whenever the current group accesses
+ *    the cache; switching costs nothing;
+ *  - divergence is handled per the configured DivergencePolicy:
+ *    conventional re-convergence stack, DWS (warp-split table), or
+ *    adaptive slip.
+ */
+
+#ifndef DWS_WPU_WPU_HH
+#define DWS_WPU_WPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/memory.hh"
+#include "mem/memsys.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "wpu/kernel_barrier.hh"
+#include "wpu/policy.hh"
+#include "wpu/scheduler.hh"
+#include "wpu/simd_group.hh"
+#include "wpu/slip.hh"
+#include "wpu/warp.hh"
+#include "wpu/wst.hh"
+
+namespace dws {
+
+/** One warp processing unit. */
+class Wpu
+{
+  public:
+    /**
+     * @param id      index of this WPU in the system
+     * @param cfg     full system configuration
+     * @param prog    kernel program (shared by all threads)
+     * @param mem     functional memory
+     * @param memsys  timing memory hierarchy
+     * @param events  shared event queue
+     * @param kbar    kernel-wide barrier
+     */
+    Wpu(WpuId id, const SystemConfig &cfg, const Program &prog,
+        Memory &mem, MemSystem &memsys, EventQueue &events,
+        KernelBarrier *kbar);
+
+    /**
+     * Initialize thread contexts and root groups.
+     *
+     * @param tidBase      global thread id of this WPU's (warp 0,lane 0)
+     * @param totalThreads value of r1 in every thread
+     */
+    void launch(ThreadId tidBase, int totalThreads);
+
+    /**
+     * Advance one cycle.
+     * @return true if an instruction was issued.
+     */
+    bool tick(Cycle now);
+
+    /** @return true once every local thread has halted. */
+    bool finished() const { return haltedThreads == numThreads; }
+
+    /** @return true if some group could issue now or next cycle. */
+    bool hasImminentWork() const;
+
+    /** Credit `n` fast-forwarded stall cycles (classified like now). */
+    void addStallCycles(std::uint64_t n);
+
+    /** Collapse every warp to one group after a kernel barrier. */
+    void releaseKernelBarrier(Cycle now);
+
+    /** Per-WPU statistics. */
+    WpuStats stats;
+
+    // --- introspection (tests, debugging) --------------------------
+    /** @return register r of (warp, lane). */
+    std::int64_t regAt(WarpId w, int lane, int r) const;
+    /** @return live SIMD groups (ascending id). */
+    const std::vector<SimdGroup *> &groups() const { return live; }
+    /** @return per-warp bookkeeping. */
+    const Warp &warp(WarpId w) const
+    {
+        return warps[static_cast<size_t>(w)];
+    }
+    /** @return the warp-split table accounting. */
+    const WarpSplitTable &wst() const { return wstTable; }
+    /** @return one-line state dump for deadlock diagnostics. */
+    std::string dumpState() const;
+    /** @return the WPU's id. */
+    WpuId id() const { return wpuId; }
+
+  private:
+    // --- group lifecycle ---------------------------------------------
+    SimdGroup *createGroup(WarpId w, Pc pc, ThreadMask mask,
+                           std::vector<Frame> frames, BarrierRef barrier,
+                           GroupState state, bool branchLimited);
+    void destroyGroup(SimdGroup *g);
+    SimdGroup *findGroup(GroupId id);
+
+    // --- control flow ---------------------------------------------------
+    /**
+     * Settle re-convergence state: pop frames whose rpc has been
+     * reached, arrive at barriers, stop BranchLimited groups at branch
+     * boundaries. @return false if the group was consumed.
+     */
+    bool advanceControl(SimdGroup *g);
+    void arriveAtBarrier(const BarrierRef &b, ThreadMask mask, Pc meetPc);
+    void checkBarrier(const BarrierRef &b);
+    void completeBarrier(const BarrierRef &b);
+    /** Build a group from saved frames (skipping dead ones). */
+    void resumeFromFrames(WarpId w, std::vector<Frame> frames,
+                          const BarrierRef &outer);
+    void registerBarrier(const BarrierRef &b);
+    void recheckWarpBarriers(WarpId w);
+
+    // --- issue path --------------------------------------------------
+    SimdGroup *pickExecutable(Cycle now);
+    void issue(SimdGroup *g, Cycle now);
+    void execAlu(SimdGroup *g, const Instr &in);
+    void execBranch(SimdGroup *g, const Instr &in, Cycle now);
+    void execMem(SimdGroup *g, const Instr &in, Cycle now);
+    void execBar(SimdGroup *g, Cycle now);
+    void execHalt(SimdGroup *g, Cycle now);
+
+    // --- divergence mechanics ---------------------------------------
+    void conventionalBranch(SimdGroup *g, const Instr &in,
+                            ThreadMask taken, ThreadMask notTaken);
+    /**
+     * @return the re-convergence barrier for a new subdivision of g:
+     *         the warp's existing one when g is already a split
+     *         (flat, paper Section 4.4), or a fresh barrier derived
+     *         from g's top frame.
+     */
+    BarrierRef splitBarrier(SimdGroup *g, bool branchLimited);
+    void branchSplit(SimdGroup *g, const Instr &in, ThreadMask taken,
+                     ThreadMask notTaken);
+    /**
+     * Split a group at its current pc into a ready part and a
+     * memory-waiting part (used at issue and by ReviveSplit).
+     */
+    void memSplit(SimdGroup *g, ThreadMask readyMask, Cycle readyAt,
+                  Cycle now);
+    void tryReviveSplit(Cycle now);
+    void tryPcMerge(SimdGroup *g, Cycle now);
+    bool anyOtherReady(const SimdGroup *g) const;
+
+    // --- memory ------------------------------------------------------
+    void issueLines(SimdGroup *g, Cycle now);
+    void finalizeAccess(SimdGroup *g, Cycle now);
+    void wake(GroupId id, ThreadMask lanes, Cycle now);
+    void wakeRetry(GroupId id, Cycle now);
+    void becomeReady(SimdGroup *g, Cycle now);
+
+    // --- slip ----------------------------------------------------------
+    void slipMergeCheck(SimdGroup *g, Cycle now);
+    bool slipHandleBoundary(SimdGroup *g, Cycle now);
+    void slipReleaseOrphans(WarpId w, Cycle now);
+    /** Resume the next suspended thread set toward a slip boundary. */
+    void spawnNextCatchup(const BarrierRef &b, Cycle now);
+
+    // --- misc -----------------------------------------------------------
+    void haltLanes(SimdGroup *g, Cycle now);
+    std::int64_t &reg(WarpId w, int lane, int r);
+    ThreadId tidOf(WarpId w, int lane) const;
+    void classifyStall();
+    void checkLaneInvariant(Cycle now);
+
+    WpuId wpuId;
+    SystemConfig cfg;
+    DivergencePolicy policy;
+    const Program &prog;
+    Memory &mem;
+    MemSystem &memsys;
+    EventQueue &events;
+    KernelBarrier *kbar;
+
+    int numThreads = 0;
+    int haltedThreads = 0;
+    ThreadId tidBase = 0;
+
+    std::vector<std::int64_t> regs;
+    std::vector<Warp> warps;
+    std::vector<std::vector<BarrierRef>> warpBarriers;
+    std::vector<Pc> warpBarPc; ///< Bar pc each warp is parked at
+
+    std::vector<std::unique_ptr<SimdGroup>> groupStore;
+    std::vector<SimdGroup *> live; ///< ascending id
+    GroupId nextGroupId = 0;
+
+    WarpSplitTable wstTable;
+    Scheduler sched;
+    SlipController slipCtl;
+
+    /** Cycle of the most recent tick (for policy checks). */
+    Cycle lastTickCycle = 0;
+
+    /** Consecutive no-issue cycles (ReviveSplit trigger damping). */
+    int stallStreak = 0;
+
+    /** Interval accounting for slip adaptation. */
+    Cycle lastSlipAdapt = 0;
+    std::uint64_t lastActive = 0;
+    std::uint64_t lastMemStall = 0;
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_WPU_HH

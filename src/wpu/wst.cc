@@ -1,0 +1,74 @@
+#include "wpu/wst.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+int
+WarpSplitTable::inUse() const
+{
+    int used = 0;
+    for (size_t w = 0; w < groupsPerWarp.size(); w++) {
+        const int eff = groupsPerWarp[w] + parkedPerWarp[w];
+        if (eff > 1)
+            used += eff;
+    }
+    return used;
+}
+
+bool
+WarpSplitTable::canSubdivide(WarpId w) const
+{
+    const int eff = groupsPerWarp[static_cast<size_t>(w)] +
+                    parkedPerWarp[static_cast<size_t>(w)];
+    const int extra = (eff <= 1) ? 2 : 1;
+    return inUse() + extra <= capacity;
+}
+
+void
+WarpSplitTable::notePeak()
+{
+    const int used = inUse();
+    if (static_cast<std::uint64_t>(used) > peakUse)
+        peakUse = static_cast<std::uint64_t>(used);
+}
+
+void
+WarpSplitTable::addGroup(WarpId w)
+{
+    groupsPerWarp[static_cast<size_t>(w)]++;
+    notePeak();
+}
+
+void
+WarpSplitTable::removeGroup(WarpId w)
+{
+    int &g = groupsPerWarp[static_cast<size_t>(w)];
+    if (g <= 0)
+        panic("WST removeGroup on warp %d with %d groups", w, g);
+    g--;
+}
+
+void
+WarpSplitTable::addParked(WarpId w)
+{
+    parkedPerWarp[static_cast<size_t>(w)]++;
+    notePeak();
+}
+
+void
+WarpSplitTable::removeParked(WarpId w, int n)
+{
+    int &p = parkedPerWarp[static_cast<size_t>(w)];
+    if (p < n)
+        panic("WST removeParked(%d) on warp %d with %d parked", n, w, p);
+    p -= n;
+}
+
+void
+WarpSplitTable::clearParked(WarpId w)
+{
+    parkedPerWarp[static_cast<size_t>(w)] = 0;
+}
+
+} // namespace dws

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Warp-split table accounting (paper Sections 4.4, 5.6, 6.7).
+ *
+ * The WST is the hardware structure that holds one entry per warp-split.
+ * An undivided warp does not consume an entry (it lives in the
+ * conventional warp scheduler); once a warp is subdivided, every one of
+ * its splits occupies an entry. Subdivision is denied while the table
+ * is full. The SimdGroup objects themselves are owned by the Wpu; this
+ * class tracks per-warp group counts and enforces the capacity.
+ */
+
+#ifndef DWS_WPU_WST_HH
+#define DWS_WPU_WST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Capacity accounting for the warp-split table. */
+class WarpSplitTable
+{
+  public:
+    /**
+     * @param entries  maximum warp-splits (table capacity)
+     * @param numWarps warps on the WPU
+     */
+    WarpSplitTable(int entries, int numWarps)
+        : capacity(entries), groupsPerWarp(numWarps, 0),
+          parkedPerWarp(numWarps, 0)
+    {}
+
+    /**
+     * @return true if warp w may be subdivided once more: an undivided
+     *         warp enters the table with both of its new splits, an
+     *         already-divided warp adds one entry.
+     */
+    bool canSubdivide(WarpId w) const;
+
+    /** Record a new group of warp w. */
+    void addGroup(WarpId w);
+
+    /** Record the removal (merge/death) of a group of warp w. */
+    void removeGroup(WarpId w);
+
+    /**
+     * A split arrived at a re-convergence barrier and is waiting for
+     * its siblings: its WST entry stays occupied until the merge
+     * completes (the split "stalls waiting to be re-united",
+     * Section 4.4).
+     */
+    void addParked(WarpId w);
+
+    /** Release n parked entries of warp w (barrier completed). */
+    void removeParked(WarpId w, int n);
+
+    /** Release every parked entry of warp w (kernel barrier). */
+    void clearParked(WarpId w);
+
+    /** @return WST entries currently occupied. */
+    int inUse() const;
+
+    /** @return number of live (running) groups of warp w. */
+    int groups(WarpId w) const
+    {
+        return groupsPerWarp[static_cast<size_t>(w)];
+    }
+
+    /** @return parked (barrier-waiting) splits of warp w. */
+    int parked(WarpId w) const
+    {
+        return parkedPerWarp[static_cast<size_t>(w)];
+    }
+
+    /** Peak WST occupancy observed. */
+    std::uint64_t peakUse = 0;
+
+  private:
+    void notePeak();
+
+    int capacity;
+    std::vector<int> groupsPerWarp;
+    std::vector<int> parkedPerWarp;
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_WST_HH

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Unit tests for the smaller components: masks, event queue, RNG,
+ * scheduler, warp-split table, slip controller, energy model and
+ * statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "wpu/mask.hh"
+#include "wpu/scheduler.hh"
+#include "wpu/slip.hh"
+#include "wpu/wst.hh"
+
+namespace dws {
+namespace {
+
+// --- masks -----------------------------------------------------------
+
+TEST(Mask, Basics)
+{
+    EXPECT_EQ(fullMask(4), 0xfu);
+    EXPECT_EQ(fullMask(64), ~ThreadMask(0));
+    EXPECT_EQ(laneBit(3), 0x8u);
+    EXPECT_EQ(popcount(0xf0u), 4);
+    EXPECT_EQ(lowestLane(0x8u), 3);
+    EXPECT_EQ(maskToString(0b101, 4), "1010");
+}
+
+TEST(Mask, LaneIteration)
+{
+    std::vector<int> lanes;
+    for (int lane : Lanes(0b10110))
+        lanes.push_back(lane);
+    EXPECT_EQ(lanes, (std::vector<int>{1, 2, 4}));
+    for (int lane : Lanes(0))
+        FAIL() << "empty mask iterated lane " << lane;
+}
+
+// --- event queue -----------------------------------------------------
+
+TEST(EventQueue, FiresInCycleThenFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(10, [&] { order.push_back(3); });
+    EXPECT_EQ(q.nextEventCycle(), 5u);
+    q.runUntil(4);
+    EXPECT_TRUE(order.empty());
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        fired++;
+        q.schedule(2, [&] { fired++; });
+    });
+    q.runUntil(5);
+    EXPECT_EQ(fired, 2);
+}
+
+// --- rng --------------------------------------------------------------
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    Rng a(1), b(1), c(2);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; i++) {
+        const std::int64_t v = r.nextRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    EXPECT_EQ(r.nextBounded(0), 0u);
+}
+
+// --- scheduler --------------------------------------------------------
+
+SimdGroup
+mkGroup(GroupId id, WarpId warp)
+{
+    SimdGroup g;
+    g.id = id;
+    g.warp = warp;
+    g.mask = 1;
+    g.state = GroupState::Ready;
+    return g;
+}
+
+TEST(Scheduler, SlotCapacityAndQueue)
+{
+    Scheduler s(2);
+    SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 0), c = mkGroup(2, 1);
+    s.requestSlot(&a);
+    s.requestSlot(&b);
+    s.requestSlot(&c);
+    EXPECT_TRUE(a.hasSlot);
+    EXPECT_TRUE(b.hasSlot);
+    EXPECT_FALSE(c.hasSlot); // queued
+    s.releaseSlot(&a);
+    EXPECT_TRUE(c.hasSlot); // granted from queue
+    EXPECT_EQ(s.slotsUsed(), 2);
+}
+
+TEST(Scheduler, RoundRobinAcrossGroups)
+{
+    Scheduler s(4);
+    SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 1), c = mkGroup(2, 2);
+    std::vector<SimdGroup *> groups{&a, &b, &c};
+    for (auto *g : groups)
+        s.requestSlot(g);
+    SimdGroup *p1 = s.pick(groups, 4, 0);
+    SimdGroup *p2 = s.pick(groups, 4, 0);
+    SimdGroup *p3 = s.pick(groups, 4, 0);
+    SimdGroup *p4 = s.pick(groups, 4, 0);
+    EXPECT_EQ(p1, &a);
+    EXPECT_EQ(p2, &b);
+    EXPECT_EQ(p3, &c);
+    EXPECT_EQ(p4, &a); // wrapped
+}
+
+TEST(Scheduler, SkipsUnissuable)
+{
+    Scheduler s(4);
+    SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 1);
+    std::vector<SimdGroup *> groups{&a, &b};
+    s.requestSlot(&a);
+    s.requestSlot(&b);
+    a.state = GroupState::WaitMem;
+    EXPECT_EQ(s.pick(groups, 4, 0), &b);
+    b.readyAt = 10;
+    EXPECT_EQ(s.pick(groups, 4, 0), nullptr);
+    EXPECT_EQ(s.pick(groups, 4, 10), &b);
+}
+
+TEST(Scheduler, DeadGroupsDroppedFromQueue)
+{
+    Scheduler s(1);
+    SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 0);
+    s.requestSlot(&a);
+    s.requestSlot(&b);
+    b.state = GroupState::Dead;
+    s.dequeue(b.id);
+    s.releaseSlot(&a);
+    EXPECT_FALSE(b.hasSlot);
+    EXPECT_EQ(s.slotsUsed(), 0);
+}
+
+// --- warp-split table --------------------------------------------------
+
+TEST(Wst, CapacityAccounting)
+{
+    WarpSplitTable wst(3, 2);
+    wst.addGroup(0); // root warp 0
+    wst.addGroup(1); // root warp 1
+    EXPECT_EQ(wst.inUse(), 0); // undivided warps use no entries
+    EXPECT_TRUE(wst.canSubdivide(0));
+    wst.addGroup(0); // warp 0 now divided: 2 entries
+    EXPECT_EQ(wst.inUse(), 2);
+    EXPECT_TRUE(wst.canSubdivide(0));  // 2 + 1 <= 3
+    EXPECT_FALSE(wst.canSubdivide(1)); // 2 + 2 > 3
+    wst.addGroup(0);
+    EXPECT_EQ(wst.inUse(), 3);
+    EXPECT_FALSE(wst.canSubdivide(0)); // 3 + 1 > 3
+    wst.removeGroup(0);
+    wst.removeGroup(0);
+    EXPECT_EQ(wst.inUse(), 0);
+    EXPECT_EQ(wst.peakUse, 3u);
+}
+
+TEST(Wst, ParkedSplitsHoldEntries)
+{
+    WarpSplitTable wst(4, 1);
+    wst.addGroup(0);
+    wst.addGroup(0); // divided: 2 entries
+    // One split arrives at a barrier: still occupies its entry.
+    wst.removeGroup(0);
+    wst.addParked(0);
+    EXPECT_EQ(wst.inUse(), 2);
+    EXPECT_TRUE(wst.canSubdivide(0)); // 2 + 1 <= 4
+    wst.addParked(0);
+    wst.removeGroup(0);
+    EXPECT_EQ(wst.inUse(), 2); // 0 running + 2 parked
+    wst.removeParked(0, 2);
+    wst.addGroup(0); // merged group resumes
+    EXPECT_EQ(wst.inUse(), 0);
+}
+
+// --- slip controller ----------------------------------------------------
+
+TEST(SlipController, ThresholdAdaptation)
+{
+    PolicyConfig pol = PolicyConfig::adaptiveSlip();
+    SlipController ctl(pol, 16);
+    const int initial = ctl.maxDivergence();
+    EXPECT_GT(initial, 0);
+    // Memory-bound interval: threshold rises.
+    ctl.adapt(10'000, 80'000, 100'000);
+    EXPECT_EQ(ctl.maxDivergence(), initial + 1);
+    // Compute-bound intervals: threshold falls back, then below.
+    ctl.adapt(60'000, 10'000, 100'000);
+    EXPECT_EQ(ctl.maxDivergence(), initial);
+    ctl.adapt(60'000, 10'000, 100'000);
+    EXPECT_EQ(ctl.maxDivergence(), initial - 1);
+    // Saturates at the SIMD width.
+    for (int i = 0; i < 40; i++)
+        ctl.adapt(0, 100'000, 100'000);
+    EXPECT_EQ(ctl.maxDivergence(), 16);
+    // And at zero.
+    for (int i = 0; i < 40; i++)
+        ctl.adapt(60'000, 0, 100'000);
+    EXPECT_EQ(ctl.maxDivergence(), 0);
+    EXPECT_FALSE(ctl.maySlip(0, 1));
+}
+
+TEST(SlipController, MaySlipCountsSuspended)
+{
+    PolicyConfig pol = PolicyConfig::adaptiveSlip();
+    SlipController ctl(pol, 16); // threshold starts at 8
+    EXPECT_TRUE(ctl.maySlip(0, 8));
+    EXPECT_FALSE(ctl.maySlip(0, 9));
+    EXPECT_TRUE(ctl.maySlip(6, 2));
+    EXPECT_FALSE(ctl.maySlip(6, 3));
+}
+
+// --- energy ------------------------------------------------------------
+
+TEST(Energy, LeakageScalesWithCycles)
+{
+    SystemConfig cfg;
+    RunStats a;
+    a.cycles = 1000;
+    a.wpus.resize(static_cast<size_t>(cfg.numWpus));
+    RunStats b = a;
+    b.cycles = 2000;
+    const EnergyBreakdown ea = computeEnergy(a, cfg);
+    const EnergyBreakdown eb = computeEnergy(b, cfg);
+    EXPECT_DOUBLE_EQ(eb.leakage, 2.0 * ea.leakage);
+}
+
+TEST(Energy, DynamicScalesWithActivity)
+{
+    SystemConfig cfg;
+    RunStats a;
+    a.cycles = 1000;
+    a.wpus.resize(static_cast<size_t>(cfg.numWpus));
+    a.wpus[0].issuedInstrs = 100;
+    a.wpus[0].scalarInstrs = 1600;
+    RunStats b = a;
+    b.wpus[0].issuedInstrs = 200;
+    b.wpus[0].scalarInstrs = 3200;
+    const double pa = computeEnergy(a, cfg).pipeline;
+    const double pb = computeEnergy(b, cfg).pipeline;
+    EXPECT_GT(pb, pa);
+    EXPECT_LT(pb, 2.0 * pa); // clock tree part is activity independent
+}
+
+TEST(Energy, DramDominatesPerEvent)
+{
+    SystemConfig cfg;
+    EnergyParams p;
+    RunStats r;
+    r.cycles = 1;
+    r.wpus.resize(static_cast<size_t>(cfg.numWpus));
+    r.mem.dramAccesses = 10;
+    const EnergyBreakdown e = computeEnergy(r, cfg, p);
+    EXPECT_DOUBLE_EQ(e.dram, 10 * p.dramPerAccess);
+}
+
+// --- stats ----------------------------------------------------------------
+
+TEST(Stats, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(Stats, WidthAndStallFractions)
+{
+    WpuStats w;
+    w.issuedInstrs = 10;
+    w.scalarInstrs = 80;
+    w.activeCycles = 40;
+    w.memStallCycles = 40;
+    w.otherStallCycles = 20;
+    w.idleCycles = 100;
+    EXPECT_DOUBLE_EQ(w.avgSimdWidth(), 8.0);
+    EXPECT_DOUBLE_EQ(w.memStallFrac(), 0.4); // idle excluded
+    EXPECT_EQ(w.totalCycles(), 200u);
+}
+
+TEST(Stats, RunAggregation)
+{
+    RunStats r;
+    r.cycles = 100;
+    r.wpus.resize(2);
+    r.wpus[0].issuedInstrs = 10;
+    r.wpus[0].scalarInstrs = 100;
+    r.wpus[1].issuedInstrs = 30;
+    r.wpus[1].scalarInstrs = 60;
+    EXPECT_EQ(r.totalScalarInstrs(), 160u);
+    EXPECT_EQ(r.totalIssuedInstrs(), 40u);
+    EXPECT_DOUBLE_EQ(r.avgSimdWidth(), 4.0);
+    EXPECT_FALSE(r.summary().empty());
+}
+
+} // namespace
+} // namespace dws

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Dynamic-warp-subdivision tests: every divergence policy must produce
+ * the same architectural results as the conventional baseline, and the
+ * mechanisms (branch splits, memory splits, PC merges, WST limits)
+ * must actually engage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace dws {
+namespace {
+
+/** All policies under test. */
+std::vector<PolicyConfig>
+allPolicies()
+{
+    return {
+        PolicyConfig::conv(),
+        PolicyConfig::branchOnlyStack(),
+        PolicyConfig::branchOnly(),
+        PolicyConfig::memOnlyBranchLimited(SplitScheme::Aggressive),
+        PolicyConfig::memOnlyBranchLimited(SplitScheme::Lazy),
+        PolicyConfig::memOnlyBranchLimited(SplitScheme::Revive),
+        PolicyConfig::reviveMemOnly(),
+        PolicyConfig::dws(SplitScheme::Aggressive),
+        PolicyConfig::dws(SplitScheme::Lazy),
+        PolicyConfig::reviveSplit(),
+        PolicyConfig::adaptiveSlip(),
+        PolicyConfig::slipBranchBypassCfg(),
+    };
+}
+
+/**
+ * A divergence-rich program: each thread walks a pseudo-random chain
+ * through a table (memory divergence) and takes data-dependent
+ * branches (branch divergence), accumulating a checksum.
+ */
+Program
+chainKernel(int tableWords, int steps)
+{
+    KernelBuilder b;
+    auto loop = b.newLabel();
+    auto done = b.newLabel();
+    auto odd = b.newLabel();
+    auto join = b.newLabel();
+    // r2 = index (start at tid*37 % table), r3 = step, r4 = acc
+    b.muli(2, 0, 37);
+    b.movi(5, tableWords);
+    b.rem(2, 2, 5);
+    b.movi(3, 0);
+    b.movi(4, 0);
+    b.bind(loop);
+    b.slti(6, 3, 0x7fffffff); // keep r6 live
+    b.movi(6, steps);
+    b.sle(6, 6, 3);
+    b.br(6, done);
+    // load next index
+    b.muli(7, 2, kWordBytes);
+    b.ld(8, 7, 0);            // value at table[idx]
+    b.add(4, 4, 8);           // acc += value
+    // branch on value parity
+    b.andi(9, 8, 1);
+    b.br(9, odd);
+    b.addi(4, 4, 5);          // even: small bonus
+    b.jmp(join);
+    b.bind(odd);
+    b.muli(4, 4, 3);          // odd: multiply
+    b.bind(join);
+    b.movi(5, tableWords);
+    b.rem(2, 8, 5);           // idx = value % table
+    b.addi(3, 3, 1);
+    b.jmp(loop);
+    b.bind(done);
+    b.muli(10, 0, kWordBytes);
+    b.st(10, 4, tableWords * kWordBytes);
+    b.halt();
+    return b.build("chain");
+}
+
+constexpr int kTableWords = 4096;
+constexpr int kSteps = 40;
+
+TestKernel::InitFn
+chainInit()
+{
+    return [](Memory &m) {
+        Rng rng(99);
+        for (int i = 0; i < kTableWords; i++)
+            m.writeWord(static_cast<std::uint64_t>(i),
+                        rng.nextRange(0, kTableWords * 4));
+    };
+}
+
+/** Host-side golden for chainKernel. */
+std::int64_t
+chainExpect(int tid)
+{
+    Rng rng(99);
+    std::vector<std::int64_t> table(kTableWords);
+    for (auto &v : table)
+        v = rng.nextRange(0, kTableWords * 4);
+    std::int64_t idx = (std::int64_t(tid) * 37) % kTableWords;
+    std::int64_t acc = 0;
+    for (int s = 0; s < kSteps; s++) {
+        const std::int64_t v = table[static_cast<size_t>(idx)];
+        acc += v;
+        if (v & 1)
+            acc *= 3;
+        else
+            acc += 5;
+        idx = v % kTableWords;
+    }
+    return acc;
+}
+
+class AllPolicies : public ::testing::TestWithParam<PolicyConfig> {};
+
+TEST_P(AllPolicies, ChainKernelMatchesGolden)
+{
+    SystemConfig cfg = testConfig(8, 2, 2);
+    cfg.policy = GetParam();
+    // Small D-cache to force misses and memory divergence.
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(chainKernel(kTableWords, kSteps),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    sys.run();
+    for (int t = 0; t < cfg.totalThreads(); t++) {
+        EXPECT_EQ(sys.memory().readWord(
+                          static_cast<std::uint64_t>(kTableWords + t)),
+                  chainExpect(t))
+                << "thread " << t << " under "
+                << cfg.policy.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Policies, AllPolicies, ::testing::ValuesIn(allPolicies()),
+        [](const ::testing::TestParamInfo<PolicyConfig> &info) {
+            std::string n = info.param.name();
+            for (auto &c : n)
+                if (c == '.' || c == '-')
+                    c = '_';
+            return n;
+        });
+
+TEST(DwsMechanism, BranchSplitsOccurWithBranchDws)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.policy = PolicyConfig::branchOnly();
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(chainKernel(kTableWords, kSteps),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_GT(s.wpus[0].branchSplits, 0u);
+    EXPECT_EQ(s.wpus[0].memSplits, 0u);
+}
+
+TEST(DwsMechanism, MemSplitsOccurWithMemDws)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.policy = PolicyConfig::reviveMemOnly();
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(chainKernel(kTableWords, kSteps),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_GT(s.wpus[0].memSplits, 0u);
+    // Note: under BranchBypass, existing memory-divergence splits may
+    // legitimately subdivide further at divergent branches (paper
+    // Section 5.3.2), so branchSplits can be non-zero here.
+}
+
+TEST(DwsMechanism, BranchLimitedSplitsNeverPassBranches)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.policy = PolicyConfig::memOnlyBranchLimited(SplitScheme::Revive);
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(chainKernel(kTableWords, kSteps),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_EQ(s.wpus[0].branchSplits, 0u);
+}
+
+TEST(DwsMechanism, AggressiveSplitsAtLeastAsOftenAsLazy)
+{
+    auto runWith = [](SplitScheme scheme) {
+        SystemConfig cfg = testConfig(8, 2, 1);
+        cfg.policy = PolicyConfig::dws(scheme);
+        cfg.wpu.dcache.sizeBytes = 2 * 1024;
+        cfg.wpu.dcache.assoc = 2;
+        TestKernel k(chainKernel(kTableWords, kSteps),
+                     (kTableWords + 256) * kWordBytes, chainInit());
+        System sys(cfg, k);
+        return sys.run().wpus[0].memSplits;
+    };
+    EXPECT_GE(runWith(SplitScheme::Aggressive),
+              runWith(SplitScheme::Lazy));
+}
+
+TEST(DwsMechanism, PcMergesOccur)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.policy = PolicyConfig::reviveSplit();
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(chainKernel(kTableWords, kSteps),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_GT(s.wpus[0].pcMerges + s.wpus[0].stackMerges, 0u);
+}
+
+TEST(DwsMechanism, WstCapacityZeroDisablesSplits)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.policy = PolicyConfig::reviveSplit();
+    cfg.wpu.wstEntries = 0;
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(chainKernel(kTableWords, kSteps),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_EQ(s.wpus[0].memSplits, 0u);
+    EXPECT_EQ(s.wpus[0].branchSplits, 0u);
+    // Correctness must still hold.
+    for (int t = 0; t < cfg.totalThreads(); t++)
+        EXPECT_EQ(sys.memory().readWord(
+                          static_cast<std::uint64_t>(kTableWords + t)),
+                  chainExpect(t));
+}
+
+TEST(DwsMechanism, WstPeakBoundedByCapacity)
+{
+    SystemConfig cfg = testConfig(8, 4, 1);
+    cfg.policy = PolicyConfig::dws(SplitScheme::Aggressive);
+    cfg.wpu.wstEntries = 6;
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(chainKernel(kTableWords, kSteps),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    sys.run();
+    EXPECT_LE(sys.wpu(0).wst().peakUse, 6u);
+}
+
+TEST(DwsMechanism, SlipTakesSlips)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.policy = PolicyConfig::adaptiveSlip();
+    // Moderate miss rate so divergent accesses with few misses occur
+    // (slip only engages within its divergence threshold).
+    cfg.wpu.dcache.sizeBytes = 8 * 1024;
+    cfg.wpu.dcache.assoc = 4;
+    TestKernel k(chainKernel(kTableWords, kSteps),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_GT(s.wpus[0].slipsTaken, 0u);
+}
+
+TEST(DwsMechanism, BarrierReconvergesSplits)
+{
+    // Memory-divergent phase, then a kernel barrier, then a uniform
+    // store: splits must fully re-converge at the barrier.
+    KernelBuilder b;
+    b.muli(2, 0, 61);
+    b.movi(3, kTableWords);
+    b.rem(2, 2, 3);
+    b.muli(2, 2, kWordBytes);
+    b.ld(4, 2, 0);
+    b.bar();
+    b.muli(5, 0, kWordBytes);
+    b.st(5, 4, kTableWords * kWordBytes);
+    b.halt();
+    SystemConfig cfg = testConfig(8, 2, 2);
+    cfg.policy = PolicyConfig::reviveSplit();
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(b.build("barsplit"),
+                 (kTableWords + 256) * kWordBytes, chainInit());
+    System sys(cfg, k);
+    sys.run();
+    Rng rng(99);
+    std::vector<std::int64_t> table(kTableWords);
+    for (auto &v : table)
+        v = rng.nextRange(0, kTableWords * 4);
+    for (int t = 0; t < cfg.totalThreads(); t++) {
+        const std::int64_t idx = (std::int64_t(t) * 61) % kTableWords;
+        EXPECT_EQ(sys.memory().readWord(
+                          static_cast<std::uint64_t>(kTableWords + t)),
+                  table[static_cast<size_t>(idx)]);
+    }
+}
+
+} // namespace
+} // namespace dws
+
+namespace dws {
+namespace {
+
+TEST(DwsMechanism, LaneConservationInvariantHolds)
+{
+    // Run the divergence-rich kernel under the most split-happy policy
+    // with the periodic lane-conservation checker enabled: every lane
+    // must always be accounted for by exactly the live groups, slip
+    // entries, barrier arrivals and halted sets (the checker panics on
+    // violation).
+    setenv("DWS_CHECK_LANES", "1", 1);
+    for (const auto &pol : {PolicyConfig::dws(SplitScheme::Aggressive),
+                            PolicyConfig::slipBranchBypassCfg()}) {
+        SystemConfig cfg = testConfig(8, 2, 2);
+        cfg.policy = pol;
+        cfg.wpu.dcache.sizeBytes = 2 * 1024;
+        cfg.wpu.dcache.assoc = 2;
+        TestKernel k(chainKernel(kTableWords, kSteps),
+                     (kTableWords + 256) * kWordBytes, chainInit());
+        System sys(cfg, k);
+        sys.run();
+        EXPECT_TRUE(sys.finished());
+    }
+    unsetenv("DWS_CHECK_LANES");
+}
+
+} // namespace
+} // namespace dws

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the kernel IR: ALU semantics, the program builder,
+ * and the CFG post-dominator analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/cfg.hh"
+#include "isa/disasm.hh"
+#include "isa/instr.hh"
+#include "isa/program.hh"
+
+namespace dws {
+namespace {
+
+TEST(EvalAlu, Arithmetic)
+{
+    EXPECT_EQ(evalAlu(Op::Add, 2, 3, 0), 5);
+    EXPECT_EQ(evalAlu(Op::Sub, 2, 3, 0), -1);
+    EXPECT_EQ(evalAlu(Op::Mul, -4, 3, 0), -12);
+    EXPECT_EQ(evalAlu(Op::Div, 7, 2, 0), 3);
+    EXPECT_EQ(evalAlu(Op::Div, -7, 2, 0), -3);
+    EXPECT_EQ(evalAlu(Op::Rem, 7, 3, 0), 1);
+}
+
+TEST(EvalAlu, DivisionByZeroYieldsZero)
+{
+    EXPECT_EQ(evalAlu(Op::Div, 42, 0, 0), 0);
+    EXPECT_EQ(evalAlu(Op::Rem, 42, 0, 0), 0);
+}
+
+TEST(EvalAlu, Comparisons)
+{
+    EXPECT_EQ(evalAlu(Op::Slt, 1, 2, 0), 1);
+    EXPECT_EQ(evalAlu(Op::Slt, 2, 2, 0), 0);
+    EXPECT_EQ(evalAlu(Op::Sle, 2, 2, 0), 1);
+    EXPECT_EQ(evalAlu(Op::Seq, 3, 3, 0), 1);
+    EXPECT_EQ(evalAlu(Op::Sne, 3, 3, 0), 0);
+    EXPECT_EQ(evalAlu(Op::Min, 3, -1, 0), -1);
+    EXPECT_EQ(evalAlu(Op::Max, 3, -1, 0), 3);
+}
+
+TEST(EvalAlu, ImmediatesAndShifts)
+{
+    EXPECT_EQ(evalAlu(Op::Addi, 10, 0, -3), 7);
+    EXPECT_EQ(evalAlu(Op::Muli, 10, 0, 4), 40);
+    EXPECT_EQ(evalAlu(Op::Shli, 1, 0, 5), 32);
+    EXPECT_EQ(evalAlu(Op::Shri, -8, 0, 1), -4); // arithmetic shift
+    EXPECT_EQ(evalAlu(Op::Slti, 3, 0, 4), 1);
+    EXPECT_EQ(evalAlu(Op::Movi, 0, 0, 99), 99);
+    EXPECT_EQ(evalAlu(Op::Andi, 0b1101, 0, 0b0110), 0b0100);
+}
+
+TEST(EvalAlu, OverflowWraps)
+{
+    const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+    EXPECT_EQ(evalAlu(Op::Add, big, 1, 0),
+              std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    KernelBuilder b;
+    auto back = b.newLabel();
+    auto fwd = b.newLabel();
+    b.bind(back);
+    b.addi(2, 2, 1);
+    b.br(2, fwd);     // forward reference
+    b.jmp(back);      // backward reference
+    b.bind(fwd);
+    b.halt();
+    Program p = b.build("labels");
+    ASSERT_EQ(p.size(), 4);
+    EXPECT_EQ(p.at(1).op, Op::Br);
+    EXPECT_EQ(p.at(1).target, 3);
+    EXPECT_EQ(p.at(2).op, Op::Jmp);
+    EXPECT_EQ(p.at(2).target, 0);
+}
+
+TEST(Builder, EmitsExpectedEncodings)
+{
+    KernelBuilder b;
+    b.ld(5, 6, 24);
+    b.st(7, 8, -16);
+    b.movi(9, 1234);
+    b.halt();
+    Program p = b.build("enc");
+    EXPECT_EQ(p.at(0).op, Op::Ld);
+    EXPECT_EQ(p.at(0).rd, 5);
+    EXPECT_EQ(p.at(0).ra, 6);
+    EXPECT_EQ(p.at(0).imm, 24);
+    EXPECT_EQ(p.at(1).op, Op::St);
+    EXPECT_EQ(p.at(1).ra, 7);
+    EXPECT_EQ(p.at(1).rb, 8);
+    EXPECT_EQ(p.at(1).imm, -16);
+    EXPECT_EQ(p.at(2).imm, 1234);
+}
+
+/** Build the paper's Figure 3 diamond: A; br -> C; B; jmp D; C:; D: */
+Program
+diamond()
+{
+    KernelBuilder b;
+    auto labC = b.newLabel();
+    auto labD = b.newLabel();
+    b.addi(2, 2, 1);   // 0: A
+    b.br(3, labC);     // 1: branch
+    b.addi(2, 2, 10);  // 2: B (fall-through)
+    b.jmp(labD);       // 3
+    b.bind(labC);
+    b.addi(2, 2, 20);  // 4: C (taken)
+    b.bind(labD);
+    b.addi(2, 2, 30);  // 5: D (post-dominator)
+    b.halt();          // 6
+    return b.build("diamond");
+}
+
+TEST(Cfg, DiamondPostDominator)
+{
+    Program p = diamond();
+    const BranchInfo &bi = p.branchInfo(1);
+    EXPECT_EQ(bi.ipdom, 5);
+    // Block at the post-dominator: instrs 5 (addi) and 6 (halt).
+    EXPECT_EQ(bi.postBlockLen, 2);
+    EXPECT_TRUE(p.at(1).subdividable());
+}
+
+TEST(Cfg, BranchToExitHasNoPostDominator)
+{
+    KernelBuilder b;
+    auto done = b.newLabel();
+    b.br(2, done);   // 0
+    b.addi(2, 2, 1); // 1
+    b.bind(done);
+    b.halt();        // 2
+    Program p = b.build("toexit");
+    // Both paths meet at the halt: ipdom is instruction 2.
+    EXPECT_EQ(p.branchInfo(0).ipdom, 2);
+}
+
+TEST(Cfg, LoopBackEdge)
+{
+    KernelBuilder b;
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.addi(2, 2, -1); // 0
+    b.slt(3, 30, 2);  // 1: r3 = 0 < r2
+    b.br(3, loop);    // 2: loop while positive
+    b.halt();         // 3
+    Program p = b.build("loop");
+    // The loop branch re-converges at the halt.
+    EXPECT_EQ(p.branchInfo(2).ipdom, 3);
+}
+
+TEST(Cfg, NestedDiamonds)
+{
+    // outer: br -> E ; inner diamond inside the fall-through path.
+    KernelBuilder b;
+    auto labE = b.newLabel();
+    auto labInC = b.newLabel();
+    auto labInD = b.newLabel();
+    b.br(2, labE);      // 0: outer branch
+    b.br(3, labInC);    // 1: inner branch
+    b.addi(4, 4, 1);    // 2
+    b.jmp(labInD);      // 3
+    b.bind(labInC);
+    b.addi(4, 4, 2);    // 4
+    b.bind(labInD);
+    b.addi(4, 4, 3);    // 5: inner post-dominator
+    b.bind(labE);
+    b.addi(4, 4, 4);    // 6: outer post-dominator
+    b.halt();           // 7
+    Program p = b.build("nested");
+    EXPECT_EQ(p.branchInfo(0).ipdom, 6);
+    EXPECT_EQ(p.branchInfo(1).ipdom, 5);
+}
+
+TEST(Cfg, SubdividableHeuristicRespectsThreshold)
+{
+    // Post-dominator followed by a long straight-line block.
+    KernelBuilder b;
+    auto labC = b.newLabel();
+    auto labD = b.newLabel();
+    b.br(2, labC);   // 0
+    b.addi(3, 3, 1); // 1
+    b.jmp(labD);     // 2
+    b.bind(labC);
+    b.addi(3, 3, 2); // 3
+    b.bind(labD);
+    for (int i = 0; i < 60; i++)
+        b.addi(4, 4, 1);
+    b.halt();
+    Program p = b.build("longpost", 50);
+    EXPECT_FALSE(p.at(0).subdividable());
+    EXPECT_GT(p.branchInfo(0).postBlockLen, 50);
+
+    // Same program under a looser threshold subdivides.
+    KernelBuilder b2;
+    auto c2 = b2.newLabel();
+    auto d2 = b2.newLabel();
+    b2.br(2, c2);
+    b2.addi(3, 3, 1);
+    b2.jmp(d2);
+    b2.bind(c2);
+    b2.addi(3, 3, 2);
+    b2.bind(d2);
+    for (int i = 0; i < 60; i++)
+        b2.addi(4, 4, 1);
+    b2.halt();
+    Program p2 = b2.build("longpost2", 100);
+    EXPECT_TRUE(p2.at(0).subdividable());
+}
+
+TEST(Cfg, BasicBlockLengthStopsAtLeaders)
+{
+    Program p = diamond();
+    // Block starting at 2 (B): instr 2 then jmp at 3 -> length 2.
+    EXPECT_EQ(CfgAnalysis::basicBlockLength(p.instructions(), 2), 2);
+    // Block starting at 5: addi + halt.
+    EXPECT_EQ(CfgAnalysis::basicBlockLength(p.instructions(), 5), 2);
+}
+
+TEST(Disasm, ProducesReadableListing)
+{
+    Program p = diamond();
+    const std::string text = disasm(p);
+    EXPECT_NE(text.find("br r3"), std::string::npos);
+    EXPECT_NE(text.find("ipdom=5"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Program, RejectsOutOfRangeTargets)
+{
+    std::vector<Instr> code;
+    Instr bad;
+    bad.op = Op::Jmp;
+    bad.target = 100;
+    code.push_back(bad);
+    EXPECT_EXIT(Program(code, "bad"), ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace dws

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Property-based policy-equivalence fuzzing.
+ *
+ * Dynamic warp subdivision, by design, "merely changes the ordering of
+ * execution for threads within the same warp" (paper Section 5.4): it
+ * must never change architectural results. This test generates random
+ * structured kernels (loops, nested data-dependent diamonds, gathers,
+ * scatters) and checks that every divergence policy produces memory
+ * contents identical to the conventional baseline, across several
+ * machine shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace dws {
+namespace {
+
+constexpr int kTableWords = 2048;
+constexpr int kOutWords = 512;
+
+/** Generate a random structured kernel from a seed. */
+Program
+randomKernel(std::uint64_t seed)
+{
+    Rng rng(seed * 2654435761u + 1);
+    KernelBuilder b;
+
+    // r0 tid, r1 nthreads, r2 idx, r3 step, r4 acc, r5.. temps,
+    // r30 zero.
+    const int steps = static_cast<int>(rng.nextRange(4, 24));
+    b.muli(2, 0, static_cast<std::int64_t>(rng.nextRange(3, 97)));
+    b.movi(5, kTableWords);
+    b.rem(2, 2, 5);
+    b.movi(3, 0);
+    b.addi(4, 0, static_cast<std::int64_t>(rng.nextRange(0, 9)));
+
+    auto loop = b.newLabel();
+    auto done = b.newLabel();
+    b.bind(loop);
+    b.slti(6, 3, steps);
+    b.seq(6, 6, 30);
+    b.br(6, done);
+
+    const int actions = static_cast<int>(rng.nextRange(2, 5));
+    for (int a = 0; a < actions; a++) {
+        switch (rng.nextBounded(5)) {
+          case 0: { // gather + accumulate
+            b.muli(7, 2, kWordBytes);
+            b.ld(8, 7, 0);
+            b.add(4, 4, 8);
+            b.movi(5, kTableWords);
+            b.rem(2, 8, 5);
+            break;
+          }
+          case 1: { // data-dependent diamond
+            auto odd = b.newLabel();
+            auto join = b.newLabel();
+            b.andi(9, 4, rng.nextRange(1, 3));
+            b.br(9, odd);
+            b.addi(4, 4, rng.nextRange(1, 50));
+            b.jmp(join);
+            b.bind(odd);
+            b.muli(4, 4, 3);
+            b.shri(4, 4, 1);
+            b.bind(join);
+            break;
+          }
+          case 2: { // nested diamond
+            auto o1 = b.newLabel();
+            auto j1 = b.newLabel();
+            auto o2 = b.newLabel();
+            auto j2 = b.newLabel();
+            b.andi(9, 2, 1);
+            b.br(9, o1);
+            b.andi(10, 4, 1);
+            b.br(10, o2);
+            b.addi(4, 4, 7);
+            b.jmp(j2);
+            b.bind(o2);
+            b.addi(4, 4, 11);
+            b.bind(j2);
+            b.addi(4, 4, 1);
+            b.jmp(j1);
+            b.bind(o1);
+            b.xor_(4, 4, 2);
+            b.bind(j1);
+            b.add(4, 4, 2);
+            break;
+          }
+          case 3: { // scatter store to a thread-private slot
+            b.movi(5, kOutWords);
+            b.rem(11, 0, 5);
+            b.muli(11, 11, kWordBytes);
+            b.st(11, 4, kTableWords * kWordBytes);
+            break;
+          }
+          default: { // pure ALU churn
+            b.muli(4, 4, rng.nextRange(1, 5));
+            b.addi(4, 4, rng.nextRange(-20, 20));
+            b.andi(4, 4, 0xffffff);
+            break;
+          }
+        }
+    }
+    b.addi(3, 3, 1);
+    b.jmp(loop);
+    b.bind(done);
+    // Final per-thread result.
+    b.muli(12, 0, kWordBytes);
+    b.st(12, 4, (kTableWords + kOutWords) * kWordBytes);
+    b.halt();
+    return b.build("fuzz" + std::to_string(seed));
+}
+
+TestKernel::InitFn
+fuzzInit(std::uint64_t seed)
+{
+    return [seed](Memory &m) {
+        Rng rng(seed + 77);
+        for (int i = 0; i < kTableWords; i++)
+            m.writeWord(static_cast<std::uint64_t>(i),
+                        rng.nextRange(0, kTableWords * 8));
+    };
+}
+
+std::uint64_t
+memBytesNeeded(int threads)
+{
+    return static_cast<std::uint64_t>(kTableWords + kOutWords + threads +
+                                      64) * kWordBytes;
+}
+
+/** Snapshot of the architecturally visible memory after a run. */
+std::vector<std::int64_t>
+runAndSnapshot(std::uint64_t seed, const PolicyConfig &pol)
+{
+    SystemConfig cfg = testConfig(8, 2, 2);
+    cfg.policy = pol;
+    // Small, low-associativity cache maximizes divergence events.
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(randomKernel(seed),
+                 memBytesNeeded(cfg.totalThreads()), fuzzInit(seed));
+    System sys(cfg, k);
+    sys.run();
+    std::vector<std::int64_t> snap;
+    const std::uint64_t words = memBytesNeeded(cfg.totalThreads()) /
+                                kWordBytes;
+    snap.reserve(words);
+    for (std::uint64_t i = 0; i < words; i++)
+        snap.push_back(sys.memory().readWord(i));
+    return snap;
+}
+
+class PolicyEquivalence : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(PolicyEquivalence, AllPoliciesMatchConv)
+{
+    const std::uint64_t seed = GetParam();
+    const auto golden = runAndSnapshot(seed, PolicyConfig::conv());
+    const std::vector<PolicyConfig> policies = {
+        PolicyConfig::branchOnlyStack(),
+        PolicyConfig::branchOnly(),
+        PolicyConfig::memOnlyBranchLimited(SplitScheme::Aggressive),
+        PolicyConfig::memOnlyBranchLimited(SplitScheme::Revive),
+        PolicyConfig::reviveMemOnly(),
+        PolicyConfig::dws(SplitScheme::Aggressive),
+        PolicyConfig::dws(SplitScheme::Lazy),
+        PolicyConfig::reviveSplit(),
+        PolicyConfig::adaptiveSlip(),
+        PolicyConfig::slipBranchBypassCfg(),
+    };
+    for (const auto &pol : policies) {
+        const auto got = runAndSnapshot(seed, pol);
+        ASSERT_EQ(got.size(), golden.size());
+        for (size_t i = 0; i < got.size(); i++) {
+            ASSERT_EQ(got[i], golden[i])
+                    << "seed " << seed << " policy " << pol.name()
+                    << " word " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, PolicyEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+/** The same property across machine shapes for one seed. */
+class ShapeEquivalence
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(ShapeEquivalence, DwsMatchesConvAcrossShapes)
+{
+    const auto [width, warps] = GetParam();
+    auto snapshot = [&](const PolicyConfig &pol) {
+        SystemConfig cfg = testConfig(width, warps, 2);
+        cfg.policy = pol;
+        cfg.wpu.dcache.sizeBytes = 2 * 1024;
+        cfg.wpu.dcache.assoc = 2;
+        cfg.wpu.dcache.banks = width;
+        TestKernel k(randomKernel(5),
+                     memBytesNeeded(cfg.totalThreads()), fuzzInit(5));
+        System sys(cfg, k);
+        sys.run();
+        std::vector<std::int64_t> snap;
+        const std::uint64_t words =
+                memBytesNeeded(cfg.totalThreads()) / kWordBytes;
+        for (std::uint64_t i = 0; i < words; i++)
+            snap.push_back(sys.memory().readWord(i));
+        return snap;
+    };
+    EXPECT_EQ(snapshot(PolicyConfig::conv()),
+              snapshot(PolicyConfig::reviveSplit()));
+    EXPECT_EQ(snapshot(PolicyConfig::conv()),
+              snapshot(PolicyConfig::slipBranchBypassCfg()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Shapes, ShapeEquivalence,
+        ::testing::Values(std::make_pair(2, 1), std::make_pair(4, 2),
+                          std::make_pair(8, 4), std::make_pair(16, 2),
+                          std::make_pair(32, 1)));
+
+} // namespace
+} // namespace dws

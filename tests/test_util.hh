@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared test helpers: an ad-hoc Kernel wrapper so tests can run
+ * arbitrary IR programs through the full System.
+ */
+
+#ifndef DWS_TESTS_TEST_UTIL_HH
+#define DWS_TESTS_TEST_UTIL_HH
+
+#include <functional>
+#include <utility>
+
+#include "harness/system.hh"
+#include "kernels/kernel.hh"
+
+namespace dws {
+
+/** A Kernel built from a raw Program and optional memory initializer. */
+class TestKernel : public Kernel
+{
+  public:
+    using InitFn = std::function<void(Memory &)>;
+
+    TestKernel(Program prog, std::uint64_t memBytes = 1 << 20,
+               InitFn init = nullptr)
+        : Kernel(KernelParams{}), prog(std::move(prog)), bytes(memBytes),
+          init(std::move(init))
+    {}
+
+    std::string name() const override { return prog.name(); }
+    std::string description() const override { return "test kernel"; }
+    Program buildProgram() const override { return prog; }
+    std::uint64_t memBytes() const override { return bytes; }
+
+    void
+    initMemory(Memory &mem) const override
+    {
+        mem.resize(bytes);
+        if (init)
+            init(mem);
+    }
+
+    bool validate(const Memory &) const override { return true; }
+
+  private:
+    Program prog;
+    std::uint64_t bytes;
+    InitFn init;
+};
+
+/** @return a small single-WPU configuration for unit tests. */
+inline SystemConfig
+testConfig(int width = 4, int warps = 2, int wpus = 1)
+{
+    SystemConfig cfg;
+    cfg.numWpus = wpus;
+    cfg.wpu.simdWidth = width;
+    cfg.wpu.numWarps = warps;
+    cfg.wpu.schedSlots = 2 * warps;
+    cfg.wpu.wstEntries = 16;
+    cfg.maxCycles = 10'000'000;
+    return cfg;
+}
+
+} // namespace dws
+
+#endif // DWS_TESTS_TEST_UTIL_HH

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * WPU edge cases: instruction-cache behavior, MSHR-pressure retries,
+ * bank conflicts, scheduler-slot starvation, WST-full fallbacks, and
+ * divergence counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace dws {
+namespace {
+
+/**
+ * Heavy gather kernel: every thread streams addresses with its own
+ * stride (lane-dependent), so lanes fall out of cache-line phase and
+ * accesses mix hits with misses (memory divergence).
+ */
+Program
+strideKernel(int words, int steps)
+{
+    KernelBuilder b;
+    auto loop = b.newLabel();
+    auto done = b.newLabel();
+    b.muli(2, 0, 257 * kWordBytes); // per-thread start
+    b.muli(10, 0, 7);
+    b.addi(10, 10, 1039);
+    b.muli(10, 10, kWordBytes);     // per-thread stride
+    b.movi(3, 0);
+    b.movi(4, 0);
+    b.bind(loop);
+    b.slti(5, 3, steps);
+    b.seq(5, 5, 30);
+    b.br(5, done);
+    b.movi(6, words * kWordBytes);
+    b.rem(7, 2, 6);
+    b.ld(8, 7, 0);
+    b.add(4, 4, 8);
+    b.add(2, 2, 10);
+    b.addi(3, 3, 1);
+    b.jmp(loop);
+    b.bind(done);
+    b.muli(9, 0, kWordBytes);
+    b.st(9, 4, words * kWordBytes);
+    b.halt();
+    return b.build("stride");
+}
+
+TEST(WpuEdge, SurvivesTinyMshrCount)
+{
+    // With only 2 MSHRs, accesses constantly retry; execution must
+    // still complete and produce correct results.
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.wpu.dcache.mshrs = 2;
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(strideKernel(4096, 24), (4096 + 64) * kWordBytes,
+                 [](Memory &m) {
+                     for (int i = 0; i < 4096; i++)
+                         m.writeWord(static_cast<std::uint64_t>(i), i);
+                 });
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_TRUE(sys.finished());
+    EXPECT_GT(s.dcaches[0].mshrFullEvents, 0u);
+}
+
+TEST(WpuEdge, MshrPressureOnlySlowsExecution)
+{
+    auto cyclesWith = [](int mshrs) {
+        SystemConfig cfg = testConfig(8, 2, 1);
+        cfg.wpu.dcache.mshrs = mshrs;
+        cfg.wpu.dcache.sizeBytes = 2 * 1024;
+        cfg.wpu.dcache.assoc = 2;
+        TestKernel k(strideKernel(4096, 24),
+                     (4096 + 64) * kWordBytes, nullptr);
+        System sys(cfg, k);
+        return sys.run().cycles;
+    };
+    EXPECT_GE(cyclesWith(2), cyclesWith(32));
+}
+
+TEST(WpuEdge, BankConflictsCounted)
+{
+    // All lanes load addresses mapping to the same bank: line stride =
+    // banks * lineBytes keeps every access in bank 0.
+    KernelBuilder b;
+    b.muli(2, 0, 16 * 128); // lane * banks*lineBytes
+    b.ld(3, 2, 0);
+    b.halt();
+    SystemConfig cfg = testConfig(8, 1, 1);
+    cfg.wpu.dcache.banks = 16;
+    TestKernel k(b.build("conflict"), 1 << 20);
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_GT(s.dcaches[0].bankConflicts, 0u);
+}
+
+TEST(WpuEdge, InstructionCacheMostlyHits)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    TestKernel k(strideKernel(1024, 16), (1024 + 64) * kWordBytes);
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    // One fetch per issue; misses only on first touch of each line.
+    EXPECT_GT(s.icaches[0].reads, 100u);
+    EXPECT_LT(s.icaches[0].missRate(), 0.05);
+}
+
+TEST(WpuEdge, SchedulerSlotStarvationStillCompletes)
+{
+    // One slot for two warps: strict serialization, but progress.
+    SystemConfig cfg = testConfig(4, 2, 1);
+    cfg.wpu.schedSlots = 1;
+    TestKernel k(strideKernel(512, 8), (512 + 64) * kWordBytes);
+    System sys(cfg, k);
+    sys.run();
+    EXPECT_TRUE(sys.finished());
+}
+
+TEST(WpuEdge, RegistersInitializedWithTidAndCount)
+{
+    KernelBuilder b;
+    b.muli(2, 0, kWordBytes);
+    b.st(2, 1, 0); // out[tid] = nthreads
+    b.halt();
+    SystemConfig cfg = testConfig(4, 2, 2);
+    TestKernel k(b.build("init"));
+    System sys(cfg, k);
+    sys.run();
+    for (int t = 0; t < cfg.totalThreads(); t++)
+        EXPECT_EQ(sys.memory().readWord(static_cast<std::uint64_t>(t)),
+                  cfg.totalThreads());
+}
+
+TEST(WpuEdge, ThreadMissMapSizedAndPopulated)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(strideKernel(4096, 24), (4096 + 64) * kWordBytes);
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    ASSERT_EQ(s.wpus[0].threadMisses.size(),
+              static_cast<size_t>(cfg.wpu.numThreads()));
+    std::uint64_t total = 0;
+    for (auto m : s.wpus[0].threadMisses)
+        total += m;
+    EXPECT_GT(total, 0u);
+}
+
+TEST(WpuEdge, WstFullFallsBackToPrivateStack)
+{
+    // Aggressive DWS with a 2-entry WST: only one subdivision can be
+    // live; further divergence must serialize conventionally, and the
+    // results must still be correct.
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.policy = PolicyConfig::dws(SplitScheme::Aggressive);
+    cfg.policy.minSplitWidth = 1;
+    cfg.wpu.wstEntries = 2;
+    cfg.wpu.dcache.sizeBytes = 2 * 1024;
+    cfg.wpu.dcache.assoc = 2;
+    TestKernel k(strideKernel(4096, 24), (4096 + 64) * kWordBytes,
+                 [](Memory &m) {
+                     for (int i = 0; i < 4096; i++)
+                         m.writeWord(static_cast<std::uint64_t>(i),
+                                     7 * i + 3);
+                 });
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_LE(sys.wpu(0).wst().peakUse, 2u);
+    // Verify results against plain accumulation.
+    for (int t = 0; t < cfg.totalThreads(); t++) {
+        std::int64_t addr = std::int64_t(t) * 257 * kWordBytes;
+        const std::int64_t stride =
+                (std::int64_t(t) * 7 + 1039) * kWordBytes;
+        std::int64_t acc = 0;
+        for (int step = 0; step < 24; step++) {
+            const std::int64_t a = addr % (4096 * kWordBytes);
+            acc += 7 * (a / kWordBytes) + 3;
+            addr += stride;
+        }
+        EXPECT_EQ(sys.memory().readWord(
+                          static_cast<std::uint64_t>(4096 + t)),
+                  acc)
+                << "thread " << t;
+    }
+    // Subdivision engaged at least once within the tiny table.
+    EXPECT_GT(s.wpus[0].memSplits + s.wpus[0].branchSplits, 0u);
+}
+
+TEST(WpuEdge, DivergentBranchCountersConsistent)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    TestKernel k(strideKernel(512, 8), (512 + 64) * kWordBytes);
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_LE(s.wpus[0].divergentBranches, s.wpus[0].branches);
+    EXPECT_LE(s.wpus[0].divergentAccesses, s.wpus[0].memAccesses);
+    EXPECT_LE(s.wpus[0].missAccesses, s.wpus[0].memAccesses);
+}
+
+TEST(WpuEdge, DumpStateIsInformative)
+{
+    SystemConfig cfg = testConfig(4, 2, 1);
+    TestKernel k(strideKernel(256, 4), (256 + 64) * kWordBytes);
+    System sys(cfg, k);
+    sys.run();
+    const std::string dump = sys.wpu(0).dumpState();
+    EXPECT_NE(dump.find("wpu0"), std::string::npos);
+    EXPECT_NE(dump.find("halted"), std::string::npos);
+}
+
+TEST(WpuEdge, ZeroIterationThreadsHaltCleanly)
+{
+    // Threads whose blocked range is empty must halt immediately and
+    // not wedge warps with mixed progress.
+    KernelBuilder b;
+    auto work = b.newLabel();
+    auto done = b.newLabel();
+    b.slti(2, 0, 3); // only tids 0..2 work
+    b.br(2, work);
+    b.jmp(done);
+    b.bind(work);
+    b.muli(3, 0, kWordBytes);
+    b.st(3, 0, 0);
+    b.bind(done);
+    b.halt();
+    SystemConfig cfg = testConfig(8, 2, 2);
+    TestKernel k(b.build("partial"));
+    System sys(cfg, k);
+    sys.run();
+    EXPECT_TRUE(sys.finished());
+    for (int t = 0; t < 3; t++)
+        EXPECT_EQ(sys.memory().readWord(static_cast<std::uint64_t>(t)),
+                  t);
+}
+
+} // namespace
+} // namespace dws

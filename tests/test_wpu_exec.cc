@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Execution tests for the WPU: straight-line code, uniform and
+ * divergent branches, loops, memory operations, barriers, and thread
+ * termination — under the conventional (no-DWS) policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace dws {
+namespace {
+
+/** Every thread computes tid * 3 + 7 and stores it at mem[tid]. */
+Program
+straightLine()
+{
+    KernelBuilder b;
+    b.muli(2, 0, 3);
+    b.addi(2, 2, 7);
+    b.muli(3, 0, kWordBytes);
+    b.st(3, 2, 0);
+    b.halt();
+    return b.build("straight");
+}
+
+TEST(WpuExec, StraightLineAllThreads)
+{
+    SystemConfig cfg = testConfig(4, 2, 1);
+    TestKernel k(straightLine());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    for (int t = 0; t < cfg.totalThreads(); t++) {
+        EXPECT_EQ(sys.memory().readWord(static_cast<std::uint64_t>(t)),
+                  t * 3 + 7)
+                << "thread " << t;
+    }
+    // 5 instructions per thread.
+    EXPECT_EQ(s.totalScalarInstrs(),
+              static_cast<std::uint64_t>(5 * cfg.totalThreads()));
+}
+
+TEST(WpuExec, MultiWpuStraightLine)
+{
+    SystemConfig cfg = testConfig(4, 2, 4);
+    TestKernel k(straightLine());
+    System sys(cfg, k);
+    sys.run();
+    for (int t = 0; t < cfg.totalThreads(); t++)
+        EXPECT_EQ(sys.memory().readWord(static_cast<std::uint64_t>(t)),
+                  t * 3 + 7);
+}
+
+/** Divergent diamond: odd threads add 100, even threads add 1. */
+Program
+divergentDiamond()
+{
+    KernelBuilder b;
+    auto odd = b.newLabel();
+    auto join = b.newLabel();
+    b.andi(2, 0, 1);      // r2 = tid & 1
+    b.br(2, odd);
+    b.movi(3, 1);         // even path
+    b.jmp(join);
+    b.bind(odd);
+    b.movi(3, 100);
+    b.bind(join);
+    b.add(3, 3, 0);       // r3 += tid (post-dominator block)
+    b.muli(4, 0, kWordBytes);
+    b.st(4, 3, 0);
+    b.halt();
+    return b.build("diamond");
+}
+
+TEST(WpuExec, DivergentBranchConventional)
+{
+    SystemConfig cfg = testConfig(8, 1, 1);
+    TestKernel k(divergentDiamond());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    for (int t = 0; t < cfg.totalThreads(); t++) {
+        const std::int64_t want = (t % 2 ? 100 : 1) + t;
+        EXPECT_EQ(sys.memory().readWord(static_cast<std::uint64_t>(t)),
+                  want);
+    }
+    EXPECT_EQ(s.wpus[0].branches, 1u);
+    EXPECT_EQ(s.wpus[0].divergentBranches, 1u);
+    EXPECT_EQ(s.wpus[0].branchSplits, 0u); // Conv never splits
+}
+
+/** Data-dependent trip counts: thread t loops t+1 times. */
+Program
+variableLoop()
+{
+    KernelBuilder b;
+    auto loop = b.newLabel();
+    auto done = b.newLabel();
+    b.addi(2, 0, 1);      // n = tid + 1
+    b.movi(3, 0);         // i
+    b.movi(4, 0);         // acc
+    b.bind(loop);
+    b.sle(5, 2, 3);       // i >= n ?
+    b.br(5, done);
+    b.add(4, 4, 3);       // acc += i
+    b.addi(3, 3, 1);
+    b.jmp(loop);
+    b.bind(done);
+    b.muli(6, 0, kWordBytes);
+    b.st(6, 4, 0);
+    b.halt();
+    return b.build("varloop");
+}
+
+TEST(WpuExec, VariableTripLoops)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    TestKernel k(variableLoop());
+    System sys(cfg, k);
+    sys.run();
+    for (int t = 0; t < cfg.totalThreads(); t++) {
+        const std::int64_t n = t + 1;
+        EXPECT_EQ(sys.memory().readWord(static_cast<std::uint64_t>(t)),
+                  n * (n - 1) / 2)
+                << "thread " << t;
+    }
+}
+
+/** Nested divergence: two levels of data-dependent branching. */
+Program
+nestedDivergence()
+{
+    KernelBuilder b;
+    auto l1 = b.newLabel();
+    auto l2 = b.newLabel();
+    auto j1 = b.newLabel();
+    auto j2 = b.newLabel();
+    b.andi(2, 0, 1);
+    b.andi(3, 0, 2);
+    b.movi(4, 0);
+    b.br(2, l1);          // outer
+    // even tids
+    b.br(3, l2);          //   inner
+    b.addi(4, 4, 1);      //     tid % 4 == 0
+    b.jmp(j2);
+    b.bind(l2);
+    b.addi(4, 4, 2);      //     tid % 4 == 2
+    b.bind(j2);
+    b.addi(4, 4, 10);     //   inner post-dominator
+    b.jmp(j1);
+    b.bind(l1);
+    b.addi(4, 4, 100);    // odd tids
+    b.bind(j1);
+    b.add(4, 4, 0);       // outer post-dominator
+    b.muli(5, 0, kWordBytes);
+    b.st(5, 4, 0);
+    b.halt();
+    return b.build("nested");
+}
+
+std::int64_t
+nestedExpect(int t)
+{
+    std::int64_t v = 0;
+    if (t % 2) {
+        v += 100;
+    } else {
+        v += (t % 4 == 2) ? 2 : 1;
+        v += 10;
+    }
+    return v + t;
+}
+
+TEST(WpuExec, NestedDivergence)
+{
+    SystemConfig cfg = testConfig(8, 1, 1);
+    TestKernel k(nestedDivergence());
+    System sys(cfg, k);
+    sys.run();
+    for (int t = 0; t < cfg.totalThreads(); t++)
+        EXPECT_EQ(sys.memory().readWord(static_cast<std::uint64_t>(t)),
+                  nestedExpect(t))
+                << "thread " << t;
+}
+
+/** Gather: each thread loads from a permuted location. */
+Program
+gatherKernel(int total)
+{
+    KernelBuilder b;
+    // src index = (tid * 7 + 3) % total
+    b.muli(2, 0, 7);
+    b.addi(2, 2, 3);
+    b.movi(3, total);
+    b.rem(2, 2, 3);
+    b.muli(2, 2, kWordBytes);
+    b.ld(4, 2, 0);                    // gather
+    b.muli(5, 0, kWordBytes);
+    b.st(5, 4, total * kWordBytes);   // out[tid] = value
+    b.halt();
+    return b.build("gather");
+}
+
+TEST(WpuExec, GatherScatter)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    const int total = cfg.totalThreads();
+    TestKernel k(gatherKernel(total), 1 << 20, [&](Memory &m) {
+        for (int i = 0; i < total; i++)
+            m.writeWord(static_cast<std::uint64_t>(i), 1000 + i);
+    });
+    System sys(cfg, k);
+    sys.run();
+    for (int t = 0; t < total; t++) {
+        const int src = (t * 7 + 3) % total;
+        EXPECT_EQ(sys.memory().readWord(
+                          static_cast<std::uint64_t>(total + t)),
+                  1000 + src);
+    }
+}
+
+/** Barrier: phase 1 writes, phase 2 reads a neighbor's value. */
+Program
+barrierKernel(int total)
+{
+    KernelBuilder b;
+    b.muli(2, 0, kWordBytes);
+    b.st(2, 0, 0);               // a[tid] = tid
+    b.bar();
+    // read neighbor (tid+1) % total
+    b.addi(3, 0, 1);
+    b.movi(4, total);
+    b.rem(3, 3, 4);
+    b.muli(3, 3, kWordBytes);
+    b.ld(5, 3, 0);
+    b.st(2, 5, total * kWordBytes);
+    b.halt();
+    return b.build("barrier");
+}
+
+TEST(WpuExec, KernelBarrierAcrossWpus)
+{
+    SystemConfig cfg = testConfig(4, 2, 2);
+    const int total = cfg.totalThreads();
+    TestKernel k(barrierKernel(total));
+    System sys(cfg, k);
+    sys.run();
+    for (int t = 0; t < total; t++)
+        EXPECT_EQ(sys.memory().readWord(
+                          static_cast<std::uint64_t>(total + t)),
+                  (t + 1) % total);
+}
+
+/** Threads halt at different times (loop-exit divergence). */
+TEST(WpuExec, StaggeredHalts)
+{
+    SystemConfig cfg = testConfig(8, 2, 1);
+    TestKernel k(variableLoop());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_GT(s.cycles, 0u);
+    // All threads finished.
+    EXPECT_TRUE(sys.finished());
+}
+
+TEST(WpuExec, BreakdownAccountsAllCycles)
+{
+    SystemConfig cfg = testConfig(8, 2, 2);
+    TestKernel k(divergentDiamond());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    for (const auto &w : s.wpus)
+        EXPECT_EQ(w.totalCycles(), s.cycles);
+}
+
+TEST(WpuExec, AvgSimdWidthFullWhenUniform)
+{
+    SystemConfig cfg = testConfig(8, 1, 1);
+    TestKernel k(straightLine());
+    System sys(cfg, k);
+    RunStats s = sys.run();
+    EXPECT_DOUBLE_EQ(s.avgSimdWidth(), 8.0);
+}
+
+/** A store followed by a load from another thread's slot, same warp,
+ *  no barrier: exercises intra-warp memory through the cache. */
+TEST(WpuExec, StoresVisibleToLoads)
+{
+    KernelBuilder b;
+    b.muli(2, 0, kWordBytes);
+    b.addi(3, 0, 42);
+    b.st(2, 3, 0);
+    b.ld(4, 2, 0);
+    b.muli(5, 0, kWordBytes);
+    b.st(5, 4, 512);
+    b.halt();
+    SystemConfig cfg = testConfig(4, 1, 1);
+    TestKernel k(b.build("storeload"));
+    System sys(cfg, k);
+    sys.run();
+    for (int t = 0; t < 4; t++)
+        EXPECT_EQ(sys.memory().readWord(
+                          static_cast<std::uint64_t>(64 + t)),
+                  t + 42);
+}
+
+} // namespace
+} // namespace dws

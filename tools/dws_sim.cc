@@ -1,0 +1,204 @@
+/**
+ * @file
+ * dws_sim: command-line driver for the simulator.
+ *
+ * Runs one benchmark under one divergence policy with arbitrary
+ * machine-parameter overrides and prints the full statistics, making
+ * one-off experiments possible without writing C++.
+ *
+ *   dws_sim --kernel Filter --policy revive --width 16 --warps 4
+ *   dws_sim --kernel Merge --policy conv --dcache-kb 16 --l2-lat 100
+ *   dws_sim --list
+ *   dws_sim --kernel FFT --disasm
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "energy/energy.hh"
+#include "harness/runner.hh"
+#include "isa/disasm.hh"
+#include "sim/logging.hh"
+
+using namespace dws;
+
+namespace {
+
+void
+usage()
+{
+    std::puts(
+        "usage: dws_sim [options]\n"
+        "  --kernel NAME     benchmark (see --list); default Filter\n"
+        "  --policy NAME     conv | branch-stack | branch | bl-aggress |\n"
+        "                    bl-lazy | bl-revive | mem-only | aggress |\n"
+        "                    lazy | revive | slip | slip-bb\n"
+        "  --scale S         tiny | default\n"
+        "  --width N         SIMD width            --warps N   warps/WPU\n"
+        "  --wpus N          number of WPUs        --slots N   sched slots\n"
+        "  --wst N           warp-split entries    --seed N    input seed\n"
+        "  --dcache-kb N     L1 D-cache capacity   --assoc N   (0 = full)\n"
+        "  --l2-kb N         L2 capacity           --l2-lat N  L2 latency\n"
+        "  --subdiv N        branch heuristic bound (instrs)\n"
+        "  --min-split N     over-subdivision width floor\n"
+        "  --disasm          print the kernel listing and exit\n"
+        "  --list            print benchmark names and exit\n"
+        "  --quiet           suppress warnings");
+}
+
+PolicyConfig
+policyByName(const std::string &n)
+{
+    if (n == "conv")         return PolicyConfig::conv();
+    if (n == "branch-stack") return PolicyConfig::branchOnlyStack();
+    if (n == "branch")       return PolicyConfig::branchOnly();
+    if (n == "bl-aggress")
+        return PolicyConfig::memOnlyBranchLimited(SplitScheme::Aggressive);
+    if (n == "bl-lazy")
+        return PolicyConfig::memOnlyBranchLimited(SplitScheme::Lazy);
+    if (n == "bl-revive")
+        return PolicyConfig::memOnlyBranchLimited(SplitScheme::Revive);
+    if (n == "mem-only")     return PolicyConfig::reviveMemOnly();
+    if (n == "aggress")      return PolicyConfig::dws(SplitScheme::Aggressive);
+    if (n == "lazy")         return PolicyConfig::dws(SplitScheme::Lazy);
+    if (n == "revive")       return PolicyConfig::reviveSplit();
+    if (n == "slip")         return PolicyConfig::adaptiveSlip();
+    if (n == "slip-bb")      return PolicyConfig::slipBranchBypassCfg();
+    fatal("unknown policy '%s'", n.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string kernelName = "Filter";
+    std::string policyName = "conv";
+    KernelScale scale = KernelScale::Default;
+    SystemConfig cfg;
+    bool wantDisasm = false;
+
+    auto intArg = [&](int &i) {
+        if (i + 1 >= argc)
+            fatal("missing value for %s", argv[i]);
+        return std::atoll(argv[++i]);
+    };
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            usage();
+            return 0;
+        } else if (!std::strcmp(a, "--list")) {
+            for (const auto &n : kernelNames())
+                std::puts(n.c_str());
+            return 0;
+        } else if (!std::strcmp(a, "--kernel") && i + 1 < argc) {
+            kernelName = argv[++i];
+        } else if (!std::strcmp(a, "--policy") && i + 1 < argc) {
+            policyName = argv[++i];
+        } else if (!std::strcmp(a, "--scale") && i + 1 < argc) {
+            const std::string s = argv[++i];
+            if (s == "tiny")
+                scale = KernelScale::Tiny;
+            else if (s == "default")
+                scale = KernelScale::Default;
+            else
+                fatal("unknown scale '%s'", s.c_str());
+        } else if (!std::strcmp(a, "--width")) {
+            cfg.wpu.simdWidth = static_cast<int>(intArg(i));
+            cfg.wpu.dcache.banks = cfg.wpu.simdWidth;
+        } else if (!std::strcmp(a, "--warps")) {
+            cfg.wpu.numWarps = static_cast<int>(intArg(i));
+            cfg.wpu.schedSlots = 2 * cfg.wpu.numWarps;
+        } else if (!std::strcmp(a, "--wpus")) {
+            cfg.numWpus = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--slots")) {
+            cfg.wpu.schedSlots = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--wst")) {
+            cfg.wpu.wstEntries = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--seed")) {
+            cfg.seed = static_cast<std::uint64_t>(intArg(i));
+        } else if (!std::strcmp(a, "--dcache-kb")) {
+            cfg.wpu.dcache.sizeBytes =
+                    static_cast<std::uint64_t>(intArg(i)) * 1024;
+        } else if (!std::strcmp(a, "--assoc")) {
+            cfg.wpu.dcache.assoc = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--l2-kb")) {
+            cfg.mem.l2.sizeBytes =
+                    static_cast<std::uint64_t>(intArg(i)) * 1024;
+        } else if (!std::strcmp(a, "--l2-lat")) {
+            cfg.mem.l2.hitLatency = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--subdiv")) {
+            cfg.policy.subdivMaxPostBlock = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--min-split")) {
+            cfg.policy.minSplitWidth = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--disasm")) {
+            wantDisasm = true;
+        } else if (!std::strcmp(a, "--quiet")) {
+            setQuiet(true);
+        } else {
+            usage();
+            fatal("unknown argument '%s'", a);
+        }
+    }
+
+    const int subdiv = cfg.policy.subdivMaxPostBlock;
+    const int minSplit = cfg.policy.minSplitWidth;
+    cfg.policy = policyByName(policyName);
+    cfg.policy.subdivMaxPostBlock = subdiv;
+    cfg.policy.minSplitWidth = minSplit;
+
+    if (wantDisasm) {
+        KernelParams kp;
+        kp.scale = scale;
+        kp.seed = cfg.seed;
+        auto kernel = makeKernel(kernelName, kp);
+        if (!kernel)
+            fatal("unknown kernel '%s' (try --list)", kernelName.c_str());
+        std::fputs(disasm(kernel->buildProgram()).c_str(), stdout);
+        return 0;
+    }
+
+    const RunResult r = runKernel(kernelName, cfg, scale);
+    std::printf("%s / %s (%s scale)\n", r.kernel.c_str(),
+                r.policy.c_str(),
+                scale == KernelScale::Tiny ? "tiny" : "default");
+    std::printf("  validated:        %s\n", r.valid ? "yes" : "NO");
+    std::printf("  cycles:           %llu\n",
+                (unsigned long long)r.stats.cycles);
+    std::printf("  scalar instrs:    %llu\n",
+                (unsigned long long)r.stats.totalScalarInstrs());
+    std::printf("  SIMD issues:      %llu (avg width %.2f)\n",
+                (unsigned long long)r.stats.totalIssuedInstrs(),
+                r.stats.avgSimdWidth());
+    std::printf("  memory stall:     %.1f%%\n",
+                100.0 * r.stats.memStallFrac());
+    std::uint64_t bsp = 0, msp = 0, pcm = 0, stm = 0, wfd = 0;
+    for (const auto &w : r.stats.wpus) {
+        bsp += w.branchSplits;
+        msp += w.memSplits;
+        pcm += w.pcMerges;
+        stm += w.stackMerges;
+        wfd += w.wstFullDenials;
+    }
+    std::printf("  splits:           %llu branch, %llu memory "
+                "(%llu denied by WST)\n",
+                (unsigned long long)bsp, (unsigned long long)msp,
+                (unsigned long long)wfd);
+    std::printf("  merges:           %llu by PC, %llu by stack\n",
+                (unsigned long long)pcm, (unsigned long long)stm);
+    std::printf("  L2 accesses:      %llu (%.1f%% miss)\n",
+                (unsigned long long)r.stats.mem.l2.accesses(),
+                100.0 * r.stats.mem.l2.missRate());
+    std::printf("  DRAM accesses:    %llu\n",
+                (unsigned long long)r.stats.mem.dramAccesses);
+    const EnergyBreakdown e = computeEnergy(r.stats, cfg);
+    std::printf("  energy:           %.3f mJ (pipeline %.0f%%, caches "
+                "%.0f%%, net %.0f%%, dram %.0f%%, leak %.0f%%)\n",
+                e.total() * 1e-6, 100 * e.pipeline / e.total(),
+                100 * e.caches / e.total(), 100 * e.network / e.total(),
+                100 * e.dram / e.total(), 100 * e.leakage / e.total());
+    return r.valid ? 0 : 2;
+}
