@@ -1,0 +1,44 @@
+#include "analysis/diagnostic.hh"
+
+#include <cstdio>
+
+namespace dws {
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+std::string
+toString(const Diagnostic &d)
+{
+    char buf[64];
+    if (d.pc == kPcExit)
+        std::snprintf(buf, sizeof(buf), "%s: ", severityName(d.severity));
+    else
+        std::snprintf(buf, sizeof(buf), "%s @pc %d: ",
+                      severityName(d.severity), d.pc);
+    return std::string(buf) + d.message;
+}
+
+bool
+hasErrors(const std::vector<Diagnostic> &diags)
+{
+    for (const Diagnostic &d : diags)
+        if (d.severity == Severity::Error)
+            return true;
+    return false;
+}
+
+int
+countSeverity(const std::vector<Diagnostic> &diags, Severity s)
+{
+    int n = 0;
+    for (const Diagnostic &d : diags)
+        if (d.severity == s)
+            n++;
+    return n;
+}
+
+} // namespace dws

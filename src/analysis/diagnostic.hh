@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Structured diagnostics emitted by the static analyses (verifier,
+ * divergence analysis) and shared by their front ends (KernelBuilder,
+ * dws_lint).
+ */
+
+#ifndef DWS_ANALYSIS_DIAGNOSTIC_HH
+#define DWS_ANALYSIS_DIAGNOSTIC_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** How bad a finding is. */
+enum class Severity : std::uint8_t {
+    /** The program is malformed; it must not be executed. */
+    Error,
+    /** Suspicious but executable (e.g. a register read before def). */
+    Warning,
+};
+
+/** @return "error" or "warning". */
+const char *severityName(Severity s);
+
+/** One finding of a static analysis pass. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Instruction the finding is anchored to; kPcExit if program-wide. */
+    Pc pc = kPcExit;
+    std::string message;
+};
+
+/** @return "error @pc N: message" suitable for one-line printing. */
+std::string toString(const Diagnostic &d);
+
+/** @return true if any diagnostic has Error severity. */
+bool hasErrors(const std::vector<Diagnostic> &diags);
+
+/** @return number of diagnostics with the given severity. */
+int countSeverity(const std::vector<Diagnostic> &diags, Severity s);
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_DIAGNOSTIC_HH

@@ -1,0 +1,272 @@
+#include "analysis/divergence.hh"
+
+#include <deque>
+
+#include "isa/cfg.hh"
+
+namespace dws {
+
+namespace {
+
+using RegMask = std::uint32_t;
+static_assert(kNumRegs <= 32, "RegMask too narrow for register file");
+
+/**
+ * Mark every pc inside the influence region of the divergent branch at
+ * brPc: all instructions reachable from either successor without
+ * passing through the branch's immediate post-dominator. Writes in that
+ * region are control-tainted.
+ */
+void
+taintInfluenceRegion(const std::vector<Instr> &code, Pc brPc, Pc ipdom,
+                     std::vector<bool> &tainted)
+{
+    std::deque<Pc> work;
+    std::vector<bool> seen(code.size(), false);
+    for (Pc s : CfgAnalysis::successors(code, brPc)) {
+        if (s != ipdom && !seen[static_cast<size_t>(s)]) {
+            seen[static_cast<size_t>(s)] = true;
+            work.push_back(s);
+        }
+    }
+    while (!work.empty()) {
+        const Pc pc = work.front();
+        work.pop_front();
+        tainted[static_cast<size_t>(pc)] = true;
+        for (Pc s : CfgAnalysis::successors(code, pc)) {
+            if (s != ipdom && !seen[static_cast<size_t>(s)]) {
+                seen[static_cast<size_t>(s)] = true;
+                work.push_back(s);
+            }
+        }
+    }
+}
+
+/** Divergence of the value an instruction writes, given the in-state. */
+bool
+resultDiverges(const Instr &in, RegMask divIn, bool controlTaint)
+{
+    if (controlTaint)
+        return true;
+    if (in.op == Op::Ld)
+        return true; // shared mutable memory: never provably uniform
+    bool div = false;
+    if (opReadsRa(in.op))
+        div = div || ((divIn >> in.ra) & 1);
+    if (opReadsRb(in.op))
+        div = div || ((divIn >> in.rb) & 1);
+    return div;
+}
+
+/**
+ * Loop-carried taint. Warp-splits born inside a loop — from memory
+ * divergence, or from a divergent branch whose exits re-converge at the
+ * post-dominator — can later re-unite lanes that executed *different
+ * numbers of iterations* (stack re-convergence past a loop exit and
+ * PC-based merging both do this). A value carried around such a loop
+ * through a def-use cycle then differs across the re-united lanes even
+ * though every individual operation has uniform operands, so those
+ * definitions must be forced divergent.
+ *
+ * Only loops containing a split source (a memory access or a branch
+ * currently known divergent) can mix iteration counts; loops of pure
+ * uniform ALU code keep their lanes in lockstep and their induction
+ * variables stay uniform.
+ *
+ * @return per-pc "definition is loop-variant" flags
+ */
+std::vector<bool>
+loopVariantDefs(const std::vector<Instr> &code,
+                const std::vector<bool> &branchDivergent)
+{
+    const int n = static_cast<int>(code.size());
+
+    // reach[u][v]: v reachable from u through at least one CFG edge.
+    std::vector<std::vector<bool>> reach(
+            static_cast<size_t>(n),
+            std::vector<bool>(static_cast<size_t>(n), false));
+    for (int u = 0; u < n; u++) {
+        std::deque<Pc> work;
+        auto &r = reach[static_cast<size_t>(u)];
+        for (Pc s : CfgAnalysis::successors(code, u)) {
+            if (!r[static_cast<size_t>(s)]) {
+                r[static_cast<size_t>(s)] = true;
+                work.push_back(s);
+            }
+        }
+        while (!work.empty()) {
+            const Pc pc = work.front();
+            work.pop_front();
+            for (Pc s : CfgAnalysis::successors(code, pc)) {
+                if (!r[static_cast<size_t>(s)]) {
+                    r[static_cast<size_t>(s)] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    auto sameCycle = [&](int a, int b) {
+        return a == b ? reach[static_cast<size_t>(a)]
+                             [static_cast<size_t>(a)]
+                      : (reach[static_cast<size_t>(a)]
+                              [static_cast<size_t>(b)] &&
+                         reach[static_cast<size_t>(b)]
+                              [static_cast<size_t>(a)]);
+    };
+
+    // Nodes whose loop (SCC) contains a split source.
+    std::vector<bool> mixing(static_cast<size_t>(n), false);
+    for (int u = 0; u < n; u++) {
+        if (!reach[static_cast<size_t>(u)][static_cast<size_t>(u)])
+            continue;
+        for (int v = 0; v < n && !mixing[static_cast<size_t>(u)]; v++) {
+            if (!sameCycle(u, v))
+                continue;
+            const Instr &iv = code[static_cast<size_t>(v)];
+            if (iv.isMem() ||
+                (iv.op == Op::Br && branchDivergent[static_cast<size_t>(v)]))
+                mixing[static_cast<size_t>(u)] = true;
+        }
+    }
+
+    // Def-use edges between instructions of one mixing loop, ignoring
+    // kills (sound over-approximation).
+    auto duEdge = [&](int j, int i) {
+        if (!mixing[static_cast<size_t>(j)] ||
+            !mixing[static_cast<size_t>(i)] || !sameCycle(j, i))
+            return false;
+        const Instr &def = code[static_cast<size_t>(j)];
+        const Instr &use = code[static_cast<size_t>(i)];
+        if (!opWritesRd(def.op))
+            return false;
+        return (opReadsRa(use.op) && use.ra == def.rd) ||
+               (opReadsRb(use.op) && use.rb == def.rd);
+    };
+    std::vector<std::vector<bool>> du(
+            static_cast<size_t>(n),
+            std::vector<bool>(static_cast<size_t>(n), false));
+    for (int j = 0; j < n; j++)
+        for (int i = 0; i < n; i++)
+            if (duEdge(j, i))
+                du[static_cast<size_t>(j)][static_cast<size_t>(i)] = true;
+    for (int k = 0; k < n; k++)
+        for (int a = 0; a < n; a++) {
+            if (!du[static_cast<size_t>(a)][static_cast<size_t>(k)])
+                continue;
+            for (int b = 0; b < n; b++)
+                if (du[static_cast<size_t>(k)][static_cast<size_t>(b)])
+                    du[static_cast<size_t>(a)][static_cast<size_t>(b)] =
+                            true;
+        }
+
+    // Loop-variant = on a def-use cycle (the iteration-to-iteration
+    // chain, e.g. i = i + 1), or fed by one within the loop.
+    std::vector<bool> variant(static_cast<size_t>(n), false);
+    for (int i = 0; i < n; i++) {
+        if (du[static_cast<size_t>(i)][static_cast<size_t>(i)]) {
+            variant[static_cast<size_t>(i)] = true;
+            continue;
+        }
+        for (int j = 0; j < n; j++) {
+            if (du[static_cast<size_t>(j)][static_cast<size_t>(j)] &&
+                du[static_cast<size_t>(j)][static_cast<size_t>(i)]) {
+                variant[static_cast<size_t>(i)] = true;
+                break;
+            }
+        }
+    }
+    return variant;
+}
+
+} // namespace
+
+DivergenceReport
+DivergenceAnalysis::analyze(const std::vector<Instr> &code)
+{
+    const int n = static_cast<int>(code.size());
+    DivergenceReport rep;
+    rep.branchMayDiverge.assign(static_cast<size_t>(n), false);
+    if (n == 0)
+        return rep;
+
+    const std::vector<Pc> ipdom =
+            CfgAnalysis::immediatePostDominators(code);
+
+    // Entry state: r0 (tid) is the divergence seed; r1 (thread count)
+    // is uniform; everything else is conservatively divergent so that
+    // never-written condition registers stay divergent.
+    const RegMask entry = ~(RegMask(1) << 1);
+
+    // Outer fixpoint over control and loop-carried taint: branch
+    // verdicts extend taint regions and loop-variant defs, which flip
+    // more branches divergent. All three only grow, so this terminates.
+    std::vector<bool> tainted(static_cast<size_t>(n), false);
+    std::vector<bool> variant(static_cast<size_t>(n), false);
+    std::vector<RegMask> in(static_cast<size_t>(n), 0);
+    while (true) {
+        // Forward union dataflow of per-register divergence.
+        in.assign(static_cast<size_t>(n), 0);
+        in[0] = entry;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (Pc pc = 0; pc < n; pc++) {
+                const Instr &ins = code[static_cast<size_t>(pc)];
+                RegMask out = in[static_cast<size_t>(pc)];
+                if (opWritesRd(ins.op) && ins.rd < kNumRegs) {
+                    const RegMask bit = RegMask(1) << ins.rd;
+                    if (resultDiverges(ins, out,
+                                       tainted[static_cast<size_t>(pc)] ||
+                                       variant[static_cast<size_t>(pc)]))
+                        out |= bit;
+                    else
+                        out &= ~bit;
+                }
+                for (Pc s : CfgAnalysis::successors(code, pc)) {
+                    const RegMask joined =
+                            in[static_cast<size_t>(s)] | out;
+                    if (joined != in[static_cast<size_t>(s)]) {
+                        in[static_cast<size_t>(s)] = joined;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Re-derive both taint sources from the current branch verdicts.
+        std::vector<bool> branchDivergent(static_cast<size_t>(n), false);
+        std::vector<bool> nextTainted(static_cast<size_t>(n), false);
+        for (Pc pc = 0; pc < n; pc++) {
+            const Instr &ins = code[static_cast<size_t>(pc)];
+            if (ins.op != Op::Br)
+                continue;
+            if ((in[static_cast<size_t>(pc)] >> ins.ra) & 1) {
+                branchDivergent[static_cast<size_t>(pc)] = true;
+                taintInfluenceRegion(code, pc,
+                                     ipdom[static_cast<size_t>(pc)],
+                                     nextTainted);
+            }
+        }
+        std::vector<bool> nextVariant = loopVariantDefs(code,
+                                                        branchDivergent);
+        if (nextTainted == tainted && nextVariant == variant)
+            break;
+        tainted = std::move(nextTainted);
+        variant = std::move(nextVariant);
+    }
+
+    for (Pc pc = 0; pc < n; pc++) {
+        const Instr &ins = code[static_cast<size_t>(pc)];
+        if (ins.op != Op::Br)
+            continue;
+        const bool div = (in[static_cast<size_t>(pc)] >> ins.ra) & 1;
+        rep.branchMayDiverge[static_cast<size_t>(pc)] = div;
+        if (div)
+            rep.divergentBranches++;
+        else
+            rep.uniformBranches++;
+    }
+    return rep;
+}
+
+} // namespace dws

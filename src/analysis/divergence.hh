@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Static divergence analysis: classify each conditional branch as
+ * uniform (all lanes of a group always agree) or potentially divergent.
+ *
+ * This is the compiler pass the paper assumes exists ("in practice this
+ * process would be automated by the compiler", Section 4.3), in the
+ * style of Ocelot's DivergenceAnalysis: taint propagation over the
+ * def-use graph seeded from the thread-id register, extended with
+ * control-dependence taint (a write inside the influence region of a
+ * divergent branch can differ across lanes even if its operands are
+ * uniform, because lanes from both paths later share one group) and
+ * loop-carried taint (re-convergence after a loop exit, and PC-based
+ * merging of run-ahead warp-splits, re-unite lanes that executed
+ * different iteration counts, so induction variables of loops that can
+ * split are per-lane values).
+ *
+ * The lattice is deliberately conservative so the "uniform" verdict is
+ * sound: only values derived from immediates and r1 (the thread count)
+ * through deterministic ALU ops, outside any divergent influence
+ * region, are uniform. Loads are always divergent (memory is shared
+ * mutable state), and registers never written stay divergent (their
+ * zero initial value is uniform, but treating them as divergent keeps
+ * hand-annotated test kernels subdividable). A branch on a uniform
+ * register can never split a group, so CfgAnalysis only sets
+ * kFlagSubdividable on branches this pass marks divergent.
+ */
+
+#ifndef DWS_ANALYSIS_DIVERGENCE_HH
+#define DWS_ANALYSIS_DIVERGENCE_HH
+
+#include <vector>
+
+#include "isa/instr.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Result of the static divergence analysis over one program. */
+struct DivergenceReport
+{
+    /**
+     * Per-pc verdict; meaningful only where the instruction is a Br.
+     * True if the branch condition may differ across the lanes of one
+     * SIMD group.
+     */
+    std::vector<bool> branchMayDiverge;
+
+    /** Number of conditional branches classified uniform. */
+    int uniformBranches = 0;
+
+    /** Number of conditional branches classified potentially divergent. */
+    int divergentBranches = 0;
+
+    /** @return verdict for the branch at pc (true if out of range). */
+    bool mayDiverge(Pc pc) const
+    {
+        if (pc < 0 || pc >= static_cast<Pc>(branchMayDiverge.size()))
+            return true;
+        return branchMayDiverge[static_cast<size_t>(pc)];
+    }
+};
+
+/** Ocelot-style taint analysis over the instruction-level CFG. */
+class DivergenceAnalysis
+{
+  public:
+    /** Classify every conditional branch in the program. */
+    static DivergenceReport analyze(const std::vector<Instr> &code);
+};
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_DIVERGENCE_HH

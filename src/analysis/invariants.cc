@@ -1,0 +1,247 @@
+#include "analysis/invariants.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "wpu/wpu.hh"
+
+namespace dws {
+
+namespace {
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+struct InvariantChecker::AuditCtx
+{
+    const Wpu &w;
+    Cycle now;
+    std::vector<Violation> out;
+
+    void
+    add(WarpId warp, GroupId group, Pc pc, std::string msg)
+    {
+        out.push_back(Violation{now, w.id(), warp, group, pc,
+                                std::move(msg)});
+    }
+};
+
+void
+InvariantChecker::auditGroup(AuditCtx &ctx, const SimdGroup *g)
+{
+    const Wpu &w = ctx.w;
+    const Warp &warp = w.warps[static_cast<size_t>(g->warp)];
+    const ThreadMask off = warp.halted | warp.slippedMask();
+
+    if (g->state == GroupState::Dead) {
+        ctx.add(g->warp, g->id, g->pc, "dead group still listed live");
+        return;
+    }
+    if (g->mask == 0)
+        ctx.add(g->warp, g->id, g->pc, "live group has an empty mask");
+    if (g->mask & off)
+        ctx.add(g->warp, g->id, g->pc,
+                format("mask %llx drives halted/slipped lanes %llx",
+                       (unsigned long long)g->mask,
+                       (unsigned long long)(g->mask & off)));
+    if (g->pc < 0 || g->pc >= w.prog.size())
+        ctx.add(g->warp, g->id, g->pc,
+                format("pc outside program of %d instructions",
+                       w.prog.size()));
+    if (g->pendingMem & ~g->mask)
+        ctx.add(g->warp, g->id, g->pc,
+                format("pendingMem %llx not covered by mask %llx",
+                       (unsigned long long)g->pendingMem,
+                       (unsigned long long)g->mask));
+
+    // Re-convergence stack balance: the group drives exactly the live
+    // lanes of its top frame. (Frame masks do NOT nest pairwise: a
+    // divergent branch pushes the taken and not-taken continuations as
+    // disjoint sibling frames.)
+    if (g->frames.empty()) {
+        ctx.add(g->warp, g->id, g->pc, "group has no frames");
+    } else {
+        const ThreadMask expect = g->frames.back().mask & ~off;
+        if (g->mask != expect)
+            ctx.add(g->warp, g->id, g->pc,
+                    format("mask %llx != top frame mask %llx minus "
+                           "off lanes (%llx)",
+                           (unsigned long long)g->mask,
+                           (unsigned long long)g->frames.back().mask,
+                           (unsigned long long)expect));
+        for (const Frame &f : g->frames) {
+            if (f.mask & ~warp.all)
+                ctx.add(g->warp, g->id, g->pc,
+                        format("frame mask %llx outside warp lanes %llx",
+                               (unsigned long long)f.mask,
+                               (unsigned long long)warp.all));
+        }
+    }
+
+    if (g->state == GroupState::Ready && !g->hasSlot &&
+        !w.sched.isQueued(g->id)) {
+        ctx.add(g->warp, g->id, g->pc,
+                "ready group neither holds a slot nor queues for one");
+    }
+}
+
+void
+InvariantChecker::auditWarp(AuditCtx &ctx, const Warp &warp)
+{
+    const Wpu &w = ctx.w;
+    const WarpId id = warp.id;
+
+    // Mask disjointness: each lane is driven by at most one live split.
+    ThreadMask seen = 0;
+    int liveCount = 0;
+    for (const SimdGroup *g : w.live) {
+        if (g->warp != id)
+            continue;
+        liveCount++;
+        if (seen & g->mask)
+            ctx.add(id, g->id, g->pc,
+                    format("mask %llx overlaps a sibling split "
+                           "(lanes %llx double-driven)",
+                           (unsigned long long)g->mask,
+                           (unsigned long long)(seen & g->mask)));
+        seen |= g->mask;
+    }
+
+    // Lane conservation: every lane of the warp is accounted for by
+    // exactly the halted set, slip entries, split masks/frames, or
+    // barrier state (arrivals, expectations, continuation frames).
+    ThreadMask covered = warp.halted | warp.slippedMask();
+    for (const SimdGroup *g : w.live) {
+        if (g->warp != id)
+            continue;
+        covered |= g->mask;
+        for (const Frame &f : g->frames)
+            covered |= f.mask;
+    }
+    int parked = 0;
+    for (const auto &b : w.warpBarriers[static_cast<size_t>(id)]) {
+        covered |= b->arrived;
+        covered |= b->expected;
+        for (const Frame &f : b->contFrames)
+            covered |= f.mask;
+        if (b->done)
+            ctx.add(id, -1, b->pc,
+                    "completed barrier still registered");
+        if (b->arrived & ~b->expected)
+            ctx.add(id, -1, b->pc,
+                    format("barrier arrivals %llx exceed expected %llx",
+                           (unsigned long long)b->arrived,
+                           (unsigned long long)b->expected));
+        if (b->expected & ~warp.all)
+            ctx.add(id, -1, b->pc,
+                    format("barrier expects lanes %llx outside warp",
+                           (unsigned long long)(b->expected & ~warp.all)));
+        parked += b->parkedSplits;
+    }
+    if (covered != warp.all)
+        ctx.add(id, -1, kPcExit,
+                format("lanes %llx unaccounted (not halted, slipped, "
+                       "in a split, or at a barrier)",
+                       (unsigned long long)(warp.all & ~covered)));
+
+    // WST occupancy mirrors reality: live + parked groups per warp.
+    if (w.wstTable.groups(id) != liveCount)
+        ctx.add(id, -1, kPcExit,
+                format("WST records %d live groups, %d exist",
+                       w.wstTable.groups(id), liveCount));
+    if (w.wstTable.parked(id) != parked)
+        ctx.add(id, -1, kPcExit,
+                format("WST records %d parked splits, barriers hold %d",
+                       w.wstTable.parked(id), parked));
+}
+
+std::string
+toString(const Violation &v)
+{
+    std::string s = format("cycle %llu wpu %d",
+                           (unsigned long long)v.cycle, v.wpu);
+    if (v.warp >= 0)
+        s += format(" warp %d", v.warp);
+    if (v.group >= 0)
+        s += format(" group %d", v.group);
+    if (v.pc != kPcExit)
+        s += format(" pc %d", v.pc);
+    return s + ": " + v.message;
+}
+
+std::vector<Violation>
+InvariantChecker::auditWpu(const Wpu &w, Cycle now)
+{
+    AuditCtx ctx{w, now, {}};
+
+    int halted = 0;
+    for (const Warp &warp : w.warps) {
+        auditWarp(ctx, warp);
+        halted += popcount(warp.halted);
+    }
+    for (const SimdGroup *g : w.live)
+        auditGroup(ctx, g);
+
+    if (halted != w.haltedThreads)
+        ctx.add(-1, -1, kPcExit,
+                format("halted-thread count %d != per-warp masks (%d)",
+                       w.haltedThreads, halted));
+
+    // Scheduler slot accounting.
+    int slots = 0;
+    for (const SimdGroup *g : w.live)
+        slots += g->hasSlot ? 1 : 0;
+    if (slots != w.sched.slotsUsed())
+        ctx.add(-1, -1, kPcExit,
+                format("scheduler reports %d slots used, groups hold %d",
+                       w.sched.slotsUsed(), slots));
+    if (w.sched.slotsUsed() > w.cfg.wpu.schedSlots)
+        ctx.add(-1, -1, kPcExit,
+                format("scheduler slots used %d exceed capacity %d",
+                       w.sched.slotsUsed(), w.cfg.wpu.schedSlots));
+
+    // WST capacity. Adaptive slip spawns catch-up groups outside the
+    // WST's control, so the bound only holds for the DWS policies.
+    if (!w.policy.slip() && w.wstTable.inUse() > w.cfg.wpu.wstEntries)
+        ctx.add(-1, -1, kPcExit,
+                format("WST occupancy %d exceeds capacity %d",
+                       w.wstTable.inUse(), w.cfg.wpu.wstEntries));
+
+    // MSHR leaks: release events fire at the entry's fill time, and the
+    // event queue drains through `now` before any tick, so an entry
+    // strictly past its readyAt lost its release.
+    const int l1Leaks =
+            w.memsys.l1MshrFile(w.id()).overdueEntries(now);
+    if (l1Leaks > 0)
+        ctx.add(-1, -1, kPcExit,
+                format("%d leaked L1 MSHR entries (readyAt < now)",
+                       l1Leaks));
+    const int l2Leaks = w.memsys.l2MshrFile().overdueEntries(now);
+    if (l2Leaks > 0)
+        ctx.add(-1, -1, kPcExit,
+                format("%d leaked L2 MSHR entries (readyAt < now)",
+                       l2Leaks));
+
+    // Static divergence soundness: a branch the compiler pass proved
+    // uniform must never be observed divergent at runtime.
+    if (w.stats.staticDivergenceMispredicts > 0)
+        ctx.add(-1, -1, kPcExit,
+                format("%llu branches predicted uniform diverged at "
+                       "runtime",
+                       (unsigned long long)
+                               w.stats.staticDivergenceMispredicts));
+
+    return std::move(ctx.out);
+}
+
+} // namespace dws

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Runtime invariant checker over the DWS machinery.
+ *
+ * The warp-subdivision state machine distributes one warp's lanes over
+ * live splits, re-convergence frames, parked barrier arrivals, slip
+ * entries and the halted set. Any bookkeeping bug shows up as a lane
+ * that is double-driven or silently lost — usually many thousands of
+ * cycles before the resulting deadlock or wrong output. The checker
+ * audits the full structure at a configurable cadence
+ * (SystemConfig::checkInvariants, `dws_sim --check-invariants[=N]`):
+ *
+ *  - lane conservation: halted + slipped + split masks/frames + barrier
+ *    state cover exactly the warp's lanes
+ *  - mask disjointness across a warp's live splits
+ *  - re-convergence stack balance: a group's mask equals its top
+ *    frame's mask minus off lanes; frame masks stay inside the warp
+ *  - WST occupancy matches live + parked groups, within capacity
+ *  - scheduler slot accounting matches group slot flags
+ *  - MSHR entry-leak detection (an entry past its fill time means a
+ *    release event was lost)
+ *  - static divergence soundness: no branch predicted uniform may ever
+ *    be observed divergent
+ *
+ * Violations carry cycle/warp/pc context. Wpu::tick panics on the
+ * first violation; tests call InvariantChecker::auditWpu directly.
+ */
+
+#ifndef DWS_ANALYSIS_INVARIANTS_HH
+#define DWS_ANALYSIS_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+class Wpu;
+struct SimdGroup;
+struct Warp;
+
+/** One runtime invariant violation. */
+struct Violation
+{
+    Cycle cycle = 0;
+    WpuId wpu = -1;
+    WarpId warp = -1;  ///< -1 if not warp-specific
+    GroupId group = -1; ///< -1 if not group-specific
+    Pc pc = kPcExit;    ///< pc of the offending group, if any
+    std::string message;
+};
+
+/** @return one-line rendering with cycle/wpu/warp/group/pc context. */
+std::string toString(const Violation &v);
+
+/** Debug-mode audit of a WPU's warp-subdivision state. */
+class InvariantChecker
+{
+  public:
+    /**
+     * Audit every warp, group, barrier, the WST, the scheduler and the
+     * WPU's MSHR files.
+     *
+     * @param wpu the WPU to audit (read-only)
+     * @param now current cycle (for MSHR-leak detection and context)
+     * @return all violations found (empty when the state is sound)
+     */
+    static std::vector<Violation> auditWpu(const Wpu &wpu, Cycle now);
+
+  private:
+    struct AuditCtx;
+    static void auditGroup(AuditCtx &ctx, const SimdGroup *g);
+    static void auditWarp(AuditCtx &ctx, const Warp &warp);
+};
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_INVARIANTS_HH

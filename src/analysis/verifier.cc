@@ -1,0 +1,387 @@
+#include "analysis/verifier.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+
+#include "isa/cfg.hh"
+
+namespace dws {
+
+namespace {
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+void
+report(std::vector<Diagnostic> &diags, Severity sev, Pc pc,
+       std::string msg)
+{
+    diags.push_back(Diagnostic{sev, pc, std::move(msg)});
+}
+
+/** In-range CFG successors (no virtual exit edges). */
+std::vector<Pc>
+inRangeSuccessors(const std::vector<Instr> &code, Pc pc)
+{
+    return CfgAnalysis::successors(code, pc);
+}
+
+/** @return per-pc "reachable from entry" over in-range edges. */
+std::vector<bool>
+reachableFromEntry(const std::vector<Instr> &code)
+{
+    const int n = static_cast<int>(code.size());
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    if (n == 0)
+        return seen;
+    std::deque<Pc> work{0};
+    seen[0] = true;
+    while (!work.empty()) {
+        const Pc pc = work.front();
+        work.pop_front();
+        for (Pc s : inRangeSuccessors(code, pc)) {
+            if (!seen[static_cast<size_t>(s)]) {
+                seen[static_cast<size_t>(s)] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return seen;
+}
+
+/** @return per-pc "some path leads to a Halt" (backward reachability). */
+std::vector<bool>
+canReachHalt(const std::vector<Instr> &code)
+{
+    const int n = static_cast<int>(code.size());
+    std::vector<std::vector<Pc>> pred(static_cast<size_t>(n));
+    std::deque<Pc> work;
+    std::vector<bool> can(static_cast<size_t>(n), false);
+    for (Pc pc = 0; pc < n; pc++) {
+        for (Pc s : inRangeSuccessors(code, pc))
+            pred[static_cast<size_t>(s)].push_back(pc);
+        if (code[static_cast<size_t>(pc)].op == Op::Halt) {
+            can[static_cast<size_t>(pc)] = true;
+            work.push_back(pc);
+        }
+    }
+    while (!work.empty()) {
+        const Pc pc = work.front();
+        work.pop_front();
+        for (Pc p : pred[static_cast<size_t>(pc)]) {
+            if (!can[static_cast<size_t>(p)]) {
+                can[static_cast<size_t>(p)] = true;
+                work.push_back(p);
+            }
+        }
+    }
+    return can;
+}
+
+/** Per-instruction structural checks: opcode, registers, targets. */
+void
+checkInstructions(const std::vector<Instr> &code,
+                  std::vector<Diagnostic> &diags)
+{
+    const int n = static_cast<int>(code.size());
+    for (Pc pc = 0; pc < n; pc++) {
+        const Instr &in = code[static_cast<size_t>(pc)];
+        if (in.op >= Op::NumOps) {
+            report(diags, Severity::Error, pc,
+                   format("invalid opcode %d",
+                          static_cast<int>(in.op)));
+            continue;
+        }
+        if (opWritesRd(in.op) && in.rd >= kNumRegs)
+            report(diags, Severity::Error, pc,
+                   format("destination register r%d out of range", in.rd));
+        if (opReadsRa(in.op) && in.ra >= kNumRegs)
+            report(diags, Severity::Error, pc,
+                   format("source register r%d out of range", in.ra));
+        if (opReadsRb(in.op) && in.rb >= kNumRegs)
+            report(diags, Severity::Error, pc,
+                   format("source register r%d out of range", in.rb));
+        if ((in.op == Op::Br || in.op == Op::Jmp) &&
+            (in.target < 0 || in.target >= n)) {
+            report(diags, Severity::Error, pc,
+                   format("%s target %d outside program of %d instructions",
+                          opName(in.op), in.target, n));
+        }
+    }
+}
+
+/**
+ * Must-be-defined forward dataflow (meet = intersection): warn about
+ * registers read on some path before any write. r0 (tid) and r1 (thread
+ * count) are defined at kernel launch.
+ */
+void
+checkDefBeforeUse(const std::vector<Instr> &code,
+                  const std::vector<bool> &reachable,
+                  std::vector<Diagnostic> &diags)
+{
+    const int n = static_cast<int>(code.size());
+    using RegMask = std::uint32_t;
+    static_assert(kNumRegs <= 32, "RegMask too narrow");
+    const RegMask all = ~RegMask(0);
+    const RegMask entry = (RegMask(1) << 0) | (RegMask(1) << 1);
+
+    // in[pc]: registers defined on *every* path reaching pc.
+    std::vector<RegMask> in(static_cast<size_t>(n), all);
+    if (n == 0)
+        return;
+    in[0] = entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (Pc pc = 0; pc < n; pc++) {
+            if (!reachable[static_cast<size_t>(pc)])
+                continue;
+            const Instr &ins = code[static_cast<size_t>(pc)];
+            RegMask out = in[static_cast<size_t>(pc)];
+            if (opWritesRd(ins.op) && ins.rd < kNumRegs)
+                out |= RegMask(1) << ins.rd;
+            for (Pc s : inRangeSuccessors(code, pc)) {
+                const RegMask met = in[static_cast<size_t>(s)] & out;
+                if (met != in[static_cast<size_t>(s)]) {
+                    in[static_cast<size_t>(s)] = met;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    for (Pc pc = 0; pc < n; pc++) {
+        if (!reachable[static_cast<size_t>(pc)])
+            continue;
+        const Instr &ins = code[static_cast<size_t>(pc)];
+        const RegMask defined = in[static_cast<size_t>(pc)];
+        auto warnUndef = [&](std::uint8_t r) {
+            if (r < kNumRegs && !(defined & (RegMask(1) << r)))
+                report(diags, Severity::Warning, pc,
+                       format("register r%d may be read before it is "
+                              "written (reads zero)", r));
+        };
+        if (opReadsRa(ins.op))
+            warnUndef(ins.ra);
+        if (opReadsRb(ins.op))
+            warnUndef(ins.rb);
+    }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+Verifier::verify(const std::vector<Instr> &code)
+{
+    std::vector<Diagnostic> diags;
+    const int n = static_cast<int>(code.size());
+    if (n == 0) {
+        report(diags, Severity::Error, kPcExit, "program is empty");
+        return diags;
+    }
+
+    checkInstructions(code, diags);
+    if (hasErrors(diags)) {
+        // Targets or opcodes are broken; CFG-based checks would lie.
+        return diags;
+    }
+
+    const std::vector<bool> reachable = reachableFromEntry(code);
+    const std::vector<bool> reachesHalt = canReachHalt(code);
+
+    bool sawHalt = false;
+    for (Pc pc = 0; pc < n; pc++) {
+        const Instr &in = code[static_cast<size_t>(pc)];
+        if (in.op == Op::Halt)
+            sawHalt = true;
+        if (!reachable[static_cast<size_t>(pc)]) {
+            report(diags, Severity::Warning, pc,
+                   "instruction is unreachable");
+            continue;
+        }
+        // A reachable non-terminator at the last pc falls off the end
+        // of code (a Br's not-taken path included).
+        const bool falls = in.op != Op::Jmp && in.op != Op::Halt;
+        if (falls && pc + 1 >= n)
+            report(diags, Severity::Error, pc,
+                   format("%s at final pc falls through past the end "
+                          "of code", opName(in.op)));
+        if (!reachesHalt[static_cast<size_t>(pc)])
+            report(diags, Severity::Error, pc,
+                   "no path from this instruction reaches a halt");
+    }
+    if (!sawHalt)
+        report(diags, Severity::Error, kPcExit,
+               "program contains no halt instruction");
+
+    checkDefBeforeUse(code, reachable, diags);
+    return diags;
+}
+
+std::vector<Pc>
+Verifier::ipdomByDataflow(const std::vector<Instr> &code)
+{
+    const int n = static_cast<int>(code.size());
+    const int exitNode = n; // virtual exit, as in CfgAnalysis
+    const int nodes = n + 1;
+
+    // Successor lists mirroring CfgAnalysis::immediatePostDominators:
+    // Halt, off-end fall-through, and out-of-range targets edge to exit.
+    std::vector<std::vector<int>> succ(static_cast<size_t>(nodes));
+    for (Pc pc = 0; pc < n; pc++) {
+        const Instr &in = code[static_cast<size_t>(pc)];
+        auto &s = succ[static_cast<size_t>(pc)];
+        if (in.op == Op::Halt) {
+            s.push_back(exitNode);
+            continue;
+        }
+        for (Pc t : CfgAnalysis::successors(code, pc))
+            s.push_back(t);
+        if (in.op != Op::Jmp && pc + 1 >= n)
+            s.push_back(exitNode);
+        if ((in.op == Op::Br || in.op == Op::Jmp) && in.target >= n)
+            s.push_back(exitNode);
+    }
+
+    // Post-dominance is defined only for nodes that can reach exit
+    // (matches CHK, where nodes missing from the reverse-graph DFS keep
+    // idom = -1). Find them by reverse BFS over the successor edges.
+    std::vector<bool> reachesExit(static_cast<size_t>(nodes), false);
+    {
+        std::vector<std::vector<int>> pred(static_cast<size_t>(nodes));
+        for (int v = 0; v < n; v++)
+            for (int s : succ[static_cast<size_t>(v)])
+                pred[static_cast<size_t>(s)].push_back(v);
+        std::deque<int> work{exitNode};
+        reachesExit[static_cast<size_t>(exitNode)] = true;
+        while (!work.empty()) {
+            const int v = work.front();
+            work.pop_front();
+            for (int p : pred[static_cast<size_t>(v)]) {
+                if (!reachesExit[static_cast<size_t>(p)]) {
+                    reachesExit[static_cast<size_t>(p)] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+
+    // pdom[v] as a bitset over nodes. Initialize every real node to the
+    // full set and shrink by intersection over successors to fixpoint.
+    // Successors that cannot reach exit keep the full set and so never
+    // constrain the meet, exactly like CHK skipping them.
+    const int words = (nodes + 63) / 64;
+    std::vector<std::uint64_t> full(static_cast<size_t>(words), 0);
+    for (int v = 0; v < nodes; v++)
+        full[static_cast<size_t>(v) / 64] |= std::uint64_t(1) << (v % 64);
+    std::vector<std::vector<std::uint64_t>> pdom(
+            static_cast<size_t>(nodes), full);
+    {
+        auto &set = pdom[static_cast<size_t>(exitNode)];
+        set.assign(static_cast<size_t>(words), 0);
+        set[static_cast<size_t>(exitNode) / 64] |=
+                std::uint64_t(1) << (exitNode % 64);
+    }
+
+    bool changed = true;
+    std::vector<std::uint64_t> tmp(static_cast<size_t>(words));
+    while (changed) {
+        changed = false;
+        for (int v = 0; v < n; v++) {
+            if (!reachesExit[static_cast<size_t>(v)])
+                continue;
+            tmp = full;
+            for (int s : succ[static_cast<size_t>(v)]) {
+                if (!reachesExit[static_cast<size_t>(s)])
+                    continue;
+                for (int w = 0; w < words; w++)
+                    tmp[static_cast<size_t>(w)] &=
+                            pdom[static_cast<size_t>(s)]
+                                [static_cast<size_t>(w)];
+            }
+            tmp[static_cast<size_t>(v) / 64] |=
+                    std::uint64_t(1) << (v % 64);
+            if (tmp != pdom[static_cast<size_t>(v)]) {
+                pdom[static_cast<size_t>(v)] = tmp;
+                changed = true;
+            }
+        }
+    }
+
+    auto contains = [&](const std::vector<std::uint64_t> &set, int v) {
+        return (set[static_cast<size_t>(v) / 64] >>
+                (v % 64)) & 1;
+    };
+    auto popcount = [&](const std::vector<std::uint64_t> &set) {
+        int c = 0;
+        for (std::uint64_t w : set)
+            c += __builtin_popcountll(w);
+        return c;
+    };
+
+    std::vector<Pc> result(static_cast<size_t>(n), kPcExit);
+    for (int v = 0; v < n; v++) {
+        if (!reachesExit[static_cast<size_t>(v)])
+            continue; // kPcExit, as CHK reports for such nodes
+        const auto &set = pdom[static_cast<size_t>(v)];
+        // The immediate post-dominator is the strict post-dominator
+        // with the *largest* pdom set: sets of a node's strict
+        // post-dominators are nested, and the nearest one's is biggest.
+        int best = -1;
+        int bestSize = -1;
+        for (int p = 0; p < nodes; p++) {
+            if (p == v || !contains(set, p) ||
+                !reachesExit[static_cast<size_t>(p)])
+                continue;
+            const int size = popcount(pdom[static_cast<size_t>(p)]);
+            if (size > bestSize) {
+                bestSize = size;
+                best = p;
+            }
+        }
+        result[static_cast<size_t>(v)] =
+                (best < 0 || best == exitNode) ? kPcExit
+                                               : static_cast<Pc>(best);
+    }
+    return result;
+}
+
+std::vector<Diagnostic>
+Verifier::verify(const Program &prog)
+{
+    const std::vector<Instr> &code = prog.instructions();
+    std::vector<Diagnostic> diags = verify(code);
+    if (hasErrors(diags))
+        return diags;
+
+    const std::vector<Pc> chk = CfgAnalysis::immediatePostDominators(code);
+    const std::vector<Pc> ref = ipdomByDataflow(code);
+    const int n = prog.size();
+    for (Pc pc = 0; pc < n; pc++) {
+        if (chk[static_cast<size_t>(pc)] != ref[static_cast<size_t>(pc)])
+            report(diags, Severity::Error, pc,
+                   format("post-dominator mismatch: CHK says %d, "
+                          "set dataflow says %d",
+                          chk[static_cast<size_t>(pc)],
+                          ref[static_cast<size_t>(pc)]));
+        if (code[static_cast<size_t>(pc)].op == Op::Br &&
+            prog.branchInfo(pc).ipdom != ref[static_cast<size_t>(pc)])
+            report(diags, Severity::Error, pc,
+                   format("cached branch ipdom %d disagrees with "
+                          "recomputed %d", prog.branchInfo(pc).ipdom,
+                          ref[static_cast<size_t>(pc)]));
+    }
+    return diags;
+}
+
+} // namespace dws

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static IR verifier: a structural lint over kernel programs.
+ *
+ * The WPU model trusts its input program completely — an out-of-range
+ * branch target or a fall-through past the end of code corrupts the
+ * re-convergence machinery in ways that surface many cycles later. The
+ * verifier front-loads those failures: KernelBuilder::build() runs it on
+ * every kernel, and `dws_lint` exposes it on the command line.
+ *
+ * Checks (Errors unless noted):
+ *  - non-empty program, all opcodes valid, register indices < kNumRegs
+ *  - branch/jump targets inside the program
+ *  - no reachable instruction falls through past the end of code
+ *  - every reachable instruction can reach a Halt
+ *  - unreachable instructions (Warning)
+ *  - registers read before any definition on some path (Warning; the
+ *    register file is zero-initialized, so this is legal but suspicious)
+ *  - CfgAnalysis::immediatePostDominators agrees with an independent
+ *    iterative set-based post-dominator dataflow (Program overload)
+ */
+
+#ifndef DWS_ANALYSIS_VERIFIER_HH
+#define DWS_ANALYSIS_VERIFIER_HH
+
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "isa/program.hh"
+
+namespace dws {
+
+/** Structural verifier over kernel IR. */
+class Verifier
+{
+  public:
+    /** Run the structural checks on a raw instruction sequence. */
+    static std::vector<Diagnostic> verify(const std::vector<Instr> &code);
+
+    /**
+     * Run the structural checks plus cross-validation of the program's
+     * cached branch metadata: brInfo.ipdom must match both the
+     * Cooper-Harvey-Kennedy result and an independent iterative
+     * post-dominator-set dataflow.
+     */
+    static std::vector<Diagnostic> verify(const Program &prog);
+
+    /**
+     * Immediate post-dominators recomputed by plain iterative dataflow
+     * over post-dominator *sets* (no dominator-tree tricks). Quadratic
+     * and simple on purpose: it is the independent referee for the
+     * production CHK implementation in CfgAnalysis.
+     *
+     * @return per-pc immediate post-dominator, kPcExit when the virtual
+     *         exit node is the only strict post-dominator (or the
+     *         instruction cannot reach exit at all)
+     */
+    static std::vector<Pc> ipdomByDataflow(const std::vector<Instr> &code);
+};
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_VERIFIER_HH

@@ -1,5 +1,9 @@
 #include "isa/builder.hh"
 
+#include <cstdio>
+#include <utility>
+
+#include "analysis/verifier.hh"
 #include "sim/logging.hh"
 
 namespace dws {
@@ -75,17 +79,56 @@ KernelBuilder::jmp(Label l)
     code.push_back(in);
 }
 
-Program
-KernelBuilder::build(std::string name, int subdivThreshold)
+std::optional<Program>
+KernelBuilder::tryBuild(std::string name, std::vector<Diagnostic> &diags,
+                        int subdivThreshold)
 {
     for (const auto &[pc, label] : fixups) {
         const Pc target = labelPcs[static_cast<size_t>(label)];
-        if (target == kPcUnknown)
-            fatal("kernel '%s': unbound label %d referenced at pc %d",
-                  name.c_str(), label, pc);
+        if (target == kPcUnknown) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "unbound label %d referenced here", label);
+            diags.push_back(Diagnostic{Severity::Error, pc, buf});
+            continue;
+        }
         code[static_cast<size_t>(pc)].target = target;
     }
-    return Program(std::move(code), std::move(name), subdivThreshold);
+    if (hasErrors(diags))
+        return std::nullopt;
+
+    std::vector<Diagnostic> verdicts = Verifier::verify(code);
+    diags.insert(diags.end(), verdicts.begin(), verdicts.end());
+    if (hasErrors(diags))
+        return std::nullopt;
+
+    Program prog(std::move(code), std::move(name), subdivThreshold);
+
+    // Cross-check the cached CFG analysis against the independent
+    // dataflow recomputation in the verifier.
+    verdicts = Verifier::verify(prog);
+    diags.insert(diags.end(), verdicts.begin(), verdicts.end());
+    if (hasErrors(diags))
+        return std::nullopt;
+    return prog;
+}
+
+Program
+KernelBuilder::build(std::string name, int subdivThreshold)
+{
+    std::vector<Diagnostic> diags;
+    const std::string kernelName = name;
+    std::optional<Program> prog =
+            tryBuild(std::move(name), diags, subdivThreshold);
+    if (!prog) {
+        for (const Diagnostic &d : diags)
+            std::fprintf(stderr, "kernel '%s': %s\n", kernelName.c_str(),
+                         toString(d).c_str());
+        fatal("kernel '%s' failed verification with %d error(s)",
+              kernelName.c_str(),
+              countSeverity(diags, Severity::Error));
+    }
+    return std::move(*prog);
 }
 
 } // namespace dws

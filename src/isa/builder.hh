@@ -9,9 +9,11 @@
 #ifndef DWS_ISA_BUILDER_HH
 #define DWS_ISA_BUILDER_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hh"
 #include "isa/program.hh"
 
 namespace dws {
@@ -83,12 +85,28 @@ class KernelBuilder
 
     /**
      * Finalize into a Program. All labels referenced by emitted branches
-     * must be bound.
+     * must be bound, and the program must pass the static verifier
+     * (analysis/verifier.hh): in particular the final instruction may
+     * not fall through past the end of code. Exits with the collected
+     * diagnostics on any error.
      *
      * @param name            kernel name
      * @param subdivThreshold branch-subdivision heuristic bound
      */
     Program build(std::string name, int subdivThreshold = 50);
+
+    /**
+     * Non-fatal variant of build(): patch labels, run the verifier and
+     * report what it found instead of exiting.
+     *
+     * @param name            kernel name
+     * @param diags           out: all diagnostics (errors and warnings)
+     * @param subdivThreshold branch-subdivision heuristic bound
+     * @return the Program, or nullopt if any diagnostic is an error
+     */
+    std::optional<Program> tryBuild(std::string name,
+                                    std::vector<Diagnostic> &diags,
+                                    int subdivThreshold = 50);
 
   private:
     void emit3(Op op, int rd, int ra, int rb);

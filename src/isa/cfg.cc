@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/divergence.hh"
 #include "sim/logging.hh"
 
 namespace dws {
@@ -193,6 +194,7 @@ CfgAnalysis::analyze(Program &prog, int subdivThreshold)
         return;
 
     const std::vector<Pc> ipdom = immediatePostDominators(code);
+    const DivergenceReport divergence = DivergenceAnalysis::analyze(code);
     for (int pc = 0; pc < n; pc++) {
         Instr &in = code[static_cast<size_t>(pc)];
         if (in.op != Op::Br)
@@ -202,7 +204,11 @@ CfgAnalysis::analyze(Program &prog, int subdivThreshold)
         bi.postBlockLen = (bi.ipdom == kPcExit)
                 ? subdivThreshold + 1 // exit: treat as "long" post block
                 : basicBlockLength(code, bi.ipdom);
-        if (bi.postBlockLen <= subdivThreshold)
+        bi.mayDiverge = divergence.mayDiverge(pc);
+        // Subdividable = short post block (Section 4.3) AND able to
+        // diverge at all: a uniform branch never splits a group, so
+        // spending WST capacity on it would be pure waste.
+        if (bi.postBlockLen <= subdivThreshold && bi.mayDiverge)
             in.flags |= kFlagSubdividable;
     }
 }

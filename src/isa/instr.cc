@@ -39,6 +39,46 @@ evalAlu(Op op, std::int64_t a, std::int64_t b, std::int64_t imm)
     }
 }
 
+bool
+opReadsRa(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Movi:
+      case Op::Jmp:
+      case Op::Bar:
+      case Op::Halt:
+      case Op::NumOps:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+opReadsRb(Op op)
+{
+    // Three-register ALU forms plus the store's data operand.
+    return (op >= Op::Add && op <= Op::Max) || op == Op::St;
+}
+
+bool
+opWritesRd(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::St:
+      case Op::Br:
+      case Op::Jmp:
+      case Op::Bar:
+      case Op::Halt:
+      case Op::NumOps:
+        return false;
+      default:
+        return true;
+    }
+}
+
 const char *
 opName(Op op)
 {

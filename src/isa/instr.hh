@@ -84,6 +84,15 @@ struct Instr
     bool subdividable() const { return flags & kFlagSubdividable; }
 };
 
+/** @return true if instructions with this opcode read register ra. */
+bool opReadsRa(Op op);
+
+/** @return true if instructions with this opcode read register rb. */
+bool opReadsRb(Op op);
+
+/** @return true if instructions with this opcode write register rd. */
+bool opWritesRd(Op op);
+
 /**
  * Evaluate a (non-memory, non-control) ALU operation.
  *

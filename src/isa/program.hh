@@ -30,6 +30,13 @@ struct BranchInfo
      * Section 4.3 subdivision heuristic.
      */
     int postBlockLen = 0;
+    /**
+     * Verdict of the static divergence analysis: false means the branch
+     * condition is provably uniform across the lanes of any SIMD group,
+     * so the branch can never split a warp (kFlagSubdividable is
+     * withheld and runtime divergence would be an analysis bug).
+     */
+    bool mayDiverge = true;
 };
 
 /** An executable kernel program. */

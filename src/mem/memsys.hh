@@ -84,6 +84,16 @@ class MemSystem
     /** @return aggregated memory-side statistics. */
     MemStats stats() const;
 
+    /** @return the L1 MSHR file of a WPU (shared I+D; audits). */
+    const MshrFile &
+    l1MshrFile(WpuId w) const
+    {
+        return l1Mshrs[static_cast<size_t>(w)];
+    }
+
+    /** @return the shared L2 MSHR file (audits). */
+    const MshrFile &l2MshrFile() const { return l2Mshrs; }
+
     /** @return line size in bytes of the D-caches. */
     int lineBytes() const { return cfg.wpu.dcache.lineBytes; }
 

@@ -41,6 +41,17 @@ MshrFile::release(Addr line)
     pending.erase(line);
 }
 
+int
+MshrFile::overdueEntries(Cycle now) const
+{
+    int n = 0;
+    for (const auto &[line, e] : pending) {
+        if (e.readyAt < now)
+            n++;
+    }
+    return n;
+}
+
 Cycle
 MshrFile::earliestReady() const
 {

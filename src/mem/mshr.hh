@@ -69,6 +69,12 @@ class MshrFile
     /** @return the earliest completion among in-flight MSHRs (0 if none). */
     Cycle earliestReady() const;
 
+    /**
+     * @return entries whose fill completed strictly before `now` but
+     *         were never released — leaked release events (audits).
+     */
+    int overdueEntries(Cycle now) const;
+
   private:
     int capacity;
     int maxTargets;

@@ -233,6 +233,20 @@ struct SystemConfig
      */
     Cycle maxCycles = 0;
 
+    /**
+     * Runtime invariant-audit cadence in cycles (see
+     * analysis/invariants.hh); 0 disables the audit. Debug builds
+     * (-DDWS_DEBUG_INVARIANTS, set by CMake for the Debug config)
+     * default to auditing every 256 cycles; Release defaults to off.
+     * The DWS_CHECK_LANES environment variable forces a cadence of 64
+     * regardless of this setting.
+     */
+#ifdef DWS_DEBUG_INVARIANTS
+    Cycle checkInvariants = 256;
+#else
+    Cycle checkInvariants = 0;
+#endif
+
     /** @return total thread contexts across all WPUs. */
     int totalThreads() const { return numWpus * wpu.numThreads(); }
 

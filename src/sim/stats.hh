@@ -42,6 +42,17 @@ struct WpuStats
     /** Conditional branches whose outcome diverged within the group. */
     std::uint64_t divergentBranches = 0;
 
+    /** Executions of branches the static analysis called uniform. */
+    std::uint64_t staticUniformBranchExecs = 0;
+    /** Executions of branches the static analysis called divergent. */
+    std::uint64_t staticDivergentBranchExecs = 0;
+    /**
+     * Executions where a statically-uniform branch diverged at runtime.
+     * The analysis is sound, so any nonzero count is a bug (audited by
+     * the invariant checker).
+     */
+    std::uint64_t staticDivergenceMispredicts = 0;
+
     /** SIMD memory accesses (group level). */
     std::uint64_t memAccesses = 0;
     /** Accesses where >=1 thread hit and >=1 missed the L1 D-cache. */

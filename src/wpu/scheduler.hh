@@ -60,6 +60,16 @@ class Scheduler
     /** @return slots currently held. */
     int slotsUsed() const { return used; }
 
+    /** @return true if the group waits in the slot queue (audits). */
+    bool
+    isQueued(GroupId id) const
+    {
+        for (GroupId q : waitQueue)
+            if (q == id)
+                return true;
+        return false;
+    }
+
   private:
     /** Grant free slots to queued groups (FIFO). */
     void drainQueue();

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "analysis/invariants.hh"
 #include "sim/logging.hh"
 
 namespace dws {
@@ -18,6 +19,9 @@ Wpu::Wpu(WpuId id, const SystemConfig &sysCfg, const Program &program,
       slipCtl(sysCfg.policy, sysCfg.wpu.simdWidth)
 {
     numThreads = cfg.wpu.numThreads();
+    auditCadence = cfg.checkInvariants;
+    if (getenv("DWS_CHECK_LANES"))
+        auditCadence = 64; // legacy debugging hook
     regs.assign(static_cast<size_t>(numThreads) * kNumRegs, 0);
     warps.resize(static_cast<size_t>(cfg.wpu.numWarps));
     warpBarriers.resize(static_cast<size_t>(cfg.wpu.numWarps));
@@ -391,39 +395,25 @@ Wpu::pickExecutable(Cycle now)
 }
 
 void
-Wpu::checkLaneInvariant(Cycle now)
+Wpu::runInvariantAudit(Cycle now)
 {
-    for (WarpId w = 0; w < cfg.wpu.numWarps; w++) {
-        const Warp &warp = warps[static_cast<size_t>(w)];
-        ThreadMask covered = warp.halted | warp.slippedMask();
-        for (const SimdGroup *g : live) {
-            if (g->warp != w)
-                continue;
-            covered |= g->mask;
-            for (const Frame &f : g->frames)
-                covered |= f.mask;
-        }
-        for (const auto &b : warpBarriers[static_cast<size_t>(w)]) {
-            covered |= b->arrived;
-            covered |= b->expected;
-            for (const Frame &f : b->contFrames)
-                covered |= f.mask;
-        }
-        if (covered != warp.all) {
-            fprintf(stderr, "%s", dumpState().c_str());
-            panic("cycle %llu wpu %d warp %d: lanes %llx unaccounted",
-                  (unsigned long long)now, wpuId, w,
-                  (unsigned long long)(warp.all & ~covered));
-        }
-    }
+    const std::vector<Violation> violations =
+            InvariantChecker::auditWpu(*this, now);
+    if (violations.empty())
+        return;
+    fprintf(stderr, "%s", dumpState().c_str());
+    for (const Violation &v : violations)
+        fprintf(stderr, "invariant violation: %s\n", toString(v).c_str());
+    panic("cycle %llu wpu %d: %zu invariant violations",
+          (unsigned long long)now, wpuId, violations.size());
 }
 
 bool
 Wpu::tick(Cycle now)
 {
     lastTickCycle = now;
-    if (getenv("DWS_CHECK_LANES") && now % 64 == 0)
-        checkLaneInvariant(now);
+    if (auditCadence != 0 && now % auditCadence == 0)
+        runInvariantAudit(now);
     if (finished()) {
         stats.idleCycles++;
         return false;
@@ -538,6 +528,17 @@ Wpu::execBranch(SimdGroup *g, const Instr &in, Cycle now)
             taken |= laneBit(lane);
     }
     const ThreadMask notTaken = g->mask & ~taken;
+
+    // Predicted-vs-observed divergence accounting for the static
+    // analysis (analysis/divergence.hh). A mispredict would falsify the
+    // pass's soundness argument; the invariant audit treats it as fatal.
+    const bool predicted = prog.branchInfo(g->pc).mayDiverge;
+    if (predicted)
+        stats.staticDivergentBranchExecs++;
+    else
+        stats.staticUniformBranchExecs++;
+    if (!predicted && taken != 0 && notTaken != 0)
+        stats.staticDivergenceMispredicts++;
 
     if (notTaken == 0) {
         g->pc = in.target;

@@ -176,7 +176,11 @@ class Wpu
     std::int64_t &reg(WarpId w, int lane, int r);
     ThreadId tidOf(WarpId w, int lane) const;
     void classifyStall();
-    void checkLaneInvariant(Cycle now);
+    /** Run the invariant checker; dump state and panic on violations. */
+    void runInvariantAudit(Cycle now);
+
+    /** Read-only structural access for the runtime invariant audit. */
+    friend class InvariantChecker;
 
     WpuId wpuId;
     SystemConfig cfg;
@@ -203,6 +207,9 @@ class Wpu
     WarpSplitTable wstTable;
     Scheduler sched;
     SlipController slipCtl;
+
+    /** Invariant-audit cadence in cycles (0 = off); see runInvariantAudit. */
+    Cycle auditCadence = 0;
 
     /** Cycle of the most recent tick (for policy checks). */
     Cycle lastTickCycle = 0;

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Tests for the static analysis subsystem: the IR verifier (including
+ * the independent post-dominator referee), the static divergence
+ * analysis, and the runtime invariant checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/divergence.hh"
+#include "analysis/invariants.hh"
+#include "analysis/verifier.hh"
+#include "harness/runner.hh"
+#include "harness/system.hh"
+#include "isa/builder.hh"
+#include "isa/cfg.hh"
+#include "kernels/kernel.hh"
+#include "test_util.hh"
+
+namespace dws {
+namespace {
+
+bool
+anyMessageContains(const std::vector<Diagnostic> &diags,
+                   const std::string &needle)
+{
+    for (const Diagnostic &d : diags)
+        if (d.message.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+// --- verifier: structural checks ------------------------------------
+
+TEST(Verifier, AcceptsMinimalProgram)
+{
+    std::vector<Instr> code{Instr{.op = Op::Movi, .rd = 2, .imm = 1},
+                            Instr{.op = Op::Halt}};
+    const auto diags = Verifier::verify(code);
+    EXPECT_FALSE(hasErrors(diags));
+    EXPECT_EQ(countSeverity(diags, Severity::Warning), 0);
+}
+
+TEST(Verifier, EmptyProgramIsError)
+{
+    EXPECT_TRUE(hasErrors(Verifier::verify(std::vector<Instr>{})));
+}
+
+TEST(Verifier, OutOfRangeBranchTargetIsError)
+{
+    std::vector<Instr> code{Instr{.op = Op::Br, .ra = 2, .target = 5},
+                            Instr{.op = Op::Halt}};
+    const auto diags = Verifier::verify(code);
+    EXPECT_TRUE(hasErrors(diags));
+    EXPECT_TRUE(anyMessageContains(diags, "target"));
+}
+
+TEST(Verifier, InvalidRegisterIsError)
+{
+    std::vector<Instr> code{
+        Instr{.op = Op::Add, .rd = std::uint8_t(kNumRegs), .ra = 0,
+              .rb = 1},
+        Instr{.op = Op::Halt}};
+    EXPECT_TRUE(hasErrors(Verifier::verify(code)));
+}
+
+TEST(Verifier, FallThroughPastEndIsError)
+{
+    std::vector<Instr> code{Instr{.op = Op::Addi, .rd = 2, .ra = 0,
+                                  .imm = 1}};
+    const auto diags = Verifier::verify(code);
+    EXPECT_TRUE(hasErrors(diags));
+    EXPECT_TRUE(anyMessageContains(diags, "falls through"));
+}
+
+TEST(Verifier, MissingHaltIsError)
+{
+    // movi; L: jmp L — runs forever, never reaches a Halt.
+    std::vector<Instr> code{Instr{.op = Op::Movi, .rd = 2, .imm = 0},
+                            Instr{.op = Op::Jmp, .target = 1}};
+    const auto diags = Verifier::verify(code);
+    EXPECT_TRUE(hasErrors(diags));
+    EXPECT_TRUE(anyMessageContains(diags, "halt"));
+}
+
+TEST(Verifier, UseBeforeDefIsWarningOnly)
+{
+    std::vector<Instr> code{
+        Instr{.op = Op::Add, .rd = 2, .ra = 3, .rb = 4},
+        Instr{.op = Op::Halt}};
+    const auto diags = Verifier::verify(code);
+    EXPECT_FALSE(hasErrors(diags));
+    EXPECT_GE(countSeverity(diags, Severity::Warning), 1);
+    EXPECT_TRUE(anyMessageContains(diags, "before it is written"));
+}
+
+TEST(Verifier, TidAndThreadCountArePredefined)
+{
+    std::vector<Instr> code{
+        Instr{.op = Op::Add, .rd = 2, .ra = 0, .rb = 1},
+        Instr{.op = Op::Halt}};
+    const auto diags = Verifier::verify(code);
+    EXPECT_EQ(countSeverity(diags, Severity::Warning), 0);
+}
+
+TEST(Verifier, UnreachableCodeIsWarning)
+{
+    std::vector<Instr> code{Instr{.op = Op::Halt},
+                            Instr{.op = Op::Nop},
+                            Instr{.op = Op::Halt}};
+    const auto diags = Verifier::verify(code);
+    EXPECT_FALSE(hasErrors(diags));
+    EXPECT_TRUE(anyMessageContains(diags, "unreachable"));
+}
+
+// --- verifier: builder front end ------------------------------------
+
+TEST(Verifier, TryBuildReportsUnboundLabel)
+{
+    KernelBuilder b;
+    auto l = b.newLabel();
+    b.br(2, l); // never bound
+    b.halt();
+    std::vector<Diagnostic> diags;
+    const auto prog = b.tryBuild("unbound", diags);
+    EXPECT_FALSE(prog.has_value());
+    EXPECT_TRUE(hasErrors(diags));
+    EXPECT_TRUE(anyMessageContains(diags, "unbound label"));
+}
+
+TEST(Verifier, TryBuildRejectsFallThrough)
+{
+    KernelBuilder b;
+    b.addi(2, 0, 1); // no halt: execution runs off the end
+    std::vector<Diagnostic> diags;
+    const auto prog = b.tryBuild("fallthrough", diags);
+    EXPECT_FALSE(prog.has_value());
+    EXPECT_TRUE(anyMessageContains(diags, "falls through"));
+}
+
+TEST(Verifier, TryBuildAcceptsGoodProgram)
+{
+    KernelBuilder b;
+    auto done = b.newLabel();
+    b.slti(2, 0, 4);
+    b.br(2, done);
+    b.addi(3, 0, 1);
+    b.bind(done);
+    b.halt();
+    std::vector<Diagnostic> diags;
+    const auto prog = b.tryBuild("good", diags);
+    ASSERT_TRUE(prog.has_value());
+    EXPECT_FALSE(hasErrors(diags));
+}
+
+TEST(Verifier, BuildExitsOnUnboundLabel)
+{
+    KernelBuilder b;
+    auto l = b.newLabel();
+    b.br(2, l);
+    b.halt();
+    EXPECT_EXIT(b.build("bad"), ::testing::ExitedWithCode(1),
+                "unbound label");
+}
+
+TEST(Verifier, BuildExitsOnFallThrough)
+{
+    KernelBuilder b;
+    b.addi(2, 0, 1);
+    EXPECT_EXIT(b.build("bad"), ::testing::ExitedWithCode(1),
+                "falls through");
+}
+
+// --- verifier: post-dominator referee -------------------------------
+
+TEST(Verifier, IpdomDataflowMatchesChkOnDiamond)
+{
+    KernelBuilder b;
+    auto labC = b.newLabel();
+    auto labD = b.newLabel();
+    b.addi(2, 2, 1);  // 0
+    b.br(3, labC);    // 1
+    b.addi(2, 2, 10); // 2
+    b.jmp(labD);      // 3
+    b.bind(labC);
+    b.addi(2, 2, 20); // 4
+    b.bind(labD);
+    b.addi(2, 2, 30); // 5: post-dominator of the branch
+    b.halt();         // 6
+    Program p = b.build("diamond");
+
+    const auto chk = CfgAnalysis::immediatePostDominators(p.instructions());
+    const auto ref = Verifier::ipdomByDataflow(p.instructions());
+    EXPECT_EQ(chk, ref);
+    EXPECT_EQ(ref[1], 5);
+}
+
+TEST(Verifier, IpdomDataflowMatchesChkOnLoop)
+{
+    KernelBuilder b;
+    auto loop = b.newLabel();
+    b.movi(2, 0);     // 0
+    b.bind(loop);
+    b.addi(2, 2, 1);  // 1
+    b.slti(3, 2, 10); // 2
+    b.br(3, loop);    // 3
+    b.halt();         // 4
+    Program p = b.build("loop");
+
+    const auto chk = CfgAnalysis::immediatePostDominators(p.instructions());
+    const auto ref = Verifier::ipdomByDataflow(p.instructions());
+    EXPECT_EQ(chk, ref);
+    EXPECT_EQ(ref[3], 4);
+}
+
+TEST(Verifier, IpdomDataflowMatchesChkOnAllKernels)
+{
+    for (const auto &name : kernelNames()) {
+        auto k = makeKernel(name, KernelParams{.scale = KernelScale::Tiny});
+        ASSERT_NE(k, nullptr) << name;
+        const Program p = k->buildProgram();
+        EXPECT_EQ(CfgAnalysis::immediatePostDominators(p.instructions()),
+                  Verifier::ipdomByDataflow(p.instructions()))
+                << name;
+    }
+}
+
+TEST(Verifier, AllBuiltinKernelsLintClean)
+{
+    for (const auto &name : kernelNames()) {
+        auto k = makeKernel(name, KernelParams{.scale = KernelScale::Tiny});
+        ASSERT_NE(k, nullptr) << name;
+        const Program p = k->buildProgram();
+        const auto diags = Verifier::verify(p);
+        EXPECT_FALSE(hasErrors(diags))
+                << name << ": " << toString(diags.front());
+    }
+}
+
+// --- static divergence analysis -------------------------------------
+
+TEST(Divergence, UniformLoopBranch)
+{
+    KernelBuilder b;
+    auto loop = b.newLabel();
+    b.movi(2, 0);    // 0: i = 0
+    b.movi(4, 10);   // 1: bound
+    b.bind(loop);
+    b.addi(2, 2, 1); // 2
+    b.slt(3, 2, 4);  // 3
+    b.br(3, loop);   // 4: trip count identical in every thread
+    b.halt();        // 5
+    Program p = b.build("uniform-loop");
+
+    const auto rep = DivergenceAnalysis::analyze(p.instructions());
+    EXPECT_FALSE(rep.mayDiverge(4));
+    EXPECT_EQ(rep.uniformBranches, 1);
+    EXPECT_EQ(rep.divergentBranches, 0);
+    // A uniform branch must not be marked subdividable by the CFG pass.
+    EXPECT_FALSE(p.at(4).subdividable());
+}
+
+TEST(Divergence, ThreadCountDerivedBranchIsUniform)
+{
+    KernelBuilder b;
+    auto end = b.newLabel();
+    b.slti(2, 1, 100); // r1 = thread count: same in every thread
+    b.br(2, end);
+    b.nop();
+    b.bind(end);
+    b.halt();
+    Program p = b.build("nthreads-branch");
+
+    const auto rep = DivergenceAnalysis::analyze(p.instructions());
+    EXPECT_FALSE(rep.mayDiverge(1));
+}
+
+TEST(Divergence, TidDerivedBranchDiverges)
+{
+    KernelBuilder b;
+    auto end = b.newLabel();
+    b.andi(2, 0, 1); // r0 = tid: differs per lane
+    b.br(2, end);
+    b.nop();
+    b.bind(end);
+    b.halt();
+    Program p = b.build("tid-branch");
+
+    const auto rep = DivergenceAnalysis::analyze(p.instructions());
+    EXPECT_TRUE(rep.mayDiverge(1));
+    EXPECT_EQ(rep.divergentBranches, 1);
+    EXPECT_TRUE(p.at(1).subdividable());
+}
+
+TEST(Divergence, LoadedValueDiverges)
+{
+    KernelBuilder b;
+    auto end = b.newLabel();
+    b.movi(2, 64); // uniform address...
+    b.ld(3, 2);    // ...but loads are always treated as divergent
+    b.br(3, end);
+    b.nop();
+    b.bind(end);
+    b.halt();
+    Program p = b.build("load-branch");
+
+    const auto rep = DivergenceAnalysis::analyze(p.instructions());
+    EXPECT_TRUE(rep.mayDiverge(2));
+}
+
+TEST(Divergence, ControlDependenceTaintsMergedValue)
+{
+    // r3 is written only by movi (uniform operands), but one write sits
+    // inside the influence region of a tid-dependent branch, so after
+    // re-convergence r3 differs across lanes.
+    KernelBuilder b;
+    auto l = b.newLabel();
+    auto m = b.newLabel();
+    b.andi(2, 0, 1); // 0
+    b.movi(3, 0);    // 1
+    b.br(2, l);      // 2: divergent
+    b.movi(3, 1);    // 3: control-dependent write
+    b.bind(l);
+    b.br(3, m);      // 4: must be classified divergent
+    b.nop();         // 5
+    b.bind(m);
+    b.halt();        // 6
+    Program p = b.build("ctrl-taint");
+
+    const auto rep = DivergenceAnalysis::analyze(p.instructions());
+    EXPECT_TRUE(rep.mayDiverge(2));
+    EXPECT_TRUE(rep.mayDiverge(4));
+}
+
+TEST(Divergence, BuiltinKernelsHaveSaneCounts)
+{
+    for (const auto &name : kernelNames()) {
+        auto k = makeKernel(name, KernelParams{.scale = KernelScale::Tiny});
+        const Program p = k->buildProgram();
+        const auto rep = DivergenceAnalysis::analyze(p.instructions());
+        int branches = 0;
+        for (Pc pc = 0; pc < p.size(); pc++)
+            if (p.at(pc).op == Op::Br)
+                branches++;
+        EXPECT_EQ(rep.uniformBranches + rep.divergentBranches, branches)
+                << name;
+        // Every kernel loops over a tid-derived task range.
+        EXPECT_GE(rep.divergentBranches, 1) << name;
+    }
+}
+
+TEST(Divergence, RuntimePredictionsHoldOnUniformLoop)
+{
+    KernelBuilder b;
+    auto loop = b.newLabel();
+    b.movi(2, 0);
+    b.movi(4, 10);
+    b.bind(loop);
+    b.addi(2, 2, 1);
+    b.slt(3, 2, 4);
+    b.br(3, loop);
+    b.halt();
+    TestKernel k(b.build("uniform-loop"));
+
+    SystemConfig cfg = testConfig(4, 2, 1);
+    System sys(cfg, k);
+    const RunStats stats = sys.run();
+    ASSERT_EQ(stats.wpus.size(), 1u);
+    EXPECT_GT(stats.wpus[0].staticUniformBranchExecs, 0u);
+    EXPECT_EQ(stats.wpus[0].staticDivergenceMispredicts, 0u);
+}
+
+TEST(Divergence, RuntimeCountsDivergentExecs)
+{
+    KernelBuilder b;
+    auto end = b.newLabel();
+    b.andi(2, 0, 1);
+    b.br(2, end);
+    b.addi(3, 0, 1);
+    b.bind(end);
+    b.halt();
+    TestKernel k(b.build("tid-branch"));
+
+    SystemConfig cfg = testConfig(4, 2, 1);
+    System sys(cfg, k);
+    const RunStats stats = sys.run();
+    ASSERT_EQ(stats.wpus.size(), 1u);
+    EXPECT_GT(stats.wpus[0].staticDivergentBranchExecs, 0u);
+    EXPECT_EQ(stats.wpus[0].staticDivergenceMispredicts, 0u);
+}
+
+// --- runtime invariant checker --------------------------------------
+
+Program
+tinyProgram()
+{
+    KernelBuilder b;
+    b.addi(2, 0, 1);
+    b.halt();
+    return b.build("tiny");
+}
+
+TEST(Invariants, CleanAfterLaunch)
+{
+    TestKernel k(tinyProgram());
+    SystemConfig cfg = testConfig(4, 2, 1);
+    System sys(cfg, k);
+    const auto violations = InvariantChecker::auditWpu(sys.wpu(0), 0);
+    EXPECT_TRUE(violations.empty())
+            << toString(violations.front());
+}
+
+TEST(Invariants, CorruptedMaskTrips)
+{
+    TestKernel k(tinyProgram());
+    SystemConfig cfg = testConfig(4, 2, 1);
+    System sys(cfg, k);
+    ASSERT_FALSE(sys.wpu(0).groups().empty());
+    // Steal lane 0 from the root group behind the bookkeeping's back.
+    sys.wpu(0).groups()[0]->mask ^= ThreadMask(1);
+    const auto violations = InvariantChecker::auditWpu(sys.wpu(0), 0);
+    EXPECT_FALSE(violations.empty());
+}
+
+TEST(Invariants, ReviveSplitKernelsPassEveryCycleAudit)
+{
+    for (const auto &name : kernelNames()) {
+        SystemConfig cfg = testConfig(8, 2, 2);
+        cfg.policy = PolicyConfig::reviveSplit();
+        cfg.checkInvariants = 1; // audit every cycle; tick panics on
+                                 // the first violation
+        const RunResult r = runKernel(name, cfg, KernelScale::Tiny);
+        EXPECT_TRUE(r.valid) << name;
+    }
+}
+
+} // namespace
+} // namespace dws

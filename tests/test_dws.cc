@@ -103,17 +103,19 @@ chainExpect(int tid)
     for (auto &v : table)
         v = rng.nextRange(0, kTableWords * 4);
     std::int64_t idx = (std::int64_t(tid) * 37) % kTableWords;
-    std::int64_t acc = 0;
+    // Accumulate in unsigned so overflow wraps exactly like evalAlu's
+    // Add/Mul (two's-complement), instead of being UB host-side.
+    std::uint64_t acc = 0;
     for (int s = 0; s < kSteps; s++) {
         const std::int64_t v = table[static_cast<size_t>(idx)];
-        acc += v;
+        acc += static_cast<std::uint64_t>(v);
         if (v & 1)
             acc *= 3;
         else
             acc += 5;
         idx = v % kTableWords;
     }
-    return acc;
+    return static_cast<std::int64_t>(acc);
 }
 
 class AllPolicies : public ::testing::TestWithParam<PolicyConfig> {};

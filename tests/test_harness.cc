@@ -49,15 +49,14 @@ TEST(System, SeedChangesResults)
 
 TEST(System, MaxCyclesLimitTriggersFatal)
 {
-    // An infinite loop must hit the cycle cap and exit(1).
-    KernelBuilder b;
-    auto loop = b.newLabel();
-    b.bind(loop);
-    b.addi(2, 2, 1);
-    b.jmp(loop);
+    // An infinite loop must hit the cycle cap and exit(1). The builder
+    // now rejects halt-free programs, so construct the Program directly.
+    std::vector<Instr> code{
+        Instr{.op = Op::Addi, .rd = 2, .ra = 2, .imm = 1},
+        Instr{.op = Op::Jmp, .target = 0}};
     SystemConfig cfg = testConfig(4, 1, 1);
     cfg.maxCycles = 5000;
-    TestKernel k(b.build("spin"));
+    TestKernel k(Program(code, "spin"));
     EXPECT_EXIT(
             {
                 System sys(cfg, k);

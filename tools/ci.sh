@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full CI sweep: Release build + tests + static lint, then an
+# ASan+UBSan build that re-runs the tests and an every-cycle invariant
+# audit of a DWS.ReviveSplit run of every kernel (paper Fig. 9 config,
+# tiny scale). Any failure aborts the script with a nonzero exit.
+#
+#   tools/ci.sh              # everything
+#   JOBS=8 tools/ci.sh       # override parallelism (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+
+echo "=== Release: configure + build ==="
+cmake -S . -B build-ci-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci-release -j "$JOBS"
+
+echo "=== Release: ctest ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+echo "=== Release: dws_lint --all ==="
+./build-ci-release/tools/dws_lint --all
+
+echo "=== ASan+UBSan: configure + build ==="
+cmake -S . -B build-ci-asan -DCMAKE_BUILD_TYPE=Debug \
+      -DDWS_ASAN=ON -DDWS_UBSAN=ON >/dev/null
+cmake --build build-ci-asan -j "$JOBS"
+
+echo "=== ASan+UBSan: ctest ==="
+ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+
+echo "=== ASan+UBSan: every-cycle invariant audit, DWS.ReviveSplit ==="
+for k in $(./build-ci-asan/tools/dws_sim --list); do
+    ./build-ci-asan/tools/dws_sim --kernel "$k" --policy revive \
+        --scale tiny --check-invariants=1 --quiet >/dev/null
+    echo "  $k: clean"
+done
+
+echo "=== clang-tidy (skipped automatically if not installed) ==="
+tools/run_tidy.sh
+
+echo "CI passed."

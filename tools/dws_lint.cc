@@ -1,0 +1,148 @@
+/**
+ * @file
+ * dws_lint: static analysis front end for the built-in kernels.
+ *
+ * Runs the IR verifier (structural checks + post-dominator cross-check)
+ * and the static divergence analysis over one kernel or all of them,
+ * printing each diagnostic and a per-branch divergence verdict.
+ *
+ *   dws_lint --all
+ *   dws_lint --kernel Merge --verbose
+ *   dws_lint --list
+ *
+ * Exits 0 when every linted kernel is free of errors (warnings are
+ * reported but do not fail the run unless --werror is given), 1 on any
+ * error, 2 on usage problems.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/divergence.hh"
+#include "analysis/verifier.hh"
+#include "isa/disasm.hh"
+#include "kernels/kernel.hh"
+#include "sim/logging.hh"
+
+using namespace dws;
+
+namespace {
+
+void
+usage()
+{
+    std::puts(
+        "usage: dws_lint [options]\n"
+        "  --kernel NAME   lint one benchmark (repeatable)\n"
+        "  --all           lint every built-in benchmark\n"
+        "  --scale S       tiny | default (input-size preset)\n"
+        "  --subdiv N      branch heuristic bound (instrs)\n"
+        "  --verbose       also print per-branch divergence verdicts\n"
+        "  --werror        treat warnings as errors\n"
+        "  --list          print benchmark names and exit");
+}
+
+/** @return number of errors found (after --werror promotion). */
+int
+lintKernel(const std::string &name, const KernelParams &kp, bool verbose,
+           bool werror)
+{
+    auto kernel = makeKernel(name, kp);
+    if (!kernel)
+        fatal("unknown kernel '%s' (try --list)", name.c_str());
+
+    const Program prog = kernel->buildProgram();
+    std::vector<Diagnostic> diags = Verifier::verify(prog);
+    if (werror)
+        for (Diagnostic &d : diags)
+            d.severity = Severity::Error;
+
+    const DivergenceReport rep =
+            DivergenceAnalysis::analyze(prog.instructions());
+    std::printf("%s: %d instrs, %d branches (%d divergent, %d uniform), "
+                "%d error(s), %d warning(s)\n",
+                prog.name().c_str(), prog.size(),
+                rep.uniformBranches + rep.divergentBranches,
+                rep.divergentBranches, rep.uniformBranches,
+                countSeverity(diags, Severity::Error),
+                countSeverity(diags, Severity::Warning));
+    for (const Diagnostic &d : diags)
+        std::printf("  %s\n", toString(d).c_str());
+
+    if (verbose) {
+        for (Pc pc = 0; pc < prog.size(); pc++) {
+            const Instr &in = prog.at(pc);
+            if (in.op != Op::Br)
+                continue;
+            const BranchInfo &bi = prog.branchInfo(pc);
+            std::printf("  @pc %3d: %-28s %s, ipdom %d, post block %d%s\n",
+                        pc, disasm(in).c_str(),
+                        rep.mayDiverge(pc) ? "divergent" : "uniform  ",
+                        bi.ipdom, bi.postBlockLen,
+                        (in.flags & kFlagSubdividable) ? ", subdividable"
+                                                       : "");
+        }
+    }
+    return countSeverity(diags, Severity::Error);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    KernelParams kp;
+    bool all = false;
+    bool verbose = false;
+    bool werror = false;
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            usage();
+            return 0;
+        } else if (!std::strcmp(a, "--list")) {
+            for (const auto &n : kernelNames())
+                std::puts(n.c_str());
+            return 0;
+        } else if (!std::strcmp(a, "--all")) {
+            all = true;
+        } else if (!std::strcmp(a, "--verbose") || !std::strcmp(a, "-v")) {
+            verbose = true;
+        } else if (!std::strcmp(a, "--werror")) {
+            werror = true;
+        } else if (!std::strcmp(a, "--kernel") && i + 1 < argc) {
+            names.push_back(argv[++i]);
+        } else if (!std::strcmp(a, "--scale") && i + 1 < argc) {
+            const std::string s = argv[++i];
+            if (s == "tiny")
+                kp.scale = KernelScale::Tiny;
+            else if (s == "default")
+                kp.scale = KernelScale::Default;
+            else
+                fatal("unknown scale '%s'", s.c_str());
+        } else if (!std::strcmp(a, "--subdiv") && i + 1 < argc) {
+            kp.subdivThreshold = std::atoi(argv[++i]);
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    if (all)
+        names = kernelNames();
+    if (names.empty()) {
+        usage();
+        return 2;
+    }
+
+    int errors = 0;
+    for (const std::string &n : names)
+        errors += lintKernel(n, kp, verbose, werror);
+    if (errors > 0)
+        std::printf("dws_lint: %d error(s) total\n", errors);
+    return errors > 0 ? 1 : 0;
+}

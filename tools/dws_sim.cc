@@ -42,6 +42,9 @@ usage()
         "  --l2-kb N         L2 capacity           --l2-lat N  L2 latency\n"
         "  --subdiv N        branch heuristic bound (instrs)\n"
         "  --min-split N     over-subdivision width floor\n"
+        "  --check-invariants[=N]  audit runtime invariants every N\n"
+        "                    cycles (default 256; 0 disables; Debug\n"
+        "                    builds audit by default)\n"
         "  --disasm          print the kernel listing and exit\n"
         "  --list            print benchmark names and exit\n"
         "  --quiet           suppress warnings");
@@ -134,6 +137,10 @@ main(int argc, char **argv)
             cfg.policy.subdivMaxPostBlock = static_cast<int>(intArg(i));
         } else if (!std::strcmp(a, "--min-split")) {
             cfg.policy.minSplitWidth = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--check-invariants")) {
+            cfg.checkInvariants = 256;
+        } else if (!std::strncmp(a, "--check-invariants=", 19)) {
+            cfg.checkInvariants = static_cast<Cycle>(std::atoll(a + 19));
         } else if (!std::strcmp(a, "--disasm")) {
             wantDisasm = true;
         } else if (!std::strcmp(a, "--quiet")) {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the library, tool and test
+# sources using the CMake compilation database.
+#
+#   tools/run_tidy.sh              # lint everything
+#   tools/run_tidy.sh src/wpu      # lint one subtree
+#   CLANG_TIDY=clang-tidy-15 tools/run_tidy.sh
+#
+# Exits 0 with a notice when clang-tidy is not installed, so CI keeps
+# working on minimal images; exits nonzero on lint findings otherwise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_tidy.sh: '$TIDY' not found; skipping lint (set CLANG_TIDY to override)" >&2
+    exit 0
+fi
+
+BUILD_DIR=${BUILD_DIR:-build}
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -S . -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+roots=("$@")
+[ ${#roots[@]} -eq 0 ] && roots=(src tools tests)
+mapfile -t sources < <(find "${roots[@]}" -name '*.cc' | sort)
+if [ ${#sources[@]} -eq 0 ]; then
+    echo "run_tidy.sh: no sources under: ${roots[*]}" >&2
+    exit 2
+fi
+
+echo "run_tidy.sh: linting ${#sources[@]} files with $TIDY"
+"$TIDY" -p "$BUILD_DIR" --quiet "${sources[@]}"
