@@ -25,48 +25,54 @@ main(int argc, char **argv)
            "min split width",
            "design-choice sensitivity (not a paper figure)");
 
-    const PolicyRun conv = runAll(
+    SweepExecutor ex(opts.jobs);
+    PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
-            opts.scale, opts.benchmarks);
+            opts.scale, opts.benchmarks, ex);
 
-    TextTable t;
-    t.header({"variant", "h-mean speedup"});
+    // Submit every variant before collecting.
+    std::vector<std::pair<std::string, PendingRun>> variants;
 
     // 1. Branch-subdivision heuristic bound.
     for (int bound : {10, 50, 1 << 20}) {
         PolicyConfig pol = PolicyConfig::reviveSplit();
         pol.subdivMaxPostBlock = bound;
-        const PolicyRun run = runAll(
-                "", SystemConfig::table3(pol), opts.scale,
-                opts.benchmarks);
         const std::string label =
                 bound >= (1 << 20)
                 ? "subdiv bound = unlimited (every branch)"
                 : "subdiv bound = " + std::to_string(bound);
-        t.row({label, fmt(hmeanSpeedup(conv, run), 3)});
+        variants.emplace_back(
+                label, runAllAsync(label, SystemConfig::table3(pol),
+                                   opts.scale, opts.benchmarks, ex));
     }
 
     // 2. PC-based re-convergence off.
     {
         PolicyConfig pol = PolicyConfig::reviveSplit();
         pol.pcReconv = false;
-        const PolicyRun run = runAll(
-                "", SystemConfig::table3(pol), opts.scale,
-                opts.benchmarks);
-        t.row({"PC re-convergence disabled",
-               fmt(hmeanSpeedup(conv, run), 3)});
+        const std::string label = "PC re-convergence disabled";
+        variants.emplace_back(
+                label, runAllAsync(label, SystemConfig::table3(pol),
+                                   opts.scale, opts.benchmarks, ex));
     }
 
     // 3. Minimum split width.
     for (int w : {1, 4, 8, 12}) {
         PolicyConfig pol = PolicyConfig::reviveSplit();
         pol.minSplitWidth = w;
-        const PolicyRun run = runAll(
-                "", SystemConfig::table3(pol), opts.scale,
-                opts.benchmarks);
-        t.row({"min split width = " + std::to_string(w),
-               fmt(hmeanSpeedup(conv, run), 3)});
+        const std::string label =
+                "min split width = " + std::to_string(w);
+        variants.emplace_back(
+                label, runAllAsync(label, SystemConfig::table3(pol),
+                                   opts.scale, opts.benchmarks, ex));
     }
+
+    const PolicyRun conv = convP.get();
+    TextTable t;
+    t.header({"variant", "h-mean speedup"});
+    for (auto &[label, pending] : variants)
+        t.row({label, fmt(hmeanSpeedup(conv, pending.get()), 3)});
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -23,32 +23,38 @@ main(int argc, char **argv)
            "AggressSplit.BL / LazySplit.BL / ReviveSplit.BL all show "
            "little speedup (h-mean close to 1.0)");
 
-    const PolicyRun conv = runAll(
+    SweepExecutor ex(opts.jobs);
+    PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
-            opts.scale, opts.benchmarks);
+            opts.scale, opts.benchmarks, ex);
 
-    TextTable t;
-    t.header({"scheme", "h-mean speedup"});
     const std::vector<std::pair<std::string, SplitScheme>> schemes = {
         {"AggressSplit.BL", SplitScheme::Aggressive},
         {"LazySplit.BL", SplitScheme::Lazy},
         {"ReviveSplit.BL", SplitScheme::Revive},
     };
-    for (const auto &[label, scheme] : schemes) {
-        const PolicyRun run = runAll(
+    std::vector<PendingRun> schemeP;
+    for (const auto &[label, scheme] : schemes)
+        schemeP.push_back(runAllAsync(
                 label,
                 SystemConfig::table3(
                         PolicyConfig::memOnlyBranchLimited(scheme)),
-                opts.scale, opts.benchmarks);
-        t.row({label, fmt(hmeanSpeedup(conv, run), 3)});
-    }
+                opts.scale, opts.benchmarks, ex));
     // Contrast: ReviveSplit with BranchBypass (memory-only).
-    const PolicyRun bypass = runAll(
+    PendingRun bypassP = runAllAsync(
             "ReviveSplit.MemOnly (BranchBypass)",
             SystemConfig::table3(PolicyConfig::reviveMemOnly()),
-            opts.scale, opts.benchmarks);
+            opts.scale, opts.benchmarks, ex);
+
+    const PolicyRun conv = convP.get();
+    TextTable t;
+    t.header({"scheme", "h-mean speedup"});
+    for (size_t i = 0; i < schemes.size(); i++)
+        t.row({schemes[i].first,
+               fmt(hmeanSpeedup(conv, schemeP[i].get()), 3)});
     t.row({"ReviveSplit.MemOnly (BranchBypass)",
-           fmt(hmeanSpeedup(conv, bypass), 3)});
+           fmt(hmeanSpeedup(conv, bypassP.get()), 3)});
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -34,14 +34,21 @@ main(int argc, char **argv)
         {"Slip.BB", PolicyConfig::slipBranchBypassCfg()},
     };
 
-    const PolicyRun conv = runAll(
+    // Submit every (scheme x benchmark) job before collecting any, so
+    // the worker pool sees the whole figure at once.
+    SweepExecutor ex(opts.jobs);
+    PendingRun convPending = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
-            opts.scale, opts.benchmarks);
-
-    std::vector<PolicyRun> runs;
+            opts.scale, opts.benchmarks, ex);
+    std::vector<PendingRun> pending;
     for (const auto &[label, pol] : schemes)
-        runs.push_back(runAll(label, SystemConfig::table3(pol),
-                              opts.scale, opts.benchmarks));
+        pending.push_back(runAllAsync(label, SystemConfig::table3(pol),
+                                      opts.scale, opts.benchmarks, ex));
+
+    const PolicyRun conv = convPending.get();
+    std::vector<PolicyRun> runs;
+    for (auto &p : pending)
+        runs.push_back(p.get());
 
     TextTable t;
     std::vector<std::string> head = {"benchmark"};
@@ -60,5 +67,6 @@ main(int argc, char **argv)
         hrow.push_back(fmt(hmeanSpeedup(conv, run)));
     t.row(hrow);
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -27,8 +27,13 @@ main(int argc, char **argv)
     const std::vector<std::string> &names =
             opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
 
-    for (const auto &name : names) {
-        const RunResult r = runKernel(name, cfg, opts.scale);
+    SweepExecutor ex(opts.jobs);
+    const std::vector<JobResult> results =
+            runBenchmarks(ex, "Conv", cfg, opts);
+
+    for (size_t bi = 0; bi < names.size(); bi++) {
+        const std::string &name = names[bi];
+        const RunResult &r = results[bi].run;
         const auto &misses = r.stats.wpus[0].threadMisses;
         std::uint64_t maxMiss = 1;
         for (auto m : misses)
@@ -47,5 +52,6 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -21,20 +21,31 @@ main(int argc, char **argv)
            "at each assoc)",
            "DWS benefit decreases with larger associativity");
 
+    SweepExecutor ex(opts.jobs);
+    const std::vector<int> assocs = {4, 8, 16, 0};
+    std::vector<PendingRun> convP, dwsP;
+    for (int assoc : assocs) {
+        const std::string suffix =
+                assoc == 0 ? "full" : std::to_string(assoc);
+        convP.push_back(runAllAsync(
+                "Conv assoc " + suffix,
+                cfgWithDcache(PolicyConfig::conv(), 32 * 1024, assoc),
+                opts.scale, opts.benchmarks, ex));
+        dwsP.push_back(runAllAsync(
+                "DWS assoc " + suffix,
+                cfgWithDcache(PolicyConfig::reviveSplit(), 32 * 1024,
+                              assoc),
+                opts.scale, opts.benchmarks, ex));
+    }
+
     TextTable t;
     t.header({"assoc", "conv time (norm)", "dws time (norm)",
               "dws speedup"});
     double baseConv = 0;
-    for (int assoc : {4, 8, 16, 0}) {
-        const PolicyRun conv = runAll(
-                "Conv",
-                cfgWithDcache(PolicyConfig::conv(), 32 * 1024, assoc),
-                opts.scale, opts.benchmarks);
-        const PolicyRun dws = runAll(
-                "DWS",
-                cfgWithDcache(PolicyConfig::reviveSplit(), 32 * 1024,
-                              assoc),
-                opts.scale, opts.benchmarks);
+    for (size_t i = 0; i < assocs.size(); i++) {
+        const int assoc = assocs[i];
+        const PolicyRun conv = convP[i].get();
+        const PolicyRun dws = dwsP[i].get();
         std::vector<double> convCycles, dwsCycles;
         for (const auto &[name, cs] : conv.stats) {
             convCycles.push_back(double(cs.cycles));
@@ -49,5 +60,6 @@ main(int argc, char **argv)
                fmt(hmeanSpeedup(conv, dws))});
     }
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

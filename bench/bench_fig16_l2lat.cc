@@ -21,20 +21,30 @@ main(int argc, char **argv)
     banner("Figure 16: speedup vs L2 lookup latency",
            "DWS speedup over Conv increases with longer L2 latency");
 
-    TextTable t;
-    t.header({"L2 latency", "dws speedup over conv"});
-    for (int lat : {10, 30, 100, 200, 300}) {
+    SweepExecutor ex(opts.jobs);
+    const std::vector<int> lats = {10, 30, 100, 200, 300};
+    std::vector<PendingRun> convP, dwsP;
+    for (int lat : lats) {
         SystemConfig convCfg = SystemConfig::table3(PolicyConfig::conv());
         convCfg.mem.l2.hitLatency = lat;
         SystemConfig dwsCfg =
                 SystemConfig::table3(PolicyConfig::reviveSplit());
         dwsCfg.mem.l2.hitLatency = lat;
-        const PolicyRun conv =
-                runAll("Conv", convCfg, opts.scale, opts.benchmarks);
-        const PolicyRun dws =
-                runAll("DWS", dwsCfg, opts.scale, opts.benchmarks);
-        t.row({std::to_string(lat), fmt(hmeanSpeedup(conv, dws))});
+        convP.push_back(runAllAsync("Conv L2 " + std::to_string(lat),
+                                    convCfg, opts.scale,
+                                    opts.benchmarks, ex));
+        dwsP.push_back(runAllAsync("DWS L2 " + std::to_string(lat),
+                                   dwsCfg, opts.scale, opts.benchmarks,
+                                   ex));
+    }
+
+    TextTable t;
+    t.header({"L2 latency", "dws speedup over conv"});
+    for (size_t i = 0; i < lats.size(); i++) {
+        t.row({std::to_string(lats[i]),
+               fmt(hmeanSpeedup(convP[i].get(), dwsP[i].get()))});
     }
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -21,18 +21,29 @@ main(int argc, char **argv)
            "DWS benefit decreases with larger D-caches; DWS ~= doubling "
            "the D-cache");
 
+    SweepExecutor ex(opts.jobs);
+    const std::vector<std::uint64_t> sizesKb = {8, 16, 32, 64, 128};
+    std::vector<PendingRun> convP, dwsP;
+    for (std::uint64_t kb : sizesKb) {
+        const std::string suffix = std::to_string(kb) + "KB";
+        convP.push_back(runAllAsync(
+                "Conv D$ " + suffix,
+                cfgWithDcache(PolicyConfig::conv(), kb * 1024, 8),
+                opts.scale, opts.benchmarks, ex));
+        dwsP.push_back(runAllAsync(
+                "DWS D$ " + suffix,
+                cfgWithDcache(PolicyConfig::reviveSplit(), kb * 1024, 8),
+                opts.scale, opts.benchmarks, ex));
+    }
+
     TextTable t;
     t.header({"D$ size", "conv time (norm)", "dws time (norm)",
               "dws speedup"});
     double base = 0;
-    for (std::uint64_t kb : {8, 16, 32, 64, 128}) {
-        const PolicyRun conv = runAll(
-                "Conv", cfgWithDcache(PolicyConfig::conv(), kb * 1024, 8),
-                opts.scale, opts.benchmarks);
-        const PolicyRun dws = runAll(
-                "DWS",
-                cfgWithDcache(PolicyConfig::reviveSplit(), kb * 1024, 8),
-                opts.scale, opts.benchmarks);
+    for (size_t i = 0; i < sizesKb.size(); i++) {
+        const std::uint64_t kb = sizesKb[i];
+        const PolicyRun conv = convP[i].get();
+        const PolicyRun dws = dwsP[i].get();
         std::vector<double> convCycles, dwsCycles;
         for (const auto &[name, cs] : conv.stats) {
             convCycles.push_back(double(cs.cycles));
@@ -46,5 +57,6 @@ main(int argc, char **argv)
                fmt(hd / base), fmt(hmeanSpeedup(conv, dws))});
     }
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -68,11 +68,15 @@ main(int argc, char **argv)
         {32, 1}, {32, 2},
     };
 
+    // Submit the full (setup x shape x policy) grid before collecting.
+    SweepExecutor ex(opts.jobs);
+    struct Cell
+    {
+        PendingRun conv, dws, slip;
+    };
+    std::vector<std::vector<Cell>> grid;
     for (const auto &setup : setups) {
-        std::printf("%s\n", setup.label);
-        TextTable t;
-        t.header({"width x warps", "Conv", "DWS", "Slip.BB"});
-        double base = 0;
+        grid.emplace_back();
         for (const auto &[width, warps] : shapes) {
             auto mkCfg = [&](const PolicyConfig &pol) {
                 SystemConfig cfg = cfgWithShape(pol, width, warps);
@@ -80,24 +84,40 @@ main(int argc, char **argv)
                 cfg.wpu.dcache.assoc = setup.assoc;
                 return cfg;
             };
-            const PolicyRun conv = runAll(
-                    "Conv", mkCfg(PolicyConfig::conv()), opts.scale,
-                    opts.benchmarks);
-            const PolicyRun dws = runAll(
-                    "DWS", mkCfg(PolicyConfig::reviveSplit()), opts.scale,
-                    opts.benchmarks);
-            const PolicyRun slip = runAll(
-                    "Slip.BB", mkCfg(PolicyConfig::slipBranchBypassCfg()),
-                    opts.scale, opts.benchmarks);
-            const double c = hmeanCycles(conv);
+            const std::string at = std::string(setup.label) + " " +
+                                   std::to_string(width) + "x" +
+                                   std::to_string(warps);
+            grid.back().push_back(Cell{
+                    runAllAsync("Conv " + at,
+                                mkCfg(PolicyConfig::conv()), opts.scale,
+                                opts.benchmarks, ex),
+                    runAllAsync("DWS " + at,
+                                mkCfg(PolicyConfig::reviveSplit()),
+                                opts.scale, opts.benchmarks, ex),
+                    runAllAsync("Slip.BB " + at,
+                                mkCfg(PolicyConfig::slipBranchBypassCfg()),
+                                opts.scale, opts.benchmarks, ex)});
+        }
+    }
+
+    for (size_t si = 0; si < setups.size(); si++) {
+        std::printf("%s\n", setups[si].label);
+        TextTable t;
+        t.header({"width x warps", "Conv", "DWS", "Slip.BB"});
+        double base = 0;
+        for (size_t pi = 0; pi < shapes.size(); pi++) {
+            const auto &[width, warps] = shapes[pi];
+            Cell &cell = grid[si][pi];
+            const double c = hmeanCycles(cell.conv.get());
             if (base == 0)
                 base = c;
             t.row({std::to_string(width) + "x" + std::to_string(warps),
-                   fmt(base / c), fmt(base / hmeanCycles(dws)),
-                   fmt(base / hmeanCycles(slip))});
+                   fmt(base / c), fmt(base / hmeanCycles(cell.dws.get())),
+                   fmt(base / hmeanCycles(cell.slip.get()))});
         }
         t.print();
         std::printf("\n");
     }
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -21,16 +21,20 @@ main(int argc, char **argv)
     banner("Figure 19: normalized energy (Conv / DWS / Slip.BB)",
            "DWS ~30% energy savings; Slip.BB ~5%");
 
-    const PolicyRun conv = runAll(
+    SweepExecutor ex(opts.jobs);
+    PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
-            opts.scale, opts.benchmarks);
-    const PolicyRun dws = runAll(
+            opts.scale, opts.benchmarks, ex);
+    PendingRun dwsP = runAllAsync(
             "DWS", SystemConfig::table3(PolicyConfig::reviveSplit()),
-            opts.scale, opts.benchmarks);
-    const PolicyRun slip = runAll(
+            opts.scale, opts.benchmarks, ex);
+    PendingRun slipP = runAllAsync(
             "Slip.BB",
             SystemConfig::table3(PolicyConfig::slipBranchBypassCfg()),
-            opts.scale, opts.benchmarks);
+            opts.scale, opts.benchmarks, ex);
+    const PolicyRun conv = convP.get();
+    const PolicyRun dws = dwsP.get();
+    const PolicyRun slip = slipP.get();
 
     TextTable t;
     t.header({"benchmark", "Conv", "DWS", "Slip.BB"});
@@ -46,5 +50,6 @@ main(int argc, char **argv)
     const double n = double(conv.stats.size());
     t.row({"mean", "1.00", fmt(sumD / n), fmt(sumS / n)});
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

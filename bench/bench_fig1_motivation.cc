@@ -28,17 +28,17 @@ struct Breakdown
 };
 
 Breakdown
-measure(const SystemConfig &cfg, const BenchOptions &opts)
+measure(SweepExecutor &ex, const std::string &label,
+        const SystemConfig &cfg, const BenchOptions &opts)
 {
-    const std::vector<std::string> &names =
-            opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
+    const std::vector<JobResult> results =
+            runBenchmarks(ex, label, cfg, opts);
     std::vector<double> cycles;
     double cf = 0, mf = 0;
-    for (const auto &name : names) {
-        const RunResult r = runKernel(name, cfg, opts.scale);
-        cycles.push_back(double(r.stats.cycles));
+    for (const JobResult &r : results) {
+        cycles.push_back(double(r.run.stats.cycles));
         double act = 0, mem = 0, tot = 0;
-        for (const auto &w : r.stats.wpus) {
+        for (const auto &w : r.run.stats.wpus) {
             act += double(w.activeCycles);
             mem += double(w.memStallCycles);
             tot += double(w.totalCycles());
@@ -48,8 +48,8 @@ measure(const SystemConfig &cfg, const BenchOptions &opts)
     }
     Breakdown b;
     b.meanCycles = harmonicMean(cycles);
-    b.computeFrac = cf / double(names.size());
-    b.memFrac = mf / double(names.size());
+    b.computeFrac = cf / double(results.size());
+    b.memFrac = mf / double(results.size());
     return b;
 }
 
@@ -61,6 +61,7 @@ main(int argc, char **argv)
     setQuiet(true);
     const BenchOptions opts =
             parseBenchArgs(argc, argv, KernelScale::Tiny);
+    SweepExecutor ex(opts.jobs);
 
     banner("Figure 1: SIMD width / associativity / warp-count "
            "motivation (Conv)",
@@ -76,7 +77,9 @@ main(int argc, char **argv)
         for (int width : {1, 2, 4, 8, 16}) {
             SystemConfig cfg =
                     cfgWithShape(PolicyConfig::conv(), width, 4);
-            const Breakdown b = measure(cfg, opts);
+            const Breakdown b = measure(
+                    ex, "(a) width " + std::to_string(width), cfg,
+                    opts);
             if (base == 0)
                 base = b.meanCycles;
             t.row({std::to_string(width), fmt(b.meanCycles / base),
@@ -95,7 +98,10 @@ main(int argc, char **argv)
         for (int assoc : {4, 8, 16, 0}) {
             SystemConfig cfg = cfgWithDcache(PolicyConfig::conv(),
                                              32 * 1024, assoc);
-            const Breakdown b = measure(cfg, opts);
+            const std::string lab =
+                    assoc == 0 ? "(b) assoc full"
+                               : "(b) assoc " + std::to_string(assoc);
+            const Breakdown b = measure(ex, lab, cfg, opts);
             if (base == 0)
                 base = b.meanCycles;
             t.row({assoc == 0 ? "full" : std::to_string(assoc),
@@ -114,7 +120,9 @@ main(int argc, char **argv)
         for (int warps : {1, 2, 4, 8, 16}) {
             SystemConfig cfg =
                     cfgWithShape(PolicyConfig::conv(), 8, warps);
-            const Breakdown b = measure(cfg, opts);
+            const Breakdown b = measure(
+                    ex, "(c) warps " + std::to_string(warps), cfg,
+                    opts);
             if (base == 0)
                 base = b.meanCycles;
             t.row({std::to_string(warps), fmt(b.meanCycles / base),
@@ -122,5 +130,6 @@ main(int argc, char **argv)
         }
         t.print();
     }
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -20,19 +20,27 @@ main(int argc, char **argv)
            "16-wide)",
            "a moderate slot count (2x warps) performs best");
 
-    const PolicyRun conv = runAll(
+    SweepExecutor ex(opts.jobs);
+    PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
-            opts.scale, opts.benchmarks);
-
-    TextTable t;
-    t.header({"sched slots", "dws speedup over conv"});
-    for (int slots : {4, 6, 8, 12, 16}) {
+            opts.scale, opts.benchmarks, ex);
+    const std::vector<int> slotCounts = {4, 6, 8, 12, 16};
+    std::vector<PendingRun> dwsP;
+    for (int slots : slotCounts) {
         SystemConfig cfg = SystemConfig::table3(PolicyConfig::reviveSplit());
         cfg.wpu.schedSlots = slots;
-        const PolicyRun dws =
-                runAll("DWS", cfg, opts.scale, opts.benchmarks);
-        t.row({std::to_string(slots), fmt(hmeanSpeedup(conv, dws), 3)});
+        dwsP.push_back(runAllAsync("DWS slots " + std::to_string(slots),
+                                   cfg, opts.scale, opts.benchmarks,
+                                   ex));
     }
+
+    const PolicyRun conv = convP.get();
+    TextTable t;
+    t.header({"sched slots", "dws speedup over conv"});
+    for (size_t i = 0; i < slotCounts.size(); i++)
+        t.row({std::to_string(slotCounts[i]),
+               fmt(hmeanSpeedup(conv, dwsP[i].get()), 3)});
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -20,25 +20,33 @@ main(int argc, char **argv)
     banner("Figure 21: DWS speedup vs WST entries (8 scheduler slots)",
            "2x the scheduler slots is enough; more entries don't help");
 
-    const PolicyRun conv = runAll(
+    SweepExecutor ex(opts.jobs);
+    PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
-            opts.scale, opts.benchmarks);
-
-    TextTable t;
-    t.header({"wst entries", "dws speedup over conv"});
-    for (int entries : {4, 8, 16, 32, 64}) {
+            opts.scale, opts.benchmarks, ex);
+    const std::vector<int> entryCounts = {4, 8, 16, 32, 64};
+    std::vector<PendingRun> dwsP;
+    for (int entries : entryCounts) {
         SystemConfig cfg = SystemConfig::table3(PolicyConfig::reviveSplit());
         cfg.wpu.wstEntries = entries;
-        const PolicyRun dws =
-                runAll("DWS", cfg, opts.scale, opts.benchmarks);
-        t.row({std::to_string(entries),
-               fmt(hmeanSpeedup(conv, dws), 3)});
+        dwsP.push_back(runAllAsync("DWS wst " + std::to_string(entries),
+                                   cfg, opts.scale, opts.benchmarks,
+                                   ex));
     }
-    const PolicyRun slip = runAll(
+    PendingRun slipP = runAllAsync(
             "Slip.BB",
             SystemConfig::table3(PolicyConfig::slipBranchBypassCfg()),
-            opts.scale, opts.benchmarks);
-    t.row({"Slip.BB (no WST)", fmt(hmeanSpeedup(conv, slip), 3)});
+            opts.scale, opts.benchmarks, ex);
+
+    const PolicyRun conv = convP.get();
+    TextTable t;
+    t.header({"wst entries", "dws speedup over conv"});
+    for (size_t i = 0; i < entryCounts.size(); i++)
+        t.row({std::to_string(entryCounts[i]),
+               fmt(hmeanSpeedup(conv, dwsP[i].get()), 3)});
+    t.row({"Slip.BB (no WST)",
+           fmt(hmeanSpeedup(conv, slipP.get()), 3)});
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -23,15 +23,19 @@ main(int argc, char **argv)
            "PC-based re-convergence outperforms stack-based; avg "
            "speedup 1.13X; never worse than Conv");
 
-    const PolicyRun conv = runAll(
+    SweepExecutor ex(opts.jobs);
+    PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
-            opts.scale, opts.benchmarks);
-    const PolicyRun stack = runAll(
+            opts.scale, opts.benchmarks, ex);
+    PendingRun stackP = runAllAsync(
             "Stack", SystemConfig::table3(PolicyConfig::branchOnlyStack()),
-            opts.scale, opts.benchmarks);
-    const PolicyRun pc = runAll(
+            opts.scale, opts.benchmarks, ex);
+    PendingRun pcP = runAllAsync(
             "PC", SystemConfig::table3(PolicyConfig::branchOnly()),
-            opts.scale, opts.benchmarks);
+            opts.scale, opts.benchmarks, ex);
+    const PolicyRun conv = convP.get();
+    const PolicyRun stack = stackP.get();
+    const PolicyRun pc = pcP.get();
 
     TextTable t;
     t.header({"benchmark", "stack-based", "PC-based", "width stack",
@@ -48,5 +52,6 @@ main(int argc, char **argv)
     t.row({"h-mean", fmt(harmonicMean(spStack)),
            fmt(harmonicMean(spPc)), "", ""});
     t.print();
+    maybeWriteJson(ex, opts);
     return 0;
 }

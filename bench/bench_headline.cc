@@ -11,9 +11,7 @@
 
 #include <cstdio>
 
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-#include "sim/logging.hh"
+#include "bench_util.hh"
 
 using namespace dws;
 
@@ -31,11 +29,15 @@ main(int argc, char **argv)
     std::printf("Headline: DWS.ReviveSplit vs Conv "
                 "(4 WPUs x 4 warps x 16-wide, Table 3)\n\n");
 
-    const PolicyRun conv =
-            runAll("Conv", convCfg, opts.scale, opts.benchmarks);
-    const PolicyRun dws =
-            runAll("DWS.ReviveSplit", dwsCfg, opts.scale,
-                   opts.benchmarks);
+    SweepExecutor ex(opts.jobs);
+    PendingRun convP =
+            runAllAsync("Conv", convCfg, opts.scale, opts.benchmarks,
+                        ex);
+    PendingRun dwsP =
+            runAllAsync("DWS.ReviveSplit", dwsCfg, opts.scale,
+                        opts.benchmarks, ex);
+    const PolicyRun conv = convP.get();
+    const PolicyRun dws = dwsP.get();
 
     TextTable t;
     t.header({"benchmark", "conv cycles", "dws cycles", "speedup",
@@ -70,5 +72,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper: h-mean speedup 1.71X, stall 76%%->36%%, "
                 "width 14->4, energy -30%%\n");
+    maybeWriteJson(ex, opts);
     return 0;
 }

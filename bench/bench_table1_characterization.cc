@@ -31,6 +31,13 @@ main(int argc, char **argv)
     const std::vector<std::string> &names =
             opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
 
+    SweepExecutor ex(opts.jobs);
+    const std::vector<JobResult> results =
+            runBenchmarks(ex, "Conv", cfg, opts);
+    std::map<std::string, const RunResult *> byName;
+    for (size_t i = 0; i < names.size(); i++)
+        byName[names[i]] = &results[i].run;
+
     TextTable t;
     t.header({"metric", "FFT", "Filter", "HotSpot", "LU", "Merge",
               "Short", "KMeans", "SVM"});
@@ -50,7 +57,7 @@ main(int argc, char **argv)
             divAccessPct.push_back(0);
             continue;
         }
-        const RunResult r = runKernel(name, cfg, opts.scale);
+        const RunResult &r = *byName.at(name);
         std::uint64_t issued = 0, branches = 0, divBranches = 0;
         std::uint64_t misses = 0, divAccesses = 0;
         for (const auto &w : r.stats.wpus) {
@@ -82,5 +89,6 @@ main(int argc, char **argv)
     std::printf("\nNote: Merge's select is compiled branch-free "
                 "(conditional moves), so its divergent-branch share is "
                 "lower than the paper's hand-counted 13%%.\n");
+    maybeWriteJson(ex, opts);
     return 0;
 }

@@ -10,12 +10,38 @@
 #include <string>
 #include <vector>
 
+#include "harness/executor.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
 namespace dws {
+
+/**
+ * Submit one job per benchmark (or per `opts.benchmarks` entry) under
+ * `cfg` and wait; results come back in benchmark submission order.
+ */
+inline std::vector<JobResult>
+runBenchmarks(SweepExecutor &ex, const std::string &label,
+              const SystemConfig &cfg, const BenchOptions &opts)
+{
+    const std::vector<std::string> &names =
+            opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
+    std::vector<SweepJob> jobs;
+    jobs.reserve(names.size());
+    for (const auto &name : names)
+        jobs.push_back(SweepJob{name, cfg, opts.scale, label});
+    return ex.runBatch(std::move(jobs));
+}
+
+/** Write the machine-readable results file if `--json` was given. */
+inline void
+maybeWriteJson(const SweepExecutor &ex, const BenchOptions &opts)
+{
+    if (!opts.jsonPath.empty())
+        ex.writeJson(opts.jsonPath);
+}
 
 /** @return Table 3 config with the given D-cache size/assoc override. */
 inline SystemConfig

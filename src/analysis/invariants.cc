@@ -210,6 +210,42 @@ InvariantChecker::auditWpu(const Wpu &w, Cycle now)
                 format("scheduler slots used %d exceed capacity %d",
                        w.sched.slotsUsed(), w.cfg.wpu.schedSlots));
 
+    // Scheduler wait-queue consistency: every queued pointer must refer
+    // to a live group of this WPU (membership is checked by pointer
+    // identity before any dereference, so a dangling entry is reported
+    // rather than followed), appear once, and hold no slot.
+    {
+        std::vector<const SimdGroup *> seenQueued;
+        for (const SimdGroup *q : w.sched.queued()) {
+            bool live = false;
+            for (const SimdGroup *g : w.live) {
+                if (g == q) {
+                    live = true;
+                    break;
+                }
+            }
+            if (!live) {
+                ctx.add(-1, -1, kPcExit,
+                        "scheduler queue holds a pointer to a group "
+                        "not in the live set (dangling)");
+                continue;
+            }
+            for (const SimdGroup *p : seenQueued) {
+                if (p == q)
+                    ctx.add(q->warp, q->id, q->pc,
+                            "group queued for a slot twice");
+            }
+            seenQueued.push_back(q);
+            if (q->hasSlot)
+                ctx.add(q->warp, q->id, q->pc,
+                        "group holds a slot yet waits in the slot "
+                        "queue");
+            if (q->state == GroupState::Dead)
+                ctx.add(q->warp, q->id, q->pc,
+                        "dead group still queued for a slot");
+        }
+    }
+
     // WST capacity. Adaptive slip spawns catch-up groups outside the
     // WST's control, so the bound only holds for the DWS policies.
     if (!w.policy.slip() && w.wstTable.inUse() > w.cfg.wpu.wstEntries)

@@ -16,7 +16,8 @@
  *  - re-convergence stack balance: a group's mask equals its top
  *    frame's mask minus off lanes; frame masks stay inside the warp
  *  - WST occupancy matches live + parked groups, within capacity
- *  - scheduler slot accounting matches group slot flags
+ *  - scheduler slot accounting matches group slot flags; the slot wait
+ *    queue holds only live, slotless groups, each at most once
  *  - MSHR entry-leak detection (an entry past its fill time means a
  *    release event was lost)
  *  - static divergence soundness: no branch predicted uniform may ever

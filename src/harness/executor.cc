@@ -1,0 +1,183 @@
+#include "harness/executor.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+namespace {
+
+/** Minimal JSON string escaping (labels are plain ASCII in practice). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+SweepExecutor::defaultJobs()
+{
+    if (const char *env = std::getenv("DWS_JOBS")) {
+        const int n = std::atoi(env);
+        if (n < 1)
+            fatal("DWS_JOBS='%s' is not a positive integer", env);
+        return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+SweepExecutor::SweepExecutor(int jobs)
+    : numWorkers(jobs > 0 ? jobs : defaultJobs())
+{
+    workers.reserve(static_cast<size_t>(numWorkers));
+    for (int i = 0; i < numWorkers; i++)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+SweepExecutor::~SweepExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+SweepExecutor::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<JobResult()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+std::future<JobResult>
+SweepExecutor::submit(SweepJob job)
+{
+    size_t seq;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopping)
+            panic("SweepExecutor: submit after shutdown");
+        seq = completed.size();
+        completed.emplace_back(); // reserve the submission-order slot
+    }
+    std::packaged_task<JobResult()> task(
+            [this, seq, job = std::move(job)]() -> JobResult {
+                const auto t0 = std::chrono::steady_clock::now();
+                JobResult r;
+                r.run = runKernel(job.kernel, job.cfg, job.scale);
+                r.wallMs = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+                Record rec;
+                rec.label = job.label;
+                rec.kernel = job.kernel;
+                rec.policy = r.run.policy;
+                rec.cycles = r.run.stats.cycles;
+                rec.energyNj = r.run.stats.energyNj;
+                rec.wallMs = r.wallMs;
+                rec.valid = r.run.valid;
+                {
+                    std::lock_guard<std::mutex> lock(mtx);
+                    completed[seq] = std::move(rec);
+                }
+                return r;
+            });
+    std::future<JobResult> fut = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+    return fut;
+}
+
+std::vector<JobResult>
+SweepExecutor::runBatch(std::vector<SweepJob> jobs)
+{
+    std::vector<std::future<JobResult>> futs;
+    futs.reserve(jobs.size());
+    for (auto &j : jobs)
+        futs.push_back(submit(std::move(j)));
+    std::vector<JobResult> out;
+    out.reserve(futs.size());
+    for (auto &f : futs)
+        out.push_back(f.get()); // collection order = submission order
+    return out;
+}
+
+std::vector<SweepExecutor::Record>
+SweepExecutor::records() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return completed;
+}
+
+void
+SweepExecutor::writeJson(const std::string &path) const
+{
+    const std::vector<Record> recs = records();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write JSON results to '%s'", path.c_str());
+    double totalMs = 0.0;
+    for (const auto &r : recs)
+        totalMs += r.wallMs;
+    std::fprintf(f, "{\n  \"jobs\": %d,\n  \"total_wall_ms\": %.3f,\n"
+                    "  \"results\": [\n",
+                 numWorkers, totalMs);
+    for (size_t i = 0; i < recs.size(); i++) {
+        const Record &r = recs[i];
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"kernel\": \"%s\", "
+                     "\"policy\": \"%s\", \"cycles\": %llu, "
+                     "\"energy_nj\": %.6f, \"wall_ms\": %.3f, "
+                     "\"valid\": %s}%s\n",
+                     jsonEscape(r.label).c_str(),
+                     jsonEscape(r.kernel).c_str(),
+                     jsonEscape(r.policy).c_str(),
+                     (unsigned long long)r.cycles, r.energyNj, r.wallMs,
+                     r.valid ? "true" : "false",
+                     i + 1 < recs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace dws

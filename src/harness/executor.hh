@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parallel experiment executor for the paper-reproduction sweeps.
+ *
+ * Every figure of the evaluation runs dozens of fully independent
+ * (kernel x config x policy) simulations. Each job builds its own
+ * `System`, so jobs share no mutable state and can run on a pool of
+ * worker threads. Results are returned in deterministic submission
+ * order regardless of completion order (futures + ordered collection),
+ * so `--jobs N` output is byte-identical to `--jobs 1`.
+ *
+ * The executor also records per-job wall time and can dump all records
+ * as a machine-readable JSON file (`--json out.json`), letting the
+ * perf trajectory track both simulated cycles and real wall-clock.
+ */
+
+#ifndef DWS_HARNESS_EXECUTOR_HH
+#define DWS_HARNESS_EXECUTOR_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "kernels/kernel.hh"
+#include "sim/config.hh"
+
+namespace dws {
+
+/** One simulation job: a kernel under one configuration. */
+struct SweepJob
+{
+    std::string kernel;
+    SystemConfig cfg;
+    KernelScale scale = KernelScale::Default;
+    /** Row/config label carried into the JSON records (e.g. "Conv"). */
+    std::string label;
+};
+
+/** Outcome of one job. */
+struct JobResult
+{
+    RunResult run;
+    /** Real time spent simulating this job, in milliseconds. */
+    double wallMs = 0.0;
+};
+
+/** Fixed-size std::thread pool running independent simulations. */
+class SweepExecutor
+{
+  public:
+    /**
+     * @param jobs worker threads; <= 0 selects defaultJobs()
+     */
+    explicit SweepExecutor(int jobs = 0);
+
+    /** Joins the workers (pending jobs are completed first). */
+    ~SweepExecutor();
+
+    SweepExecutor(const SweepExecutor &) = delete;
+    SweepExecutor &operator=(const SweepExecutor &) = delete;
+
+    /**
+     * Enqueue one job.
+     * @return a future delivering the result; futures complete in any
+     *         order, but the executor's JSON records stay in submission
+     *         order.
+     */
+    std::future<JobResult> submit(SweepJob job);
+
+    /**
+     * Run a batch and wait for all of it.
+     * @return results in submission order, independent of completion
+     *         order.
+     */
+    std::vector<JobResult> runBatch(std::vector<SweepJob> jobs);
+
+    /** @return configured worker-thread count. */
+    int jobs() const { return numWorkers; }
+
+    /** One line of the machine-readable results file. */
+    struct Record
+    {
+        std::string label;
+        std::string kernel;
+        std::string policy;
+        Cycle cycles = 0;
+        double energyNj = 0.0;
+        double wallMs = 0.0;
+        bool valid = false;
+    };
+
+    /** @return all completed-job records, in submission order. */
+    std::vector<Record> records() const;
+
+    /**
+     * Write all records as JSON:
+     *   {"jobs": N, "total_wall_ms": T, "results": [...]}
+     * fatal()s if the file cannot be written.
+     */
+    void writeJson(const std::string &path) const;
+
+    /**
+     * @return the pool size chosen when the user passes no `--jobs`:
+     *         the DWS_JOBS environment variable if set, else
+     *         std::thread::hardware_concurrency().
+     */
+    static int defaultJobs();
+
+  private:
+    void workerLoop();
+
+    int numWorkers;
+    std::vector<std::thread> workers;
+
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<std::packaged_task<JobResult()>> queue;
+    bool stopping = false;
+
+    /** Indexed by submission sequence; filled as jobs complete. */
+    std::vector<Record> completed;
+};
+
+} // namespace dws
+
+#endif // DWS_HARNESS_EXECUTOR_HH

@@ -1,15 +1,49 @@
 #include "harness/sweep.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "kernels/kernel.hh"
 #include "sim/logging.hh"
 
 namespace dws {
 
 PolicyRun
-runAll(const std::string &label, const SystemConfig &cfg,
-       KernelScale scale, const std::vector<std::string> &benchmarks)
+PendingRun::get()
 {
+    PolicyRun out;
+    out.label = label;
+    for (auto &[name, fut] : futures)
+        out.stats[name] = fut.get().run.stats;
+    futures.clear();
+    return out;
+}
+
+PendingRun
+runAllAsync(const std::string &label, const SystemConfig &cfg,
+            KernelScale scale, const std::vector<std::string> &benchmarks,
+            SweepExecutor &ex)
+{
+    PendingRun pending;
+    pending.label = label;
+    const std::vector<std::string> &names =
+            benchmarks.empty() ? kernelNames() : benchmarks;
+    for (const auto &name : names) {
+        pending.futures.emplace_back(
+                name, ex.submit(SweepJob{name, cfg, scale, label}));
+    }
+    return pending;
+}
+
+PolicyRun
+runAll(const std::string &label, const SystemConfig &cfg,
+       KernelScale scale, const std::vector<std::string> &benchmarks,
+       SweepExecutor *ex)
+{
+    if (ex)
+        return runAllAsync(label, cfg, scale, benchmarks, *ex).get();
     PolicyRun out;
     out.label = label;
     const std::vector<std::string> &names =
@@ -40,19 +74,79 @@ hmeanSpeedup(const PolicyRun &base, const PolicyRun &test)
     return harmonicMean(speedups(base, test));
 }
 
+namespace {
+
+void
+printUsage(const char *prog)
+{
+    std::string names;
+    for (const auto &n : kernelNames())
+        names += (names.empty() ? "" : ", ") + n;
+    std::fprintf(stderr,
+                 "usage: %s [--fast|--full] [--bench NAME]... "
+                 "[--jobs N] [--json FILE]\n"
+                 "  --fast        tiny kernel inputs (wide sweeps)\n"
+                 "  --full        default (paper-scale) kernel inputs\n"
+                 "  --bench NAME  restrict to one benchmark "
+                 "(repeatable)\n"
+                 "  --jobs N      simulation worker threads "
+                 "(default: DWS_JOBS env, else hardware cores)\n"
+                 "  --json FILE   write per-job results as JSON\n"
+                 "  --help        this message\n"
+                 "benchmarks: %s\n",
+                 prog, names.c_str());
+}
+
+} // namespace
+
 BenchOptions
 parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
 {
     BenchOptions opts;
     opts.scale = defaultScale;
     for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "--fast") == 0) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--fast") == 0) {
             opts.scale = KernelScale::Tiny;
-        } else if (std::strcmp(argv[i], "--full") == 0) {
+        } else if (std::strcmp(arg, "--full") == 0) {
             opts.scale = KernelScale::Default;
-        } else if (std::strcmp(argv[i], "--bench") == 0 &&
-                   i + 1 < argc) {
-            opts.benchmarks.emplace_back(argv[++i]);
+        } else if (std::strcmp(arg, "--bench") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--bench requires a benchmark name");
+            }
+            const std::string name = argv[++i];
+            const auto &known = kernelNames();
+            if (std::find(known.begin(), known.end(), name) ==
+                known.end()) {
+                printUsage(argv[0]);
+                fatal("unknown benchmark '%s'", name.c_str());
+            }
+            opts.benchmarks.push_back(name);
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--jobs requires a positive integer");
+            }
+            opts.jobs = std::atoi(argv[++i]);
+            if (opts.jobs < 1) {
+                printUsage(argv[0]);
+                fatal("--jobs '%s' is not a positive integer",
+                      argv[i]);
+            }
+        } else if (std::strcmp(arg, "--json") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--json requires a file path");
+            }
+            opts.jsonPath = argv[++i];
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else {
+            printUsage(argv[0]);
+            fatal("unknown argument '%s'", arg);
         }
     }
     return opts;

@@ -1,17 +1,22 @@
 /**
  * @file
  * Sweep helpers shared by the bench binaries: run a policy across all
- * benchmarks, compute per-benchmark speedups and harmonic means.
+ * benchmarks (optionally on a SweepExecutor worker pool), compute
+ * per-benchmark speedups and harmonic means, and parse the common
+ * bench CLI flags.
  */
 
 #ifndef DWS_HARNESS_SWEEP_HH
 #define DWS_HARNESS_SWEEP_HH
 
 #include <functional>
+#include <future>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "harness/executor.hh"
 #include "harness/runner.hh"
 #include "sim/config.hh"
 
@@ -26,16 +31,54 @@ struct PolicyRun
 };
 
 /**
+ * A PolicyRun being computed on a SweepExecutor: jobs are submitted,
+ * results are collected on get(). Submitting several PendingRuns
+ * before collecting any lets independent configurations overlap.
+ */
+class PendingRun
+{
+  public:
+    /** Wait for all jobs and assemble the PolicyRun (call once). */
+    PolicyRun get();
+
+  private:
+    friend PendingRun runAllAsync(const std::string &, const SystemConfig &,
+                                  KernelScale,
+                                  const std::vector<std::string> &,
+                                  SweepExecutor &);
+    std::string label;
+    std::vector<std::pair<std::string, std::future<JobResult>>> futures;
+};
+
+/**
+ * Submit every benchmark (or a subset) under one configuration to the
+ * executor without waiting.
+ *
+ * @param label      row label for tables and JSON records
+ * @param cfg        the configuration (including policy)
+ * @param scale      kernel input preset
+ * @param benchmarks subset of kernelNames(); empty = all
+ * @param ex         the worker pool
+ */
+PendingRun runAllAsync(const std::string &label, const SystemConfig &cfg,
+                       KernelScale scale,
+                       const std::vector<std::string> &benchmarks,
+                       SweepExecutor &ex);
+
+/**
  * Run every benchmark (or a subset) under one configuration.
  *
  * @param label      row label for tables
  * @param cfg        the configuration (including policy)
  * @param scale      kernel input preset
  * @param benchmarks subset of kernelNames(); empty = all
+ * @param ex         worker pool to run on; nullptr runs serially on
+ *                   the calling thread
  */
 PolicyRun runAll(const std::string &label, const SystemConfig &cfg,
                  KernelScale scale,
-                 const std::vector<std::string> &benchmarks = {});
+                 const std::vector<std::string> &benchmarks = {},
+                 SweepExecutor *ex = nullptr);
 
 /**
  * @return per-benchmark speedups of `test` over `base` (matching
@@ -47,17 +90,26 @@ std::vector<double> speedups(const PolicyRun &base, const PolicyRun &test);
 double hmeanSpeedup(const PolicyRun &base, const PolicyRun &test);
 
 /**
- * Parse common bench CLI flags.
+ * Common bench CLI options.
  *
  *   --fast        use tiny kernel inputs
+ *   --full        use default (paper-scale) kernel inputs
  *   --bench NAME  restrict to one benchmark (repeatable)
+ *   --jobs N      worker threads (default: DWS_JOBS env, else cores)
+ *   --json FILE   write per-job machine-readable results
+ *   --help        print usage and exit
  *
- * @return selected scale and benchmark subset
+ * Unknown flags and unknown benchmark names are rejected with a usage
+ * message (fatal).
  */
 struct BenchOptions
 {
     KernelScale scale = KernelScale::Default;
     std::vector<std::string> benchmarks;
+    /** Worker threads; 0 = SweepExecutor::defaultJobs(). */
+    int jobs = 0;
+    /** Path for the JSON results file; empty = none. */
+    std::string jsonPath;
 };
 
 BenchOptions parseBenchArgs(int argc, char **argv,

@@ -145,8 +145,11 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
 
     if (!mshrs.available()) {
         l1.stats.mshrFullEvents++;
+        // A full file always has entries, but keep the no-hint fallback
+        // (readyAt 0 = "retry next cycle") explicit.
         return LineResponse{.retry = true,
-                            .readyAt = mshrs.earliestReady()};
+                            .readyAt =
+                                    mshrs.earliestReady().value_or(0)};
     }
 
     // Reserve the L1 way first so we can cleanly retry before any
@@ -161,7 +164,8 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
         if (!fill) {
             l1.stats.mshrFullEvents++;
             return LineResponse{.retry = true,
-                                .readyAt = mshrs.earliestReady()};
+                                .readyAt = mshrs.earliestReady()
+                                                   .value_or(0)};
         }
     }
 
@@ -200,9 +204,13 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
                     evictL2(victim, st, now);
                 });
         if (!l2l) {
-            // Every way pinned by in-flight fills: rare; retry.
+            // Every way pinned by in-flight fills: rare; retry. The L2
+            // MSHR file may legitimately be empty here (allocation is
+            // capacity-gated), so absence must not masquerade as a
+            // cycle-0 hint.
             return LineResponse{.retry = true,
-                                .readyAt = l2Mshrs.earliestReady()};
+                                .readyAt = l2Mshrs.earliestReady()
+                                                   .value_or(0)};
         }
         t = dram.access(t, cfg.mem.l2.lineBytes);
         l2l->state = CoherState::Exclusive; // clean w.r.t. DRAM

@@ -52,12 +52,12 @@ MshrFile::overdueEntries(Cycle now) const
     return n;
 }
 
-Cycle
+std::optional<Cycle>
 MshrFile::earliestReady() const
 {
-    Cycle best = 0;
+    std::optional<Cycle> best;
     for (const auto &[line, e] : pending) {
-        if (best == 0 || e.readyAt < best)
+        if (!best || e.readyAt < *best)
             best = e.readyAt;
     }
     return best;

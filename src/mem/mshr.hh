@@ -13,6 +13,7 @@
 #define DWS_MEM_MSHR_HH
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "sim/types.hh"
@@ -66,8 +67,13 @@ class MshrFile
     /** @return number of in-flight MSHRs. */
     int inUse() const { return static_cast<int>(pending.size()); }
 
-    /** @return the earliest completion among in-flight MSHRs (0 if none). */
-    Cycle earliestReady() const;
+    /**
+     * @return the earliest completion among in-flight MSHRs, or
+     *         nullopt when nothing is in flight. (Cycle 0 is a
+     *         legitimate readyAt, so absence is explicit rather than a
+     *         0 sentinel.)
+     */
+    std::optional<Cycle> earliestReady() const;
 
     /**
      * @return entries whose fill completed strictly before `now` but

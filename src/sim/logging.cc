@@ -1,19 +1,39 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
 
 namespace dws {
 
 namespace {
-bool quietFlag = false;
+// The report sinks are the only process-wide mutable state the
+// simulator has; concurrent Systems on SweepExecutor workers share
+// them, so the flag is atomic and each report is emitted as one
+// fprintf so lines from different jobs never interleave.
+std::atomic<bool> quietFlag{false};
+std::mutex reportMutex;
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    va_list probe;
+    va_copy(probe, ap);
+    const int len = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    std::string line(tag);
+    line += ": ";
+    if (len > 0) {
+        std::vector<char> buf(static_cast<size_t>(len) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+        line += buf.data();
+    }
+    line += "\n";
+    std::lock_guard<std::mutex> lock(reportMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 } // namespace
 

@@ -82,6 +82,87 @@ RunStats::summary() const
     return buf;
 }
 
+namespace {
+
+void
+appendCacheStats(std::string &s, const CacheStats &c)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "r%llu w%llu rm%llu wm%llu wb%llu is%llu ir%llu "
+                  "mf%llu bc%llu co%llu;",
+                  (unsigned long long)c.reads,
+                  (unsigned long long)c.writes,
+                  (unsigned long long)c.readMisses,
+                  (unsigned long long)c.writeMisses,
+                  (unsigned long long)c.writebacks,
+                  (unsigned long long)c.invalidationsSent,
+                  (unsigned long long)c.invalidationsReceived,
+                  (unsigned long long)c.mshrFullEvents,
+                  (unsigned long long)c.bankConflicts,
+                  (unsigned long long)c.coalescedRequests);
+    s += buf;
+}
+
+} // namespace
+
+std::string
+RunStats::fingerprint() const
+{
+    std::string s;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "cycles%llu energy%.17g|",
+                  (unsigned long long)cycles, energyNj);
+    s += buf;
+    for (const auto &w : wpus) {
+        std::snprintf(buf, sizeof(buf),
+                      "a%llu ms%llu os%llu id%llu ii%llu si%llu b%llu "
+                      "db%llu su%llu sd%llu sm%llu ma%llu da%llu "
+                      "mi%llu bs%llu mm%llu wf%llu pm%llu km%llu "
+                      "st%llu sb%llu|",
+                      (unsigned long long)w.activeCycles,
+                      (unsigned long long)w.memStallCycles,
+                      (unsigned long long)w.otherStallCycles,
+                      (unsigned long long)w.idleCycles,
+                      (unsigned long long)w.issuedInstrs,
+                      (unsigned long long)w.scalarInstrs,
+                      (unsigned long long)w.branches,
+                      (unsigned long long)w.divergentBranches,
+                      (unsigned long long)w.staticUniformBranchExecs,
+                      (unsigned long long)w.staticDivergentBranchExecs,
+                      (unsigned long long)w.staticDivergenceMispredicts,
+                      (unsigned long long)w.memAccesses,
+                      (unsigned long long)w.divergentAccesses,
+                      (unsigned long long)w.missAccesses,
+                      (unsigned long long)w.branchSplits,
+                      (unsigned long long)w.memSplits,
+                      (unsigned long long)w.wstFullDenials,
+                      (unsigned long long)w.pcMerges,
+                      (unsigned long long)w.stackMerges,
+                      (unsigned long long)w.slipsTaken,
+                      (unsigned long long)w.slipStallsAtBranch);
+        s += buf;
+        s += "tm";
+        for (auto m : w.threadMisses) {
+            std::snprintf(buf, sizeof(buf), " %llu",
+                          (unsigned long long)m);
+            s += buf;
+        }
+        s += "|";
+    }
+    for (const auto &c : icaches)
+        appendCacheStats(s, c);
+    for (const auto &c : dcaches)
+        appendCacheStats(s, c);
+    appendCacheStats(s, mem.l2);
+    std::snprintf(buf, sizeof(buf), "dram%llu xbar%llu rec%llu",
+                  (unsigned long long)mem.dramAccesses,
+                  (unsigned long long)mem.xbarTransfers,
+                  (unsigned long long)mem.coherenceRecalls);
+    s += buf;
+    return s;
+}
+
 double
 harmonicMean(const std::vector<double> &v)
 {

@@ -138,6 +138,14 @@ struct RunStats
     double memStallFrac() const;
     /** @return short human-readable summary line. */
     std::string summary() const;
+
+    /**
+     * @return a canonical serialization of every counter (all WPUs,
+     *         caches, memory, energy). Two runs are bit-identical iff
+     *         their fingerprints match; the determinism tests compare
+     *         `--jobs 1` and `--jobs N` runs through this.
+     */
+    std::string fingerprint() const;
 };
 
 /** @return harmonic mean of v (all entries must be > 0). */

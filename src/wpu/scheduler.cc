@@ -17,25 +17,26 @@ Scheduler::requestSlot(SimdGroup *g)
         return;
     }
     // Already queued?
-    for (GroupId id : waitQueue)
-        if (id == g->id)
+    for (const SimdGroup *q : waitQueue)
+        if (q == g)
             return;
-    waitQueue.push_back(g->id);
-    queuedGroups.push_back(g);
+    waitQueue.push_back(g);
 }
 
 void
 Scheduler::drainQueue()
 {
     while (used < capacity && !waitQueue.empty()) {
-        SimdGroup *g = queuedGroups.front();
+        SimdGroup *g = waitQueue.front();
         waitQueue.pop_front();
-        queuedGroups.erase(queuedGroups.begin());
         if (g->state == GroupState::Dead || g->hasSlot)
             continue;
         g->hasSlot = true;
         used++;
     }
+    if (used > capacity)
+        panic("scheduler grants %d slots with capacity %d", used,
+              capacity);
 }
 
 void
@@ -43,6 +44,9 @@ Scheduler::releaseSlot(SimdGroup *g)
 {
     if (!g->hasSlot)
         return;
+    if (used <= 0)
+        panic("scheduler slot release for group %d underflows the "
+              "slot count", g->id);
     g->hasSlot = false;
     used--;
     drainQueue();
@@ -52,11 +56,9 @@ void
 Scheduler::dequeue(GroupId id)
 {
     for (size_t i = 0; i < waitQueue.size(); i++) {
-        if (waitQueue[i] == id) {
+        if (waitQueue[i]->id == id) {
             waitQueue.erase(waitQueue.begin() +
                             static_cast<std::ptrdiff_t>(i));
-            queuedGroups.erase(queuedGroups.begin() +
-                               static_cast<std::ptrdiff_t>(i));
             return;
         }
     }

@@ -64,11 +64,14 @@ class Scheduler
     bool
     isQueued(GroupId id) const
     {
-        for (GroupId q : waitQueue)
-            if (q == id)
+        for (const SimdGroup *q : waitQueue)
+            if (q->id == id)
                 return true;
         return false;
     }
+
+    /** @return the FIFO slot wait queue (audits). */
+    const std::deque<SimdGroup *> &queued() const { return waitQueue; }
 
   private:
     /** Grant free slots to queued groups (FIFO). */
@@ -76,8 +79,12 @@ class Scheduler
 
     int capacity;
     int used = 0;
-    std::deque<GroupId> waitQueue;
-    std::vector<SimdGroup *> queuedGroups; ///< parallel to waitQueue
+    /**
+     * Groups waiting for a slot, FIFO. A single queue of pointers:
+     * the previous id-deque + pointer-vector pair had to be mutated in
+     * lockstep, and a desync left a dangling SimdGroup*.
+     */
+    std::deque<SimdGroup *> waitQueue;
     GroupId lastPicked = -1;
     int lastWarp = -1;
 };

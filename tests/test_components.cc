@@ -162,6 +162,55 @@ TEST(Scheduler, DeadGroupsDroppedFromQueue)
     EXPECT_EQ(s.slotsUsed(), 0);
 }
 
+TEST(Scheduler, QueueAccountingStaysConsistent)
+{
+    // The queue is one deque of pointers (previously an id-deque plus
+    // a parallel pointer vector that could desync): repeated requests
+    // never duplicate an entry, dequeue preserves FIFO order of the
+    // others, and grants skip groups that died while queued.
+    Scheduler s(1);
+    SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 0), c = mkGroup(2, 1),
+              d = mkGroup(3, 1);
+    s.requestSlot(&a);
+    s.requestSlot(&b);
+    s.requestSlot(&b); // duplicate request: still queued once
+    s.requestSlot(&c);
+    s.requestSlot(&d);
+    EXPECT_TRUE(s.isQueued(b.id));
+    EXPECT_TRUE(s.isQueued(c.id));
+
+    s.dequeue(c.id); // remove from the middle
+    EXPECT_FALSE(s.isQueued(c.id));
+
+    b.state = GroupState::Dead; // dies while queued, without dequeue
+    s.releaseSlot(&a);
+    // b skipped (dead), c dequeued, so d gets the slot.
+    EXPECT_FALSE(b.hasSlot);
+    EXPECT_FALSE(c.hasSlot);
+    EXPECT_TRUE(d.hasSlot);
+    EXPECT_EQ(s.slotsUsed(), 1);
+    EXPECT_FALSE(s.isQueued(b.id));
+    EXPECT_FALSE(s.isQueued(d.id));
+}
+
+TEST(Scheduler, ReleaseWithoutSlotIsANoOp)
+{
+    Scheduler s(2);
+    SimdGroup a = mkGroup(0, 0);
+    s.releaseSlot(&a); // never held a slot
+    EXPECT_EQ(s.slotsUsed(), 0);
+}
+
+TEST(SchedulerDeathTest, SlotAccountingUnderflowPanics)
+{
+    // A group whose slot flag desyncs from the scheduler's counter is
+    // a simulator bug: releasing it must panic, not underflow.
+    Scheduler s(2);
+    SimdGroup a = mkGroup(0, 0);
+    a.hasSlot = true; // forged: the scheduler never granted it
+    EXPECT_DEATH(s.releaseSlot(&a), "underflow");
+}
+
 // --- warp-split table --------------------------------------------------
 
 TEST(Wst, CapacityAccounting)

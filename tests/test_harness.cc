@@ -122,6 +122,43 @@ TEST(Sweep, ParseBenchArgs)
             2, const_cast<char **>(argv2), KernelScale::Tiny);
     EXPECT_EQ(b.scale, KernelScale::Default);
     EXPECT_TRUE(b.benchmarks.empty());
+    EXPECT_EQ(b.jobs, 0); // defaulted: executor picks the pool size
+    EXPECT_TRUE(b.jsonPath.empty());
+}
+
+TEST(Sweep, ParseBenchArgsJobsAndJson)
+{
+    const char *argv[] = {"prog", "--jobs", "3", "--json", "out.json"};
+    const BenchOptions o = parseBenchArgs(
+            5, const_cast<char **>(argv), KernelScale::Tiny);
+    EXPECT_EQ(o.jobs, 3);
+    EXPECT_EQ(o.jsonPath, "out.json");
+}
+
+TEST(Sweep, ParseBenchArgsRejectsUnknownFlag)
+{
+    const char *argv[] = {"prog", "--benhc", "FFT"};
+    EXPECT_EXIT(parseBenchArgs(3, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "unknown argument");
+}
+
+TEST(Sweep, ParseBenchArgsRejectsUnknownBenchmark)
+{
+    // A typo'd benchmark used to be accepted silently and only fail
+    // deep inside runKernel.
+    const char *argv[] = {"prog", "--bench", "FTT"};
+    EXPECT_EXIT(parseBenchArgs(3, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Sweep, ParseBenchArgsRejectsBadJobs)
+{
+    const char *argv[] = {"prog", "--jobs", "0"};
+    EXPECT_EXIT(parseBenchArgs(3, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "positive integer");
+    const char *argv2[] = {"prog", "--jobs"};
+    EXPECT_EXIT(parseBenchArgs(2, const_cast<char **>(argv2)),
+                ::testing::ExitedWithCode(1), "requires");
 }
 
 TEST(Table, AlignsColumnsAndRules)

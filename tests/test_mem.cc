@@ -121,12 +121,29 @@ TEST(Mshr, AllocateCoalesceRelease)
     ASSERT_NE(b, nullptr);
     EXPECT_FALSE(f.available());
     EXPECT_EQ(f.allocate(256, 80, false), nullptr);
-    EXPECT_EQ(f.earliestReady(), 90u);
+    EXPECT_EQ(f.earliestReady(), std::optional<Cycle>(90));
     f.release(128);
     EXPECT_TRUE(f.available());
-    EXPECT_EQ(f.earliestReady(), 100u);
+    EXPECT_EQ(f.earliestReady(), std::optional<Cycle>(100));
     f.release(0);
-    EXPECT_EQ(f.earliestReady(), 0u);
+    EXPECT_EQ(f.earliestReady(), std::nullopt);
+}
+
+TEST(Mshr, EarliestReadyDistinguishesCycleZeroFromEmpty)
+{
+    // Cycle 0 used to double as the "no entries" sentinel, so an entry
+    // legitimately ready at cycle 0 was reported as "none pending".
+    MshrFile f(2, 2);
+    EXPECT_FALSE(f.earliestReady().has_value());
+    f.allocate(64, 0, false);
+    ASSERT_TRUE(f.earliestReady().has_value());
+    EXPECT_EQ(*f.earliestReady(), 0u);
+    f.allocate(128, 7, false);
+    EXPECT_EQ(f.earliestReady(), std::optional<Cycle>(0));
+    f.release(64);
+    EXPECT_EQ(f.earliestReady(), std::optional<Cycle>(7));
+    f.release(128);
+    EXPECT_EQ(f.earliestReady(), std::nullopt);
 }
 
 TEST(Directory, GetSGrantsExclusiveWhenAlone)

@@ -2,7 +2,9 @@
 # Full CI sweep: Release build + tests + static lint, then an
 # ASan+UBSan build that re-runs the tests and an every-cycle invariant
 # audit of a DWS.ReviveSplit run of every kernel (paper Fig. 9 config,
-# tiny scale). Any failure aborts the script with a nonzero exit.
+# tiny scale), then a TSan build that exercises the parallel sweep
+# executor (determinism test + a multi-job figure bench). Any failure
+# aborts the script with a nonzero exit.
 #
 #   tools/ci.sh              # everything
 #   JOBS=8 tools/ci.sh       # override parallelism (default: nproc)
@@ -35,6 +37,18 @@ for k in $(./build-ci-asan/tools/dws_sim --list); do
         --scale tiny --check-invariants=1 --quiet >/dev/null
     echo "  $k: clean"
 done
+
+echo "=== TSan: configure + build ==="
+cmake -S . -B build-ci-tsan -DCMAKE_BUILD_TYPE=Debug \
+      -DDWS_TSAN=ON >/dev/null
+cmake --build build-ci-tsan -j "$JOBS"
+
+echo "=== TSan: executor determinism + ordering tests ==="
+./build-ci-tsan/tests/dws_tests --gtest_filter='Executor.*'
+
+echo "=== TSan: multi-job figure bench ==="
+./build-ci-tsan/bench/bench_fig13_schemes --fast --jobs 4 >/dev/null
+echo "  bench_fig13_schemes --fast --jobs 4: clean"
 
 echo "=== clang-tidy (skipped automatically if not installed) ==="
 tools/run_tidy.sh
