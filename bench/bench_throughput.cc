@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Simulator throughput benchmark: wall-clock speed of the simulator
+ * itself (simulated cycles per second and scalar instructions per
+ * second), per kernel under the three policies whose hot paths differ
+ * most (Conv: no subdivision, DWS.ReviveSplit: the headline scheme,
+ * Slip: warp slipping). This measures the *simulator*, not the
+ * simulated system — use it to judge hot-path changes (event queue,
+ * ready lists, arenas), not architecture claims.
+ *
+ * Each cell runs once untimed to warm caches and the allocator, then
+ * once timed. Results are printed as a table; `--json FILE` also
+ * writes machine-readable records for CI archival.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hh"
+#include "kernels/kernel.hh"
+
+namespace dws {
+namespace {
+
+struct Cell
+{
+    std::string policy;
+    std::string kernel;
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs = 0;
+    double wallMs = 0;
+
+    double cyclesPerSec() const { return double(cycles) / (wallMs / 1e3); }
+    double instrsPerSec() const { return double(instrs) / (wallMs / 1e3); }
+};
+
+/** Run one kernel under one policy: one warm-up, one timed rep. */
+Cell
+timeCell(const std::string &policy, const PolicyConfig &pol,
+         const std::string &kernel, KernelScale scale)
+{
+    const SystemConfig cfg = SystemConfig::table3(pol);
+    runKernel(kernel, cfg, scale); // warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult r = runKernel(kernel, cfg, scale);
+    const auto t1 = std::chrono::steady_clock::now();
+    Cell c;
+    c.policy = policy;
+    c.kernel = kernel;
+    c.cycles = r.stats.cycles;
+    c.instrs = r.stats.totalScalarInstrs();
+    c.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return c;
+}
+
+void
+writeJson(const std::string &path, const std::vector<Cell> &cells)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open %s for writing", path.c_str());
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < cells.size(); i++) {
+        const Cell &c = cells[i];
+        std::fprintf(f,
+                     "  {\"policy\": \"%s\", \"kernel\": \"%s\", "
+                     "\"sim_cycles\": %llu, \"scalar_instrs\": %llu, "
+                     "\"wall_ms\": %.3f, \"sim_cycles_per_s\": %.6e, "
+                     "\"scalar_instrs_per_s\": %.6e}%s\n",
+                     c.policy.c_str(), c.kernel.c_str(),
+                     (unsigned long long)c.cycles,
+                     (unsigned long long)c.instrs, c.wallMs,
+                     c.cyclesPerSec(), c.instrsPerSec(),
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu records to %s\n", cells.size(), path.c_str());
+}
+
+} // namespace
+} // namespace dws
+
+int
+main(int argc, char **argv)
+{
+    using namespace dws;
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    setQuiet(true);
+
+    banner("Simulator throughput (wall-clock speed of the simulator)",
+           "n/a -- engineering benchmark, not a paper figure");
+
+    const std::vector<std::pair<std::string, PolicyConfig>> policies = {
+        {"Conv", PolicyConfig::conv()},
+        {"DWS.ReviveSplit", PolicyConfig::reviveSplit()},
+        {"Slip", PolicyConfig::adaptiveSlip()},
+    };
+    const std::vector<std::string> &kernels =
+            opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
+
+    std::printf("%-16s %-8s %12s %10s %14s %16s\n", "policy", "kernel",
+                "sim_cycles", "wall_ms", "sim_cycles/s",
+                "scalar_instrs/s");
+    std::vector<Cell> cells;
+    double totalMs = 0;
+    std::uint64_t totalCycles = 0, totalInstrs = 0;
+    for (const auto &[label, pol] : policies) {
+        for (const auto &kernel : kernels) {
+            cells.push_back(timeCell(label, pol, kernel, opts.scale));
+            const Cell &c = cells.back();
+            totalMs += c.wallMs;
+            totalCycles += c.cycles;
+            totalInstrs += c.instrs;
+            std::printf("%-16s %-8s %12llu %10.2f %14.3e %16.3e\n",
+                        c.policy.c_str(), c.kernel.c_str(),
+                        (unsigned long long)c.cycles, c.wallMs,
+                        c.cyclesPerSec(), c.instrsPerSec());
+        }
+    }
+    std::printf("\nTOTAL wall=%.1fms sim_cycles/s=%.4e "
+                "scalar_instrs/s=%.4e\n",
+                totalMs, double(totalCycles) / (totalMs / 1e3),
+                double(totalInstrs) / (totalMs / 1e3));
+
+    if (!opts.jsonPath.empty())
+        writeJson(opts.jsonPath, cells);
+    return 0;
+}

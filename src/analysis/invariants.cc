@@ -1,5 +1,6 @@
 #include "analysis/invariants.hh"
 
+#include <array>
 #include <cstdarg>
 #include <cstdio>
 
@@ -243,6 +244,82 @@ InvariantChecker::auditWpu(const Wpu &w, Cycle now)
             if (q->state == GroupState::Dead)
                 ctx.add(q->warp, q->id, q->pc,
                         "dead group still queued for a slot");
+        }
+    }
+
+    // Ready-list consistency: the list holds exactly the live groups
+    // whose (hasSlot, state) say they belong, in ascending id order,
+    // with the inReadyList mirror flags in sync. Pointer identity is
+    // checked against the live set before any entry is trusted.
+    {
+        const std::vector<SimdGroup *> &ready = w.sched.readyList();
+        GroupId prevId = -1;
+        std::vector<const SimdGroup *> seenReady;
+        for (const SimdGroup *r : ready) {
+            bool isLive = false;
+            for (const SimdGroup *g : w.live) {
+                if (g == r) {
+                    isLive = true;
+                    break;
+                }
+            }
+            if (!isLive) {
+                ctx.add(-1, -1, kPcExit,
+                        "ready list holds a pointer to a group not in "
+                        "the live set (dangling)");
+                continue;
+            }
+            for (const SimdGroup *p : seenReady) {
+                if (p == r)
+                    ctx.add(r->warp, r->id, r->pc,
+                            "group appears in the ready list twice");
+            }
+            seenReady.push_back(r);
+            if (!r->inReadyList)
+                ctx.add(r->warp, r->id, r->pc,
+                        "ready-list entry has inReadyList unset");
+            if (!r->hasSlot)
+                ctx.add(r->warp, r->id, r->pc,
+                        "ready-list entry holds no scheduler slot");
+            if (r->state != GroupState::Ready &&
+                r->state != GroupState::WaitRetry)
+                ctx.add(r->warp, r->id, r->pc,
+                        format("ready-list entry misfiled in state %s",
+                               groupStateName(r->state)));
+            if (r->id <= prevId)
+                ctx.add(r->warp, r->id, r->pc,
+                        "ready list is not ascending by group id");
+            prevId = r->id;
+        }
+        // Completeness: every live group meeting the membership
+        // predicate must be listed (checked via its mirror flag, whose
+        // agreement with actual membership was verified above).
+        for (const SimdGroup *g : w.live) {
+            const bool want = g->hasSlot &&
+                              (g->state == GroupState::Ready ||
+                               g->state == GroupState::WaitRetry);
+            if (want && !g->inReadyList)
+                ctx.add(g->warp, g->id, g->pc,
+                        "schedulable group missing from the ready list");
+            if (!want && g->inReadyList)
+                ctx.add(g->warp, g->id, g->pc,
+                        "unschedulable group flagged inReadyList");
+        }
+    }
+
+    // State census: the O(1) stateCount array the stall classifier and
+    // tick gate rely on must match a recount of the live set.
+    {
+        std::array<int, 6> recount{};
+        for (const SimdGroup *g : w.live)
+            recount[static_cast<size_t>(g->state)]++;
+        for (size_t s = 0; s < recount.size(); s++) {
+            if (recount[s] != w.stateCount[s])
+                ctx.add(-1, -1, kPcExit,
+                        format("stateCount[%s] is %d, live set has %d",
+                               groupStateName(
+                                       static_cast<GroupState>(s)),
+                               w.stateCount[s], recount[s]));
         }
     }
 

@@ -46,8 +46,13 @@ System::run()
     while (!finished()) {
         events.runUntil(cycle);
         bool any = false;
-        for (auto &w : wpus)
-            any |= w->tick(cycle);
+        for (auto &w : wpus) {
+            // Evaluate per WPU immediately before its tick: an earlier
+            // WPU's tick this cycle can release the kernel barrier and
+            // hand later WPUs fresh Ready groups.
+            if (w->needsTick(cycle))
+                any |= w->tick(cycle);
+        }
         if (finished()) {
             cycle++;
             break;
@@ -66,8 +71,13 @@ System::run()
                 const Cycle next = events.nextEventCycle();
                 if (next > cycle + 1) {
                     const Cycle skip = next - cycle - 1;
-                    for (auto &w : wpus)
+                    for (auto &w : wpus) {
+                        // Settle the backlog (through this cycle) under
+                        // the current states before crediting the
+                        // fast-forwarded span.
+                        w->accountStallsBefore(cycle + 1);
                         w->addStallCycles(skip);
+                    }
                     cycle += skip;
                 }
             }
@@ -97,12 +107,11 @@ System::collect() const
         if (accounted < cycle)
             ws.idleCycles += cycle - accounted;
     }
-    MemSystem &ms = const_cast<MemSystem &>(memsys);
     for (int i = 0; i < cfg.numWpus; i++) {
-        r.icaches.push_back(ms.icache(i).stats);
-        r.dcaches.push_back(ms.dcache(i).stats);
+        r.icaches.push_back(memsys.icache(i).stats);
+        r.dcaches.push_back(memsys.dcache(i).stats);
     }
-    r.mem = ms.stats();
+    r.mem = memsys.stats();
     r.energyNj = computeEnergy(r, cfg, energyParams).total();
     return r;
 }

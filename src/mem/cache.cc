@@ -56,7 +56,13 @@ CacheArray::find(Addr line)
 const CacheLine *
 CacheArray::find(Addr line) const
 {
-    return const_cast<CacheArray *>(this)->find(line);
+    const CacheLine *set =
+            &lines_[static_cast<size_t>(setIndex(line)) * ways_];
+    for (int w = 0; w < ways_; w++) {
+        if (set[w].valid() && set[w].tag == line)
+            return &set[w];
+    }
+    return nullptr;
 }
 
 CacheLine *

@@ -20,6 +20,23 @@ MemSystem::MemSystem(const SystemConfig &sysCfg, EventQueue &eq)
         reqChannelFree.push_back(0);
     }
     l2_ = std::make_unique<CacheArray>(cfg.mem.l2, "l2");
+    events.bindMem(this);
+}
+
+void
+MemSystem::onSimEvent(const SimEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::L1MshrRelease:
+        l1Mshrs[static_cast<size_t>(ev.wpu)].release(ev.line);
+        break;
+      case EventKind::L2MshrRelease:
+        l2Mshrs.release(ev.line);
+        break;
+      default:
+        panic("memory system got non-MSHR event %s",
+              eventKindName(ev.kind));
+    }
 }
 
 void
@@ -217,9 +234,9 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
         l2l->readyAt = t;
         if (l2Mshrs.available()) {
             l2Mshrs.allocate(lineAddr, t, write);
-            events.schedule(t, [this, lineAddr] {
-                l2Mshrs.release(lineAddr);
-            });
+            events.schedule(SimEvent{.when = t,
+                                     .kind = EventKind::L2MshrRelease,
+                                     .line = lineAddr});
         }
     }
     l2_->touch(l2l, now);
@@ -277,9 +294,10 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
     l1.touch(fill, now);
 
     mshrs.allocate(lineAddr, t, write);
-    events.schedule(t, [this, wpu, lineAddr] {
-        l1Mshrs[static_cast<size_t>(wpu)].release(lineAddr);
-    });
+    events.schedule(SimEvent{.when = t,
+                             .kind = EventKind::L1MshrRelease,
+                             .wpu = wpu,
+                             .line = lineAddr});
 
     return LineResponse{.l1Hit = false, .readyAt = t};
 }

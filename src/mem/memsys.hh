@@ -47,7 +47,7 @@ struct LineResponse
 };
 
 /** The full memory hierarchy shared by all WPUs. */
-class MemSystem
+class MemSystem : public EventTarget
 {
   public:
     /**
@@ -74,12 +74,27 @@ class MemSystem
      */
     LineResponse accessInstr(WpuId wpu, Addr lineAddr, Cycle now);
 
+    /** Handle an L1/L2 MSHR-release event at its firing cycle. */
+    void onSimEvent(const SimEvent &ev) override;
+
     /** @return the D-cache of a WPU (stats, tests). */
     CacheArray &dcache(WpuId w) { return *dcaches_[static_cast<size_t>(w)]; }
     /** @return the I-cache of a WPU. */
     CacheArray &icache(WpuId w) { return *icaches_[static_cast<size_t>(w)]; }
     /** @return the shared L2. */
     CacheArray &l2() { return *l2_; }
+
+    const CacheArray &
+    dcache(WpuId w) const
+    {
+        return *dcaches_[static_cast<size_t>(w)];
+    }
+    const CacheArray &
+    icache(WpuId w) const
+    {
+        return *icaches_[static_cast<size_t>(w)];
+    }
+    const CacheArray &l2() const { return *l2_; }
 
     /** @return aggregated memory-side statistics. */
     MemStats stats() const;

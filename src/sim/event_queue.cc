@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Event dispatch: route each popped SimEvent to its bound EventTarget.
+ */
+
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+EventTarget::~EventTarget() = default;
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::WakeGroup:
+        return "WakeGroup";
+      case EventKind::WakeRetry:
+        return "WakeRetry";
+      case EventKind::L1MshrRelease:
+        return "L1MshrRelease";
+      case EventKind::L2MshrRelease:
+        return "L2MshrRelease";
+    }
+    return "?";
+}
+
+void
+EventQueue::dispatch(const SimEvent &ev)
+{
+    EventTarget *t = nullptr;
+    switch (ev.kind) {
+      case EventKind::WakeGroup:
+      case EventKind::WakeRetry:
+        if (static_cast<size_t>(ev.wpu) < wpuTargets.size())
+            t = wpuTargets[static_cast<size_t>(ev.wpu)];
+        break;
+      case EventKind::L1MshrRelease:
+      case EventKind::L2MshrRelease:
+        t = memTarget;
+        break;
+    }
+    if (!t) {
+        panic("event %s at cycle %llu has no bound target (wpu %d)",
+              eventKindName(ev.kind), (unsigned long long)ev.when,
+              (int)ev.wpu);
+    }
+    t->onSimEvent(ev);
+}
+
+} // namespace dws

@@ -5,13 +5,20 @@
  * The WPU pipelines are cycle-driven (tick() once per cycle); only memory
  * request completions are event-driven. Events with equal firing cycles
  * pop in insertion order so that simulations are fully reproducible.
+ *
+ * Events are plain typed records (kind + target id + payload), not
+ * type-erased callbacks: scheduling one costs no heap allocation and
+ * firing one costs no indirect std::function dispatch — each event is
+ * routed to the EventTarget bound for its kind (a Wpu for group wakes,
+ * the MemSystem for MSHR releases). This keeps the hot path of a
+ * memory-bound simulation proportional to the number of completions,
+ * not to allocator traffic.
  */
 
 #ifndef DWS_SIM_EVENT_QUEUE_HH
 #define DWS_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
@@ -19,24 +26,78 @@
 
 namespace dws {
 
-/** FIFO-stable min-heap of (cycle, callback) events. */
+/** What a SimEvent means to its target. */
+enum class EventKind : std::uint8_t {
+    /** Memory completion for (wpu, group): clear `lanes` and wake. */
+    WakeGroup,
+    /** Retry a partially issued access of (wpu, group) (MSHRs freed). */
+    WakeRetry,
+    /** Release the L1 MSHR entry of `line` on WPU `wpu`. */
+    L1MshrRelease,
+    /** Release the shared L2 MSHR entry of `line`. */
+    L2MshrRelease,
+};
+
+/** @return printable kind name (diagnostics, tests). */
+const char *eventKindName(EventKind k);
+
+/**
+ * One scheduled event. A plain value: every field an event could need
+ * is inline, and unused fields stay at their defaults. `lanes` is a
+ * thread mask (wpu/mask.hh); it is typed as the underlying integer so
+ * the sim layer does not depend on the wpu layer.
+ */
+struct SimEvent
+{
+    Cycle when = 0;
+    EventKind kind = EventKind::WakeGroup;
+    /** Target WPU (wake kinds) or requesting WPU (L1MshrRelease). */
+    WpuId wpu = -1;
+    /** Target SIMD group (wake kinds). */
+    GroupId group = -1;
+    /** Lanes whose requests completed (WakeGroup; 0 = none specific). */
+    std::uint64_t lanes = 0;
+    /** Cache line address (MSHR release kinds). */
+    Addr line = 0;
+};
+
+/** Receiver of dispatched events (implemented by Wpu and MemSystem). */
+class EventTarget
+{
+  public:
+    virtual ~EventTarget();
+    /** Handle one event at its firing time (`ev.when`). */
+    virtual void onSimEvent(const SimEvent &ev) = 0;
+};
+
+/** FIFO-stable min-heap of typed events with per-target dispatch. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
-
-    /** Schedule cb to run at absolute cycle when (>= current cycle). */
+    /** Bind the handler of WakeGroup/WakeRetry events for one WPU. */
     void
-    schedule(Cycle when, Callback cb)
+    bindWpu(WpuId id, EventTarget *t)
     {
-        heap.push(Event{when, seq++, std::move(cb)});
+        if (static_cast<std::size_t>(id) >= wpuTargets.size())
+            wpuTargets.resize(static_cast<std::size_t>(id) + 1, nullptr);
+        wpuTargets[static_cast<std::size_t>(id)] = t;
+    }
+
+    /** Bind the handler of MSHR-release events (the memory system). */
+    void bindMem(EventTarget *t) { memTarget = t; }
+
+    /** Schedule an event at absolute cycle ev.when (>= current cycle). */
+    void
+    schedule(const SimEvent &ev)
+    {
+        heap.push(Entry{ev, seq++});
     }
 
     /** @return the firing cycle of the earliest pending event. */
     Cycle
     nextEventCycle() const
     {
-        return heap.empty() ? ~Cycle(0) : heap.top().when;
+        return heap.empty() ? ~Cycle(0) : heap.top().ev.when;
     }
 
     /** @return true if no events are pending. */
@@ -46,36 +107,44 @@ class EventQueue
     std::size_t size() const { return heap.size(); }
 
     /**
-     * Run every event scheduled at or before cycle now, in (cycle, FIFO)
-     * order. Callbacks may schedule further events.
+     * Dispatch every event scheduled at or before cycle now, in
+     * (cycle, FIFO) order. Handlers may schedule further events.
      */
     void
     runUntil(Cycle now)
     {
-        while (!heap.empty() && heap.top().when <= now) {
-            // Copy out before pop so the callback can schedule new events.
-            Callback cb = std::move(const_cast<Event &>(heap.top()).cb);
+        while (!heap.empty() && heap.top().ev.when <= now) {
+            // Copy out (plain value) before pop so the handler can
+            // schedule new events.
+            const SimEvent ev = heap.top().ev;
             heap.pop();
-            cb();
+            dispatch(ev);
         }
     }
 
   private:
-    struct Event
+    void dispatch(const SimEvent &ev);
+
+    struct Entry
     {
-        Cycle when;
+        SimEvent ev;
         std::uint64_t order;
-        Callback cb;
 
         bool
-        operator>(const Event &o) const
+        operator>(const Entry &o) const
         {
-            return when != o.when ? when > o.when : order > o.order;
+            return ev.when != o.ev.when ? ev.when > o.ev.when
+                                        : order > o.order;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
     std::uint64_t seq = 0;
+
+    /** WakeGroup/WakeRetry handlers, indexed by WpuId. */
+    std::vector<EventTarget *> wpuTargets;
+    /** MSHR-release handler. */
+    EventTarget *memTarget = nullptr;
 };
 
 } // namespace dws

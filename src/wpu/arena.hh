@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Arena allocators for the per-WPU hot-path objects.
+ *
+ * Dynamic warp subdivision churns through SimdGroups and ReconvBarriers:
+ * every split, revive, slip boundary and kernel-barrier release creates
+ * objects that die shortly after. With the general-purpose heap each of
+ * those is a malloc/free pair (plus a shared_ptr control block for
+ * barriers) on the per-cycle path. The two pools here recycle that
+ * storage instead:
+ *
+ *  - GroupArena owns every SimdGroup a WPU ever creates, in a deque so
+ *    addresses stay stable, and hands dead groups back out with their
+ *    frames/pending vector capacity intact.
+ *
+ *  - BarrierPool is a freelist behind a std::allocate_shared allocator,
+ *    so a ReconvBarrier and its control block are one recycled block.
+ *    PoolAlloc holds the freelist by shared_ptr: each control block
+ *    keeps a copy of its allocator, so the freelist outlives the WPU if
+ *    a test (or parked split) still holds a BarrierRef.
+ */
+
+#ifndef DWS_WPU_ARENA_HH
+#define DWS_WPU_ARENA_HH
+
+#include <deque>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "wpu/simd_group.hh"
+
+namespace dws {
+
+/** Recycling pool of SimdGroups with stable addresses. */
+class GroupArena
+{
+  public:
+    /** @return a group with every field default-initialized. */
+    SimdGroup *
+    acquire()
+    {
+        if (!free_.empty()) {
+            SimdGroup *g = free_.back();
+            free_.pop_back();
+            return g;
+        }
+        storage_.emplace_back();
+        return &storage_.back();
+    }
+
+    /** Return a group to the pool. The pointer must come from acquire(). */
+    void
+    release(SimdGroup *g)
+    {
+        g->recycle();
+        free_.push_back(g);
+    }
+
+    /** @return total groups ever materialized (tests, diagnostics). */
+    std::size_t allocated() const { return storage_.size(); }
+
+    /** @return groups currently sitting in the free list. */
+    std::size_t freeCount() const { return free_.size(); }
+
+  private:
+    std::deque<SimdGroup> storage_;
+    std::vector<SimdGroup *> free_;
+};
+
+/**
+ * Shared freelist state behind PoolAlloc. All blocks are one size (the
+ * std::allocate_shared control-block-plus-payload size, fixed at the
+ * first allocation); odd-sized requests bypass the freelist.
+ */
+struct PoolState
+{
+    std::size_t blockSize = 0;
+    std::vector<void *> free_;
+    std::uint64_t served = 0;
+    std::uint64_t reused = 0;
+
+    ~PoolState()
+    {
+        for (void *p : free_)
+            ::operator delete(p);
+    }
+
+    PoolState() = default;
+    PoolState(const PoolState &) = delete;
+    PoolState &operator=(const PoolState &) = delete;
+};
+
+/**
+ * Minimal allocator over a shared PoolState, for std::allocate_shared.
+ * Copyable across rebinds; all copies share one freelist.
+ */
+template <class T>
+struct PoolAlloc
+{
+    using value_type = T;
+
+    std::shared_ptr<PoolState> st;
+
+    explicit PoolAlloc(std::shared_ptr<PoolState> s) : st(std::move(s)) {}
+
+    template <class U>
+    PoolAlloc(const PoolAlloc<U> &o) : st(o.st)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (st->blockSize == 0)
+            st->blockSize = bytes;
+        if (bytes == st->blockSize) {
+            st->served++;
+            if (!st->free_.empty()) {
+                void *p = st->free_.back();
+                st->free_.pop_back();
+                st->reused++;
+                return static_cast<T *>(p);
+            }
+        }
+        return static_cast<T *>(::operator new(bytes));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (bytes == st->blockSize)
+            st->free_.push_back(p);
+        else
+            ::operator delete(p);
+    }
+
+    template <class U>
+    bool
+    operator==(const PoolAlloc<U> &o) const
+    {
+        return st == o.st;
+    }
+};
+
+} // namespace dws
+
+#endif // DWS_WPU_ARENA_HH

@@ -41,8 +41,18 @@ KernelBarrier::check(Cycle now)
         return;
     arrived = 0;
     pendingBarPc = kPcUnknown;
+    // The release always happens inside some WPU's tick (a Bar issue or
+    // a halt). That WPU's id tells each releasee whether its own tick
+    // for this cycle is already behind it (stall-accounting boundary).
+    WpuId releaser = -1;
+    for (const Wpu *w : wpus) {
+        if (w->midTick()) {
+            releaser = w->id();
+            break;
+        }
+    }
     for (Wpu *w : wpus)
-        w->releaseKernelBarrier(now);
+        w->releaseKernelBarrier(now, releaser);
 }
 
 } // namespace dws

@@ -14,6 +14,7 @@ Scheduler::requestSlot(SimdGroup *g)
     if (used < capacity) {
         g->hasSlot = true;
         used++;
+        updateReady(g);
         return;
     }
     // Already queued?
@@ -33,6 +34,7 @@ Scheduler::drainQueue()
             continue;
         g->hasSlot = true;
         used++;
+        updateReady(g);
     }
     if (used > capacity)
         panic("scheduler grants %d slots with capacity %d", used,
@@ -49,7 +51,35 @@ Scheduler::releaseSlot(SimdGroup *g)
               "slot count", g->id);
     g->hasSlot = false;
     used--;
+    updateReady(g);
     drainQueue();
+}
+
+void
+Scheduler::updateReady(SimdGroup *g)
+{
+    const bool want = g->hasSlot && (g->state == GroupState::Ready ||
+                                     g->state == GroupState::WaitRetry);
+    if (want == g->inReadyList)
+        return;
+    if (want) {
+        // Keep the list ascending by id so round-robin order matches a
+        // scan over all live groups (which are created in id order).
+        const auto at = std::lower_bound(
+                ready.begin(), ready.end(), g,
+                [](const SimdGroup *a, const SimdGroup *b) {
+                    return a->id < b->id;
+                });
+        ready.insert(at, g);
+        g->inReadyList = true;
+    } else {
+        const auto at = std::find(ready.begin(), ready.end(), g);
+        if (at == ready.end())
+            panic("group %d flagged inReadyList but absent from the "
+                  "ready list", g->id);
+        ready.erase(at);
+        g->inReadyList = false;
+    }
 }
 
 void
@@ -65,28 +95,26 @@ Scheduler::dequeue(GroupId id)
 }
 
 SimdGroup *
-Scheduler::pick(const std::vector<SimdGroup *> &groups, int numWarps,
-                Cycle now)
+Scheduler::pick(Cycle now)
 {
-    (void)numWarps;
     drainQueue();
-    if (groups.empty())
+    if (ready.empty())
         return nullptr;
 
-    // Round-robin over groups by ascending id, starting after the last
-    // picked id. New splits get fresh (larger) ids, so siblings take
-    // turns naturally.
+    // Round-robin over the ready list by ascending id, starting after
+    // the last picked id. Groups outside the list are never issuable,
+    // so this selects the same group a scan over all live groups would.
     size_t start = 0;
-    for (size_t i = 0; i < groups.size(); i++) {
-        if (groups[i]->id > lastPicked) {
+    for (size_t i = 0; i < ready.size(); i++) {
+        if (ready[i]->id > lastPicked) {
             start = i;
             break;
         }
-        if (i + 1 == groups.size())
+        if (i + 1 == ready.size())
             start = 0; // wrapped
     }
-    for (size_t k = 0; k < groups.size(); k++) {
-        SimdGroup *g = groups[(start + k) % groups.size()];
+    for (size_t k = 0; k < ready.size(); k++) {
+        SimdGroup *g = ready[(start + k) % ready.size()];
         if (g->issuable(now)) {
             lastPicked = g->id;
             return g;

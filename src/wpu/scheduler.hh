@@ -45,20 +45,40 @@ class Scheduler
     void dequeue(GroupId id);
 
     /**
-     * Round-robin selection of the next issuable group, rotating over
-     * warps first ("preferably from a different warp", paper
-     * Section 4.5) and over a warp's splits second.
+     * Re-file a group in the ready list after any change to its state
+     * or slot. Membership is `hasSlot && (Ready || WaitRetry)` — a
+     * superset of issuable() (which additionally gates on readyAt and a
+     * non-empty mask), so pick() only ever needs to look here. Must be
+     * called from every state-transition site; Wpu::setGroupState and
+     * the slot-granting paths do so.
+     */
+    void updateReady(SimdGroup *g);
+
+    /**
+     * Round-robin selection of the next issuable group over the ready
+     * list, by ascending id starting after the last picked id. New
+     * splits get fresh (larger) ids, so siblings take turns naturally.
      *
-     * @param groups   all live groups of the WPU
-     * @param numWarps warps on the WPU
-     * @param now      current cycle
+     * @param now current cycle
      * @return the chosen group, or nullptr if none is issuable
      */
-    SimdGroup *pick(const std::vector<SimdGroup *> &groups, int numWarps,
-                    Cycle now);
+    SimdGroup *pick(Cycle now);
+
+    /** @return true if any ready-list group is issuable this cycle. */
+    bool
+    anyIssuableAt(Cycle now) const
+    {
+        for (const SimdGroup *g : ready)
+            if (g->issuable(now))
+                return true;
+        return false;
+    }
 
     /** @return slots currently held. */
     int slotsUsed() const { return used; }
+
+    /** @return the ready list, ascending by group id (audits). */
+    const std::vector<SimdGroup *> &readyList() const { return ready; }
 
     /** @return true if the group waits in the slot queue (audits). */
     bool
@@ -85,6 +105,13 @@ class Scheduler
      * lockstep, and a desync left a dangling SimdGroup*.
      */
     std::deque<SimdGroup *> waitQueue;
+    /**
+     * Slot holders in state Ready or WaitRetry, ascending by id.
+     * Maintained incrementally at state/slot transitions so pick() and
+     * the per-cycle issuable probe touch only schedulable groups, not
+     * every live group. Mirrored by SimdGroup::inReadyList.
+     */
+    std::vector<SimdGroup *> ready;
     GroupId lastPicked = -1;
     int lastWarp = -1;
 };

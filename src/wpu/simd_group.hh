@@ -57,6 +57,20 @@ struct PendingAccess
     Cycle hitReadyAt = 0;
     /** Latest completion among already-issued miss lanes. */
     Cycle missReadyAt = 0;
+
+    /** Return to the default-constructed state, keeping vector storage. */
+    void
+    reset()
+    {
+        active = false;
+        write = false;
+        lines.clear();
+        laneMasks.clear();
+        hitMask = 0;
+        missMask = 0;
+        hitReadyAt = 0;
+        missReadyAt = 0;
+    }
 };
 
 /** One schedulable SIMD entity (a full warp or a warp-split). */
@@ -102,6 +116,9 @@ struct SimdGroup
     /** Created by a branch subdivision (scheduling hint only). */
     bool fromBranchSplit = false;
 
+    /** Membership flag for the scheduler's ready list (O(1) updates). */
+    bool inReadyList = false;
+
     /** Retry buffer for a partially issued access. */
     PendingAccess pending;
 
@@ -126,6 +143,32 @@ struct SimdGroup
     {
         return state == GroupState::WaitMem && pendingMem != 0 &&
                doneLanes() != 0;
+    }
+
+    /**
+     * Reset a pooled group for reuse, keeping the frames and pending
+     * vectors' storage. The arena hands out recycled groups with every
+     * field at its default; a fresh id is assigned by the WPU so stale
+     * wake events addressed to the previous occupant stay harmless.
+     */
+    void
+    recycle()
+    {
+        id = -1;
+        warp = -1;
+        pc = 0;
+        mask = 0;
+        frames.clear();
+        barrier.reset();
+        state = GroupState::Ready;
+        pendingMem = 0;
+        readyAt = 0;
+        branchLimited = false;
+        hasSlot = false;
+        fromBranchSplit = false;
+        inReadyList = false;
+        pending.reset();
+        memPc = 0;
     }
 };
 

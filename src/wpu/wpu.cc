@@ -22,6 +22,11 @@ Wpu::Wpu(WpuId id, const SystemConfig &sysCfg, const Program &program,
     auditCadence = cfg.checkInvariants;
     if (getenv("DWS_CHECK_LANES"))
         auditCadence = 64; // legacy debugging hook
+    // Slip adapts on an interval, revive probes stalls, and audits fire
+    // on a cadence: all per-cycle duties that forbid skipping ticks.
+    alwaysTick_ = policy.slip() || policy.reviveOnStall() ||
+                  auditCadence != 0;
+    events.bindWpu(wpuId, this);
     regs.assign(static_cast<size_t>(numThreads) * kNumRegs, 0);
     warps.resize(static_cast<size_t>(cfg.wpu.numWarps));
     warpBarriers.resize(static_cast<size_t>(cfg.wpu.numWarps));
@@ -63,13 +68,13 @@ Wpu::launch(ThreadId base, int totalThreads)
             reg(w, lane, 0) = tidOf(w, lane);
             reg(w, lane, 1) = totalThreads;
         }
-        auto exitBar = std::make_shared<ReconvBarrier>();
+        BarrierRef exitBar = makeBarrier();
         exitBar->isExit = true;
         exitBar->pc = kPcExit;
         exitBar->expected = full;
         exitBar->warp = w;
         SimdGroup *g = createGroup(
-                w, 0, full, {Frame{0, kPcExit, full}}, exitBar,
+                w, 0, full, Frame{0, kPcExit, full}, exitBar,
                 GroupState::Ready, false);
         (void)g;
     }
@@ -79,20 +84,25 @@ Wpu::launch(ThreadId base, int totalThreads)
 // Group lifecycle
 // --------------------------------------------------------------------
 
-SimdGroup *
-Wpu::createGroup(WarpId w, Pc pc, ThreadMask mask,
-                 std::vector<Frame> frames, BarrierRef barrier,
-                 GroupState state, bool branchLimited)
+BarrierRef
+Wpu::makeBarrier()
 {
-    auto owned = std::make_unique<SimdGroup>();
-    SimdGroup *g = owned.get();
+    // allocate_shared: barrier + control block are one pooled block.
+    return std::allocate_shared<ReconvBarrier>(
+            PoolAlloc<ReconvBarrier>(barrierPool));
+}
+
+SimdGroup *
+Wpu::initGroup(SimdGroup *g, WarpId w, Pc pc, ThreadMask mask,
+               BarrierRef barrier, GroupState state, bool branchLimited)
+{
     g->id = nextGroupId++;
     g->warp = w;
     g->pc = pc;
     g->mask = mask;
-    g->frames = std::move(frames);
     g->barrier = std::move(barrier);
     g->state = state;
+    stateCount[static_cast<size_t>(state)]++;
     g->branchLimited = branchLimited;
     // Invariant: live groups of one warp drive disjoint lane sets.
     for (const SimdGroup *o : live) {
@@ -104,28 +114,44 @@ Wpu::createGroup(WarpId w, Pc pc, ThreadMask mask,
                   o->pc);
         }
     }
-    groupStore.push_back(std::move(owned));
     live.push_back(g);
     wstTable.addGroup(w);
     sched.requestSlot(g);
     return g;
 }
 
+SimdGroup *
+Wpu::createGroup(WarpId w, Pc pc, ThreadMask mask,
+                 std::vector<Frame> frames, BarrierRef barrier,
+                 GroupState state, bool branchLimited)
+{
+    SimdGroup *g = groupArena.acquire();
+    g->frames = std::move(frames);
+    return initGroup(g, w, pc, mask, std::move(barrier), state,
+                     branchLimited);
+}
+
+SimdGroup *
+Wpu::createGroup(WarpId w, Pc pc, ThreadMask mask, const Frame &frame,
+                 BarrierRef barrier, GroupState state, bool branchLimited)
+{
+    SimdGroup *g = groupArena.acquire();
+    g->frames.push_back(frame); // recycled storage, already empty
+    return initGroup(g, w, pc, mask, std::move(barrier), state,
+                     branchLimited);
+}
+
 void
 Wpu::destroyGroup(SimdGroup *g)
 {
+    stateCount[static_cast<size_t>(g->state)]--;
     g->state = GroupState::Dead;
+    sched.updateReady(g);
     sched.releaseSlot(g);
     sched.dequeue(g->id);
     wstTable.removeGroup(g->warp);
     live.erase(std::remove(live.begin(), live.end(), g), live.end());
-    for (size_t i = 0; i < groupStore.size(); i++) {
-        if (groupStore[i].get() == g) {
-            groupStore.erase(groupStore.begin() +
-                             static_cast<std::ptrdiff_t>(i));
-            break;
-        }
-    }
+    groupArena.release(g);
 }
 
 SimdGroup *
@@ -294,54 +320,74 @@ Wpu::advanceControl(SimdGroup *g)
 // Issue path
 // --------------------------------------------------------------------
 
+void
+Wpu::setGroupState(SimdGroup *g, GroupState s)
+{
+    if (g->state == s)
+        return;
+    stateCount[static_cast<size_t>(g->state)]--;
+    stateCount[static_cast<size_t>(s)]++;
+    g->state = s;
+    sched.updateReady(g);
+}
+
 bool
 Wpu::hasImminentWork() const
 {
     // WaitRetry groups are event-driven (wakeRetry); only Ready groups
     // require cycle-by-cycle ticking.
-    for (const SimdGroup *g : live) {
-        if (g->state == GroupState::Ready)
-            return true;
-    }
-    return false;
+    return stateCount[static_cast<size_t>(GroupState::Ready)] > 0;
 }
 
 void
 Wpu::classifyStall()
 {
-    for (const SimdGroup *g : live) {
-        if (g->state == GroupState::WaitMem ||
-            g->state == GroupState::WaitRetry) {
-            stats.memStallCycles++;
-            return;
-        }
-    }
-    stats.otherStallCycles++;
+    if (memWaiting())
+        stats.memStallCycles++;
+    else
+        stats.otherStallCycles++;
 }
 
 void
 Wpu::addStallCycles(std::uint64_t n)
 {
     stallStreak += static_cast<int>(n > 1000 ? 1000 : n);
+    nextUnaccounted += n;
     if (finished()) {
         stats.idleCycles += n;
         return;
     }
-    for (const SimdGroup *g : live) {
-        if (g->state == GroupState::WaitMem ||
-            g->state == GroupState::WaitRetry) {
-            stats.memStallCycles += n;
-            return;
-        }
+    if (memWaiting())
+        stats.memStallCycles += n;
+    else
+        stats.otherStallCycles += n;
+}
+
+void
+Wpu::accountStallsBefore(Cycle c)
+{
+    if (c <= nextUnaccounted)
+        return;
+    const std::uint64_t n = c - nextUnaccounted;
+    nextUnaccounted = c;
+    // No stallStreak bump: only WPUs without per-cycle duties are ever
+    // skipped, and for those the streak is unobservable (revive-split
+    // damping is the sole consumer and revive WPUs always tick).
+    if (finished()) {
+        stats.idleCycles += n;
+        return;
     }
-    stats.otherStallCycles += n;
+    if (memWaiting())
+        stats.memStallCycles += n;
+    else
+        stats.otherStallCycles += n;
 }
 
 SimdGroup *
 Wpu::pickExecutable(Cycle now)
 {
     while (true) {
-        SimdGroup *g = sched.pick(live, cfg.wpu.numWarps, now);
+        SimdGroup *g = sched.pick(now);
         if (!g)
             return nullptr;
         // A partially issued access resumes without a new fetch.
@@ -382,12 +428,10 @@ Wpu::pickExecutable(Cycle now)
             continue;
         }
         if (!resp.l1Hit) {
-            g->state = GroupState::WaitMem;
+            setGroupState(g, GroupState::WaitMem);
             g->pendingMem = 0;
             g->readyAt = resp.readyAt;
-            const GroupId id = g->id;
-            const Cycle at = resp.readyAt;
-            events.schedule(at, [this, id, at] { wake(id, 0, at); });
+            scheduleWake(g->id, 0, resp.readyAt);
             continue;
         }
         return g;
@@ -408,12 +452,66 @@ Wpu::runInvariantAudit(Cycle now)
           (unsigned long long)now, wpuId, violations.size());
 }
 
+void
+Wpu::scheduleWake(GroupId id, ThreadMask lanes, Cycle at)
+{
+    events.schedule(SimEvent{.when = at,
+                             .kind = EventKind::WakeGroup,
+                             .wpu = wpuId,
+                             .group = id,
+                             .lanes = lanes});
+}
+
+void
+Wpu::scheduleWakeRetry(GroupId id, Cycle at)
+{
+    events.schedule(SimEvent{.when = at,
+                             .kind = EventKind::WakeRetry,
+                             .wpu = wpuId,
+                             .group = id});
+}
+
+void
+Wpu::onSimEvent(const SimEvent &ev)
+{
+    // Classify the backlog with the pre-event group states; the event's
+    // own cycle is accounted by the tick (or successor) at `ev.when`.
+    accountStallsBefore(ev.when);
+    switch (ev.kind) {
+      case EventKind::WakeGroup:
+        wake(ev.group, static_cast<ThreadMask>(ev.lanes), ev.when);
+        break;
+      case EventKind::WakeRetry:
+        wakeRetry(ev.group, ev.when);
+        break;
+      default:
+        panic("wpu %d got non-wake event %s", wpuId,
+              eventKindName(ev.kind));
+    }
+}
+
 bool
 Wpu::tick(Cycle now)
 {
+    accountStallsBefore(now);
+    inTick_ = true;
+    const bool issued = tickImpl(now);
+    inTick_ = false;
+    nextUnaccounted = now + 1; // this cycle is now credited
+    return issued;
+}
+
+bool
+Wpu::tickImpl(Cycle now)
+{
     lastTickCycle = now;
-    if (auditCadence != 0 && now % auditCadence == 0)
-        runInvariantAudit(now);
+    if (auditCadence != 0 && now >= auditNext) {
+        // One compare per tick; the modulo only runs at candidates
+        // (same audit cycles as `now % cadence == 0` every tick).
+        if (now % auditCadence == 0)
+            runInvariantAudit(now);
+        auditNext = (now / auditCadence + 1) * auditCadence;
+    }
     if (finished()) {
         stats.idleCycles++;
         return false;
@@ -595,7 +693,7 @@ Wpu::splitBarrier(SimdGroup *g, bool branchLimited)
         return g->barrier;
     }
     const Frame &top = g->frames.back();
-    auto b = std::make_shared<ReconvBarrier>();
+    BarrierRef b = makeBarrier();
     b->pc = branchLimited ? kPcUnknown : top.rpc;
     b->origRpc = top.rpc;
     b->expected = top.mask;
@@ -617,7 +715,8 @@ Wpu::branchSplit(SimdGroup *g, const Instr &in, ThreadMask taken,
     const Pc fallPc = g->pc + 1;
 
     // The issuing group becomes the taken-path split...
-    g->frames = {Frame{in.target, top.rpc, taken}};
+    g->frames.clear();
+    g->frames.push_back(Frame{in.target, top.rpc, taken});
     g->mask = taken;
     g->pc = in.target;
     g->barrier = b;
@@ -626,7 +725,7 @@ Wpu::branchSplit(SimdGroup *g, const Instr &in, ThreadMask taken,
     // scheduling entities; their execution can interleave (Figure 6d).
     g->fromBranchSplit = true;
     SimdGroup *other = createGroup(
-            g->warp, fallPc, notTaken, {Frame{fallPc, top.rpc, notTaken}},
+            g->warp, fallPc, notTaken, Frame{fallPc, top.rpc, notTaken},
             b, GroupState::Ready, false);
     other->fromBranchSplit = true;
     advanceControl(other);
@@ -644,7 +743,7 @@ Wpu::execMem(SimdGroup *g, const Instr &in, Cycle now)
     stats.memAccesses++;
 
     PendingAccess &pa = g->pending;
-    pa = PendingAccess{};
+    pa.reset();
     pa.active = true;
     pa.write = isStore;
 
@@ -681,7 +780,7 @@ Wpu::execMem(SimdGroup *g, const Instr &in, Cycle now)
 
     g->memPc = g->pc;
     g->pc = g->pc + 1; // threads resume past the access
-    g->state = GroupState::WaitMem;
+    setGroupState(g, GroupState::WaitMem);
     g->pendingMem = 0;
 
     issueLines(g, now);
@@ -694,11 +793,15 @@ Wpu::issueLines(SimdGroup *g, Cycle now)
     CacheArray &d = memsys.dcache(wpuId);
 
     // Bank-conflict queuing among the lines of this attempt: one extra
-    // cycle per additional line mapping to the same bank.
-    std::vector<int> bankUse(static_cast<size_t>(d.config().banks), 0);
+    // cycle per additional line mapping to the same bank. All three
+    // buffers are members so their storage is reused across issues.
+    scratchBankUse.assign(static_cast<size_t>(d.config().banks), 0);
+    std::vector<int> &bankUse = scratchBankUse;
 
-    std::vector<Addr> remaining;
-    std::vector<ThreadMask> remainingMasks;
+    scratchLines.clear();
+    scratchMasks.clear();
+    std::vector<Addr> &remaining = scratchLines;
+    std::vector<ThreadMask> &remainingMasks = scratchMasks;
     Cycle retryAt = 0;
     for (size_t i = 0; i < pa.lines.size(); i++) {
         const Addr lineA = pa.lines[i];
@@ -735,22 +838,16 @@ Wpu::issueLines(SimdGroup *g, Cycle now)
                 stats.threadMisses[static_cast<size_t>(
                         g->warp * cfg.wpu.simdWidth + lane)]++;
             }
-            const GroupId id = g->id;
-            const Cycle at = resp.readyAt;
-            events.schedule(at, [this, id, lanes, at] {
-                wake(id, lanes, at);
-            });
+            scheduleWake(g->id, lanes, resp.readyAt);
         }
     }
-    pa.lines = std::move(remaining);
-    pa.laneMasks = std::move(remainingMasks);
+    pa.lines.swap(remaining);
+    pa.laneMasks.swap(remainingMasks);
 
     if (!pa.lines.empty()) {
-        g->state = GroupState::WaitRetry;
+        setGroupState(g, GroupState::WaitRetry);
         g->readyAt = std::max(retryAt, now + 1);
-        const GroupId id = g->id;
-        const Cycle at = g->readyAt;
-        events.schedule(at, [this, id, at] { wakeRetry(id, at); });
+        scheduleWakeRetry(g->id, g->readyAt);
         return;
     }
     finalizeAccess(g, now);
@@ -759,20 +856,26 @@ Wpu::issueLines(SimdGroup *g, Cycle now)
 void
 Wpu::finalizeAccess(SimdGroup *g, Cycle now)
 {
-    PendingAccess pa = g->pending;
-    g->pending = PendingAccess{};
+    // Only the four outcome scalars survive the access; the line
+    // buffers are empty once every line has issued. No copy of the
+    // PendingAccess (and its vectors) is materialized.
+    const ThreadMask hitMask = g->pending.hitMask;
+    const ThreadMask missMask = g->pending.missMask;
+    Cycle hitReadyAt = g->pending.hitReadyAt;
+    const Cycle missReadyAt = g->pending.missReadyAt;
+    g->pending.reset();
 
-    if (pa.missMask != 0)
+    if (missMask != 0)
         stats.missAccesses++;
-    const bool divergent = pa.hitMask != 0 && pa.missMask != 0;
+    const bool divergent = hitMask != 0 && missMask != 0;
     if (divergent)
         stats.divergentAccesses++;
 
-    if (pa.hitReadyAt == 0)
-        pa.hitReadyAt = now + cfg.wpu.dcache.hitLatency;
+    if (hitReadyAt == 0)
+        hitReadyAt = now + cfg.wpu.dcache.hitLatency;
 
-    g->state = GroupState::WaitMem;
-    g->readyAt = pa.hitReadyAt;
+    setGroupState(g, GroupState::WaitMem);
+    g->readyAt = hitReadyAt;
 
     Warp &warp = warps[static_cast<size_t>(g->warp)];
 
@@ -785,27 +888,23 @@ Wpu::finalizeAccess(SimdGroup *g, Cycle now)
         wstTable.parked(g->warp) == 0 &&
         warpBarriers[static_cast<size_t>(g->warp)].empty() &&
         slipCtl.maySlip(popcount(warp.slippedMask()),
-                        popcount(pa.missMask))) {
+                        popcount(missMask))) {
         if (getenv("DWS_TRACE") && g->warp == 0)
             fprintf(stderr, "SLIP w%d pc=%d miss=%llx gmask=%llx\n",
                     g->warp, g->memPc,
-                    (unsigned long long)pa.missMask,
+                    (unsigned long long)missMask,
                     (unsigned long long)g->mask);
         warp.slipEntries.push_back(
-                SlipEntry{pa.missMask, g->memPc, pa.missReadyAt});
-        g->mask &= ~pa.missMask;
+                SlipEntry{missMask, g->memPc, missReadyAt});
+        g->mask &= ~missMask;
         g->pendingMem = 0;
         stats.slipsTaken++;
-        const GroupId id = g->id;
-        const Cycle at = std::max(pa.hitReadyAt, now + 1);
-        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+        scheduleWake(g->id, 0, std::max(hitReadyAt, now + 1));
         return;
     }
 
-    if (pa.missMask == 0) {
-        const GroupId id = g->id;
-        const Cycle at = std::max(pa.hitReadyAt, now + 1);
-        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+    if (missMask == 0) {
+        scheduleWake(g->id, 0, std::max(hitReadyAt, now + 1));
         return;
     }
 
@@ -813,7 +912,7 @@ Wpu::finalizeAccess(SimdGroup *g, Cycle now)
         const bool want =
                 policy.wantMemSplit(anyOtherReady(g), popcount(g->mask));
         if (want && wstTable.canSubdivide(g->warp)) {
-            memSplit(g, pa.hitMask, pa.hitReadyAt, now);
+            memSplit(g, hitMask, hitReadyAt, now);
             return;
         }
         if (want)
@@ -836,7 +935,8 @@ Wpu::memSplit(SimdGroup *g, ThreadMask readyMask, Cycle readyAt, Cycle now)
     // still find the waiting lanes.
     const ThreadMask miss = g->mask & ~readyMask;
     g->mask = miss;
-    g->frames = {Frame{g->pc, top.rpc, miss}};
+    g->frames.clear();
+    g->frames.push_back(Frame{g->pc, top.rpc, miss});
     g->barrier = b;
     g->branchLimited = bl;
     // state stays WaitMem; pendingMem already covers the missing lanes.
@@ -844,13 +944,9 @@ Wpu::memSplit(SimdGroup *g, ThreadMask readyMask, Cycle readyAt, Cycle now)
     // Run-ahead split: threads whose requests are satisfied.
     SimdGroup *run = createGroup(
             g->warp, g->pc, readyMask,
-            {Frame{g->pc, top.rpc, readyMask}}, b, GroupState::WaitMem, bl);
+            Frame{g->pc, top.rpc, readyMask}, b, GroupState::WaitMem, bl);
     run->readyAt = readyAt;
-    {
-        const GroupId id = run->id;
-        const Cycle at = std::max(readyAt, now + 1);
-        events.schedule(at, [this, id, at] { wake(id, 0, at); });
-    }
+    scheduleWake(run->id, 0, std::max(readyAt, now + 1));
 }
 
 void
@@ -859,7 +955,7 @@ Wpu::wakeRetry(GroupId id, Cycle now)
     SimdGroup *g = findGroup(id);
     if (!g || g->state != GroupState::WaitRetry || now < g->readyAt)
         return;
-    g->state = GroupState::Ready;
+    setGroupState(g, GroupState::Ready);
     sched.requestSlot(g);
 }
 
@@ -873,8 +969,7 @@ Wpu::wake(GroupId id, ThreadMask lanes, Cycle now)
     if (g->state != GroupState::WaitMem || g->pendingMem != 0)
         return;
     if (now < g->readyAt) {
-        const Cycle at = g->readyAt;
-        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+        scheduleWake(id, 0, g->readyAt);
         return;
     }
     becomeReady(g, now);
@@ -883,7 +978,7 @@ Wpu::wake(GroupId id, ThreadMask lanes, Cycle now)
 void
 Wpu::becomeReady(SimdGroup *g, Cycle now)
 {
-    g->state = GroupState::Ready;
+    setGroupState(g, GroupState::Ready);
     sched.requestSlot(g);
     if (!advanceControl(g))
         return;
@@ -980,7 +1075,7 @@ Wpu::execBar(SimdGroup *g, Cycle now)
               w, warpBarPc[static_cast<size_t>(w)], g->pc);
     }
     warpBarPc[static_cast<size_t>(w)] = g->pc;
-    g->state = GroupState::WaitBarrier;
+    setGroupState(g, GroupState::WaitBarrier);
     sched.releaseSlot(g);
     if (getenv("DWS_TRACE"))
         fprintf(stderr, "[%llu] BAR-ARRIVE wpu%d warp%d group%d pc=%d "
@@ -990,8 +1085,16 @@ Wpu::execBar(SimdGroup *g, Cycle now)
 }
 
 void
-Wpu::releaseKernelBarrier(Cycle now)
+Wpu::releaseKernelBarrier(Cycle now, WpuId releaser)
 {
+    // Stall accounting for the release cycle. The releaser's own tick
+    // is mid-flight and credits `now` itself (as an issue). WPUs after
+    // it in the tick order still tick at `now` post-release, so only
+    // their backlog before `now` belongs to the barrier wait; WPUs
+    // before it were already ticked or skipped at `now`, so the wait
+    // extends through `now` inclusive.
+    if (wpuId != releaser)
+        accountStallsBefore(wpuId > releaser ? now : now + 1);
     for (WarpId w = 0; w < cfg.wpu.numWarps; w++) {
         std::vector<SimdGroup *> waiting;
         for (SimdGroup *g : live) {
@@ -1017,17 +1120,16 @@ Wpu::releaseKernelBarrier(Cycle now)
         const ThreadMask alive = warp.alive();
         if (alive == 0)
             continue;
-        auto exitBar = std::make_shared<ReconvBarrier>();
+        BarrierRef exitBar = makeBarrier();
         exitBar->isExit = true;
         exitBar->pc = kPcExit;
         exitBar->expected = alive;
         exitBar->warp = w;
         SimdGroup *g = createGroup(
-                w, barPc + 1, alive, {Frame{barPc + 1, kPcExit, alive}},
+                w, barPc + 1, alive, Frame{barPc + 1, kPcExit, alive},
                 exitBar, GroupState::Ready, false);
         advanceControl(g);
     }
-    (void)now;
 }
 
 void
@@ -1164,7 +1266,7 @@ Wpu::slipHandleBoundary(SimdGroup *g, Cycle now)
     // Convert into a barrier re-convergence: the runner parks, the
     // suspended thread sets catch up to the boundary pc.
     const Frame top = g->frames.back();
-    auto b = std::make_shared<ReconvBarrier>();
+    BarrierRef b = makeBarrier();
     b->pc = g->pc;
     b->origRpc = top.rpc;
     b->expected = top.mask;
@@ -1218,14 +1320,12 @@ Wpu::spawnNextCatchup(const BarrierRef &b, Cycle now)
                            static_cast<std::ptrdiff_t>(best));
     const ThreadMask m = e.mask & ~warp.halted;
     SimdGroup *c = createGroup(
-            b->warp, e.pc, m, {Frame{e.pc, b->pc, m}}, b,
+            b->warp, e.pc, m, Frame{e.pc, b->pc, m}, b,
             e.readyAt <= now ? GroupState::Ready : GroupState::WaitMem,
             false);
     if (c->state == GroupState::WaitMem) {
         c->readyAt = e.readyAt;
-        const GroupId id = c->id;
-        const Cycle at = std::max(e.readyAt, now + 1);
-        events.schedule(at, [this, id, at] { wake(id, 0, at); });
+        scheduleWake(c->id, 0, std::max(e.readyAt, now + 1));
     }
 }
 
@@ -1239,20 +1339,18 @@ Wpu::slipReleaseOrphans(WarpId w, Cycle now)
         const ThreadMask m = e.mask & ~warp.halted;
         if (m == 0)
             continue;
-        auto exitBar = std::make_shared<ReconvBarrier>();
+        BarrierRef exitBar = makeBarrier();
         exitBar->isExit = true;
         exitBar->pc = kPcExit;
         exitBar->expected = m;
         exitBar->warp = w;
         SimdGroup *c = createGroup(
-                w, e.pc, m, {Frame{e.pc, kPcExit, m}}, exitBar,
+                w, e.pc, m, Frame{e.pc, kPcExit, m}, exitBar,
                 e.readyAt <= now ? GroupState::Ready : GroupState::WaitMem,
                 false);
         if (c->state == GroupState::WaitMem) {
             c->readyAt = e.readyAt;
-            const GroupId id = c->id;
-            const Cycle at = e.readyAt;
-            events.schedule(at, [this, id, at] { wake(id, 0, at); });
+            scheduleWake(c->id, 0, e.readyAt);
         }
     }
 }

@@ -19,6 +19,7 @@
 #ifndef DWS_WPU_WPU_HH
 #define DWS_WPU_WPU_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "wpu/arena.hh"
 #include "wpu/kernel_barrier.hh"
 #include "wpu/policy.hh"
 #include "wpu/scheduler.hh"
@@ -40,7 +42,7 @@
 namespace dws {
 
 /** One warp processing unit. */
-class Wpu
+class Wpu : public EventTarget
 {
   public:
     /**
@@ -70,6 +72,38 @@ class Wpu
      */
     bool tick(Cycle now);
 
+    /** Handle a WakeGroup/WakeRetry memory-completion event. */
+    void onSimEvent(const SimEvent &ev) override;
+
+    /**
+     * @return true if tick(now) could do anything beyond recording a
+     * stall. Quiescent WPUs (every group waiting on memory or a
+     * barrier) are skipped by System::run() and their stall cycles
+     * credited lazily by accountStallsBefore(). Policies with per-cycle
+     * duties (slip adaptation, revive probing, invariant audits) always
+     * tick.
+     */
+    bool
+    needsTick(Cycle now) const
+    {
+        if (finished())
+            return false;
+        if (alwaysTick_)
+            return true;
+        return sched.anyIssuableAt(now);
+    }
+
+    /**
+     * Credit every unaccounted cycle before `c` as a stall (or idle)
+     * cycle. Between two of a WPU's own ticks/events its group states
+     * cannot change, so the whole backlog shares one classification —
+     * the per-cycle classifyStall() result, summed.
+     */
+    void accountStallsBefore(Cycle c);
+
+    /** @return true while inside this WPU's own tick(). */
+    bool midTick() const { return inTick_; }
+
     /** @return true once every local thread has halted. */
     bool finished() const { return haltedThreads == numThreads; }
 
@@ -79,8 +113,14 @@ class Wpu
     /** Credit `n` fast-forwarded stall cycles (classified like now). */
     void addStallCycles(std::uint64_t n);
 
-    /** Collapse every warp to one group after a kernel barrier. */
-    void releaseKernelBarrier(Cycle now);
+    /**
+     * Collapse every warp to one group after a kernel barrier.
+     * @param releaser WPU whose tick triggered the release (-1 if
+     *        unknown); decides whether this WPU's current cycle is
+     *        still ahead of it in the tick order (see the accounting
+     *        note in the implementation).
+     */
+    void releaseKernelBarrier(Cycle now, WpuId releaser = -1);
 
     /** Per-WPU statistics. */
     WpuStats stats;
@@ -107,8 +147,39 @@ class Wpu
     SimdGroup *createGroup(WarpId w, Pc pc, ThreadMask mask,
                            std::vector<Frame> frames, BarrierRef barrier,
                            GroupState state, bool branchLimited);
+    /** Single-frame fast path: no vector materialized by the caller. */
+    SimdGroup *createGroup(WarpId w, Pc pc, ThreadMask mask,
+                           const Frame &frame, BarrierRef barrier,
+                           GroupState state, bool branchLimited);
+    SimdGroup *initGroup(SimdGroup *g, WarpId w, Pc pc, ThreadMask mask,
+                         BarrierRef barrier, GroupState state,
+                         bool branchLimited);
     void destroyGroup(SimdGroup *g);
     SimdGroup *findGroup(GroupId id);
+
+    /**
+     * The single mutation point for a live group's state: keeps the
+     * per-state census and the scheduler's ready list in sync.
+     */
+    void setGroupState(SimdGroup *g, GroupState s);
+
+    /** @return true if any live group waits on memory (stall class). */
+    bool
+    memWaiting() const
+    {
+        return stateCount[static_cast<size_t>(GroupState::WaitMem)] +
+                       stateCount[static_cast<size_t>(
+                               GroupState::WaitRetry)] >
+               0;
+    }
+
+    /** @return a pooled re-convergence barrier (fresh, default state). */
+    BarrierRef makeBarrier();
+
+    /** Schedule a memory-completion wake for group `id` at `at`. */
+    void scheduleWake(GroupId id, ThreadMask lanes, Cycle at);
+    /** Schedule a retry wake for group `id` at `at`. */
+    void scheduleWakeRetry(GroupId id, Cycle at);
 
     // --- control flow ---------------------------------------------------
     /**
@@ -127,6 +198,8 @@ class Wpu
     void recheckWarpBarriers(WarpId w);
 
     // --- issue path --------------------------------------------------
+    /** tick() body; the wrapper maintains accounting bookkeeping. */
+    bool tickImpl(Cycle now);
     SimdGroup *pickExecutable(Cycle now);
     void issue(SimdGroup *g, Cycle now);
     void execAlu(SimdGroup *g, const Instr &in);
@@ -200,9 +273,16 @@ class Wpu
     std::vector<std::vector<BarrierRef>> warpBarriers;
     std::vector<Pc> warpBarPc; ///< Bar pc each warp is parked at
 
-    std::vector<std::unique_ptr<SimdGroup>> groupStore;
+    /** Pooled storage for every SimdGroup this WPU creates. */
+    GroupArena groupArena;
     std::vector<SimdGroup *> live; ///< ascending id
     GroupId nextGroupId = 0;
+
+    /** Live groups per GroupState (indexed by the enum value). */
+    std::array<int, 6> stateCount{};
+
+    /** Freelist shared by every pooled ReconvBarrier control block. */
+    std::shared_ptr<PoolState> barrierPool = std::make_shared<PoolState>();
 
     WarpSplitTable wstTable;
     Scheduler sched;
@@ -210,6 +290,23 @@ class Wpu
 
     /** Invariant-audit cadence in cycles (0 = off); see runInvariantAudit. */
     Cycle auditCadence = 0;
+
+    /** Next cycle at which the audit-cadence check may fire. */
+    Cycle auditNext = 0;
+
+    /** First cycle not yet credited to a stats cycle counter. */
+    Cycle nextUnaccounted = 0;
+
+    /** True while inside this WPU's own tick() (barrier accounting). */
+    bool inTick_ = false;
+
+    /** Policy has per-cycle duties; never skip this WPU's ticks. */
+    bool alwaysTick_ = false;
+
+    /** Reused per-issue scratch buffers (issueLines). */
+    std::vector<int> scratchBankUse;
+    std::vector<Addr> scratchLines;
+    std::vector<ThreadMask> scratchMasks;
 
     /** Cycle of the most recent tick (for policy checks). */
     Cycle lastTickCycle = 0;

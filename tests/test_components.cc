@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "energy/energy.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -43,31 +45,92 @@ TEST(Mask, LaneIteration)
 
 // --- event queue -----------------------------------------------------
 
+/** Records delivered events; can chain-schedule one more on receipt. */
+struct RecordingTarget : EventTarget
+{
+    EventQueue *q = nullptr;
+    std::vector<SimEvent> got;
+    /** If set, scheduled (once) when the first event arrives. */
+    std::optional<SimEvent> chained;
+
+    void
+    onSimEvent(const SimEvent &ev) override
+    {
+        got.push_back(ev);
+        if (chained) {
+            q->schedule(*chained);
+            chained.reset();
+        }
+    }
+};
+
 TEST(EventQueue, FiresInCycleThenFifoOrder)
 {
     EventQueue q;
-    std::vector<int> order;
-    q.schedule(10, [&] { order.push_back(1); });
-    q.schedule(5, [&] { order.push_back(2); });
-    q.schedule(10, [&] { order.push_back(3); });
+    RecordingTarget t;
+    q.bindWpu(0, &t);
+    q.schedule(SimEvent{.when = 10, .kind = EventKind::WakeGroup,
+                        .wpu = 0, .group = 1});
+    q.schedule(SimEvent{.when = 5, .kind = EventKind::WakeGroup,
+                        .wpu = 0, .group = 2});
+    q.schedule(SimEvent{.when = 10, .kind = EventKind::WakeRetry,
+                        .wpu = 0, .group = 3});
     EXPECT_EQ(q.nextEventCycle(), 5u);
     q.runUntil(4);
-    EXPECT_TRUE(order.empty());
+    EXPECT_TRUE(t.got.empty());
     q.runUntil(10);
-    EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+    ASSERT_EQ(t.got.size(), 3u);
+    // Cycle order first, insertion order within a cycle.
+    EXPECT_EQ(t.got[0].group, 2);
+    EXPECT_EQ(t.got[1].group, 1);
+    EXPECT_EQ(t.got[2].group, 3);
+    EXPECT_EQ(t.got[2].kind, EventKind::WakeRetry);
     EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, CallbackMaySchedule)
+TEST(EventQueue, HandlerMaySchedule)
 {
     EventQueue q;
-    int fired = 0;
-    q.schedule(1, [&] {
-        fired++;
-        q.schedule(2, [&] { fired++; });
-    });
+    RecordingTarget t;
+    t.q = &q;
+    t.chained = SimEvent{.when = 2, .kind = EventKind::WakeGroup,
+                         .wpu = 0, .group = 7};
+    q.bindWpu(0, &t);
+    q.schedule(SimEvent{.when = 1, .kind = EventKind::WakeGroup,
+                        .wpu = 0, .group = 6});
     q.runUntil(5);
-    EXPECT_EQ(fired, 2);
+    ASSERT_EQ(t.got.size(), 2u);
+    EXPECT_EQ(t.got[1].group, 7);
+}
+
+TEST(EventQueue, RoutesByKindAndWpu)
+{
+    EventQueue q;
+    RecordingTarget wpu0, wpu1, memt;
+    q.bindWpu(0, &wpu0);
+    q.bindWpu(1, &wpu1);
+    q.bindMem(&memt);
+    q.schedule(SimEvent{.when = 1, .kind = EventKind::WakeGroup,
+                        .wpu = 1, .group = 4, .lanes = 0xf0});
+    q.schedule(SimEvent{.when = 1, .kind = EventKind::L1MshrRelease,
+                        .wpu = 0, .line = 0x100});
+    q.schedule(SimEvent{.when = 1, .kind = EventKind::L2MshrRelease,
+                        .line = 0x200});
+    q.runUntil(1);
+    EXPECT_TRUE(wpu0.got.empty());
+    ASSERT_EQ(wpu1.got.size(), 1u);
+    EXPECT_EQ(wpu1.got[0].lanes, 0xf0u);
+    ASSERT_EQ(memt.got.size(), 2u);
+    EXPECT_EQ(memt.got[0].line, 0x100u);
+    EXPECT_EQ(memt.got[1].line, 0x200u);
+}
+
+TEST(EventQueueDeathTest, UnboundTargetPanics)
+{
+    EventQueue q;
+    q.schedule(SimEvent{.when = 1, .kind = EventKind::WakeGroup,
+                        .wpu = 3, .group = 0});
+    EXPECT_DEATH(q.runUntil(1), "no bound target");
 }
 
 // --- rng --------------------------------------------------------------
@@ -125,10 +188,10 @@ TEST(Scheduler, RoundRobinAcrossGroups)
     std::vector<SimdGroup *> groups{&a, &b, &c};
     for (auto *g : groups)
         s.requestSlot(g);
-    SimdGroup *p1 = s.pick(groups, 4, 0);
-    SimdGroup *p2 = s.pick(groups, 4, 0);
-    SimdGroup *p3 = s.pick(groups, 4, 0);
-    SimdGroup *p4 = s.pick(groups, 4, 0);
+    SimdGroup *p1 = s.pick(0);
+    SimdGroup *p2 = s.pick(0);
+    SimdGroup *p3 = s.pick(0);
+    SimdGroup *p4 = s.pick(0);
     EXPECT_EQ(p1, &a);
     EXPECT_EQ(p2, &b);
     EXPECT_EQ(p3, &c);
@@ -139,14 +202,14 @@ TEST(Scheduler, SkipsUnissuable)
 {
     Scheduler s(4);
     SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 1);
-    std::vector<SimdGroup *> groups{&a, &b};
     s.requestSlot(&a);
     s.requestSlot(&b);
     a.state = GroupState::WaitMem;
-    EXPECT_EQ(s.pick(groups, 4, 0), &b);
-    b.readyAt = 10;
-    EXPECT_EQ(s.pick(groups, 4, 0), nullptr);
-    EXPECT_EQ(s.pick(groups, 4, 10), &b);
+    s.updateReady(&a); // direct state write: restore the list invariant
+    EXPECT_EQ(s.pick(0), &b);
+    b.readyAt = 10; // still Ready (listed), just not issuable yet
+    EXPECT_EQ(s.pick(0), nullptr);
+    EXPECT_EQ(s.pick(10), &b);
 }
 
 TEST(Scheduler, DeadGroupsDroppedFromQueue)

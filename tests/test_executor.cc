@@ -131,5 +131,113 @@ TEST(Executor, ParallelMatchesSerialForEveryKernelAndPolicy)
     }
 }
 
+// --- golden fingerprints ----------------------------------------------
+
+/**
+ * Strip the energy token from a fingerprint string. Energy is derived
+ * from the counters by floating-point arithmetic, so it is the one
+ * field whose text could legitimately drift under compiler or math
+ * changes; everything else must stay bit-identical.
+ */
+std::string
+stripEnergy(std::string s)
+{
+    const size_t at = s.find(" energy");
+    if (at == std::string::npos)
+        return s;
+    const size_t end = s.find('|', at);
+    s.erase(at, end == std::string::npos ? std::string::npos : end - at);
+    return s;
+}
+
+/** FNV-1a 64 over the (energy-stripped) fingerprint text. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+struct GoldenRow
+{
+    const char *policy;
+    const char *kernel;
+    std::uint64_t hash;
+};
+
+/**
+ * Hashes recorded from the tree BEFORE the event-queue/ready-list/arena
+ * hot-path refactor (the std::function event queue with per-tick linear
+ * scans). Any divergence here means the refactor changed simulated
+ * behavior, not just simulator speed. Regenerate only for intentional
+ * model changes, never to make a hot-path "optimization" pass.
+ */
+constexpr GoldenRow kGolden[] = {
+    {"Conv", "FFT", 0x8a9ba6708e49ca52ULL},
+    {"Conv", "Filter", 0xd68a559501047ea7ULL},
+    {"Conv", "HotSpot", 0xfb90e9933e571b43ULL},
+    {"Conv", "LU", 0xc550e7073e7dccfbULL},
+    {"Conv", "Merge", 0xe72493de2ffe16bfULL},
+    {"Conv", "Short", 0x872f6d0d42f56127ULL},
+    {"Conv", "KMeans", 0xfe30ac8640114c99ULL},
+    {"Conv", "SVM", 0x1134350f3d44253cULL},
+    {"DWS.AggressSplit", "FFT", 0x052e26f2891db04bULL},
+    {"DWS.AggressSplit", "Filter", 0x11ca01198bd88340ULL},
+    {"DWS.AggressSplit", "HotSpot", 0x16fb747f53da9931ULL},
+    {"DWS.AggressSplit", "LU", 0xf63da98af3998b68ULL},
+    {"DWS.AggressSplit", "Merge", 0x550f2b895d23dd09ULL},
+    {"DWS.AggressSplit", "Short", 0x94193ed3a064c1deULL},
+    {"DWS.AggressSplit", "KMeans", 0x85f043588c0b325fULL},
+    {"DWS.AggressSplit", "SVM", 0x4fc9d30e3aa6d236ULL},
+    {"DWS.ReviveSplit", "FFT", 0x9757c2fb2bf78d47ULL},
+    {"DWS.ReviveSplit", "Filter", 0xd0005ae95e148ebaULL},
+    {"DWS.ReviveSplit", "HotSpot", 0xa920aa36c9eedc71ULL},
+    {"DWS.ReviveSplit", "LU", 0x2dc05f0f79154584ULL},
+    {"DWS.ReviveSplit", "Merge", 0xdc14a9488b0373b7ULL},
+    {"DWS.ReviveSplit", "Short", 0x653bf80b7b450331ULL},
+    {"DWS.ReviveSplit", "KMeans", 0x64e2af41948dfb84ULL},
+    {"DWS.ReviveSplit", "SVM", 0x31a731a5aa873e42ULL},
+    {"Slip", "FFT", 0xe954352d0854b5efULL},
+    {"Slip", "Filter", 0x5788471f0d61f5a2ULL},
+    {"Slip", "HotSpot", 0x776e5577f27eb1c5ULL},
+    {"Slip", "LU", 0xfbba1e0901bc0ef5ULL},
+    {"Slip", "Merge", 0xb3885097cd2be5e8ULL},
+    {"Slip", "Short", 0x9850052c2f16e907ULL},
+    {"Slip", "KMeans", 0x43cc431a992caff2ULL},
+    {"Slip", "SVM", 0x39627c4351c836c3ULL},
+};
+
+PolicyConfig
+policyByName(const std::string &name)
+{
+    if (name == "Conv")
+        return PolicyConfig::conv();
+    if (name == "DWS.AggressSplit")
+        return PolicyConfig::dws(SplitScheme::Aggressive);
+    if (name == "DWS.ReviveSplit")
+        return PolicyConfig::reviveSplit();
+    if (name == "Slip")
+        return PolicyConfig::adaptiveSlip();
+    ADD_FAILURE() << "unknown policy " << name;
+    return PolicyConfig::conv();
+}
+
+TEST(GoldenFingerprints, EveryKernelAndPolicyMatchesPreRefactorTree)
+{
+    for (const GoldenRow &row : kGolden) {
+        const SystemConfig cfg =
+                SystemConfig::table3(policyByName(row.policy));
+        const RunResult r = runKernel(row.kernel, cfg, KernelScale::Tiny);
+        ASSERT_TRUE(r.valid) << row.policy << "/" << row.kernel;
+        const std::string fp = stripEnergy(r.stats.fingerprint());
+        EXPECT_EQ(fnv1a(fp), row.hash)
+                << row.policy << "/" << row.kernel << ": " << fp;
+    }
+}
+
 } // namespace
 } // namespace dws

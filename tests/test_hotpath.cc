@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the hot-path machinery added with the event-driven core:
+ * the scheduler's incrementally maintained ready list, the SimdGroup
+ * arena, the pooled barrier allocator, and an end-to-end run with
+ * every-cycle invariant audits (which include the ready-list and
+ * state-census checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "wpu/arena.hh"
+#include "wpu/frame.hh"
+#include "wpu/scheduler.hh"
+
+namespace dws {
+namespace {
+
+SimdGroup
+mkGroup(GroupId id, WarpId warp)
+{
+    SimdGroup g;
+    g.id = id;
+    g.warp = warp;
+    g.mask = 1;
+    g.state = GroupState::Ready;
+    return g;
+}
+
+// --- ready list -------------------------------------------------------
+
+TEST(ReadyList, SlotGrantInsertsAndReleaseRemoves)
+{
+    Scheduler s(1);
+    SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 0);
+    s.requestSlot(&a);
+    s.requestSlot(&b); // queued: no slot, so not ready-listed
+    ASSERT_EQ(s.readyList().size(), 1u);
+    EXPECT_EQ(s.readyList()[0], &a);
+    EXPECT_TRUE(a.inReadyList);
+    EXPECT_FALSE(b.inReadyList);
+    // Releasing a's slot grants it to b, swapping list membership.
+    s.releaseSlot(&a);
+    ASSERT_EQ(s.readyList().size(), 1u);
+    EXPECT_EQ(s.readyList()[0], &b);
+    EXPECT_FALSE(a.inReadyList);
+    EXPECT_TRUE(b.inReadyList);
+}
+
+TEST(ReadyList, TracksStateTransitions)
+{
+    Scheduler s(4);
+    SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 0), c = mkGroup(2, 1);
+    s.requestSlot(&a);
+    s.requestSlot(&b);
+    s.requestSlot(&c);
+    ASSERT_EQ(s.readyList().size(), 3u);
+
+    b.state = GroupState::WaitMem;
+    s.updateReady(&b);
+    ASSERT_EQ(s.readyList().size(), 2u);
+    EXPECT_FALSE(b.inReadyList);
+
+    // WaitRetry counts as schedulable; re-insert lands in id order.
+    b.state = GroupState::WaitRetry;
+    s.updateReady(&b);
+    ASSERT_EQ(s.readyList().size(), 3u);
+    EXPECT_EQ(s.readyList()[0]->id, 0);
+    EXPECT_EQ(s.readyList()[1]->id, 1);
+    EXPECT_EQ(s.readyList()[2]->id, 2);
+
+    // Idempotent: re-filing a member keeps exactly one entry.
+    s.updateReady(&b);
+    EXPECT_EQ(s.readyList().size(), 3u);
+}
+
+TEST(ReadyList, AnyIssuableRespectsReadyAt)
+{
+    Scheduler s(2);
+    SimdGroup a = mkGroup(0, 0);
+    s.requestSlot(&a);
+    a.readyAt = 5;
+    EXPECT_FALSE(s.anyIssuableAt(4));
+    EXPECT_TRUE(s.anyIssuableAt(5));
+    a.state = GroupState::WaitReconv;
+    s.updateReady(&a);
+    EXPECT_FALSE(s.anyIssuableAt(5));
+}
+
+TEST(ReadyList, PickScansOnlyReadyGroups)
+{
+    Scheduler s(4);
+    SimdGroup a = mkGroup(0, 0), b = mkGroup(1, 1), c = mkGroup(2, 2);
+    s.requestSlot(&a);
+    s.requestSlot(&b);
+    s.requestSlot(&c);
+    b.state = GroupState::WaitMem;
+    s.updateReady(&b);
+    EXPECT_EQ(s.pick(0), &a);
+    EXPECT_EQ(s.pick(0), &c); // b not considered
+    EXPECT_EQ(s.pick(0), &a); // wrapped
+}
+
+TEST(ReadyListDeathTest, DesyncedMembershipFlagPanics)
+{
+    Scheduler s(2);
+    SimdGroup a = mkGroup(0, 0);
+    a.inReadyList = true; // forged: never inserted
+    EXPECT_DEATH(s.updateReady(&a), "inReadyList");
+}
+
+// --- group arena ------------------------------------------------------
+
+TEST(GroupArena, RecyclesStorage)
+{
+    GroupArena arena;
+    SimdGroup *g = arena.acquire();
+    EXPECT_EQ(arena.allocated(), 1u);
+    g->id = 7;
+    g->mask = 0xf;
+    g->state = GroupState::WaitMem;
+    g->frames.push_back(Frame{4, 8, 0xf});
+    g->pending.active = true;
+    g->pending.lines.push_back(0x100);
+
+    arena.release(g);
+    EXPECT_EQ(arena.freeCount(), 1u);
+
+    // Same storage comes back, fully reset but with vector capacity.
+    SimdGroup *g2 = arena.acquire();
+    EXPECT_EQ(g2, g);
+    EXPECT_EQ(arena.allocated(), 1u);
+    EXPECT_EQ(arena.freeCount(), 0u);
+    EXPECT_EQ(g2->id, -1);
+    EXPECT_EQ(g2->mask, 0u);
+    EXPECT_EQ(g2->state, GroupState::Ready);
+    EXPECT_TRUE(g2->frames.empty());
+    EXPECT_FALSE(g2->pending.active);
+    EXPECT_TRUE(g2->pending.lines.empty());
+    EXPECT_GE(g2->frames.capacity(), 1u);
+}
+
+TEST(GroupArena, AddressesStayStableAcrossGrowth)
+{
+    GroupArena arena;
+    std::vector<SimdGroup *> all;
+    for (int i = 0; i < 100; i++) {
+        all.push_back(arena.acquire());
+        all.back()->id = i;
+    }
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(all[static_cast<size_t>(i)]->id, i);
+}
+
+// --- barrier pool -----------------------------------------------------
+
+TEST(BarrierPool, ReusesControlBlocks)
+{
+    auto pool = std::make_shared<PoolState>();
+    auto b1 = std::allocate_shared<ReconvBarrier>(
+            PoolAlloc<ReconvBarrier>(pool));
+    EXPECT_EQ(pool->served, 1u);
+    EXPECT_EQ(pool->reused, 0u);
+    b1.reset(); // block returns to the freelist
+    auto b2 = std::allocate_shared<ReconvBarrier>(
+            PoolAlloc<ReconvBarrier>(pool));
+    EXPECT_EQ(pool->served, 2u);
+    EXPECT_EQ(pool->reused, 1u);
+}
+
+TEST(BarrierPool, SurvivesOwnerDroppingItsHandle)
+{
+    // The control block holds a PoolAlloc copy, which keeps the shared
+    // PoolState alive: a barrier outliving its WPU must still be able
+    // to return its block on destruction (ASan would flag this).
+    BarrierRef survivor;
+    {
+        auto pool = std::make_shared<PoolState>();
+        survivor = std::allocate_shared<ReconvBarrier>(
+                PoolAlloc<ReconvBarrier>(pool));
+        survivor->pc = 42;
+    } // the "owner's" handle is gone
+    EXPECT_EQ(survivor->pc, 42);
+    survivor.reset(); // deallocates through the surviving PoolState
+}
+
+// --- end-to-end with every-cycle audits -------------------------------
+
+TEST(HotPathAudits, EveryCycleInvariantAuditsPassUnderSubdivision)
+{
+    // checkInvariants=1 runs the full audit (including the ready-list
+    // and state-census checks) every cycle, and forces the always-tick
+    // path so lazily accounted WPUs are still audited.
+    SystemConfig cfg = SystemConfig::table3(PolicyConfig::reviveSplit());
+    cfg.checkInvariants = 1;
+    EXPECT_TRUE(runKernel("SVM", cfg, KernelScale::Tiny).valid);
+
+    SystemConfig slip = SystemConfig::table3(PolicyConfig::adaptiveSlip());
+    slip.checkInvariants = 1;
+    EXPECT_TRUE(runKernel("Short", slip, KernelScale::Tiny).valid);
+}
+
+} // namespace
+} // namespace dws

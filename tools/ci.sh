@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full CI sweep: Release build + tests + static lint, then an
+# Full CI sweep: Release build + tests + static lint + the simulator
+# throughput benchmark (archived to BENCH_throughput.json), then an
 # ASan+UBSan build that re-runs the tests and an every-cycle invariant
 # audit of a DWS.ReviveSplit run of every kernel (paper Fig. 9 config,
 # tiny scale), then a TSan build that exercises the parallel sweep
@@ -23,6 +24,11 @@ ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
 echo "=== Release: dws_lint --all ==="
 ./build-ci-release/tools/dws_lint --all
 
+echo "=== Release: simulator throughput benchmark ==="
+./build-ci-release/bench/bench_throughput --fast \
+    --json BENCH_throughput.json
+echo "  archived BENCH_throughput.json"
+
 echo "=== ASan+UBSan: configure + build ==="
 cmake -S . -B build-ci-asan -DCMAKE_BUILD_TYPE=Debug \
       -DDWS_ASAN=ON -DDWS_UBSAN=ON >/dev/null
@@ -43,8 +49,8 @@ cmake -S . -B build-ci-tsan -DCMAKE_BUILD_TYPE=Debug \
       -DDWS_TSAN=ON >/dev/null
 cmake --build build-ci-tsan -j "$JOBS"
 
-echo "=== TSan: executor determinism + ordering tests ==="
-./build-ci-tsan/tests/dws_tests --gtest_filter='Executor.*'
+echo "=== TSan: executor determinism + hot-path structure tests ==="
+./build-ci-tsan/tests/dws_tests --gtest_filter='Executor.*:GoldenFingerprints.*:ReadyList*.*:GroupArena.*:BarrierPool.*:HotPathAudits.*'
 
 echo "=== TSan: multi-job figure bench ==="
 ./build-ci-tsan/bench/bench_fig13_schemes --fast --jobs 4 >/dev/null
