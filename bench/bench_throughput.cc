@@ -15,12 +15,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_util.hh"
 #include "kernels/kernel.hh"
+#include "sim/json_writer.hh"
 
 namespace dws {
 namespace {
@@ -42,7 +44,8 @@ Cell
 timeCell(const std::string &policy, const PolicyConfig &pol,
          const std::string &kernel, KernelScale scale)
 {
-    const SystemConfig cfg = SystemConfig::table3(pol);
+    const SystemConfig cfg =
+            withBenchTrace(SystemConfig::table3(pol), policy, kernel);
     runKernel(kernel, cfg, scale); // warm-up
     const auto t0 = std::chrono::steady_clock::now();
     const RunResult r = runKernel(kernel, cfg, scale);
@@ -59,25 +62,24 @@ timeCell(const std::string &policy, const PolicyConfig &pol,
 void
 writeJson(const std::string &path, const std::vector<Cell> &cells)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
+    std::ofstream f(path, std::ios::trunc);
+    if (!f.is_open())
         fatal("cannot open %s for writing", path.c_str());
-    std::fprintf(f, "[\n");
-    for (size_t i = 0; i < cells.size(); i++) {
-        const Cell &c = cells[i];
-        std::fprintf(f,
-                     "  {\"policy\": \"%s\", \"kernel\": \"%s\", "
-                     "\"sim_cycles\": %llu, \"scalar_instrs\": %llu, "
-                     "\"wall_ms\": %.3f, \"sim_cycles_per_s\": %.6e, "
-                     "\"scalar_instrs_per_s\": %.6e}%s\n",
-                     c.policy.c_str(), c.kernel.c_str(),
-                     (unsigned long long)c.cycles,
-                     (unsigned long long)c.instrs, c.wallMs,
-                     c.cyclesPerSec(), c.instrsPerSec(),
-                     i + 1 < cells.size() ? "," : "");
+    JsonWriter w(f);
+    w.beginArray();
+    for (const Cell &c : cells) {
+        w.beginObject();
+        w.field("policy", c.policy);
+        w.field("kernel", c.kernel);
+        w.field("sim_cycles", c.cycles);
+        w.field("scalar_instrs", c.instrs);
+        w.field("wall_ms", c.wallMs);
+        w.field("sim_cycles_per_s", c.cyclesPerSec());
+        w.field("scalar_instrs_per_s", c.instrsPerSec());
+        w.endObject();
     }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
+    w.endArray();
+    f << '\n';
     std::printf("wrote %zu records to %s\n", cells.size(), path.c_str());
 }
 

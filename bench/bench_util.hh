@@ -31,7 +31,8 @@ runBenchmarks(SweepExecutor &ex, const std::string &label,
     std::vector<SweepJob> jobs;
     jobs.reserve(names.size());
     for (const auto &name : names)
-        jobs.push_back(SweepJob{name, cfg, opts.scale, label});
+        jobs.push_back(SweepJob{name, withBenchTrace(cfg, label, name),
+                                opts.scale, label});
     return ex.runBatch(std::move(jobs));
 }
 

@@ -345,6 +345,33 @@ InvariantChecker::auditWpu(const Wpu &w, Cycle now)
                 format("%d leaked L2 MSHR entries (readyAt < now)",
                        l2Leaks));
 
+    // Tracer occupancy mirrors: every split/WST/MSHR mutation must
+    // flow through a trace hook, so the tracer's live counters must
+    // agree with the structures themselves. A drift means a mutation
+    // path bypassed its hook (or the tracer double-counted).
+    if (const Tracer *t = w.trace_) {
+        if (t->liveGroups(w.id()) != static_cast<int>(w.live.size()))
+            ctx.add(-1, -1, kPcExit,
+                    format("tracer mirrors %d live groups, %zu exist",
+                           t->liveGroups(w.id()), w.live.size()));
+        if (t->wstInUse(w.id()) != w.wstTable.inUse())
+            ctx.add(-1, -1, kPcExit,
+                    format("tracer mirrors %d WST entries, table holds "
+                           "%d",
+                           t->wstInUse(w.id()), w.wstTable.inUse()));
+        if (t->l1MshrInUse(w.id()) !=
+            w.memsys.l1MshrFile(w.id()).inUse())
+            ctx.add(-1, -1, kPcExit,
+                    format("tracer mirrors %d L1 MSHRs, file holds %d",
+                           t->l1MshrInUse(w.id()),
+                           w.memsys.l1MshrFile(w.id()).inUse()));
+        if (t->l2MshrInUse() != w.memsys.l2MshrFile().inUse())
+            ctx.add(-1, -1, kPcExit,
+                    format("tracer mirrors %d L2 MSHRs, file holds %d",
+                           t->l2MshrInUse(),
+                           w.memsys.l2MshrFile().inUse()));
+    }
+
     // Static divergence soundness: a branch the compiler pass proved
     // uniform must never be observed divergent at runtime.
     if (w.stats.staticDivergenceMispredicts > 0)

@@ -1,41 +1,13 @@
 #include "harness/executor.hh"
 
 #include <chrono>
-#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
+#include "sim/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace dws {
-
-namespace {
-
-/** Minimal JSON string escaping (labels are plain ASCII in practice). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-} // namespace
 
 int
 SweepExecutor::defaultJobs()
@@ -153,31 +125,33 @@ void
 SweepExecutor::writeJson(const std::string &path) const
 {
     const std::vector<Record> recs = records();
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
+    std::ofstream f(path, std::ios::trunc);
+    if (!f.is_open())
         fatal("cannot write JSON results to '%s'", path.c_str());
     double totalMs = 0.0;
     for (const auto &r : recs)
         totalMs += r.wallMs;
-    std::fprintf(f, "{\n  \"jobs\": %d,\n  \"total_wall_ms\": %.3f,\n"
-                    "  \"results\": [\n",
-                 numWorkers, totalMs);
-    for (size_t i = 0; i < recs.size(); i++) {
-        const Record &r = recs[i];
-        std::fprintf(f,
-                     "    {\"label\": \"%s\", \"kernel\": \"%s\", "
-                     "\"policy\": \"%s\", \"cycles\": %llu, "
-                     "\"energy_nj\": %.6f, \"wall_ms\": %.3f, "
-                     "\"valid\": %s}%s\n",
-                     jsonEscape(r.label).c_str(),
-                     jsonEscape(r.kernel).c_str(),
-                     jsonEscape(r.policy).c_str(),
-                     (unsigned long long)r.cycles, r.energyNj, r.wallMs,
-                     r.valid ? "true" : "false",
-                     i + 1 < recs.size() ? "," : "");
+
+    JsonWriter w(f);
+    w.beginObject();
+    w.field("jobs", numWorkers);
+    w.field("total_wall_ms", totalMs);
+    w.key("results");
+    w.beginArray();
+    for (const Record &r : recs) {
+        w.beginObject();
+        w.field("label", r.label);
+        w.field("kernel", r.kernel);
+        w.field("policy", r.policy);
+        w.field("cycles", r.cycles);
+        w.field("energy_nj", r.energyNj);
+        w.field("wall_ms", r.wallMs);
+        w.field("valid", r.valid);
+        w.endObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    w.endArray();
+    w.endObject();
+    f << '\n';
 }
 
 } // namespace dws

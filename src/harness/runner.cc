@@ -22,6 +22,10 @@ runKernel(const std::string &kernelName, const SystemConfig &cfg,
     r.policy = cfg.policy.name();
     r.stats = sys.run();
     r.valid = kernel->validate(sys.memory());
+    if (const Tracer *t = sys.tracer()) {
+        r.traceRecords = t->recordsTotal();
+        r.traceDropped = t->dropped();
+    }
     if (!r.valid)
         warn("%s/%s: output failed validation", kernelName.c_str(),
              r.policy.c_str());

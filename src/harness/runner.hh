@@ -25,6 +25,10 @@ struct RunResult
     std::string kernel;
     /** Policy name. */
     std::string policy;
+    /** Trace records emitted (0 when tracing is off). */
+    std::uint64_t traceRecords = 0;
+    /** Trace records lost to ring overflow (sink-less tracing only). */
+    std::uint64_t traceDropped = 0;
 };
 
 /**

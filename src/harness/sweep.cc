@@ -7,8 +7,61 @@
 
 #include "kernels/kernel.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace dws {
+
+namespace {
+
+/** Bench-wide trace options, set once by parseBenchArgs. */
+int gBenchTraceMode = 0;
+std::string gBenchTraceOut;
+
+std::string
+sanitizeToken(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        out.push_back(ok ? c : '-');
+    }
+    return out;
+}
+
+} // namespace
+
+void
+setBenchTrace(int traceMode, const std::string &traceOutPattern)
+{
+    gBenchTraceMode = traceMode;
+    gBenchTraceOut = traceOutPattern;
+}
+
+SystemConfig
+withBenchTrace(SystemConfig cfg, const std::string &label,
+               const std::string &kernel)
+{
+    if (gBenchTraceMode == 0)
+        return cfg;
+    cfg.traceMode = gBenchTraceMode;
+    if (!gBenchTraceOut.empty()) {
+        const std::string job =
+                sanitizeToken(label) + "." + sanitizeToken(kernel);
+        const size_t dot = gBenchTraceOut.rfind('.');
+        const size_t slash = gBenchTraceOut.find_last_of('/');
+        if (dot != std::string::npos &&
+            (slash == std::string::npos || dot > slash)) {
+            cfg.traceOut = gBenchTraceOut.substr(0, dot) + "." + job +
+                           gBenchTraceOut.substr(dot);
+        } else {
+            cfg.traceOut = gBenchTraceOut + "." + job;
+        }
+    }
+    return cfg;
+}
 
 PolicyRun
 PendingRun::get()
@@ -32,7 +85,9 @@ runAllAsync(const std::string &label, const SystemConfig &cfg,
             benchmarks.empty() ? kernelNames() : benchmarks;
     for (const auto &name : names) {
         pending.futures.emplace_back(
-                name, ex.submit(SweepJob{name, cfg, scale, label}));
+                name, ex.submit(SweepJob{name,
+                                         withBenchTrace(cfg, label, name),
+                                         scale, label}));
     }
     return pending;
 }
@@ -49,7 +104,8 @@ runAll(const std::string &label, const SystemConfig &cfg,
     const std::vector<std::string> &names =
             benchmarks.empty() ? kernelNames() : benchmarks;
     for (const auto &name : names) {
-        const RunResult r = runKernel(name, cfg, scale);
+        const RunResult r =
+                runKernel(name, withBenchTrace(cfg, label, name), scale);
         out.stats[name] = r.stats;
     }
     return out;
@@ -84,7 +140,8 @@ printUsage(const char *prog)
         names += (names.empty() ? "" : ", ") + n;
     std::fprintf(stderr,
                  "usage: %s [--fast|--full] [--bench NAME]... "
-                 "[--jobs N] [--json FILE]\n"
+                 "[--jobs N] [--json FILE] "
+                 "[--trace[=MODE]] [--trace-out FILE]\n"
                  "  --fast        tiny kernel inputs (wide sweeps)\n"
                  "  --full        default (paper-scale) kernel inputs\n"
                  "  --bench NAME  restrict to one benchmark "
@@ -92,6 +149,12 @@ printUsage(const char *prog)
                  "  --jobs N      simulation worker threads "
                  "(default: DWS_JOBS env, else hardware cores)\n"
                  "  --json FILE   write per-job results as JSON\n"
+                 "  --trace[=MODE]   trace every run; MODE is events, "
+                 "timeline or all (default all)\n"
+                 "  --trace-out FILE trace file pattern; each job "
+                 "writes FILE.<label>.<kernel>.<ext>\n"
+                 "                   (.dwst binary, .jsonl JSON-lines, "
+                 ".json Perfetto)\n"
                  "  --help        this message\n"
                  "benchmarks: %s\n",
                  prog, names.c_str());
@@ -140,6 +203,22 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
                 fatal("--json requires a file path");
             }
             opts.jsonPath = argv[++i];
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            opts.traceMode = static_cast<int>(TraceMode::All);
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            const TraceMode m = parseTraceMode(arg + 8);
+            if (m == TraceMode::Off) {
+                printUsage(argv[0]);
+                fatal("--trace mode must be events, timeline or all, "
+                      "got '%s'", arg + 8);
+            }
+            opts.traceMode = static_cast<int>(m);
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--trace-out requires a file path");
+            }
+            opts.traceOut = argv[++i];
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             printUsage(argv[0]);
@@ -149,6 +228,11 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
             fatal("unknown argument '%s'", arg);
         }
     }
+    if (opts.traceMode == 0 && !opts.traceOut.empty()) {
+        printUsage(argv[0]);
+        fatal("--trace-out requires --trace");
+    }
+    setBenchTrace(opts.traceMode, opts.traceOut);
     return opts;
 }
 

@@ -97,6 +97,8 @@ double hmeanSpeedup(const PolicyRun &base, const PolicyRun &test);
  *   --bench NAME  restrict to one benchmark (repeatable)
  *   --jobs N      worker threads (default: DWS_JOBS env, else cores)
  *   --json FILE   write per-job machine-readable results
+ *   --trace[=events|timeline|all]  trace every run (default all)
+ *   --trace-out FILE  per-job trace files FILE.<label>.<kernel>.<ext>
  *   --help        print usage and exit
  *
  * Unknown flags and unknown benchmark names are rejected with a usage
@@ -110,7 +112,26 @@ struct BenchOptions
     int jobs = 0;
     /** Path for the JSON results file; empty = none. */
     std::string jsonPath;
+    /** TraceMode as an int (sim/config.hh); 0 = off. */
+    int traceMode = 0;
+    /** Trace file pattern; empty = trace to rings only (no file). */
+    std::string traceOut;
 };
+
+/**
+ * Record the bench-wide trace options (parseBenchArgs calls this);
+ * runAll/runAllAsync/runBenchmarks then stamp every job's config.
+ */
+void setBenchTrace(int traceMode, const std::string &traceOutPattern);
+
+/**
+ * @return cfg with the bench-wide trace options applied. A non-empty
+ * pattern "base.ext" yields the per-job file "base.<label>.<kernel>.ext"
+ * so parallel sweep jobs never share a sink (label sanitized to
+ * [A-Za-z0-9_-]).
+ */
+SystemConfig withBenchTrace(SystemConfig cfg, const std::string &label,
+                            const std::string &kernel);
 
 BenchOptions parseBenchArgs(int argc, char **argv,
                             KernelScale defaultScale =

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "sim/logging.hh"
+#include "trace/sinks.hh"
 
 namespace dws {
 
@@ -16,10 +17,32 @@ System::System(const SystemConfig &sysCfg, const Kernel &kernel)
       memsys(sysCfg, events)
 {
     kernel.initMemory(mem);
+#ifndef DWS_TRACE_DISABLED
+    if (cfg.traceMode != 0) {
+        tracer_ = std::make_unique<Tracer>(
+                cfg.numWpus, cfg.wpu.simdWidth,
+                static_cast<TraceMode>(cfg.traceMode), cfg.traceEpoch,
+                cfg.traceRingCap);
+        traceEpochNext_ = tracer_->epoch();
+        if (!cfg.traceOut.empty()) {
+            auto sink = makeTraceSink(cfg.traceOut);
+            if (sink)
+                tracer_->setSink(std::move(sink));
+            else
+                std::fprintf(stderr,
+                             "warning: cannot open trace output %s; "
+                             "tracing to ring buffers only\n",
+                             cfg.traceOut.c_str());
+        }
+        memsys.setTracer(tracer_.get());
+        events.setTracer(tracer_.get());
+    }
+#endif
     const int perWpu = cfg.wpu.numThreads();
     for (WpuId i = 0; i < cfg.numWpus; i++) {
         wpus.push_back(std::make_unique<Wpu>(
                 i, cfg, prog, mem, memsys, events, &kbar));
+        wpus.back()->setTracer(tracer_.get());
         kbar.addWpu(wpus.back().get());
     }
     kbar.setAliveThreads(cfg.totalThreads());
@@ -45,6 +68,7 @@ System::run()
 
     while (!finished()) {
         events.runUntil(cycle);
+        DWS_TRACE(tracer_.get(), advanceTo(cycle));
         bool any = false;
         for (auto &w : wpus) {
             // Evaluate per WPU immediately before its tick: an earlier
@@ -53,6 +77,14 @@ System::run()
             if (w->needsTick(cycle))
                 any |= w->tick(cycle);
         }
+#ifndef DWS_TRACE_DISABLED
+        // Sample the metrics timeline once per epoch boundary; a
+        // fast-forward skip collapses the boundaries it jumped over
+        // into the next sample (deltas stay exact — they are
+        // cumulative-counter differences).
+        if (tracer_ && tracer_->timelineOn() && cycle >= traceEpochNext_)
+            sampleTraceEpoch();
+#endif
         if (finished()) {
             cycle++;
             break;
@@ -90,7 +122,27 @@ System::run()
                   (unsigned long long)maxCycles);
         }
     }
+    if (tracer_) {
+        DWS_TRACE(tracer_.get(), advanceTo(cycle));
+        tracer_->finish();
+    }
     return collect();
+}
+
+void
+System::attachTraceSink(std::unique_ptr<TraceSink> sink)
+{
+    if (tracer_)
+        tracer_->setSink(std::move(sink));
+}
+
+void
+System::sampleTraceEpoch()
+{
+    for (auto &w : wpus)
+        tracer_->epochSample(w->id(), w->traceSample());
+    traceEpochNext_ =
+            (cycle / tracer_->epoch() + 1) * tracer_->epoch();
 }
 
 RunStats

@@ -17,6 +17,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 #include "wpu/kernel_barrier.hh"
 #include "wpu/wpu.hh"
 
@@ -55,11 +56,29 @@ class System
     /** @return current simulated cycle. */
     Cycle now() const { return cycle; }
 
+    /**
+     * @return the tracer, or nullptr when cfg.traceMode is off.
+     * Purely observational: enabling it never changes RunStats.
+     */
+    Tracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Attach the sink trace records flush through. Overrides the sink
+     * the constructor opened from cfg.traceOut (tests pass an
+     * in-memory stream). No-op when tracing is off. Call before
+     * run(): records already buffered in the rings are retained, but
+     * a ring that filled earlier has already dropped its overflow.
+     */
+    void attachTraceSink(std::unique_ptr<TraceSink> sink);
+
     /** Energy parameters applied when collecting statistics. */
     EnergyParams energyParams{};
 
   private:
     RunStats collect() const;
+    void sampleTraceEpoch();
+
+    std::unique_ptr<Tracer> tracer_;
 
     SystemConfig cfg;
     Program prog;
@@ -69,6 +88,8 @@ class System
     KernelBarrier kbar;
     std::vector<std::unique_ptr<Wpu>> wpus;
     Cycle cycle = 0;
+    /** Next metrics-timeline sample boundary (timeline mode only). */
+    Cycle traceEpochNext_ = 0;
 };
 
 } // namespace dws

@@ -84,8 +84,13 @@ CacheArray::allocate(Addr line, Cycle now,
     }
     if (!victim)
         return nullptr;
-    if (victim->valid() && evictCb)
-        evictCb(victim->tag, victim->state);
+    if (victim->valid()) {
+        DWS_TRACE(trace_, cacheEvict(traceOwner_, victim->tag,
+                                     static_cast<std::uint32_t>(
+                                             victim->state)));
+        if (evictCb)
+            evictCb(victim->tag, victim->state);
+    }
     *victim = CacheLine{};
     victim->tag = line;
     victim->lastUse = now + 1;

@@ -19,6 +19,7 @@
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace dws {
 
@@ -116,8 +117,23 @@ class CacheArray
     /** @return cache name. */
     const std::string &name() const { return name_; }
 
+    /**
+     * Attach the tracer for eviction records (nullptr = off).
+     * @param owner the record's wpu field: the owning WPU for an L1,
+     *              kTraceSystemWpu for the L2
+     */
+    void
+    setTracer(Tracer *t, std::uint8_t owner)
+    {
+        trace_ = t;
+        traceOwner_ = owner;
+    }
+
   private:
     int setIndex(Addr line) const;
+
+    Tracer *trace_ = nullptr;
+    std::uint8_t traceOwner_ = kTraceSystemWpu;
 
     CacheConfig cfg_;
     std::string name_;

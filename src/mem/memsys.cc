@@ -24,14 +24,34 @@ MemSystem::MemSystem(const SystemConfig &sysCfg, EventQueue &eq)
 }
 
 void
+MemSystem::setTracer(Tracer *t)
+{
+    trace_ = t;
+    for (int w = 0; w < cfg.numWpus; w++) {
+        dcaches_[static_cast<size_t>(w)]->setTracer(
+                t, static_cast<std::uint8_t>(w));
+        icaches_[static_cast<size_t>(w)]->setTracer(
+                t, static_cast<std::uint8_t>(w));
+    }
+    l2_->setTracer(t, kTraceSystemWpu);
+}
+
+void
 MemSystem::onSimEvent(const SimEvent &ev)
 {
     switch (ev.kind) {
-      case EventKind::L1MshrRelease:
-        l1Mshrs[static_cast<size_t>(ev.wpu)].release(ev.line);
+      case EventKind::L1MshrRelease: {
+        MshrFile &f = l1Mshrs[static_cast<size_t>(ev.wpu)];
+        f.release(ev.line);
+        DWS_TRACE(trace_, mshr(false, false, ev.wpu, ev.line,
+                               static_cast<std::uint32_t>(f.inUse())));
         break;
+      }
       case EventKind::L2MshrRelease:
         l2Mshrs.release(ev.line);
+        DWS_TRACE(trace_, mshr(false, true, 0, ev.line,
+                               static_cast<std::uint32_t>(
+                                       l2Mshrs.inUse())));
         break;
       default:
         panic("memory system got non-MSHR event %s",
@@ -99,12 +119,14 @@ MemSystem::accessData(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
             if (write)
                 line->state = CoherState::Modified;
             d.touch(line, now);
+            DWS_TRACE(trace_, cacheAccess(wpu, true));
             return LineResponse{
                 .l1Hit = true,
                 .readyAt = now + cfg.wpu.dcache.hitLatency + bankDelay};
         }
         // Write to a Shared copy: upgrade via GetX (counts as a miss).
         d.stats.writeMisses++;
+        DWS_TRACE(trace_, cacheAccess(wpu, false));
         return missPath(wpu, lineAddr, true, bankDelay, now, line, false);
     }
 
@@ -115,6 +137,7 @@ MemSystem::accessData(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
             return LineResponse{.retry = true, .readyAt = mshr->readyAt};
         }
         d.stats.coalescedRequests++;
+        DWS_TRACE(trace_, cacheAccess(wpu, false));
         if (write && !mshr->write) {
             // The in-flight fill only requested S/E; upgrade after it
             // lands: one more round trip through the directory.
@@ -149,6 +172,7 @@ MemSystem::accessData(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
         d.stats.writeMisses++;
     else
         d.stats.readMisses++;
+    DWS_TRACE(trace_, cacheAccess(wpu, false));
     return missPath(wpu, lineAddr, write, bankDelay, now, nullptr, false);
 }
 
@@ -234,6 +258,9 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
         l2l->readyAt = t;
         if (l2Mshrs.available()) {
             l2Mshrs.allocate(lineAddr, t, write);
+            DWS_TRACE(trace_, mshr(true, true, 0, lineAddr,
+                                   static_cast<std::uint32_t>(
+                                           l2Mshrs.inUse())));
             events.schedule(SimEvent{.when = t,
                                      .kind = EventKind::L2MshrRelease,
                                      .line = lineAddr});
@@ -294,6 +321,8 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
     l1.touch(fill, now);
 
     mshrs.allocate(lineAddr, t, write);
+    DWS_TRACE(trace_, mshr(true, false, wpu, lineAddr,
+                           static_cast<std::uint32_t>(mshrs.inUse())));
     events.schedule(SimEvent{.when = t,
                              .kind = EventKind::L1MshrRelease,
                              .wpu = wpu,

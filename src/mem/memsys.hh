@@ -112,6 +112,13 @@ class MemSystem : public EventTarget
     /** @return line size in bytes of the D-caches. */
     int lineBytes() const { return cfg.wpu.dcache.lineBytes; }
 
+    /**
+     * Attach the tracer (nullptr = off): cache hit/miss bursts and
+     * MSHR fill/drain records, plus eviction records from the cache
+     * arrays themselves. Purely observational.
+     */
+    void setTracer(Tracer *t);
+
   private:
     /**
      * Shared miss path: request hop, L2 (hit/serialize/miss+DRAM),
@@ -131,6 +138,7 @@ class MemSystem : public EventTarget
 
     SystemConfig cfg;
     EventQueue &events;
+    Tracer *trace_ = nullptr;
 
     std::vector<std::unique_ptr<CacheArray>> icaches_;
     std::vector<std::unique_ptr<CacheArray>> dcaches_;

@@ -247,6 +247,29 @@ struct SystemConfig
     Cycle checkInvariants = 0;
 #endif
 
+    /**
+     * Structured tracing (src/trace/, DESIGN.md §11). 0 = off,
+     * 1 = events, 2 = timeline, 3 = all; mirrors trace::TraceMode
+     * (kept as an int here so this header stays dependency-free).
+     * None of these fields affect simulation results: a traced run and
+     * an untraced run produce identical RunStats fingerprints.
+     */
+    int traceMode = 0;
+
+    /**
+     * Trace output path. Format by extension: `.jsonl` JSON-lines,
+     * `.json` Perfetto, anything else compact binary. Empty with
+     * tracing on = record into the ring buffers only (tests attach a
+     * sink directly; overflow is counted, not fatal).
+     */
+    std::string traceOut;
+
+    /** Metrics-timeline sampling interval in cycles. */
+    Cycle traceEpoch = 1024;
+
+    /** Per-WPU trace ring capacity in records (32 B each). */
+    std::uint32_t traceRingCap = 4096;
+
     /** @return total thread contexts across all WPUs. */
     int totalThreads() const { return numWpus * wpu.numThreads(); }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace dws {
 
@@ -86,6 +87,14 @@ class EventQueue
     /** Bind the handler of MSHR-release events (the memory system). */
     void bindMem(EventTarget *t) { memTarget = t; }
 
+    /**
+     * Attach the tracer (nullptr = off). Dispatch advances trace time
+     * to each event's firing cycle so MSHR-drain records are stamped
+     * with the cycle the release actually happens, not the cycle the
+     * run loop catches up.
+     */
+    void setTracer(Tracer *t) { trace_ = t; }
+
     /** Schedule an event at absolute cycle ev.when (>= current cycle). */
     void
     schedule(const SimEvent &ev)
@@ -118,6 +127,7 @@ class EventQueue
             // schedule new events.
             const SimEvent ev = heap.top().ev;
             heap.pop();
+            DWS_TRACE(trace_, advanceTo(ev.when));
             dispatch(ev);
         }
     }
@@ -145,6 +155,7 @@ class EventQueue
     std::vector<EventTarget *> wpuTargets;
     /** MSHR-release handler. */
     EventTarget *memTarget = nullptr;
+    Tracer *trace_ = nullptr;
 };
 
 } // namespace dws

@@ -1,0 +1,142 @@
+#include "sim/json_writer.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dws {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newline()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size() * indent_; ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::beforeElement()
+{
+    if (afterKey_) {
+        // Value directly follows its key; key() already did the comma.
+        afterKey_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        if (stack_.back())
+            os_ << ',';
+        stack_.back() = true;
+        newline();
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeElement();
+    os_ << '{';
+    stack_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    bool hadElems = !stack_.empty() && stack_.back();
+    stack_.pop_back();
+    if (hadElems)
+        newline();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeElement();
+    os_ << '[';
+    stack_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    bool hadElems = !stack_.empty() && stack_.back();
+    stack_.pop_back();
+    if (hadElems)
+        newline();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    beforeElement();
+    os_ << '"' << jsonEscape(k) << (indent_ > 0 ? "\": " : "\":");
+    afterKey_ = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    beforeElement();
+    os_ << '"' << jsonEscape(v) << '"';
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeElement();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeElement();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    beforeElement();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beforeElement();
+    os_ << v;
+}
+
+} // namespace dws

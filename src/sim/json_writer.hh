@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A small escaping-correct JSON emitter shared by everything that
+ * writes JSON: the sweep executor's `--json` records, the throughput
+ * bench, the trace subsystem's JSON-lines and Perfetto sinks, and the
+ * `dws_trace` CLI. Replaces the ad-hoc fprintf emission that was
+ * duplicated (with subtly different escaping bugs) across the bench
+ * binaries.
+ *
+ * The writer is a push-down emitter: begin/end objects and arrays nest
+ * freely, commas and (optional) indentation are inserted automatically,
+ * and every string value passes through jsonEscape(). It does not
+ * buffer: output goes straight to the ostream.
+ */
+
+#ifndef DWS_SIM_JSON_WRITER_HH
+#define DWS_SIM_JSON_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dws {
+
+/** @return s with every character JSON demands escaped, escaped. */
+std::string jsonEscape(std::string_view s);
+
+/** Streaming JSON emitter with automatic commas and escaping. */
+class JsonWriter
+{
+  public:
+    /**
+     * @param os     destination stream (not owned; must outlive writer)
+     * @param indent spaces per nesting level; 0 emits compact
+     *               single-line JSON (used for JSON-lines records)
+     */
+    explicit JsonWriter(std::ostream &os, int indent = 2)
+        : os_(os), indent_(indent)
+    {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next value (inside an object). */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(bool v);
+    void value(double v);
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+    /** key(k) + value(v) in one call. */
+    template <typename T>
+    void
+    field(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+  private:
+    /** Comma/newline/indent bookkeeping before any new element. */
+    void beforeElement();
+    void newline();
+
+    std::ostream &os_;
+    int indent_;
+    /** One frame per open container: has it emitted an element yet? */
+    std::vector<bool> stack_;
+    /** A key was just written; the next value follows inline. */
+    bool afterKey_ = false;
+};
+
+} // namespace dws
+
+#endif // DWS_SIM_JSON_WRITER_HH

@@ -1,0 +1,231 @@
+#include "trace/perfetto.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "sim/json_writer.hh"
+
+namespace dws {
+
+const char *
+traceGroupStateName(std::uint32_t s)
+{
+    // Order mirrors wpu/simd_group.hh GroupState (checked in wpu.cc).
+    switch (s) {
+      case 0: return "Ready";
+      case 1: return "WaitMem";
+      case 2: return "WaitRetry";
+      case 3: return "WaitReconv";
+      case 4: return "WaitBarrier";
+      case 5: return "Dead";
+    }
+    return "?";
+}
+
+namespace {
+
+using TrackKey = std::pair<std::uint8_t, std::uint32_t>; // (wpu, group)
+
+struct OpenSlice
+{
+    std::uint64_t start = 0;
+    std::uint32_t state = 0;
+};
+
+void
+emitMeta(JsonWriter &w, std::uint8_t pid, const char *what,
+         const std::string &name, const std::uint32_t *tid)
+{
+    w.beginObject();
+    w.field("ph", "M");
+    w.field("pid", static_cast<std::uint64_t>(pid));
+    if (tid)
+        w.field("tid", static_cast<std::uint64_t>(*tid));
+    w.field("name", what);
+    w.key("args");
+    w.beginObject();
+    w.field("name", name);
+    w.endObject();
+    w.endObject();
+}
+
+void
+emitSlice(JsonWriter &w, std::uint8_t pid, std::uint32_t tid,
+          std::uint64_t start, std::uint64_t end, std::uint32_t state)
+{
+    w.beginObject();
+    w.field("ph", "X");
+    w.field("pid", static_cast<std::uint64_t>(pid));
+    w.field("tid", static_cast<std::uint64_t>(tid));
+    w.field("ts", start);
+    w.field("dur", end > start ? end - start : 1);
+    w.field("name", traceGroupStateName(state));
+    w.endObject();
+}
+
+void
+emitInstant(JsonWriter &w, std::uint8_t pid, std::uint32_t tid,
+            std::uint64_t ts, const char *name, const TraceRecord &r)
+{
+    w.beginObject();
+    w.field("ph", "i");
+    w.field("pid", static_cast<std::uint64_t>(pid));
+    w.field("tid", static_cast<std::uint64_t>(tid));
+    w.field("ts", ts);
+    w.field("s", "t");
+    w.field("name", name);
+    w.key("args");
+    w.beginObject();
+    w.field("mask", r.mask);
+    w.field("arg0", static_cast<std::uint64_t>(r.arg0));
+    w.field("arg1", static_cast<std::uint64_t>(r.arg1));
+    w.endObject();
+    w.endObject();
+}
+
+void
+emitCounter(JsonWriter &w, std::uint8_t pid, std::uint64_t ts,
+            const char *name,
+            std::initializer_list<std::pair<const char *, std::uint64_t>>
+                series)
+{
+    w.beginObject();
+    w.field("ph", "C");
+    w.field("pid", static_cast<std::uint64_t>(pid));
+    w.field("ts", ts);
+    w.field("name", name);
+    w.key("args");
+    w.beginObject();
+    for (const auto &[k, v] : series)
+        w.field(k, v);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writePerfetto(std::ostream &os, const TraceFileHeader &hdr,
+              const std::vector<TraceRecord> &records)
+{
+    JsonWriter w(os, /*indent=*/0);
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+
+    std::set<std::uint8_t> wpusSeen;
+    std::set<TrackKey> tracksSeen;
+    std::map<TrackKey, OpenSlice> open;
+    std::uint64_t lastCycle = 0;
+
+    auto notePid = [&](std::uint8_t pid) {
+        if (!wpusSeen.insert(pid).second)
+            return;
+        std::string name = pid == kTraceSystemWpu
+                               ? std::string("L2 / system")
+                               : "WPU " + std::to_string(pid);
+        emitMeta(w, pid, "process_name", name, nullptr);
+    };
+    auto noteTrack = [&](const TraceRecord &r) {
+        notePid(r.wpu);
+        TrackKey key{r.wpu, r.group};
+        if (!tracksSeen.insert(key).second)
+            return;
+        std::string name = "warp " + std::to_string(r.warp) + " split " +
+                           std::to_string(r.group);
+        emitMeta(w, r.wpu, "thread_name", name, &r.group);
+    };
+
+    for (const auto &r : records) {
+        auto kind = static_cast<TraceKind>(r.kind);
+        if (r.cycle > lastCycle)
+            lastCycle = r.cycle;
+        TrackKey key{r.wpu, r.group};
+        switch (kind) {
+          case TraceKind::GroupCreate:
+            noteTrack(r);
+            open[key] = OpenSlice{r.cycle, r.arg1};
+            emitInstant(w, r.wpu, r.group, r.cycle, "GroupCreate", r);
+            break;
+          case TraceKind::StateChange: {
+            noteTrack(r);
+            auto it = open.find(key);
+            if (it != open.end())
+                emitSlice(w, r.wpu, r.group, it->second.start, r.cycle,
+                          it->second.state);
+            open[key] = OpenSlice{r.cycle, r.arg1};
+            break;
+          }
+          case TraceKind::GroupDestroy: {
+            noteTrack(r);
+            auto it = open.find(key);
+            if (it != open.end()) {
+                emitSlice(w, r.wpu, r.group, it->second.start, r.cycle,
+                          it->second.state);
+                open.erase(it);
+            }
+            emitInstant(w, r.wpu, r.group, r.cycle, "GroupDestroy", r);
+            break;
+          }
+          case TraceKind::SplitBranch:
+          case TraceKind::SplitMem:
+          case TraceKind::SplitRevive:
+          case TraceKind::MergePc:
+          case TraceKind::MergeStack:
+            noteTrack(r);
+            emitInstant(w, r.wpu, r.group, r.cycle, traceKindName(kind), r);
+            break;
+          case TraceKind::EpochExec:
+            notePid(r.wpu);
+            emitCounter(w, r.wpu, r.cycle, "exec",
+                        {{"issued", r.arg0},
+                         {"scalar", r.arg1},
+                         {"ready", r.group}});
+            break;
+          case TraceKind::EpochOcc:
+            notePid(r.wpu);
+            emitCounter(w, r.wpu, r.cycle, "occupancy",
+                        {{"wst", r.arg0},
+                         {"mshr", r.arg1},
+                         {"slots", r.group}});
+            break;
+          case TraceKind::EpochRate:
+            notePid(r.wpu);
+            emitCounter(w, r.wpu, r.cycle, "rates",
+                        {{"splits", r.arg0},
+                         {"merges", r.arg1},
+                         {"revives", r.group}});
+            break;
+          case TraceKind::CacheBurst:
+            notePid(r.wpu);
+            emitCounter(w, r.wpu, r.cycle, "cache",
+                        {{"hits", r.arg0}, {"misses", r.arg1}});
+            break;
+          default:
+            // Slot/WST/MSHR/frame/barrier records carry no track of
+            // their own; they are visible via `dws_trace dump`.
+            break;
+        }
+    }
+
+    // Close every slice still open at the end of the run.
+    for (const auto &[key, slice] : open)
+        emitSlice(w, key.first, key.second, slice.start, lastCycle + 1,
+                  slice.state);
+
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.key("otherData");
+    w.beginObject();
+    w.field("numWpus", hdr.numWpus);
+    w.field("simdWidth", hdr.simdWidth);
+    w.field("epochCycles", hdr.epoch);
+    w.field("mode", traceModeName(static_cast<TraceMode>(hdr.mode)));
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace dws

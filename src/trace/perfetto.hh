@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) export: one process per WPU,
+ * one track (thread) per warp-split, duration slices per group state,
+ * instant markers for splits/merges/revives, and counter tracks from
+ * the metrics-timeline epochs. Shared by the PerfettoTraceSink and
+ * `dws_trace convert`.
+ */
+
+#ifndef DWS_TRACE_PERFETTO_HH
+#define DWS_TRACE_PERFETTO_HH
+
+#include <ostream>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace dws {
+
+/**
+ * Mirror of wpu/simd_group.hh GroupState names, indexed by the raw
+ * value the hooks record (order is static_assert-checked in wpu.cc).
+ */
+const char *traceGroupStateName(std::uint32_t s);
+
+/** Emit the whole trace as Chrome trace-event JSON. */
+void writePerfetto(std::ostream &os, const TraceFileHeader &hdr,
+                   const std::vector<TraceRecord> &records);
+
+} // namespace dws
+
+#endif // DWS_TRACE_PERFETTO_HH

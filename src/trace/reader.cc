@@ -1,0 +1,278 @@
+#include "trace/reader.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace dws {
+
+bool
+readTraceFile(const std::string &path, TraceData &out, std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        err = "cannot open " + path;
+        return false;
+    }
+    in.seekg(0, std::ios::end);
+    auto size = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0, std::ios::beg);
+
+    if (size < sizeof(TraceFileHeader)) {
+        err = path + ": too small for a trace header (" +
+              std::to_string(size) + " bytes)";
+        return false;
+    }
+    in.read(reinterpret_cast<char *>(&out.header), sizeof(out.header));
+    if (std::memcmp(out.header.magic, "DWSTRACE", 8) != 0) {
+        err = path + ": bad magic (not a dws binary trace)";
+        return false;
+    }
+    if (out.header.byteOrder != kTraceByteOrderProbe) {
+        err = path + ": foreign byte order";
+        return false;
+    }
+    if (out.header.version != kTraceFormatVersion) {
+        err = path + ": unsupported format version " +
+              std::to_string(out.header.version);
+        return false;
+    }
+    if (out.header.recordSize != sizeof(TraceRecord)) {
+        err = path + ": record size " +
+              std::to_string(out.header.recordSize) + " != " +
+              std::to_string(sizeof(TraceRecord));
+        return false;
+    }
+
+    std::uint64_t body = size - sizeof(TraceFileHeader);
+    out.hasFooter = false;
+    std::uint64_t recordBytes = body;
+    if (body >= sizeof(TraceFileFooter) &&
+        (body - sizeof(TraceFileFooter)) % sizeof(TraceRecord) == 0) {
+        // Probe for the footer at the end of the file.
+        in.seekg(-static_cast<std::streamoff>(sizeof(TraceFileFooter)),
+                 std::ios::end);
+        TraceFileFooter foot{};
+        in.read(reinterpret_cast<char *>(&foot), sizeof(foot));
+        if (std::memcmp(foot.magic, "DWSTFOOT", 8) == 0) {
+            out.footer = foot;
+            out.hasFooter = true;
+            recordBytes = body - sizeof(TraceFileFooter);
+        }
+        in.seekg(sizeof(TraceFileHeader), std::ios::beg);
+    }
+    if (recordBytes % sizeof(TraceRecord) != 0) {
+        err = path + ": truncated mid-record (" +
+              std::to_string(recordBytes) + " record bytes)";
+        return false;
+    }
+
+    out.records.resize(recordBytes / sizeof(TraceRecord));
+    if (!out.records.empty())
+        in.read(reinterpret_cast<char *>(out.records.data()),
+                static_cast<std::streamsize>(recordBytes));
+    if (!in.good()) {
+        err = path + ": short read";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+checkTrace(const TraceData &t)
+{
+    std::vector<std::string> problems;
+    auto add = [&](std::string msg) { problems.push_back(std::move(msg)); };
+
+    if (!t.hasFooter)
+        add("no footer: trace was truncated or the run did not finish");
+
+    if (t.hasFooter && t.footer.records != t.records.size())
+        add("footer says " + std::to_string(t.footer.records) +
+            " records, file holds " + std::to_string(t.records.size()));
+
+    std::uint64_t checksum = traceFnv1a(
+        t.records.data(), t.records.size() * sizeof(TraceRecord));
+    if (t.hasFooter && t.footer.checksum != checksum)
+        add("checksum mismatch: file is corrupt");
+
+    std::uint64_t lastCycle = 0;
+    std::map<std::uint8_t, std::uint64_t> perWpuLast;
+    std::size_t badKinds = 0, nonMonotonic = 0;
+    for (std::size_t i = 0; i < t.records.size(); ++i) {
+        const auto &r = t.records[i];
+        if (r.kind == 0 || r.kind > kTraceKindMax) {
+            if (badKinds++ == 0)
+                add("record " + std::to_string(i) + ": unknown kind " +
+                    std::to_string(r.kind));
+        }
+        if (r.wpu != kTraceSystemWpu && r.wpu >= t.header.numWpus)
+            add("record " + std::to_string(i) + ": wpu " +
+                std::to_string(r.wpu) + " out of range");
+        auto [it, fresh] = perWpuLast.try_emplace(r.wpu, r.cycle);
+        if (!fresh) {
+            // Cycles within one WPU's stream never go backwards: the
+            // tracer's clock is monotonic and rings flush in order.
+            if (r.cycle < it->second && nonMonotonic++ == 0)
+                add("record " + std::to_string(i) + ": wpu " +
+                    std::to_string(r.wpu) + " cycle " +
+                    std::to_string(r.cycle) + " after " +
+                    std::to_string(it->second));
+            it->second = r.cycle;
+        }
+        if (r.cycle > lastCycle)
+            lastCycle = r.cycle;
+    }
+    if (badKinds > 1)
+        add(std::to_string(badKinds) + " records with unknown kinds total");
+    if (nonMonotonic > 1)
+        add(std::to_string(nonMonotonic) + " non-monotonic records total");
+    if (t.hasFooter && !t.records.empty() &&
+        t.footer.lastCycle != lastCycle)
+        add("footer last cycle " + std::to_string(t.footer.lastCycle) +
+            " != observed " + std::to_string(lastCycle));
+
+    return problems;
+}
+
+void
+writeTraceSummary(std::ostream &os, const TraceData &t)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "trace: %zu records, %u wpus, simd %u, mode %s, epoch %"
+                  PRIu64 "\n",
+                  t.records.size(), t.header.numWpus, t.header.simdWidth,
+                  traceModeName(static_cast<TraceMode>(t.header.mode)),
+                  t.header.epoch);
+    os << line;
+    if (t.hasFooter) {
+        std::snprintf(line, sizeof(line),
+                      "footer: %" PRIu64 " records, %" PRIu64
+                      " dropped, last cycle %" PRIu64 "\n",
+                      t.footer.records, t.footer.dropped,
+                      t.footer.lastCycle);
+        os << line;
+    } else {
+        os << "footer: missing (truncated trace)\n";
+    }
+
+    std::uint64_t counts[kTraceKindMax + 1] = {};
+    std::map<std::uint8_t, std::uint64_t> perWpu;
+    std::uint64_t firstCycle = ~std::uint64_t(0), lastCycle = 0;
+    std::uint32_t peakWst = 0, peakMshr = 0;
+    for (const auto &r : t.records) {
+        if (r.kind <= kTraceKindMax)
+            ++counts[r.kind];
+        ++perWpu[r.wpu];
+        if (r.cycle < firstCycle)
+            firstCycle = r.cycle;
+        if (r.cycle > lastCycle)
+            lastCycle = r.cycle;
+        auto kind = static_cast<TraceKind>(r.kind);
+        if ((kind == TraceKind::WstAlloc || kind == TraceKind::WstPark) &&
+            r.arg0 > peakWst)
+            peakWst = r.arg0;
+        if (kind == TraceKind::MshrFill && r.arg0 > peakMshr)
+            peakMshr = r.arg0;
+    }
+    if (!t.records.empty()) {
+        std::snprintf(line, sizeof(line),
+                      "cycles: %" PRIu64 " .. %" PRIu64 "\n", firstCycle,
+                      lastCycle);
+        os << line;
+    }
+
+    std::uint64_t splits = counts[int(TraceKind::SplitBranch)] +
+                           counts[int(TraceKind::SplitMem)] +
+                           counts[int(TraceKind::SplitRevive)];
+    std::uint64_t merges = counts[int(TraceKind::MergePc)] +
+                           counts[int(TraceKind::MergeStack)];
+    std::snprintf(line, sizeof(line),
+                  "splits: %" PRIu64 " (branch %" PRIu64 ", mem %" PRIu64
+                  ", revive %" PRIu64 "), merges: %" PRIu64
+                  " (pc %" PRIu64 ", stack %" PRIu64 ")\n",
+                  splits, counts[int(TraceKind::SplitBranch)],
+                  counts[int(TraceKind::SplitMem)],
+                  counts[int(TraceKind::SplitRevive)], merges,
+                  counts[int(TraceKind::MergePc)],
+                  counts[int(TraceKind::MergeStack)]);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "peak occupancy seen: wst %u, l1 mshr %u\n", peakWst,
+                  peakMshr);
+    os << line;
+
+    os << "records by kind:\n";
+    for (int k = 1; k <= kTraceKindMax; ++k) {
+        if (!counts[k])
+            continue;
+        std::snprintf(line, sizeof(line), "  %-12s %10" PRIu64 "\n",
+                      traceKindName(static_cast<TraceKind>(k)), counts[k]);
+        os << line;
+    }
+    os << "records by wpu:\n";
+    for (const auto &[wpu, n] : perWpu) {
+        if (wpu == kTraceSystemWpu)
+            std::snprintf(line, sizeof(line), "  %-12s %10" PRIu64 "\n",
+                          "sys", n);
+        else
+            std::snprintf(line, sizeof(line), "  wpu %-8u %10" PRIu64 "\n",
+                          wpu, n);
+        os << line;
+    }
+}
+
+namespace {
+
+void
+printRecord(std::ostream &os, const char *tag, std::size_t i,
+            const TraceRecord &r)
+{
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "  %s[%zu]: cycle %" PRIu64 " %s wpu %u warp %u group %u"
+                  " mask 0x%" PRIx64 " arg0 %u arg1 %u\n",
+                  tag, i, r.cycle,
+                  traceKindName(static_cast<TraceKind>(r.kind)), r.wpu,
+                  r.warp, r.group, r.mask, r.arg0, r.arg1);
+    os << line;
+}
+
+} // namespace
+
+long long
+diffTraces(std::ostream &os, const TraceData &a, const TraceData &b)
+{
+    if (a.header.numWpus != b.header.numWpus ||
+        a.header.simdWidth != b.header.simdWidth ||
+        a.header.epoch != b.header.epoch || a.header.mode != b.header.mode) {
+        os << "headers differ (wpus/simd/epoch/mode)\n";
+        return 0;
+    }
+    std::size_t n = std::min(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (std::memcmp(&a.records[i], &b.records[i],
+                        sizeof(TraceRecord)) != 0) {
+            os << "first divergence at record " << i << ":\n";
+            printRecord(os, "A", i, a.records[i]);
+            printRecord(os, "B", i, b.records[i]);
+            return static_cast<long long>(i);
+        }
+    }
+    if (a.records.size() != b.records.size()) {
+        os << "traces identical for " << n << " records, then A has "
+           << a.records.size() << " and B has " << b.records.size()
+           << " total\n";
+        const auto &longer = a.records.size() > b.records.size() ? a : b;
+        printRecord(os, a.records.size() > b.records.size() ? "A" : "B", n,
+                    longer.records[n]);
+        return static_cast<long long>(n);
+    }
+    os << "traces identical (" << n << " records)\n";
+    return -1;
+}
+
+} // namespace dws

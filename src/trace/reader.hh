@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reading and analyzing binary trace files: load, structural
+ * validation (`dws_trace check`), human summary, and first-divergence
+ * diff. Library functions so tests can exercise them without
+ * shelling out to the CLI.
+ */
+
+#ifndef DWS_TRACE_READER_HH
+#define DWS_TRACE_READER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace dws {
+
+/** A fully loaded binary trace. */
+struct TraceData
+{
+    TraceFileHeader header{};
+    std::vector<TraceRecord> records;
+    TraceFileFooter footer{};
+    bool hasFooter = false;
+};
+
+/**
+ * Load @p path. @return false (with @p err set) on malformed header,
+ * foreign byte order, or short read. A missing/truncated footer loads
+ * successfully with hasFooter=false; checkTrace reports it.
+ */
+bool readTraceFile(const std::string &path, TraceData &out,
+                   std::string &err);
+
+/**
+ * Structural validation. @return every problem found (empty = clean):
+ * missing footer, record-count/checksum/last-cycle mismatches,
+ * unknown record kinds, non-monotonic cycles within a WPU stream.
+ */
+std::vector<std::string> checkTrace(const TraceData &t);
+
+/** Human-readable aggregate summary (`dws_trace summary`). */
+void writeTraceSummary(std::ostream &os, const TraceData &t);
+
+/**
+ * Compare two traces; report the first divergent record (or length /
+ * header difference) on @p os. @return -1 if identical, else the
+ * index of the first divergence (header/meta differences report
+ * index 0).
+ */
+long long diffTraces(std::ostream &os, const TraceData &a,
+                     const TraceData &b);
+
+} // namespace dws
+
+#endif // DWS_TRACE_READER_HH

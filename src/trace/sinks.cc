@@ -1,0 +1,134 @@
+#include "trace/sinks.hh"
+
+#include "sim/json_writer.hh"
+#include "trace/perfetto.hh"
+
+namespace dws {
+
+// ---------------------------------------------------------------- binary
+
+void
+BinaryTraceSink::begin(const TraceFileHeader &hdr)
+{
+    out().write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
+}
+
+void
+BinaryTraceSink::write(const TraceRecord *recs, std::size_t n)
+{
+    out().write(reinterpret_cast<const char *>(recs),
+                static_cast<std::streamsize>(n * sizeof(TraceRecord)));
+}
+
+void
+BinaryTraceSink::end(const TraceFileFooter &foot)
+{
+    out().write(reinterpret_cast<const char *>(&foot), sizeof(foot));
+    out().flush();
+}
+
+// ----------------------------------------------------------------- jsonl
+
+void
+writeRecordJson(std::ostream &os, const TraceRecord &r)
+{
+    JsonWriter w(os, /*indent=*/0);
+    w.beginObject();
+    w.field("cycle", r.cycle);
+    w.field("kind", traceKindName(static_cast<TraceKind>(r.kind)));
+    if (r.wpu == kTraceSystemWpu)
+        w.field("wpu", "sys");
+    else
+        w.field("wpu", static_cast<std::uint64_t>(r.wpu));
+    w.field("warp", static_cast<std::uint64_t>(r.warp));
+    w.field("group", static_cast<std::uint64_t>(r.group));
+    w.field("mask", r.mask);
+    w.field("arg0", static_cast<std::uint64_t>(r.arg0));
+    w.field("arg1", static_cast<std::uint64_t>(r.arg1));
+    w.endObject();
+}
+
+void
+JsonlTraceSink::begin(const TraceFileHeader &hdr)
+{
+    JsonWriter w(out(), /*indent=*/0);
+    w.beginObject();
+    w.field("meta", "dws-trace");
+    w.field("version", static_cast<std::uint64_t>(hdr.version));
+    w.field("num_wpus", static_cast<std::uint64_t>(hdr.numWpus));
+    w.field("simd_width", static_cast<std::uint64_t>(hdr.simdWidth));
+    w.field("epoch", hdr.epoch);
+    w.field("mode",
+            traceModeName(static_cast<TraceMode>(hdr.mode)));
+    w.endObject();
+    out() << '\n';
+}
+
+void
+JsonlTraceSink::write(const TraceRecord *recs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        writeRecordJson(out(), recs[i]);
+        out() << '\n';
+    }
+}
+
+void
+JsonlTraceSink::end(const TraceFileFooter &foot)
+{
+    JsonWriter w(out(), /*indent=*/0);
+    w.beginObject();
+    w.field("footer", "dws-trace");
+    w.field("records", foot.records);
+    w.field("dropped", foot.dropped);
+    w.field("last_cycle", foot.lastCycle);
+    w.endObject();
+    out() << '\n';
+    out().flush();
+}
+
+// -------------------------------------------------------------- perfetto
+
+void
+PerfettoTraceSink::begin(const TraceFileHeader &hdr)
+{
+    hdr_ = hdr;
+}
+
+void
+PerfettoTraceSink::write(const TraceRecord *recs, std::size_t n)
+{
+    buffer_.insert(buffer_.end(), recs, recs + n);
+}
+
+void
+PerfettoTraceSink::end(const TraceFileFooter &)
+{
+    writePerfetto(out(), hdr_, buffer_);
+    out().flush();
+}
+
+// --------------------------------------------------------------- factory
+
+std::unique_ptr<TraceSink>
+makeTraceSink(const std::string &path)
+{
+    auto endsWith = [&](const char *suffix) {
+        std::string_view sv(suffix);
+        return path.size() >= sv.size() &&
+               path.compare(path.size() - sv.size(), sv.size(), sv) == 0;
+    };
+
+    std::unique_ptr<StreamTraceSink> sink;
+    if (endsWith(".jsonl"))
+        sink = std::make_unique<JsonlTraceSink>(path);
+    else if (endsWith(".json"))
+        sink = std::make_unique<PerfettoTraceSink>(path);
+    else
+        sink = std::make_unique<BinaryTraceSink>(path);
+    if (!sink->ok())
+        return nullptr;
+    return sink;
+}
+
+} // namespace dws

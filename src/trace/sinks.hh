@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Concrete TraceSink implementations and the path-based factory.
+ *
+ *  - BinaryTraceSink: the compact on-disk format (64 B header, raw
+ *    32 B records, 40 B footer with count/dropped/FNV-1a checksum).
+ *    This is what `dws_trace` reads back.
+ *  - JsonlTraceSink: one JSON object per line — a meta line, one line
+ *    per record with the kind spelled out, and a footer line. For
+ *    grep/jq consumption.
+ *  - PerfettoTraceSink: buffers the run and emits Chrome trace-event
+ *    JSON (load in ui.perfetto.dev) with one track per warp-split.
+ *
+ * Each sink either borrows a caller-owned ostream or owns a freshly
+ * opened file. makeTraceSink() picks the format from the extension:
+ * `.jsonl` → JSON-lines, `.json` → Perfetto, anything else → binary.
+ */
+
+#ifndef DWS_TRACE_SINKS_HH
+#define DWS_TRACE_SINKS_HH
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace dws {
+
+/** Common stream-or-file plumbing for the concrete sinks. */
+class StreamTraceSink : public TraceSink
+{
+  public:
+    /** @return false iff a file path failed to open. */
+    bool ok() const { return os_ != nullptr && os_->good(); }
+
+  protected:
+    explicit StreamTraceSink(std::ostream &os) : os_(&os) {}
+    explicit StreamTraceSink(const std::string &path)
+        : file_(std::make_unique<std::ofstream>(
+              path, std::ios::binary | std::ios::trunc))
+    {
+        os_ = file_->is_open() ? file_.get() : nullptr;
+    }
+
+    std::ostream &out() { return *os_; }
+
+  private:
+    std::unique_ptr<std::ofstream> file_;
+    std::ostream *os_ = nullptr;
+};
+
+class BinaryTraceSink : public StreamTraceSink
+{
+  public:
+    explicit BinaryTraceSink(std::ostream &os) : StreamTraceSink(os) {}
+    explicit BinaryTraceSink(const std::string &path)
+        : StreamTraceSink(path)
+    {}
+
+    void begin(const TraceFileHeader &hdr) override;
+    void write(const TraceRecord *recs, std::size_t n) override;
+    void end(const TraceFileFooter &foot) override;
+};
+
+class JsonlTraceSink : public StreamTraceSink
+{
+  public:
+    explicit JsonlTraceSink(std::ostream &os) : StreamTraceSink(os) {}
+    explicit JsonlTraceSink(const std::string &path)
+        : StreamTraceSink(path)
+    {}
+
+    void begin(const TraceFileHeader &hdr) override;
+    void write(const TraceRecord *recs, std::size_t n) override;
+    void end(const TraceFileFooter &foot) override;
+};
+
+class PerfettoTraceSink : public StreamTraceSink
+{
+  public:
+    explicit PerfettoTraceSink(std::ostream &os) : StreamTraceSink(os) {}
+    explicit PerfettoTraceSink(const std::string &path)
+        : StreamTraceSink(path)
+    {}
+
+    void begin(const TraceFileHeader &hdr) override;
+    void write(const TraceRecord *recs, std::size_t n) override;
+    void end(const TraceFileFooter &foot) override;
+
+  private:
+    TraceFileHeader hdr_{};
+    std::vector<TraceRecord> buffer_;
+};
+
+/**
+ * Open a sink writing to @p path, format chosen by extension (see
+ * file comment). @return nullptr if the file could not be opened.
+ */
+std::unique_ptr<TraceSink> makeTraceSink(const std::string &path);
+
+/** Append one record as a single-line JSON object (shared w/ CLI). */
+void writeRecordJson(std::ostream &os, const TraceRecord &r);
+
+} // namespace dws
+
+#endif // DWS_TRACE_SINKS_HH

@@ -1,0 +1,379 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+
+namespace dws {
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::Invalid: return "Invalid";
+      case TraceKind::GroupCreate: return "GroupCreate";
+      case TraceKind::GroupDestroy: return "GroupDestroy";
+      case TraceKind::StateChange: return "StateChange";
+      case TraceKind::SplitBranch: return "SplitBranch";
+      case TraceKind::SplitMem: return "SplitMem";
+      case TraceKind::SplitRevive: return "SplitRevive";
+      case TraceKind::MergePc: return "MergePc";
+      case TraceKind::MergeStack: return "MergeStack";
+      case TraceKind::FramePush: return "FramePush";
+      case TraceKind::FramePop: return "FramePop";
+      case TraceKind::SlotAcquire: return "SlotAcquire";
+      case TraceKind::SlotRelease: return "SlotRelease";
+      case TraceKind::WstAlloc: return "WstAlloc";
+      case TraceKind::WstFree: return "WstFree";
+      case TraceKind::WstPark: return "WstPark";
+      case TraceKind::WstUnpark: return "WstUnpark";
+      case TraceKind::MshrFill: return "MshrFill";
+      case TraceKind::MshrDrain: return "MshrDrain";
+      case TraceKind::CacheBurst: return "CacheBurst";
+      case TraceKind::CacheEvict: return "CacheEvict";
+      case TraceKind::BarArrive: return "BarArrive";
+      case TraceKind::BarRelease: return "BarRelease";
+      case TraceKind::EpochExec: return "EpochExec";
+      case TraceKind::EpochOcc: return "EpochOcc";
+      case TraceKind::EpochRate: return "EpochRate";
+    }
+    return "Unknown";
+}
+
+std::uint64_t
+traceFnv1a(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+TraceMode
+parseTraceMode(const char *s)
+{
+    if (!s)
+        return TraceMode::Off;
+    if (!std::strcmp(s, "events"))
+        return TraceMode::Events;
+    if (!std::strcmp(s, "timeline"))
+        return TraceMode::Timeline;
+    if (!std::strcmp(s, "all"))
+        return TraceMode::All;
+    return TraceMode::Off;
+}
+
+const char *
+traceModeName(TraceMode m)
+{
+    switch (m) {
+      case TraceMode::Off: return "off";
+      case TraceMode::Events: return "events";
+      case TraceMode::Timeline: return "timeline";
+      case TraceMode::All: return "all";
+    }
+    return "off";
+}
+
+Tracer::Tracer(int numWpus, int simdWidth, TraceMode mode, Cycle epoch,
+               std::size_t ringCap)
+    : numWpus_(numWpus), simdWidth_(simdWidth), mode_(mode),
+      epoch_(epoch ? epoch : 1024)
+{
+    std::size_t n = static_cast<std::size_t>(numWpus_) + 1;
+    rings_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rings_.emplace_back(ringCap ? ringCap : 4096);
+    bursts_.resize(n);
+    live_.resize(n);
+    rates_.resize(n);
+}
+
+Tracer::~Tracer() { finish(); }
+
+void
+Tracer::setSink(std::unique_ptr<TraceSink> sink)
+{
+    sink_ = std::move(sink);
+    if (sink_)
+        sink_->begin(header());
+}
+
+TraceFileHeader
+Tracer::header() const
+{
+    TraceFileHeader h{};
+    std::memcpy(h.magic, "DWSTRACE", 8);
+    h.version = kTraceFormatVersion;
+    h.recordSize = sizeof(TraceRecord);
+    h.numWpus = static_cast<std::uint32_t>(numWpus_);
+    h.simdWidth = static_cast<std::uint32_t>(simdWidth_);
+    h.epoch = timelineOn() ? epoch_ : 0;
+    h.byteOrder = kTraceByteOrderProbe;
+    h.mode = static_cast<std::uint32_t>(mode_);
+    return h;
+}
+
+TraceFileFooter
+Tracer::footer() const
+{
+    TraceFileFooter f{};
+    std::memcpy(f.magic, "DWSTFOOT", 8);
+    f.records = records_;
+    f.dropped = dropped();
+    f.checksum = checksum_;
+    f.lastCycle = lastRecordCycle_;
+    return f;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::uint64_t d = 0;
+    for (const auto &r : rings_)
+        d += r.dropped();
+    return d;
+}
+
+void
+Tracer::emit(TraceKind kind, std::uint8_t wpu, std::uint16_t warp,
+             std::uint32_t group, std::uint64_t mask, std::uint32_t arg0,
+             std::uint32_t arg1)
+{
+    TraceRecord r;
+    r.cycle = now_;
+    r.mask = mask;
+    r.group = group;
+    r.arg0 = arg0;
+    r.arg1 = arg1;
+    r.warp = warp;
+    r.wpu = wpu;
+    r.kind = static_cast<std::uint8_t>(kind);
+
+    std::size_t idx = ringIndex(wpu == kTraceSystemWpu
+                                    ? static_cast<WpuId>(numWpus_)
+                                    : static_cast<WpuId>(wpu));
+    auto &ring = rings_[idx];
+    if (ring.full() && sink_)
+        flushRing(idx);
+    ring.push(r);
+}
+
+void
+Tracer::flushRing(std::size_t idx)
+{
+    auto &ring = rings_[idx];
+    if (ring.size() == 0)
+        return;
+    scratch_.clear();
+    ring.drainTo(scratch_);
+    if (sink_) {
+        sink_->write(scratch_.data(), scratch_.size());
+        records_ += scratch_.size();
+        checksum_ = traceFnv1a(scratch_.data(),
+                               scratch_.size() * sizeof(TraceRecord),
+                               checksum_);
+        for (const auto &r : scratch_)
+            if (r.cycle > lastRecordCycle_)
+                lastRecordCycle_ = r.cycle;
+    }
+}
+
+void
+Tracer::flushBursts()
+{
+    burstPending_ = false;
+    if (!eventsOn()) {
+        for (auto &b : bursts_)
+            b = Burst{};
+        return;
+    }
+    for (std::size_t i = 0; i < bursts_.size(); ++i) {
+        auto &b = bursts_[i];
+        if (b.cycle == kNoCycle)
+            continue;
+        // Burst records carry the cycle the burst started on, which
+        // is no later than now_; emit() stamps now_, so stamp by hand.
+        TraceRecord r;
+        r.cycle = b.cycle;
+        r.mask = 0;
+        r.group = 0;
+        r.arg0 = b.hits;
+        r.arg1 = b.misses;
+        r.warp = 0;
+        r.wpu = i < static_cast<std::size_t>(numWpus_)
+                    ? static_cast<std::uint8_t>(i)
+                    : kTraceSystemWpu;
+        r.kind = static_cast<std::uint8_t>(TraceKind::CacheBurst);
+        auto &ring = rings_[i];
+        if (ring.full() && sink_)
+            flushRing(i);
+        ring.push(r);
+        b = Burst{};
+    }
+}
+
+void
+Tracer::groupCreate(WpuId w, WarpId warp, GroupId g, std::uint64_t mask,
+                    Pc pc, std::uint32_t state)
+{
+    ++live_[ringIndex(w)].groups;
+    if (eventsOn())
+        emit(TraceKind::GroupCreate, static_cast<std::uint8_t>(w),
+             static_cast<std::uint16_t>(warp), static_cast<std::uint32_t>(g),
+             mask, static_cast<std::uint32_t>(pc), state);
+}
+
+void
+Tracer::groupDestroy(WpuId w, WarpId warp, GroupId g, std::uint64_t mask,
+                     Pc pc)
+{
+    --live_[ringIndex(w)].groups;
+    if (eventsOn())
+        emit(TraceKind::GroupDestroy, static_cast<std::uint8_t>(w),
+             static_cast<std::uint16_t>(warp), static_cast<std::uint32_t>(g),
+             mask, static_cast<std::uint32_t>(pc), 0);
+}
+
+void
+Tracer::stateChange(WpuId w, WarpId warp, GroupId g, std::uint64_t mask,
+                    std::uint32_t from, std::uint32_t to)
+{
+    if (eventsOn())
+        emit(TraceKind::StateChange, static_cast<std::uint8_t>(w),
+             static_cast<std::uint16_t>(warp), static_cast<std::uint32_t>(g),
+             mask, from, to);
+}
+
+void
+Tracer::split(TraceKind kind, WpuId w, WarpId warp, GroupId parent,
+              std::uint64_t childMask, GroupId child, Pc pc)
+{
+    auto &rc = rates_[ringIndex(w)];
+    ++rc.splits;
+    if (kind == TraceKind::SplitRevive)
+        ++rc.revives;
+    if (eventsOn())
+        emit(kind, static_cast<std::uint8_t>(w),
+             static_cast<std::uint16_t>(warp),
+             static_cast<std::uint32_t>(parent), childMask,
+             static_cast<std::uint32_t>(child),
+             static_cast<std::uint32_t>(pc));
+}
+
+void
+Tracer::merge(TraceKind kind, WpuId w, WarpId warp, GroupId into,
+              std::uint64_t mask, std::uint32_t arg0)
+{
+    ++rates_[ringIndex(w)].merges;
+    if (eventsOn())
+        emit(kind, static_cast<std::uint8_t>(w),
+             static_cast<std::uint16_t>(warp),
+             static_cast<std::uint32_t>(into), mask, arg0, 0);
+}
+
+void
+Tracer::frame(bool push, WpuId w, WarpId warp, GroupId g, std::uint64_t mask,
+              Pc rpc, std::uint32_t depthAfter)
+{
+    if (eventsOn())
+        emit(push ? TraceKind::FramePush : TraceKind::FramePop,
+             static_cast<std::uint8_t>(w), static_cast<std::uint16_t>(warp),
+             static_cast<std::uint32_t>(g), mask,
+             static_cast<std::uint32_t>(rpc), depthAfter);
+}
+
+void
+Tracer::slot(bool acquire, WpuId w, WarpId warp, GroupId g,
+             std::uint32_t usedAfter)
+{
+    if (eventsOn())
+        emit(acquire ? TraceKind::SlotAcquire : TraceKind::SlotRelease,
+             static_cast<std::uint8_t>(w), static_cast<std::uint16_t>(warp),
+             static_cast<std::uint32_t>(g), 0, usedAfter, 0);
+}
+
+void
+Tracer::wst(TraceKind kind, WpuId w, WarpId warp, std::uint32_t inUseAfter)
+{
+    live_[ringIndex(w)].wst = static_cast<int>(inUseAfter);
+    if (eventsOn())
+        emit(kind, static_cast<std::uint8_t>(w),
+             static_cast<std::uint16_t>(warp), 0, 0, inUseAfter, 0);
+}
+
+void
+Tracer::mshr(bool fill, bool l2, WpuId w, std::uint64_t lineAddr,
+             std::uint32_t inUseAfter)
+{
+    if (l2)
+        l2Mshr_ = static_cast<int>(inUseAfter);
+    else
+        live_[ringIndex(w)].l1Mshr = static_cast<int>(inUseAfter);
+    if (eventsOn())
+        emit(fill ? TraceKind::MshrFill : TraceKind::MshrDrain,
+             l2 ? kTraceSystemWpu : static_cast<std::uint8_t>(w),
+             0, 0, lineAddr, inUseAfter, l2 ? 1 : 0);
+}
+
+void
+Tracer::cacheEvict(std::uint8_t owner, std::uint64_t lineAddr,
+                   std::uint32_t coherenceState)
+{
+    if (eventsOn())
+        emit(TraceKind::CacheEvict, owner, 0, 0, lineAddr, coherenceState, 0);
+}
+
+void
+Tracer::barrier(bool release, WpuId w, WarpId warp, GroupId g,
+                std::uint64_t mask, std::uint32_t arg0)
+{
+    if (eventsOn())
+        emit(release ? TraceKind::BarRelease : TraceKind::BarArrive,
+             static_cast<std::uint8_t>(w), static_cast<std::uint16_t>(warp),
+             static_cast<std::uint32_t>(g), mask, arg0, 0);
+}
+
+void
+Tracer::epochSample(WpuId w, const TraceEpochSample &s)
+{
+    if (!timelineOn())
+        return;
+    auto idx = ringIndex(w);
+    auto &rc = rates_[idx];
+    auto issuedDelta =
+        static_cast<std::uint32_t>(s.issuedInstrs - rc.lastIssued);
+    auto scalarDelta =
+        static_cast<std::uint32_t>(s.scalarInstrs - rc.lastScalar);
+    rc.lastIssued = s.issuedInstrs;
+    rc.lastScalar = s.scalarInstrs;
+
+    auto wpu = static_cast<std::uint8_t>(w);
+    emit(TraceKind::EpochExec, wpu, 0, s.readyListDepth, 0, issuedDelta,
+         scalarDelta);
+    emit(TraceKind::EpochOcc, wpu, 0, s.slotsUsed, 0, s.wstInUse,
+         s.mshrInUse);
+    emit(TraceKind::EpochRate, wpu, 0, rc.revives, 0, rc.splits, rc.merges);
+    rc.splits = 0;
+    rc.merges = 0;
+    rc.revives = 0;
+}
+
+void
+Tracer::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (burstPending_)
+        flushBursts();
+    if (sink_) {
+        for (std::size_t i = 0; i < rings_.size(); ++i)
+            flushRing(i);
+        sink_->end(footer());
+        sink_.reset();
+    }
+}
+
+} // namespace dws

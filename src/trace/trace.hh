@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Cycle-accurate structured tracing for the DWS simulator.
+ *
+ * The tracer records typed 32-byte records — group (warp-split)
+ * lifecycle, state changes, splits/merges/revives with active masks,
+ * re-convergence stack pushes/pops, scheduler slot occupancy, WST
+ * allocation/parking, MSHR fill/drain, cache hit/miss bursts, and
+ * periodic metrics-timeline epochs — into per-WPU ring buffers that
+ * flush through a pluggable sink (binary / JSON-lines / Perfetto).
+ *
+ * Design constraints (DESIGN.md §11):
+ *  - purely observational: a traced run and an untraced run produce
+ *    byte-identical RunStats::fingerprint()s;
+ *  - deterministic: the same run produces byte-identical trace files;
+ *  - cheap when off: every hook is `if (trace_) ...` on a pointer
+ *    that is null unless tracing was requested (branch-predictable
+ *    no-op), and the hooks compile away entirely under
+ *    -DDWS_TRACE_DISABLED (CMake option DWS_TRACING=OFF);
+ *  - self-auditing: the tracer mirrors live split/WST/MSHR occupancy
+ *    and the invariant checker reconciles the mirrors against the
+ *    real structures at every audit.
+ */
+
+#ifndef DWS_TRACE_TRACE_HH
+#define DWS_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/**
+ * Hook wrapper: `DWS_TRACE(trace_, groupCreate(...))` expands to a
+ * null-checked call, or to nothing when tracing is compiled out.
+ */
+#ifndef DWS_TRACE_DISABLED
+#define DWS_TRACE(tp, call)                                                  \
+    do {                                                                     \
+        if ((tp) != nullptr) [[unlikely]]                                    \
+            (tp)->call;                                                      \
+    } while (0)
+#else
+#define DWS_TRACE(tp, call) ((void)0)
+#endif
+
+/**
+ * Hook implementations are marked cold so the optimizer keeps them —
+ * and the spills a call forces — out of the simulator's hot loops.
+ * The shipping configuration runs with tracing off, where the only
+ * per-hook cost should be the predicted-not-taken null check above.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define DWS_TRACE_COLD __attribute__((cold))
+#else
+#define DWS_TRACE_COLD
+#endif
+
+/** What a record describes. Values are part of the binary format. */
+enum class TraceKind : std::uint8_t {
+    Invalid = 0,
+    // Group (warp-split) lifecycle.
+    GroupCreate = 1,  ///< arg0 = pc, arg1 = initial state
+    GroupDestroy = 2, ///< arg0 = pc at death
+    StateChange = 3,  ///< arg0 = old state, arg1 = new state
+    // Divergence events. group = surviving/parent id.
+    SplitBranch = 4, ///< mask = child mask, arg0 = child id, arg1 = pc
+    SplitMem = 5,    ///< mask = runahead mask, arg0 = child id, arg1 = pc
+    SplitRevive = 6, ///< same payload as SplitMem, from a revive stall
+    MergePc = 7,     ///< mask = merged mask, arg0 = absorbed id, arg1 = pc
+    MergeStack = 8,  ///< mask = restored mask, arg0 = frame rpc
+    // Re-convergence stack.
+    FramePush = 9, ///< mask = frame mask, arg0 = rpc, arg1 = depth after
+    FramePop = 10, ///< mask = mask after pop, arg0 = rpc, arg1 = depth after
+    // Scheduler slot occupancy.
+    SlotAcquire = 11, ///< arg0 = slots used after
+    SlotRelease = 12, ///< arg0 = slots used after
+    // Warp-split table.
+    WstAlloc = 13,  ///< arg0 = table entries in use after
+    WstFree = 14,   ///< arg0 = table entries in use after
+    WstPark = 15,   ///< arg0 = table entries in use after
+    WstUnpark = 16, ///< arg0 = table entries in use after
+    // Memory system. wpu = requester (kTraceSystemWpu for L2).
+    MshrFill = 17,   ///< mask = line addr, arg0 = entries in use after
+    MshrDrain = 18,  ///< mask = line addr, arg0 = entries in use after
+    CacheBurst = 19, ///< arg0 = hits, arg1 = misses since last cycle edge
+    CacheEvict = 20, ///< mask = victim line addr, arg0 = coherence state
+    // Barriers.
+    BarArrive = 21,  ///< arg0 = pc
+    BarRelease = 22, ///< arg0 = groups released
+    // Metrics-timeline epochs (timeline mode), one triple per WPU.
+    EpochExec = 23, ///< mask = active lanes sum, arg0 = issued, arg1 = scalar
+    EpochOcc = 24,  ///< arg0 = wst in use, arg1 = mshrs; group = slots used
+    EpochRate = 25, ///< arg0 = splits, arg1 = merges; group = revives
+};
+
+constexpr std::uint8_t kTraceKindMax = 25;
+
+/** wpu field value for records not owned by any WPU (the L2 side). */
+constexpr std::uint8_t kTraceSystemWpu = 0xff;
+
+/** @return a stable display name for a record kind. */
+const char *traceKindName(TraceKind k);
+
+/**
+ * One trace record. Exactly 32 bytes, trivially copyable: the binary
+ * format is these bytes verbatim (host endianness; the header
+ * carries a byte-order probe so dws_trace can reject foreign files).
+ */
+struct TraceRecord
+{
+    std::uint64_t cycle = 0;
+    /** Active mask, line address, or kind-specific payload. */
+    std::uint64_t mask = 0;
+    /** Group id the record is about (or kind-specific). */
+    std::uint32_t group = 0;
+    std::uint32_t arg0 = 0;
+    std::uint32_t arg1 = 0;
+    std::uint16_t warp = 0;
+    std::uint8_t wpu = 0;
+    std::uint8_t kind = 0;
+};
+
+static_assert(sizeof(TraceRecord) == 32, "binary trace format is 32 B/record");
+static_assert(std::is_trivially_copyable_v<TraceRecord>);
+
+/** FNV-1a over a byte range; the footer checksum and golden hashes. */
+std::uint64_t traceFnv1a(const void *data, std::size_t n,
+                         std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** On-disk header, 64 bytes. */
+struct TraceFileHeader
+{
+    char magic[8]; ///< "DWSTRACE"
+    std::uint32_t version;
+    std::uint32_t recordSize;
+    std::uint32_t numWpus;
+    std::uint32_t simdWidth;
+    std::uint64_t epoch; ///< timeline epoch in cycles; 0 = events only
+    std::uint32_t byteOrder; ///< written as 0x01020304 by the producer
+    std::uint32_t mode;      ///< TraceMode the producer ran with
+    std::uint8_t pad[24];
+};
+
+static_assert(sizeof(TraceFileHeader) == 64);
+
+/** On-disk footer, 40 bytes; lets `dws_trace check` verify integrity. */
+struct TraceFileFooter
+{
+    char magic[8]; ///< "DWSTFOOT"
+    std::uint64_t records;   ///< records written to the sink
+    std::uint64_t dropped;   ///< records lost to ring overflow
+    std::uint64_t checksum;  ///< FNV-1a over all record bytes, in order
+    std::uint64_t lastCycle; ///< cycle of the latest record
+};
+
+static_assert(sizeof(TraceFileFooter) == 40);
+
+constexpr std::uint32_t kTraceFormatVersion = 1;
+constexpr std::uint32_t kTraceByteOrderProbe = 0x01020304;
+
+/**
+ * Where flushed records go. Sinks see records in flush order: batches
+ * are per-WPU, batch boundaries depend only on the (deterministic)
+ * record sequence, so the sink's output is itself deterministic.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    /** Called once, before any records. */
+    virtual void begin(const TraceFileHeader &hdr) = 0;
+    /** A batch of records flushed from one ring. */
+    virtual void write(const TraceRecord *recs, std::size_t n) = 0;
+    /** Called once, after the last batch. */
+    virtual void end(const TraceFileFooter &foot) = 0;
+};
+
+/**
+ * Fixed-capacity record buffer. With a sink downstream a full ring
+ * flushes; without one it wraps, overwriting the oldest records and
+ * counting the loss, so a sink-less tracer still bounds memory while
+ * keeping exact overflow accounting.
+ */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t cap) : buf_(cap ? cap : 1) {}
+
+    /** @return false iff the ring was full and wrapped (no sink). */
+    bool
+    push(const TraceRecord &r)
+    {
+        if (size_ < buf_.size()) {
+            buf_[(head_ + size_) % buf_.size()] = r;
+            ++size_;
+            return true;
+        }
+        buf_[head_] = r; // overwrite oldest
+        head_ = (head_ + 1) % buf_.size();
+        ++dropped_;
+        return false;
+    }
+
+    bool full() const { return size_ == buf_.size(); }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return buf_.size(); }
+    /** Records lost to wraparound since construction. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Append the buffered records, oldest first, and empty the ring. */
+    void
+    drainTo(std::vector<TraceRecord> &out)
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            out.push_back(buf_[(head_ + i) % buf_.size()]);
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<TraceRecord> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/** What to record. */
+enum class TraceMode : std::uint8_t {
+    Off = 0,
+    Events = 1,   ///< discrete records only
+    Timeline = 2, ///< epoch metrics samples only
+    All = 3,      ///< both
+};
+
+/** One WPU's metrics-timeline sample, gathered by Wpu::traceSample(). */
+struct TraceEpochSample
+{
+    std::uint64_t issuedInstrs = 0; ///< cumulative; tracer takes deltas
+    std::uint64_t scalarInstrs = 0; ///< cumulative; tracer takes deltas
+    std::uint32_t readyListDepth = 0;
+    std::uint32_t slotsUsed = 0;
+    std::uint32_t wstInUse = 0;
+    std::uint32_t mshrInUse = 0;
+};
+
+/**
+ * The tracer facade the simulator hooks talk to. One per System (so
+ * parallel sweep jobs trace independently); never shared across
+ * threads. All hooks are no-ops for record kinds outside the
+ * configured mode but still maintain the live occupancy mirrors the
+ * invariant checker reconciles.
+ */
+class Tracer
+{
+  public:
+    Tracer(int numWpus, int simdWidth, TraceMode mode, Cycle epoch,
+           std::size_t ringCap);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    bool eventsOn() const { return mode_ == TraceMode::Events ||
+                                   mode_ == TraceMode::All; }
+    bool timelineOn() const { return mode_ == TraceMode::Timeline ||
+                                     mode_ == TraceMode::All; }
+    Cycle epoch() const { return epoch_; }
+    Cycle now() const { return now_; }
+
+    /** Attach the sink records flush to. Call before the run starts. */
+    void setSink(std::unique_ptr<TraceSink> sink);
+
+    /**
+     * Advance trace time (monotonic; stale values ignored). Called by
+     * the System run loop each cycle and by the event queue before
+     * dispatch. A cycle edge flushes pending cache-burst aggregates.
+     */
+    DWS_TRACE_COLD void
+    advanceTo(Cycle c)
+    {
+        if (c <= now_)
+            return;
+        if (burstPending_)
+            flushBursts();
+        now_ = c;
+    }
+
+    // ---- event hooks (callers pass current structure occupancy) ----
+
+    DWS_TRACE_COLD void groupCreate(WpuId w, WarpId warp, GroupId g, std::uint64_t mask,
+                     Pc pc, std::uint32_t state);
+    DWS_TRACE_COLD void groupDestroy(WpuId w, WarpId warp, GroupId g, std::uint64_t mask,
+                      Pc pc);
+    DWS_TRACE_COLD void stateChange(WpuId w, WarpId warp, GroupId g, std::uint64_t mask,
+                     std::uint32_t from, std::uint32_t to);
+    /** kind is SplitBranch/SplitMem/SplitRevive. */
+    DWS_TRACE_COLD void split(TraceKind kind, WpuId w, WarpId warp, GroupId parent,
+               std::uint64_t childMask, GroupId child, Pc pc);
+    /** kind is MergePc/MergeStack. */
+    DWS_TRACE_COLD void merge(TraceKind kind, WpuId w, WarpId warp, GroupId into,
+               std::uint64_t mask, std::uint32_t arg0);
+    DWS_TRACE_COLD void frame(bool push, WpuId w, WarpId warp, GroupId g,
+               std::uint64_t mask, Pc rpc, std::uint32_t depthAfter);
+    DWS_TRACE_COLD void slot(bool acquire, WpuId w, WarpId warp, GroupId g,
+              std::uint32_t usedAfter);
+    /** kind is WstAlloc/WstFree/WstPark/WstUnpark. */
+    DWS_TRACE_COLD void wst(TraceKind kind, WpuId w, WarpId warp, std::uint32_t inUseAfter);
+    DWS_TRACE_COLD void mshr(bool fill, bool l2, WpuId w, std::uint64_t lineAddr,
+              std::uint32_t inUseAfter);
+    /** Aggregated into one CacheBurst record per WPU per cycle. */
+    DWS_TRACE_COLD void
+    cacheAccess(WpuId w, bool hit)
+    {
+        auto &b = bursts_[ringIndex(w)];
+        if (hit)
+            ++b.hits;
+        else
+            ++b.misses;
+        if (b.cycle == kNoCycle)
+            b.cycle = now_;
+        burstPending_ = true;
+    }
+    DWS_TRACE_COLD void cacheEvict(std::uint8_t owner, std::uint64_t lineAddr,
+                    std::uint32_t coherenceState);
+    DWS_TRACE_COLD void barrier(bool release, WpuId w, WarpId warp, GroupId g,
+                 std::uint64_t mask, std::uint32_t arg0);
+    /** Timeline-mode sample; emits EpochExec/EpochOcc/EpochRate. */
+    DWS_TRACE_COLD void epochSample(WpuId w, const TraceEpochSample &s);
+
+    // ---- live occupancy mirrors (invariant-checker cross-check) ----
+
+    int liveGroups(WpuId w) const { return live_[ringIndex(w)].groups; }
+    int wstInUse(WpuId w) const { return live_[ringIndex(w)].wst; }
+    int l1MshrInUse(WpuId w) const { return live_[ringIndex(w)].l1Mshr; }
+    int l2MshrInUse() const { return l2Mshr_; }
+
+    // ---- accounting ----
+
+    std::uint64_t recordsTotal() const { return records_; }
+    std::uint64_t dropped() const;
+    /** Flush every ring and close the sink. Idempotent. */
+    void finish();
+
+  private:
+    struct Burst
+    {
+        Cycle cycle = kNoCycle;
+        std::uint32_t hits = 0;
+        std::uint32_t misses = 0;
+    };
+    struct LiveCounters
+    {
+        int groups = 0;
+        int wst = 0;
+        int l1Mshr = 0;
+    };
+    /** Per-epoch split/merge/revive tallies, reset at each sample. */
+    struct RateCounters
+    {
+        std::uint32_t splits = 0;
+        std::uint32_t merges = 0;
+        std::uint32_t revives = 0;
+        std::uint64_t lastIssued = 0;
+        std::uint64_t lastScalar = 0;
+    };
+
+    static constexpr Cycle kNoCycle = ~Cycle(0);
+
+    /** System-level records (L2) share the last ring. */
+    std::size_t
+    ringIndex(WpuId w) const
+    {
+        auto i = static_cast<std::size_t>(static_cast<std::uint8_t>(w));
+        return i < static_cast<std::size_t>(numWpus_)
+                   ? i
+                   : static_cast<std::size_t>(numWpus_);
+    }
+
+    void emit(TraceKind kind, std::uint8_t wpu, std::uint16_t warp,
+              std::uint32_t group, std::uint64_t mask, std::uint32_t arg0,
+              std::uint32_t arg1);
+    void flushRing(std::size_t idx);
+    void flushBursts();
+    TraceFileHeader header() const;
+    TraceFileFooter footer() const;
+
+    int numWpus_;
+    int simdWidth_;
+    TraceMode mode_;
+    Cycle epoch_;
+    Cycle now_ = 0;
+    bool finished_ = false;
+    bool burstPending_ = false;
+
+    std::vector<TraceRing> rings_;  ///< numWpus_ + 1 (system)
+    std::vector<Burst> bursts_;     ///< parallel to rings_
+    std::vector<LiveCounters> live_;
+    std::vector<RateCounters> rates_;
+    int l2Mshr_ = 0;
+
+    std::unique_ptr<TraceSink> sink_;
+    std::vector<TraceRecord> scratch_; ///< drain buffer for flushes
+    std::uint64_t records_ = 0;        ///< records handed to the sink
+    std::uint64_t checksum_ = 0xcbf29ce484222325ull;
+    Cycle lastRecordCycle_ = 0;
+};
+
+/** Parse "events" / "timeline" / "all" / "off"; Off on no match. */
+TraceMode parseTraceMode(const char *s);
+const char *traceModeName(TraceMode m);
+
+} // namespace dws
+
+#endif // DWS_TRACE_TRACE_HH

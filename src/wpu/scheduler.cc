@@ -15,6 +15,8 @@ Scheduler::requestSlot(SimdGroup *g)
         g->hasSlot = true;
         used++;
         updateReady(g);
+        DWS_TRACE(trace_, slot(true, wpuId_, g->warp, g->id,
+                               static_cast<std::uint32_t>(used)));
         return;
     }
     // Already queued?
@@ -35,6 +37,8 @@ Scheduler::drainQueue()
         g->hasSlot = true;
         used++;
         updateReady(g);
+        DWS_TRACE(trace_, slot(true, wpuId_, g->warp, g->id,
+                               static_cast<std::uint32_t>(used)));
     }
     if (used > capacity)
         panic("scheduler grants %d slots with capacity %d", used,
@@ -52,6 +56,8 @@ Scheduler::releaseSlot(SimdGroup *g)
     g->hasSlot = false;
     used--;
     updateReady(g);
+    DWS_TRACE(trace_, slot(false, wpuId_, g->warp, g->id,
+                           static_cast<std::uint32_t>(used)));
     drainQueue();
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "trace/trace.hh"
 #include "wpu/simd_group.hh"
 
 namespace dws {
@@ -93,9 +94,23 @@ class Scheduler
     /** @return the FIFO slot wait queue (audits). */
     const std::deque<SimdGroup *> &queued() const { return waitQueue; }
 
+    /** @return ready-list depth (metrics timeline). */
+    int readyCount() const { return static_cast<int>(ready.size()); }
+
+    /** Attach the tracer for slot-occupancy records (nullptr = off). */
+    void
+    setTracer(Tracer *t, WpuId wpu)
+    {
+        trace_ = t;
+        wpuId_ = wpu;
+    }
+
   private:
     /** Grant free slots to queued groups (FIFO). */
     void drainQueue();
+
+    Tracer *trace_ = nullptr;
+    WpuId wpuId_ = 0;
 
     int capacity;
     int used = 0;

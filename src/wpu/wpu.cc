@@ -9,6 +9,17 @@
 
 namespace dws {
 
+// The tracer records GroupState values as raw integers and the
+// Perfetto exporter names them via traceGroupStateName(); keep the
+// two enumerations aligned.
+static_assert(static_cast<int>(GroupState::Ready) == 0 &&
+              static_cast<int>(GroupState::WaitMem) == 1 &&
+              static_cast<int>(GroupState::WaitRetry) == 2 &&
+              static_cast<int>(GroupState::WaitReconv) == 3 &&
+              static_cast<int>(GroupState::WaitBarrier) == 4 &&
+              static_cast<int>(GroupState::Dead) == 5,
+              "trace/perfetto.cc state names mirror this order");
+
 Wpu::Wpu(WpuId id, const SystemConfig &sysCfg, const Program &program,
          Memory &memory, MemSystem &msys, EventQueue &eq,
          KernelBarrier *kernelBar)
@@ -32,6 +43,28 @@ Wpu::Wpu(WpuId id, const SystemConfig &sysCfg, const Program &program,
     warpBarriers.resize(static_cast<size_t>(cfg.wpu.numWarps));
     warpBarPc.assign(static_cast<size_t>(cfg.wpu.numWarps), kPcUnknown);
     stats.threadMisses.assign(static_cast<size_t>(numThreads), 0);
+}
+
+void
+Wpu::setTracer(Tracer *t)
+{
+    trace_ = t;
+    sched.setTracer(t, wpuId);
+    wstTable.setTracer(t, wpuId);
+}
+
+TraceEpochSample
+Wpu::traceSample() const
+{
+    TraceEpochSample s;
+    s.issuedInstrs = stats.issuedInstrs;
+    s.scalarInstrs = stats.scalarInstrs;
+    s.readyListDepth = static_cast<std::uint32_t>(sched.readyCount());
+    s.slotsUsed = static_cast<std::uint32_t>(sched.slotsUsed());
+    s.wstInUse = static_cast<std::uint32_t>(wstTable.inUse());
+    s.mshrInUse =
+            static_cast<std::uint32_t>(memsys.l1MshrFile(wpuId).inUse());
+    return s;
 }
 
 ThreadId
@@ -115,6 +148,8 @@ Wpu::initGroup(SimdGroup *g, WarpId w, Pc pc, ThreadMask mask,
         }
     }
     live.push_back(g);
+    DWS_TRACE(trace_, groupCreate(wpuId, w, g->id, mask, pc,
+                                  static_cast<std::uint32_t>(state)));
     wstTable.addGroup(w);
     sched.requestSlot(g);
     return g;
@@ -144,6 +179,7 @@ Wpu::createGroup(WarpId w, Pc pc, ThreadMask mask, const Frame &frame,
 void
 Wpu::destroyGroup(SimdGroup *g)
 {
+    DWS_TRACE(trace_, groupDestroy(wpuId, g->warp, g->id, g->mask, g->pc));
     stateCount[static_cast<size_t>(g->state)]--;
     g->state = GroupState::Dead;
     sched.updateReady(g);
@@ -238,6 +274,9 @@ Wpu::completeBarrier(const BarrierRef &b)
     auto &reg = warpBarriers[static_cast<size_t>(b->warp)];
     reg.erase(std::remove(reg.begin(), reg.end(), b), reg.end());
     stats.stackMerges++;
+    DWS_TRACE(trace_, merge(TraceKind::MergeStack, wpuId, b->warp, 0,
+                            b->expected,
+                            static_cast<std::uint32_t>(b->pc)));
     if (getenv("DWS_TRACE"))
         fprintf(stderr, "COMPLETE wpu%d w%d pc=%d origRpc=%d "
                 "expected=%llx arrived=%llx depth=%zu\n",
@@ -298,11 +337,15 @@ Wpu::advanceControl(SimdGroup *g)
             // handler converts them into catch-up groups first.
             return true;
         }
+        [[maybe_unused]] const Pc poppedRpc = top.rpc;
         g->frames.pop_back();
         while (!g->frames.empty() &&
                (g->frames.back().mask & ~off) == 0) {
             g->frames.pop_back();
         }
+        DWS_TRACE(trace_,
+                  frame(false, wpuId, g->warp, g->id, g->mask, poppedRpc,
+                        static_cast<std::uint32_t>(g->frames.size())));
         if (g->frames.empty()) {
             const ThreadMask m = g->mask;
             const BarrierRef b = g->barrier;
@@ -325,6 +368,10 @@ Wpu::setGroupState(SimdGroup *g, GroupState s)
 {
     if (g->state == s)
         return;
+    DWS_TRACE(trace_,
+              stateChange(wpuId, g->warp, g->id, g->mask,
+                          static_cast<std::uint32_t>(g->state),
+                          static_cast<std::uint32_t>(s)));
     stateCount[static_cast<size_t>(g->state)]--;
     stateCount[static_cast<size_t>(s)]++;
     g->state = s;
@@ -672,6 +719,12 @@ Wpu::conventionalBranch(SimdGroup *g, const Instr &in, ThreadMask taken,
     top.pc = rpc; // continuation once both paths re-converge
     g->frames.push_back(Frame{g->pc + 1, rpc, notTaken});
     g->frames.push_back(Frame{in.target, rpc, taken});
+    DWS_TRACE(trace_,
+              frame(true, wpuId, g->warp, g->id, notTaken, rpc,
+                    static_cast<std::uint32_t>(g->frames.size() - 1)));
+    DWS_TRACE(trace_,
+              frame(true, wpuId, g->warp, g->id, taken, rpc,
+                    static_cast<std::uint32_t>(g->frames.size())));
     g->mask = taken;
     g->pc = in.target;
     advanceControl(g);
@@ -709,6 +762,7 @@ Wpu::branchSplit(SimdGroup *g, const Instr &in, ThreadMask taken,
                  ThreadMask notTaken)
 {
     stats.branchSplits++;
+    [[maybe_unused]] const Pc brPc = g->pc;
     const Frame top = g->frames.back();
     BarrierRef b = splitBarrier(g, false);
 
@@ -728,6 +782,8 @@ Wpu::branchSplit(SimdGroup *g, const Instr &in, ThreadMask taken,
             g->warp, fallPc, notTaken, Frame{fallPc, top.rpc, notTaken},
             b, GroupState::Ready, false);
     other->fromBranchSplit = true;
+    DWS_TRACE(trace_, split(TraceKind::SplitBranch, wpuId, g->warp, g->id,
+                            notTaken, other->id, brPc));
     advanceControl(other);
     advanceControl(g);
 }
@@ -946,6 +1002,11 @@ Wpu::memSplit(SimdGroup *g, ThreadMask readyMask, Cycle readyAt, Cycle now)
             g->warp, g->pc, readyMask,
             Frame{g->pc, top.rpc, readyMask}, b, GroupState::WaitMem, bl);
     run->readyAt = readyAt;
+    DWS_TRACE(trace_, split(traceReviveSplit_ ? TraceKind::SplitRevive
+                                              : TraceKind::SplitMem,
+                            wpuId, g->warp, g->id, readyMask, run->id,
+                            g->pc));
+    traceReviveSplit_ = false;
     scheduleWake(run->id, 0, std::max(readyAt, now + 1));
 }
 
@@ -1027,6 +1088,7 @@ Wpu::tryReviveSplit(Cycle now)
             stats.wstFullDenials++;
             return;
         }
+        traceReviveSplit_ = true; // label the split record SplitRevive
         memSplit(g, done, now, now);
         return; // only one group is subdivided at a time
     }
@@ -1057,6 +1119,9 @@ Wpu::tryPcMerge(SimdGroup *g, Cycle now)
         g->mask |= s->mask;
         g->frames.back().mask |= s->frames.back().mask;
         stats.pcMerges++;
+        DWS_TRACE(trace_, merge(TraceKind::MergePc, wpuId, g->warp, g->id,
+                                g->mask,
+                                static_cast<std::uint32_t>(s->id)));
         destroyGroup(s);
     }
 }
@@ -1077,6 +1142,8 @@ Wpu::execBar(SimdGroup *g, Cycle now)
     warpBarPc[static_cast<size_t>(w)] = g->pc;
     setGroupState(g, GroupState::WaitBarrier);
     sched.releaseSlot(g);
+    DWS_TRACE(trace_, barrier(false, wpuId, w, g->id, g->mask,
+                              static_cast<std::uint32_t>(g->pc)));
     if (getenv("DWS_TRACE"))
         fprintf(stderr, "[%llu] BAR-ARRIVE wpu%d warp%d group%d pc=%d "
                 "mask=%llx\n", (unsigned long long)now, wpuId, w, g->id,
@@ -1095,6 +1162,7 @@ Wpu::releaseKernelBarrier(Cycle now, WpuId releaser)
     // extends through `now` inclusive.
     if (wpuId != releaser)
         accountStallsBefore(wpuId > releaser ? now : now + 1);
+    int releasedGroups = 0; // trace accounting only
     for (WarpId w = 0; w < cfg.wpu.numWarps; w++) {
         std::vector<SimdGroup *> waiting;
         for (SimdGroup *g : live) {
@@ -1109,6 +1177,7 @@ Wpu::releaseKernelBarrier(Cycle now, WpuId releaser)
             continue;
         const Pc barPc = warpBarPc[static_cast<size_t>(w)];
         warpBarPc[static_cast<size_t>(w)] = kPcUnknown;
+        releasedGroups += static_cast<int>(waiting.size());
         for (SimdGroup *g : waiting)
             destroyGroup(g);
         warpBarriers[static_cast<size_t>(w)].clear();
@@ -1130,6 +1199,9 @@ Wpu::releaseKernelBarrier(Cycle now, WpuId releaser)
                 exitBar, GroupState::Ready, false);
         advanceControl(g);
     }
+    DWS_TRACE(trace_,
+              barrier(true, wpuId, 0, 0, 0,
+                      static_cast<std::uint32_t>(releasedGroups)));
 }
 
 void

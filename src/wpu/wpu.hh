@@ -30,6 +30,7 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 #include "wpu/arena.hh"
 #include "wpu/kernel_barrier.hh"
 #include "wpu/policy.hh"
@@ -141,6 +142,15 @@ class Wpu : public EventTarget
     std::string dumpState() const;
     /** @return the WPU's id. */
     WpuId id() const { return wpuId; }
+
+    /**
+     * Attach the tracer (nullptr = tracing off) and forward it to the
+     * scheduler and WST. Call before launch(); purely observational.
+     */
+    void setTracer(Tracer *t);
+
+    /** @return a metrics-timeline sample of this WPU's current state. */
+    TraceEpochSample traceSample() const;
 
   private:
     // --- group lifecycle ---------------------------------------------
@@ -255,6 +265,9 @@ class Wpu : public EventTarget
     /** Read-only structural access for the runtime invariant audit. */
     friend class InvariantChecker;
 
+    /** Structured tracer; nullptr (the default) means tracing is off. */
+    Tracer *trace_ = nullptr;
+
     WpuId wpuId;
     SystemConfig cfg;
     DivergencePolicy policy;
@@ -313,6 +326,12 @@ class Wpu : public EventTarget
 
     /** Consecutive no-issue cycles (ReviveSplit trigger damping). */
     int stallStreak = 0;
+
+    /**
+     * The next memSplit() was triggered by tryReviveSplit(): label its
+     * trace record SplitRevive instead of SplitMem. Trace-only.
+     */
+    bool traceReviveSplit_ = false;
 
     /** Interval accounting for slip adaptation. */
     Cycle lastSlipAdapt = 0;

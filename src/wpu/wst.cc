@@ -38,6 +38,8 @@ WarpSplitTable::addGroup(WarpId w)
 {
     groupsPerWarp[static_cast<size_t>(w)]++;
     notePeak();
+    DWS_TRACE(trace_, wst(TraceKind::WstAlloc, wpuId_, w,
+                          static_cast<std::uint32_t>(inUse())));
 }
 
 void
@@ -47,6 +49,8 @@ WarpSplitTable::removeGroup(WarpId w)
     if (g <= 0)
         panic("WST removeGroup on warp %d with %d groups", w, g);
     g--;
+    DWS_TRACE(trace_, wst(TraceKind::WstFree, wpuId_, w,
+                          static_cast<std::uint32_t>(inUse())));
 }
 
 void
@@ -54,6 +58,8 @@ WarpSplitTable::addParked(WarpId w)
 {
     parkedPerWarp[static_cast<size_t>(w)]++;
     notePeak();
+    DWS_TRACE(trace_, wst(TraceKind::WstPark, wpuId_, w,
+                          static_cast<std::uint32_t>(inUse())));
 }
 
 void
@@ -63,12 +69,16 @@ WarpSplitTable::removeParked(WarpId w, int n)
     if (p < n)
         panic("WST removeParked(%d) on warp %d with %d parked", n, w, p);
     p -= n;
+    DWS_TRACE(trace_, wst(TraceKind::WstUnpark, wpuId_, w,
+                          static_cast<std::uint32_t>(inUse())));
 }
 
 void
 WarpSplitTable::clearParked(WarpId w)
 {
     parkedPerWarp[static_cast<size_t>(w)] = 0;
+    DWS_TRACE(trace_, wst(TraceKind::WstUnpark, wpuId_, w,
+                          static_cast<std::uint32_t>(inUse())));
 }
 
 } // namespace dws

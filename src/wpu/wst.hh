@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace dws {
 
@@ -79,8 +80,19 @@ class WarpSplitTable
     /** Peak WST occupancy observed. */
     std::uint64_t peakUse = 0;
 
+    /** Attach the tracer for alloc/free/park records (nullptr = off). */
+    void
+    setTracer(Tracer *t, WpuId wpu)
+    {
+        trace_ = t;
+        wpuId_ = wpu;
+    }
+
   private:
     void notePeak();
+
+    Tracer *trace_ = nullptr;
+    WpuId wpuId_ = 0;
 
     int capacity;
     std::vector<int> groupsPerWarp;

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Full CI sweep: Release build + tests + static lint + the simulator
-# throughput benchmark (archived to BENCH_throughput.json), then an
+# throughput benchmark (archived to BENCH_throughput.json), then the
+# tracing subsystem (fingerprint neutrality, a traced figure bench
+# validated with dws_trace check + Perfetto convert, tracing overhead
+# archived to BENCH_trace_overhead.json, and a DWS_TRACING=OFF build
+# proving the hooks compile away), then an
 # ASan+UBSan build that re-runs the tests and an every-cycle invariant
 # audit of a DWS.ReviveSplit run of every kernel (paper Fig. 9 config,
 # tiny scale), then a TSan build that exercises the parallel sweep
@@ -28,6 +32,53 @@ echo "=== Release: simulator throughput benchmark ==="
 ./build-ci-release/bench/bench_throughput --fast \
     --json BENCH_throughput.json
 echo "  archived BENCH_throughput.json"
+
+echo "=== Release: tracing subsystem ==="
+# Golden fingerprints must be unchanged with tracing on:
+# GoldenFingerprints pins the untraced hashes and
+# Trace.TracingDoesNotPerturbFingerprints pins traced == untraced.
+./build-ci-release/tests/dws_tests \
+    --gtest_filter='TraceRing.*:JsonWriter.*:Trace.*:GoldenFingerprints.*'
+TRACE_DIR=$(mktemp -d)
+./build-ci-release/bench/bench_fig13_schemes --fast \
+    --trace --trace-out "$TRACE_DIR/fig13.dwst" >/dev/null
+for t in "$TRACE_DIR"/fig13.*.dwst; do
+    ./build-ci-release/tools/dws_trace check "$t" >/dev/null
+done
+echo "  $(ls "$TRACE_DIR"/fig13.*.dwst | wc -l) per-job traces check clean"
+./build-ci-release/tools/dws_trace convert \
+    "$TRACE_DIR/fig13.Revive.SVM.dwst" \
+    -o "$TRACE_DIR/fig13.Revive.SVM.json"
+echo "  Perfetto convert: ok"
+
+echo "=== Release: tracing overhead (archived next to throughput) ==="
+./build-ci-release/bench/bench_throughput --fast \
+    --trace --trace-out "$TRACE_DIR/tp.dwst" \
+    --json BENCH_throughput_traced.json >/dev/null
+if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+base = json.load(open("BENCH_throughput.json"))
+traced = json.load(open("BENCH_throughput_traced.json"))
+b = sum(c["wall_ms"] for c in base)
+t = sum(c["wall_ms"] for c in traced)
+out = {"untraced_wall_ms": round(b, 3), "traced_wall_ms": round(t, 3),
+       "tracing_on_overhead_pct": round(100.0 * (t - b) / b, 2)}
+json.dump(out, open("BENCH_trace_overhead.json", "w"), indent=2)
+print("  tracing-on overhead: %.1f%% "
+      "(archived BENCH_trace_overhead.json)"
+      % out["tracing_on_overhead_pct"])
+EOF
+else
+    echo "  python3 not found; skipped overhead summary"
+fi
+rm -rf "$TRACE_DIR"
+
+echo "=== Tracing compiled out (DWS_TRACING=OFF): build + ctest ==="
+cmake -S . -B build-ci-notrace -DCMAKE_BUILD_TYPE=Release \
+      -DDWS_TRACING=OFF >/dev/null
+cmake --build build-ci-notrace -j "$JOBS"
+ctest --test-dir build-ci-notrace --output-on-failure -j "$JOBS"
 
 echo "=== ASan+UBSan: configure + build ==="
 cmake -S . -B build-ci-asan -DCMAKE_BUILD_TYPE=Debug \

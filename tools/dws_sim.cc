@@ -20,6 +20,7 @@
 #include "harness/runner.hh"
 #include "isa/disasm.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 using namespace dws;
 
@@ -45,6 +46,13 @@ usage()
         "  --check-invariants[=N]  audit runtime invariants every N\n"
         "                    cycles (default 256; 0 disables; Debug\n"
         "                    builds audit by default)\n"
+        "  --trace[=MODE]    record a structured trace; MODE is events,\n"
+        "                    timeline or all (default all)\n"
+        "  --trace-out FILE  trace destination (default trace.dwst);\n"
+        "                    .dwst binary, .jsonl JSON-lines, .json\n"
+        "                    Perfetto (load in ui.perfetto.dev)\n"
+        "  --trace-epoch N   timeline sample period in cycles "
+        "(default 1024)\n"
         "  --disasm          print the kernel listing and exit\n"
         "  --list            print benchmark names and exit\n"
         "  --quiet           suppress warnings");
@@ -141,6 +149,18 @@ main(int argc, char **argv)
             cfg.checkInvariants = 256;
         } else if (!std::strncmp(a, "--check-invariants=", 19)) {
             cfg.checkInvariants = static_cast<Cycle>(std::atoll(a + 19));
+        } else if (!std::strcmp(a, "--trace")) {
+            cfg.traceMode = static_cast<int>(TraceMode::All);
+        } else if (!std::strncmp(a, "--trace=", 8)) {
+            const TraceMode m = parseTraceMode(a + 8);
+            if (m == TraceMode::Off)
+                fatal("--trace mode must be events, timeline or all, "
+                      "got '%s'", a + 8);
+            cfg.traceMode = static_cast<int>(m);
+        } else if (!std::strcmp(a, "--trace-out") && i + 1 < argc) {
+            cfg.traceOut = argv[++i];
+        } else if (!std::strcmp(a, "--trace-epoch")) {
+            cfg.traceEpoch = static_cast<Cycle>(intArg(i));
         } else if (!std::strcmp(a, "--disasm")) {
             wantDisasm = true;
         } else if (!std::strcmp(a, "--quiet")) {
@@ -150,6 +170,11 @@ main(int argc, char **argv)
             fatal("unknown argument '%s'", a);
         }
     }
+
+    if (cfg.traceMode != 0 && cfg.traceOut.empty())
+        cfg.traceOut = "trace.dwst";
+    if (cfg.traceMode == 0 && !cfg.traceOut.empty())
+        fatal("--trace-out requires --trace");
 
     const int subdiv = cfg.policy.subdivMaxPostBlock;
     const int minSplit = cfg.policy.minSplitWidth;
@@ -207,5 +232,11 @@ main(int argc, char **argv)
                 e.total() * 1e-6, 100 * e.pipeline / e.total(),
                 100 * e.caches / e.total(), 100 * e.network / e.total(),
                 100 * e.dram / e.total(), 100 * e.leakage / e.total());
+    if (cfg.traceMode != 0)
+        std::printf("  trace:            %llu records -> %s "
+                    "(%llu dropped)\n",
+                    (unsigned long long)r.traceRecords,
+                    cfg.traceOut.c_str(),
+                    (unsigned long long)r.traceDropped);
     return r.valid ? 0 : 2;
 }

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Trace-file tool: validate, summarize, diff, and convert the binary
+ * traces produced by `--trace` (see src/trace/).
+ *
+ *   dws_trace check FILE           structural validation (exit 1 on
+ *                                  any problem)
+ *   dws_trace summary FILE         human-readable aggregate summary
+ *   dws_trace diff A B             first divergent record of two runs
+ *   dws_trace convert FILE -o OUT  re-emit as .json (Perfetto) or
+ *                                  .jsonl (JSON-lines)
+ *   dws_trace dump FILE [-n N]     print records as JSON lines
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "trace/reader.hh"
+#include "trace/sinks.hh"
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+                 "usage: dws_trace check FILE\n"
+                 "       dws_trace summary FILE\n"
+                 "       dws_trace diff A B\n"
+                 "       dws_trace convert FILE -o OUT.json|OUT.jsonl\n"
+                 "       dws_trace dump FILE [-n N]\n");
+}
+
+bool
+load(const std::string &path, dws::TraceData &t)
+{
+    std::string err;
+    if (!dws::readTraceFile(path, t, err)) {
+        std::fprintf(stderr, "dws_trace: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+cmdCheck(const std::string &path)
+{
+    dws::TraceData t;
+    if (!load(path, t))
+        return 1;
+    const auto problems = dws::checkTrace(t);
+    if (problems.empty()) {
+        std::printf("%s: OK (%zu records)\n", path.c_str(),
+                    t.records.size());
+        return 0;
+    }
+    for (const auto &p : problems)
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+    return 1;
+}
+
+int
+cmdSummary(const std::string &path)
+{
+    dws::TraceData t;
+    if (!load(path, t))
+        return 1;
+    dws::writeTraceSummary(std::cout, t);
+    return 0;
+}
+
+int
+cmdDiff(const std::string &a, const std::string &b)
+{
+    dws::TraceData ta, tb;
+    if (!load(a, ta) || !load(b, tb))
+        return 1;
+    const long long at = dws::diffTraces(std::cout, ta, tb);
+    if (at < 0) {
+        std::printf("traces identical (%zu records)\n",
+                    ta.records.size());
+        return 0;
+    }
+    return 1;
+}
+
+int
+cmdConvert(const std::string &in, const std::string &out)
+{
+    dws::TraceData t;
+    if (!load(in, t))
+        return 1;
+    if (out.size() < 6 ||
+        (out.rfind(".json") != out.size() - 5 &&
+         out.rfind(".jsonl") != out.size() - 6)) {
+        std::fprintf(stderr,
+                     "dws_trace: convert output must end in .json "
+                     "(Perfetto) or .jsonl (JSON-lines), got '%s'\n",
+                     out.c_str());
+        return 2;
+    }
+    auto sink = dws::makeTraceSink(out);
+    if (!sink) {
+        std::fprintf(stderr, "dws_trace: cannot open '%s'\n",
+                     out.c_str());
+        return 1;
+    }
+    // Replay the loaded trace through the sink verbatim.
+    sink->begin(t.header);
+    if (!t.records.empty())
+        sink->write(t.records.data(), t.records.size());
+    dws::TraceFileFooter foot = t.footer;
+    if (!t.hasFooter) {
+        std::memcpy(foot.magic, "DWSTFOOT", 8);
+        foot.records = t.records.size();
+        foot.dropped = 0;
+        foot.checksum = dws::traceFnv1a(
+                t.records.data(),
+                t.records.size() * sizeof(dws::TraceRecord));
+        foot.lastCycle =
+                t.records.empty() ? 0 : t.records.back().cycle;
+    }
+    sink->end(foot);
+    std::printf("%s: wrote %zu records to %s\n", in.c_str(),
+                t.records.size(), out.c_str());
+    return 0;
+}
+
+int
+cmdDump(const std::string &path, long long limit)
+{
+    dws::TraceData t;
+    if (!load(path, t))
+        return 1;
+    long long n = 0;
+    for (const auto &r : t.records) {
+        if (limit >= 0 && n >= limit)
+            break;
+        dws::writeRecordJson(std::cout, r);
+        std::cout << '\n';
+        n++;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(stderr);
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "-h" || cmd == "--help" || cmd == "help") {
+        usage(stdout);
+        return 0;
+    }
+    if (cmd == "check" && argc == 3)
+        return cmdCheck(argv[2]);
+    if (cmd == "summary" && argc == 3)
+        return cmdSummary(argv[2]);
+    if (cmd == "diff" && argc == 4)
+        return cmdDiff(argv[2], argv[3]);
+    if (cmd == "convert") {
+        std::string in, out;
+        for (int i = 2; i < argc; i++) {
+            if (!std::strcmp(argv[i], "-o") && i + 1 < argc)
+                out = argv[++i];
+            else if (in.empty())
+                in = argv[i];
+            else if (out.empty())
+                out = argv[i];
+        }
+        if (!in.empty() && !out.empty())
+            return cmdConvert(in, out);
+    }
+    if (cmd == "dump" && argc >= 3) {
+        long long limit = -1;
+        for (int i = 3; i < argc; i++) {
+            if (!std::strcmp(argv[i], "-n") && i + 1 < argc)
+                limit = std::atoll(argv[++i]);
+        }
+        return cmdDump(argv[2], limit);
+    }
+    usage(stderr);
+    return 2;
+}
