@@ -26,6 +26,7 @@ main(int argc, char **argv)
            "design-choice sensitivity (not a paper figure)");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
             opts.scale, opts.benchmarks, ex);
@@ -74,5 +75,5 @@ main(int argc, char **argv)
         t.row({label, fmt(hmeanSpeedup(conv, pending.get()), 3)});
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

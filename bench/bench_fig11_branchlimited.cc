@@ -24,6 +24,7 @@ main(int argc, char **argv)
            "little speedup (h-mean close to 1.0)");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
             opts.scale, opts.benchmarks, ex);
@@ -56,5 +57,5 @@ main(int argc, char **argv)
            fmt(hmeanSpeedup(conv, bypassP.get()), 3)});
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

@@ -37,6 +37,7 @@ main(int argc, char **argv)
     // Submit every (scheme x benchmark) job before collecting any, so
     // the worker pool sees the whole figure at once.
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     PendingRun convPending = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
             opts.scale, opts.benchmarks, ex);
@@ -59,7 +60,7 @@ main(int argc, char **argv)
     for (const auto &[name, cs] : conv.stats) {
         std::vector<std::string> row = {name};
         for (const auto &run : runs)
-            row.push_back(fmt(speedup(cs, run.stats.at(name))));
+            row.push_back(speedupCell(run, name, cs));
         t.row(row);
     }
     std::vector<std::string> hrow = {"h-mean"};
@@ -68,5 +69,5 @@ main(int argc, char **argv)
     t.row(hrow);
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

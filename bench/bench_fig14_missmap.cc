@@ -28,6 +28,7 @@ main(int argc, char **argv)
             opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     const std::vector<JobResult> results =
             runBenchmarks(ex, "Conv", cfg, opts);
 
@@ -53,5 +54,5 @@ main(int argc, char **argv)
         std::printf("\n");
     }
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

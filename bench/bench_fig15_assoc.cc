@@ -22,6 +22,7 @@ main(int argc, char **argv)
            "DWS benefit decreases with larger associativity");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     const std::vector<int> assocs = {4, 8, 16, 0};
     std::vector<PendingRun> convP, dwsP;
     for (int assoc : assocs) {
@@ -48,6 +49,8 @@ main(int argc, char **argv)
         const PolicyRun dws = dwsP[i].get();
         std::vector<double> convCycles, dwsCycles;
         for (const auto &[name, cs] : conv.stats) {
+            if (!dws.ok(name))
+                continue;
             convCycles.push_back(double(cs.cycles));
             dwsCycles.push_back(double(dws.stats.at(name).cycles));
         }
@@ -61,5 +64,5 @@ main(int argc, char **argv)
     }
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

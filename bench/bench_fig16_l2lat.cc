@@ -22,6 +22,7 @@ main(int argc, char **argv)
            "DWS speedup over Conv increases with longer L2 latency");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     const std::vector<int> lats = {10, 30, 100, 200, 300};
     std::vector<PendingRun> convP, dwsP;
     for (int lat : lats) {
@@ -46,5 +47,5 @@ main(int argc, char **argv)
     }
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
            "the D-cache");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     const std::vector<std::uint64_t> sizesKb = {8, 16, 32, 64, 128};
     std::vector<PendingRun> convP, dwsP;
     for (std::uint64_t kb : sizesKb) {
@@ -46,6 +47,8 @@ main(int argc, char **argv)
         const PolicyRun dws = dwsP[i].get();
         std::vector<double> convCycles, dwsCycles;
         for (const auto &[name, cs] : conv.stats) {
+            if (!dws.ok(name))
+                continue;
             convCycles.push_back(double(cs.cycles));
             dwsCycles.push_back(double(dws.stats.at(name).cycles));
         }
@@ -58,5 +61,5 @@ main(int argc, char **argv)
     }
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

@@ -70,6 +70,7 @@ main(int argc, char **argv)
 
     // Submit the full (setup x shape x policy) grid before collecting.
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     struct Cell
     {
         PendingRun conv, dws, slip;
@@ -119,5 +120,5 @@ main(int argc, char **argv)
         std::printf("\n");
     }
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

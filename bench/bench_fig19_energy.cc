@@ -22,6 +22,7 @@ main(int argc, char **argv)
            "DWS ~30% energy savings; Slip.BB ~5%");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
             opts.scale, opts.benchmarks, ex);
@@ -40,6 +41,11 @@ main(int argc, char **argv)
     t.header({"benchmark", "Conv", "DWS", "Slip.BB"});
     double sumC = 0, sumD = 0, sumS = 0;
     for (const auto &[name, cs] : conv.stats) {
+        if (!dws.ok(name) || !slip.ok(name)) {
+            t.row({name, "1.00", dws.ok(name) ? "-" : "FAIL",
+                   slip.ok(name) ? "-" : "FAIL"});
+            continue;
+        }
         const double d = dws.stats.at(name).energyNj / cs.energyNj;
         const double s = slip.stats.at(name).energyNj / cs.energyNj;
         sumC += 1.0;
@@ -47,9 +53,9 @@ main(int argc, char **argv)
         sumS += s;
         t.row({name, "1.00", fmt(d), fmt(s)});
     }
-    const double n = double(conv.stats.size());
+    const double n = sumC > 0 ? sumC : 1.0;
     t.row({"mean", "1.00", fmt(sumD / n), fmt(sumS / n)});
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

@@ -62,6 +62,7 @@ main(int argc, char **argv)
     const BenchOptions opts =
             parseBenchArgs(argc, argv, KernelScale::Tiny);
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
 
     banner("Figure 1: SIMD width / associativity / warp-count "
            "motivation (Conv)",
@@ -131,5 +132,5 @@ main(int argc, char **argv)
         t.print();
     }
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

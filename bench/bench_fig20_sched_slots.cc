@@ -21,6 +21,7 @@ main(int argc, char **argv)
            "a moderate slot count (2x warps) performs best");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
             opts.scale, opts.benchmarks, ex);
@@ -42,5 +43,5 @@ main(int argc, char **argv)
                fmt(hmeanSpeedup(conv, dwsP[i].get()), 3)});
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

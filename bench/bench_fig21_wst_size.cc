@@ -21,6 +21,7 @@ main(int argc, char **argv)
            "2x the scheduler slots is enough; more entries don't help");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
             opts.scale, opts.benchmarks, ex);
@@ -48,5 +49,5 @@ main(int argc, char **argv)
            fmt(hmeanSpeedup(conv, slipP.get()), 3)});
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

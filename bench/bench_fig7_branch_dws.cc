@@ -24,6 +24,7 @@ main(int argc, char **argv)
            "speedup 1.13X; never worse than Conv");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     PendingRun convP = runAllAsync(
             "Conv", SystemConfig::table3(PolicyConfig::conv()),
             opts.scale, opts.benchmarks, ex);
@@ -42,6 +43,11 @@ main(int argc, char **argv)
               "width PC"});
     std::vector<double> spStack, spPc;
     for (const auto &[name, cs] : conv.stats) {
+        if (!stack.ok(name) || !pc.ok(name)) {
+            t.row({name, speedupCell(stack, name, cs),
+                   speedupCell(pc, name, cs), "-", "-"});
+            continue;
+        }
         const RunStats &ss = stack.stats.at(name);
         const RunStats &ps = pc.stats.at(name);
         spStack.push_back(speedup(cs, ss));
@@ -53,5 +59,5 @@ main(int argc, char **argv)
            fmt(harmonicMean(spPc)), "", ""});
     t.print();
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

@@ -30,6 +30,7 @@ main(int argc, char **argv)
                 "(4 WPUs x 4 warps x 16-wide, Table 3)\n\n");
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     PendingRun convP =
             runAllAsync("Conv", convCfg, opts.scale, opts.benchmarks,
                         ex);
@@ -46,7 +47,14 @@ main(int argc, char **argv)
     std::vector<double> sp;
     double stallConv = 0, stallDws = 0, widthConv = 0, widthDws = 0;
     double energyConv = 0, energyDws = 0;
+    double n = 0;
     for (const auto &[name, cs] : conv.stats) {
+        if (!dws.ok(name)) {
+            t.row({name, std::to_string(cs.cycles),
+                   "FAIL", "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        n += 1.0;
         const RunStats &ds = dws.stats.at(name);
         const double s = speedup(cs, ds);
         sp.push_back(s);
@@ -63,7 +71,8 @@ main(int argc, char **argv)
                fmt(cs.avgSimdWidth(), 1), fmt(ds.avgSimdWidth(), 1),
                fmt(ds.energyNj / cs.energyNj)});
     }
-    const double n = double(conv.stats.size());
+    if (n == 0)
+        n = 1.0;
     t.row({"h-mean/avg", "", "", fmt(harmonicMean(sp)),
            fmt(100.0 * stallConv / n, 1), fmt(100.0 * stallDws / n, 1),
            fmt(widthConv / n, 1), fmt(widthDws / n, 1),
@@ -73,5 +82,5 @@ main(int argc, char **argv)
     std::printf("\npaper: h-mean speedup 1.71X, stall 76%%->36%%, "
                 "width 14->4, energy -30%%\n");
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

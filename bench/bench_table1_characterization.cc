@@ -32,6 +32,7 @@ main(int argc, char **argv)
             opts.benchmarks.empty() ? kernelNames() : opts.benchmarks;
 
     SweepExecutor ex(opts.jobs);
+    applyBenchOptions(ex, opts);
     const std::vector<JobResult> results =
             runBenchmarks(ex, "Conv", cfg, opts);
     std::map<std::string, const RunResult *> byName;
@@ -90,5 +91,5 @@ main(int argc, char **argv)
                 "(conditional moves), so its divergent-branch share is "
                 "lower than the paper's hand-counted 13%%.\n");
     maybeWriteJson(ex, opts);
-    return 0;
+    return benchExitCode(ex);
 }

@@ -44,8 +44,12 @@ Cell
 timeCell(const std::string &policy, const PolicyConfig &pol,
          const std::string &kernel, KernelScale scale)
 {
-    const SystemConfig cfg =
-            withBenchTrace(SystemConfig::table3(pol), policy, kernel);
+    // Runs on the calling thread (no executor), so an injected fault or
+    // other structured abort exits the process directly with its
+    // distinct code (sim/abort.hh exitCodeFor).
+    const SystemConfig cfg = withBenchFault(
+            withBenchTrace(SystemConfig::table3(pol), policy, kernel),
+            policy, kernel);
     runKernel(kernel, cfg, scale); // warm-up
     const auto t0 = std::chrono::steady_clock::now();
     const RunResult r = runKernel(kernel, cfg, scale);

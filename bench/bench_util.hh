@@ -31,9 +31,43 @@ runBenchmarks(SweepExecutor &ex, const std::string &label,
     std::vector<SweepJob> jobs;
     jobs.reserve(names.size());
     for (const auto &name : names)
-        jobs.push_back(SweepJob{name, withBenchTrace(cfg, label, name),
-                                opts.scale, label});
+        jobs.push_back(SweepJob{
+                name,
+                withBenchFault(withBenchTrace(cfg, label, name), label,
+                               name),
+                opts.scale, label});
     return ex.runBatch(std::move(jobs));
+}
+
+/**
+ * @return the table cell for `run`'s result on `bench`: the speedup
+ *         over `base` when the cell completed, else "FAIL(outcome)" so
+ *         a poisoned or crashed cell degrades the table instead of
+ *         killing the bench.
+ */
+inline std::string
+speedupCell(const PolicyRun &run, const std::string &bench,
+            const RunStats &base)
+{
+    if (run.ok(bench))
+        return fmt(speedup(base, run.stats.at(bench)));
+    const auto it = run.failures.find(bench);
+    const std::string reason =
+            it != run.failures.end()
+                    ? it->second.substr(0, it->second.find(':'))
+                    : "missing";
+    return "FAIL(" + reason + ")";
+}
+
+/**
+ * @return the bench's process exit code: exitCodeFor() of the most
+ *         severe job outcome — 0 only if every cell completed with
+ *         valid output (the distinct codes are listed in sim/abort.hh).
+ */
+inline int
+benchExitCode(const SweepExecutor &ex)
+{
+    return exitCodeFor(ex.worstOutcome());
 }
 
 /** Write the machine-readable results file if `--json` was given. */

@@ -94,6 +94,21 @@ InvariantChecker::auditGroup(AuditCtx &ctx, const SimdGroup *g)
         ctx.add(g->warp, g->id, g->pc,
                 "ready group neither holds a slot nor queues for one");
     }
+
+    // Lost wake: a memory-suspended group whose requests all completed
+    // (pendingMem empty) is woken by a WakeGroup event scheduled for
+    // its readyAt; the event queue drains through `now` before any
+    // tick, so a group still in WaitMem strictly past that time lost
+    // its wake (dropped, delayed or misrouted event) and would sleep
+    // forever.
+    if (g->state == GroupState::WaitMem && g->pendingMem == 0 &&
+        g->readyAt < ctx.now) {
+        ctx.add(g->warp, g->id, g->pc,
+                format("group lost its wake: WaitMem with no pending "
+                       "lanes past readyAt %llu (now %llu)",
+                       (unsigned long long)g->readyAt,
+                       (unsigned long long)ctx.now));
+    }
 }
 
 void
@@ -370,6 +385,22 @@ InvariantChecker::auditWpu(const Wpu &w, Cycle now)
                     format("tracer mirrors %d L2 MSHRs, file holds %d",
                            t->l2MshrInUse(),
                            w.memsys.l2MshrFile().inUse()));
+    }
+
+    // Tag uniqueness: find() returns the first matching way, so two
+    // valid ways of a set with the same tag would silently shadow each
+    // other's MESI state. Checked on this WPU's L1s plus the shared L2
+    // (the L2 check is redundant across WPUs but cheap relative to the
+    // audit cadence).
+    for (const CacheArray *c :
+         {&w.memsys.icache(w.id()), &w.memsys.dcache(w.id()),
+          &w.memsys.l2()}) {
+        const std::vector<int> dups = c->duplicateTagSets();
+        if (!dups.empty())
+            ctx.add(-1, -1, kPcExit,
+                    format("%s: %zu sets hold duplicate tags "
+                           "(first: set %d)",
+                           c->name().c_str(), dups.size(), dups[0]));
     }
 
     // Static divergence soundness: a branch the compiler pass proved

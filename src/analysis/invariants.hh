@@ -20,11 +20,17 @@
  *    queue holds only live, slotless groups, each at most once
  *  - MSHR entry-leak detection (an entry past its fill time means a
  *    release event was lost)
+ *  - lost-wake detection (a WaitMem group with no pending lanes past
+ *    its readyAt lost its wake event and would sleep forever)
+ *  - cache tag uniqueness (two valid ways of one set with equal tags
+ *    shadow each other's MESI state)
  *  - static divergence soundness: no branch predicted uniform may ever
  *    be observed divergent
  *
- * Violations carry cycle/warp/pc context. Wpu::tick panics on the
- * first violation; tests call InvariantChecker::auditWpu directly.
+ * Violations carry cycle/warp/pc context. Wpu::tick aborts with
+ * SimOutcome::InvariantViolation on the first violation (recoverable
+ * under the sweep harness, sim/abort.hh); tests call
+ * InvariantChecker::auditWpu directly.
  */
 
 #ifndef DWS_ANALYSIS_INVARIANTS_HH

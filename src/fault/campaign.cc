@@ -1,0 +1,191 @@
+#include "fault/campaign.hh"
+
+#include <memory>
+
+#include "harness/system.hh"
+#include "kernels/kernel.hh"
+#include "sim/config.hh"
+#include "sim/json_writer.hh"
+#include "sim/logging.hh"
+
+namespace dws {
+
+namespace {
+
+CampaignCell
+runCell(const CampaignOptions &opt, FaultClass cls, std::uint64_t seed)
+{
+    CampaignCell cell;
+    cell.cls = cls;
+    cell.seed = seed;
+
+    FaultSpec spec;
+    spec.cls = cls;
+    spec.cycle = opt.injectCycle;
+    spec.wpu = 0;
+    spec.seed = seed;
+    cell.spec = spec.toString();
+
+    SystemConfig cfg = SystemConfig::table3(PolicyConfig::reviveSplit());
+    cfg.faultSpec = cell.spec;
+    cfg.checkInvariants = opt.auditCadence;
+    cfg.maxCycles = opt.maxCycles;
+
+    KernelParams kp;
+    kp.scale = KernelScale::Tiny;
+    std::unique_ptr<Kernel> kernel = makeKernel(opt.kernel, kp);
+    if (!kernel) {
+        cell.classification = "missed";
+        cell.message = "unknown kernel " + opt.kernel;
+        return cell;
+    }
+
+    System sys(cfg, *kernel);
+    bool completed = false;
+    bool valid = false;
+    try {
+        ScopedRecoverableAborts recover;
+        sys.run();
+        completed = true;
+        valid = kernel->validate(sys.memory());
+    } catch (const SimAbortError &err) {
+        cell.outcome = err.outcome;
+        cell.abortCycle = err.cycle;
+        cell.message = err.what();
+    }
+
+    const FaultInjector *inj = sys.faultInjector();
+    cell.fired = inj && inj->fired();
+    if (cell.fired) {
+        cell.firedAt = inj->firedAt();
+        cell.faultDesc = inj->description();
+    }
+
+    if (!cell.fired) {
+        cell.classification = "missed";
+        if (cell.message.empty())
+            cell.message = "fault never fired (no applicable target)";
+        return cell;
+    }
+    if (completed) {
+        // The machine ran to completion around the corruption without
+        // any detector noticing: silent, hence missed — even if the
+        // output happens to be valid.
+        cell.outcome =
+                valid ? SimOutcome::Ok : SimOutcome::ValidationFailed;
+        cell.classification = "missed";
+        cell.message = valid ? "run completed, output valid"
+                             : "run completed, output INVALID";
+        return cell;
+    }
+    if (cell.outcome == SimOutcome::InvariantViolation ||
+        cell.outcome == SimOutcome::Deadlock) {
+        cell.latency = cell.abortCycle - cell.firedAt;
+        cell.classification =
+                cell.latency <= opt.detectBound ? "detected" : "missed";
+        if (cell.classification == "missed")
+            cell.message += " [latency exceeds bound]";
+        return cell;
+    }
+    cell.classification = "contained";
+    return cell;
+}
+
+} // namespace
+
+CampaignReport
+runFaultCampaign(const CampaignOptions &options)
+{
+    CampaignReport report;
+    report.options = options;
+    std::vector<FaultClass> classes = options.classes;
+    if (classes.empty())
+        classes = allFaultClasses();
+
+    for (FaultClass cls : classes) {
+        for (std::uint64_t seed : options.seeds) {
+            CampaignCell cell = runCell(options, cls, seed);
+            if (cell.classification == "detected") {
+                report.detected++;
+                if (cell.latency > report.maxLatency)
+                    report.maxLatency = cell.latency;
+            } else if (cell.classification == "contained") {
+                report.contained++;
+            } else {
+                report.missed++;
+            }
+            report.cells.push_back(std::move(cell));
+        }
+    }
+    return report;
+}
+
+void
+writeCampaignReport(const CampaignReport &report, std::ostream &os)
+{
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.field("kernel", report.options.kernel);
+    w.field("inject_cycle", report.options.injectCycle);
+    w.field("audit_cadence", report.options.auditCadence);
+    w.field("detect_bound", report.options.detectBound);
+    w.field("cells", static_cast<std::uint64_t>(report.cells.size()));
+    w.field("detected", report.detected);
+    w.field("contained", report.contained);
+    w.field("missed", report.missed);
+    w.field("max_latency", report.maxLatency);
+    w.key("by_class");
+    w.beginArray();
+    {
+        std::vector<FaultClass> classes = report.options.classes;
+        if (classes.empty())
+            classes = allFaultClasses();
+        for (FaultClass cls : classes) {
+            int det = 0, con = 0, mis = 0;
+            Cycle lat = 0;
+            for (const CampaignCell &c : report.cells) {
+                if (c.cls != cls)
+                    continue;
+                if (c.classification == "detected") {
+                    det++;
+                    if (c.latency > lat)
+                        lat = c.latency;
+                } else if (c.classification == "contained") {
+                    con++;
+                } else {
+                    mis++;
+                }
+            }
+            w.beginObject();
+            w.field("class", faultClassName(cls));
+            w.field("detected", det);
+            w.field("contained", con);
+            w.field("missed", mis);
+            w.field("max_latency", lat);
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.key("runs");
+    w.beginArray();
+    for (const CampaignCell &c : report.cells) {
+        w.beginObject();
+        w.field("class", faultClassName(c.cls));
+        w.field("seed", c.seed);
+        w.field("spec", c.spec);
+        w.field("fired", c.fired);
+        w.field("fired_at", c.firedAt);
+        w.field("fault", c.faultDesc);
+        w.field("outcome", simOutcomeName(c.outcome));
+        w.field("abort_cycle", c.abortCycle);
+        w.field("latency", c.latency);
+        w.field("classification", c.classification);
+        w.field("message", c.message);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace dws

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Detection-latency campaign: fault classes x seeds, each run in-process
+ * under recoverable aborts, classified by how (and how fast) the fault
+ * was caught.
+ *
+ * This is the self-validation layer of the fault framework (DESIGN.md
+ * §12): the campaign *proves* — per class, per seed — that the runtime
+ * invariant checker or the deadlock detector catches every injected
+ * corruption within a bounded number of cycles. A "missed" cell means a
+ * checker coverage gap; CI gates on zero of them.
+ */
+
+#ifndef DWS_FAULT_CAMPAIGN_HH
+#define DWS_FAULT_CAMPAIGN_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "sim/abort.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Parameters of one campaign. */
+struct CampaignOptions
+{
+    /** Classes to inject; empty = all of them. */
+    std::vector<FaultClass> classes;
+    /** Seeds per class (each seed is one independent cell). */
+    std::vector<std::uint64_t> seeds = {1, 2, 3};
+    /** Kernel the faults are planted into. */
+    std::string kernel = "Merge";
+    /** Earliest injection cycle (mid-run, past warm-up). */
+    Cycle injectCycle = 2000;
+    /**
+     * Invariant-audit cadence during campaign runs. The default of 1
+     * makes the detection latency of state-corruption classes exactly
+     * the distance from mutation to the next audit point, so the
+     * reported latency measures the *checker*, not the cadence.
+     */
+    Cycle auditCadence = 1;
+    /**
+     * Detection-latency bound in cycles, from the fault actually
+     * firing to the abort. State corruption is caught at the next
+     * audit (<= cadence); event faults (dropped/delayed fills, stale
+     * wakes) are caught at the first audit after the victim's recorded
+     * fill time passes, bounded by the longest memory round trip. The
+     * default covers both with margin on the Tiny-scale kernels.
+     */
+    Cycle detectBound = 50000;
+    /** Per-run cycle ceiling (a runaway run classifies as missed). */
+    Cycle maxCycles = 2'000'000;
+};
+
+/** One (class, seed) campaign cell. */
+struct CampaignCell
+{
+    FaultClass cls = FaultClass::MaskFlip;
+    std::uint64_t seed = 1;
+    /** The exact spec re-runnable via `dws_sim --inject=`. */
+    std::string spec;
+
+    bool fired = false;
+    Cycle firedAt = 0;
+    /** What the injector corrupted (empty if it never fired). */
+    std::string faultDesc;
+
+    /** How the run ended. */
+    SimOutcome outcome = SimOutcome::Ok;
+    /** Abort cycle (when outcome != Ok). */
+    Cycle abortCycle = 0;
+    /** Cycles from firing to the abort (detected cells only). */
+    Cycle latency = 0;
+    /** Abort message or validation verdict. */
+    std::string message;
+
+    /** "detected", "contained" or "missed". */
+    std::string classification;
+};
+
+/** Aggregated campaign results. */
+struct CampaignReport
+{
+    CampaignOptions options;
+    std::vector<CampaignCell> cells;
+    int detected = 0;
+    int contained = 0;
+    int missed = 0;
+    /** Largest detection latency over all detected cells. */
+    Cycle maxLatency = 0;
+};
+
+/**
+ * Run the campaign. Each cell is one full simulation with one planted
+ * fault, classified as:
+ *  - "detected":  aborted with InvariantViolation or Deadlock within
+ *                 options.detectBound cycles of the fault firing;
+ *  - "contained": surfaced through another structured channel (panic,
+ *                 cycle limit) — not silent, but not the targeted
+ *                 detector;
+ *  - "missed":    everything else — the fault never fired, the bound
+ *                 was exceeded, or the run completed as if healthy
+ *                 (with or without valid output). Every missed cell is
+ *                 a coverage gap in the campaign config or the checker.
+ *
+ * Deterministic: the same options produce byte-identical reports.
+ */
+CampaignReport runFaultCampaign(const CampaignOptions &options);
+
+/** Emit the report as JSON (summary + per-cell detail). */
+void writeCampaignReport(const CampaignReport &report, std::ostream &os);
+
+} // namespace dws
+
+#endif // DWS_FAULT_CAMPAIGN_HH

@@ -1,0 +1,357 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "mem/memsys.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "wpu/wpu.hh"
+
+namespace dws {
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::WstSkew:          return "wst-skew";
+      case FaultClass::MaskFlip:         return "mask-flip";
+      case FaultClass::MshrDropFill:     return "mshr-drop-fill";
+      case FaultClass::MshrDelayFill:    return "mshr-delay-fill";
+      case FaultClass::StaleEventTarget: return "stale-event-target";
+      case FaultClass::CacheTagCorrupt:  return "cache-tag-corrupt";
+      case FaultClass::SchedSlotSkew:    return "sched-slot-skew";
+    }
+    return "?";
+}
+
+std::optional<FaultClass>
+faultClassFromName(const std::string &name)
+{
+    for (FaultClass c : allFaultClasses())
+        if (name == faultClassName(c))
+            return c;
+    return std::nullopt;
+}
+
+std::vector<FaultClass>
+allFaultClasses()
+{
+    std::vector<FaultClass> out;
+    out.reserve(kNumFaultClasses);
+    for (int i = 0; i < kNumFaultClasses; i++)
+        out.push_back(static_cast<FaultClass>(i));
+    return out;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s@%llu:wpu=%d:seed=%llu",
+                  faultClassName(cls), (unsigned long long)cycle, wpu,
+                  (unsigned long long)seed);
+    return buf;
+}
+
+std::optional<FaultSpec>
+parseFaultSpec(const std::string &spec)
+{
+    const size_t at = spec.find('@');
+    if (at == std::string::npos) {
+        warn("fault spec '%s': expected class@cycle[:wpu=N][:seed=S]",
+             spec.c_str());
+        return std::nullopt;
+    }
+    FaultSpec out;
+    const std::optional<FaultClass> cls =
+            faultClassFromName(spec.substr(0, at));
+    if (!cls) {
+        std::string names;
+        for (FaultClass c : allFaultClasses()) {
+            if (!names.empty())
+                names += ", ";
+            names += faultClassName(c);
+        }
+        warn("fault spec '%s': unknown class '%s' (one of: %s)",
+             spec.c_str(), spec.substr(0, at).c_str(), names.c_str());
+        return std::nullopt;
+    }
+    out.cls = *cls;
+
+    size_t pos = at + 1;
+    char *end = nullptr;
+    out.cycle = std::strtoull(spec.c_str() + pos, &end, 10);
+    if (end == spec.c_str() + pos) {
+        warn("fault spec '%s': expected a cycle after '@'", spec.c_str());
+        return std::nullopt;
+    }
+    pos = static_cast<size_t>(end - spec.c_str());
+
+    while (pos < spec.size()) {
+        if (spec[pos] != ':') {
+            warn("fault spec '%s': expected ':' at offset %zu",
+                 spec.c_str(), pos);
+            return std::nullopt;
+        }
+        pos++;
+        if (spec.compare(pos, 4, "wpu=") == 0) {
+            pos += 4;
+            out.wpu = static_cast<WpuId>(
+                    std::strtol(spec.c_str() + pos, &end, 10));
+        } else if (spec.compare(pos, 5, "seed=") == 0) {
+            pos += 5;
+            out.seed = std::strtoull(spec.c_str() + pos, &end, 10);
+        } else {
+            warn("fault spec '%s': unknown option at offset %zu "
+                 "(wpu= or seed=)",
+                 spec.c_str(), pos);
+            return std::nullopt;
+        }
+        if (end == spec.c_str() + pos) {
+            warn("fault spec '%s': expected a number at offset %zu",
+                 spec.c_str(), pos);
+            return std::nullopt;
+        }
+        pos = static_cast<size_t>(end - spec.c_str());
+    }
+    return out;
+}
+
+bool
+FaultInjector::tryFire(Cycle now,
+                       const std::vector<std::unique_ptr<Wpu>> &wpus,
+                       EventQueue &events, MemSystem &memsys)
+{
+    if (fired_ || now < spec_.cycle)
+        return false;
+    if (static_cast<size_t>(spec_.wpu) >= wpus.size())
+        return false;
+    Wpu &w = *wpus[static_cast<size_t>(spec_.wpu)];
+
+    bool ok = false;
+    switch (spec_.cls) {
+      case FaultClass::WstSkew:
+        ok = fireWstSkew(w);
+        break;
+      case FaultClass::MaskFlip:
+        ok = fireMaskFlip(w);
+        break;
+      case FaultClass::MshrDropFill:
+        ok = fireMshrDropFill(events);
+        break;
+      case FaultClass::MshrDelayFill:
+        ok = fireMshrDelayFill(events);
+        break;
+      case FaultClass::StaleEventTarget:
+        ok = fireStaleEventTarget(events);
+        break;
+      case FaultClass::CacheTagCorrupt:
+        ok = fireCacheTagCorrupt(memsys);
+        break;
+      case FaultClass::SchedSlotSkew:
+        ok = fireSchedSlotSkew(w);
+        break;
+    }
+    if (ok) {
+        fired_ = true;
+        firedAt_ = now;
+    }
+    return ok;
+}
+
+bool
+FaultInjector::fireWstSkew(Wpu &w)
+{
+    WarpSplitTable &wst = w.wstTable;
+    const size_t warp = static_cast<size_t>(
+            rng_.nextBounded(wst.groupsPerWarp.size()));
+    wst.groupsPerWarp[warp]++;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "incremented WST group count of warp %zu to %d", warp,
+                  wst.groupsPerWarp[warp]);
+    desc_ = buf;
+    return true;
+}
+
+bool
+FaultInjector::fireMaskFlip(Wpu &w)
+{
+    // Pick a live group, then a set bit of its mask, both by rng.
+    std::vector<SimdGroup *> cands;
+    for (SimdGroup *g : w.live)
+        if (g->mask != 0)
+            cands.push_back(g);
+    if (cands.empty())
+        return false;
+    SimdGroup *g = cands[static_cast<size_t>(
+            rng_.nextBounded(cands.size()))];
+    const int nbits = popcount(g->mask);
+    int pick = static_cast<int>(
+            rng_.nextBounded(static_cast<std::uint64_t>(nbits)));
+    int bit = -1;
+    for (int i = 0; i < 64; i++) {
+        if (g->mask & (ThreadMask(1) << i)) {
+            if (pick-- == 0) {
+                bit = i;
+                break;
+            }
+        }
+    }
+    g->mask &= ~(ThreadMask(1) << bit);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "cleared lane %d of group %d (warp %d) active mask",
+                  bit, g->id, g->warp);
+    desc_ = buf;
+    return true;
+}
+
+bool
+FaultInjector::fireMshrDropFill(EventQueue &events)
+{
+    // The heap's vector order is a pure function of the schedule/pop
+    // history, so picking a candidate by index is deterministic.
+    std::vector<size_t> cands;
+    for (size_t i = 0; i < events.heap.size(); i++) {
+        const SimEvent &ev = events.heap[i].ev;
+        if (ev.kind == EventKind::L1MshrRelease && ev.wpu == spec_.wpu)
+            cands.push_back(i);
+    }
+    if (cands.empty())
+        return false;
+    const size_t idx = cands[static_cast<size_t>(
+            rng_.nextBounded(cands.size()))];
+    const SimEvent ev = events.heap[idx].ev;
+    events.heap.erase(events.heap.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+    std::make_heap(events.heap.begin(), events.heap.end(),
+                   EventQueue::Later{});
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "dropped L1 MSHR release of line 0x%llx due at %llu",
+                  (unsigned long long)ev.line,
+                  (unsigned long long)ev.when);
+    desc_ = buf;
+    return true;
+}
+
+bool
+FaultInjector::fireMshrDelayFill(EventQueue &events)
+{
+    std::vector<size_t> cands;
+    for (size_t i = 0; i < events.heap.size(); i++) {
+        const SimEvent &ev = events.heap[i].ev;
+        if (ev.kind == EventKind::L1MshrRelease && ev.wpu == spec_.wpu)
+            cands.push_back(i);
+    }
+    if (cands.empty())
+        return false;
+    const size_t idx = cands[static_cast<size_t>(
+            rng_.nextBounded(cands.size()))];
+    const Cycle delay =
+            static_cast<Cycle>(rng_.nextRange(500, 2000));
+    SimEvent &ev = events.heap[idx].ev;
+    const Cycle was = ev.when;
+    const Addr line = ev.line;
+    ev.when += delay;
+    std::make_heap(events.heap.begin(), events.heap.end(),
+                   EventQueue::Later{});
+    char buf[112];
+    std::snprintf(buf, sizeof(buf),
+                  "delayed L1 MSHR release of line 0x%llx from %llu by "
+                  "%llu cycles",
+                  (unsigned long long)line, (unsigned long long)was,
+                  (unsigned long long)delay);
+    desc_ = buf;
+    return true;
+}
+
+bool
+FaultInjector::fireStaleEventTarget(EventQueue &events)
+{
+    // Only lanes==0 wakes: those carry no pendingMem payload, so the
+    // orphaned sleeper matches the lost-wake audit precisely.
+    std::vector<size_t> cands;
+    for (size_t i = 0; i < events.heap.size(); i++) {
+        const SimEvent &ev = events.heap[i].ev;
+        if (ev.kind == EventKind::WakeGroup && ev.wpu == spec_.wpu &&
+            ev.lanes == 0)
+            cands.push_back(i);
+    }
+    if (cands.empty())
+        return false;
+    const size_t idx = cands[static_cast<size_t>(
+            rng_.nextBounded(cands.size()))];
+    SimEvent &ev = events.heap[idx].ev;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "redirected wake of group %d due at %llu to a "
+                  "nonexistent group",
+                  ev.group, (unsigned long long)ev.when);
+    desc_ = buf;
+    // Wpu::wake ignores unknown ids, so the event fires into the void
+    // and the real group sleeps past its readyAt. No reordering: when
+    // is untouched.
+    ev.group = -2;
+    return true;
+}
+
+bool
+FaultInjector::fireCacheTagCorrupt(MemSystem &memsys)
+{
+    CacheArray &c = memsys.dcache(spec_.wpu);
+    // Sets with >= 2 valid ways: duplicate one tag onto a sibling way.
+    std::vector<int> cands;
+    for (int s = 0; s < c.sets_; s++) {
+        const CacheLine *set =
+                &c.lines_[static_cast<size_t>(s) * c.ways_];
+        int valid = 0;
+        for (int a = 0; a < c.ways_; a++)
+            valid += set[a].valid() ? 1 : 0;
+        if (valid >= 2)
+            cands.push_back(s);
+    }
+    if (cands.empty())
+        return false;
+    const int s = cands[static_cast<size_t>(
+            rng_.nextBounded(cands.size()))];
+    CacheLine *set = &c.lines_[static_cast<size_t>(s) * c.ways_];
+    int first = -1, second = -1;
+    for (int a = 0; a < c.ways_; a++) {
+        if (!set[a].valid())
+            continue;
+        if (first < 0) {
+            first = a;
+        } else {
+            second = a;
+            break;
+        }
+    }
+    const Addr was = set[second].tag;
+    set[second].tag = set[first].tag;
+    char buf[112];
+    std::snprintf(buf, sizeof(buf),
+                  "%s set %d way %d tag 0x%llx overwritten with way %d "
+                  "tag 0x%llx",
+                  c.name().c_str(), s, second, (unsigned long long)was,
+                  first, (unsigned long long)set[first].tag);
+    desc_ = buf;
+    return true;
+}
+
+bool
+FaultInjector::fireSchedSlotSkew(Wpu &w)
+{
+    w.sched.used++;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "incremented scheduler used-slot count to %d",
+                  w.sched.used);
+    desc_ = buf;
+    return true;
+}
+
+} // namespace dws

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic fault injection into the running simulator (DESIGN.md
+ * §12).
+ *
+ * The invariant checker (analysis/invariants.hh) and the deadlock
+ * detector claim to catch bookkeeping corruption; this framework is how
+ * that claim is tested rather than assumed. A FaultInjector plants one
+ * fault of a chosen class at a chosen cycle by mutating the simulator's
+ * own structures through the same funnels a real bug would corrupt —
+ * WST occupancy counts, group active masks, pending MSHR release
+ * events, event-queue targets, cache tag arrays, scheduler slot counts
+ * — and the detection-latency campaign (campaign.hh) verifies that
+ * every class is caught, within a bounded number of cycles, with the
+ * expected outcome.
+ *
+ * Everything is deterministic: the injected mutation is a pure function
+ * of (FaultSpec, simulator state), and simulator state is a pure
+ * function of (SystemConfig, kernel). Re-running the same spec
+ * reproduces the same fault, the same detection cycle and the same
+ * diagnostics — a detected fault is therefore a *repeatable* test case.
+ */
+
+#ifndef DWS_FAULT_FAULT_HH
+#define DWS_FAULT_FAULT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+class EventQueue;
+class MemSystem;
+class Wpu;
+
+/** The kinds of state corruption the injector can plant. */
+enum class FaultClass : std::uint8_t {
+    /** Skew a WST per-warp occupancy count by one. */
+    WstSkew,
+    /** Clear one set bit of a live group's active mask. */
+    MaskFlip,
+    /** Remove a pending L1 MSHR-release event (the fill never frees
+     *  its entry). */
+    MshrDropFill,
+    /** Push a pending L1 MSHR-release event hundreds of cycles past
+     *  the entry's recorded fill time. */
+    MshrDelayFill,
+    /** Redirect a pending wake event to a nonexistent group (the real
+     *  sleeper never wakes). */
+    StaleEventTarget,
+    /** Overwrite one valid cache way's tag with a sibling way's tag
+     *  (two ways of a set now shadow each other). */
+    CacheTagCorrupt,
+    /** Skew the scheduler's used-slot count by one. */
+    SchedSlotSkew,
+};
+
+/** Number of fault classes (campaign iteration). */
+constexpr int kNumFaultClasses =
+        static_cast<int>(FaultClass::SchedSlotSkew) + 1;
+
+/** @return the spec/report name of a class, e.g. "mask-flip". */
+const char *faultClassName(FaultClass c);
+
+/** @return the class named `name`, or nullopt. */
+std::optional<FaultClass> faultClassFromName(const std::string &name);
+
+/** @return every fault class, in declaration order. */
+std::vector<FaultClass> allFaultClasses();
+
+/**
+ * One planned fault, parsed from "class@cycle[:wpu=N][:seed=S]"
+ * (e.g. "mask-flip@5000:wpu=1:seed=7").
+ */
+struct FaultSpec
+{
+    FaultClass cls = FaultClass::MaskFlip;
+    /** Earliest cycle at which to plant the fault. */
+    Cycle cycle = 0;
+    /** WPU whose structures are targeted. */
+    WpuId wpu = 0;
+    /** Seed for the intra-class choices (which group, which bit...). */
+    std::uint64_t seed = 1;
+
+    /** @return the canonical spec string (round-trips via parse). */
+    std::string toString() const;
+};
+
+/**
+ * Parse an injection spec.
+ * @return nullopt (with a warn()) on malformed input.
+ */
+std::optional<FaultSpec> parseFaultSpec(const std::string &spec);
+
+/**
+ * Plants one fault into a live System. Owned by the System and invoked
+ * from its run loop once per iteration, after the event queue has
+ * drained through the current cycle and before any WPU ticks — i.e.
+ * exactly between two architecturally consistent states, so whatever
+ * the audit sees next cycle is the fault, not an artifact of catching
+ * the machine mid-update.
+ *
+ * A fault class can be inapplicable at the requested cycle (no live
+ * group to corrupt, no pending fill to drop); the injector then re-arms
+ * and retries every subsequent cycle until a target exists, keeping
+ * `firedAt()` honest about when the corruption actually happened.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSpec &spec)
+        : spec_(spec), rng_(spec.seed ? spec.seed : 1)
+    {}
+
+    /**
+     * Attempt to plant the fault.
+     *
+     * @param now    current cycle (must be non-decreasing across calls)
+     * @param wpus   the system's WPUs
+     * @param events the system's event queue
+     * @param memsys the system's memory hierarchy
+     * @return true iff the fault was planted during this call
+     */
+    bool tryFire(Cycle now, const std::vector<std::unique_ptr<Wpu>> &wpus,
+                 EventQueue &events, MemSystem &memsys);
+
+    /** @return true once the fault has been planted. */
+    bool fired() const { return fired_; }
+
+    /** @return the cycle the fault was actually planted. */
+    Cycle firedAt() const { return firedAt_; }
+
+    /** @return what was corrupted, e.g. for the campaign report. */
+    const std::string &description() const { return desc_; }
+
+    /** @return the spec this injector was built from. */
+    const FaultSpec &spec() const { return spec_; }
+
+  private:
+    bool fireWstSkew(Wpu &w);
+    bool fireMaskFlip(Wpu &w);
+    bool fireMshrDropFill(EventQueue &events);
+    bool fireMshrDelayFill(EventQueue &events);
+    bool fireStaleEventTarget(EventQueue &events);
+    bool fireCacheTagCorrupt(MemSystem &memsys);
+    bool fireSchedSlotSkew(Wpu &w);
+
+    FaultSpec spec_;
+    Rng rng_;
+    bool fired_ = false;
+    Cycle firedAt_ = 0;
+    std::string desc_;
+};
+
+} // namespace dws
+
+#endif // DWS_FAULT_FAULT_HH

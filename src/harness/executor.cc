@@ -3,11 +3,77 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "sim/json_writer.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace dws {
+
+namespace {
+
+/**
+ * Extract the value of `"key":` from one journal line. The journal is
+ * our own JsonWriter output (compact, known key set), so a targeted
+ * scan suffices — this is not a general JSON parser. Returns the raw
+ * token for numbers/booleans and the unescaped body for strings.
+ */
+bool
+journalField(const std::string &line, const std::string &key,
+             std::string &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    size_t pos = at + needle.size();
+    while (pos < line.size() && line[pos] == ' ')
+        pos++;
+    if (pos >= line.size())
+        return false;
+    out.clear();
+    if (line[pos] == '"') {
+        pos++;
+        while (pos < line.size() && line[pos] != '"') {
+            char c = line[pos];
+            if (c == '\\' && pos + 1 < line.size()) {
+                pos++;
+                switch (line[pos]) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  default:  c = line[pos]; break;
+                }
+            }
+            out += c;
+            pos++;
+        }
+        return pos < line.size();
+    }
+    while (pos < line.size() && line[pos] != ',' && line[pos] != '}' &&
+           line[pos] != ' ')
+        out += line[pos++];
+    return !out.empty();
+}
+
+/** Severity rank for worstOutcome (higher = worse). */
+int
+severity(SimOutcome o)
+{
+    switch (o) {
+      case SimOutcome::Ok:                 return 0;
+      case SimOutcome::ValidationFailed:   return 1;
+      case SimOutcome::CycleLimit:         return 2;
+      case SimOutcome::Timeout:            return 3;
+      case SimOutcome::Deadlock:           return 4;
+      case SimOutcome::InvariantViolation: return 5;
+      case SimOutcome::Panic:              return 6;
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 SweepExecutor::defaultJobs()
@@ -39,6 +105,14 @@ SweepExecutor::~SweepExecutor()
     cv.notify_all();
     for (auto &w : workers)
         w.join();
+    if (watchdogThread.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchMtx);
+            watchStopping = true;
+        }
+        watchCv.notify_all();
+        watchdogThread.join();
+    }
 }
 
 void
@@ -58,6 +132,208 @@ SweepExecutor::workerLoop()
     }
 }
 
+// --------------------------------------------------------------------
+// Watchdog
+// --------------------------------------------------------------------
+
+void
+SweepExecutor::setWatchdog(double timeoutSec)
+{
+    watchdogTimeoutSec = timeoutSec;
+    if (timeoutSec > 0.0 && !watchdogThread.joinable())
+        watchdogThread = std::thread([this] { watchdogLoop(); });
+}
+
+void
+SweepExecutor::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(watchMtx);
+    while (!watchStopping) {
+        watchCv.wait_for(lock, std::chrono::milliseconds(50));
+        const auto now = std::chrono::steady_clock::now();
+        for (WatchSlot &slot : watchSlots) {
+            if (!slot.ctl)
+                continue;
+            const Cycle cur = slot.ctl->progressCycle.load(
+                    std::memory_order_relaxed);
+            if (cur != slot.lastCycle) {
+                slot.lastCycle = cur;
+                slot.lastChange = now;
+                continue;
+            }
+            const double stalledSec =
+                    std::chrono::duration<double>(now - slot.lastChange)
+                            .count();
+            if (stalledSec > watchdogTimeoutSec)
+                slot.ctl->cancel.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+std::size_t
+SweepExecutor::watchdogRegister(SimControl *ctl)
+{
+    std::lock_guard<std::mutex> lock(watchMtx);
+    for (std::size_t i = 0; i < watchSlots.size(); i++) {
+        if (!watchSlots[i].ctl) {
+            watchSlots[i] = WatchSlot{
+                    ctl, 0, std::chrono::steady_clock::now()};
+            return i;
+        }
+    }
+    watchSlots.push_back(
+            WatchSlot{ctl, 0, std::chrono::steady_clock::now()});
+    return watchSlots.size() - 1;
+}
+
+void
+SweepExecutor::watchdogUnregister(std::size_t token)
+{
+    std::lock_guard<std::mutex> lock(watchMtx);
+    watchSlots[token].ctl = nullptr;
+}
+
+void
+SweepExecutor::setRetry(int maxAttempts, double backoffMs)
+{
+    retryMaxAttempts = maxAttempts > 0 ? maxAttempts : 1;
+    retryBackoffMs = backoffMs;
+}
+
+// --------------------------------------------------------------------
+// Journal
+// --------------------------------------------------------------------
+
+std::string
+SweepExecutor::journalKey(const std::string &label,
+                          const std::string &kernel)
+{
+    return label + "\x1f" + kernel;
+}
+
+void
+SweepExecutor::setJournal(const std::string &path, bool resume)
+{
+    journalPath = path;
+    if (!resume)
+        return;
+    std::ifstream f(path);
+    if (!f.is_open())
+        return; // nothing to resume from; the journal starts fresh
+    std::string line;
+    int restored = 0;
+    while (std::getline(f, line)) {
+        Record rec;
+        std::string tok;
+        if (!journalField(line, "label", rec.label) ||
+            !journalField(line, "kernel", rec.kernel) ||
+            !journalField(line, "outcome", rec.outcome))
+            continue;
+        if (rec.outcome != "ok")
+            continue; // failed cells are re-run
+        if (!journalField(line, "fingerprint", rec.fingerprint) ||
+            rec.fingerprint.empty())
+            continue;
+        journalField(line, "policy", rec.policy);
+        if (journalField(line, "cycles", tok))
+            rec.cycles = std::strtoull(tok.c_str(), nullptr, 10);
+        if (journalField(line, "energy_nj", tok))
+            rec.energyNj = std::strtod(tok.c_str(), nullptr);
+        rec.valid = true;
+        rec.resumed = true;
+        journaled[journalKey(rec.label, rec.kernel)] = std::move(rec);
+        restored++;
+    }
+    if (restored > 0)
+        inform("journal %s: %d completed cells will be resumed, not "
+               "re-simulated",
+               path.c_str(), restored);
+}
+
+void
+SweepExecutor::journalRecord(const Record &rec)
+{
+    if (journalPath.empty() || rec.resumed)
+        return;
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.field("label", rec.label);
+    w.field("kernel", rec.kernel);
+    w.field("policy", rec.policy);
+    w.field("outcome", rec.outcome);
+    w.field("cycles", rec.cycles);
+    w.field("energy_nj", rec.energyNj);
+    w.field("wall_ms", rec.wallMs);
+    w.field("attempts", rec.attempts);
+    w.field("error", rec.error);
+    w.field("fingerprint", rec.fingerprint);
+    w.endObject();
+
+    std::lock_guard<std::mutex> lock(journalMtx);
+    std::ofstream f(journalPath, std::ios::app);
+    if (!f.is_open()) {
+        warn("cannot append to journal '%s'", journalPath.c_str());
+        return;
+    }
+    f << os.str() << "\n";
+}
+
+// --------------------------------------------------------------------
+// Job execution
+// --------------------------------------------------------------------
+
+JobResult
+SweepExecutor::runJob(const SweepJob &job)
+{
+    JobResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int attempt = 1;; attempt++) {
+        r = JobResult{};
+        r.attempts = attempt;
+        SimControl ctl;
+        std::size_t token = SIZE_MAX;
+        if (watchdogTimeoutSec > 0.0) {
+            token = watchdogRegister(&ctl);
+            setThreadSimControl(&ctl);
+        }
+        try {
+            ScopedRecoverableAborts recover;
+            r.run = runKernel(job.kernel, job.cfg, job.scale);
+            r.outcome = r.run.valid ? SimOutcome::Ok
+                                    : SimOutcome::ValidationFailed;
+            if (!r.run.valid)
+                r.error = "output failed validation";
+        } catch (const SimAbortError &err) {
+            r.outcome = err.outcome;
+            r.error = err.what();
+            r.diagnostics = err.diagnostics;
+        } catch (const std::exception &err) {
+            r.outcome = SimOutcome::Panic;
+            r.error = err.what();
+        }
+        if (token != SIZE_MAX) {
+            setThreadSimControl(nullptr);
+            watchdogUnregister(token);
+        }
+        // Only watchdog cancellations are transient (host load); the
+        // simulator itself is deterministic, so every other failure
+        // would repeat identically.
+        if (r.outcome == SimOutcome::Timeout &&
+            attempt < retryMaxAttempts) {
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                                        std::milli>(
+                    retryBackoffMs * attempt));
+            continue;
+        }
+        break;
+    }
+    r.wallMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    return r;
+}
+
 std::future<JobResult>
 SweepExecutor::submit(SweepJob job)
 {
@@ -69,22 +345,52 @@ SweepExecutor::submit(SweepJob job)
         seq = completed.size();
         completed.emplace_back(); // reserve the submission-order slot
     }
+
+    // Resume: a cell the journal already records as ok is restored
+    // from its fingerprint instead of re-simulated.
+    {
+        const auto it = journaled.find(journalKey(job.label, job.kernel));
+        if (it != journaled.end()) {
+            JobResult r;
+            if (RunStats::parseFingerprint(it->second.fingerprint,
+                                           r.run.stats)) {
+                r.run.valid = true;
+                r.run.kernel = job.kernel;
+                r.run.policy = it->second.policy;
+                r.outcome = SimOutcome::Ok;
+                r.resumed = true;
+                {
+                    std::lock_guard<std::mutex> lock(mtx);
+                    completed[seq] = it->second;
+                }
+                std::promise<JobResult> p;
+                p.set_value(std::move(r));
+                return p.get_future();
+            }
+            warn("journal: unparsable fingerprint for %s/%s; "
+                 "re-simulating",
+                 job.label.c_str(), job.kernel.c_str());
+        }
+    }
+
     std::packaged_task<JobResult()> task(
             [this, seq, job = std::move(job)]() -> JobResult {
-                const auto t0 = std::chrono::steady_clock::now();
-                JobResult r;
-                r.run = runKernel(job.kernel, job.cfg, job.scale);
-                r.wallMs = std::chrono::duration<double, std::milli>(
-                                   std::chrono::steady_clock::now() - t0)
-                                   .count();
+                JobResult r = runJob(job);
                 Record rec;
                 rec.label = job.label;
                 rec.kernel = job.kernel;
-                rec.policy = r.run.policy;
+                rec.policy = r.ok() ? r.run.policy
+                                    : job.cfg.policy.name();
                 rec.cycles = r.run.stats.cycles;
                 rec.energyNj = r.run.stats.energyNj;
                 rec.wallMs = r.wallMs;
                 rec.valid = r.run.valid;
+                rec.outcome = simOutcomeName(r.outcome);
+                rec.error = r.error;
+                rec.attempts = r.attempts;
+                if (r.ok())
+                    rec.fingerprint = r.run.stats.fingerprint();
+                journalRecord(rec);
                 {
                     std::lock_guard<std::mutex> lock(mtx);
                     completed[seq] = std::move(rec);
@@ -121,6 +427,19 @@ SweepExecutor::records() const
     return completed;
 }
 
+SimOutcome
+SweepExecutor::worstOutcome() const
+{
+    const std::vector<Record> recs = records();
+    SimOutcome worst = SimOutcome::Ok;
+    for (const Record &r : recs) {
+        const SimOutcome o = simOutcomeFromName(r.outcome);
+        if (severity(o) > severity(worst))
+            worst = o;
+    }
+    return worst;
+}
+
 void
 SweepExecutor::writeJson(const std::string &path) const
 {
@@ -147,6 +466,13 @@ SweepExecutor::writeJson(const std::string &path) const
         w.field("energy_nj", r.energyNj);
         w.field("wall_ms", r.wallMs);
         w.field("valid", r.valid);
+        w.field("outcome", r.outcome);
+        if (!r.error.empty())
+            w.field("error", r.error);
+        if (r.attempts > 1)
+            w.field("attempts", r.attempts);
+        if (r.resumed)
+            w.field("resumed", true);
         w.endObject();
     }
     w.endArray();

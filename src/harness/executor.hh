@@ -12,15 +12,28 @@
  * The executor also records per-job wall time and can dump all records
  * as a machine-readable JSON file (`--json out.json`), letting the
  * perf trajectory track both simulated cycles and real wall-clock.
+ *
+ * Failure handling: each job runs under recoverable aborts
+ * (sim/abort.hh), so a deadlock, cycle-limit hit, invariant violation
+ * or panic in one cell is captured as that job's JobResult/Record —
+ * with the abort's diagnostics — while every other cell completes
+ * normally and stays byte-identical to an all-healthy sweep. A
+ * wall-clock watchdog (setWatchdog) cancels jobs that stop making
+ * simulated progress; cancelled jobs are the one transient failure
+ * class and can be retried with backoff (setRetry). A JSON-lines
+ * journal (setJournal) records each completed cell and lets an
+ * interrupted sweep resume without re-simulating finished cells.
  */
 
 #ifndef DWS_HARNESS_EXECUTOR_HH
 #define DWS_HARNESS_EXECUTOR_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -28,6 +41,7 @@
 
 #include "harness/runner.hh"
 #include "kernels/kernel.hh"
+#include "sim/abort.hh"
 #include "sim/config.hh"
 
 namespace dws {
@@ -48,6 +62,25 @@ struct JobResult
     RunResult run;
     /** Real time spent simulating this job, in milliseconds. */
     double wallMs = 0.0;
+
+    /**
+     * How the job ended: Ok, ValidationFailed, or — captured from a
+     * recoverable abort — Deadlock, CycleLimit, InvariantViolation,
+     * Panic or Timeout (watchdog). `run.stats` is meaningless unless
+     * ok().
+     */
+    SimOutcome outcome = SimOutcome::Ok;
+    /** Abort message (empty when ok). */
+    std::string error;
+    /** Abort diagnostics: per-WPU state lines, event census, dumps. */
+    std::string diagnostics;
+    /** Simulation attempts made (> 1 after watchdog retries). */
+    int attempts = 1;
+    /** True when the result was restored from the journal, not run. */
+    bool resumed = false;
+
+    /** @return true if the run completed with valid output. */
+    bool ok() const { return outcome == SimOutcome::Ok; }
 };
 
 /** Fixed-size std::thread pool running independent simulations. */
@@ -93,6 +126,14 @@ class SweepExecutor
         double energyNj = 0.0;
         double wallMs = 0.0;
         bool valid = false;
+        /** Outcome name (simOutcomeName), "ok" for healthy cells. */
+        std::string outcome = "ok";
+        /** Abort message (empty when ok). */
+        std::string error;
+        int attempts = 1;
+        bool resumed = false;
+        /** RunStats::fingerprint() of a completed run (journal). */
+        std::string fingerprint;
     };
 
     /** @return all completed-job records, in submission order. */
@@ -106,6 +147,40 @@ class SweepExecutor
     void writeJson(const std::string &path) const;
 
     /**
+     * Cancel jobs whose simulation makes no forward progress for
+     * `timeoutSec` of wall time (cooperative: the run loop polls its
+     * SimControl). Cancelled jobs end with SimOutcome::Timeout. Call
+     * before submitting; 0 disables.
+     */
+    void setWatchdog(double timeoutSec);
+
+    /**
+     * Retry watchdog-cancelled (transient) jobs up to `maxAttempts`
+     * total attempts, sleeping `backoffMs * attempt` between tries.
+     * Deterministic failures (deadlock, invariant violation, panic)
+     * are never retried — the simulator is deterministic, so they
+     * would fail identically.
+     */
+    void setRetry(int maxAttempts, double backoffMs = 100.0);
+
+    /**
+     * Journal completed cells to `path` as JSON lines, one per job,
+     * keyed by (label, kernel). With `resume`, cells already journaled
+     * with outcome "ok" are not re-simulated: submit() restores their
+     * full RunStats from the journaled fingerprint and completes the
+     * future immediately (Record.resumed marks them). Call before
+     * submitting.
+     */
+    void setJournal(const std::string &path, bool resume);
+
+    /**
+     * @return the most severe outcome over all completed records —
+     *         SimOutcome::Ok only if every cell succeeded. Feed to
+     *         exitCodeFor() for the bench exit status.
+     */
+    SimOutcome worstOutcome() const;
+
+    /**
      * @return the pool size chosen when the user passes no `--jobs`:
      *         the DWS_JOBS environment variable if set, else
      *         std::thread::hardware_concurrency().
@@ -114,6 +189,12 @@ class SweepExecutor
 
   private:
     void workerLoop();
+    JobResult runJob(const SweepJob &job);
+    void journalRecord(const Record &rec);
+    void watchdogLoop();
+    /** @return journal-map key of a job. */
+    static std::string journalKey(const std::string &label,
+                                  const std::string &kernel);
 
     int numWorkers;
     std::vector<std::thread> workers;
@@ -125,6 +206,34 @@ class SweepExecutor
 
     /** Indexed by submission sequence; filled as jobs complete. */
     std::vector<Record> completed;
+
+    // --- watchdog -----------------------------------------------------
+    /** One active job under watch. */
+    struct WatchSlot
+    {
+        SimControl *ctl = nullptr;
+        Cycle lastCycle = 0;
+        std::chrono::steady_clock::time_point lastChange;
+    };
+    std::size_t watchdogRegister(SimControl *ctl);
+    void watchdogUnregister(std::size_t token);
+
+    double watchdogTimeoutSec = 0.0;
+    std::thread watchdogThread;
+    mutable std::mutex watchMtx;
+    std::condition_variable watchCv;
+    bool watchStopping = false;
+    std::vector<WatchSlot> watchSlots;
+
+    // --- retry --------------------------------------------------------
+    int retryMaxAttempts = 1;
+    double retryBackoffMs = 100.0;
+
+    // --- journal ------------------------------------------------------
+    std::string journalPath;
+    mutable std::mutex journalMtx;
+    /** Journaled ok-cells, keyed by journalKey (resume mode only). */
+    std::map<std::string, Record> journaled;
 };
 
 } // namespace dws

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "fault/fault.hh"
 #include "kernels/kernel.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
@@ -16,6 +17,10 @@ namespace {
 /** Bench-wide trace options, set once by parseBenchArgs. */
 int gBenchTraceMode = 0;
 std::string gBenchTraceOut;
+
+/** Bench-wide fault-injection options, set once by parseBenchArgs. */
+std::string gBenchFaultSpec;
+std::string gBenchFaultCell;
 
 std::string
 sanitizeToken(const std::string &s)
@@ -63,13 +68,40 @@ withBenchTrace(SystemConfig cfg, const std::string &label,
     return cfg;
 }
 
+void
+setBenchFault(const std::string &spec, const std::string &cell)
+{
+    gBenchFaultSpec = spec;
+    gBenchFaultCell = cell;
+}
+
+SystemConfig
+withBenchFault(SystemConfig cfg, const std::string &label,
+               const std::string &kernel)
+{
+    if (gBenchFaultSpec.empty())
+        return cfg;
+    if (!gBenchFaultCell.empty() && gBenchFaultCell != kernel &&
+        gBenchFaultCell != label + "/" + kernel)
+        return cfg;
+    cfg.faultSpec = gBenchFaultSpec;
+    return cfg;
+}
+
 PolicyRun
 PendingRun::get()
 {
     PolicyRun out;
     out.label = label;
-    for (auto &[name, fut] : futures)
-        out.stats[name] = fut.get().run.stats;
+    for (auto &[name, fut] : futures) {
+        JobResult r = fut.get();
+        if (r.ok())
+            out.stats[name] = r.run.stats;
+        else
+            out.failures[name] =
+                    std::string(simOutcomeName(r.outcome)) + ": " +
+                    r.error;
+    }
     futures.clear();
     return out;
 }
@@ -84,10 +116,12 @@ runAllAsync(const std::string &label, const SystemConfig &cfg,
     const std::vector<std::string> &names =
             benchmarks.empty() ? kernelNames() : benchmarks;
     for (const auto &name : names) {
+        SystemConfig jobCfg = withBenchFault(
+                withBenchTrace(cfg, label, name), label, name);
         pending.futures.emplace_back(
-                name, ex.submit(SweepJob{name,
-                                         withBenchTrace(cfg, label, name),
-                                         scale, label}));
+                name,
+                ex.submit(SweepJob{name, std::move(jobCfg), scale,
+                                   label}));
     }
     return pending;
 }
@@ -104,8 +138,9 @@ runAll(const std::string &label, const SystemConfig &cfg,
     const std::vector<std::string> &names =
             benchmarks.empty() ? kernelNames() : benchmarks;
     for (const auto &name : names) {
-        const RunResult r =
-                runKernel(name, withBenchTrace(cfg, label, name), scale);
+        const SystemConfig jobCfg = withBenchFault(
+                withBenchTrace(cfg, label, name), label, name);
+        const RunResult r = runKernel(name, jobCfg, scale);
         out.stats[name] = r.stats;
     }
     return out;
@@ -117,8 +152,18 @@ speedups(const PolicyRun &base, const PolicyRun &test)
     std::vector<double> out;
     for (const auto &[name, bs] : base.stats) {
         auto it = test.stats.find(name);
-        if (it == test.stats.end())
-            fatal("speedups: '%s' missing from test run", name.c_str());
+        if (it == test.stats.end()) {
+            // The cell failed (or was never run) under `test`: exclude
+            // the benchmark from the comparison rather than abort the
+            // whole sweep.
+            const auto fail = test.failures.find(name);
+            warn("speedups: %s missing from run '%s'%s%s; skipped",
+                 name.c_str(), test.label.c_str(),
+                 fail != test.failures.end() ? " — " : "",
+                 fail != test.failures.end() ? fail->second.c_str()
+                                             : "");
+            continue;
+        }
         out.push_back(speedup(bs, it->second));
     }
     return out;
@@ -127,7 +172,20 @@ speedups(const PolicyRun &base, const PolicyRun &test)
 double
 hmeanSpeedup(const PolicyRun &base, const PolicyRun &test)
 {
-    return harmonicMean(speedups(base, test));
+    const std::string context = "speedups of '" + test.label +
+                                "' over '" + base.label + "'";
+    return harmonicMean(speedups(base, test), context.c_str());
+}
+
+void
+applyBenchOptions(SweepExecutor &ex, const BenchOptions &opts)
+{
+    if (!opts.journalPath.empty())
+        ex.setJournal(opts.journalPath, opts.resume);
+    if (opts.timeoutSec > 0.0)
+        ex.setWatchdog(opts.timeoutSec);
+    if (opts.retryAttempts > 1)
+        ex.setRetry(opts.retryAttempts);
 }
 
 namespace {
@@ -155,6 +213,18 @@ printUsage(const char *prog)
                  "writes FILE.<label>.<kernel>.<ext>\n"
                  "                   (.dwst binary, .jsonl JSON-lines, "
                  ".json Perfetto)\n"
+                 "  --journal FILE   append completed cells to a "
+                 "JSON-lines journal\n"
+                 "  --resume         restore journaled cells instead of "
+                 "re-simulating (needs --journal)\n"
+                 "  --timeout SEC    cancel cells making no simulated "
+                 "progress for SEC wall seconds\n"
+                 "  --retry N        retry cancelled cells up to N total "
+                 "attempts\n"
+                 "  --inject SPEC    plant a fault, e.g. "
+                 "mask-flip@5000:wpu=1:seed=7\n"
+                 "  --inject-cell LABEL/KERNEL  poison only the matching "
+                 "sweep cell\n"
                  "  --help        this message\n"
                  "benchmarks: %s\n",
                  prog, names.c_str());
@@ -219,6 +289,53 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
                 fatal("--trace-out requires a file path");
             }
             opts.traceOut = argv[++i];
+        } else if (std::strcmp(arg, "--journal") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--journal requires a file path");
+            }
+            opts.journalPath = argv[++i];
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            opts.resume = true;
+        } else if (std::strcmp(arg, "--timeout") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--timeout requires seconds");
+            }
+            opts.timeoutSec = std::atof(argv[++i]);
+            if (opts.timeoutSec <= 0.0) {
+                printUsage(argv[0]);
+                fatal("--timeout '%s' is not a positive number",
+                      argv[i]);
+            }
+        } else if (std::strcmp(arg, "--retry") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--retry requires an attempt count");
+            }
+            opts.retryAttempts = std::atoi(argv[++i]);
+            if (opts.retryAttempts < 1) {
+                printUsage(argv[0]);
+                fatal("--retry '%s' is not a positive integer",
+                      argv[i]);
+            }
+        } else if (std::strcmp(arg, "--inject") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--inject requires a fault spec");
+            }
+            opts.injectSpec = argv[++i];
+            if (!parseFaultSpec(opts.injectSpec)) {
+                printUsage(argv[0]);
+                fatal("invalid --inject spec '%s'",
+                      opts.injectSpec.c_str());
+            }
+        } else if (std::strcmp(arg, "--inject-cell") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--inject-cell requires LABEL/KERNEL");
+            }
+            opts.injectCell = argv[++i];
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             printUsage(argv[0]);
@@ -232,7 +349,16 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
         printUsage(argv[0]);
         fatal("--trace-out requires --trace");
     }
+    if (opts.resume && opts.journalPath.empty()) {
+        printUsage(argv[0]);
+        fatal("--resume requires --journal");
+    }
+    if (opts.injectSpec.empty() && !opts.injectCell.empty()) {
+        printUsage(argv[0]);
+        fatal("--inject-cell requires --inject");
+    }
     setBenchTrace(opts.traceMode, opts.traceOut);
+    setBenchFault(opts.injectSpec, opts.injectCell);
     return opts;
 }
 

@@ -26,8 +26,20 @@ namespace dws {
 struct PolicyRun
 {
     std::string label;
-    /** keyed by benchmark name */
+    /** keyed by benchmark name; failed cells are absent */
     std::map<std::string, RunStats> stats;
+    /**
+     * Failed cells, keyed by benchmark name: "outcome: message"
+     * (e.g. "deadlock: deadlock at cycle 412..."). Tables render these
+     * as FAIL(outcome) cells; speedups() skips them.
+     */
+    std::map<std::string, std::string> failures;
+
+    /** @return true if the named benchmark completed with valid output. */
+    bool ok(const std::string &bench) const
+    {
+        return stats.count(bench) != 0;
+    }
 };
 
 /**
@@ -81,12 +93,18 @@ PolicyRun runAll(const std::string &label, const SystemConfig &cfg,
                  SweepExecutor *ex = nullptr);
 
 /**
- * @return per-benchmark speedups of `test` over `base` (matching
- *         benchmark sets required), in base's iteration order.
+ * @return per-benchmark speedups of `test` over `base`, in base's
+ *         iteration order. Benchmarks that failed in either run are
+ *         skipped (with a warn naming the cell), so one poisoned cell
+ *         degrades the table instead of killing the sweep.
  */
 std::vector<double> speedups(const PolicyRun &base, const PolicyRun &test);
 
-/** @return harmonic-mean speedup of `test` over `base`. */
+/**
+ * @return harmonic-mean speedup of `test` over `base`, over the cells
+ *         that completed in both. A non-positive speedup aborts with
+ *         the offending run labels in the message.
+ */
 double hmeanSpeedup(const PolicyRun &base, const PolicyRun &test);
 
 /**
@@ -99,6 +117,13 @@ double hmeanSpeedup(const PolicyRun &base, const PolicyRun &test);
  *   --json FILE   write per-job machine-readable results
  *   --trace[=events|timeline|all]  trace every run (default all)
  *   --trace-out FILE  per-job trace files FILE.<label>.<kernel>.<ext>
+ *   --journal FILE    append each completed cell to a JSON-lines journal
+ *   --resume          restore already-journaled cells instead of
+ *                     re-simulating them (requires --journal)
+ *   --timeout SEC     watchdog: cancel cells making no progress for SEC
+ *   --retry N         retry watchdog-cancelled cells up to N attempts
+ *   --inject SPEC     plant a fault (fault/fault.hh spec syntax)
+ *   --inject-cell LABEL/KERNEL  restrict --inject to one sweep cell
  *   --help        print usage and exit
  *
  * Unknown flags and unknown benchmark names are rejected with a usage
@@ -116,7 +141,25 @@ struct BenchOptions
     int traceMode = 0;
     /** Trace file pattern; empty = trace to rings only (no file). */
     std::string traceOut;
+    /** Completed-cell journal path; empty = no journal. */
+    std::string journalPath;
+    /** Restore journaled cells instead of re-running them. */
+    bool resume = false;
+    /** Watchdog no-progress budget in seconds; 0 = off. */
+    double timeoutSec = 0.0;
+    /** Total attempts for watchdog-cancelled cells. */
+    int retryAttempts = 1;
+    /** Fault-injection spec; empty = none. */
+    std::string injectSpec;
+    /** "LABEL/KERNEL" cell filter for --inject; empty = every cell. */
+    std::string injectCell;
 };
+
+/**
+ * Apply the failure-handling options (journal, resume, watchdog,
+ * retry) to an executor. Call once, before submitting jobs.
+ */
+void applyBenchOptions(SweepExecutor &ex, const BenchOptions &opts);
 
 /**
  * Record the bench-wide trace options (parseBenchArgs calls this);
@@ -131,6 +174,21 @@ void setBenchTrace(int traceMode, const std::string &traceOutPattern);
  * [A-Za-z0-9_-]).
  */
 SystemConfig withBenchTrace(SystemConfig cfg, const std::string &label,
+                            const std::string &kernel);
+
+/**
+ * Record the bench-wide fault-injection options (parseBenchArgs calls
+ * this); the job-building helpers then stamp matching jobs' configs.
+ * `cell` is "LABEL/KERNEL" (or "KERNEL" to match any label); empty
+ * poisons every job.
+ */
+void setBenchFault(const std::string &spec, const std::string &cell);
+
+/**
+ * @return cfg with the bench-wide fault spec applied iff (label,
+ * kernel) matches the configured --inject-cell filter.
+ */
+SystemConfig withBenchFault(SystemConfig cfg, const std::string &label,
                             const std::string &kernel);
 
 BenchOptions parseBenchArgs(int argc, char **argv,

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "sim/abort.hh"
 #include "sim/logging.hh"
 #include "trace/sinks.hh"
 
@@ -49,6 +50,16 @@ System::System(const SystemConfig &sysCfg, const Kernel &kernel)
     for (WpuId i = 0; i < cfg.numWpus; i++)
         wpus[static_cast<size_t>(i)]->launch(i * perWpu,
                                              cfg.totalThreads());
+    if (!cfg.faultSpec.empty()) {
+        const std::optional<FaultSpec> spec =
+                parseFaultSpec(cfg.faultSpec);
+        if (!spec)
+            fatal("invalid --inject spec '%s'", cfg.faultSpec.c_str());
+        if (spec->wpu < 0 || spec->wpu >= cfg.numWpus)
+            fatal("--inject targets wpu %d, system has %d", spec->wpu,
+                  cfg.numWpus);
+        injector_ = std::make_unique<FaultInjector>(*spec);
+    }
 }
 
 bool
@@ -65,10 +76,29 @@ System::run()
 {
     const Cycle maxCycles =
             cfg.maxCycles ? cfg.maxCycles : kDefaultMaxCycles;
+    SimControl *const ctl = threadSimControl();
+    std::uint64_t iters = 0;
 
     while (!finished()) {
         events.runUntil(cycle);
         DWS_TRACE(tracer_.get(), advanceTo(cycle));
+        // Inject between the event drain and the ticks: both sides of
+        // the mutation are architecturally consistent states, so the
+        // next audit sees the planted fault, not a mid-update artifact.
+        if (injector_ && !injector_->fired())
+            injector_->tryFire(cycle, wpus, events, memsys);
+        // Watchdog handshake (sweep harness only): publish progress
+        // and honor cancellation. Checked every 256 iterations so the
+        // atomics stay off the single-run hot path.
+        if (ctl && (++iters & 255u) == 0) {
+            ctl->progressCycle.store(cycle, std::memory_order_relaxed);
+            if (ctl->cancel.load(std::memory_order_relaxed))
+                simAbort(SimOutcome::Timeout, cycle,
+                         failureDiagnostics(),
+                         "run cancelled by watchdog at cycle %llu "
+                         "(no progress within the configured budget)",
+                         (unsigned long long)cycle);
+        }
         bool any = false;
         for (auto &w : wpus) {
             // Evaluate per WPU immediately before its tick: an earlier
@@ -95,10 +125,11 @@ System::run()
                 imminent |= w->hasImminentWork();
             if (!imminent) {
                 if (events.empty()) {
-                    for (const auto &w : wpus)
-                        std::fputs(w->dumpState().c_str(), stderr);
-                    panic("deadlock at cycle %llu: no events, no ready "
-                          "groups", (unsigned long long)cycle);
+                    simAbort(SimOutcome::Deadlock, cycle,
+                             failureDiagnostics(),
+                             "deadlock at cycle %llu: no events, no "
+                             "ready groups",
+                             (unsigned long long)cycle);
                 }
                 const Cycle next = events.nextEventCycle();
                 if (next > cycle + 1) {
@@ -116,10 +147,10 @@ System::run()
         }
         cycle++;
         if (cycle > maxCycles) {
-            for (const auto &w : wpus)
-                std::fputs(w->dumpState().c_str(), stderr);
-            fatal("simulation exceeded %llu cycles",
-                  (unsigned long long)maxCycles);
+            simAbort(SimOutcome::CycleLimit, cycle,
+                     failureDiagnostics(),
+                     "simulation exceeded %llu cycles",
+                     (unsigned long long)maxCycles);
         }
     }
     if (tracer_) {
@@ -134,6 +165,25 @@ System::attachTraceSink(std::unique_ptr<TraceSink> sink)
 {
     if (tracer_)
         tracer_->setSink(std::move(sink));
+}
+
+std::string
+System::failureDiagnostics() const
+{
+    // One line per WPU plus the event census: enough to see what every
+    // WPU was doing and what the system still waited for, without the
+    // multi-page per-group dump drowning the report. The full dump of
+    // each WPU follows for post-mortem digging.
+    std::string s;
+    for (const auto &w : wpus) {
+        s += w->stateLine();
+        s += "\n";
+    }
+    s += events.censusLine();
+    s += "\n";
+    for (const auto &w : wpus)
+        s += w->dumpState();
+    return s;
 }
 
 void

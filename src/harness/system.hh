@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "energy/energy.hh"
+#include "fault/fault.hh"
 #include "kernels/kernel.hh"
 #include "mem/memory.hh"
 #include "mem/memsys.hh"
@@ -74,11 +75,21 @@ class System
     /** Energy parameters applied when collecting statistics. */
     EnergyParams energyParams{};
 
+    /**
+     * @return the fault injector built from cfg.faultSpec, or nullptr
+     *         when no injection was requested. The campaign reads
+     *         firedAt()/description() after run() aborts.
+     */
+    const FaultInjector *faultInjector() const { return injector_.get(); }
+
   private:
     RunStats collect() const;
     void sampleTraceEpoch();
+    /** Deadlock/cycle-limit report body: per-WPU lines + event census. */
+    std::string failureDiagnostics() const;
 
     std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<FaultInjector> injector_;
 
     SystemConfig cfg;
     Program prog;

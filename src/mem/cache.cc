@@ -118,4 +118,27 @@ CacheArray::validLines() const
     return n;
 }
 
+std::vector<int>
+CacheArray::duplicateTagSets() const
+{
+    std::vector<int> out;
+    for (int s = 0; s < sets_; s++) {
+        const CacheLine *set = &lines_[static_cast<size_t>(s) * ways_];
+        bool dup = false;
+        for (int a = 0; a < ways_ && !dup; a++) {
+            if (!set[a].valid())
+                continue;
+            for (int b = a + 1; b < ways_; b++) {
+                if (set[b].valid() && set[b].tag == set[a].tag) {
+                    dup = true;
+                    break;
+                }
+            }
+        }
+        if (dup)
+            out.push_back(s);
+    }
+    return out;
+}
+
 } // namespace dws

@@ -114,6 +114,14 @@ class CacheArray
     /** @return number of valid lines (for tests). */
     int validLines() const;
 
+    /**
+     * @return indices of sets holding two valid ways with the same tag.
+     *         Always empty in a healthy cache (find() returns the first
+     *         match, so a duplicate would shadow the other way's state);
+     *         the invariant audit uses this to catch tag corruption.
+     */
+    std::vector<int> duplicateTagSets() const;
+
     /** @return cache name. */
     const std::string &name() const { return name_; }
 
@@ -130,6 +138,9 @@ class CacheArray
     }
 
   private:
+    /** The fault injector corrupts tags in place (src/fault/). */
+    friend class FaultInjector;
+
     int setIndex(Addr line) const;
 
     Tracer *trace_ = nullptr;

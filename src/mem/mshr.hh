@@ -82,6 +82,9 @@ class MshrFile
     int overdueEntries(Cycle now) const;
 
   private:
+    /** The fault injector inspects pending entries (src/fault/). */
+    friend class FaultInjector;
+
     int capacity;
     int maxTargets;
     std::unordered_map<Addr, MshrEntry> pending;

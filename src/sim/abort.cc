@@ -1,0 +1,122 @@
+#include "sim/abort.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace dws {
+
+namespace {
+
+thread_local bool tlsRecoverable = false;
+thread_local SimControl *tlsControl = nullptr;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list probe;
+    va_copy(probe, ap);
+    const int len = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (len <= 0)
+        return {};
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return buf.data();
+}
+
+} // namespace
+
+const char *
+simOutcomeName(SimOutcome o)
+{
+    switch (o) {
+      case SimOutcome::Ok:                 return "ok";
+      case SimOutcome::ValidationFailed:   return "validation-failed";
+      case SimOutcome::Panic:              return "panic";
+      case SimOutcome::Deadlock:           return "deadlock";
+      case SimOutcome::CycleLimit:         return "cycle-limit";
+      case SimOutcome::InvariantViolation: return "invariant-violation";
+      case SimOutcome::Timeout:            return "timeout";
+    }
+    return "?";
+}
+
+SimOutcome
+simOutcomeFromName(const std::string &name)
+{
+    for (int i = 0; i <= static_cast<int>(SimOutcome::Timeout); i++) {
+        const SimOutcome o = static_cast<SimOutcome>(i);
+        if (name == simOutcomeName(o))
+            return o;
+    }
+    return SimOutcome::Ok;
+}
+
+int
+exitCodeFor(SimOutcome o)
+{
+    switch (o) {
+      case SimOutcome::Ok:                 return 0;
+      case SimOutcome::ValidationFailed:   return 2;
+      case SimOutcome::Deadlock:           return 3;
+      case SimOutcome::CycleLimit:         return 4;
+      case SimOutcome::InvariantViolation: return 5;
+      case SimOutcome::Panic:              return 6;
+      case SimOutcome::Timeout:            return 7;
+    }
+    return 1;
+}
+
+ScopedRecoverableAborts::ScopedRecoverableAborts() : prev(tlsRecoverable)
+{
+    tlsRecoverable = true;
+}
+
+ScopedRecoverableAborts::~ScopedRecoverableAborts()
+{
+    tlsRecoverable = prev;
+}
+
+bool
+recoverableAborts()
+{
+    return tlsRecoverable;
+}
+
+void
+simAbort(SimOutcome o, Cycle cycle, std::string diagnostics,
+         const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    if (tlsRecoverable)
+        throw SimAbortError(o, cycle, std::move(msg),
+                            std::move(diagnostics));
+    if (!diagnostics.empty()) {
+        std::fwrite(diagnostics.data(), 1, diagnostics.size(), stderr);
+        if (diagnostics.back() != '\n')
+            std::fputc('\n', stderr);
+    }
+    std::fprintf(stderr, "%s: %s\n", simOutcomeName(o), msg.c_str());
+    if (o == SimOutcome::Panic)
+        std::abort();
+    std::exit(exitCodeFor(o));
+}
+
+SimControl *
+threadSimControl()
+{
+    return tlsControl;
+}
+
+void
+setThreadSimControl(SimControl *ctl)
+{
+    tlsControl = ctl;
+}
+
+} // namespace dws

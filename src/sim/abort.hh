@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Structured, recoverable simulation failures.
+ *
+ * Every terminal failure of a simulation — an internal panic, the
+ * deadlock detector, the maxCycles safety valve, an invariant-checker
+ * violation, a watchdog cancellation — is classified by a SimOutcome
+ * and funneled through simAbort(). Standalone binaries exit with a
+ * distinct per-outcome exit code; under the sweep harness (a
+ * ScopedRecoverableAborts region) the same failure is thrown as a
+ * SimAbortError instead, so one poisoned sweep cell fails alone while
+ * its siblings complete untouched. The error carries the failing
+ * cycle and the full diagnostic state dump (per-WPU state lines,
+ * pending-event census, invariant violations), making a hang or a
+ * corruption diagnosable from the failure record alone.
+ */
+
+#ifndef DWS_SIM_ABORT_HH
+#define DWS_SIM_ABORT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Terminal classification of one simulation run. */
+enum class SimOutcome : std::uint8_t {
+    /** Completed; output matched the golden reference. */
+    Ok,
+    /** Completed, but output failed validation. */
+    ValidationFailed,
+    /** Internal simulator bug (panic()). */
+    Panic,
+    /** Deadlock detector: no pending events, no ready groups. */
+    Deadlock,
+    /** maxCycles safety valve tripped. */
+    CycleLimit,
+    /** Runtime invariant checker found corrupted machine state. */
+    InvariantViolation,
+    /** Cancelled by the sweep watchdog (wall clock / no progress). */
+    Timeout,
+};
+
+/** @return printable outcome name ("ok", "deadlock", ...). */
+const char *simOutcomeName(SimOutcome o);
+
+/** @return the outcome parsed from its name, or Ok if unknown. */
+SimOutcome simOutcomeFromName(const std::string &name);
+
+/**
+ * @return the process exit code for an outcome:
+ *         ok 0, validation-failed 2, deadlock 3, cycle-limit 4,
+ *         invariant-violation 5, panic 6, timeout 7.
+ *         (1 is reserved for fatal() usage/configuration errors.)
+ */
+int exitCodeFor(SimOutcome o);
+
+/** A recoverable simulation failure (thrown under the harness). */
+class SimAbortError : public std::runtime_error
+{
+  public:
+    SimAbortError(SimOutcome outcome, Cycle cycle, std::string message,
+                  std::string diagnostics)
+        : std::runtime_error(std::move(message)), outcome(outcome),
+          cycle(cycle), diagnostics(std::move(diagnostics))
+    {}
+
+    /** Failure class. */
+    SimOutcome outcome;
+    /** Simulated cycle at which the failure was raised. */
+    Cycle cycle;
+    /** Multi-line state dump: WPU state lines, event census, etc. */
+    std::string diagnostics;
+};
+
+/**
+ * Mark the current thread as running under a failure-isolating
+ * harness: while at least one instance is alive, simAbort() (and
+ * panic()) throw SimAbortError instead of terminating the process.
+ */
+class ScopedRecoverableAborts
+{
+  public:
+    ScopedRecoverableAborts();
+    ~ScopedRecoverableAborts();
+
+    ScopedRecoverableAborts(const ScopedRecoverableAborts &) = delete;
+    ScopedRecoverableAborts &
+    operator=(const ScopedRecoverableAborts &) = delete;
+
+  private:
+    bool prev;
+};
+
+/** @return true if failures on this thread throw SimAbortError. */
+bool recoverableAborts();
+
+/**
+ * Raise a structured simulation failure: throws SimAbortError when the
+ * thread is in a ScopedRecoverableAborts region; otherwise prints the
+ * diagnostics and message to stderr and exits with the outcome's exit
+ * code (abort()s for Panic, preserving the core for debugging).
+ */
+[[noreturn]] void simAbort(SimOutcome o, Cycle cycle,
+                           std::string diagnostics, const char *fmt, ...);
+
+/**
+ * Cooperative control block linking one running simulation to the
+ * sweep watchdog. The simulation loop publishes its cycle into
+ * `progressCycle` and polls `cancel`; the watchdog thread reads the
+ * progress to detect a hung cell and sets `cancel` to stop it (the
+ * run raises SimOutcome::Timeout at the next poll).
+ */
+struct SimControl
+{
+    std::atomic<std::uint64_t> progressCycle{0};
+    std::atomic<bool> cancel{false};
+};
+
+/** @return the control block bound to this thread (nullptr = none). */
+SimControl *threadSimControl();
+
+/** Bind a control block to this thread (nullptr to unbind). */
+void setThreadSimControl(SimControl *ctl);
+
+} // namespace dws
+
+#endif // DWS_SIM_ABORT_HH

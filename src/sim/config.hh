@@ -270,6 +270,15 @@ struct SystemConfig
     /** Per-WPU trace ring capacity in records (32 B each). */
     std::uint32_t traceRingCap = 4096;
 
+    /**
+     * Fault-injection specification (src/fault/, DESIGN.md §12), e.g.
+     * "mask-flip@5000:wpu=1:seed=7". Empty = no injection. Parsed by
+     * parseFaultSpec(); the System plants the fault deterministically
+     * at the given cycle, which the detection-latency campaign uses to
+     * prove checker coverage.
+     */
+    std::string faultSpec;
+
     /** @return total thread contexts across all WPUs. */
     int totalThreads() const { return numWpus * wpu.numThreads(); }
 

@@ -5,6 +5,8 @@
 
 #include "sim/event_queue.hh"
 
+#include <cstdio>
+
 #include "sim/logging.hh"
 
 namespace dws {
@@ -25,6 +27,44 @@ eventKindName(EventKind k)
         return "L2MshrRelease";
     }
     return "?";
+}
+
+std::size_t
+EventQueue::kindCount(EventKind k) const
+{
+    std::size_t n = 0;
+    for (const auto &e : heap)
+        if (e.ev.kind == k)
+            n++;
+    return n;
+}
+
+std::string
+EventQueue::censusLine() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "events pending: %zu", heap.size());
+    std::string s = buf;
+    if (heap.empty())
+        return s;
+    s += " (";
+    bool first = true;
+    for (EventKind k : {EventKind::WakeGroup, EventKind::WakeRetry,
+                        EventKind::L1MshrRelease,
+                        EventKind::L2MshrRelease}) {
+        const std::size_t n = kindCount(k);
+        if (!n)
+            continue;
+        if (!first)
+            s += ' ';
+        first = false;
+        std::snprintf(buf, sizeof(buf), "%s:%zu", eventKindName(k), n);
+        s += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ") next@%llu",
+                  (unsigned long long)nextEventCycle());
+    s += buf;
+    return s;
 }
 
 void

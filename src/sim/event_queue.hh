@@ -18,8 +18,9 @@
 #ifndef DWS_SIM_EVENT_QUEUE_HH
 #define DWS_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -99,14 +100,15 @@ class EventQueue
     void
     schedule(const SimEvent &ev)
     {
-        heap.push(Entry{ev, seq++});
+        heap.push_back(Entry{ev, seq++});
+        std::push_heap(heap.begin(), heap.end(), Later{});
     }
 
     /** @return the firing cycle of the earliest pending event. */
     Cycle
     nextEventCycle() const
     {
-        return heap.empty() ? ~Cycle(0) : heap.top().ev.when;
+        return heap.empty() ? ~Cycle(0) : heap.front().ev.when;
     }
 
     /** @return true if no events are pending. */
@@ -115,6 +117,18 @@ class EventQueue
     /** @return number of pending events. */
     std::size_t size() const { return heap.size(); }
 
+    /** @return number of pending events of one kind (diagnostics). */
+    std::size_t kindCount(EventKind k) const;
+
+    /**
+     * @return one line summarizing the pending events by kind with the
+     *         earliest firing cycle, e.g.
+     *         "events pending: 3 (WakeGroup:2 L1MshrRelease:1) next@412"
+     *         — printed by the deadlock report so a hung run shows what
+     *         the system was still waiting for.
+     */
+    std::string censusLine() const;
+
     /**
      * Dispatch every event scheduled at or before cycle now, in
      * (cycle, FIFO) order. Handlers may schedule further events.
@@ -122,33 +136,42 @@ class EventQueue
     void
     runUntil(Cycle now)
     {
-        while (!heap.empty() && heap.top().ev.when <= now) {
+        while (!heap.empty() && heap.front().ev.when <= now) {
             // Copy out (plain value) before pop so the handler can
             // schedule new events.
-            const SimEvent ev = heap.top().ev;
-            heap.pop();
+            const SimEvent ev = heap.front().ev;
+            std::pop_heap(heap.begin(), heap.end(), Later{});
+            heap.pop_back();
             DWS_TRACE(trace_, advanceTo(ev.when));
             dispatch(ev);
         }
     }
 
   private:
+    /** The fault injector mutates pending events in place. */
+    friend class FaultInjector;
+
     void dispatch(const SimEvent &ev);
 
     struct Entry
     {
         SimEvent ev;
         std::uint64_t order;
+    };
 
+    /** Heap comparator: `a` fires after `b` (min-heap via std::*_heap). */
+    struct Later
+    {
         bool
-        operator>(const Entry &o) const
+        operator()(const Entry &a, const Entry &b) const
         {
-            return ev.when != o.ev.when ? ev.when > o.ev.when
-                                        : order > o.order;
+            return a.ev.when != b.ev.when ? a.ev.when > b.ev.when
+                                          : a.order > b.order;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    /** Min-heap over (when, order); heap.front() is the next event. */
+    std::vector<Entry> heap;
     std::uint64_t seq = 0;
 
     /** WakeGroup/WakeRetry handlers, indexed by WpuId. */

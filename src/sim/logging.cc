@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/abort.hh"
+
 namespace dws {
 
 namespace {
@@ -42,6 +44,22 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
+    if (recoverableAborts()) {
+        // Under the sweep harness the failure is captured per job; the
+        // message travels in the error rather than straight to stderr.
+        va_list probe;
+        va_copy(probe, ap);
+        const int len = std::vsnprintf(nullptr, 0, fmt, probe);
+        va_end(probe);
+        std::string msg;
+        if (len > 0) {
+            std::vector<char> buf(static_cast<size_t>(len) + 1);
+            std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+            msg = buf.data();
+        }
+        va_end(ap);
+        throw SimAbortError(SimOutcome::Panic, 0, std::move(msg), "");
+    }
     vreport("panic", fmt, ap);
     va_end(ap);
     std::abort();

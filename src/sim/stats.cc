@@ -1,6 +1,9 @@
 #include "sim/stats.hh"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "sim/logging.hh"
 
@@ -163,15 +166,200 @@ RunStats::fingerprint() const
     return s;
 }
 
+namespace {
+
+/**
+ * Consume one "%llu"-formatted counter prefixed by `tag` from fp at
+ * offset `at`. @return true and advance `at` past the number.
+ */
+bool
+scanTagged(const std::string &fp, size_t &at, const char *tag,
+           std::uint64_t &out)
+{
+    const size_t tagLen = std::strlen(tag);
+    if (fp.compare(at, tagLen, tag) != 0)
+        return false;
+    size_t pos = at + tagLen;
+    if (pos >= fp.size() || !std::isdigit(static_cast<unsigned char>(fp[pos])))
+        return false;
+    out = 0;
+    while (pos < fp.size() &&
+           std::isdigit(static_cast<unsigned char>(fp[pos]))) {
+        out = out * 10 + static_cast<std::uint64_t>(fp[pos] - '0');
+        pos++;
+    }
+    at = pos;
+    return true;
+}
+
+/** Consume one literal character. */
+bool
+scanChar(const std::string &fp, size_t &at, char c)
+{
+    if (at >= fp.size() || fp[at] != c)
+        return false;
+    at++;
+    return true;
+}
+
+/** Parse one cache-stats block "r.. w.. ... co..;". */
+bool
+scanCacheStats(const std::string &fp, size_t &at, CacheStats &c)
+{
+    return scanTagged(fp, at, "r", c.reads) && scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "w", c.writes) && scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "rm", c.readMisses) &&
+           scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "wm", c.writeMisses) &&
+           scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "wb", c.writebacks) &&
+           scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "is", c.invalidationsSent) &&
+           scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "ir", c.invalidationsReceived) &&
+           scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "mf", c.mshrFullEvents) &&
+           scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "bc", c.bankConflicts) &&
+           scanChar(fp, at, ' ') &&
+           scanTagged(fp, at, "co", c.coalescedRequests) &&
+           scanChar(fp, at, ';');
+}
+
+} // namespace
+
+bool
+RunStats::parseFingerprint(const std::string &fp, RunStats &out)
+{
+    out = RunStats{};
+    size_t at = 0;
+    if (!scanTagged(fp, at, "cycles", out.cycles))
+        return false;
+    {
+        // energy%.17g| — let strtod consume the float.
+        if (fp.compare(at, 7, " energy") != 0)
+            return false;
+        at += 7;
+        const char *begin = fp.c_str() + at;
+        char *end = nullptr;
+        out.energyNj = std::strtod(begin, &end);
+        if (end == begin)
+            return false;
+        at += static_cast<size_t>(end - begin);
+        if (!scanChar(fp, at, '|'))
+            return false;
+    }
+
+    // WPU blocks: "a.. ms.. ... sb..|tm m0 m1 ...|", repeated; each
+    // starts with 'a' followed by a digit (cache blocks start with 'r').
+    while (at + 1 < fp.size() && fp[at] == 'a' &&
+           std::isdigit(static_cast<unsigned char>(fp[at + 1]))) {
+        WpuStats w;
+        const bool ok =
+                scanTagged(fp, at, "a", w.activeCycles) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "ms", w.memStallCycles) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "os", w.otherStallCycles) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "id", w.idleCycles) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "ii", w.issuedInstrs) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "si", w.scalarInstrs) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "b", w.branches) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "db", w.divergentBranches) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "su", w.staticUniformBranchExecs) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "sd", w.staticDivergentBranchExecs) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "sm", w.staticDivergenceMispredicts) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "ma", w.memAccesses) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "da", w.divergentAccesses) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "mi", w.missAccesses) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "bs", w.branchSplits) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "mm", w.memSplits) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "wf", w.wstFullDenials) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "pm", w.pcMerges) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "km", w.stackMerges) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "st", w.slipsTaken) &&
+                scanChar(fp, at, ' ') &&
+                scanTagged(fp, at, "sb", w.slipStallsAtBranch) &&
+                scanChar(fp, at, '|');
+        if (!ok)
+            return false;
+        if (fp.compare(at, 2, "tm") != 0)
+            return false;
+        at += 2;
+        while (at < fp.size() && fp[at] == ' ') {
+            at++;
+            std::uint64_t m = 0;
+            if (at >= fp.size() ||
+                !std::isdigit(static_cast<unsigned char>(fp[at])))
+                return false;
+            while (at < fp.size() &&
+                   std::isdigit(static_cast<unsigned char>(fp[at]))) {
+                m = m * 10 + static_cast<std::uint64_t>(fp[at] - '0');
+                at++;
+            }
+            w.threadMisses.push_back(m);
+        }
+        if (!scanChar(fp, at, '|'))
+            return false;
+        out.wpus.push_back(std::move(w));
+    }
+
+    // Caches: numWpus icache blocks, numWpus dcache blocks, then L2.
+    const size_t n = out.wpus.size();
+    for (size_t i = 0; i < n; i++) {
+        CacheStats c;
+        if (!scanCacheStats(fp, at, c))
+            return false;
+        out.icaches.push_back(c);
+    }
+    for (size_t i = 0; i < n; i++) {
+        CacheStats c;
+        if (!scanCacheStats(fp, at, c))
+            return false;
+        out.dcaches.push_back(c);
+    }
+    if (!scanCacheStats(fp, at, out.mem.l2))
+        return false;
+
+    if (!scanTagged(fp, at, "dram", out.mem.dramAccesses) ||
+        !scanChar(fp, at, ' ') ||
+        !scanTagged(fp, at, "xbar", out.mem.xbarTransfers) ||
+        !scanChar(fp, at, ' ') ||
+        !scanTagged(fp, at, "rec", out.mem.coherenceRecalls))
+        return false;
+    return at == fp.size();
+}
+
 double
-harmonicMean(const std::vector<double> &v)
+harmonicMean(const std::vector<double> &v, const char *context)
 {
     if (v.empty())
         return 0.0;
     double denom = 0.0;
-    for (double x : v) {
+    for (size_t i = 0; i < v.size(); i++) {
+        const double x = v[i];
         if (x <= 0.0)
-            panic("harmonicMean over non-positive value %f", x);
+            panic("harmonicMean over non-positive value %f "
+                  "(entry %zu of %zu%s%s)",
+                  x, i, v.size(), context ? ", " : "",
+                  context ? context : "");
         denom += 1.0 / x;
     }
     return double(v.size()) / denom;

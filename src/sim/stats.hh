@@ -146,10 +146,26 @@ struct RunStats
      *         `--jobs 1` and `--jobs N` runs through this.
      */
     std::string fingerprint() const;
+
+    /**
+     * Rebuild a RunStats from its fingerprint() serialization (the
+     * format records every counter, so the round trip is exact:
+     * parse(fp).fingerprint() == fp). Used by the sweep journal to
+     * restore completed cells on `--resume` without re-simulating.
+     *
+     * @return false if `fp` is not a well-formed fingerprint.
+     */
+    static bool parseFingerprint(const std::string &fp, RunStats &out);
 };
 
-/** @return harmonic mean of v (all entries must be > 0). */
-double harmonicMean(const std::vector<double> &v);
+/**
+ * @return harmonic mean of v (all entries must be > 0).
+ * @param context optional description of what is being averaged,
+ *        included in the error when a non-positive value is found so
+ *        the failing stat/run is identifiable from the message.
+ */
+double harmonicMean(const std::vector<double> &v,
+                    const char *context = nullptr);
 
 } // namespace dws
 

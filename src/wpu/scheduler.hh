@@ -106,6 +106,9 @@ class Scheduler
     }
 
   private:
+    /** The fault injector skews the slot count (src/fault/). */
+    friend class FaultInjector;
+
     /** Grant free slots to queued groups (FIFO). */
     void drainQueue();
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/invariants.hh"
+#include "sim/abort.hh"
 #include "sim/logging.hh"
 
 namespace dws {
@@ -492,11 +493,16 @@ Wpu::runInvariantAudit(Cycle now)
             InvariantChecker::auditWpu(*this, now);
     if (violations.empty())
         return;
-    fprintf(stderr, "%s", dumpState().c_str());
-    for (const Violation &v : violations)
-        fprintf(stderr, "invariant violation: %s\n", toString(v).c_str());
-    panic("cycle %llu wpu %d: %zu invariant violations",
-          (unsigned long long)now, wpuId, violations.size());
+    std::string diag = dumpState();
+    for (const Violation &v : violations) {
+        diag += "invariant violation: ";
+        diag += toString(v);
+        diag += "\n";
+    }
+    simAbort(SimOutcome::InvariantViolation, now, std::move(diag),
+             "cycle %llu wpu %d: %zu invariant violations (first: %s)",
+             (unsigned long long)now, wpuId, violations.size(),
+             toString(violations.front()).c_str());
 }
 
 void
@@ -1430,6 +1436,28 @@ Wpu::slipReleaseOrphans(WarpId w, Cycle now)
 // --------------------------------------------------------------------
 // Diagnostics
 // --------------------------------------------------------------------
+
+std::string
+Wpu::stateLine() const
+{
+    std::ostringstream os;
+    os << "wpu" << wpuId << ": halted " << haltedThreads << "/"
+       << numThreads << " groups " << live.size();
+    static const GroupState kStates[] = {
+            GroupState::Ready,      GroupState::WaitMem,
+            GroupState::WaitRetry,  GroupState::WaitReconv,
+            GroupState::WaitBarrier};
+    for (GroupState s : kStates) {
+        const int n = stateCount[static_cast<size_t>(s)];
+        if (n)
+            os << " " << groupStateName(s) << ":" << n;
+    }
+    os << " wst " << wstTable.inUse() << "/" << cfg.wpu.wstEntries
+       << " slots " << sched.slotsUsed() << "/" << cfg.wpu.schedSlots
+       << " ready " << sched.readyCount() << " queued "
+       << sched.queued().size();
+    return os.str();
+}
 
 std::string
 Wpu::dumpState() const

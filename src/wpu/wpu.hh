@@ -140,6 +140,13 @@ class Wpu : public EventTarget
     const WarpSplitTable &wst() const { return wstTable; }
     /** @return one-line state dump for deadlock diagnostics. */
     std::string dumpState() const;
+    /**
+     * @return a single-line summary of this WPU (halted count, group
+     *         census by state, WST/slot occupancy) — the per-WPU line
+     *         of the deadlock/abort report where the full dumpState()
+     *         would drown the signal.
+     */
+    std::string stateLine() const;
     /** @return the WPU's id. */
     WpuId id() const { return wpuId; }
 
@@ -264,6 +271,8 @@ class Wpu : public EventTarget
 
     /** Read-only structural access for the runtime invariant audit. */
     friend class InvariantChecker;
+    /** Mutating access for deterministic fault injection (src/fault/). */
+    friend class FaultInjector;
 
     /** Structured tracer; nullptr (the default) means tracing is off. */
     Tracer *trace_ = nullptr;

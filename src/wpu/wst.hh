@@ -89,6 +89,9 @@ class WarpSplitTable
     }
 
   private:
+    /** The fault injector skews the occupancy counts (src/fault/). */
+    friend class FaultInjector;
+
     void notePeak();
 
     Tracer *trace_ = nullptr;

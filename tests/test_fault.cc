@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests for the fault-injection framework and the recoverable failure
+ * handling it validates: spec parsing, fingerprint round-trips, the
+ * detection-latency campaign (every fault class caught, within bound,
+ * deterministically), failure isolation in the sweep executor, the
+ * completed-cell journal with resume, and the structured failure paths
+ * (cycle limit, deadlock, watchdog cancellation, harmonicMean context).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+#include "fault/fault.hh"
+#include "harness/sweep.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "test_util.hh"
+
+namespace dws {
+namespace {
+
+// --- spec parsing -----------------------------------------------------
+
+TEST(FaultSpec, ParseRoundTrip)
+{
+    const auto s = parseFaultSpec("mask-flip@5000:wpu=1:seed=7");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->cls, FaultClass::MaskFlip);
+    EXPECT_EQ(s->cycle, 5000u);
+    EXPECT_EQ(s->wpu, 1);
+    EXPECT_EQ(s->seed, 7u);
+    EXPECT_EQ(s->toString(), "mask-flip@5000:wpu=1:seed=7");
+
+    // Defaults: wpu 0, seed 1.
+    const auto d = parseFaultSpec("mshr-drop-fill@123");
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->cls, FaultClass::MshrDropFill);
+    EXPECT_EQ(d->wpu, 0);
+    EXPECT_EQ(d->seed, 1u);
+
+    // Every class name round-trips through parse + toString.
+    for (FaultClass c : allFaultClasses()) {
+        FaultSpec spec;
+        spec.cls = c;
+        spec.cycle = 42;
+        const auto back = parseFaultSpec(spec.toString());
+        ASSERT_TRUE(back.has_value()) << faultClassName(c);
+        EXPECT_EQ(back->cls, c);
+    }
+}
+
+TEST(FaultSpec, ParseRejectsMalformed)
+{
+    setQuiet(true);
+    EXPECT_FALSE(parseFaultSpec("").has_value());
+    EXPECT_FALSE(parseFaultSpec("mask-flip").has_value());
+    EXPECT_FALSE(parseFaultSpec("mask-flip@").has_value());
+    EXPECT_FALSE(parseFaultSpec("mask-flip@abc").has_value());
+    EXPECT_FALSE(parseFaultSpec("no-such-class@100").has_value());
+    EXPECT_FALSE(parseFaultSpec("mask-flip@100:bogus=1").has_value());
+    setQuiet(false);
+}
+
+TEST(FaultSpec, ClassNamesRoundTrip)
+{
+    for (FaultClass c : allFaultClasses()) {
+        const auto back = faultClassFromName(faultClassName(c));
+        ASSERT_TRUE(back.has_value()) << faultClassName(c);
+        EXPECT_EQ(*back, c);
+    }
+    EXPECT_FALSE(faultClassFromName("not-a-class").has_value());
+}
+
+// --- fingerprint round-trip (journal restore) -------------------------
+
+TEST(Fingerprint, ParseRoundTripsRealRun)
+{
+    const SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    const RunStats ref = runKernel("SVM", cfg, KernelScale::Tiny).stats;
+    const std::string fp = ref.fingerprint();
+
+    RunStats parsed;
+    ASSERT_TRUE(RunStats::parseFingerprint(fp, parsed));
+    EXPECT_EQ(parsed.fingerprint(), fp);
+    EXPECT_EQ(parsed.cycles, ref.cycles);
+    EXPECT_EQ(parsed.totalScalarInstrs(), ref.totalScalarInstrs());
+    EXPECT_DOUBLE_EQ(parsed.energyNj, ref.energyNj);
+}
+
+TEST(Fingerprint, ParseRejectsGarbage)
+{
+    RunStats out;
+    EXPECT_FALSE(RunStats::parseFingerprint("", out));
+    EXPECT_FALSE(RunStats::parseFingerprint("not a fingerprint", out));
+    EXPECT_FALSE(RunStats::parseFingerprint("cycles12", out));
+}
+
+// --- detection-latency campaign ---------------------------------------
+
+TEST(Campaign, EveryFaultClassIsDetectedWithinBound)
+{
+    setQuiet(true);
+    CampaignOptions opt;
+    opt.seeds = {1};
+    const CampaignReport rep = runFaultCampaign(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rep.cells.size(),
+              static_cast<std::size_t>(kNumFaultClasses));
+    EXPECT_EQ(rep.missed, 0);
+    for (const auto &c : rep.cells) {
+        EXPECT_TRUE(c.fired) << c.spec;
+        EXPECT_EQ(c.classification, "detected") << c.spec << ": "
+                                                << c.message;
+        EXPECT_LE(c.latency, opt.detectBound) << c.spec;
+        EXPECT_TRUE(c.outcome == SimOutcome::InvariantViolation ||
+                    c.outcome == SimOutcome::Deadlock)
+                << c.spec << ": " << simOutcomeName(c.outcome);
+        EXPECT_FALSE(c.faultDesc.empty()) << c.spec;
+    }
+    EXPECT_EQ(rep.detected, kNumFaultClasses);
+    EXPECT_LE(rep.maxLatency, opt.detectBound);
+}
+
+TEST(Campaign, DeterministicAcrossRuns)
+{
+    setQuiet(true);
+    CampaignOptions opt;
+    opt.classes = {FaultClass::MaskFlip, FaultClass::MshrDropFill};
+    opt.seeds = {1, 2};
+    const CampaignReport a = runFaultCampaign(opt);
+    const CampaignReport b = runFaultCampaign(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (size_t i = 0; i < a.cells.size(); i++) {
+        EXPECT_EQ(a.cells[i].spec, b.cells[i].spec);
+        EXPECT_EQ(a.cells[i].firedAt, b.cells[i].firedAt);
+        EXPECT_EQ(a.cells[i].faultDesc, b.cells[i].faultDesc);
+        EXPECT_EQ(a.cells[i].outcome, b.cells[i].outcome);
+        EXPECT_EQ(a.cells[i].abortCycle, b.cells[i].abortCycle);
+        EXPECT_EQ(a.cells[i].classification, b.cells[i].classification);
+    }
+
+    std::ostringstream ja, jb;
+    writeCampaignReport(a, ja);
+    writeCampaignReport(b, jb);
+    EXPECT_EQ(ja.str(), jb.str());
+}
+
+// --- recoverable failure paths ----------------------------------------
+
+TEST(Abort, ExitCodesAreDistinct)
+{
+    EXPECT_EQ(exitCodeFor(SimOutcome::Ok), 0);
+    EXPECT_EQ(exitCodeFor(SimOutcome::ValidationFailed), 2);
+    EXPECT_EQ(exitCodeFor(SimOutcome::Deadlock), 3);
+    EXPECT_EQ(exitCodeFor(SimOutcome::CycleLimit), 4);
+    EXPECT_EQ(exitCodeFor(SimOutcome::InvariantViolation), 5);
+    EXPECT_EQ(exitCodeFor(SimOutcome::Panic), 6);
+    EXPECT_EQ(exitCodeFor(SimOutcome::Timeout), 7);
+    for (SimOutcome o :
+         {SimOutcome::Ok, SimOutcome::ValidationFailed,
+          SimOutcome::Deadlock, SimOutcome::CycleLimit,
+          SimOutcome::InvariantViolation, SimOutcome::Panic,
+          SimOutcome::Timeout})
+        EXPECT_EQ(simOutcomeFromName(simOutcomeName(o)), o);
+}
+
+TEST(Abort, MaxCyclesThrowsUnderRecoverableScope)
+{
+    std::vector<Instr> code{
+        Instr{.op = Op::Addi, .rd = 2, .ra = 2, .imm = 1},
+        Instr{.op = Op::Jmp, .target = 0}};
+    SystemConfig cfg = testConfig(4, 1, 1);
+    cfg.maxCycles = 5000;
+    TestKernel k(Program(code, "spin"));
+    try {
+        ScopedRecoverableAborts recoverable;
+        System sys(cfg, k);
+        sys.run();
+        FAIL() << "expected SimAbortError";
+    } catch (const SimAbortError &e) {
+        EXPECT_EQ(e.outcome, SimOutcome::CycleLimit);
+        EXPECT_GE(e.cycle, cfg.maxCycles);
+        // The diagnostics carry per-WPU state lines and the event
+        // census so the failure is debuggable from the record alone.
+        EXPECT_NE(e.diagnostics.find("wpu0:"), std::string::npos);
+        EXPECT_NE(e.diagnostics.find("events pending"),
+                  std::string::npos);
+    }
+}
+
+TEST(Abort, WatchdogCancelRaisesTimeout)
+{
+    // The cooperative cancellation path: System::run polls its bound
+    // SimControl and raises Timeout once cancel is set.
+    SimControl ctl;
+    ctl.cancel.store(true);
+    setThreadSimControl(&ctl);
+    const SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    try {
+        ScopedRecoverableAborts recoverable;
+        runKernel("Merge", cfg, KernelScale::Tiny);
+        setThreadSimControl(nullptr);
+        FAIL() << "expected SimAbortError";
+    } catch (const SimAbortError &e) {
+        setThreadSimControl(nullptr);
+        EXPECT_EQ(e.outcome, SimOutcome::Timeout);
+    }
+}
+
+TEST(Abort, HarmonicMeanNamesTheOffendingEntry)
+{
+    {
+        ScopedRecoverableAborts recoverable;
+        EXPECT_THROW(harmonicMean({1.0, -2.0}, "ctxToken"),
+                     SimAbortError);
+    }
+    EXPECT_DEATH(harmonicMean({1.0, -2.0, 3.0}, "ctxToken"),
+                 "entry 1 of 3, ctxToken");
+}
+
+// --- executor failure isolation ---------------------------------------
+
+/** Poison spec verified to deadlock Merge/ReviveSplit without audits. */
+const char *kPoison = "mask-flip@2000";
+
+/**
+ * @return the ReviveSplit Table 3 config with invariant audits
+ *         explicitly off, so a planted mask-flip is detected as a
+ *         deadlock in Release and Debug builds alike (Debug audits by
+ *         default and would catch it as an invariant violation first).
+ */
+SystemConfig
+poisonBaseConfig()
+{
+    SystemConfig cfg = SystemConfig::table3(PolicyConfig::reviveSplit());
+    cfg.checkInvariants = 0;
+    return cfg;
+}
+
+TEST(ExecutorFault, PoisonedCellFailsAloneAndSiblingsAreIdentical)
+{
+    const SystemConfig cfg = poisonBaseConfig();
+    SystemConfig poisoned = cfg;
+    poisoned.faultSpec = kPoison;
+
+    SweepExecutor healthy(2);
+    const auto ref = healthy.runBatch(
+            {SweepJob{"Merge", cfg, KernelScale::Tiny, "A"},
+             SweepJob{"SVM", cfg, KernelScale::Tiny, "A"},
+             SweepJob{"Short", cfg, KernelScale::Tiny, "A"}});
+    EXPECT_EQ(healthy.worstOutcome(), SimOutcome::Ok);
+
+    SweepExecutor ex(2);
+    const auto res = ex.runBatch(
+            {SweepJob{"Merge", poisoned, KernelScale::Tiny, "A"},
+             SweepJob{"SVM", cfg, KernelScale::Tiny, "A"},
+             SweepJob{"Short", cfg, KernelScale::Tiny, "A"}});
+    ASSERT_EQ(res.size(), 3u);
+
+    // The poisoned cell fails with a structured outcome + diagnostics.
+    EXPECT_FALSE(res[0].ok());
+    EXPECT_EQ(res[0].outcome, SimOutcome::Deadlock);
+    EXPECT_FALSE(res[0].error.empty());
+    EXPECT_NE(res[0].diagnostics.find("wpu0:"), std::string::npos);
+    EXPECT_NE(res[0].diagnostics.find("events pending"),
+              std::string::npos);
+
+    // The surviving cells are byte-identical to the healthy sweep.
+    EXPECT_TRUE(res[1].ok());
+    EXPECT_TRUE(res[2].ok());
+    EXPECT_EQ(res[1].run.stats.fingerprint(),
+              ref[1].run.stats.fingerprint());
+    EXPECT_EQ(res[2].run.stats.fingerprint(),
+              ref[2].run.stats.fingerprint());
+
+    EXPECT_EQ(ex.worstOutcome(), SimOutcome::Deadlock);
+    // Records carry the failure for the JSON results file.
+    const auto recs = ex.records();
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0].outcome, "deadlock");
+    EXPECT_EQ(recs[1].outcome, "ok");
+}
+
+TEST(ExecutorFault, CycleLimitInWorkerIsCaptured)
+{
+    SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    cfg.maxCycles = 1000; // Merge/Tiny needs far more
+    SweepExecutor ex(1);
+    const auto res = ex.runBatch(
+            {SweepJob{"Merge", cfg, KernelScale::Tiny, "cap"}});
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0].outcome, SimOutcome::CycleLimit);
+    EXPECT_NE(res[0].error.find("1000"), std::string::npos);
+    EXPECT_EQ(ex.worstOutcome(), SimOutcome::CycleLimit);
+}
+
+TEST(ExecutorFault, SweepHelpersRenderFailures)
+{
+    const SystemConfig cfg = poisonBaseConfig();
+
+    SweepExecutor ex(2);
+    const PolicyRun base = runAll("base", cfg, KernelScale::Tiny,
+                                  {"Merge", "SVM"}, &ex);
+    // Poison exactly one cell of the test run through the --inject-cell
+    // path the benches use.
+    setBenchFault(kPoison, "poisoned/Merge");
+    const PolicyRun test = runAll("poisoned", cfg, KernelScale::Tiny,
+                                  {"Merge", "SVM"}, &ex);
+    setBenchFault("", "");
+
+    EXPECT_TRUE(base.ok("Merge"));
+    EXPECT_FALSE(test.ok("Merge"));
+    ASSERT_TRUE(test.failures.count("Merge"));
+    EXPECT_NE(test.failures.at("Merge").find("deadlock"),
+              std::string::npos);
+
+    // speedups() skips the failed cell instead of aborting; the h-mean
+    // is computed over the survivors.
+    setQuiet(true);
+    const std::vector<double> sp = speedups(base, test);
+    setQuiet(false);
+    EXPECT_EQ(sp.size(), 1u);
+    EXPECT_GT(hmeanSpeedup(base, test), 0.0);
+}
+
+TEST(ExecutorFault, WithBenchFaultTargetsOneCell)
+{
+    setBenchFault(kPoison, "A/Merge");
+    EXPECT_EQ(withBenchFault(SystemConfig{}, "A", "Merge").faultSpec,
+              kPoison);
+    EXPECT_EQ(withBenchFault(SystemConfig{}, "B", "Merge").faultSpec,
+              "");
+    EXPECT_EQ(withBenchFault(SystemConfig{}, "A", "SVM").faultSpec, "");
+    setBenchFault(kPoison, "Merge");
+    EXPECT_EQ(withBenchFault(SystemConfig{}, "B", "Merge").faultSpec,
+              kPoison);
+    setBenchFault("", "");
+    EXPECT_EQ(withBenchFault(SystemConfig{}, "A", "Merge").faultSpec,
+              "");
+}
+
+// --- journal + resume -------------------------------------------------
+
+TEST(Journal, ResumeRestoresCompletedCellsAndRerunsFailures)
+{
+    const std::string path =
+            ::testing::TempDir() + "dws_fault_journal.jsonl";
+    std::remove(path.c_str());
+
+    const SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    SystemConfig poisoned = poisonBaseConfig();
+    poisoned.faultSpec = kPoison;
+
+    std::string svmFp;
+    {
+        SweepExecutor ex(2);
+        ex.setJournal(path, false);
+        const auto res = ex.runBatch(
+                {SweepJob{"SVM", cfg, KernelScale::Tiny, "J"},
+                 SweepJob{"Merge", poisoned, KernelScale::Tiny, "J"}});
+        ASSERT_TRUE(res[0].ok());
+        ASSERT_FALSE(res[1].ok());
+        svmFp = res[0].run.stats.fingerprint();
+    }
+
+    {
+        SweepExecutor ex(2);
+        ex.setJournal(path, true);
+        const auto res = ex.runBatch(
+                {SweepJob{"SVM", cfg, KernelScale::Tiny, "J"},
+                 SweepJob{"Merge", poisoned, KernelScale::Tiny, "J"}});
+        // The ok cell is restored without re-simulating...
+        ASSERT_TRUE(res[0].ok());
+        EXPECT_TRUE(res[0].resumed);
+        EXPECT_EQ(res[0].run.stats.fingerprint(), svmFp);
+        // ...and the failed cell is re-run (and fails again, since the
+        // simulator is deterministic).
+        EXPECT_FALSE(res[1].resumed);
+        EXPECT_EQ(res[1].outcome, SimOutcome::Deadlock);
+    }
+    std::remove(path.c_str());
+}
+
+// --- diagnostics helpers ----------------------------------------------
+
+TEST(Diagnostics, EventCensusSummarizesPendingByKind)
+{
+    EventQueue q;
+    q.schedule(SimEvent{.when = 412, .kind = EventKind::WakeGroup});
+    q.schedule(SimEvent{.when = 500, .kind = EventKind::WakeGroup});
+    q.schedule(SimEvent{.when = 450, .kind = EventKind::L1MshrRelease});
+    const std::string line = q.censusLine();
+    EXPECT_NE(line.find("events pending: 3"), std::string::npos);
+    EXPECT_NE(line.find("WakeGroup:2"), std::string::npos);
+    EXPECT_NE(line.find("L1MshrRelease:1"), std::string::npos);
+    EXPECT_NE(line.find("next@412"), std::string::npos);
+    EXPECT_EQ(q.kindCount(EventKind::WakeGroup), 2u);
+    EXPECT_EQ(q.kindCount(EventKind::L2MshrRelease), 0u);
+}
+
+} // namespace
+} // namespace dws

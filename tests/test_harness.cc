@@ -49,8 +49,9 @@ TEST(System, SeedChangesResults)
 
 TEST(System, MaxCyclesLimitTriggersFatal)
 {
-    // An infinite loop must hit the cycle cap and exit(1). The builder
-    // now rejects halt-free programs, so construct the Program directly.
+    // An infinite loop must hit the cycle cap and exit with the
+    // cycle-limit outcome code. The builder now rejects halt-free
+    // programs, so construct the Program directly.
     std::vector<Instr> code{
         Instr{.op = Op::Addi, .rd = 2, .ra = 2, .imm = 1},
         Instr{.op = Op::Jmp, .target = 0}};
@@ -62,7 +63,8 @@ TEST(System, MaxCyclesLimitTriggersFatal)
                 System sys(cfg, k);
                 sys.run();
             },
-            ::testing::ExitedWithCode(1), "");
+            ::testing::ExitedWithCode(exitCodeFor(SimOutcome::CycleLimit)),
+            "cycle-limit");
 }
 
 TEST(System, CycleCountIndependentOfEventBatching)

@@ -74,6 +74,46 @@ else
 fi
 rm -rf "$TRACE_DIR"
 
+echo "=== Release: fault-injection smoke (campaign + poisoned sweep) ==="
+# Every fault class x 3 seeds must be caught by the invariant checker
+# or the deadlock detector: the campaign gates on zero missed cells and
+# the report is archived next to the throughput record.
+./build-ci-release/tools/dws_sim --campaign --campaign-seeds 3 \
+    --campaign-out BENCH_fault_campaign.json
+echo "  archived BENCH_fault_campaign.json"
+# One poisoned cell in the 64-cell figure sweep must fail alone: the
+# other 63 cells' fingerprints stay byte-identical to a clean sweep.
+FAULT_DIR=$(mktemp -d)
+./build-ci-release/bench/bench_fig13_schemes --fast --jobs 4 \
+    --journal "$FAULT_DIR/clean.jsonl" >/dev/null
+set +e
+./build-ci-release/bench/bench_fig13_schemes --fast --jobs 4 \
+    --journal "$FAULT_DIR/poison.jsonl" \
+    --inject mask-flip@2000 --inject-cell Revive/Merge >/dev/null
+POISON_RC=$?
+set -e
+if [ "$POISON_RC" -eq 0 ]; then
+    echo "  FAIL: poisoned sweep exited 0"; exit 1
+fi
+echo "  poisoned sweep exit code: $POISON_RC (expected nonzero)"
+python3 - "$FAULT_DIR" <<'EOF'
+import json, sys
+def load(p):
+    return {(r["label"], r["kernel"]): r
+            for r in map(json.loads, open(p))}
+c = load(sys.argv[1] + "/clean.jsonl")
+p = load(sys.argv[1] + "/poison.jsonl")
+assert set(c) == set(p), "poisoned sweep lost cells"
+poisoned = ("Revive", "Merge")
+assert p[poisoned]["outcome"] != "ok", "poisoned cell reported ok"
+bad = [k for k in c if k != poisoned
+       and c[k]["fingerprint"] != p[k]["fingerprint"]]
+assert not bad, "surviving cells diverged: %r" % bad
+print("  %d surviving cells byte-identical; poisoned cell: %s"
+      % (len(c) - 1, p[poisoned]["outcome"]))
+EOF
+rm -rf "$FAULT_DIR"
+
 echo "=== Tracing compiled out (DWS_TRACING=OFF): build + ctest ==="
 cmake -S . -B build-ci-notrace -DCMAKE_BUILD_TYPE=Release \
       -DDWS_TRACING=OFF >/dev/null

@@ -8,17 +8,26 @@
  *
  *   dws_sim --kernel Filter --policy revive --width 16 --warps 4
  *   dws_sim --kernel Merge --policy conv --dcache-kb 16 --l2-lat 100
+ *   dws_sim --kernel Merge --inject mask-flip@2000:seed=7
+ *   dws_sim --campaign --campaign-out report.json
  *   dws_sim --list
  *   dws_sim --kernel FFT --disasm
+ *
+ * Exit codes (sim/abort.hh): 0 ok, 2 validation failed, 3 deadlock,
+ * 4 cycle limit, 5 invariant violation, 6 panic, 7 watchdog timeout.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "energy/energy.hh"
+#include "fault/campaign.hh"
+#include "fault/fault.hh"
 #include "harness/runner.hh"
 #include "isa/disasm.hh"
+#include "sim/abort.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
 
@@ -53,6 +62,24 @@ usage()
         "                    Perfetto (load in ui.perfetto.dev)\n"
         "  --trace-epoch N   timeline sample period in cycles "
         "(default 1024)\n"
+        "  --max-cycles N    abort with the cycle-limit outcome past N\n"
+        "                    cycles (0 disables)\n"
+        "  --inject SPEC     plant one deterministic fault, SPEC =\n"
+        "                    class@cycle[:wpu=N][:seed=S]; classes:\n"
+        "                    wst-skew, mask-flip, mshr-drop-fill,\n"
+        "                    mshr-delay-fill, stale-event-target,\n"
+        "                    cache-tag-corrupt, sched-slot-skew\n"
+        "  --campaign        run the detection-latency campaign (fault\n"
+        "                    classes x seeds) and print the JSON report\n"
+        "  --campaign-class C      restrict the campaign to one class\n"
+        "                          (repeatable)\n"
+        "  --campaign-seeds N      seeds per class (default 3)\n"
+        "  --campaign-kernel NAME  kernel to poison (default Merge)\n"
+        "  --campaign-cycle N      injection cycle (default 2000)\n"
+        "  --campaign-cadence N    audit cadence in cycles (default 1)\n"
+        "  --campaign-bound N      detection-latency bound (default "
+        "50000)\n"
+        "  --campaign-out FILE     write the report JSON to FILE\n"
         "  --disasm          print the kernel listing and exit\n"
         "  --list            print benchmark names and exit\n"
         "  --quiet           suppress warnings");
@@ -89,6 +116,10 @@ main(int argc, char **argv)
     KernelScale scale = KernelScale::Default;
     SystemConfig cfg;
     bool wantDisasm = false;
+    bool wantCampaign = false;
+    int campaignSeeds = 3;
+    std::string campaignOut;
+    CampaignOptions copts;
 
     auto intArg = [&](int &i) {
         if (i + 1 >= argc)
@@ -161,6 +192,39 @@ main(int argc, char **argv)
             cfg.traceOut = argv[++i];
         } else if (!std::strcmp(a, "--trace-epoch")) {
             cfg.traceEpoch = static_cast<Cycle>(intArg(i));
+        } else if (!std::strcmp(a, "--max-cycles")) {
+            cfg.maxCycles = static_cast<Cycle>(intArg(i));
+        } else if (!std::strcmp(a, "--inject") && i + 1 < argc) {
+            cfg.faultSpec = argv[++i];
+            if (!parseFaultSpec(cfg.faultSpec))
+                fatal("invalid --inject spec '%s'",
+                      cfg.faultSpec.c_str());
+        } else if (!std::strncmp(a, "--inject=", 9)) {
+            cfg.faultSpec = a + 9;
+            if (!parseFaultSpec(cfg.faultSpec))
+                fatal("invalid --inject spec '%s'",
+                      cfg.faultSpec.c_str());
+        } else if (!std::strcmp(a, "--campaign")) {
+            wantCampaign = true;
+        } else if (!std::strcmp(a, "--campaign-class") && i + 1 < argc) {
+            const auto cls = faultClassFromName(argv[++i]);
+            if (!cls)
+                fatal("unknown fault class '%s'", argv[i]);
+            copts.classes.push_back(*cls);
+        } else if (!std::strcmp(a, "--campaign-seeds")) {
+            campaignSeeds = static_cast<int>(intArg(i));
+            if (campaignSeeds < 1)
+                fatal("--campaign-seeds must be positive");
+        } else if (!std::strcmp(a, "--campaign-kernel") && i + 1 < argc) {
+            copts.kernel = argv[++i];
+        } else if (!std::strcmp(a, "--campaign-cycle")) {
+            copts.injectCycle = static_cast<Cycle>(intArg(i));
+        } else if (!std::strcmp(a, "--campaign-cadence")) {
+            copts.auditCadence = static_cast<Cycle>(intArg(i));
+        } else if (!std::strcmp(a, "--campaign-bound")) {
+            copts.detectBound = static_cast<Cycle>(intArg(i));
+        } else if (!std::strcmp(a, "--campaign-out") && i + 1 < argc) {
+            campaignOut = argv[++i];
         } else if (!std::strcmp(a, "--disasm")) {
             wantDisasm = true;
         } else if (!std::strcmp(a, "--quiet")) {
@@ -193,7 +257,47 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const RunResult r = runKernel(kernelName, cfg, scale);
+    if (wantCampaign) {
+        copts.seeds.clear();
+        for (int s = 1; s <= campaignSeeds; s++)
+            copts.seeds.push_back(static_cast<std::uint64_t>(s));
+        const CampaignReport rep = runFaultCampaign(copts);
+        std::printf("fault campaign: %zu cells -> %d detected, "
+                    "%d contained, %d missed (max latency %llu cycles)\n",
+                    rep.cells.size(), rep.detected, rep.contained,
+                    rep.missed, (unsigned long long)rep.maxLatency);
+        for (const auto &c : rep.cells)
+            if (c.classification == "missed")
+                std::printf("  MISSED %s: %s\n", c.spec.c_str(),
+                            c.message.c_str());
+        if (!campaignOut.empty()) {
+            std::ofstream f(campaignOut, std::ios::trunc);
+            if (!f.is_open())
+                fatal("cannot open %s for writing",
+                      campaignOut.c_str());
+            writeCampaignReport(rep, f);
+            f << '\n';
+            std::printf("wrote report to %s\n", campaignOut.c_str());
+        }
+        return rep.missed == 0 ? 0 : 1;
+    }
+
+    RunResult r;
+    try {
+        // Catch structured failures so the driver can print the state
+        // dump itself (simAbort would exit with the same code, but
+        // without the run header printed below the dump).
+        ScopedRecoverableAborts recoverable;
+        r = runKernel(kernelName, cfg, scale);
+    } catch (const SimAbortError &e) {
+        if (!e.diagnostics.empty())
+            std::fprintf(stderr, "%s\n", e.diagnostics.c_str());
+        std::fprintf(stderr, "%s / %s failed: %s at cycle %llu: %s\n",
+                     kernelName.c_str(), policyName.c_str(),
+                     simOutcomeName(e.outcome),
+                     (unsigned long long)e.cycle, e.what());
+        return exitCodeFor(e.outcome);
+    }
     std::printf("%s / %s (%s scale)\n", r.kernel.c_str(),
                 r.policy.c_str(),
                 scale == KernelScale::Tiny ? "tiny" : "default");
@@ -238,5 +342,10 @@ main(int argc, char **argv)
                     (unsigned long long)r.traceRecords,
                     cfg.traceOut.c_str(),
                     (unsigned long long)r.traceDropped);
-    return r.valid ? 0 : 2;
+    if (!cfg.faultSpec.empty())
+        std::printf("  fault:            %s armed; run completed "
+                    "without a structured abort\n",
+                    cfg.faultSpec.c_str());
+    return exitCodeFor(r.valid ? SimOutcome::Ok
+                               : SimOutcome::ValidationFailed);
 }
