@@ -1,0 +1,89 @@
+#include "analysis/barrier.hh"
+
+#include <cstdio>
+#include <deque>
+
+#include "analysis/dataflow.hh"
+#include "analysis/divergence.hh"
+#include "isa/cfg.hh"
+
+namespace dws {
+
+BarrierCheckResult
+BarrierAnalysis::analyze(const std::vector<Instr> &code)
+{
+    const int n = static_cast<int>(code.size());
+    BarrierCheckResult result;
+    result.barrierUniform.assign(static_cast<size_t>(n), false);
+    if (n == 0)
+        return result;
+
+    DivergenceOptions opts;
+    opts.barrierSync = true;
+    opts.zeroInitUniform = true;
+    const DivergenceReport div = DivergenceAnalysis::analyze(code, opts);
+    const std::vector<Pc> ipdom =
+            CfgAnalysis::immediatePostDominators(code);
+    const InstrCfg cfg(code);
+
+    // guiltyBranch[pc]: a divergent branch whose influence region
+    // (between the branch and its immediate post-dominator, where
+    // control flow has not re-converged) contains pc.
+    std::vector<Pc> guiltyBranch(static_cast<size_t>(n), kPcUnknown);
+    for (Pc br = 0; br < n; br++) {
+        if (code[static_cast<size_t>(br)].op != Op::Br ||
+            !cfg.reachable(br) || !div.mayDiverge(br))
+            continue;
+        const Pc reconv = ipdom[static_cast<size_t>(br)];
+        std::deque<Pc> work;
+        std::vector<bool> seen(static_cast<size_t>(n), false);
+        for (Pc s : cfg.succs(br)) {
+            if (s != reconv && !seen[static_cast<size_t>(s)]) {
+                seen[static_cast<size_t>(s)] = true;
+                work.push_back(s);
+            }
+        }
+        while (!work.empty()) {
+            const Pc pc = work.front();
+            work.pop_front();
+            if (guiltyBranch[static_cast<size_t>(pc)] == kPcUnknown)
+                guiltyBranch[static_cast<size_t>(pc)] = br;
+            for (Pc s : cfg.succs(pc)) {
+                if (s != reconv && !seen[static_cast<size_t>(s)]) {
+                    seen[static_cast<size_t>(s)] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    for (Pc pc = 0; pc < n; pc++) {
+        if (code[static_cast<size_t>(pc)].op != Op::Bar ||
+            !cfg.reachable(pc))
+            continue;
+        result.barriers++;
+        const Pc br = guiltyBranch[static_cast<size_t>(pc)];
+        if (br == kPcUnknown) {
+            result.barrierUniform[static_cast<size_t>(pc)] = true;
+            result.provedUniform++;
+            continue;
+        }
+        char msg[192];
+        std::snprintf(msg, sizeof(msg),
+                      "barrier may execute under divergent control "
+                      "flow: the divergent branch at pc %d does not "
+                      "re-converge before it (threads could skip the "
+                      "barrier or arrive in different rounds)",
+                      br);
+        result.diags.push_back(Diagnostic{
+                .severity = Severity::Error,
+                .pc = pc,
+                .pass = "barrier",
+                .message = msg});
+    }
+
+    decorate(result.diags, code);
+    return result;
+}
+
+} // namespace dws

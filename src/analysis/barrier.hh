@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Barrier-divergence prover in the style of GPUVerify's barrier
+ * invariant checking, adapted to this IR's global barrier.
+ *
+ * The simulated Bar is a *global* barrier: every live thread of the
+ * kernel must arrive before any proceeds, and the WPU panics if two
+ * warp groups sit at different barrier pcs. A barrier reached under
+ * divergent control flow is therefore a kernel bug (some threads
+ * skip the barrier or arrive a different number of times, and the
+ * machine deadlocks or panics).
+ *
+ * The proof obligation per Bar: the barrier must not lie inside the
+ * influence region of any potentially-divergent branch — the region
+ * between a branch and its immediate post-dominator, where control
+ * flow has not yet re-converged.
+ *
+ * Divergence facts come from DivergenceAnalysis in its *refined* mode
+ * (zero-initialized registers are uniform; barrier-carrying loops keep
+ * threads at equal iteration counts). That second refinement assumes
+ * exactly what this pass proves — barriers synchronize — which is the
+ * standard assume-guarantee circle: assume all barriers are uniform,
+ * derive branch verdicts, then check every barrier against those
+ * verdicts. If any check fails the assumption is withdrawn for the
+ * report (the barrier is flagged); if all succeed the assumption is
+ * discharged inductively, because the first dynamically-reached
+ * barrier only depends on branches upstream of it.
+ *
+ * The default (conservative) divergence verdicts are NOT used here on
+ * purpose: they would flag every barrier-in-loop kernel (e.g. Merge's
+ * pass loop), whose correctness rests precisely on the barrier
+ * keeping iteration counts equal.
+ */
+
+#ifndef DWS_ANALYSIS_BARRIER_HH
+#define DWS_ANALYSIS_BARRIER_HH
+
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+
+namespace dws {
+
+/** Result of the barrier-divergence check over one program. */
+struct BarrierCheckResult
+{
+    /** Errors for barriers reachable under divergent control flow. */
+    std::vector<Diagnostic> diags;
+
+    /** Per-pc flag: true if the Bar at pc is proven uniform. */
+    std::vector<bool> barrierUniform;
+
+    /** Reachable Bar instructions examined. */
+    int barriers = 0;
+
+    /** Barriers proven to execute under re-converged control flow. */
+    int provedUniform = 0;
+};
+
+/** GPUVerify-style barrier divergence check. */
+class BarrierAnalysis
+{
+  public:
+    static BarrierCheckResult analyze(const std::vector<Instr> &code);
+};
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_BARRIER_HH

@@ -1,0 +1,47 @@
+#include "analysis/dataflow.hh"
+
+#include "analysis/diagnostic.hh"
+#include "isa/cfg.hh"
+
+namespace dws {
+
+InstrCfg::InstrCfg(const std::vector<Instr> &code)
+    : instrs(&code), n(static_cast<int>(code.size())),
+      succ(code.size()), pred(code.size()), reach(code.size(), false),
+      rpoIdx(code.size(), -1), blockOf(blockIds(code))
+{
+    for (Pc pc = 0; pc < n; pc++) {
+        succ[static_cast<size_t>(pc)] = CfgAnalysis::successors(code, pc);
+        for (Pc s : succ[static_cast<size_t>(pc)])
+            pred[static_cast<size_t>(s)].push_back(pc);
+    }
+
+    // Reverse postorder by iterative DFS from the entry.
+    if (n > 0) {
+        std::vector<Pc> stack{0};
+        std::vector<int> childIdx(static_cast<size_t>(n), 0);
+        std::vector<Pc> postorder;
+        reach[0] = true;
+        while (!stack.empty()) {
+            const Pc v = stack.back();
+            auto &ci = childIdx[static_cast<size_t>(v)];
+            if (ci < static_cast<int>(succ[static_cast<size_t>(v)].size())) {
+                const Pc w = succ[static_cast<size_t>(v)]
+                                 [static_cast<size_t>(ci++)];
+                if (!reach[static_cast<size_t>(w)]) {
+                    reach[static_cast<size_t>(w)] = true;
+                    stack.push_back(w);
+                }
+            } else {
+                postorder.push_back(v);
+                stack.pop_back();
+            }
+        }
+        rpoOrder.assign(postorder.rbegin(), postorder.rend());
+        for (int i = 0; i < static_cast<int>(rpoOrder.size()); i++)
+            rpoIdx[static_cast<size_t>(rpoOrder[static_cast<size_t>(i)])] =
+                    i;
+    }
+}
+
+} // namespace dws

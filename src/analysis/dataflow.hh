@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Generic dataflow-analysis framework over the instruction-level CFG.
+ *
+ * Two pieces:
+ *
+ *  - InstrCfg: a materialized CFG view of an instruction sequence
+ *    (predecessor/successor lists, reverse postorder, reachability,
+ *    basic-block ids) shared by every pass so the graph is built once.
+ *
+ *  - runForward / runBackward: worklist fixpoint engines parameterized
+ *    by a *domain*. A domain supplies the lattice (a State type, a
+ *    boundary value for the entry/exit, a join that returns whether
+ *    anything changed) and the transfer function. Optional hooks let a
+ *    domain refine the state along a specific CFG edge (conditional
+ *    branch refinement) and widen at designated program points (loop
+ *    headers) so infinite-height lattices still terminate.
+ *
+ * Domain concept (forward; backward swaps edge direction):
+ *
+ *   struct Domain {
+ *       using State = ...;
+ *       State boundary() const;              // state at the entry
+ *       State top() const;                   // optimistic initial value
+ *       bool join(State &into, const State &from) const;
+ *       void transfer(Pc pc, const Instr &in, State &s) const;
+ *       // optional:
+ *       void edge(Pc from, Pc to, State &s) const;
+ *       void widen(State &into, const State &from) const;
+ *   };
+ *
+ * join() must be monotone and return true iff `into` changed. When the
+ * domain defines widen(), the engine applies it instead of join() at
+ * pcs named in Fixpoint::widenPoints once a pc has been visited more
+ * than widenDelay times, guaranteeing termination on lattices of
+ * infinite height (interval analysis).
+ */
+
+#ifndef DWS_ANALYSIS_DATAFLOW_HH
+#define DWS_ANALYSIS_DATAFLOW_HH
+
+#include <deque>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Materialized instruction-level CFG shared by the dataflow passes. */
+class InstrCfg
+{
+  public:
+    explicit InstrCfg(const std::vector<Instr> &code);
+
+    /** @return number of instructions. */
+    int size() const { return n; }
+
+    /** @return the instruction sequence the CFG was built from. */
+    const std::vector<Instr> &code() const { return *instrs; }
+
+    const std::vector<Pc> &succs(Pc pc) const
+    {
+        return succ[static_cast<size_t>(pc)];
+    }
+
+    const std::vector<Pc> &preds(Pc pc) const
+    {
+        return pred[static_cast<size_t>(pc)];
+    }
+
+    /** @return true if pc is reachable from the entry. */
+    bool reachable(Pc pc) const
+    {
+        return reach[static_cast<size_t>(pc)];
+    }
+
+    /** @return pcs in reverse postorder of a DFS from the entry. */
+    const std::vector<Pc> &rpo() const { return rpoOrder; }
+
+    /** @return position of pc inside rpo() (-1 if unreachable). */
+    int rpoIndex(Pc pc) const { return rpoIdx[static_cast<size_t>(pc)]; }
+
+    /** @return per-pc basic-block index. */
+    const std::vector<int> &blocks() const { return blockOf; }
+
+  private:
+    const std::vector<Instr> *instrs;
+    int n = 0;
+    std::vector<std::vector<Pc>> succ;
+    std::vector<std::vector<Pc>> pred;
+    std::vector<bool> reach;
+    std::vector<Pc> rpoOrder;
+    std::vector<int> rpoIdx;
+    std::vector<int> blockOf;
+};
+
+/** Tuning knobs of one fixpoint run. */
+struct FixpointOptions
+{
+    /** Pcs where widen() replaces join() (typically loop headers). */
+    std::vector<bool> widenPoints;
+    /** Joins at a widen point before widening kicks in. */
+    int widenDelay = 3;
+};
+
+namespace detail {
+
+template <typename D>
+concept HasEdge = requires(const D d, typename D::State s) {
+    d.edge(Pc{0}, Pc{0}, s);
+};
+
+template <typename D>
+concept HasWiden = requires(const D d, typename D::State a,
+                            const typename D::State b) {
+    d.widen(a, b);
+};
+
+} // namespace detail
+
+/**
+ * Forward fixpoint: returns the per-pc *in* state (the state holding
+ * immediately before the instruction executes). Unreachable pcs keep
+ * top(). States flow entry -> exit along CFG edges.
+ */
+template <typename D>
+std::vector<typename D::State>
+runForward(const InstrCfg &cfg, const D &dom,
+           const FixpointOptions &opts = {})
+{
+    using State = typename D::State;
+    const int n = cfg.size();
+    std::vector<State> in(static_cast<size_t>(n), dom.top());
+    if (n == 0)
+        return in;
+    in[0] = dom.boundary();
+
+    std::vector<int> joins(static_cast<size_t>(n), 0);
+    std::vector<bool> queued(static_cast<size_t>(n), false);
+    std::deque<Pc> work;
+    for (Pc pc : cfg.rpo()) {
+        work.push_back(pc);
+        queued[static_cast<size_t>(pc)] = true;
+    }
+
+    while (!work.empty()) {
+        const Pc pc = work.front();
+        work.pop_front();
+        queued[static_cast<size_t>(pc)] = false;
+
+        State out = in[static_cast<size_t>(pc)];
+        dom.transfer(pc, cfg.code()[static_cast<size_t>(pc)], out);
+        for (Pc s : cfg.succs(pc)) {
+            State onEdge = out;
+            if constexpr (detail::HasEdge<D>)
+                dom.edge(pc, s, onEdge);
+            bool changed;
+            const bool widenHere = static_cast<size_t>(s) <
+                                       opts.widenPoints.size() &&
+                                   opts.widenPoints[static_cast<size_t>(s)] &&
+                                   joins[static_cast<size_t>(s)] >=
+                                       opts.widenDelay;
+            if constexpr (detail::HasWiden<D>) {
+                if (widenHere) {
+                    State widened = in[static_cast<size_t>(s)];
+                    dom.widen(widened, onEdge);
+                    changed = dom.join(in[static_cast<size_t>(s)],
+                                       widened);
+                } else {
+                    changed = dom.join(in[static_cast<size_t>(s)],
+                                       onEdge);
+                }
+            } else {
+                (void)widenHere;
+                changed = dom.join(in[static_cast<size_t>(s)], onEdge);
+            }
+            if (changed) {
+                joins[static_cast<size_t>(s)]++;
+                if (!queued[static_cast<size_t>(s)]) {
+                    queued[static_cast<size_t>(s)] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    return in;
+}
+
+/**
+ * Backward fixpoint: returns the per-pc *out* state (the state holding
+ * immediately after the instruction executes; for liveness, the
+ * live-out set). Instructions with no successors get boundary().
+ */
+template <typename D>
+std::vector<typename D::State>
+runBackward(const InstrCfg &cfg, const D &dom,
+            const FixpointOptions &opts = {})
+{
+    using State = typename D::State;
+    const int n = cfg.size();
+    std::vector<State> out(static_cast<size_t>(n), dom.top());
+    if (n == 0)
+        return out;
+    for (Pc pc = 0; pc < n; pc++)
+        if (cfg.succs(pc).empty())
+            out[static_cast<size_t>(pc)] = dom.boundary();
+
+    std::vector<int> joins(static_cast<size_t>(n), 0);
+    std::vector<bool> queued(static_cast<size_t>(n), false);
+    std::deque<Pc> work;
+    for (auto it = cfg.rpo().rbegin(); it != cfg.rpo().rend(); ++it) {
+        work.push_back(*it);
+        queued[static_cast<size_t>(*it)] = true;
+    }
+
+    while (!work.empty()) {
+        const Pc pc = work.front();
+        work.pop_front();
+        queued[static_cast<size_t>(pc)] = false;
+
+        State s = out[static_cast<size_t>(pc)];
+        dom.transfer(pc, cfg.code()[static_cast<size_t>(pc)], s);
+        for (Pc p : cfg.preds(pc)) {
+            State onEdge = s;
+            if constexpr (detail::HasEdge<D>)
+                dom.edge(pc, p, onEdge);
+            bool changed;
+            const bool widenHere = static_cast<size_t>(p) <
+                                       opts.widenPoints.size() &&
+                                   opts.widenPoints[static_cast<size_t>(p)] &&
+                                   joins[static_cast<size_t>(p)] >=
+                                       opts.widenDelay;
+            if constexpr (detail::HasWiden<D>) {
+                if (widenHere) {
+                    State widened = out[static_cast<size_t>(p)];
+                    dom.widen(widened, onEdge);
+                    changed = dom.join(out[static_cast<size_t>(p)],
+                                       widened);
+                } else {
+                    changed = dom.join(out[static_cast<size_t>(p)],
+                                       onEdge);
+                }
+            } else {
+                (void)widenHere;
+                changed = dom.join(out[static_cast<size_t>(p)], onEdge);
+            }
+            if (changed) {
+                joins[static_cast<size_t>(p)]++;
+                if (!queued[static_cast<size_t>(p)]) {
+                    queued[static_cast<size_t>(p)] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_DATAFLOW_HH

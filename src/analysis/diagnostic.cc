@@ -2,24 +2,80 @@
 
 #include <cstdio>
 
+#include "isa/disasm.hh"
+
 namespace dws {
 
 const char *
 severityName(Severity s)
 {
-    return s == Severity::Error ? "error" : "warning";
+    switch (s) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Note:
+        return "note";
+    }
+    return "error";
 }
 
 std::string
 toString(const Diagnostic &d)
 {
-    char buf[64];
+    char buf[96];
     if (d.pc == kPcExit)
         std::snprintf(buf, sizeof(buf), "%s: ", severityName(d.severity));
+    else if (d.block >= 0)
+        std::snprintf(buf, sizeof(buf), "%s @pc %d (block %d): ",
+                      severityName(d.severity), d.pc, d.block);
     else
         std::snprintf(buf, sizeof(buf), "%s @pc %d: ",
                       severityName(d.severity), d.pc);
-    return std::string(buf) + d.message;
+    std::string out = std::string(buf) + d.message;
+    if (!d.snippet.empty())
+        out += "  [" + d.snippet + "]";
+    return out;
+}
+
+std::vector<int>
+blockIds(const std::vector<Instr> &code)
+{
+    const int n = static_cast<int>(code.size());
+    std::vector<bool> leader(static_cast<size_t>(n), false);
+    if (n > 0)
+        leader[0] = true;
+    for (int i = 0; i < n; i++) {
+        const Instr &in = code[static_cast<size_t>(i)];
+        if ((in.op == Op::Br || in.op == Op::Jmp) && in.target >= 0 &&
+            in.target < n)
+            leader[static_cast<size_t>(in.target)] = true;
+        if (in.isControl() && i + 1 < n)
+            leader[static_cast<size_t>(i) + 1] = true;
+    }
+    std::vector<int> ids(static_cast<size_t>(n), -1);
+    int id = -1;
+    for (int i = 0; i < n; i++) {
+        if (leader[static_cast<size_t>(i)])
+            id++;
+        ids[static_cast<size_t>(i)] = id;
+    }
+    return ids;
+}
+
+void
+decorate(std::vector<Diagnostic> &diags, const std::vector<Instr> &code)
+{
+    const std::vector<int> blocks = blockIds(code);
+    const int n = static_cast<int>(code.size());
+    for (Diagnostic &d : diags) {
+        if (d.pc == kPcExit || d.pc < 0 || d.pc >= n)
+            continue;
+        if (d.block < 0)
+            d.block = blocks[static_cast<size_t>(d.pc)];
+        if (d.snippet.empty())
+            d.snippet = disasm(code[static_cast<size_t>(d.pc)]);
+    }
 }
 
 bool

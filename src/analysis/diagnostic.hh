@@ -1,8 +1,13 @@
 /**
  * @file
  * Structured diagnostics emitted by the static analyses (verifier,
- * divergence analysis) and shared by their front ends (KernelBuilder,
- * dws_lint).
+ * divergence, liveness, range, barrier and loop-bound passes) and
+ * shared by their front ends (KernelBuilder, dws_lint).
+ *
+ * Every finding carries its anchor instruction index, the basic-block
+ * id of that instruction, the emitting pass and a disassembly snippet,
+ * so the same diagnostic renders identically from every front end and
+ * machine consumers (`dws_lint --json`) get full location data.
  */
 
 #ifndef DWS_ANALYSIS_DIAGNOSTIC_HH
@@ -11,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "isa/instr.hh"
 #include "sim/types.hh"
 
 namespace dws {
@@ -21,9 +27,11 @@ enum class Severity : std::uint8_t {
     Error,
     /** Suspicious but executable (e.g. a register read before def). */
     Warning,
+    /** Informational fact (e.g. a loop classified input-bounded). */
+    Note,
 };
 
-/** @return "error" or "warning". */
+/** @return "error", "warning" or "note". */
 const char *severityName(Severity s);
 
 /** One finding of a static analysis pass. */
@@ -32,11 +40,33 @@ struct Diagnostic
     Severity severity = Severity::Error;
     /** Instruction the finding is anchored to; kPcExit if program-wide. */
     Pc pc = kPcExit;
-    std::string message;
+    /** Basic-block index of pc; -1 until decorate() fills it in. */
+    int block = -1;
+    /** Short name of the emitting pass ("verifier", "range", ...). */
+    std::string pass{};
+    std::string message{};
+    /** Disassembly of the anchor instruction; decorate() fills it in. */
+    std::string snippet{};
 };
 
-/** @return "error @pc N: message" suitable for one-line printing. */
+/**
+ * @return "error @pc N (block B): message  [disasm]" suitable for
+ *         one-line printing; location and snippet parts are omitted
+ *         when absent.
+ */
 std::string toString(const Diagnostic &d);
+
+/**
+ * Fill in the location fields every pass would otherwise compute by
+ * hand: the basic-block id of each diagnostic's anchor pc and a
+ * disassembly snippet of that instruction. Idempotent; diagnostics
+ * anchored at kPcExit (program-wide) are left untouched.
+ */
+void decorate(std::vector<Diagnostic> &diags,
+              const std::vector<Instr> &code);
+
+/** @return per-pc basic-block index (leaders start new blocks). */
+std::vector<int> blockIds(const std::vector<Instr> &code);
 
 /** @return true if any diagnostic has Error severity. */
 bool hasErrors(const std::vector<Diagnostic> &diags);

@@ -77,7 +77,8 @@ resultDiverges(const Instr &in, RegMask divIn, bool controlTaint)
  */
 std::vector<bool>
 loopVariantDefs(const std::vector<Instr> &code,
-                const std::vector<bool> &branchDivergent)
+                const std::vector<bool> &branchDivergent,
+                bool barrierSync)
 {
     const int n = static_cast<int>(code.size());
 
@@ -105,6 +106,43 @@ loopVariantDefs(const std::vector<Instr> &code,
             }
         }
     }
+
+    // Under barrierSync, only cycles that avoid every Bar can mix
+    // iteration counts: a global barrier blocks until all threads
+    // arrive, so nobody starts iteration k+1 of a barrier-carrying
+    // loop before everybody finished iteration k. barFree[u]: u lies
+    // on a cycle of non-Bar instructions.
+    std::vector<bool> barFree(static_cast<size_t>(n), !barrierSync);
+    if (barrierSync) {
+        std::vector<std::vector<bool>> reachNb(
+                static_cast<size_t>(n),
+                std::vector<bool>(static_cast<size_t>(n), false));
+        for (int u = 0; u < n; u++) {
+            if (code[static_cast<size_t>(u)].op == Op::Bar)
+                continue;
+            std::deque<Pc> work;
+            auto &r = reachNb[static_cast<size_t>(u)];
+            auto push = [&](Pc from) {
+                for (Pc s : CfgAnalysis::successors(code, from)) {
+                    if (code[static_cast<size_t>(s)].op != Op::Bar &&
+                        !r[static_cast<size_t>(s)]) {
+                        r[static_cast<size_t>(s)] = true;
+                        work.push_back(s);
+                    }
+                }
+            };
+            push(u);
+            while (!work.empty()) {
+                const Pc pc = work.front();
+                work.pop_front();
+                push(pc);
+            }
+        }
+        for (int u = 0; u < n; u++)
+            barFree[static_cast<size_t>(u)] =
+                    code[static_cast<size_t>(u)].op != Op::Bar &&
+                    reachNb[static_cast<size_t>(u)][static_cast<size_t>(u)];
+    }
     auto sameCycle = [&](int a, int b) {
         return a == b ? reach[static_cast<size_t>(a)]
                              [static_cast<size_t>(a)]
@@ -117,7 +155,8 @@ loopVariantDefs(const std::vector<Instr> &code,
     // Nodes whose loop (SCC) contains a split source.
     std::vector<bool> mixing(static_cast<size_t>(n), false);
     for (int u = 0; u < n; u++) {
-        if (!reach[static_cast<size_t>(u)][static_cast<size_t>(u)])
+        if (!reach[static_cast<size_t>(u)][static_cast<size_t>(u)] ||
+            !barFree[static_cast<size_t>(u)])
             continue;
         for (int v = 0; v < n && !mixing[static_cast<size_t>(u)]; v++) {
             if (!sameCycle(u, v))
@@ -181,7 +220,8 @@ loopVariantDefs(const std::vector<Instr> &code,
 } // namespace
 
 DivergenceReport
-DivergenceAnalysis::analyze(const std::vector<Instr> &code)
+DivergenceAnalysis::analyze(const std::vector<Instr> &code,
+                            const DivergenceOptions &opts)
 {
     const int n = static_cast<int>(code.size());
     DivergenceReport rep;
@@ -194,8 +234,10 @@ DivergenceAnalysis::analyze(const std::vector<Instr> &code)
 
     // Entry state: r0 (tid) is the divergence seed; r1 (thread count)
     // is uniform; everything else is conservatively divergent so that
-    // never-written condition registers stay divergent.
-    const RegMask entry = ~(RegMask(1) << 1);
+    // never-written condition registers stay divergent — unless the
+    // client asked for the precise zero-init semantics.
+    const RegMask entry = opts.zeroInitUniform ? RegMask(1)
+                                               : ~(RegMask(1) << 1);
 
     // Outer fixpoint over control and loop-carried taint: branch
     // verdicts extend taint regions and loop-variant defs, which flip
@@ -247,8 +289,8 @@ DivergenceAnalysis::analyze(const std::vector<Instr> &code)
                                      nextTainted);
             }
         }
-        std::vector<bool> nextVariant = loopVariantDefs(code,
-                                                        branchDivergent);
+        std::vector<bool> nextVariant =
+                loopVariantDefs(code, branchDivergent, opts.barrierSync);
         if (nextTainted == tainted && nextVariant == variant)
             break;
         tainted = std::move(nextTainted);

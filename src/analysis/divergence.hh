@@ -61,12 +61,41 @@ struct DivergenceReport
     }
 };
 
+/**
+ * Optional refinements of the taint analysis. The defaults reproduce
+ * the classic conservative analysis that drives warp subdivision
+ * (CfgAnalysis reads it to set kFlagSubdividable); the refinements are
+ * for clients that need precision instead of the paper's annotation
+ * semantics, e.g. the barrier-divergence prover.
+ */
+struct DivergenceOptions
+{
+    /**
+     * Assume global barriers synchronize: warp-splits cannot cross a
+     * Bar, so a loop whose every cycle passes through one keeps all
+     * threads at equal iteration counts and its induction variables
+     * stay uniform. Sound only together with a check that every
+     * barrier is reached under uniform control flow (assume-guarantee,
+     * discharged by BarrierAnalysis).
+     */
+    bool barrierSync = false;
+
+    /**
+     * Treat never-written registers as uniform. Their value is the
+     * zero-initialized register file, identical in every lane; the
+     * default analysis deliberately calls them divergent to keep
+     * hand-annotated test kernels subdividable.
+     */
+    bool zeroInitUniform = false;
+};
+
 /** Ocelot-style taint analysis over the instruction-level CFG. */
 class DivergenceAnalysis
 {
   public:
     /** Classify every conditional branch in the program. */
-    static DivergenceReport analyze(const std::vector<Instr> &code);
+    static DivergenceReport analyze(const std::vector<Instr> &code,
+                                    const DivergenceOptions &opts = {});
 };
 
 } // namespace dws

@@ -1,0 +1,291 @@
+#include "analysis/liveness.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <iterator>
+
+namespace dws {
+
+namespace {
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+/** Registers an instruction reads. */
+RegSet
+useMask(const Instr &in)
+{
+    RegSet m = 0;
+    if (opReadsRa(in.op) && in.ra < kNumRegs)
+        m |= RegSet(1) << in.ra;
+    if (opReadsRb(in.op) && in.rb < kNumRegs)
+        m |= RegSet(1) << in.rb;
+    return m;
+}
+
+/** Register an instruction writes (0 if none). */
+RegSet
+defMask(const Instr &in)
+{
+    if (opWritesRd(in.op) && in.rd < kNumRegs)
+        return RegSet(1) << in.rd;
+    return 0;
+}
+
+/** Backward may-analysis: live registers. */
+struct LivenessDomain
+{
+    using State = RegSet;
+
+    State boundary() const { return 0; }
+    State top() const { return 0; }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        const State joined = into | from;
+        const bool changed = joined != into;
+        into = joined;
+        return changed;
+    }
+
+    void
+    transfer(Pc, const Instr &in, State &s) const
+    {
+        s &= ~defMask(in);
+        s |= useMask(in);
+    }
+};
+
+/** Forward may-analysis: reaching definition sites, as a bitset. */
+struct ReachingDomain
+{
+    using State = std::vector<std::uint64_t>;
+
+    int numInstrs = 0;
+    int words = 0;
+    /** Per-register bitset of that register's definition sites. */
+    std::vector<State> killOf;
+
+    explicit
+    ReachingDomain(const InstrCfg &cfg)
+        : numInstrs(cfg.size()),
+          words((cfg.size() + kNumRegs + 63) / 64),
+          killOf(kNumRegs,
+                 State(static_cast<size_t>((cfg.size() + kNumRegs + 63) /
+                                           64),
+                       0))
+    {
+        for (Pc pc = 0; pc < numInstrs; pc++) {
+            const Instr &in = cfg.code()[static_cast<size_t>(pc)];
+            if (opWritesRd(in.op) && in.rd < kNumRegs)
+                set(killOf[in.rd], pc);
+        }
+        for (int r = 0; r < kNumRegs; r++)
+            set(killOf[static_cast<size_t>(r)], numInstrs + r);
+    }
+
+    static void
+    set(State &s, int bit)
+    {
+        s[static_cast<size_t>(bit) / 64] |= std::uint64_t(1) << (bit % 64);
+    }
+
+    State top() const { return State(static_cast<size_t>(words), 0); }
+
+    State
+    boundary() const
+    {
+        // Every register starts with its launch pseudo-definition.
+        State s = top();
+        for (int r = 0; r < kNumRegs; r++)
+            set(s, numInstrs + r);
+        return s;
+    }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        bool changed = false;
+        for (int w = 0; w < words; w++) {
+            const std::uint64_t joined =
+                    into[static_cast<size_t>(w)] |
+                    from[static_cast<size_t>(w)];
+            if (joined != into[static_cast<size_t>(w)]) {
+                into[static_cast<size_t>(w)] = joined;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    transfer(Pc pc, const Instr &in, State &s) const
+    {
+        if (!opWritesRd(in.op) || in.rd >= kNumRegs)
+            return;
+        const State &kill = killOf[in.rd];
+        for (int w = 0; w < words; w++)
+            s[static_cast<size_t>(w)] &= ~kill[static_cast<size_t>(w)];
+        set(s, pc);
+    }
+};
+
+} // namespace
+
+bool
+ReachingDefsInfo::reaches(Pc pc, int site) const
+{
+    const auto &s = in[static_cast<size_t>(pc)];
+    return (s[static_cast<size_t>(site) / 64] >> (site % 64)) & 1;
+}
+
+bool
+ReachingDefsInfo::launchDefReaches(Pc pc, int reg) const
+{
+    return reaches(pc, numInstrs + reg);
+}
+
+std::vector<RegSet>
+ReachingDefsInfo::mustInitialized() const
+{
+    std::vector<RegSet> out(in.size(), 0);
+    for (Pc pc = 0; pc < static_cast<Pc>(in.size()); pc++) {
+        RegSet m = 0;
+        for (int r = 0; r < kNumRegs; r++)
+            if (!launchDefReaches(pc, r))
+                m |= RegSet(1) << r;
+        // r0 (tid) and r1 (thread count) are written at launch.
+        m |= RegSet(1) << 0;
+        m |= RegSet(1) << 1;
+        out[static_cast<size_t>(pc)] = m;
+    }
+    return out;
+}
+
+LivenessInfo
+computeLiveness(const InstrCfg &cfg)
+{
+    const LivenessDomain dom;
+    LivenessInfo info;
+    info.liveOut = runBackward(cfg, dom);
+    info.liveIn.resize(info.liveOut.size());
+    for (Pc pc = 0; pc < cfg.size(); pc++) {
+        RegSet s = info.liveOut[static_cast<size_t>(pc)];
+        dom.transfer(pc, cfg.code()[static_cast<size_t>(pc)], s);
+        info.liveIn[static_cast<size_t>(pc)] = s;
+    }
+    return info;
+}
+
+ReachingDefsInfo
+computeReachingDefs(const InstrCfg &cfg)
+{
+    const ReachingDomain dom(cfg);
+    ReachingDefsInfo info;
+    info.in = runForward(cfg, dom);
+    info.numInstrs = cfg.size();
+    return info;
+}
+
+std::vector<Diagnostic>
+uninitReadDiagnostics(const InstrCfg &cfg)
+{
+    std::vector<Diagnostic> diags;
+    const ReachingDefsInfo reach = computeReachingDefs(cfg);
+
+    // A register without any reachable write site is the deliberate
+    // zero-register idiom, not a missed initialization: only registers
+    // that are written *somewhere* can be uninitialized on *some* path.
+    RegSet everWritten = 0;
+    for (Pc pc = 0; pc < cfg.size(); pc++)
+        if (cfg.reachable(pc))
+            everWritten |= defMask(cfg.code()[static_cast<size_t>(pc)]);
+
+    for (Pc pc = 0; pc < cfg.size(); pc++) {
+        if (!cfg.reachable(pc))
+            continue;
+        const Instr &in = cfg.code()[static_cast<size_t>(pc)];
+
+        // Maybe-uninitialized reads (launch pseudo-def still reaches).
+        auto warnUninit = [&](std::uint8_t r) {
+            if (r >= kNumRegs || r == 0 || r == 1)
+                return;
+            if (((everWritten >> r) & 1) == 0)
+                return;
+            if (reach.launchDefReaches(pc, r))
+                diags.push_back(Diagnostic{
+                        .severity = Severity::Warning,
+                        .pc = pc,
+                        .pass = "init",
+                        .message = format(
+                                "register r%d may be read before it is "
+                                "written (reads zero)", r)});
+        };
+        if (opReadsRa(in.op))
+            warnUninit(in.ra);
+        if (opReadsRb(in.op))
+            warnUninit(in.rb);
+    }
+    decorate(diags, cfg.code());
+    return diags;
+}
+
+std::vector<Diagnostic>
+deadStoreDiagnostics(const InstrCfg &cfg)
+{
+    std::vector<Diagnostic> diags;
+    const LivenessInfo live = computeLiveness(cfg);
+
+    for (Pc pc = 0; pc < cfg.size(); pc++) {
+        if (!cfg.reachable(pc))
+            continue;
+        const Instr &in = cfg.code()[static_cast<size_t>(pc)];
+
+        // Dead stores: definition never observed.
+        const RegSet def = defMask(in);
+        if (def == 0 ||
+            (live.liveOut[static_cast<size_t>(pc)] & def) != 0)
+            continue;
+        if (in.op == Op::Ld) {
+            diags.push_back(Diagnostic{
+                    .severity = Severity::Note,
+                    .pc = pc,
+                    .pass = "deadstore",
+                    .message = format(
+                            "loaded value in r%d is never used (access "
+                            "kept for its memory side effects)",
+                            in.rd)});
+        } else {
+            diags.push_back(Diagnostic{
+                    .severity = Severity::Warning,
+                    .pc = pc,
+                    .pass = "deadstore",
+                    .message = format(
+                            "dead store: r%d is overwritten or unread "
+                            "on every path from here", in.rd)});
+        }
+    }
+    decorate(diags, cfg.code());
+    return diags;
+}
+
+std::vector<Diagnostic>
+livenessDiagnostics(const InstrCfg &cfg)
+{
+    std::vector<Diagnostic> diags = uninitReadDiagnostics(cfg);
+    std::vector<Diagnostic> dead = deadStoreDiagnostics(cfg);
+    diags.insert(diags.end(), std::make_move_iterator(dead.begin()),
+                 std::make_move_iterator(dead.end()));
+    return diags;
+}
+
+} // namespace dws

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Liveness and reaching-definitions analyses on the dataflow framework,
+ * and the diagnostics they yield: maybe-uninitialized register reads
+ * and dead stores.
+ *
+ * Reaching definitions models kernel launch as one pseudo-definition
+ * per register (the register file is zero-initialized; r0/r1 carry the
+ * thread id and thread count). A register read that the launch
+ * pseudo-def can still reach is a read that observes the initial value
+ * on some path — legal (it reads zero) but almost always a bug in
+ * authored kernels, so it is a Warning for every register other than
+ * r0/r1 — provided the register has at least one reachable write site.
+ * A register the program never writes anywhere is the deliberate
+ * zero-register idiom (the builder's `seq r, r, zero` NOT, stores of
+ * constant zero) and is not flagged: there is no "forgot to run the
+ * initializer on this path" bug to find. The same facts give the
+ * "proven initialized on all paths" claims the dynamic oracle
+ * (analysis/oracle.hh) cross-validates.
+ *
+ * Liveness (backward, may) yields dead-store diagnostics: an ALU
+ * definition whose target register is not live afterwards is a Warning;
+ * a load whose result register is dead is only a Note, because in this
+ * simulator the memory access itself is architecturally meaningful
+ * (it occupies MSHRs and warms caches) even if the value is unused.
+ */
+
+#ifndef DWS_ANALYSIS_LIVENESS_HH
+#define DWS_ANALYSIS_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "analysis/diagnostic.hh"
+
+namespace dws {
+
+/** Bitmask over the architectural registers. */
+using RegSet = std::uint32_t;
+static_assert(kNumRegs <= 32, "RegSet too narrow for register file");
+
+/** Result of the backward liveness analysis. */
+struct LivenessInfo
+{
+    /** Registers live immediately after each pc executes. */
+    std::vector<RegSet> liveOut;
+    /** Registers live immediately before each pc executes. */
+    std::vector<RegSet> liveIn;
+};
+
+/** Result of the forward reaching-definitions analysis. */
+struct ReachingDefsInfo
+{
+    /**
+     * Per-pc bitset over definition sites reaching the instruction.
+     * Site ids: pc for instruction definitions, size()+r for the
+     * launch pseudo-definition of register r.
+     */
+    std::vector<std::vector<std::uint64_t>> in;
+
+    /** @return true if def site `site` reaches pc. */
+    bool reaches(Pc pc, int site) const;
+
+    /** @return true if the launch pseudo-def of reg still reaches pc. */
+    bool launchDefReaches(Pc pc, int reg) const;
+
+    /**
+     * @return per-pc mask of registers written on *every* path from
+     * the entry (the complement of launchDefReaches). These are the
+     * "initialized on all paths" claims the dynamic oracle validates.
+     * r0 and r1 are defined at launch and always present.
+     */
+    std::vector<RegSet> mustInitialized() const;
+
+  private:
+    friend ReachingDefsInfo computeReachingDefs(const InstrCfg &cfg);
+    int numInstrs = 0;
+};
+
+/** Run the backward liveness analysis. */
+LivenessInfo computeLiveness(const InstrCfg &cfg);
+
+/** Run the forward reaching-definitions analysis. */
+ReachingDefsInfo computeReachingDefs(const InstrCfg &cfg);
+
+/** Maybe-uninitialized reads (Warning), pass "init". */
+std::vector<Diagnostic> uninitReadDiagnostics(const InstrCfg &cfg);
+
+/** Dead stores (Warning; dead load results: Note), pass "deadstore". */
+std::vector<Diagnostic> deadStoreDiagnostics(const InstrCfg &cfg);
+
+/**
+ * Diagnostics from both analyses over one program: maybe-uninitialized
+ * reads (Warning) and dead stores (Warning; dead load results: Note).
+ */
+std::vector<Diagnostic> livenessDiagnostics(const InstrCfg &cfg);
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,264 @@
+#include "analysis/loopbound.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+namespace dws {
+
+namespace {
+
+using I128 = __int128;
+
+/** Continuation relation of the loop: ind REL bound keeps looping. */
+enum class Rel { Lt, Le, Gt, Ge, Eq, Ne, None };
+
+Rel
+negateRel(Rel r)
+{
+    switch (r) {
+      case Rel::Lt: return Rel::Ge;
+      case Rel::Le: return Rel::Gt;
+      case Rel::Gt: return Rel::Le;
+      case Rel::Ge: return Rel::Lt;
+      case Rel::Eq: return Rel::Ne;
+      case Rel::Ne: return Rel::Eq;
+      case Rel::None: break;
+    }
+    return Rel::None;
+}
+
+/** Mirror the relation when the induction register is the rhs. */
+Rel
+mirrorRel(Rel r)
+{
+    switch (r) {
+      case Rel::Lt: return Rel::Gt;
+      case Rel::Le: return Rel::Ge;
+      case Rel::Gt: return Rel::Lt;
+      case Rel::Ge: return Rel::Le;
+      default: return r;
+    }
+}
+
+Rel
+relOfCmp(Op cmp)
+{
+    switch (cmp) {
+      case Op::Slt: return Rel::Lt;
+      case Op::Sle: return Rel::Le;
+      case Op::Seq: return Rel::Eq;
+      case Op::Sne: return Rel::Ne;
+      default: return Rel::None;
+    }
+}
+
+} // namespace
+
+const char *
+loopBoundKindName(LoopBoundKind k)
+{
+    switch (k) {
+      case LoopBoundKind::StaticallyBounded: return "static";
+      case LoopBoundKind::InputBounded:      return "input-bounded";
+      case LoopBoundKind::Unknown:           return "unknown";
+    }
+    return "???";
+}
+
+LoopBoundResult
+LoopBoundAnalysis::analyze(const std::vector<Instr> &code,
+                           const RangeResult &ranges)
+{
+    LoopBoundResult result;
+    const int n = static_cast<int>(code.size());
+
+    for (const NaturalLoop &loop : CfgAnalysis::naturalLoops(code)) {
+        LoopBound lb;
+        lb.loop = loop;
+
+        // Registers written inside the body, and their single writer
+        // (kPcUnknown when written more than once).
+        std::array<Pc, kNumRegs> writer;
+        writer.fill(kPcExit); // never written
+        bool hasExit = false;
+        std::vector<Pc> exitBranches;
+        for (Pc pc = 0; pc < n; pc++) {
+            if (!loop.contains(pc))
+                continue;
+            const Instr &in = code[static_cast<size_t>(pc)];
+            if (opWritesRd(in.op) && in.rd < kNumRegs)
+                writer[in.rd] =
+                        writer[in.rd] == kPcExit ? pc : kPcUnknown;
+            const auto succs = CfgAnalysis::successors(code, pc);
+            if (succs.empty())
+                hasExit = true; // Halt terminates the thread
+            bool leaves = false, stays = false;
+            for (Pc s : succs)
+                (loop.contains(s) ? stays : leaves) = true;
+            if (leaves)
+                hasExit = true;
+            if (in.op == Op::Br && leaves && stays)
+                exitBranches.push_back(pc);
+        }
+
+        if (!hasExit) {
+            lb.kind = LoopBoundKind::Unknown;
+            result.diags.push_back(Diagnostic{
+                    .severity = Severity::Warning,
+                    .pc = loop.header,
+                    .pass = "loopbound",
+                    .message = "loop has no exit: a thread that enters "
+                               "can never leave it"});
+            result.unknown++;
+            result.loops.push_back(lb);
+            continue;
+        }
+
+        // Look for the canonical counted-loop shape on an exit branch.
+        for (Pc br : exitBranches) {
+            if (static_cast<size_t>(br) >= ranges.states.size())
+                break;
+            const RegFileState &s =
+                    ranges.states[static_cast<size_t>(br)];
+            if (s.bottom)
+                continue;
+            const Instr &bi = code[static_cast<size_t>(br)];
+            if (bi.ra >= kNumRegs || !s.regs[bi.ra].pred)
+                continue;
+            const PredFact &fact = *s.regs[bi.ra].pred;
+
+            const bool targetInside = loop.contains(bi.target);
+            // Branch value != 0 takes the target; the loop continues
+            // along the in-loop edge.
+            const bool contTruth = targetInside != fact.negated;
+
+            // Which compare side is the in-loop induction register?
+            const bool lhsWritten =
+                    fact.lhs < kNumRegs &&
+                    writer[fact.lhs] != kPcExit;
+            const bool rhsWritten =
+                    !fact.rhsIsImm && fact.rhs < kNumRegs &&
+                    writer[fact.rhs] != kPcExit;
+            int ind = -1;
+            Interval bound;
+            if (lhsWritten && !rhsWritten) {
+                ind = fact.lhs;
+                bound = fact.rhsIsImm ? Interval::constant(fact.imm)
+                                      : s.regs[fact.rhs].iv;
+            } else if (rhsWritten && !lhsWritten && !fact.rhsIsImm) {
+                ind = fact.rhs;
+                bound = s.regs[fact.lhs].iv;
+            } else {
+                continue;
+            }
+
+            Rel rel = relOfCmp(fact.cmp);
+            if (ind == fact.rhs && !fact.rhsIsImm)
+                rel = mirrorRel(rel);
+            if (!contTruth)
+                rel = negateRel(rel);
+
+            // The induction register must have exactly one in-body
+            // writer: ind = ind +/- constant.
+            const Pc w = writer[static_cast<size_t>(ind)];
+            if (w == kPcUnknown ||
+                static_cast<size_t>(w) >= ranges.states.size())
+                continue;
+            const Instr &wi = code[static_cast<size_t>(w)];
+            std::int64_t step = 0;
+            if (wi.op == Op::Addi && wi.ra == ind) {
+                step = wi.imm;
+            } else if ((wi.op == Op::Add || wi.op == Op::Sub) &&
+                       wi.ra == ind && wi.rb < kNumRegs) {
+                const Interval &k =
+                        ranges.states[static_cast<size_t>(w)]
+                                .regs[wi.rb].iv;
+                if (!k.isConstant())
+                    continue;
+                step = wi.op == Op::Add ? k.lo : -k.lo;
+            } else {
+                continue;
+            }
+            if (step == 0)
+                continue;
+
+            lb.inductionReg = ind;
+            lb.exitBranch = br;
+
+            const Interval &hdr =
+                    ranges.states[static_cast<size_t>(loop.header)]
+                            .regs[static_cast<size_t>(ind)].iv;
+            I128 trips = -1;
+            bool shape = false;
+            if ((rel == Rel::Lt || rel == Rel::Le) && step > 0) {
+                shape = true;
+                // No wrap while iterating: peak value < bound + step.
+                if (hdr.boundedLo() && bound.boundedHi() &&
+                    I128(bound.hi) + step <= I128(INT64_MAX)) {
+                    const I128 span = I128(bound.hi) - hdr.lo;
+                    trips = rel == Rel::Lt ? (span + step - 1) / step
+                                           : span / step + 1;
+                }
+            } else if ((rel == Rel::Gt || rel == Rel::Ge) && step < 0) {
+                shape = true;
+                if (hdr.boundedHi() && bound.boundedLo() &&
+                    I128(bound.lo) + step >= I128(INT64_MIN)) {
+                    const I128 span = I128(hdr.hi) - bound.lo;
+                    trips = rel == Rel::Gt ? (span - step - 1) / -step
+                                           : span / -step + 1;
+                }
+            } else if (rel == Rel::Ne && (step == 1 || step == -1)) {
+                // Equality exits terminate but wraparound makes any
+                // static trip bound depend on the runtime start value.
+                shape = true;
+            }
+            if (!shape)
+                continue;
+
+            if (trips >= 0 && trips <= I128(INT64_MAX)) {
+                lb.kind = LoopBoundKind::StaticallyBounded;
+                lb.maxTrips = std::max<std::int64_t>(
+                        0, static_cast<std::int64_t>(trips));
+            } else {
+                lb.kind = LoopBoundKind::InputBounded;
+            }
+            break;
+        }
+
+        char msg[160];
+        switch (lb.kind) {
+          case LoopBoundKind::StaticallyBounded:
+            result.staticallyBounded++;
+            std::snprintf(msg, sizeof(msg),
+                          "loop is statically bounded: at most %lld "
+                          "iterations per thread (induction r%d)",
+                          static_cast<long long>(lb.maxTrips),
+                          lb.inductionReg);
+            break;
+          case LoopBoundKind::InputBounded:
+            result.inputBounded++;
+            std::snprintf(msg, sizeof(msg),
+                          "loop is input-bounded via r%d: terminates, "
+                          "but the trip count depends on runtime values",
+                          lb.inductionReg);
+            break;
+          case LoopBoundKind::Unknown:
+            result.unknown++;
+            std::snprintf(msg, sizeof(msg),
+                          "loop has no provable trip bound");
+            break;
+        }
+        result.diags.push_back(Diagnostic{
+                .severity = Severity::Note,
+                .pc = loop.header,
+                .pass = "loopbound",
+                .message = msg});
+        result.loops.push_back(lb);
+    }
+
+    decorate(result.diags, code);
+    return result;
+}
+
+} // namespace dws

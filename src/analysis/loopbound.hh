@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Loop-bound classification over the natural loops of a kernel.
+ *
+ * For every natural loop (CfgAnalysis::naturalLoops) the pass looks
+ * for the canonical exit shape — a conditional branch leaving the loop
+ * whose condition carries a predicate fact from the value-range
+ * analysis, comparing a register updated by exactly one constant-step
+ * add per iteration against a loop-invariant bound — and classifies:
+ *
+ *  - StaticallyBounded: the induction start and the bound both have
+ *    finite intervals; a per-thread worst-case trip count follows.
+ *    The dynamic oracle checks real executions against it.
+ *  - InputBounded: the exit shape matched but an interval is
+ *    unbounded, so termination depends on runtime input values.
+ *  - Unknown: no exit matched the shape (Note), or the loop has no
+ *    exit edge at all (Warning: threads that enter can never leave).
+ */
+
+#ifndef DWS_ANALYSIS_LOOPBOUND_HH
+#define DWS_ANALYSIS_LOOPBOUND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "analysis/range.hh"
+#include "isa/cfg.hh"
+
+namespace dws {
+
+/** How much the analysis could prove about one loop's trip count. */
+enum class LoopBoundKind : std::uint8_t {
+    StaticallyBounded,
+    InputBounded,
+    Unknown,
+};
+
+/** @return "static", "input-bounded" or "unknown". */
+const char *loopBoundKindName(LoopBoundKind k);
+
+/** Classification of one natural loop. */
+struct LoopBound
+{
+    NaturalLoop loop;
+    LoopBoundKind kind = LoopBoundKind::Unknown;
+    /** Worst-case trips per thread (valid when StaticallyBounded). */
+    std::int64_t maxTrips = 0;
+    /** Induction register (valid unless Unknown). */
+    int inductionReg = -1;
+    /** Exit branch pc (kPcExit when the loop has no exit at all). */
+    Pc exitBranch = kPcExit;
+};
+
+/** Result of the loop-bound pass over one program. */
+struct LoopBoundResult
+{
+    std::vector<LoopBound> loops;
+    std::vector<Diagnostic> diags;
+    int staticallyBounded = 0;
+    int inputBounded = 0;
+    int unknown = 0;
+};
+
+/** Natural-loop trip-count classifier. */
+class LoopBoundAnalysis
+{
+  public:
+    /**
+     * Classify every natural loop.
+     *
+     * @param code   the instruction sequence
+     * @param ranges value-range result for the same program (supplies
+     *               the per-pc register intervals and predicate facts)
+     */
+    static LoopBoundResult analyze(const std::vector<Instr> &code,
+                                   const RangeResult &ranges);
+};
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_LOOPBOUND_HH

@@ -1,0 +1,209 @@
+#include "analysis/oracle.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+ExecutionOracle::ExecutionOracle(const std::vector<Instr> &code,
+                                 StaticReport report, int numThreads)
+    : code_(code), report_(std::move(report)), numThreads_(numThreads)
+{
+    const size_t n = code_.size();
+    const size_t nt = static_cast<size_t>(numThreads_);
+
+    hasInit_ = report_.mustInit.size() == n;
+    hasBarrier_ = report_.barrierUniform.size() == n;
+
+    // r0 (tid) and r1 (thread count) are written by the launch code.
+    written_.assign(nt, (RegSet(1) << 0) | (RegSet(1) << 1));
+    prevPc_.assign(nt, kPcUnknown);
+    barRound_.assign(nt, 0);
+
+    accessAt_.assign(n, -1);
+    for (size_t i = 0; i < report_.accesses.size(); i++) {
+        const Pc pc = report_.accesses[i].pc;
+        if (pc >= 0 && pc < static_cast<Pc>(n))
+            accessAt_[static_cast<size_t>(pc)] = static_cast<int>(i);
+    }
+
+    headerLoop_.assign(n, -1);
+    for (const LoopBound &lb : report_.loops) {
+        if (lb.kind != LoopBoundKind::StaticallyBounded)
+            continue;
+        if (lb.loop.header < 0 || lb.loop.header >= static_cast<Pc>(n))
+            continue;
+        BoundedLoop bl;
+        bl.header = lb.loop.header;
+        bl.maxTrips = lb.maxTrips;
+        bl.isLatch.assign(n, false);
+        for (Pc latch : lb.loop.latches)
+            if (latch >= 0 && latch < static_cast<Pc>(n))
+                bl.isLatch[static_cast<size_t>(latch)] = true;
+        bl.trips.assign(nt, 0);
+        headerLoop_[static_cast<size_t>(bl.header)] =
+                static_cast<int>(loops_.size());
+        loops_.push_back(std::move(bl));
+    }
+}
+
+void
+ExecutionOracle::contradict(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (collect_) {
+        contradictions_.push_back(buf);
+        return;
+    }
+    panic("static-analysis oracle: execution contradicts a proven "
+          "claim — %s", buf);
+}
+
+void
+ExecutionOracle::onIssue(Pc pc, ThreadId tid)
+{
+    if (pc < 0 || pc >= static_cast<Pc>(code_.size()) || tid < 0 ||
+        tid >= numThreads_)
+        return;
+    const Instr &in = code_[static_cast<size_t>(pc)];
+    RegSet &written = written_[static_cast<size_t>(tid)];
+
+    // Claim 1: registers in mustInit[pc] were written on EVERY path
+    // from entry, so this thread — which took one such path — must
+    // have written them.
+    if (hasInit_) {
+        const RegSet must = report_.mustInit[static_cast<size_t>(pc)];
+        const auto checkRead = [&](std::uint8_t r) {
+            if (r >= kNumRegs)
+                return;
+            checks_++;
+            if (((must >> r) & 1) != 0 && ((written >> r) & 1) == 0)
+                contradict("thread %d reads r%d at pc %d, proven "
+                           "initialized on all paths, without ever "
+                           "writing it", tid, r, pc);
+        };
+        if (opReadsRa(in.op))
+            checkRead(in.ra);
+        if (opReadsRb(in.op))
+            checkRead(in.rb);
+    }
+    if (opWritesRd(in.op) && in.rd < kNumRegs)
+        written |= RegSet(1) << in.rd;
+
+    // Claim 4: a statically bounded loop iterates at most maxTrips
+    // times per thread per entry. An iteration is a back-edge
+    // traversal (previous pc was a latch); reaching the header from
+    // anywhere else is a fresh entry and resets the counter. The exit
+    // test's final header visit is thus not miscounted as a trip.
+    const int li = headerLoop_[static_cast<size_t>(pc)];
+    if (li >= 0) {
+        BoundedLoop &bl = loops_[static_cast<size_t>(li)];
+        const Pc prev = prevPc_[static_cast<size_t>(tid)];
+        std::int64_t &trips = bl.trips[static_cast<size_t>(tid)];
+        if (prev >= 0 && bl.isLatch[static_cast<size_t>(prev)]) {
+            trips++;
+            checks_++;
+            if (trips > bl.maxTrips)
+                contradict("thread %d iterated the loop at pc %d %lld "
+                           "times; the loop-bound pass proved at most "
+                           "%lld iterations", tid, pc, (long long)trips,
+                           (long long)bl.maxTrips);
+        } else {
+            trips = 0;
+        }
+    }
+    prevPc_[static_cast<size_t>(tid)] = pc;
+}
+
+void
+ExecutionOracle::onMemAccess(Pc pc, ThreadId tid, bool isStore,
+                             Addr addr)
+{
+    if (pc < 0 || pc >= static_cast<Pc>(code_.size()))
+        return;
+    const int idx = accessAt_[static_cast<size_t>(pc)];
+    if (idx < 0) {
+        // The range pass claims one entry per *reachable* Ld/St, so an
+        // executed access with no claim means the pass believed this pc
+        // unreachable — itself a soundness contradiction.
+        if (!report_.accesses.empty()) {
+            checks_++;
+            contradict("thread %d executed the %s at pc %d, which the "
+                       "range pass treated as unreachable", tid,
+                       isStore ? "store" : "load", pc);
+        }
+        return;
+    }
+    const MemAccessClaim &claim =
+            report_.accesses[static_cast<size_t>(idx)];
+    checks_++;
+    if (claim.isStore != isStore)
+        contradict("access kind mismatch at pc %d: claim says %s, "
+                   "execution performed a %s", pc,
+                   claim.isStore ? "store" : "load",
+                   isStore ? "store" : "load");
+    // The claim interval bounds the signed value ra+imm; a bounded
+    // interval also proves the addition did not wrap, so casting the
+    // hardware address back to signed recovers that value.
+    const std::int64_t sval = static_cast<std::int64_t>(addr);
+    checks_++;
+    if (!claim.addr.contains(sval))
+        contradict("thread %d %s address %lld at pc %d outside the "
+                   "proven interval [%lld, %lld] (verdict %s)", tid,
+                   isStore ? "stores to" : "loads from",
+                   (long long)sval, pc, (long long)claim.addr.lo,
+                   (long long)claim.addr.hi,
+                   memVerdictName(claim.verdict));
+}
+
+void
+ExecutionOracle::onBarrier(Pc pc, ThreadId tid)
+{
+    if (!hasBarrier_ || pc < 0 ||
+        pc >= static_cast<Pc>(code_.size()) || tid < 0 ||
+        tid >= numThreads_)
+        return;
+    // Claim 3: a barrier proven uniform executes under uniform control,
+    // so every thread's k-th uniform-barrier arrival is at the same pc.
+    if (!report_.barrierUniform[static_cast<size_t>(pc)])
+        return;
+    const std::int64_t round = barRound_[static_cast<size_t>(tid)]++;
+    checks_++;
+    if (round >= static_cast<std::int64_t>(roundPc_.size())) {
+        roundPc_.push_back(pc);
+    } else if (roundPc_[static_cast<size_t>(round)] != pc) {
+        contradict("thread %d arrived at the barrier at pc %d in round "
+                   "%lld, but the round was opened at pc %d (barriers "
+                   "proven uniform must be reached in lockstep)", tid,
+                   pc, (long long)round,
+                   roundPc_[static_cast<size_t>(round)]);
+    }
+}
+
+void
+ExecutionOracle::finish()
+{
+    // Uniform control means every thread executes every proven-uniform
+    // barrier: at the end of the run all threads must have completed
+    // the same number of rounds.
+    if (!hasBarrier_)
+        return;
+    const std::int64_t rounds =
+            static_cast<std::int64_t>(roundPc_.size());
+    for (ThreadId tid = 0; tid < numThreads_; tid++) {
+        checks_++;
+        if (barRound_[static_cast<size_t>(tid)] != rounds)
+            contradict("thread %d completed %lld uniform-barrier "
+                       "rounds; the run had %lld", tid,
+                       (long long)barRound_[static_cast<size_t>(tid)],
+                       (long long)rounds);
+    }
+}
+
+} // namespace dws

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Dynamic cross-validation oracle for the static-analysis claims.
+ *
+ * The StaticReport (analysis/report.hh) is a set of machine-checkable
+ * promises about every execution of a program:
+ *
+ *  - mustInit[pc]: registers proven written on every path from entry
+ *    to pc. A thread reading such a register without having written it
+ *    contradicts the reaching-definitions pass.
+ *  - accesses: per-Ld/St byte-address intervals. A lane computing an
+ *    address outside its instruction's proven interval contradicts the
+ *    value-range pass.
+ *  - barrierUniform[pc]: Bar instructions proven to execute under
+ *    uniform control. All threads must then arrive at the same
+ *    sequence of such barriers, the same number of times.
+ *  - loops (StaticallyBounded): per-thread worst-case trip counts. A
+ *    thread iterating a loop more often contradicts the loop-bound
+ *    pass.
+ *
+ * The WPU execution path calls the on*() hooks when an oracle is
+ * attached (SystemConfig::checkOracle); the hooks are purely
+ * observational and never change simulation results. A contradiction
+ * panics by default — it is a soundness bug in a static pass, the
+ * analysis equivalent of a failed invariant audit — or is recorded
+ * when collect mode is on (tests assert on the recorded strings).
+ */
+
+#ifndef DWS_ANALYSIS_ORACLE_HH
+#define DWS_ANALYSIS_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "isa/instr.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Validates static-analysis claims against a real execution. */
+class ExecutionOracle
+{
+  public:
+    /**
+     * @param code       the program the report was computed over
+     * @param report     the static claims to validate
+     * @param numThreads launch thread count (sizes per-thread state);
+     *                   must match the AnalysisInput the report used
+     */
+    ExecutionOracle(const std::vector<Instr> &code, StaticReport report,
+                    int numThreads);
+
+    // --- execution hooks (called by Wpu; observational only) -------
+    /** Thread `tid` executes the instruction at `pc`. */
+    void onIssue(Pc pc, ThreadId tid);
+    /** Thread `tid` touches byte address `addr` at the Ld/St at `pc`. */
+    void onMemAccess(Pc pc, ThreadId tid, bool isStore, Addr addr);
+    /** Thread `tid` arrives at the Bar at `pc`. */
+    void onBarrier(Pc pc, ThreadId tid);
+    /** End-of-run checks (barrier-round completeness). */
+    void finish();
+
+    // --- test / reporting interface --------------------------------
+    /** Record contradictions instead of panicking (tests). */
+    void setCollect(bool on) { collect_ = on; }
+    /** Contradictions recorded in collect mode. */
+    const std::vector<std::string> &contradictions() const
+    {
+        return contradictions_;
+    }
+    /** Number of individual claim checks performed so far. */
+    std::uint64_t checksPerformed() const { return checks_; }
+    /** The static report being validated. */
+    const StaticReport &report() const { return report_; }
+
+  private:
+    struct BoundedLoop
+    {
+        Pc header = 0;
+        std::int64_t maxTrips = 0;
+        /** Per-pc: is this a latch (back-edge source) of the loop? */
+        std::vector<bool> isLatch;
+        /** Per-thread consecutive trips through the header. */
+        std::vector<std::int64_t> trips;
+    };
+
+    void contradict(const char *fmt, ...)
+            __attribute__((format(printf, 2, 3)));
+
+    std::vector<Instr> code_;
+    StaticReport report_;
+    int numThreads_ = 0;
+
+    /** Claim availability (empty report sections disable a check). */
+    bool hasInit_ = false;
+    bool hasBarrier_ = false;
+
+    /** Per-thread registers actually written (r0/r1 set at launch). */
+    std::vector<RegSet> written_;
+    /** Per-thread previously issued pc (kPcUnknown before the first). */
+    std::vector<Pc> prevPc_;
+    /** pc -> index into report_.accesses (-1 = no claim). */
+    std::vector<int> accessAt_;
+    /** pc -> index into loops_ (-1 = not a bounded-loop header). */
+    std::vector<int> headerLoop_;
+    std::vector<BoundedLoop> loops_;
+    /** Per-thread count of uniform-barrier arrivals. */
+    std::vector<std::int64_t> barRound_;
+    /** Barrier pc of each global round, in arrival order. */
+    std::vector<Pc> roundPc_;
+
+    bool collect_ = false;
+    std::uint64_t checks_ = 0;
+    std::vector<std::string> contradictions_;
+};
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_ORACLE_HH

@@ -1,0 +1,793 @@
+#include "analysis/range.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdarg>
+#include <cstdio>
+
+namespace dws {
+
+namespace {
+
+using I128 = __int128;
+
+constexpr std::int64_t kNegInf = Interval::kNegInf;
+constexpr std::int64_t kPosInf = Interval::kPosInf;
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+std::string
+boundStr(std::int64_t b)
+{
+    if (b == kNegInf)
+        return "-inf";
+    if (b == kPosInf)
+        return "+inf";
+    return std::to_string(b);
+}
+
+std::string
+ivStr(const Interval &iv)
+{
+    return "[" + boundStr(iv.lo) + ", " + boundStr(iv.hi) + "]";
+}
+
+/** Clamp a 128-bit bound to int64; clamping hits the infinity sentinel. */
+std::int64_t
+satBound(I128 v)
+{
+    if (v <= I128(kNegInf))
+        return kNegInf;
+    if (v >= I128(kPosInf))
+        return kPosInf;
+    return static_cast<std::int64_t>(v);
+}
+
+/** a + b where a may be an infinity sentinel and b is a small step. */
+std::int64_t
+satStep(std::int64_t a, std::int64_t b)
+{
+    if (a == kNegInf || a == kPosInf)
+        return a;
+    return satBound(I128(a) + I128(b));
+}
+
+/** @return v only if the exact 128-bit value fits in int64. */
+bool
+fits(I128 v, std::int64_t &out)
+{
+    if (v < I128(INT64_MIN) || v > I128(INT64_MAX))
+        return false;
+    out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+/**
+ * Interval addition under wraparound semantics: the result is only
+ * meaningful when every attainable sum stays inside int64, which
+ * requires both operands bounded and both 128-bit corner sums in range.
+ */
+Interval
+addIv(const Interval &a, const Interval &b)
+{
+    // Each bound survives independently: a half-bounded operand (e.g.
+    // a widened loop counter [0, +inf]) keeps its finite side.
+    Interval r = Interval::full();
+    std::int64_t v;
+    if (a.boundedLo() && b.boundedLo() &&
+        fits(I128(a.lo) + I128(b.lo), v))
+        r.lo = v;
+    if (a.boundedHi() && b.boundedHi() &&
+        fits(I128(a.hi) + I128(b.hi), v))
+        r.hi = v;
+    return r;
+}
+
+Interval
+subIv(const Interval &a, const Interval &b)
+{
+    Interval r = Interval::full();
+    std::int64_t v;
+    if (a.boundedLo() && b.boundedHi() &&
+        fits(I128(a.lo) - I128(b.hi), v))
+        r.lo = v;
+    if (a.boundedHi() && b.boundedLo() &&
+        fits(I128(a.hi) - I128(b.lo), v))
+        r.hi = v;
+    return r;
+}
+
+Interval
+mulIv(const Interval &a, const Interval &b)
+{
+    if (a == Interval::constant(0) || b == Interval::constant(0))
+        return Interval::constant(0);
+    if (!a.bounded() || !b.bounded())
+        return Interval::full();
+    const I128 c[4] = {I128(a.lo) * b.lo, I128(a.lo) * b.hi,
+                       I128(a.hi) * b.lo, I128(a.hi) * b.hi};
+    I128 lo128 = c[0], hi128 = c[0];
+    for (const I128 v : c) {
+        lo128 = std::min(lo128, v);
+        hi128 = std::max(hi128, v);
+    }
+    std::int64_t lo, hi;
+    if (!fits(lo128, lo) || !fits(hi128, hi))
+        return Interval::full();
+    return Interval{lo, hi};
+}
+
+/** Truncating division; the ISA defines x/0 == 0. */
+Interval
+divIv(const Interval &a, const Interval &b)
+{
+    if (b == Interval::constant(0))
+        return Interval::constant(0);
+    if (b.lo < 1)
+        return Interval::full(); // divisor may be 0 or negative
+    // b >= 1: |a/b| <= |a|, so division never wraps.
+    std::int64_t lo, hi;
+    if (a.lo == kNegInf)
+        lo = kNegInf;
+    else if (a.lo >= 0)
+        lo = b.boundedHi() ? a.lo / b.hi : 0;
+    else
+        lo = a.lo / b.lo;
+    if (a.hi == kPosInf)
+        hi = kPosInf;
+    else if (a.hi >= 0)
+        hi = a.hi / b.lo;
+    else
+        hi = b.boundedHi() ? a.hi / b.hi : 0;
+    return Interval{lo, hi};
+}
+
+/** Remainder; the ISA defines x%0 == 0. */
+Interval
+remIv(const Interval &a, const Interval &b)
+{
+    if (b == Interval::constant(0))
+        return Interval::constant(0);
+    if (b.lo >= 1 && a.lo >= 0)
+        return Interval{0, std::min(satStep(b.hi, -1), a.hi)};
+    return Interval::full();
+}
+
+Interval
+andIv(const Interval &a, const Interval &b)
+{
+    // A bitwise AND with one provably non-negative operand clears the
+    // sign bit and cannot exceed that operand.
+    if (a.lo >= 0 && b.lo >= 0)
+        return Interval{0, std::min(a.hi, b.hi)};
+    if (a.lo >= 0)
+        return Interval{0, a.hi};
+    if (b.lo >= 0)
+        return Interval{0, b.hi};
+    return Interval::full();
+}
+
+/** Shared bound for OR and XOR: below the next power of two. */
+Interval
+orXorIv(const Interval &a, const Interval &b)
+{
+    if (a.lo < 0 || b.lo < 0)
+        return Interval::full();
+    if (!a.boundedHi() || !b.boundedHi())
+        return Interval{0, kPosInf};
+    const std::uint64_t m =
+            static_cast<std::uint64_t>(std::max(a.hi, b.hi));
+    const int k = std::bit_width(m);
+    std::int64_t hi;
+    if (!fits((I128(1) << k) - 1, hi))
+        return Interval{0, kPosInf};
+    return Interval{0, hi};
+}
+
+Interval
+shlIv(const Interval &a, const Interval &b)
+{
+    // The hardware masks the shift amount with 63; a wider static range
+    // would alias, so only in-range shifts of non-negative values are
+    // representable without wrap.
+    if (b.lo < 0 || b.hi > 63 || a.lo < 0 || !a.boundedHi())
+        return Interval::full();
+    std::int64_t lo, hi;
+    if (!fits(I128(a.lo) << b.lo, lo) || !fits(I128(a.hi) << b.hi, hi))
+        return Interval::full();
+    return Interval{lo, hi};
+}
+
+Interval
+shrIv(const Interval &a, const Interval &b)
+{
+    if (b.lo < 0 || b.hi > 63)
+        return Interval::full();
+    std::int64_t lo, hi;
+    if (a.lo == kNegInf) {
+        lo = kNegInf;
+    } else {
+        lo = std::min(a.lo >> b.lo, a.lo >> b.hi);
+    }
+    if (a.hi == kPosInf) {
+        hi = kPosInf;
+    } else {
+        hi = std::max(a.hi >> b.lo, a.hi >> b.hi);
+    }
+    return Interval{lo, hi};
+}
+
+Interval
+minIv(const Interval &a, const Interval &b)
+{
+    return Interval{std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval
+maxIv(const Interval &a, const Interval &b)
+{
+    return Interval{std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/** The value-range abstract domain over the register file. */
+struct RangeDomain
+{
+    using State = RegFileState;
+
+    const InstrCfg *cfg = nullptr;
+    std::int64_t numThreads = 0; ///< 0 = statically unknown
+
+    State
+    boundary() const
+    {
+        State s;
+        s.bottom = false;
+        for (auto &r : s.regs)
+            r.iv = Interval::constant(0); // register file zeroed at launch
+        AbsVal tid;
+        tid.iv = numThreads > 0 ? Interval{0, numThreads - 1}
+                                : Interval{0, kPosInf};
+        tid.nt = NtBound{1, -1}; // tid <= NT - 1
+        s.regs[0] = tid;
+        AbsVal nt;
+        nt.iv = numThreads > 0 ? Interval::constant(numThreads)
+                               : Interval{1, kPosInf};
+        nt.isNt = true;
+        s.regs[1] = nt;
+        return s;
+    }
+
+    /** The engine's optimistic initial value: unreached. */
+    State top() const { return State{}; }
+
+    static AbsVal
+    joinVal(const AbsVal &a, const AbsVal &b)
+    {
+        AbsVal r;
+        r.iv = Interval{std::min(a.iv.lo, b.iv.lo),
+                        std::max(a.iv.hi, b.iv.hi)};
+        if (a.nt && b.nt)
+            r.nt = NtBound{std::max(a.nt->c, b.nt->c),
+                           std::max(a.nt->d, b.nt->d)};
+        if (a.pred && b.pred && *a.pred == *b.pred)
+            r.pred = a.pred;
+        r.isNt = a.isNt && b.isNt;
+        return r;
+    }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        if (from.bottom)
+            return false;
+        if (into.bottom) {
+            into = from;
+            return true;
+        }
+        bool changed = false;
+        for (int r = 0; r < kNumRegs; r++) {
+            AbsVal j = joinVal(into.regs[static_cast<size_t>(r)],
+                               from.regs[static_cast<size_t>(r)]);
+            if (!(j == into.regs[static_cast<size_t>(r)])) {
+                into.regs[static_cast<size_t>(r)] = j;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    /** Threshold widening: an unstable bound drops to 0, then to inf. */
+    void
+    widen(State &into, const State &from) const
+    {
+        if (from.bottom)
+            return;
+        if (into.bottom) {
+            into = from;
+            return;
+        }
+        for (int r = 0; r < kNumRegs; r++) {
+            AbsVal &a = into.regs[static_cast<size_t>(r)];
+            const AbsVal &b = from.regs[static_cast<size_t>(r)];
+            if (b.iv.lo < a.iv.lo)
+                a.iv.lo = b.iv.lo >= 0 ? 0 : kNegInf;
+            if (b.iv.hi > a.iv.hi)
+                a.iv.hi = kPosInf;
+            if (!(a.nt == b.nt))
+                a.nt.reset();
+            if (!(a.pred == b.pred))
+                a.pred.reset();
+            a.isNt = a.isNt && b.isNt;
+        }
+    }
+
+    /** Write rd and invalidate predicate facts that mention it. */
+    static void
+    define(State &s, std::uint8_t rd, AbsVal v)
+    {
+        if (rd >= kNumRegs)
+            return;
+        if (v.pred &&
+            (v.pred->lhs == rd || (!v.pred->rhsIsImm && v.pred->rhs == rd)))
+            v.pred.reset(); // fact would reference the overwritten value
+        s.regs[rd] = std::move(v);
+        for (int r = 0; r < kNumRegs; r++) {
+            if (r == rd)
+                continue;
+            auto &p = s.regs[static_cast<size_t>(r)].pred;
+            if (p && (p->lhs == rd || (!p->rhsIsImm && p->rhs == rd)))
+                p.reset();
+        }
+    }
+
+    /** Abstract a compare; remembers the predicate for branch refinement. */
+    static AbsVal
+    compare(Op cmp, const AbsVal &a, const AbsVal &b, std::uint8_t ra,
+            std::uint8_t rb, bool rhsIsImm, std::int64_t imm)
+    {
+        AbsVal r;
+        r.iv = Interval{0, 1};
+
+        // Decide statically when the operand intervals are disjoint
+        // or ordered.
+        const Interval &x = a.iv, &y = b.iv;
+        switch (cmp) {
+          case Op::Slt:
+            if (x.boundedHi() && y.boundedLo() && x.hi < y.lo)
+                r.iv = Interval::constant(1);
+            else if (x.boundedLo() && y.boundedHi() && x.lo >= y.hi)
+                r.iv = Interval::constant(0);
+            break;
+          case Op::Sle:
+            if (x.boundedHi() && y.boundedLo() && x.hi <= y.lo)
+                r.iv = Interval::constant(1);
+            else if (x.boundedLo() && y.boundedHi() && x.lo > y.hi)
+                r.iv = Interval::constant(0);
+            break;
+          case Op::Seq:
+          case Op::Sne: {
+            std::int64_t decided = -1;
+            if (x.isConstant() && x == y)
+                decided = 1;
+            else if ((x.boundedHi() && y.boundedLo() && x.hi < y.lo) ||
+                     (x.boundedLo() && y.boundedHi() && x.lo > y.hi))
+                decided = 0;
+            if (decided >= 0)
+                r.iv = Interval::constant(cmp == Op::Seq ? decided
+                                                         : 1 - decided);
+            break;
+          }
+          default:
+            break;
+        }
+
+        // seq/sne against a provably-zero register forwards (negated)
+        // an existing predicate fact: the builder's NOT idiom.
+        if ((cmp == Op::Seq || cmp == Op::Sne) && !rhsIsImm) {
+            const AbsVal *fact = nullptr;
+            if (b.iv == Interval::constant(0) && a.pred)
+                fact = &a;
+            else if (a.iv == Interval::constant(0) && b.pred)
+                fact = &b;
+            if (fact) {
+                r.pred = fact->pred;
+                if (cmp == Op::Seq)
+                    r.pred->negated = !r.pred->negated;
+                return r;
+            }
+        }
+
+        PredFact p;
+        p.cmp = cmp;
+        p.lhs = ra;
+        p.rhs = rb;
+        p.imm = imm;
+        p.rhsIsImm = rhsIsImm;
+        r.pred = p;
+        return r;
+    }
+
+    // GCC's -Wmaybe-uninitialized misfires on the by-value AbsVal
+    // returns below: it tracks the disengaged optional's payload, which
+    // is never read.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+    void
+    transfer(Pc, const Instr &in, State &s) const
+    {
+        if (s.bottom)
+            return;
+        const auto val = [&](std::uint8_t r) -> const AbsVal & {
+            return s.regs[r < kNumRegs ? r : 0];
+        };
+        const auto immVal = [&] {
+            AbsVal v;
+            v.iv = Interval::constant(in.imm);
+            return v;
+        };
+
+        // Propagate the NT-scaled bound `v <= c*NT + d` through an
+        // additive or multiplicative constant. Soundness under wrap
+        // needs the operand's stored value provably non-negative: an
+        // upward wrap then leaves the stored result below the
+        // mathematical bound, and a downward wrap cannot happen.
+        const auto ntAdd = [](const AbsVal &a, std::int64_t k,
+                              AbsVal &res) {
+            std::int64_t d;
+            if (a.nt && a.iv.lo >= 0 && fits(I128(a.nt->d) + k, d))
+                res.nt = NtBound{a.nt->c, d};
+        };
+        const auto ntMul = [](const AbsVal &a, std::int64_t k,
+                              AbsVal &res) {
+            std::int64_t c, d;
+            if (a.nt && a.iv.lo >= 0 && k >= 0 &&
+                fits(I128(a.nt->c) * k, c) && fits(I128(a.nt->d) * k, d))
+                res.nt = NtBound{c, d};
+        };
+
+        AbsVal res;
+        switch (in.op) {
+          case Op::Add:
+          case Op::Addi: {
+            const AbsVal &a = val(in.ra);
+            const AbsVal b = in.op == Op::Add ? val(in.rb) : immVal();
+            res.iv = addIv(a.iv, b.iv);
+            if (b.iv.isConstant())
+                ntAdd(a, b.iv.lo, res);
+            else if (a.iv.isConstant())
+                ntAdd(b, a.iv.lo, res);
+            break;
+          }
+          case Op::Sub:
+            res.iv = subIv(val(in.ra).iv, val(in.rb).iv);
+            if (val(in.rb).iv.isConstant())
+                ntAdd(val(in.ra), -val(in.rb).iv.lo, res);
+            break;
+          case Op::Mul:
+          case Op::Muli: {
+            const AbsVal &a = val(in.ra);
+            const AbsVal b = in.op == Op::Mul ? val(in.rb) : immVal();
+            res.iv = mulIv(a.iv, b.iv);
+            if (b.iv.isConstant())
+                ntMul(a, b.iv.lo, res);
+            else if (a.iv.isConstant())
+                ntMul(b, a.iv.lo, res);
+            break;
+          }
+          case Op::Div: {
+            const AbsVal &a = val(in.ra);
+            const AbsVal &b = val(in.rb);
+            res.iv = divIv(a.iv, b.iv);
+            // a <= c*NT + d and a >= 0 divided by r1 (== NT >= 1):
+            // result <= c + d (d >= 0) or c - 1 (d < 0).
+            std::int64_t hi;
+            if (b.isNt && a.nt && a.iv.lo >= 0 &&
+                fits(I128(a.nt->c) + (a.nt->d >= 0 ? a.nt->d : -1), hi)) {
+                res.iv.hi = std::min(res.iv.hi, hi);
+                res.iv.lo = std::max(res.iv.lo, std::int64_t{0});
+            }
+            break;
+          }
+          case Op::Rem:
+            res.iv = remIv(val(in.ra).iv, val(in.rb).iv);
+            break;
+          case Op::And:
+            res.iv = andIv(val(in.ra).iv, val(in.rb).iv);
+            break;
+          case Op::Andi:
+            res.iv = andIv(val(in.ra).iv, Interval::constant(in.imm));
+            break;
+          case Op::Or:
+          case Op::Xor:
+            res.iv = orXorIv(val(in.ra).iv, val(in.rb).iv);
+            break;
+          case Op::Shl:
+            res.iv = shlIv(val(in.ra).iv, val(in.rb).iv);
+            break;
+          case Op::Shli:
+            res.iv = shlIv(val(in.ra).iv, Interval::constant(in.imm));
+            ntMul(val(in.ra),
+                  in.imm >= 0 && in.imm <= 62
+                          ? (std::int64_t{1} << in.imm)
+                          : std::int64_t{-1},
+                  res);
+            break;
+          case Op::Shr:
+            res.iv = shrIv(val(in.ra).iv, val(in.rb).iv);
+            break;
+          case Op::Shri:
+            res.iv = shrIv(val(in.ra).iv, Interval::constant(in.imm));
+            break;
+          case Op::Slt:
+          case Op::Sle:
+          case Op::Seq:
+          case Op::Sne:
+            res = compare(in.op, val(in.ra), val(in.rb), in.ra, in.rb,
+                          false, 0);
+            break;
+          case Op::Slti: {
+            const AbsVal rhs = immVal();
+            res = compare(Op::Slt, val(in.ra), rhs, in.ra, 0, true,
+                          in.imm);
+            break;
+          }
+          case Op::Min: {
+            const AbsVal &a = val(in.ra), &b = val(in.rb);
+            res.iv = minIv(a.iv, b.iv);
+            // min(a, b) <= a, so either operand's NT bound carries over.
+            res.nt = a.nt ? a.nt : b.nt;
+            break;
+          }
+          case Op::Max:
+            res.iv = maxIv(val(in.ra).iv, val(in.rb).iv);
+            break;
+          case Op::Movi:
+            res.iv = Interval::constant(in.imm);
+            break;
+          case Op::Mov:
+            res = val(in.ra);
+            break;
+          case Op::Ld:
+            res.iv = Interval::full(); // memory contents are unknown
+            break;
+          case Op::Nop:
+          case Op::St:
+          case Op::Br:
+          case Op::Jmp:
+          case Op::Bar:
+          case Op::Halt:
+          case Op::NumOps:
+            return; // no register effect
+        }
+        define(s, in.rd, std::move(res));
+    }
+#pragma GCC diagnostic pop
+
+    /** Narrow both compare operands with the (possibly negated) fact. */
+    static void
+    applyFact(State &s, const PredFact &f, bool truth)
+    {
+        Interval rhs = f.rhsIsImm ? Interval::constant(f.imm)
+                                  : s.regs[f.rhs].iv;
+        Interval &lhs = s.regs[f.lhs].iv;
+
+        Op cmp = f.cmp;
+        if (!truth) {
+            // !(a < b) == (b <= a) etc: swap sides and flip.
+            switch (cmp) {
+              case Op::Slt: cmp = Op::Sle; std::swap(lhs.lo, rhs.lo);
+                            std::swap(lhs.hi, rhs.hi); break;
+              case Op::Sle: cmp = Op::Slt; std::swap(lhs.lo, rhs.lo);
+                            std::swap(lhs.hi, rhs.hi); break;
+              case Op::Seq: cmp = Op::Sne; break;
+              case Op::Sne: cmp = Op::Seq; break;
+              default: return;
+            }
+        }
+        const bool swapped = !truth && (f.cmp == Op::Slt ||
+                                        f.cmp == Op::Sle);
+
+        switch (cmp) {
+          case Op::Slt:
+            lhs.hi = std::min(lhs.hi, satStep(rhs.hi, -1));
+            rhs.lo = std::max(rhs.lo, satStep(lhs.lo, 1));
+            break;
+          case Op::Sle:
+            lhs.hi = std::min(lhs.hi, rhs.hi);
+            rhs.lo = std::max(rhs.lo, lhs.lo);
+            break;
+          case Op::Seq:
+            lhs.lo = rhs.lo = std::max(lhs.lo, rhs.lo);
+            lhs.hi = rhs.hi = std::min(lhs.hi, rhs.hi);
+            break;
+          case Op::Sne:
+            if (rhs.isConstant()) {
+                if (lhs.lo == rhs.lo)
+                    lhs.lo = satStep(lhs.lo, 1);
+                if (lhs.hi == rhs.lo)
+                    lhs.hi = satStep(lhs.hi, -1);
+            }
+            if (lhs.isConstant()) {
+                if (rhs.lo == lhs.lo)
+                    rhs.lo = satStep(rhs.lo, 1);
+                if (rhs.hi == lhs.lo)
+                    rhs.hi = satStep(rhs.hi, -1);
+            }
+            break;
+          default:
+            break;
+        }
+
+        if (swapped) {
+            std::swap(lhs.lo, rhs.lo);
+            std::swap(lhs.hi, rhs.hi);
+        }
+        if (!f.rhsIsImm)
+            s.regs[f.rhs].iv = rhs;
+        if (lhs.empty() || rhs.empty())
+            s.bottom = true;
+    }
+
+    /** Conditional-branch refinement along one outgoing edge. */
+    void
+    edge(Pc from, Pc to, State &s) const
+    {
+        if (s.bottom)
+            return;
+        const Instr &in = cfg->code()[static_cast<size_t>(from)];
+        if (in.op != Op::Br || in.ra >= kNumRegs || in.target == from + 1)
+            return;
+        const bool taken = to == in.target;
+        AbsVal &c = s.regs[in.ra];
+
+        if (c.pred)
+            applyFact(s, *c.pred, taken != c.pred->negated);
+        if (s.bottom)
+            return;
+
+        if (taken) { // c != 0
+            if (c.iv == Interval::constant(0)) {
+                s.bottom = true;
+            } else if (c.iv.lo == 0) {
+                c.iv.lo = 1;
+            } else if (c.iv.hi == 0) {
+                c.iv.hi = -1;
+            }
+        } else { // c == 0
+            if (!c.iv.contains(0) || c.isNt) {
+                s.bottom = true; // r1 >= 1: a zero r1 is unreachable
+            } else {
+                c.iv = Interval::constant(0);
+            }
+        }
+    }
+};
+
+} // namespace
+
+const char *
+memVerdictName(MemVerdict v)
+{
+    switch (v) {
+      case MemVerdict::Proved:      return "proved";
+      case MemVerdict::Unproved:    return "unproved";
+      case MemVerdict::OutOfBounds: return "out-of-bounds";
+    }
+    return "???";
+}
+
+RangeResult
+RangeAnalysis::analyze(const std::vector<Instr> &code,
+                       std::uint64_t memBytes, std::int64_t numThreads)
+{
+    RangeResult result;
+    const InstrCfg cfg(code);
+    const RangeDomain dom{&cfg, numThreads};
+
+    // Widen at targets of retreating edges (covers irreducible loops).
+    FixpointOptions opts;
+    opts.widenPoints.assign(code.size(), false);
+    for (Pc u = 0; u < cfg.size(); u++) {
+        if (!cfg.reachable(u))
+            continue;
+        for (Pc v : cfg.succs(u))
+            if (cfg.rpoIndex(v) <= cfg.rpoIndex(u))
+                opts.widenPoints[static_cast<size_t>(v)] = true;
+    }
+
+    auto in = runForward(cfg, dom, opts);
+
+    // Two decreasing sweeps recover the bounds widening destroyed.
+    for (int sweep = 0; sweep < 2; sweep++) {
+        for (Pc pc : cfg.rpo()) {
+            RegFileState next =
+                    pc == 0 ? dom.boundary() : RegFileState{};
+            for (Pc p : cfg.preds(pc)) {
+                if (!cfg.reachable(p) ||
+                    in[static_cast<size_t>(p)].bottom)
+                    continue;
+                RegFileState out = in[static_cast<size_t>(p)];
+                dom.transfer(p, code[static_cast<size_t>(p)], out);
+                dom.edge(p, pc, out);
+                dom.join(next, out);
+            }
+            in[static_cast<size_t>(pc)] = std::move(next);
+        }
+    }
+
+    // Judge every reachable memory access against the declared memory.
+    const std::int64_t limit =
+            memBytes >= static_cast<std::uint64_t>(kWordBytes)
+                    ? satBound(I128(memBytes) - kWordBytes)
+                    : -1;
+    for (Pc pc = 0; pc < cfg.size(); pc++) {
+        const Instr &instr = code[static_cast<size_t>(pc)];
+        if (!instr.isMem() || !cfg.reachable(pc) ||
+            in[static_cast<size_t>(pc)].bottom)
+            continue;
+        const RegFileState &s = in[static_cast<size_t>(pc)];
+        MemAccessClaim claim;
+        claim.pc = pc;
+        claim.isStore = instr.op == Op::St;
+        claim.addr = addIv(s.regs[instr.ra < kNumRegs ? instr.ra : 0].iv,
+                           Interval::constant(instr.imm));
+        const char *kind = claim.isStore ? "store" : "load";
+        if (memBytes == 0) {
+            claim.verdict = MemVerdict::Unproved;
+        } else if (claim.addr.hi < 0 ||
+                   (claim.addr.boundedLo() && claim.addr.lo > limit)) {
+            claim.verdict = MemVerdict::OutOfBounds;
+        } else if (claim.addr.lo >= 0 && claim.addr.boundedHi() &&
+                   claim.addr.hi <= limit) {
+            claim.verdict = MemVerdict::Proved;
+        } else {
+            claim.verdict = MemVerdict::Unproved;
+        }
+
+        switch (claim.verdict) {
+          case MemVerdict::Proved:
+            result.proved++;
+            break;
+          case MemVerdict::Unproved:
+            result.unproved++;
+            result.diags.push_back(Diagnostic{
+                    .severity = Severity::Note,
+                    .pc = pc,
+                    .pass = "range",
+                    .message = format(
+                            "cannot prove %s address in %s stays inside "
+                            "memory of %llu bytes", kind,
+                            ivStr(claim.addr).c_str(),
+                            static_cast<unsigned long long>(memBytes))});
+            break;
+          case MemVerdict::OutOfBounds:
+            result.violations++;
+            result.diags.push_back(Diagnostic{
+                    .severity = Severity::Error,
+                    .pc = pc,
+                    .pass = "range",
+                    .message = format(
+                            "out-of-bounds %s: address in %s is always "
+                            "outside memory of %llu bytes", kind,
+                            ivStr(claim.addr).c_str(),
+                            static_cast<unsigned long long>(memBytes))});
+            break;
+        }
+        result.accesses.push_back(claim);
+    }
+
+    decorate(result.diags, code);
+    result.states = std::move(in);
+    return result;
+}
+
+} // namespace dws

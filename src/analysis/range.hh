@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Interval value-range analysis over the kernel registers, with the
+ * static in-bounds proofs for every memory access.
+ *
+ * The abstract value per register is an integer interval extended with
+ * two relational facts that the blocked-task-range idiom every kernel
+ * uses (rLo = tid*total/nthreads) makes necessary:
+ *
+ *  - an *NT-scaled upper bound* `val <= c*r1 + d` (r1 is the launch
+ *    thread count, >= 1). r0 starts with `r0 <= 1*r1 - 1`; the bound
+ *    survives addition of constants and multiplication by non-negative
+ *    constants, and a division by r1 collapses it to the plain finite
+ *    interval [0, c+max(d,-1)] — which is how `tid*total/nthreads`
+ *    proves <= total even though neither tid nor nthreads is bounded.
+ *
+ *  - a *predicate fact* on compare results (slt/sle/seq/sne/slti)
+ *    remembering which registers were compared, so a conditional
+ *    branch refines both operands' intervals along each outgoing edge
+ *    (`i < bound` caps the induction variable inside a loop body).
+ *    A seq/sne against a provably-zero register negates/forwards the
+ *    fact, matching the builder's `seq(r, r, zero)` NOT idiom.
+ *
+ * Widening at retreating-edge targets keeps the fixpoint finite; two
+ * decreasing (narrowing) sweeps afterwards recover bounds the widening
+ * destroyed. All arithmetic is evaluated in 128 bits and any bound
+ * that could exceed the 64-bit register range becomes unbounded, so
+ * the claims stay sound under the ISA's wraparound semantics.
+ *
+ * Every interval this pass publishes is a *claim* checked by the
+ * dynamic oracle (analysis/oracle.hh): if a simulated register or
+ * address ever leaves its proven interval, the oracle panics.
+ */
+
+#ifndef DWS_ANALYSIS_RANGE_HH
+#define DWS_ANALYSIS_RANGE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "analysis/diagnostic.hh"
+
+namespace dws {
+
+/** An integer interval with +-infinity sentinels. */
+struct Interval
+{
+    static constexpr std::int64_t kNegInf = INT64_MIN;
+    static constexpr std::int64_t kPosInf = INT64_MAX;
+
+    std::int64_t lo = kNegInf;
+    std::int64_t hi = kPosInf;
+
+    static Interval full() { return Interval{kNegInf, kPosInf}; }
+    static Interval constant(std::int64_t v) { return Interval{v, v}; }
+
+    bool boundedLo() const { return lo != kNegInf; }
+    bool boundedHi() const { return hi != kPosInf; }
+    bool bounded() const { return boundedLo() && boundedHi(); }
+    bool empty() const { return lo > hi; }
+    bool isConstant() const { return lo == hi; }
+
+    bool
+    contains(std::int64_t v) const
+    {
+        return v >= lo && v <= hi;
+    }
+
+    bool
+    operator==(const Interval &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+};
+
+/** Upper bound `value <= c*r1 + d` (valid only while r1 >= 1 holds). */
+struct NtBound
+{
+    std::int64_t c = 0;
+    std::int64_t d = 0;
+
+    bool
+    operator==(const NtBound &o) const
+    {
+        return c == o.c && d == o.d;
+    }
+};
+
+/** Remembered compare: this register holds `lhs <cmp> rhs` (0/1). */
+struct PredFact
+{
+    Op cmp = Op::Slt;     ///< Slt, Sle, Seq or Sne
+    std::uint8_t lhs = 0; ///< left operand register
+    std::uint8_t rhs = 0; ///< right operand register (when !rhsIsImm)
+    std::int64_t imm = 0; ///< right operand immediate (when rhsIsImm)
+    bool rhsIsImm = false;
+    bool negated = false; ///< fact is the logical NOT of the compare
+
+    bool
+    operator==(const PredFact &o) const
+    {
+        return cmp == o.cmp && lhs == o.lhs && rhs == o.rhs &&
+               imm == o.imm && rhsIsImm == o.rhsIsImm &&
+               negated == o.negated;
+    }
+};
+
+/** Abstract value of one register. */
+struct AbsVal
+{
+    Interval iv = Interval::full();
+    std::optional<NtBound> nt;   ///< value <= c*r1 + d
+    std::optional<PredFact> pred;
+    bool isNt = false;           ///< value == r1 exactly
+
+    bool
+    operator==(const AbsVal &o) const
+    {
+        return iv == o.iv && nt == o.nt && pred == o.pred &&
+               isNt == o.isNt;
+    }
+};
+
+/** Abstract register file (one dataflow state). */
+struct RegFileState
+{
+    /** Unreached: joins as the identity, transfers stay bottom. */
+    bool bottom = true;
+    std::array<AbsVal, kNumRegs> regs;
+
+    bool
+    operator==(const RegFileState &o) const
+    {
+        if (bottom != o.bottom)
+            return false;
+        return bottom || regs == o.regs;
+    }
+};
+
+/** Static verdict for one memory access. */
+enum class MemVerdict : std::uint8_t {
+    /** Address interval proven inside [0, memBytes-wordBytes]. */
+    Proved,
+    /** Interval too wide (or unbounded) to decide either way. */
+    Unproved,
+    /** Address interval provably disjoint from valid memory. */
+    OutOfBounds,
+};
+
+/** @return "proved", "unproved" or "out-of-bounds". */
+const char *memVerdictName(MemVerdict v);
+
+/** Static address claim for one Ld/St instruction. */
+struct MemAccessClaim
+{
+    Pc pc = 0;
+    bool isStore = false;
+    /** Proven byte-address interval (may be unbounded on either side). */
+    Interval addr;
+    MemVerdict verdict = MemVerdict::Unproved;
+};
+
+/** Full result of the range analysis over one program. */
+struct RangeResult
+{
+    /** One claim per reachable Ld/St, in pc order. */
+    std::vector<MemAccessClaim> accesses;
+    /** OutOfBounds errors and Unproved notes. */
+    std::vector<Diagnostic> diags;
+    /** Narrowed per-pc in states (for the loop-bound pass). */
+    std::vector<RegFileState> states;
+    int proved = 0;
+    int unproved = 0;
+    int violations = 0;
+};
+
+/** Interval value-range analysis with in-bounds proofs. */
+class RangeAnalysis
+{
+  public:
+    /**
+     * Analyze one program against a declared memory size.
+     *
+     * @param code       the instruction sequence
+     * @param memBytes   declared kernel memory size (0 = unknown: every
+     *                   access with a finite interval is Unproved)
+     * @param numThreads launch thread count when statically known
+     *                   (0 = unknown: r1 is only known to be >= 1, and
+     *                   most multiplicative address arithmetic becomes
+     *                   Unproved because 64-bit wraparound cannot be
+     *                   excluded)
+     */
+    static RangeResult analyze(const std::vector<Instr> &code,
+                               std::uint64_t memBytes,
+                               std::int64_t numThreads = 0);
+};
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_RANGE_HH

@@ -1,0 +1,178 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <iterator>
+#include <ostream>
+
+#include "analysis/barrier.hh"
+#include "analysis/verifier.hh"
+#include "isa/program.hh"
+#include "sim/json_writer.hh"
+
+namespace dws {
+
+namespace {
+
+void
+append(std::vector<Diagnostic> &into, std::vector<Diagnostic> &&from)
+{
+    into.insert(into.end(), std::make_move_iterator(from.begin()),
+                std::make_move_iterator(from.end()));
+}
+
+/**
+ * True when the CFG can be built at all: opcodes decodable, registers
+ * in range, branch targets inside the program. Other verifier errors
+ * (no halt, fall-through) do not invalidate the dataflow passes.
+ */
+bool
+cfgTrustworthy(const std::vector<Instr> &code)
+{
+    const int n = static_cast<int>(code.size());
+    if (n == 0)
+        return false;
+    for (const Instr &in : code) {
+        if (in.op >= Op::NumOps)
+            return false;
+        if (opWritesRd(in.op) && in.rd >= kNumRegs)
+            return false;
+        if (opReadsRa(in.op) && in.ra >= kNumRegs)
+            return false;
+        if (opReadsRb(in.op) && in.rb >= kNumRegs)
+            return false;
+        if ((in.op == Op::Br || in.op == Op::Jmp) &&
+            (in.target < 0 || in.target >= n))
+            return false;
+    }
+    return true;
+}
+
+StaticReport
+analyzeWithVerifier(const std::vector<Instr> &code,
+                    const AnalysisInput &input,
+                    std::vector<Diagnostic> &&verifierDiags)
+{
+    StaticReport report;
+    report.diags = std::move(verifierDiags);
+
+    // A structurally broken program (bad targets, bad registers) has
+    // no trustworthy CFG; the dataflow passes would crash or lie.
+    if (cfgTrustworthy(code)) {
+        const InstrCfg cfg(code);
+        append(report.diags, deadStoreDiagnostics(cfg));
+        report.mustInit = computeReachingDefs(cfg).mustInitialized();
+
+        RangeResult ranges =
+                RangeAnalysis::analyze(code, input.memBytes,
+                                       input.numThreads);
+        append(report.diags, std::move(ranges.diags));
+        report.accesses = std::move(ranges.accesses);
+        report.provedAccesses = ranges.proved;
+        report.unprovedAccesses = ranges.unproved;
+        report.oobAccesses = ranges.violations;
+
+        BarrierCheckResult barriers = BarrierAnalysis::analyze(code);
+        append(report.diags, std::move(barriers.diags));
+        report.barrierUniform = std::move(barriers.barrierUniform);
+        report.barriers = barriers.barriers;
+        report.uniformBarriers = barriers.provedUniform;
+
+        LoopBoundResult loops = LoopBoundAnalysis::analyze(code, ranges);
+        append(report.diags, std::move(loops.diags));
+        report.loops = std::move(loops.loops);
+        report.staticLoops = loops.staticallyBounded;
+        report.inputLoops = loops.inputBounded;
+        report.unknownLoops = loops.unknown;
+    }
+
+    decorate(report.diags, code);
+    std::stable_sort(report.diags.begin(), report.diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return a.pass < b.pass;
+                     });
+    return report;
+}
+
+} // namespace
+
+StaticReport
+StaticAnalyzer::analyze(const std::vector<Instr> &code,
+                        const AnalysisInput &input)
+{
+    // Verifier::verify(code) already includes the "init" pass.
+    return analyzeWithVerifier(code, input, Verifier::verify(code));
+}
+
+StaticReport
+StaticAnalyzer::analyze(const Program &prog, const AnalysisInput &input)
+{
+    return analyzeWithVerifier(prog.instructions(), input,
+                               Verifier::verify(prog));
+}
+
+void
+writeReportJson(std::ostream &os, const StaticReport &report,
+                const std::string &kernelName, int numInstrs, int indent)
+{
+    JsonWriter w(os, indent);
+    writeReportJson(w, report, kernelName, numInstrs);
+    os << "\n";
+}
+
+void
+writeReportJson(JsonWriter &w, const StaticReport &report,
+                const std::string &kernelName, int numInstrs)
+{
+    w.beginObject();
+    w.field("kernel", kernelName);
+    w.field("instrs", numInstrs);
+    w.field("clean", report.clean());
+    w.field("errors", report.errors());
+    w.field("warnings", report.warnings());
+    w.field("notes", report.notes());
+
+    w.key("stats");
+    w.beginObject();
+    w.field("accesses_proved", report.provedAccesses);
+    w.field("accesses_unproved", report.unprovedAccesses);
+    w.field("accesses_out_of_bounds", report.oobAccesses);
+    w.field("barriers", report.barriers);
+    w.field("barriers_uniform", report.uniformBarriers);
+    w.field("loops_static", report.staticLoops);
+    w.field("loops_input_bounded", report.inputLoops);
+    w.field("loops_unknown", report.unknownLoops);
+    w.endObject();
+
+    w.key("loops");
+    w.beginArray();
+    for (const LoopBound &lb : report.loops) {
+        w.beginObject();
+        w.field("header", lb.loop.header);
+        w.field("kind", loopBoundKindName(lb.kind));
+        if (lb.kind == LoopBoundKind::StaticallyBounded)
+            w.field("max_trips", lb.maxTrips);
+        if (lb.inductionReg >= 0)
+            w.field("induction_reg", lb.inductionReg);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("diagnostics");
+    w.beginArray();
+    for (const Diagnostic &d : report.diags) {
+        w.beginObject();
+        w.field("severity", severityName(d.severity));
+        w.field("pass", d.pass);
+        w.field("pc", d.pc);
+        w.field("block", d.block);
+        w.field("message", d.message);
+        w.field("snippet", d.snippet);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace dws

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * One-call front end over every static-analysis pass, and the combined
+ * report dws_lint prints, serializes to JSON, and the dynamic oracle
+ * (analysis/oracle.hh) cross-validates at simulation time.
+ *
+ * Passes, in order:
+ *   verifier  - structural validity + post-dominator cross-check
+ *   init      - maybe-uninitialized register reads (reaching defs)
+ *   deadstore - definitions no path ever observes (liveness)
+ *   range     - interval analysis + static in/out-of-bounds proofs
+ *   barrier   - GPUVerify-style barrier-divergence check
+ *   loopbound - natural-loop trip-count classification
+ *
+ * Every diagnostic carries its pass name, pc, basic-block id and a
+ * disassembly snippet. The *claims* sections (mustInit, accesses,
+ * barrierUniform, loops) are the machine-checkable facts the oracle
+ * compares against real executions: a run that contradicts any of them
+ * is a soundness bug in the corresponding pass.
+ */
+
+#ifndef DWS_ANALYSIS_REPORT_HH
+#define DWS_ANALYSIS_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "analysis/liveness.hh"
+#include "analysis/loopbound.hh"
+#include "analysis/range.hh"
+
+namespace dws {
+
+class JsonWriter;
+class Program;
+
+/** What the analyzer should assume about the launch. */
+struct AnalysisInput
+{
+    /** Declared kernel memory size in bytes (0 = unknown). */
+    std::uint64_t memBytes = 0;
+    /** Launch thread count (0 = unknown; r1 only known >= 1). */
+    std::int64_t numThreads = 0;
+};
+
+/** Merged result of all static passes over one program. */
+struct StaticReport
+{
+    /** All diagnostics, sorted by pc then pass, decorated. */
+    std::vector<Diagnostic> diags;
+
+    // --- Claims the dynamic oracle validates ---------------------
+    /** Per-pc registers proven written on every path from entry. */
+    std::vector<RegSet> mustInit;
+    /** Per-access static address intervals and verdicts. */
+    std::vector<MemAccessClaim> accesses;
+    /** Per-pc flag: Bar proven to execute under uniform control. */
+    std::vector<bool> barrierUniform;
+    /** Natural loops with their trip-count classification. */
+    std::vector<LoopBound> loops;
+
+    // --- Pass statistics -----------------------------------------
+    int provedAccesses = 0;
+    int unprovedAccesses = 0;
+    int oobAccesses = 0;
+    int barriers = 0;
+    int uniformBarriers = 0;
+    int staticLoops = 0;
+    int inputLoops = 0;
+    int unknownLoops = 0;
+
+    int errors() const { return countSeverity(diags, Severity::Error); }
+    int warnings() const
+    {
+        return countSeverity(diags, Severity::Warning);
+    }
+    int notes() const { return countSeverity(diags, Severity::Note); }
+
+    /** Lint-clean: no errors and no warnings (notes are fine). */
+    bool clean() const { return errors() == 0 && warnings() == 0; }
+};
+
+/** Run every static pass over one program. */
+class StaticAnalyzer
+{
+  public:
+    static StaticReport analyze(const std::vector<Instr> &code,
+                                const AnalysisInput &input);
+
+    /**
+     * Same, plus the Program-level verifier leg (cached-ipdom
+     * cross-check) that needs more than the raw instruction list.
+     */
+    static StaticReport analyze(const Program &prog,
+                                const AnalysisInput &input);
+};
+
+/**
+ * Serialize a report as one JSON object:
+ * {kernel, instrs, clean, errors, warnings, notes, stats{...},
+ *  diagnostics:[{severity, pass, pc, block, message, snippet}...]}.
+ */
+void writeReportJson(std::ostream &os, const StaticReport &report,
+                     const std::string &kernelName, int numInstrs,
+                     int indent = 2);
+
+/** Same, into an already-open writer (dws_lint's per-kernel array). */
+void writeReportJson(JsonWriter &w, const StaticReport &report,
+                     const std::string &kernelName, int numInstrs);
+
+} // namespace dws
+
+#endif // DWS_ANALYSIS_REPORT_HH

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <deque>
 
+#include "analysis/dataflow.hh"
+#include "analysis/liveness.hh"
 #include "isa/cfg.hh"
 
 namespace dws {
@@ -25,7 +27,10 @@ void
 report(std::vector<Diagnostic> &diags, Severity sev, Pc pc,
        std::string msg)
 {
-    diags.push_back(Diagnostic{sev, pc, std::move(msg)});
+    diags.push_back(Diagnostic{.severity = sev,
+                               .pc = pc,
+                               .pass = "verifier",
+                               .message = std::move(msg)});
 }
 
 /** In-range CFG successors (no virtual exit edges). */
@@ -119,65 +124,6 @@ checkInstructions(const std::vector<Instr> &code,
     }
 }
 
-/**
- * Must-be-defined forward dataflow (meet = intersection): warn about
- * registers read on some path before any write. r0 (tid) and r1 (thread
- * count) are defined at kernel launch.
- */
-void
-checkDefBeforeUse(const std::vector<Instr> &code,
-                  const std::vector<bool> &reachable,
-                  std::vector<Diagnostic> &diags)
-{
-    const int n = static_cast<int>(code.size());
-    using RegMask = std::uint32_t;
-    static_assert(kNumRegs <= 32, "RegMask too narrow");
-    const RegMask all = ~RegMask(0);
-    const RegMask entry = (RegMask(1) << 0) | (RegMask(1) << 1);
-
-    // in[pc]: registers defined on *every* path reaching pc.
-    std::vector<RegMask> in(static_cast<size_t>(n), all);
-    if (n == 0)
-        return;
-    in[0] = entry;
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (Pc pc = 0; pc < n; pc++) {
-            if (!reachable[static_cast<size_t>(pc)])
-                continue;
-            const Instr &ins = code[static_cast<size_t>(pc)];
-            RegMask out = in[static_cast<size_t>(pc)];
-            if (opWritesRd(ins.op) && ins.rd < kNumRegs)
-                out |= RegMask(1) << ins.rd;
-            for (Pc s : inRangeSuccessors(code, pc)) {
-                const RegMask met = in[static_cast<size_t>(s)] & out;
-                if (met != in[static_cast<size_t>(s)]) {
-                    in[static_cast<size_t>(s)] = met;
-                    changed = true;
-                }
-            }
-        }
-    }
-
-    for (Pc pc = 0; pc < n; pc++) {
-        if (!reachable[static_cast<size_t>(pc)])
-            continue;
-        const Instr &ins = code[static_cast<size_t>(pc)];
-        const RegMask defined = in[static_cast<size_t>(pc)];
-        auto warnUndef = [&](std::uint8_t r) {
-            if (r < kNumRegs && !(defined & (RegMask(1) << r)))
-                report(diags, Severity::Warning, pc,
-                       format("register r%d may be read before it is "
-                              "written (reads zero)", r));
-        };
-        if (opReadsRa(ins.op))
-            warnUndef(ins.ra);
-        if (opReadsRb(ins.op))
-            warnUndef(ins.rb);
-    }
-}
-
 } // namespace
 
 std::vector<Diagnostic>
@@ -193,6 +139,7 @@ Verifier::verify(const std::vector<Instr> &code)
     checkInstructions(code, diags);
     if (hasErrors(diags)) {
         // Targets or opcodes are broken; CFG-based checks would lie.
+        decorate(diags, code);
         return diags;
     }
 
@@ -224,7 +171,13 @@ Verifier::verify(const std::vector<Instr> &code)
         report(diags, Severity::Error, kPcExit,
                "program contains no halt instruction");
 
-    checkDefBeforeUse(code, reachable, diags);
+    // Def-before-use now rides on the shared dataflow framework; the
+    // verifier keeps only the uninitialized-read half of the liveness
+    // pass (dead stores are a lint concern, not a validity one).
+    const InstrCfg cfg(code);
+    for (Diagnostic &d : uninitReadDiagnostics(cfg))
+        diags.push_back(std::move(d));
+    decorate(diags, code);
     return diags;
 }
 
@@ -381,6 +334,7 @@ Verifier::verify(const Program &prog)
                           "recomputed %d", prog.branchInfo(pc).ipdom,
                           ref[static_cast<size_t>(pc)]));
     }
+    decorate(diags, code);
     return diags;
 }
 

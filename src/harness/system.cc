@@ -39,11 +39,23 @@ System::System(const SystemConfig &sysCfg, const Kernel &kernel)
         events.setTracer(tracer_.get());
     }
 #endif
+    if (cfg.checkOracle) {
+        // Run every static pass over the loaded program and arm the
+        // dynamic cross-validation oracle with the resulting claims.
+        AnalysisInput input;
+        input.memBytes = mem.sizeBytes();
+        input.numThreads = cfg.totalThreads();
+        oracle_ = std::make_unique<ExecutionOracle>(
+                prog.instructions(),
+                StaticAnalyzer::analyze(prog, input),
+                cfg.totalThreads());
+    }
     const int perWpu = cfg.wpu.numThreads();
     for (WpuId i = 0; i < cfg.numWpus; i++) {
         wpus.push_back(std::make_unique<Wpu>(
                 i, cfg, prog, mem, memsys, events, &kbar));
         wpus.back()->setTracer(tracer_.get());
+        wpus.back()->setOracle(oracle_.get());
         kbar.addWpu(wpus.back().get());
     }
     kbar.setAliveThreads(cfg.totalThreads());
@@ -157,6 +169,8 @@ System::run()
         DWS_TRACE(tracer_.get(), advanceTo(cycle));
         tracer_->finish();
     }
+    if (oracle_)
+        oracle_->finish();
     return collect();
 }
 

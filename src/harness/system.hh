@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/oracle.hh"
 #include "energy/energy.hh"
 #include "fault/fault.hh"
 #include "kernels/kernel.hh"
@@ -82,6 +83,13 @@ class System
      */
     const FaultInjector *faultInjector() const { return injector_.get(); }
 
+    /**
+     * @return the static-analysis cross-validation oracle, or nullptr
+     *         when cfg.checkOracle is off. Tests put it in collect
+     *         mode and read the recorded contradictions after run().
+     */
+    ExecutionOracle *oracle() { return oracle_.get(); }
+
   private:
     RunStats collect() const;
     void sampleTraceEpoch();
@@ -90,6 +98,7 @@ class System
 
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<ExecutionOracle> oracle_;
 
     SystemConfig cfg;
     Program prog;

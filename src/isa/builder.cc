@@ -89,7 +89,10 @@ KernelBuilder::tryBuild(std::string name, std::vector<Diagnostic> &diags,
             char buf[128];
             std::snprintf(buf, sizeof(buf),
                           "unbound label %d referenced here", label);
-            diags.push_back(Diagnostic{Severity::Error, pc, buf});
+            diags.push_back(Diagnostic{.severity = Severity::Error,
+                                       .pc = pc,
+                                       .pass = "builder",
+                                       .message = buf});
             continue;
         }
         code[static_cast<size_t>(pc)].target = target;

@@ -152,6 +152,149 @@ CfgAnalysis::immediatePostDominators(const std::vector<Instr> &instrs)
     return result;
 }
 
+std::vector<Pc>
+CfgAnalysis::immediateDominators(const std::vector<Instr> &instrs)
+{
+    const int n = static_cast<int>(instrs.size());
+    std::vector<Pc> result(static_cast<size_t>(n), kPcExit);
+    if (n == 0)
+        return result;
+
+    std::vector<std::vector<int>> succ(static_cast<size_t>(n));
+    std::vector<std::vector<int>> pred(static_cast<size_t>(n));
+    for (int pc = 0; pc < n; pc++) {
+        for (Pc t : successors(instrs, pc)) {
+            succ[static_cast<size_t>(pc)].push_back(t);
+            pred[static_cast<size_t>(t)].push_back(pc);
+        }
+    }
+
+    // Postorder of the forward CFG rooted at entry.
+    std::vector<int> poNum(static_cast<size_t>(n), -1);
+    std::vector<int> order;
+    {
+        std::vector<int> stack{0};
+        std::vector<int> childIdx(static_cast<size_t>(n), 0);
+        std::vector<bool> visited(static_cast<size_t>(n), false);
+        visited[0] = true;
+        while (!stack.empty()) {
+            const int v = stack.back();
+            auto &ci = childIdx[static_cast<size_t>(v)];
+            if (ci < static_cast<int>(succ[static_cast<size_t>(v)].size())) {
+                const int w = succ[static_cast<size_t>(v)]
+                                  [static_cast<size_t>(ci++)];
+                if (!visited[static_cast<size_t>(w)]) {
+                    visited[static_cast<size_t>(w)] = true;
+                    stack.push_back(w);
+                }
+            } else {
+                poNum[static_cast<size_t>(v)] =
+                        static_cast<int>(order.size());
+                order.push_back(v);
+                stack.pop_back();
+            }
+        }
+    }
+
+    std::vector<int> idom(static_cast<size_t>(n), -1);
+    idom[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int i = static_cast<int>(order.size()) - 1; i >= 0; i--) {
+            const int u = order[static_cast<size_t>(i)];
+            if (u == 0)
+                continue;
+            int newIdom = -1;
+            for (int p : pred[static_cast<size_t>(u)]) {
+                if (poNum[static_cast<size_t>(p)] < 0 ||
+                    idom[static_cast<size_t>(p)] < 0)
+                    continue;
+                newIdom = (newIdom < 0)
+                        ? p : intersect(idom, poNum, newIdom, p);
+            }
+            if (newIdom >= 0 && idom[u] != newIdom) {
+                idom[u] = newIdom;
+                changed = true;
+            }
+        }
+    }
+
+    for (int pc = 1; pc < n; pc++) {
+        if (idom[static_cast<size_t>(pc)] >= 0)
+            result[static_cast<size_t>(pc)] =
+                    static_cast<Pc>(idom[static_cast<size_t>(pc)]);
+    }
+    return result;
+}
+
+std::vector<NaturalLoop>
+CfgAnalysis::naturalLoops(const std::vector<Instr> &instrs)
+{
+    const int n = static_cast<int>(instrs.size());
+    std::vector<NaturalLoop> loops;
+    if (n == 0)
+        return loops;
+
+    const std::vector<Pc> idom = immediateDominators(instrs);
+    auto dominates = [&](Pc a, Pc b) {
+        // Walk b's dominator chain up to entry looking for a.
+        while (true) {
+            if (a == b)
+                return true;
+            if (b == 0 || idom[static_cast<size_t>(b)] == kPcExit)
+                return false;
+            b = idom[static_cast<size_t>(b)];
+        }
+    };
+
+    std::vector<std::vector<Pc>> pred(static_cast<size_t>(n));
+    for (Pc pc = 0; pc < n; pc++)
+        for (Pc t : successors(instrs, pc))
+            pred[static_cast<size_t>(t)].push_back(pc);
+
+    // Collect back edges grouped by header.
+    std::vector<std::vector<Pc>> latchesOf(static_cast<size_t>(n));
+    for (Pc u = 0; u < n; u++) {
+        if (idom[static_cast<size_t>(u)] == kPcExit && u != 0)
+            continue; // unreachable
+        for (Pc h : successors(instrs, u))
+            if (dominates(h, u))
+                latchesOf[static_cast<size_t>(h)].push_back(u);
+    }
+
+    for (Pc h = 0; h < n; h++) {
+        if (latchesOf[static_cast<size_t>(h)].empty())
+            continue;
+        NaturalLoop loop;
+        loop.header = h;
+        loop.latches = latchesOf[static_cast<size_t>(h)];
+        loop.body.assign(static_cast<size_t>(n), false);
+        loop.body[static_cast<size_t>(h)] = true;
+        // Natural-loop body: everything reaching a latch backwards
+        // without passing through the header.
+        std::vector<Pc> work;
+        for (Pc l : loop.latches) {
+            if (!loop.body[static_cast<size_t>(l)]) {
+                loop.body[static_cast<size_t>(l)] = true;
+                work.push_back(l);
+            }
+        }
+        while (!work.empty()) {
+            const Pc v = work.back();
+            work.pop_back();
+            for (Pc p : pred[static_cast<size_t>(v)]) {
+                if (!loop.body[static_cast<size_t>(p)]) {
+                    loop.body[static_cast<size_t>(p)] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+        loops.push_back(std::move(loop));
+    }
+    return loops;
+}
+
 int
 CfgAnalysis::basicBlockLength(const std::vector<Instr> &instrs, Pc pc)
 {

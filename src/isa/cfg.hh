@@ -20,6 +20,25 @@
 
 namespace dws {
 
+/** One natural loop of the instruction-level CFG. */
+struct NaturalLoop
+{
+    /** Loop header: the unique entry point of the loop. */
+    Pc header = 0;
+    /** Sources of the back edges into the header. */
+    std::vector<Pc> latches;
+    /** Per-pc loop membership (header and latches included). */
+    std::vector<bool> body;
+
+    /** @return true if pc is inside the loop. */
+    bool
+    contains(Pc pc) const
+    {
+        return pc >= 0 && pc < static_cast<Pc>(body.size()) &&
+               body[static_cast<size_t>(pc)];
+    }
+};
+
 /** Post-dominator analysis over a Program's instruction-level CFG. */
 class CfgAnalysis
 {
@@ -55,6 +74,23 @@ class CfgAnalysis
     /** @return the CFG successors of the instruction at pc. */
     static std::vector<Pc> successors(const std::vector<Instr> &instrs,
                                       Pc pc);
+
+    /**
+     * Compute the immediate dominator of every instruction (forward
+     * Cooper-Harvey-Kennedy from entry pc 0). Entry and unreachable
+     * instructions report kPcExit.
+     */
+    static std::vector<Pc> immediateDominators(
+            const std::vector<Instr> &instrs);
+
+    /**
+     * Find every natural loop: a back edge u->h where h dominates u,
+     * plus all nodes that reach u without passing through h. Back
+     * edges sharing a header are merged into one loop, so the result
+     * has one entry per distinct header, ordered by header pc.
+     */
+    static std::vector<NaturalLoop> naturalLoops(
+            const std::vector<Instr> &instrs);
 };
 
 } // namespace dws

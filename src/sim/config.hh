@@ -248,6 +248,15 @@ struct SystemConfig
 #endif
 
     /**
+     * Attach the static-analysis cross-validation oracle
+     * (analysis/oracle.hh): the system runs every static pass over the
+     * loaded program at construction and panics if the execution ever
+     * contradicts a proven claim. Purely observational — RunStats
+     * fingerprints are identical with it on or off.
+     */
+    bool checkOracle = false;
+
+    /**
      * Structured tracing (src/trace/, DESIGN.md §11). 0 = off,
      * 1 = events, 2 = timeline, 3 = all; mirrors trace::TraceMode
      * (kept as an int here so this header stays dependency-free).

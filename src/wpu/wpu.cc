@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/invariants.hh"
+#include "analysis/oracle.hh"
 #include "sim/abort.hh"
 #include "sim/logging.hh"
 
@@ -626,6 +627,11 @@ Wpu::issue(SimdGroup *g, Cycle now)
     stats.issuedInstrs++;
     stats.scalarInstrs += static_cast<std::uint64_t>(popcount(g->mask));
 
+    if (oracle_) {
+        for (int lane : Lanes(g->mask))
+            oracle_->onIssue(g->pc, tidOf(g->warp, lane));
+    }
+
     switch (in.op) {
       case Op::Ld:
       case Op::St:
@@ -821,6 +827,9 @@ Wpu::execMem(SimdGroup *g, const Instr &in, Cycle now)
                   (long long)reg(g->warp, lane, in.ra),
                   (long long)in.imm);
         }
+        if (oracle_)
+            oracle_->onMemAccess(g->pc, tidOf(g->warp, lane), isStore,
+                                 addr);
         if (in.op == Op::Ld)
             reg(g->warp, lane, in.rd) = mem.read(addr);
         else
@@ -1154,6 +1163,10 @@ Wpu::execBar(SimdGroup *g, Cycle now)
         fprintf(stderr, "[%llu] BAR-ARRIVE wpu%d warp%d group%d pc=%d "
                 "mask=%llx\n", (unsigned long long)now, wpuId, w, g->id,
                 g->pc, (unsigned long long)g->mask);
+    if (oracle_) {
+        for (int lane : Lanes(g->mask))
+            oracle_->onBarrier(g->pc, tidOf(g->warp, lane));
+    }
     kbar->arrive(popcount(g->mask), g->pc, now);
 }
 

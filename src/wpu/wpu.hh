@@ -42,6 +42,8 @@
 
 namespace dws {
 
+class ExecutionOracle;
+
 /** One warp processing unit. */
 class Wpu : public EventTarget
 {
@@ -155,6 +157,13 @@ class Wpu : public EventTarget
      * scheduler and WST. Call before launch(); purely observational.
      */
     void setTracer(Tracer *t);
+
+    /**
+     * Attach the static-analysis cross-validation oracle (nullptr =
+     * off). Call before launch(); purely observational — hooks never
+     * change simulation results.
+     */
+    void setOracle(ExecutionOracle *o) { oracle_ = o; }
 
     /** @return a metrics-timeline sample of this WPU's current state. */
     TraceEpochSample traceSample() const;
@@ -276,6 +285,7 @@ class Wpu : public EventTarget
 
     /** Structured tracer; nullptr (the default) means tracing is off. */
     Tracer *trace_ = nullptr;
+    ExecutionOracle *oracle_ = nullptr;
 
     WpuId wpuId;
     SystemConfig cfg;

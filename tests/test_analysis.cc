@@ -9,6 +9,8 @@
 
 #include "analysis/divergence.hh"
 #include "analysis/invariants.hh"
+#include "analysis/oracle.hh"
+#include "analysis/report.hh"
 #include "analysis/verifier.hh"
 #include "harness/runner.hh"
 #include "harness/system.hh"
@@ -85,8 +87,12 @@ TEST(Verifier, MissingHaltIsError)
 
 TEST(Verifier, UseBeforeDefIsWarningOnly)
 {
+    // r2 is written only on the fall-through path; the read at the
+    // join may still observe the launch zero.
     std::vector<Instr> code{
-        Instr{.op = Op::Add, .rd = 2, .ra = 3, .rb = 4},
+        Instr{.op = Op::Br, .ra = 0, .target = 2},
+        Instr{.op = Op::Movi, .rd = 2, .imm = 5},
+        Instr{.op = Op::Add, .rd = 3, .ra = 2, .rb = 2},
         Instr{.op = Op::Halt}};
     const auto diags = Verifier::verify(code);
     EXPECT_FALSE(hasErrors(diags));
@@ -432,6 +438,404 @@ TEST(Invariants, ReviveSplitKernelsPassEveryCycleAudit)
         const RunResult r = runKernel(name, cfg, KernelScale::Tiny);
         EXPECT_TRUE(r.valid) << name;
     }
+}
+
+// --- dataflow passes: adversarial programs --------------------------
+
+/** First diagnostic emitted by `pass` and anchored at `pc` (or null). */
+const Diagnostic *
+findDiag(const StaticReport &rep, const std::string &pass, Pc pc)
+{
+    for (const Diagnostic &d : rep.diags)
+        if (d.pass == pass && d.pc == pc)
+            return &d;
+    return nullptr;
+}
+
+AnalysisInput
+smallInput(std::uint64_t memBytes = 1024, std::int64_t threads = 8)
+{
+    AnalysisInput in;
+    in.memBytes = memBytes;
+    in.numThreads = threads;
+    return in;
+}
+
+TEST(Analyzer, UninitReadFlaggedWithLocation)
+{
+    // r2 is written on the fall-through path only; the read at pc 2
+    // sees the launch zero when the branch is taken.
+    std::vector<Instr> code{
+            Instr{.op = Op::Br, .ra = 0, .target = 2},
+            Instr{.op = Op::Movi, .rd = 2, .imm = 5},
+            Instr{.op = Op::Add, .rd = 3, .ra = 2, .rb = 2},
+            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput());
+    const Diagnostic *d = findDiag(rep, "init", 2);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_NE(d->message.find("r2"), std::string::npos);
+    EXPECT_GE(d->block, 0);
+    EXPECT_FALSE(d->snippet.empty());
+}
+
+TEST(Analyzer, NeverWrittenRegisterIsZeroIdiomNotUninit)
+{
+    // r30 is never written anywhere: that is the builder's deliberate
+    // zero-register idiom, not a missed initialization.
+    std::vector<Instr> code{
+            Instr{.op = Op::Add, .rd = 2, .ra = 30, .rb = 30},
+            Instr{.op = Op::St, .ra = 2, .rb = 2},
+            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput());
+    for (const Diagnostic &d : rep.diags)
+        EXPECT_NE(d.pass, "init") << toString(d);
+}
+
+TEST(Analyzer, OutOfBoundsLoadIsError)
+{
+    std::vector<Instr> code{
+            Instr{.op = Op::Movi, .rd = 2, .imm = 4096},
+            Instr{.op = Op::Ld, .rd = 3, .ra = 2},
+            Instr{.op = Op::St, .ra = 2, .rb = 3, .imm = -4096},
+            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput(1024));
+    const Diagnostic *d = findDiag(rep, "range", 1);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Error);
+    EXPECT_EQ(rep.oobAccesses, 1);
+    ASSERT_EQ(rep.accesses.size(), 2u);
+    EXPECT_EQ(rep.accesses[0].verdict, MemVerdict::OutOfBounds);
+    EXPECT_FALSE(rep.accesses[0].isStore);
+    // The store at pc 2 lands on byte 0 and must stay clean.
+    EXPECT_EQ(rep.accesses[1].verdict, MemVerdict::Proved);
+    EXPECT_EQ(findDiag(rep, "range", 2), nullptr);
+}
+
+TEST(Analyzer, OutOfBoundsStoreIsError)
+{
+    // addr = -8: provably below the valid range on every path.
+    std::vector<Instr> code{
+            Instr{.op = Op::Movi, .rd = 2, .imm = -8},
+            Instr{.op = Op::St, .ra = 2, .rb = 30},
+            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput());
+    const Diagnostic *d = findDiag(rep, "range", 1);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Error);
+    ASSERT_EQ(rep.accesses.size(), 1u);
+    EXPECT_TRUE(rep.accesses[0].isStore);
+    EXPECT_EQ(rep.accesses[0].verdict, MemVerdict::OutOfBounds);
+}
+
+TEST(Analyzer, MaskedAccessIsProvedInBounds)
+{
+    // andi clamps the index to [0,7]; shli scales to byte offsets
+    // [0,56], inside the 64-byte arena for an 8-byte word.
+    std::vector<Instr> code{
+            Instr{.op = Op::Andi, .rd = 2, .ra = 0, .imm = 7},
+            Instr{.op = Op::Shli, .rd = 2, .ra = 2, .imm = 3},
+            Instr{.op = Op::Ld, .rd = 3, .ra = 2},
+            Instr{.op = Op::St, .ra = 2, .rb = 3},
+            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput(64));
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.provedAccesses, 2);
+    EXPECT_EQ(rep.oobAccesses, 0);
+    ASSERT_EQ(rep.accesses.size(), 2u);
+    EXPECT_EQ(rep.accesses[0].addr.lo, 0);
+    EXPECT_EQ(rep.accesses[0].addr.hi, 56);
+}
+
+TEST(Analyzer, DivergentBarrierIsError)
+{
+    // Odd threads branch around the barrier: classic barrier
+    // divergence, provably non-uniform.
+    std::vector<Instr> code{
+            Instr{.op = Op::Andi, .rd = 2, .ra = 0, .imm = 1},
+            Instr{.op = Op::Br, .ra = 2, .target = 3},
+            Instr{.op = Op::Bar},
+            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput());
+    const Diagnostic *d = findDiag(rep, "barrier", 2);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Error);
+    ASSERT_EQ(rep.barrierUniform.size(), code.size());
+    EXPECT_FALSE(rep.barrierUniform[2]);
+    EXPECT_EQ(rep.barriers, 1);
+    EXPECT_EQ(rep.uniformBarriers, 0);
+}
+
+TEST(Analyzer, UniformBarrierIsClean)
+{
+    std::vector<Instr> code{Instr{.op = Op::Bar},
+                            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput());
+    EXPECT_TRUE(rep.clean());
+    ASSERT_EQ(rep.barrierUniform.size(), code.size());
+    EXPECT_TRUE(rep.barrierUniform[0]);
+    EXPECT_EQ(rep.uniformBarriers, 1);
+}
+
+TEST(Analyzer, DeadStoreFlaggedWithLocation)
+{
+    // The movi at pc 0 is overwritten before any read.
+    std::vector<Instr> code{
+            Instr{.op = Op::Movi, .rd = 2, .imm = 1},
+            Instr{.op = Op::Movi, .rd = 2, .imm = 0},
+            Instr{.op = Op::Ld, .rd = 3, .ra = 2},
+            Instr{.op = Op::St, .ra = 2, .rb = 3},
+            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput(64));
+    const Diagnostic *d = findDiag(rep, "deadstore", 0);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_NE(d->message.find("dead store"), std::string::npos);
+    EXPECT_EQ(findDiag(rep, "deadstore", 1), nullptr);
+}
+
+TEST(Analyzer, LoopWithNoExitIsFlagged)
+{
+    std::vector<Instr> code{
+            Instr{.op = Op::Movi, .rd = 2, .imm = 0},
+            Instr{.op = Op::Addi, .rd = 2, .ra = 2, .imm = 1},
+            Instr{.op = Op::Jmp, .target = 1},
+            Instr{.op = Op::Halt}};
+    const StaticReport rep =
+            StaticAnalyzer::analyze(code, smallInput());
+    const Diagnostic *d = findDiag(rep, "loopbound", 1);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_NE(d->message.find("no exit"), std::string::npos);
+    ASSERT_EQ(rep.loops.size(), 1u);
+    EXPECT_EQ(rep.loops[0].loop.header, 1);
+}
+
+TEST(Analyzer, CountedLoopIsStaticallyBounded)
+{
+    KernelBuilder b;
+    b.movi(2, 0);
+    const auto loop = b.newLabel();
+    b.bind(loop);
+    b.addi(2, 2, 1);
+    b.slti(3, 2, 10);
+    b.br(3, loop);
+    b.halt();
+    const StaticReport rep = StaticAnalyzer::analyze(
+            b.build("counted").instructions(), smallInput());
+    ASSERT_EQ(rep.loops.size(), 1u);
+    EXPECT_EQ(rep.loops[0].kind, LoopBoundKind::StaticallyBounded);
+    EXPECT_EQ(rep.loops[0].inductionReg, 2);
+    EXPECT_GE(rep.loops[0].maxTrips, 9);
+    EXPECT_LE(rep.loops[0].maxTrips, 10);
+    EXPECT_EQ(rep.staticLoops, 1);
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(Analyzer, ThreadCountLoopIsInputBounded)
+{
+    // Bound is r1 (thread count); with no launch knowledge the trip
+    // count terminates but depends on runtime input.
+    KernelBuilder b;
+    b.movi(2, 0);
+    const auto loop = b.newLabel();
+    b.bind(loop);
+    b.addi(2, 2, 1);
+    b.slt(3, 2, 1);
+    b.br(3, loop);
+    b.halt();
+    AnalysisInput in = smallInput();
+    in.numThreads = 0; // unknown launch width
+    const StaticReport rep = StaticAnalyzer::analyze(
+            b.build("ntloop").instructions(), in);
+    ASSERT_EQ(rep.loops.size(), 1u);
+    EXPECT_EQ(rep.loops[0].kind, LoopBoundKind::InputBounded);
+    EXPECT_EQ(rep.inputLoops, 1);
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(Analyzer, AllKernelsProveCleanUnderEveryPass)
+{
+    // The acceptance bar for the analyzer: zero errors AND zero
+    // warnings on every shipped kernel (notes are fine).
+    for (const auto &name : kernelNames()) {
+        KernelParams kp;
+        const auto kernel = makeKernel(name, kp);
+        ASSERT_NE(kernel, nullptr) << name;
+        AnalysisInput in;
+        in.memBytes = kernel->memBytes();
+        in.numThreads = 256;
+        const StaticReport rep =
+                StaticAnalyzer::analyze(kernel->buildProgram(), in);
+        EXPECT_TRUE(rep.clean())
+                << name << ": "
+                << (rep.diags.empty() ? std::string("(no diags)")
+                                      : toString(rep.diags.front()));
+        EXPECT_EQ(rep.oobAccesses, 0) << name;
+    }
+}
+
+// --- dynamic oracle: execution vs. static claims --------------------
+
+TEST(Oracle, KernelsNeverContradictStaticClaims)
+{
+    const PolicyConfig policies[] = {PolicyConfig::conv(),
+                                     PolicyConfig::reviveSplit(),
+                                     PolicyConfig::adaptiveSlip()};
+    for (const auto &name : kernelNames()) {
+        for (const PolicyConfig &pol : policies) {
+            SystemConfig cfg = testConfig(8, 2, 2);
+            cfg.policy = pol;
+            cfg.checkOracle = true;
+            KernelParams kp;
+            kp.scale = KernelScale::Tiny;
+            kp.seed = cfg.seed;
+            kp.subdivThreshold = cfg.policy.subdivMaxPostBlock;
+            const auto kernel = makeKernel(name, kp);
+            ASSERT_NE(kernel, nullptr) << name;
+            System sys(cfg, *kernel);
+            ASSERT_NE(sys.oracle(), nullptr);
+            sys.oracle()->setCollect(true);
+            sys.run();
+            EXPECT_TRUE(kernel->validate(sys.memory()))
+                    << name << "/" << pol.name();
+            EXPECT_GT(sys.oracle()->checksPerformed(), 0u) << name;
+            const auto &bad = sys.oracle()->contradictions();
+            EXPECT_TRUE(bad.empty())
+                    << name << "/" << pol.name() << ": " << bad.front();
+        }
+    }
+}
+
+TEST(Oracle, IsPurelyObservational)
+{
+    // Golden fingerprints must not move: the oracle may read
+    // architectural state but never perturb timing or results.
+    KernelParams kp;
+    kp.scale = KernelScale::Tiny;
+    SystemConfig cfg = testConfig(8, 2, 2);
+    cfg.policy = PolicyConfig::reviveSplit();
+    kp.seed = cfg.seed;
+    kp.subdivThreshold = cfg.policy.subdivMaxPostBlock;
+
+    const auto kernel = makeKernel("Merge", kp);
+    ASSERT_NE(kernel, nullptr);
+    System plain(cfg, *kernel);
+    const RunStats base = plain.run();
+
+    cfg.checkOracle = true;
+    System checked(cfg, *kernel);
+    const RunStats withOracle = checked.run();
+
+    EXPECT_EQ(base.cycles, withOracle.cycles);
+    EXPECT_EQ(base.totalScalarInstrs(), withOracle.totalScalarInstrs());
+    EXPECT_TRUE(kernel->validate(checked.memory()));
+}
+
+TEST(Oracle, DetectsFalseInitClaim)
+{
+    // Doctor a report that claims r5 is initialized on every path to
+    // pc 0; the first issue reads r5 without a write and must trip.
+    std::vector<Instr> code{
+            Instr{.op = Op::Add, .rd = 3, .ra = 5, .rb = 5},
+            Instr{.op = Op::Halt}};
+    StaticReport rep;
+    rep.mustInit.assign(code.size(), RegSet(1) << 5);
+    ExecutionOracle oracle(code, rep, 1);
+    oracle.setCollect(true);
+    oracle.onIssue(0, 0);
+    ASSERT_FALSE(oracle.contradictions().empty());
+    EXPECT_NE(oracle.contradictions().front().find("r5"),
+              std::string::npos);
+}
+
+TEST(Oracle, DetectsOutOfIntervalAccess)
+{
+    std::vector<Instr> code{Instr{.op = Op::Ld, .rd = 2, .ra = 3},
+                            Instr{.op = Op::Halt}};
+    StaticReport rep;
+    MemAccessClaim claim;
+    claim.pc = 0;
+    claim.isStore = false;
+    claim.addr = Interval{0, 8};
+    claim.verdict = MemVerdict::Proved;
+    rep.accesses.push_back(claim);
+    ExecutionOracle oracle(code, rep, 1);
+    oracle.setCollect(true);
+    oracle.onMemAccess(0, 0, false, 8); // inside: no contradiction
+    EXPECT_TRUE(oracle.contradictions().empty());
+    oracle.onMemAccess(0, 0, false, 64); // outside the proven interval
+    ASSERT_FALSE(oracle.contradictions().empty());
+    EXPECT_NE(oracle.contradictions().front().find("outside"),
+              std::string::npos);
+}
+
+TEST(Oracle, DetectsLoopBoundOvershoot)
+{
+    // header = pc 0, latch = pc 1, claimed bound: 1 iteration.
+    std::vector<Instr> code{
+            Instr{.op = Op::Addi, .rd = 2, .ra = 2, .imm = 1},
+            Instr{.op = Op::Jmp, .target = 0},
+            Instr{.op = Op::Halt}};
+    StaticReport rep;
+    LoopBound lb;
+    lb.loop.header = 0;
+    lb.loop.latches = {1};
+    lb.loop.body = {true, true, false};
+    lb.kind = LoopBoundKind::StaticallyBounded;
+    lb.maxTrips = 1;
+    rep.loops.push_back(lb);
+    ExecutionOracle oracle(code, rep, 1);
+    oracle.setCollect(true);
+    oracle.onIssue(0, 0); // entry: 0 trips
+    oracle.onIssue(1, 0);
+    oracle.onIssue(0, 0); // back edge: trip 1, at the bound
+    EXPECT_TRUE(oracle.contradictions().empty());
+    oracle.onIssue(1, 0);
+    oracle.onIssue(0, 0); // trip 2: exceeds the proven bound
+    ASSERT_FALSE(oracle.contradictions().empty());
+    EXPECT_NE(oracle.contradictions().front().find("iterated"),
+              std::string::npos);
+}
+
+TEST(Oracle, DetectsNonLockstepUniformBarrier)
+{
+    std::vector<Instr> code{Instr{.op = Op::Bar},
+                            Instr{.op = Op::Bar},
+                            Instr{.op = Op::Halt}};
+    StaticReport rep;
+    rep.barrierUniform = {true, true, false};
+    ExecutionOracle oracle(code, rep, 2);
+    oracle.setCollect(true);
+    oracle.onBarrier(0, 0); // thread 0 opens round 0 at pc 0
+    oracle.onBarrier(1, 1); // thread 1's round 0 is at pc 1: not
+                            // lockstep
+    ASSERT_FALSE(oracle.contradictions().empty());
+    EXPECT_NE(oracle.contradictions().front().find("lockstep"),
+              std::string::npos);
+}
+
+TEST(Oracle, FinishCatchesMissedBarrierRounds)
+{
+    std::vector<Instr> code{Instr{.op = Op::Bar},
+                            Instr{.op = Op::Halt}};
+    StaticReport rep;
+    rep.barrierUniform = {true, false};
+    ExecutionOracle oracle(code, rep, 2);
+    oracle.setCollect(true);
+    oracle.onBarrier(0, 0); // only thread 0 ever arrives
+    oracle.finish();
+    ASSERT_FALSE(oracle.contradictions().empty());
+    EXPECT_NE(oracle.contradictions().front().find("rounds"),
+              std::string::npos);
 }
 
 } // namespace

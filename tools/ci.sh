@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Full CI sweep: Release build + tests + static lint + the simulator
+# Full CI sweep: Release build + tests + gating static analysis
+# (dws_lint --all --json, archived to LINT_report.json, plus a
+# dws_sim --check-oracle sweep proving execution never contradicts a
+# static claim) + the simulator
 # throughput benchmark (archived to BENCH_throughput.json), then the
 # tracing subsystem (fingerprint neutrality, a traced figure bench
 # validated with dws_trace check + Perfetto convert, tracing overhead
@@ -25,8 +28,35 @@ cmake --build build-ci-release -j "$JOBS"
 echo "=== Release: ctest ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
 
-echo "=== Release: dws_lint --all ==="
-./build-ci-release/tools/dws_lint --all
+echo "=== Release: dws_lint --all (gating; report archived) ==="
+# Exit 0 required: any error OR warning from the dataflow passes
+# (init, deadstore, range, barrier, loopbound) fails CI. The JSON
+# report is archived next to the benchmark records.
+./build-ci-release/tools/dws_lint --all --json LINT_report.json
+python3 - <<'EOF'
+import json
+reps = json.load(open("LINT_report.json"))
+assert len(reps) >= 8, "expected a report per kernel, got %d" % len(reps)
+dirty = [r["kernel"] for r in reps
+         if r["errors"] or r["warnings"] or not r["clean"]]
+assert not dirty, "kernels not lint-clean: %r" % dirty
+proved = sum(r["stats"]["accesses_proved"] for r in reps)
+oob = sum(r["stats"]["accesses_out_of_bounds"] for r in reps)
+assert oob == 0, "out-of-bounds accesses in shipped kernels"
+print("  %d kernels clean; %d accesses proved in bounds; "
+      "archived LINT_report.json" % (len(reps), proved))
+EOF
+
+echo "=== Release: static-claim oracle (dws_sim --check-oracle) ==="
+# Re-run every kernel with the execution oracle armed: the simulator
+# panics if any run contradicts a claim the static passes proved.
+for k in $(./build-ci-release/tools/dws_sim --list); do
+    for p in conv revive slip; do
+        ./build-ci-release/tools/dws_sim --kernel "$k" --policy "$p" \
+            --scale tiny --check-oracle --quiet >/dev/null
+    done
+    echo "  $k: conv/revive/slip agree with the static claims"
+done
 
 echo "=== Release: simulator throughput benchmark ==="
 ./build-ci-release/bench/bench_throughput --fast \
@@ -147,7 +177,7 @@ echo "=== TSan: multi-job figure bench ==="
 ./build-ci-tsan/bench/bench_fig13_schemes --fast --jobs 4 >/dev/null
 echo "  bench_fig13_schemes --fast --jobs 4: clean"
 
-echo "=== clang-tidy (skipped automatically if not installed) ==="
+echo "=== clang-tidy (blocking; skipped only if not installed) ==="
 tools/run_tidy.sh
 
 echo "CI passed."

@@ -1,74 +1,112 @@
 /**
  * @file
- * dws_lint: static analysis front end for the built-in kernels.
+ * dws_lint: the static analyzer front end for the built-in kernels.
  *
- * Runs the IR verifier (structural checks + post-dominator cross-check)
- * and the static divergence analysis over one kernel or all of them,
- * printing each diagnostic and a per-branch divergence verdict.
+ * Runs every static pass (see analysis/report.hh) over one kernel or
+ * all of them: the structural verifier, maybe-uninitialized reads,
+ * dead stores, interval value-range analysis with out-of-bounds
+ * proofs for every Ld/St against the kernel's declared memory size,
+ * the barrier-divergence check, and loop-bound classification. Every
+ * diagnostic carries its pass, pc, basic block and a disassembly
+ * snippet.
  *
  *   dws_lint --all
  *   dws_lint --kernel Merge --verbose
- *   dws_lint --list
+ *   dws_lint --all --json lint.json
  *
- * Exits 0 when every linted kernel is free of errors (warnings are
- * reported but do not fail the run unless --werror is given), 1 on any
- * error, 2 on usage problems.
+ * Exit codes: 0 every linted kernel is clean (no errors, no
+ * warnings; notes are informational), 1 any error, 2 usage problems
+ * (unknown flag, unknown kernel, no kernel selected), 3 warnings but
+ * no errors (--werror turns this into 1).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "analysis/divergence.hh"
-#include "analysis/verifier.hh"
+#include "analysis/report.hh"
 #include "isa/disasm.hh"
 #include "kernels/kernel.hh"
-#include "sim/logging.hh"
+#include "sim/config.hh"
+#include "sim/json_writer.hh"
 
 using namespace dws;
 
 namespace {
 
 void
-usage()
+usage(std::FILE *out)
 {
-    std::puts(
+    std::fputs(
         "usage: dws_lint [options]\n"
         "  --kernel NAME   lint one benchmark (repeatable)\n"
         "  --all           lint every built-in benchmark\n"
         "  --scale S       tiny | default (input-size preset)\n"
         "  --subdiv N      branch heuristic bound (instrs)\n"
+        "  --threads N     launch thread count the prover assumes\n"
+        "                  (default: the standard system configuration)\n"
+        "  --json PATH     write a structured report (JSON array,\n"
+        "                  one object per kernel)\n"
         "  --verbose       also print per-branch divergence verdicts\n"
+        "                  and per-access proof results\n"
         "  --werror        treat warnings as errors\n"
-        "  --list          print benchmark names and exit");
+        "  --list          print benchmark names and exit\n"
+        "exit codes: 0 clean, 1 errors, 2 usage, 3 warnings only\n",
+        out);
 }
 
-/** @return number of errors found (after --werror promotion). */
-int
-lintKernel(const std::string &name, const KernelParams &kp, bool verbose,
-           bool werror)
+struct LintTotals
+{
+    int errors = 0;
+    int warnings = 0;
+};
+
+void
+lintKernel(const std::string &name, const KernelParams &kp,
+           std::int64_t threads, bool verbose, bool werror,
+           LintTotals &totals, JsonWriter *json)
 {
     auto kernel = makeKernel(name, kp);
-    if (!kernel)
-        fatal("unknown kernel '%s' (try --list)", name.c_str());
-
     const Program prog = kernel->buildProgram();
-    std::vector<Diagnostic> diags = Verifier::verify(prog);
-    if (werror)
-        for (Diagnostic &d : diags)
-            d.severity = Severity::Error;
 
-    const DivergenceReport rep =
-            DivergenceAnalysis::analyze(prog.instructions());
-    std::printf("%s: %d instrs, %d branches (%d divergent, %d uniform), "
-                "%d error(s), %d warning(s)\n",
-                prog.name().c_str(), prog.size(),
-                rep.uniformBranches + rep.divergentBranches,
-                rep.divergentBranches, rep.uniformBranches,
-                countSeverity(diags, Severity::Error),
-                countSeverity(diags, Severity::Warning));
-    for (const Diagnostic &d : diags)
+    AnalysisInput input;
+    input.memBytes = kernel->memBytes();
+    input.numThreads = threads;
+    StaticReport rep = StaticAnalyzer::analyze(prog, input);
+    if (werror)
+        for (Diagnostic &d : rep.diags)
+            if (d.severity == Severity::Warning)
+                d.severity = Severity::Error;
+
+    int divergent = 0;
+    int uniform = 0;
+    for (Pc pc = 0; pc < prog.size(); pc++) {
+        if (prog.at(pc).op != Op::Br)
+            continue;
+        if (prog.branchInfo(pc).mayDiverge)
+            divergent++;
+        else
+            uniform++;
+    }
+
+    std::printf("%s: %d instrs, %d error(s), %d warning(s), %d note(s)\n",
+                prog.name().c_str(), prog.size(), rep.errors(),
+                rep.warnings(), rep.notes());
+    std::printf("  branches:  %d divergent, %d uniform\n", divergent,
+                uniform);
+    std::printf("  accesses:  %d proved in-bounds, %d unproved, "
+                "%d out-of-bounds\n",
+                rep.provedAccesses, rep.unprovedAccesses,
+                rep.oobAccesses);
+    std::printf("  barriers:  %d uniform of %d\n", rep.uniformBarriers,
+                rep.barriers);
+    std::printf("  loops:     %d static, %d input-bounded, %d unknown\n",
+                rep.staticLoops, rep.inputLoops, rep.unknownLoops);
+    for (const Diagnostic &d : rep.diags)
         std::printf("  %s\n", toString(d).c_str());
 
     if (verbose) {
@@ -79,13 +117,24 @@ lintKernel(const std::string &name, const KernelParams &kp, bool verbose,
             const BranchInfo &bi = prog.branchInfo(pc);
             std::printf("  @pc %3d: %-28s %s, ipdom %d, post block %d%s\n",
                         pc, disasm(in).c_str(),
-                        rep.mayDiverge(pc) ? "divergent" : "uniform  ",
+                        bi.mayDiverge ? "divergent" : "uniform  ",
                         bi.ipdom, bi.postBlockLen,
                         (in.flags & kFlagSubdividable) ? ", subdividable"
                                                        : "");
         }
+        for (const MemAccessClaim &a : rep.accesses) {
+            std::printf("  @pc %3d: %-28s %s [%lld, %lld]\n", a.pc,
+                        disasm(prog.at(a.pc)).c_str(),
+                        memVerdictName(a.verdict), (long long)a.addr.lo,
+                        (long long)a.addr.hi);
+        }
     }
-    return countSeverity(diags, Severity::Error);
+
+    if (json)
+        writeReportJson(*json, rep, prog.name(), prog.size());
+
+    totals.errors += rep.errors();
+    totals.warnings += rep.warnings();
 }
 
 } // namespace
@@ -95,6 +144,8 @@ main(int argc, char **argv)
 {
     std::vector<std::string> names;
     KernelParams kp;
+    std::int64_t threads = SystemConfig{}.totalThreads();
+    std::string jsonPath;
     bool all = false;
     bool verbose = false;
     bool werror = false;
@@ -102,7 +153,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; i++) {
         const char *a = argv[i];
         if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
-            usage();
+            usage(stdout);
             return 0;
         } else if (!std::strcmp(a, "--list")) {
             for (const auto &n : kernelNames())
@@ -116,18 +167,33 @@ main(int argc, char **argv)
             werror = true;
         } else if (!std::strcmp(a, "--kernel") && i + 1 < argc) {
             names.push_back(argv[++i]);
+        } else if (!std::strcmp(a, "--json") && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (!std::strcmp(a, "--threads") && i + 1 < argc) {
+            threads = std::atoll(argv[++i]);
+            if (threads < 0) {
+                std::fprintf(stderr,
+                             "dws_lint: --threads must be >= 0 "
+                             "(0 = unknown)\n");
+                return 2;
+            }
         } else if (!std::strcmp(a, "--scale") && i + 1 < argc) {
             const std::string s = argv[++i];
-            if (s == "tiny")
+            if (s == "tiny") {
                 kp.scale = KernelScale::Tiny;
-            else if (s == "default")
+            } else if (s == "default") {
                 kp.scale = KernelScale::Default;
-            else
-                fatal("unknown scale '%s'", s.c_str());
+            } else {
+                std::fprintf(stderr, "dws_lint: unknown scale '%s'\n",
+                             s.c_str());
+                usage(stderr);
+                return 2;
+            }
         } else if (!std::strcmp(a, "--subdiv") && i + 1 < argc) {
             kp.subdivThreshold = std::atoi(argv[++i]);
         } else {
-            usage();
+            std::fprintf(stderr, "dws_lint: unknown option '%s'\n", a);
+            usage(stderr);
             return 2;
         }
     }
@@ -135,14 +201,49 @@ main(int argc, char **argv)
     if (all)
         names = kernelNames();
     if (names.empty()) {
-        usage();
+        std::fprintf(stderr, "dws_lint: no kernel selected\n");
+        usage(stderr);
         return 2;
     }
+    for (const std::string &n : names) {
+        if (!makeKernel(n, kp)) {
+            std::fprintf(stderr,
+                         "dws_lint: unknown kernel '%s' (try --list)\n",
+                         n.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
 
-    int errors = 0;
+    std::ofstream jsonFile;
+    std::unique_ptr<JsonWriter> json;
+    if (!jsonPath.empty()) {
+        jsonFile.open(jsonPath);
+        if (!jsonFile) {
+            std::fprintf(stderr, "dws_lint: cannot open '%s'\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+        json = std::make_unique<JsonWriter>(jsonFile, 2);
+        json->beginArray();
+    }
+
+    LintTotals totals;
     for (const std::string &n : names)
-        errors += lintKernel(n, kp, verbose, werror);
-    if (errors > 0)
-        std::printf("dws_lint: %d error(s) total\n", errors);
-    return errors > 0 ? 1 : 0;
+        lintKernel(n, kp, threads, verbose, werror, totals, json.get());
+
+    if (json) {
+        json->endArray();
+        jsonFile << "\n";
+    }
+
+    if (totals.errors > 0) {
+        std::printf("dws_lint: %d error(s) total\n", totals.errors);
+        return 1;
+    }
+    if (totals.warnings > 0) {
+        std::printf("dws_lint: %d warning(s) total\n", totals.warnings);
+        return 3;
+    }
+    return 0;
 }

@@ -55,6 +55,9 @@ usage()
         "  --check-invariants[=N]  audit runtime invariants every N\n"
         "                    cycles (default 256; 0 disables; Debug\n"
         "                    builds audit by default)\n"
+        "  --check-oracle    cross-validate the static-analysis claims\n"
+        "                    against the execution (panics on any\n"
+        "                    contradiction)\n"
         "  --trace[=MODE]    record a structured trace; MODE is events,\n"
         "                    timeline or all (default all)\n"
         "  --trace-out FILE  trace destination (default trace.dwst);\n"
@@ -176,6 +179,8 @@ main(int argc, char **argv)
             cfg.policy.subdivMaxPostBlock = static_cast<int>(intArg(i));
         } else if (!std::strcmp(a, "--min-split")) {
             cfg.policy.minSplitWidth = static_cast<int>(intArg(i));
+        } else if (!std::strcmp(a, "--check-oracle")) {
+            cfg.checkOracle = true;
         } else if (!std::strcmp(a, "--check-invariants")) {
             cfg.checkInvariants = 256;
         } else if (!std::strncmp(a, "--check-invariants=", 19)) {
@@ -346,6 +351,9 @@ main(int argc, char **argv)
         std::printf("  fault:            %s armed; run completed "
                     "without a structured abort\n",
                     cfg.faultSpec.c_str());
+    if (cfg.checkOracle)
+        std::printf("  oracle:           every static claim held "
+                    "(a contradiction would have panicked)\n");
     return exitCodeFor(r.valid ? SimOutcome::Ok
                                : SimOutcome::ValidationFailed);
 }
