@@ -7,6 +7,7 @@
 
 #include "sim/json_writer.hh"
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "sim/stats.hh"
 
 namespace dws {
@@ -79,10 +80,11 @@ int
 SweepExecutor::defaultJobs()
 {
     if (const char *env = std::getenv("DWS_JOBS")) {
-        const int n = std::atoi(env);
-        if (n < 1)
-            fatal("DWS_JOBS='%s' is not a positive integer", env);
-        return n;
+        const auto n = parseInt64InRange(env, 1, 4096);
+        if (!n)
+            fatal("DWS_JOBS='%s' is not a positive integer (max 4096)",
+                  env);
+        return static_cast<int>(*n);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;
@@ -222,7 +224,9 @@ SweepExecutor::setJournal(const std::string &path, bool resume)
         return; // nothing to resume from; the journal starts fresh
     std::string line;
     int restored = 0;
+    int lineNo = 0;
     while (std::getline(f, line)) {
+        lineNo++;
         Record rec;
         std::string tok;
         if (!journalField(line, "label", rec.label) ||
@@ -235,10 +239,31 @@ SweepExecutor::setJournal(const std::string &path, bool resume)
             rec.fingerprint.empty())
             continue;
         journalField(line, "policy", rec.policy);
-        if (journalField(line, "cycles", tok))
-            rec.cycles = std::strtoull(tok.c_str(), nullptr, 10);
-        if (journalField(line, "energy_nj", tok))
-            rec.energyNj = std::strtod(tok.c_str(), nullptr);
+        // A corrupt numeric token means the line cannot be trusted:
+        // treat the cell as not-completed so it is re-simulated,
+        // instead of silently resuming with cycles=0.
+        if (journalField(line, "cycles", tok)) {
+            const auto cycles = parseUint64(tok);
+            if (!cycles) {
+                warn("journal %s line %d: malformed cycles token '%s'; "
+                     "cell %s/%s will be re-simulated",
+                     path.c_str(), lineNo, tok.c_str(),
+                     rec.label.c_str(), rec.kernel.c_str());
+                continue;
+            }
+            rec.cycles = *cycles;
+        }
+        if (journalField(line, "energy_nj", tok)) {
+            const auto nj = parseFiniteDouble(tok.c_str());
+            if (!nj) {
+                warn("journal %s line %d: malformed energy_nj token "
+                     "'%s'; cell %s/%s will be re-simulated",
+                     path.c_str(), lineNo, tok.c_str(),
+                     rec.label.c_str(), rec.kernel.c_str());
+                continue;
+            }
+            rec.energyNj = *nj;
+        }
         rec.valid = true;
         rec.resumed = true;
         journaled[journalKey(rec.label, rec.kernel)] = std::move(rec);

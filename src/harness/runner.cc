@@ -12,6 +12,7 @@ runKernel(const std::string &kernelName, const SystemConfig &cfg,
     kp.scale = scale;
     kp.seed = cfg.seed;
     kp.subdivThreshold = cfg.policy.subdivMaxPostBlock;
+    kp.launchThreads = cfg.totalThreads();
     auto kernel = makeKernel(kernelName, kp);
     if (!kernel)
         fatal("unknown kernel '%s'", kernelName.c_str());

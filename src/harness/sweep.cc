@@ -6,8 +6,10 @@
 #include <cstring>
 
 #include "fault/fault.hh"
+#include "kernels/irfile.hh"
 #include "kernels/kernel.hh"
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "trace/trace.hh"
 
 namespace dws {
@@ -202,8 +204,9 @@ printUsage(const char *prog)
                  "[--trace[=MODE]] [--trace-out FILE]\n"
                  "  --fast        tiny kernel inputs (wide sweeps)\n"
                  "  --full        default (paper-scale) kernel inputs\n"
-                 "  --bench NAME  restrict to one benchmark "
-                 "(repeatable)\n"
+                 "  --bench NAME  restrict to one benchmark, or run a\n"
+                 "                textual IR file (path or *.dws; "
+                 "repeatable)\n"
                  "  --jobs N      simulation worker threads "
                  "(default: DWS_JOBS env, else hardware cores)\n"
                  "  --json FILE   write per-job results as JSON\n"
@@ -250,8 +253,14 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
             }
             const std::string name = argv[++i];
             const auto &known = kernelNames();
-            if (std::find(known.begin(), known.end(), name) ==
-                known.end()) {
+            const bool registered =
+                    std::find(known.begin(), known.end(), name) !=
+                    known.end();
+            // IR files are accepted too; assemble now so malformed
+            // files are rejected before the sweep starts.
+            if (!registered &&
+                !(looksLikeIrFile(name) &&
+                  makeKernel(name, KernelParams{}) != nullptr)) {
                 printUsage(argv[0]);
                 fatal("unknown benchmark '%s'", name.c_str());
             }
@@ -261,12 +270,15 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
                 printUsage(argv[0]);
                 fatal("--jobs requires a positive integer");
             }
-            opts.jobs = std::atoi(argv[++i]);
-            if (opts.jobs < 1) {
+            const auto jobs = parseInt64InRange(argv[++i], 1, 4096);
+            if (!jobs) {
                 printUsage(argv[0]);
-                fatal("--jobs '%s' is not a positive integer",
-                      argv[i]);
+                std::fprintf(stderr,
+                             "error: --jobs '%s' is not a positive "
+                             "integer (max 4096)\n", argv[i]);
+                std::exit(2);
             }
+            opts.jobs = static_cast<int>(*jobs);
         } else if (std::strcmp(arg, "--json") == 0) {
             if (i + 1 >= argc) {
                 printUsage(argv[0]);
@@ -302,23 +314,29 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
                 printUsage(argv[0]);
                 fatal("--timeout requires seconds");
             }
-            opts.timeoutSec = std::atof(argv[++i]);
-            if (opts.timeoutSec <= 0.0) {
+            const auto sec = parseFiniteDouble(argv[++i]);
+            if (!sec || *sec <= 0.0) {
                 printUsage(argv[0]);
-                fatal("--timeout '%s' is not a positive number",
-                      argv[i]);
+                std::fprintf(stderr,
+                             "error: --timeout '%s' is not a positive "
+                             "number of seconds\n", argv[i]);
+                std::exit(2);
             }
+            opts.timeoutSec = *sec;
         } else if (std::strcmp(arg, "--retry") == 0) {
             if (i + 1 >= argc) {
                 printUsage(argv[0]);
                 fatal("--retry requires an attempt count");
             }
-            opts.retryAttempts = std::atoi(argv[++i]);
-            if (opts.retryAttempts < 1) {
+            const auto n = parseInt64InRange(argv[++i], 1, 1000);
+            if (!n) {
                 printUsage(argv[0]);
-                fatal("--retry '%s' is not a positive integer",
-                      argv[i]);
+                std::fprintf(stderr,
+                             "error: --retry '%s' is not a positive "
+                             "integer (max 1000)\n", argv[i]);
+                std::exit(2);
             }
+            opts.retryAttempts = static_cast<int>(*n);
         } else if (std::strcmp(arg, "--inject") == 0) {
             if (i + 1 >= argc) {
                 printUsage(argv[0]);

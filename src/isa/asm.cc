@@ -1,0 +1,717 @@
+#include "isa/asm.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "analysis/verifier.hh"
+#include "mem/memory.hh"
+#include "sim/parse.hh"
+#include "sim/rng.hh"
+
+namespace dws {
+
+namespace {
+
+struct Token
+{
+    enum Kind { Ident, Number, Punct } kind = Ident;
+    std::string text{};
+};
+
+/** Split one comment-stripped line into tokens. */
+bool
+tokenizeLine(const std::string &line, std::vector<Token> &toks,
+             std::string &err)
+{
+    size_t i = 0;
+    while (i < line.size()) {
+        const char c = line[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.') {
+            size_t j = i + 1;
+            while (j < line.size() &&
+                   (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                    line[j] == '_' || line[j] == '.')) {
+                j++;
+            }
+            toks.push_back({Token::Ident, line.substr(i, j - i)});
+            i = j;
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   (c == '-' && i + 1 < line.size() &&
+                    std::isdigit(static_cast<unsigned char>(line[i + 1])))) {
+            size_t j = i + 1;
+            while (j < line.size() &&
+                   std::isalnum(static_cast<unsigned char>(line[j]))) {
+                j++;
+            }
+            toks.push_back({Token::Number, line.substr(i, j - i)});
+            i = j;
+        } else if (std::strchr(",[]+:=!@", c) != nullptr) {
+            toks.push_back({Token::Punct, std::string(1, c)});
+            i++;
+        } else {
+            err = std::string("unexpected character '") + c + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** A pc reference that may still be symbolic. */
+struct PcRef
+{
+    std::string label{}; ///< empty when absolute
+    Pc absolute = 0;
+    bool isEnd = false; ///< `@end` (annotation-only): kPcExit
+};
+
+/** Branch annotations to check after analysis. */
+struct BrAssert
+{
+    int line = 0;
+    bool subdividable = false;
+    bool uniform = false;
+    bool hasIpdom = false;
+    PcRef ipdom{};
+    bool hasPostblock = false;
+    std::int64_t postblock = 0;
+};
+
+/** Cursor over one instruction line's tokens. */
+struct Cursor
+{
+    const std::vector<Token> &toks;
+    size_t pos = 1; // mnemonic already consumed
+    std::string err{};
+
+    bool done() const { return pos >= toks.size(); }
+
+    bool
+    punct(const char *p)
+    {
+        if (pos < toks.size() && toks[pos].kind == Token::Punct &&
+            toks[pos].text == p) {
+            pos++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    expectPunct(const char *p)
+    {
+        if (punct(p))
+            return true;
+        if (err.empty())
+            err = std::string("expected '") + p + "'" + found();
+        return false;
+    }
+
+    std::string
+    found() const
+    {
+        if (pos >= toks.size())
+            return " at end of line";
+        return ", found '" + toks[pos].text + "'";
+    }
+
+    bool
+    expectReg(std::uint8_t &out)
+    {
+        if (pos < toks.size() && toks[pos].kind == Token::Ident &&
+            toks[pos].text.size() >= 2 && toks[pos].text[0] == 'r') {
+            const auto n = parseUint64(toks[pos].text.substr(1));
+            if (n) {
+                if (*n >= kNumRegs) {
+                    err = "register " + toks[pos].text +
+                          " out of range (max r" +
+                          std::to_string(kNumRegs - 1) + ")";
+                    return false;
+                }
+                out = static_cast<std::uint8_t>(*n);
+                pos++;
+                return true;
+            }
+        }
+        if (err.empty())
+            err = "expected register" + found();
+        return false;
+    }
+
+    bool
+    expectImm(std::int64_t &out)
+    {
+        if (pos < toks.size() && toks[pos].kind == Token::Number) {
+            const auto v = parseInt64(toks[pos].text);
+            if (!v) {
+                err = "immediate '" + toks[pos].text +
+                      "' is not a valid 64-bit integer";
+                return false;
+            }
+            out = *v;
+            pos++;
+            return true;
+        }
+        if (err.empty())
+            err = "expected immediate" + found();
+        return false;
+    }
+
+    /** A label identifier, `@pc`, or (if allowEnd) `@end`. */
+    bool
+    expectPcRef(PcRef &out, bool allowEnd)
+    {
+        if (punct("@")) {
+            if (allowEnd && pos < toks.size() &&
+                toks[pos].kind == Token::Ident && toks[pos].text == "end") {
+                out = PcRef{"", 0, true};
+                pos++;
+                return true;
+            }
+            if (pos < toks.size() && toks[pos].kind == Token::Number) {
+                const auto v = parseInt64(toks[pos].text);
+                if (!v || *v < 0 || *v > kMaxPcRef) {
+                    err = "absolute pc '@" + toks[pos].text +
+                          "' out of range";
+                    return false;
+                }
+                out = PcRef{"", static_cast<Pc>(*v), false};
+                pos++;
+                return true;
+            }
+            err = "expected pc after '@'" + found();
+            return false;
+        }
+        if (pos < toks.size() && toks[pos].kind == Token::Ident) {
+            out = PcRef{toks[pos].text, 0, false};
+            pos++;
+            return true;
+        }
+        if (err.empty())
+            err = "expected label or @pc" + found();
+        return false;
+    }
+
+    static constexpr std::int64_t kMaxPcRef = 1 << 20;
+};
+
+struct Assembler
+{
+    std::vector<AsmDiag> diags{};
+    AsmKernel out{};
+    bool sawKernel = false, sawSubdiv = false, sawMemBytes = false,
+         sawThreads = false;
+
+    std::vector<Instr> instrs{};
+    std::vector<int> instrLine{};
+    std::map<std::string, Pc> labels{};
+    std::map<std::string, int> labelLine{};
+    /** Per-instruction unresolved target (Br/Jmp only). */
+    std::map<int, std::pair<PcRef, int>> targetRefs{};
+    std::vector<BrAssert> brAsserts{};
+
+    void
+    error(int line, const std::string &msg)
+    {
+        diags.push_back(AsmDiag{line, msg});
+    }
+
+    void parseLine(const std::string &raw, int line);
+    void parseDirective(const std::string &raw,
+                        const std::vector<Token> &toks, int line);
+    void parseInstr(const std::vector<Token> &toks, int line);
+    bool resolvePcRef(const PcRef &ref, int line, const char *what,
+                      Pc &out);
+    std::optional<AsmKernel> finish();
+};
+
+void
+Assembler::parseLine(const std::string &raw, int line)
+{
+    // Strip comment and tokenize.
+    std::string text = raw;
+    const size_t semi = text.find(';');
+    if (semi != std::string::npos)
+        text.erase(semi);
+
+    std::vector<Token> toks;
+    std::string err;
+    if (!tokenizeLine(text, toks, err)) {
+        error(line, err);
+        return;
+    }
+    if (toks.empty())
+        return;
+
+    if (toks[0].kind == Token::Ident && toks[0].text[0] == '.') {
+        parseDirective(text, toks, line);
+        return;
+    }
+
+    // Label definition: `name:` alone on a line.
+    if (toks.size() == 2 && toks[0].kind == Token::Ident &&
+        toks[1].kind == Token::Punct && toks[1].text == ":") {
+        const std::string &name = toks[0].text;
+        if (labels.count(name)) {
+            error(line, "duplicate label '" + name + "' (first defined "
+                        "on line " + std::to_string(labelLine[name]) + ")");
+            return;
+        }
+        labels[name] = static_cast<Pc>(instrs.size());
+        labelLine[name] = line;
+        return;
+    }
+
+    parseInstr(toks, line);
+}
+
+void
+Assembler::parseDirective(const std::string &raw,
+                          const std::vector<Token> &toks, int line)
+{
+    const std::string &dir = toks[0].text;
+
+    const auto numberArgs = [&](size_t lo, size_t hi) -> bool {
+        if (toks.size() - 1 < lo || toks.size() - 1 > hi) {
+            error(line, dir + ": wrong number of arguments");
+            return false;
+        }
+        for (size_t i = 1; i < toks.size(); i++) {
+            if (toks[i].kind != Token::Number) {
+                error(line, dir + ": expected number, found '" +
+                            toks[i].text + "'");
+                return false;
+            }
+        }
+        return true;
+    };
+    const auto u64At = [&](size_t i, std::uint64_t &v) -> bool {
+        const auto p = parseUint64(toks[i].text);
+        if (!p) {
+            error(line, dir + ": '" + toks[i].text +
+                        "' is not a valid unsigned 64-bit value");
+            return false;
+        }
+        v = *p;
+        return true;
+    };
+
+    if (dir == ".kernel") {
+        // The name is the rest of the raw line, whitespace-trimmed.
+        if (sawKernel) {
+            error(line, "duplicate .kernel directive");
+            return;
+        }
+        size_t start = raw.find(".kernel") + std::strlen(".kernel");
+        size_t end = raw.size();
+        while (start < end &&
+               std::isspace(static_cast<unsigned char>(raw[start])))
+            start++;
+        while (end > start &&
+               std::isspace(static_cast<unsigned char>(raw[end - 1])))
+            end--;
+        if (start >= end) {
+            error(line, ".kernel: missing name");
+            return;
+        }
+        out.name = raw.substr(start, end - start);
+        sawKernel = true;
+    } else if (dir == ".subdiv") {
+        if (sawSubdiv) {
+            error(line, "duplicate .subdiv directive");
+            return;
+        }
+        if (!numberArgs(1, 1))
+            return;
+        const auto v = parseInt64InRange(toks[1].text.c_str(), 0, 100000);
+        if (!v) {
+            error(line, ".subdiv: expected a value in [0, 100000], got '" +
+                        toks[1].text + "'");
+            return;
+        }
+        out.subdivThreshold = static_cast<int>(*v);
+        sawSubdiv = true;
+    } else if (dir == ".membytes") {
+        if (sawMemBytes) {
+            error(line, "duplicate .membytes directive");
+            return;
+        }
+        if (!numberArgs(1, 1) || !u64At(1, out.memBytes))
+            return;
+        sawMemBytes = true;
+    } else if (dir == ".threads") {
+        if (sawThreads) {
+            error(line, "duplicate .threads directive");
+            return;
+        }
+        if (!numberArgs(1, 1))
+            return;
+        const auto v = parseInt64InRange(toks[1].text.c_str(), 1,
+                                         1 << 24);
+        if (!v) {
+            error(line, ".threads: expected a value in [1, 16777216], "
+                        "got '" + toks[1].text + "'");
+            return;
+        }
+        out.threads = *v;
+        sawThreads = true;
+    } else if (dir == ".data") {
+        if (toks.size() < 3) {
+            error(line, ".data: expected ADDR followed by at least one "
+                        "word");
+            return;
+        }
+        AsmData seg;
+        if (toks[1].kind != Token::Number || !u64At(1, seg.addr))
+            return;
+        if (seg.addr % kWordBytes != 0) {
+            error(line, ".data: address must be 8-byte aligned");
+            return;
+        }
+        for (size_t i = 2; i < toks.size(); i++) {
+            if (toks[i].kind != Token::Number) {
+                error(line, ".data: expected number, found '" +
+                            toks[i].text + "'");
+                return;
+            }
+            // Words may be written signed or unsigned.
+            if (const auto sv = parseInt64(toks[i].text)) {
+                seg.words.push_back(*sv);
+            } else if (const auto uv = parseUint64(toks[i].text)) {
+                seg.words.push_back(static_cast<std::int64_t>(*uv));
+            } else {
+                error(line, ".data: '" + toks[i].text +
+                            "' is not a valid 64-bit word");
+                return;
+            }
+        }
+        out.data.push_back(std::move(seg));
+    } else if (dir == ".fill") {
+        if (!numberArgs(3, 4))
+            return;
+        AsmFill seg;
+        if (!u64At(1, seg.addr) || !u64At(2, seg.numWords) ||
+            !u64At(3, seg.seed))
+            return;
+        if (toks.size() > 4 && !u64At(4, seg.mask))
+            return;
+        if (seg.addr % kWordBytes != 0) {
+            error(line, ".fill: address must be 8-byte aligned");
+            return;
+        }
+        if (seg.numWords > (std::uint64_t(1) << 32)) {
+            error(line, ".fill: word count too large");
+            return;
+        }
+        out.fills.push_back(seg);
+    } else {
+        error(line, "unknown directive '" + dir + "'");
+    }
+}
+
+void
+Assembler::parseInstr(const std::vector<Token> &toks, int line)
+{
+    if (toks[0].kind != Token::Ident) {
+        error(line, "expected opcode, found '" + toks[0].text + "'");
+        return;
+    }
+    const Op op = opFromName(toks[0].text);
+    if (op == Op::NumOps) {
+        error(line, "unknown opcode '" + toks[0].text + "'");
+        return;
+    }
+
+    Cursor c{toks};
+    Instr in;
+    in.op = op;
+    const int idx = static_cast<int>(instrs.size());
+    bool ok = true;
+
+    switch (op) {
+      case Op::Nop:
+      case Op::Bar:
+      case Op::Halt:
+        break;
+      case Op::Movi:
+        ok = c.expectReg(in.rd) && c.expectPunct(",") && c.expectImm(in.imm);
+        break;
+      case Op::Mov:
+        ok = c.expectReg(in.rd) && c.expectPunct(",") && c.expectReg(in.ra);
+        break;
+      case Op::Addi: case Op::Muli: case Op::Andi:
+      case Op::Shli: case Op::Shri: case Op::Slti:
+        ok = c.expectReg(in.rd) && c.expectPunct(",") &&
+             c.expectReg(in.ra) && c.expectPunct(",") && c.expectImm(in.imm);
+        break;
+      case Op::Ld:
+        ok = c.expectReg(in.rd) && c.expectPunct(",") &&
+             c.expectPunct("[") && c.expectReg(in.ra);
+        if (ok && c.punct("+"))
+            ok = c.expectImm(in.imm);
+        ok = ok && c.expectPunct("]");
+        break;
+      case Op::St:
+        ok = c.expectPunct("[") && c.expectReg(in.ra);
+        if (ok && c.punct("+"))
+            ok = c.expectImm(in.imm);
+        ok = ok && c.expectPunct("]") && c.expectPunct(",") &&
+             c.expectReg(in.rb);
+        break;
+      case Op::Br: {
+        PcRef tgt;
+        ok = c.expectReg(in.ra) && c.expectPunct(",") &&
+             c.expectPcRef(tgt, false);
+        if (ok)
+            targetRefs[idx] = {tgt, line};
+        // Optional checked annotations.
+        BrAssert ba;
+        ba.line = line;
+        bool any = false;
+        while (ok && c.punct("!")) {
+            if (c.done() || c.toks[c.pos].kind != Token::Ident) {
+                c.err = "expected annotation name after '!'";
+                ok = false;
+                break;
+            }
+            const std::string key = c.toks[c.pos].text;
+            c.pos++;
+            if (key == "subdividable") {
+                ba.subdividable = true;
+            } else if (key == "uniform") {
+                ba.uniform = true;
+            } else if (key == "ipdom") {
+                ok = c.expectPunct("=") && c.expectPcRef(ba.ipdom, true);
+                ba.hasIpdom = ok;
+            } else if (key == "postblock") {
+                ok = c.expectPunct("=") && c.expectImm(ba.postblock);
+                ba.hasPostblock = ok;
+            } else {
+                c.err = "unknown branch annotation '!" + key + "'";
+                ok = false;
+            }
+            any = true;
+        }
+        if (ok && any)
+            brAsserts.push_back(ba);
+        break;
+      }
+      case Op::Jmp: {
+        PcRef tgt;
+        ok = c.expectPcRef(tgt, false);
+        if (ok)
+            targetRefs[idx] = {tgt, line};
+        break;
+      }
+      default: // three-register ALU
+        ok = c.expectReg(in.rd) && c.expectPunct(",") &&
+             c.expectReg(in.ra) && c.expectPunct(",") && c.expectReg(in.rb);
+        break;
+    }
+
+    if (!ok) {
+        error(line, c.err.empty() ? "malformed instruction" : c.err);
+        return;
+    }
+    if (!c.done()) {
+        error(line, "trailing tokens" + c.found());
+        return;
+    }
+    instrs.push_back(in);
+    instrLine.push_back(line);
+}
+
+bool
+Assembler::resolvePcRef(const PcRef &ref, int line, const char *what,
+                        Pc &outPc)
+{
+    if (ref.isEnd) {
+        outPc = kPcExit;
+        return true;
+    }
+    if (!ref.label.empty()) {
+        const auto it = labels.find(ref.label);
+        if (it == labels.end()) {
+            error(line, std::string(what) + ": undefined label '" +
+                        ref.label + "'");
+            return false;
+        }
+        outPc = it->second;
+        return true;
+    }
+    if (ref.absolute > static_cast<Pc>(instrs.size())) {
+        error(line, std::string(what) + ": absolute pc @" +
+                    std::to_string(ref.absolute) +
+                    " is outside the program");
+        return false;
+    }
+    outPc = ref.absolute;
+    return true;
+}
+
+std::optional<AsmKernel>
+Assembler::finish()
+{
+    if (instrs.empty() && diags.empty())
+        error(0, "program has no instructions");
+
+    // Resolve symbolic targets; annotation pc refs resolve later so a
+    // bad target and a bad annotation on one line both get reported.
+    for (auto &[idx, refLine] : targetRefs) {
+        Pc pc = 0;
+        if (resolvePcRef(refLine.first, refLine.second, "branch target",
+                         pc)) {
+            instrs[static_cast<size_t>(idx)].target = pc;
+        }
+    }
+
+    if (!diags.empty())
+        return std::nullopt;
+
+    // Safe now: all targets are within [0, size], which the Program
+    // constructor accepts (the verifier below still rejects target ==
+    // size, reported as a diagnostic rather than a process abort).
+    out.program = Program(instrs, out.name.empty() ? "kernel" : out.name,
+                          out.subdivThreshold);
+    if (out.name.empty())
+        out.name = out.program.name();
+
+    for (const Diagnostic &d : Verifier::verify(out.program)) {
+        if (d.severity != Severity::Error)
+            continue;
+        const int line =
+                (d.pc >= 0 && d.pc < static_cast<Pc>(instrLine.size()))
+                        ? instrLine[static_cast<size_t>(d.pc)]
+                        : 0;
+        error(line, "verifier: " + d.message);
+    }
+    if (!diags.empty())
+        return std::nullopt;
+
+    // Check branch annotations against the recomputed analysis facts.
+    for (const BrAssert &ba : brAsserts) {
+        // Locate the branch this assertion came from via its line.
+        Pc pc = kPcExit;
+        for (size_t i = 0; i < instrLine.size(); i++) {
+            if (instrLine[i] == ba.line) {
+                pc = static_cast<Pc>(i);
+                break;
+            }
+        }
+        if (pc == kPcExit || out.program.at(pc).op != Op::Br)
+            continue;
+        const BranchInfo &bi = out.program.branchInfo(pc);
+        if (ba.subdividable && !out.program.at(pc).subdividable()) {
+            error(ba.line, "annotation !subdividable: analysis says this "
+                           "branch cannot subdivide (postblock=" +
+                           std::to_string(bi.postBlockLen) +
+                           (bi.mayDiverge ? "" : ", uniform") + ")");
+        }
+        if (ba.uniform && bi.mayDiverge) {
+            error(ba.line, "annotation !uniform: divergence analysis "
+                           "cannot prove this branch uniform");
+        }
+        if (ba.hasIpdom) {
+            Pc want = kPcExit;
+            if (resolvePcRef(ba.ipdom, ba.line, "!ipdom", want) &&
+                want != bi.ipdom) {
+                error(ba.line, "annotation !ipdom=" +
+                               (want == kPcExit ? std::string("@end")
+                                                : std::to_string(want)) +
+                               ": analysis computed ipdom=" +
+                               (bi.ipdom == kPcExit
+                                        ? std::string("@end")
+                                        : std::to_string(bi.ipdom)));
+            }
+        }
+        if (ba.hasPostblock && ba.postblock != bi.postBlockLen) {
+            error(ba.line, "annotation !postblock=" +
+                           std::to_string(ba.postblock) +
+                           ": analysis computed postblock=" +
+                           std::to_string(bi.postBlockLen));
+        }
+    }
+
+    // The declared memory must cover every data/fill segment; infer the
+    // size when the file declares none.
+    std::uint64_t extent = 0;
+    for (const AsmData &d : out.data)
+        extent = std::max(extent,
+                          d.addr + d.words.size() * std::uint64_t(kWordBytes));
+    for (const AsmFill &f : out.fills)
+        extent = std::max(extent, f.addr + f.numWords * kWordBytes);
+    if (!sawMemBytes) {
+        out.memBytes = extent;
+    } else if (out.memBytes < extent) {
+        error(0, ".membytes " + std::to_string(out.memBytes) +
+                 " does not cover data/fill segments (need " +
+                 std::to_string(extent) + " bytes)");
+    }
+
+    if (!diags.empty())
+        return std::nullopt;
+    return std::move(out);
+}
+
+} // namespace
+
+std::string
+toString(const AsmDiag &d)
+{
+    if (d.line <= 0)
+        return d.message;
+    return "line " + std::to_string(d.line) + ": " + d.message;
+}
+
+void
+AsmKernel::initMemory(Memory &mem) const
+{
+    for (const AsmData &d : data) {
+        for (size_t i = 0; i < d.words.size(); i++)
+            mem.write(d.addr + i * kWordBytes, d.words[i]);
+    }
+    for (const AsmFill &f : fills) {
+        Rng rng(f.seed);
+        for (std::uint64_t i = 0; i < f.numWords; i++) {
+            mem.write(f.addr + i * kWordBytes,
+                      static_cast<std::int64_t>(rng.next() & f.mask));
+        }
+    }
+}
+
+std::optional<AsmKernel>
+assemble(const std::string &text, std::vector<AsmDiag> &diags)
+{
+    Assembler a;
+    std::istringstream is(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(is, line))
+        a.parseLine(line, ++lineNo);
+    auto result = a.finish();
+    diags.insert(diags.end(), a.diags.begin(), a.diags.end());
+    return result;
+}
+
+std::optional<AsmKernel>
+assembleFile(const std::string &path, std::vector<AsmDiag> &diags)
+{
+    std::ifstream is(path);
+    if (!is) {
+        diags.push_back(AsmDiag{0, "cannot open '" + path + "'"});
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return assemble(buf.str(), diags);
+}
+
+} // namespace dws

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Text assembler for the kernel IR.
+ *
+ * Parses the `.dws` kernel format emitted by `disasm(Program)`:
+ *
+ *     ; comment (to end of line)
+ *     .kernel NAME          ; kernel name (rest of line)
+ *     .subdiv N             ; Section 4.3 subdivision threshold
+ *     .membytes N           ; size of the flat data memory in bytes
+ *     .threads N            ; suggested launch thread count (optional)
+ *     .data ADDR W0 W1 ...  ; initial memory words at byte address ADDR
+ *     .fill ADDR NW SEED [MASK] ; NW seeded pseudo-random words (& MASK)
+ *
+ *     label:
+ *         movi r2, 0
+ *         addi r3, r0, 5
+ *         ld   r5, [r4 + 8]
+ *         st   [r4], r3
+ *         br   r6, label !subdividable !ipdom=join !postblock=3
+ *         jmp  done
+ *
+ * Branch/jump targets are labels or absolute `@pc` references. The
+ * `!key[=value]` branch annotations are *checked assertions*: the
+ * assembler reruns the CFG/divergence analysis (by constructing the
+ * Program) and reports an error if an annotation disagrees with the
+ * recomputed metadata. Annotations that are absent are simply not
+ * checked, so hand-written kernels may omit them entirely.
+ *
+ * All diagnostics carry 1-based source line numbers; assembly never
+ * aborts the process on malformed input.
+ */
+
+#ifndef DWS_ISA_ASM_HH
+#define DWS_ISA_ASM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace dws {
+
+class Memory;
+
+/** One assembler finding, anchored to a source line. */
+struct AsmDiag
+{
+    /** 1-based line number; 0 when the finding is file-wide. */
+    int line = 0;
+    std::string message{};
+};
+
+/** @return "line N: message" (line part omitted when 0). */
+std::string toString(const AsmDiag &d);
+
+/** A literal `.data` segment. */
+struct AsmData
+{
+    std::uint64_t addr = 0;
+    std::vector<std::int64_t> words{};
+};
+
+/** A seeded `.fill` segment: words[i] = Rng(seed).next() & mask. */
+struct AsmFill
+{
+    std::uint64_t addr = 0;
+    std::uint64_t numWords = 0;
+    std::uint64_t seed = 1;
+    std::uint64_t mask = 0xffff;
+};
+
+/** An assembled kernel: the program plus its memory image recipe. */
+struct AsmKernel
+{
+    Program program{};
+    std::string name{};
+    int subdivThreshold = 50;
+    /**
+     * Declared (or inferred from data/fill segments) data memory size.
+     * 0 means the file declared nothing and has no segments; such a
+     * kernel can be analyzed but not sensibly executed.
+     */
+    std::uint64_t memBytes = 0;
+    /** Suggested launch thread count; 0 when unspecified. */
+    std::int64_t threads = 0;
+    std::vector<AsmData> data{};
+    std::vector<AsmFill> fills{};
+
+    /** Apply the .data/.fill segments to a memory image. */
+    void initMemory(Memory &mem) const;
+};
+
+/**
+ * Assemble kernel text.
+ *
+ * On success returns the kernel and leaves `diags` empty. On failure
+ * returns nullopt with at least one diagnostic; parsing continues past
+ * recoverable errors so several problems can be reported at once.
+ * Verifier errors (structural IR problems) also fail assembly.
+ */
+std::optional<AsmKernel> assemble(const std::string &text,
+                                  std::vector<AsmDiag> &diags);
+
+/** Assemble a `.dws` file; unreadable files yield a diagnostic. */
+std::optional<AsmKernel> assembleFile(const std::string &path,
+                                      std::vector<AsmDiag> &diags);
+
+} // namespace dws
+
+#endif // DWS_ISA_ASM_HH

@@ -1,20 +1,27 @@
 #include "isa/disasm.hh"
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 namespace dws {
 
+namespace {
+
+/**
+ * Instruction text minus target rendering: the single-instruction
+ * disassembly uses absolute `@pc` targets, the program listing uses
+ * `L<pc>` labels, everything else is shared.
+ */
 std::string
-disasm(const Instr &in)
+instrBody(const Instr &in, const std::string &target)
 {
     char buf[128];
     switch (in.op) {
       case Op::Nop:
       case Op::Bar:
       case Op::Halt:
-        std::snprintf(buf, sizeof(buf), "%s", opName(in.op));
-        break;
+        return opName(in.op);
       case Op::Movi:
         std::snprintf(buf, sizeof(buf), "movi r%d, %lld", in.rd,
                       (long long)in.imm);
@@ -28,20 +35,25 @@ disasm(const Instr &in)
                       in.rd, in.ra, (long long)in.imm);
         break;
       case Op::Ld:
-        std::snprintf(buf, sizeof(buf), "ld r%d, [r%d + %lld]", in.rd,
-                      in.ra, (long long)in.imm);
+        if (in.imm != 0) {
+            std::snprintf(buf, sizeof(buf), "ld r%d, [r%d + %lld]", in.rd,
+                          in.ra, (long long)in.imm);
+        } else {
+            std::snprintf(buf, sizeof(buf), "ld r%d, [r%d]", in.rd, in.ra);
+        }
         break;
       case Op::St:
-        std::snprintf(buf, sizeof(buf), "st [r%d + %lld], r%d", in.ra,
-                      (long long)in.imm, in.rb);
+        if (in.imm != 0) {
+            std::snprintf(buf, sizeof(buf), "st [r%d + %lld], r%d", in.ra,
+                          (long long)in.imm, in.rb);
+        } else {
+            std::snprintf(buf, sizeof(buf), "st [r%d], r%d", in.ra, in.rb);
+        }
         break;
       case Op::Br:
-        std::snprintf(buf, sizeof(buf), "br r%d, %d%s", in.ra, in.target,
-                      in.subdividable() ? "  ; subdividable" : "");
-        break;
+        return std::string("br r") + std::to_string(in.ra) + ", " + target;
       case Op::Jmp:
-        std::snprintf(buf, sizeof(buf), "jmp %d", in.target);
-        break;
+        return "jmp " + target;
       default:
         std::snprintf(buf, sizeof(buf), "%s r%d, r%d, r%d", opName(in.op),
                       in.rd, in.ra, in.rb);
@@ -50,24 +62,79 @@ disasm(const Instr &in)
     return buf;
 }
 
+void
+emitListing(std::ostringstream &os, const Program &prog)
+{
+    // Every branch/jump target and every in-program re-convergence
+    // point gets a label, so all pc references in the text are symbolic.
+    std::set<Pc> labels;
+    for (Pc pc = 0; pc < prog.size(); pc++) {
+        const Instr &in = prog.at(pc);
+        if (in.op == Op::Br || in.op == Op::Jmp)
+            labels.insert(in.target);
+        if (in.op == Op::Br) {
+            const BranchInfo &bi = prog.branchInfo(pc);
+            if (bi.ipdom != kPcExit)
+                labels.insert(bi.ipdom);
+        }
+    }
+
+    const auto labelRef = [](Pc pc) { return "L" + std::to_string(pc); };
+
+    for (Pc pc = 0; pc <= prog.size(); pc++) {
+        if (labels.count(pc))
+            os << labelRef(pc) << ":\n";
+        if (pc == prog.size())
+            break;
+        const Instr &in = prog.at(pc);
+        const std::string target =
+                (in.op == Op::Br || in.op == Op::Jmp) ? labelRef(in.target)
+                                                      : std::string();
+        os << "    " << instrBody(in, target);
+        if (in.op == Op::Br) {
+            const BranchInfo &bi = prog.branchInfo(pc);
+            if (in.subdividable())
+                os << " !subdividable";
+            if (!bi.mayDiverge)
+                os << " !uniform";
+            os << " !ipdom="
+               << (bi.ipdom == kPcExit ? std::string("@end")
+                                       : labelRef(bi.ipdom));
+            os << " !postblock=" << bi.postBlockLen;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace
+
+std::string
+disasm(const Instr &in)
+{
+    std::string s = instrBody(in, "@" + std::to_string(in.target));
+    if (in.op == Op::Br && in.subdividable())
+        s += " !subdividable";
+    return s;
+}
+
 std::string
 disasm(const Program &prog)
 {
     std::ostringstream os;
-    os << "; kernel " << prog.name() << " (" << prog.size()
-       << " instructions)\n";
-    for (Pc pc = 0; pc < prog.size(); pc++) {
-        const Instr &in = prog.at(pc);
-        char head[32];
-        std::snprintf(head, sizeof(head), "%4d: ", pc);
-        os << head << disasm(in);
-        if (in.op == Op::Br) {
-            const BranchInfo &bi = prog.branchInfo(pc);
-            os << "  ; ipdom=" << bi.ipdom
-               << " postblock=" << bi.postBlockLen;
-        }
-        os << "\n";
-    }
+    os << ".kernel " << prog.name() << "\n";
+    os << ".subdiv " << prog.subdivThreshold() << "\n\n";
+    emitListing(os, prog);
+    return os.str();
+}
+
+std::string
+disasm(const Program &prog, std::uint64_t memBytes)
+{
+    std::ostringstream os;
+    os << ".kernel " << prog.name() << "\n";
+    os << ".subdiv " << prog.subdivThreshold() << "\n";
+    os << ".membytes " << memBytes << "\n\n";
+    emitListing(os, prog);
     return os.str();
 }
 

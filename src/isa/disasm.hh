@@ -1,25 +1,42 @@
 /**
  * @file
- * Human-readable disassembly of IR programs, for debugging and tests.
+ * Disassembly of IR programs into the textual kernel format.
+ *
+ * The program listing is assembler-exact: feeding it back through
+ * `assemble()` (isa/asm.hh) reconstructs a bit-identical Program,
+ * including instruction flags and branch metadata. Branch facts that
+ * used to live in `;` comments (subdividable, ipdom, post-block length)
+ * are emitted as checked `!key[=value]` annotations instead.
  */
 
 #ifndef DWS_ISA_DISASM_HH
 #define DWS_ISA_DISASM_HH
 
+#include <cstdint>
 #include <string>
 
 #include "isa/program.hh"
 
 namespace dws {
 
-/** @return a one-line disassembly of a single instruction. */
+/**
+ * @return a one-line disassembly of a single instruction; branch and
+ *         jump targets are rendered as absolute `@pc` references since
+ *         no label context exists.
+ */
 std::string disasm(const Instr &in);
 
 /**
- * @return the full program listing, one instruction per line, annotated
- *         with branch post-dominators and subdivision flags.
+ * @return the full program as kernel text: `.kernel`/`.subdiv` header
+ *         plus a labeled listing. Satisfies assemble(disasm(p)) == p.
  */
 std::string disasm(const Program &prog);
+
+/**
+ * Same listing with an additional `.membytes` directive so the output
+ * is directly runnable via `dws_sim --kernel FILE`.
+ */
+std::string disasm(const Program &prog, std::uint64_t memBytes);
 
 } // namespace dws
 

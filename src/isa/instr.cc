@@ -119,4 +119,15 @@ opName(Op op)
     return "???";
 }
 
+Op
+opFromName(const std::string &name)
+{
+    for (int i = 0; i < static_cast<int>(Op::NumOps); i++) {
+        const Op op = static_cast<Op>(i);
+        if (name == opName(op))
+            return op;
+    }
+    return Op::NumOps;
+}
+
 } // namespace dws

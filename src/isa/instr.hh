@@ -82,6 +82,14 @@ struct Instr
                op == Op::Halt;
     }
     bool subdividable() const { return flags & kFlagSubdividable; }
+
+    bool
+    operator==(const Instr &o) const
+    {
+        return op == o.op && rd == o.rd && ra == o.ra && rb == o.rb &&
+               target == o.target && imm == o.imm && flags == o.flags;
+    }
+    bool operator!=(const Instr &o) const { return !(*this == o); }
 };
 
 /** @return true if instructions with this opcode read register ra. */
@@ -110,6 +118,12 @@ std::int64_t evalAlu(Op op, std::int64_t a, std::int64_t b,
 
 /** @return the mnemonic for an opcode. */
 const char *opName(Op op);
+
+/**
+ * Inverse of opName: look an opcode up by its mnemonic.
+ * @return Op::NumOps when the mnemonic is unknown.
+ */
+Op opFromName(const std::string &name);
 
 } // namespace dws
 

@@ -1,0 +1,219 @@
+#include "isa/kgen.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+namespace {
+
+/**
+ * Register roles (see kgen.hh for the global discipline):
+ *   r2 = masked tid (the thread's slot index, init once at entry)
+ *   r3 = accumulator (re-seeded at each phase start, stored at end)
+ *   r4 = address temp, r5 = load temp, r6 = condition temp
+ *   r8+2d / r9+2d = loop counter / bound at nesting depth d
+ */
+struct Gen
+{
+    KgenOptions opt;
+    Rng rng;
+    std::ostringstream os;
+    int labelCount = 0;
+    int phase = 0;
+    std::uint64_t slots = 0;
+
+    explicit
+    Gen(const KgenOptions &o) : opt(o), rng(o.seed ? o.seed : 1)
+    {
+        opt.phases = std::clamp(opt.phases, 1, 8);
+        opt.stmts = std::clamp(opt.stmts, 1, 16);
+        opt.maxDepth = std::clamp(opt.maxDepth, 0, 3);
+        opt.slotBits = std::clamp(opt.slotBits, 1, 10);
+        int w = 8;
+        while (w < opt.inWords && w < 4096)
+            w *= 2;
+        opt.inWords = w;
+        slots = std::uint64_t(1) << opt.slotBits;
+    }
+
+    std::uint64_t pick(std::uint64_t n) { return rng.nextBounded(n); }
+
+    std::uint64_t
+    phaseBase(int p) const
+    {
+        return (std::uint64_t(opt.inWords) + std::uint64_t(p) * slots) *
+               kWordBytes;
+    }
+
+    std::uint64_t memBytes() const { return phaseBase(opt.phases); }
+
+    std::string lbl() { return "B" + std::to_string(labelCount++); }
+    void emit(const std::string &s) { os << "    " << s << "\n"; }
+    void label(const std::string &l) { os << l << ":\n"; }
+
+    static std::string
+    reg(int n)
+    {
+        return "r" + std::to_string(n);
+    }
+
+    void
+    accAlu()
+    {
+        switch (pick(6)) {
+          case 0: emit("add r3, r3, r2"); break;
+          case 1: emit("sub r3, r3, r2"); break;
+          case 2: emit("xor r3, r3, r2"); break;
+          case 3:
+            emit("addi r3, r3, " + std::to_string(pick(1000)));
+            break;
+          case 4:
+            emit("muli r3, r3, " + std::to_string(3 + 2 * pick(5)));
+            break;
+          default:
+            emit("shri r3, r3, " + std::to_string(1 + pick(3)));
+            break;
+        }
+    }
+
+    void
+    loadCombine()
+    {
+        // Sources: the read-only input region, or any region written
+        // by an earlier phase (separated from us by a barrier).
+        const std::uint64_t src = pick(std::uint64_t(phase) + 1);
+        const bool fromInput = src == 0;
+        const std::uint64_t mask =
+                fromInput ? std::uint64_t(opt.inWords) - 1 : slots - 1;
+        const std::uint64_t base =
+                fromInput ? 0 : phaseBase(static_cast<int>(src) - 1);
+        const std::string idx = pick(2) ? "r3" : "r2";
+        emit("andi r4, " + idx + ", " + std::to_string(mask));
+        emit("shli r4, r4, 3");
+        if (base)
+            emit("ld r5, [r4 + " + std::to_string(base) + "]");
+        else
+            emit("ld r5, [r4]");
+        switch (pick(3)) {
+          case 0:  emit("add r3, r3, r5"); break;
+          case 1:  emit("xor r3, r3, r5"); break;
+          default: emit("max r3, r3, r5"); break;
+        }
+    }
+
+    void
+    store()
+    {
+        emit("shli r4, r2, 3");
+        emit("st [r4 + " + std::to_string(phaseBase(phase)) + "], r3");
+    }
+
+    void
+    cond()
+    {
+        switch (pick(4)) {
+          case 0: emit("andi r6, r3, 1"); break;
+          case 1: emit("andi r6, r2, 1"); break;
+          case 2:
+            emit("slti r6, r2, " + std::to_string(1 + pick(slots - 1)));
+            break;
+          default:
+            emit("slti r6, r3, " + std::to_string(pick(512)));
+            break;
+        }
+    }
+
+    void
+    ifElse(int depth)
+    {
+        cond();
+        const std::string then = lbl(), join = lbl();
+        emit("br r6, " + then);
+        block(depth + 1, static_cast<int>(pick(2)));
+        emit("jmp " + join);
+        label(then);
+        block(depth + 1, 1 + static_cast<int>(pick(2)));
+        label(join);
+    }
+
+    void
+    loop(int depth)
+    {
+        const std::string rc = reg(8 + 2 * depth), rb = reg(9 + 2 * depth);
+        emit("movi " + rc + ", 0");
+        if (pick(2)) {
+            // Divergent trip count: 1..4 iterations by masked tid.
+            emit("andi " + rb + ", r2, 3");
+            emit("addi " + rb + ", " + rb + ", 1");
+        } else {
+            emit("movi " + rb + ", " + std::to_string(1 + pick(3)));
+        }
+        const std::string head = lbl();
+        label(head);
+        block(depth + 1, 1 + static_cast<int>(pick(2)));
+        emit("addi " + rc + ", " + rc + ", 1");
+        emit("slt r6, " + rc + ", " + rb);
+        emit("br r6, " + head);
+    }
+
+    void
+    stmt(int depth)
+    {
+        const std::uint64_t r = pick(100);
+        if (depth < opt.maxDepth && r < 15)
+            ifElse(depth);
+        else if (depth < opt.maxDepth && r < 30)
+            loop(depth);
+        else if (r < 55)
+            loadCombine();
+        else if (r < 65)
+            store();
+        else
+            accAlu();
+    }
+
+    void
+    block(int depth, int n)
+    {
+        for (int i = 0; i < n; i++)
+            stmt(depth);
+    }
+
+    std::string
+    run()
+    {
+        const std::string name =
+                opt.name.empty() ? "gen" + std::to_string(opt.seed)
+                                 : opt.name;
+        os << ".kernel " << name << "\n";
+        os << ".subdiv 50\n";
+        os << ".membytes " << memBytes() << "\n";
+        os << ".fill 0 " << opt.inWords << " " << (opt.seed ? opt.seed : 1)
+           << " 65535\n\n";
+        emit("andi r2, r0, " + std::to_string(slots - 1));
+        for (phase = 0; phase < opt.phases; phase++) {
+            os << "; phase " << phase << "\n";
+            emit("movi r3, " + std::to_string(pick(256)));
+            block(0, opt.stmts);
+            store();
+            if (phase + 1 < opt.phases)
+                emit("bar");
+        }
+        emit("halt");
+        return os.str();
+    }
+};
+
+} // namespace
+
+std::string
+generateKernel(const KgenOptions &opt)
+{
+    return Gen(opt).run();
+}
+
+} // namespace dws

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Seeded random kernel generator.
+ *
+ * Emits textual IR kernels (isa/asm.hh format) that are lint-clean
+ * *by construction*:
+ *
+ *  - Structured CFG: only nested if/else diamonds and counted
+ *    do-while loops, always reconverging, ending in a single halt —
+ *    so the verifier, reachability and halt-reachability checks pass.
+ *  - Bounded addressing: every load index is masked (`andi`) against
+ *    a power-of-two region size and scaled by 8, so the interval
+ *    range analysis proves every access in bounds against the
+ *    declared `.membytes`.
+ *  - Uniform barriers: `bar` only at top level, between phases, after
+ *    all divergent control flow has reconverged.
+ *  - Register discipline: every register is written before any read
+ *    on every path, and every ALU result is consumed (the accumulator
+ *    feeds the phase's final store), so the liveness passes stay
+ *    quiet.
+ *
+ * Determinism across schedules (the differential-oracle property)
+ * comes from a data-race-freedom discipline: each thread stores only
+ * to its own slot — indexed by tid masked to the slot count — and
+ * every stored value derives from that masked tid, never from the
+ * raw tid. Threads that collide on a slot therefore write identical
+ * value sequences, so the final memory image is independent of
+ * thread count, interleaving and divergence policy. Loads touch only
+ * the read-only input region or regions written by *earlier* phases
+ * across a global barrier.
+ */
+
+#ifndef DWS_ISA_KGEN_HH
+#define DWS_ISA_KGEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dws {
+
+/** Knobs for one generated kernel. */
+struct KgenOptions
+{
+    std::uint64_t seed = 1;
+    /** Statements per phase body (before structural expansion). */
+    int stmts = 5;
+    /** Maximum if/loop nesting depth. */
+    int maxDepth = 2;
+    /** Barrier-separated phases (>= 1). */
+    int phases = 2;
+    /** log2 of per-phase output slots (one slot per masked tid). */
+    int slotBits = 6;
+    /** Read-only input words (power of two). */
+    int inWords = 64;
+    /** Kernel name; empty derives "gen<seed>". */
+    std::string name{};
+};
+
+/**
+ * @return the kernel as `.dws` text, ready for assemble(). The same
+ *         options always produce the same text.
+ */
+std::string generateKernel(const KgenOptions &opt);
+
+} // namespace dws
+
+#endif // DWS_ISA_KGEN_HH

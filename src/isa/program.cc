@@ -9,7 +9,8 @@ namespace dws {
 
 Program::Program(std::vector<Instr> instrs, std::string name,
                  int subdivThreshold)
-    : code(std::move(instrs)), progName(std::move(name))
+    : code(std::move(instrs)), progName(std::move(name)),
+      threshold(subdivThreshold)
 {
     for (size_t pc = 0; pc < code.size(); pc++) {
         const Instr &in = code[pc];
@@ -21,6 +22,22 @@ Program::Program(std::vector<Instr> instrs, std::string name,
         }
     }
     CfgAnalysis::analyze(*this, subdivThreshold);
+}
+
+bool
+Program::operator==(const Program &o) const
+{
+    if (progName != o.progName || threshold != o.threshold ||
+        code != o.code) {
+        return false;
+    }
+    for (Pc pc = 0; pc < size(); pc++) {
+        if (at(pc).op != Op::Br)
+            continue;
+        if (branchInfo(pc) != o.branchInfo(pc))
+            return false;
+    }
+    return true;
 }
 
 const BranchInfo &

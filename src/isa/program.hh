@@ -37,6 +37,14 @@ struct BranchInfo
      * withheld and runtime divergence would be an analysis bug).
      */
     bool mayDiverge = true;
+
+    bool
+    operator==(const BranchInfo &o) const
+    {
+        return ipdom == o.ipdom && postBlockLen == o.postBlockLen &&
+               mayDiverge == o.mayDiverge;
+    }
+    bool operator!=(const BranchInfo &o) const { return !(*this == o); }
 };
 
 /** An executable kernel program. */
@@ -77,12 +85,24 @@ class Program
     /** @return all instructions (for tests and the disassembler). */
     const std::vector<Instr> &instructions() const { return code; }
 
+    /** @return the Section 4.3 bound the CFG analysis was run with. */
+    int subdivThreshold() const { return threshold; }
+
+    /**
+     * Bit-exact structural equality: instructions (including flags),
+     * name, subdivision threshold and per-branch metadata all match.
+     * This is what the assembler/disassembler round-trip guarantees.
+     */
+    bool operator==(const Program &o) const;
+    bool operator!=(const Program &o) const { return !(*this == o); }
+
   private:
     friend class CfgAnalysis;
 
     std::vector<Instr> code;
     std::vector<BranchInfo> brInfo; ///< indexed by pc; valid for Br only
     std::string progName;
+    int threshold = 50; ///< subdivThreshold the analysis ran with
 };
 
 } // namespace dws

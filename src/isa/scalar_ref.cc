@@ -1,0 +1,153 @@
+#include "isa/scalar_ref.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+#include "mem/memory.hh"
+
+namespace dws {
+
+namespace {
+
+enum class ThreadState { Running, AtBarrier, Halted };
+
+struct ThreadCtx
+{
+    std::int64_t regs[kNumRegs] = {};
+    Pc pc = 0;
+    ThreadState state = ThreadState::Running;
+};
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+ScalarRefResult
+runScalarRef(const Program &prog, Memory &mem, std::int64_t numThreads,
+             std::uint64_t maxInstrs)
+{
+    ScalarRefResult res;
+    if (numThreads <= 0) {
+        res.error = "numThreads must be positive";
+        return res;
+    }
+    if (prog.size() == 0) {
+        res.error = "empty program";
+        return res;
+    }
+
+    std::vector<ThreadCtx> threads(static_cast<size_t>(numThreads));
+    for (std::int64_t t = 0; t < numThreads; t++) {
+        threads[static_cast<size_t>(t)].regs[0] = t;
+        threads[static_cast<size_t>(t)].regs[1] = numThreads;
+    }
+
+    const auto fail = [&](std::int64_t tid, Pc pc, std::string msg) {
+        res.error = format("thread %lld @pc %d: ", (long long)tid, pc) +
+                    std::move(msg);
+        return res;
+    };
+
+    std::int64_t halted = 0;
+    while (halted < numThreads) {
+        std::int64_t atBarrier = 0;
+        for (std::int64_t t = 0; t < numThreads; t++) {
+            ThreadCtx &ctx = threads[static_cast<size_t>(t)];
+            // Run this thread until it blocks, halts or errors out.
+            while (ctx.state == ThreadState::Running) {
+                if (ctx.pc < 0 || ctx.pc >= prog.size())
+                    return fail(t, ctx.pc, "pc outside the program "
+                                           "(missing halt?)");
+                if (res.instrs >= maxInstrs)
+                    return fail(t, ctx.pc,
+                                format("instruction budget of %llu "
+                                       "exhausted (runaway loop?)",
+                                       (unsigned long long)maxInstrs));
+                const Instr &in = prog.at(ctx.pc);
+                res.instrs++;
+                switch (in.op) {
+                  case Op::Ld:
+                  case Op::St: {
+                    const std::int64_t a = ctx.regs[in.ra] + in.imm;
+                    if (a < 0 || a % kWordBytes != 0 ||
+                        static_cast<std::uint64_t>(a) + kWordBytes >
+                                mem.sizeBytes()) {
+                        return fail(t, ctx.pc,
+                                    format("%s address %lld invalid "
+                                           "(mem is %llu bytes)",
+                                           opName(in.op), (long long)a,
+                                           (unsigned long long)
+                                                   mem.sizeBytes()));
+                    }
+                    const Addr addr = static_cast<Addr>(a);
+                    if (in.op == Op::Ld)
+                        ctx.regs[in.rd] = mem.read(addr);
+                    else
+                        mem.write(addr, ctx.regs[in.rb]);
+                    ctx.pc++;
+                    break;
+                  }
+                  case Op::Br:
+                    ctx.pc = ctx.regs[in.ra] != 0 ? in.target : ctx.pc + 1;
+                    break;
+                  case Op::Jmp:
+                    ctx.pc = in.target;
+                    break;
+                  case Op::Bar:
+                    ctx.state = ThreadState::AtBarrier;
+                    ctx.pc++;
+                    break;
+                  case Op::Halt:
+                    ctx.state = ThreadState::Halted;
+                    halted++;
+                    break;
+                  default:
+                    if (opWritesRd(in.op)) {
+                        ctx.regs[in.rd] = evalAlu(
+                                in.op, ctx.regs[in.ra], ctx.regs[in.rb],
+                                in.imm);
+                    }
+                    ctx.pc++;
+                    break;
+                }
+            }
+            if (ctx.state == ThreadState::AtBarrier)
+                atBarrier++;
+        }
+        // Every thread is now halted or parked at a barrier. The global
+        // barrier releases once all live threads have arrived, which is
+        // exactly this state.
+        if (atBarrier > 0) {
+            for (ThreadCtx &ctx : threads)
+                if (ctx.state == ThreadState::AtBarrier)
+                    ctx.state = ThreadState::Running;
+        }
+    }
+
+    // FNV-1a over every register of every thread, tid order.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; byte++) {
+            h ^= (v >> (byte * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (const ThreadCtx &ctx : threads)
+        for (int r = 0; r < kNumRegs; r++)
+            mix(static_cast<std::uint64_t>(ctx.regs[r]));
+    res.regHash = h;
+    res.ok = true;
+    return res;
+}
+
+} // namespace dws

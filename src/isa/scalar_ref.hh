@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Golden scalar reference interpreter for the kernel IR.
+ *
+ * Executes a program one thread at a time, with no warps, no timing
+ * model and no re-convergence machinery — just the architectural
+ * semantics: zero-initialized registers, r0 = tid, r1 = thread count,
+ * `evalAlu` arithmetic, aligned 64-bit memory accesses and a global
+ * barrier that releases once every non-halted thread arrives.
+ *
+ * Because well-formed kernels only communicate across barriers, any
+ * simulator configuration (conventional stack, every DWS scheme, slip)
+ * must leave memory in exactly the state this interpreter computes.
+ * That makes it the differential oracle for generated and hand-written
+ * kernels alike: run the reference on a copy of the initial memory,
+ * run the full simulator, and compare images word for word.
+ */
+
+#ifndef DWS_ISA_SCALAR_REF_HH
+#define DWS_ISA_SCALAR_REF_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace dws {
+
+class Memory;
+
+/** Outcome of a scalar reference run. */
+struct ScalarRefResult
+{
+    bool ok = false;
+    /** Failure description (empty on success). */
+    std::string error{};
+    /** Total instructions executed across all threads. */
+    std::uint64_t instrs = 0;
+    /** FNV-1a hash of every thread's final register file, tid order. */
+    std::uint64_t regHash = 0;
+};
+
+/**
+ * Run the program to completion for numThreads threads, mutating mem.
+ *
+ * @param maxInstrs total instruction budget across all threads; runs
+ *        exceeding it fail with an error (runaway-loop backstop).
+ */
+ScalarRefResult runScalarRef(const Program &prog, Memory &mem,
+                             std::int64_t numThreads,
+                             std::uint64_t maxInstrs = std::uint64_t(1)
+                                                       << 28);
+
+} // namespace dws
+
+#endif // DWS_ISA_SCALAR_REF_HH

@@ -1,0 +1,122 @@
+#include "kernels/irfile.hh"
+
+#include <utility>
+
+#include "isa/scalar_ref.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+namespace dws {
+
+namespace {
+
+class IrFileKernel : public Kernel
+{
+  public:
+    IrFileKernel(AsmKernel ak, const KernelParams &p)
+        : Kernel(p), ak(std::move(ak))
+    {}
+
+    std::string name() const override { return ak.name; }
+
+    std::string
+    description() const override
+    {
+        return "IR kernel loaded from text (" +
+               std::to_string(ak.program.size()) + " instructions)";
+    }
+
+    Program buildProgram() const override { return ak.program; }
+
+    std::uint64_t memBytes() const override { return ak.memBytes; }
+
+    void initMemory(Memory &mem) const override { ak.initMemory(mem); }
+
+    bool
+    validate(const Memory &mem) const override
+    {
+        // Differential oracle: replay the kernel with the scalar
+        // reference on a fresh copy of the initial image and require
+        // an identical final image.
+        std::int64_t threads = params.launchThreads;
+        if (threads <= 0)
+            threads = SystemConfig{}.totalThreads();
+        if (ak.threads > 0 && threads > ak.threads) {
+            warn("%s: running %lld threads but the file declares "
+                 ".threads %lld",
+                 ak.name.c_str(), (long long)threads,
+                 (long long)ak.threads);
+        }
+
+        Memory golden(ak.memBytes);
+        ak.initMemory(golden);
+        const ScalarRefResult ref = runScalarRef(ak.program, golden,
+                                                 threads);
+        if (!ref.ok) {
+            warn("%s: scalar reference failed: %s", ak.name.c_str(),
+                 ref.error.c_str());
+            return false;
+        }
+
+        if (golden.sizeBytes() > mem.sizeBytes()) {
+            warn("%s: simulated memory smaller than the golden image",
+                 ak.name.c_str());
+            return false;
+        }
+        const std::uint64_t numWords = golden.sizeBytes() / kWordBytes;
+        for (std::uint64_t w = 0; w < numWords; w++) {
+            if (mem.readWord(w) != golden.readWord(w)) {
+                warn("%s: word %llu differs: simulated %lld, scalar "
+                     "reference %lld",
+                     ak.name.c_str(), (unsigned long long)w,
+                     (long long)mem.readWord(w),
+                     (long long)golden.readWord(w));
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    AsmKernel ak;
+};
+
+} // namespace
+
+bool
+looksLikeIrFile(const std::string &spec)
+{
+    if (spec.find('/') != std::string::npos)
+        return true;
+    const std::string suffix = ".dws";
+    return spec.size() > suffix.size() &&
+           spec.compare(spec.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+std::unique_ptr<Kernel>
+makeIrKernel(AsmKernel ak, const KernelParams &params)
+{
+    if (ak.memBytes == 0) {
+        warn("IR kernel '%s' declares no data memory (.membytes); "
+             "it cannot be executed",
+             ak.name.c_str());
+        return nullptr;
+    }
+    return std::make_unique<IrFileKernel>(std::move(ak), params);
+}
+
+std::unique_ptr<Kernel>
+loadIrKernel(const std::string &path, const KernelParams &params)
+{
+    std::vector<AsmDiag> diags;
+    auto ak = assembleFile(path, diags);
+    if (!ak) {
+        for (const AsmDiag &d : diags)
+            warn("%s: %s", path.c_str(), toString(d).c_str());
+        return nullptr;
+    }
+    return makeIrKernel(std::move(*ak), params);
+}
+
+} // namespace dws

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Kernel adapter for textual IR files (`.dws`).
+ *
+ * Wraps an assembled kernel (isa/asm.hh) in the Kernel interface so
+ * every harness entry point — dws_sim, dws_lint, the benches, the
+ * sweep executor — can run IR files interchangeably with the built-in
+ * benchmarks. Validation is differential: the scalar reference
+ * interpreter (isa/scalar_ref.hh) replays the kernel on a pristine
+ * copy of the initial memory image and the two final images must match
+ * word for word.
+ *
+ * Unlike the built-in kernels, an IR file's `.subdiv` directive — not
+ * the policy's subdivMaxPostBlock — decides which branches are marked
+ * subdividable: the file is the complete, self-contained description
+ * of the program, and reanalyzing it under a different threshold would
+ * break the assemble/disassemble round-trip guarantee.
+ */
+
+#ifndef DWS_KERNELS_IRFILE_HH
+#define DWS_KERNELS_IRFILE_HH
+
+#include <memory>
+#include <string>
+
+#include "isa/asm.hh"
+#include "kernels/kernel.hh"
+
+namespace dws {
+
+/**
+ * @return true when a --bench/--kernel spec names an IR file rather
+ *         than a registered kernel: it contains a path separator or
+ *         ends in ".dws".
+ */
+bool looksLikeIrFile(const std::string &spec);
+
+/**
+ * Wrap an already-assembled kernel.
+ * @return nullptr (with a warning) when the kernel declares no data
+ *         memory, since the WPU model cannot run a memoryless program.
+ */
+std::unique_ptr<Kernel> makeIrKernel(AsmKernel ak,
+                                     const KernelParams &params);
+
+/**
+ * Assemble an IR file and wrap it. Diagnostics are reported via
+ * warn(); returns nullptr on any assembly failure.
+ */
+std::unique_ptr<Kernel> loadIrKernel(const std::string &path,
+                                     const KernelParams &params);
+
+} // namespace dws
+
+#endif // DWS_KERNELS_IRFILE_HH

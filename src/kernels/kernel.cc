@@ -1,5 +1,6 @@
 #include "kernels/kernel.hh"
 
+#include "kernels/irfile.hh"
 #include "sim/logging.hh"
 
 namespace dws {
@@ -35,6 +36,9 @@ makeKernel(const std::string &name, const KernelParams &params)
     if (name == "Short")   return makeShort(params);
     if (name == "KMeans")  return makeKMeans(params);
     if (name == "SVM")     return makeSvm(params);
+    // Anything that looks like a path is loaded as a textual IR file.
+    if (looksLikeIrFile(name))
+        return loadIrKernel(name, params);
     return nullptr;
 }
 

@@ -42,6 +42,13 @@ struct KernelParams
     std::uint64_t seed = 12345;
     /** Branch-subdivision heuristic bound (paper Section 4.3). */
     int subdivThreshold = 50;
+    /**
+     * Thread count the launch will actually run (the machine's total
+     * thread capacity). IR-file kernels use it to run their scalar
+     * golden reference over the same thread count the simulator ran;
+     * the built-in kernels ignore it. 0 means "default machine".
+     */
+    std::int64_t launchThreads = 0;
 };
 
 /** Abstract benchmark kernel. */

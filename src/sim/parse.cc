@@ -1,0 +1,79 @@
+#include "sim/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace dws {
+
+namespace {
+
+/** @return true when only whitespace remains at `end`. */
+bool
+restIsSpace(const char *end)
+{
+    while (*end != '\0') {
+        if (!std::isspace(static_cast<unsigned char>(*end)))
+            return false;
+        end++;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<std::int64_t>
+parseInt64(const char *s)
+{
+    if (s == nullptr || *s == '\0')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s, &end, 0);
+    if (errno == ERANGE || end == s || !restIsSpace(end))
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::uint64_t>
+parseUint64(const char *s)
+{
+    if (s == nullptr)
+        return std::nullopt;
+    while (std::isspace(static_cast<unsigned char>(*s)))
+        s++;
+    if (*s == '\0' || *s == '-' || *s == '+')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (errno == ERANGE || end == s || !restIsSpace(end))
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double>
+parseFiniteDouble(const char *s)
+{
+    if (s == nullptr || *s == '\0')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (errno == ERANGE || end == s || !restIsSpace(end) ||
+        !std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+std::optional<std::int64_t>
+parseInt64InRange(const char *s, std::int64_t lo, std::int64_t hi)
+{
+    const auto v = parseInt64(s);
+    if (!v || *v < lo || *v > hi)
+        return std::nullopt;
+    return v;
+}
+
+} // namespace dws

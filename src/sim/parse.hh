@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Validated numeric parsing for CLI flags, environment variables and
+ * text-file tokens.
+ *
+ * std::atoi/atoll silently turn garbage into 0 and overflow into
+ * undefined behavior, which is how `--jobs banana` used to mean
+ * "0 workers". These helpers accept a token only if the *entire*
+ * string is a number that fits the target type, and return nullopt
+ * otherwise so every caller can reject bad input loudly.
+ */
+
+#ifndef DWS_SIM_PARSE_HH
+#define DWS_SIM_PARSE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dws {
+
+/**
+ * Parse a whole token as a signed 64-bit integer (decimal, or
+ * hexadecimal with a 0x/0X prefix; optional leading sign).
+ * @return nullopt for empty strings, trailing garbage or overflow.
+ */
+std::optional<std::int64_t> parseInt64(const char *s);
+inline std::optional<std::int64_t>
+parseInt64(const std::string &s)
+{
+    return parseInt64(s.c_str());
+}
+
+/** Same, for an unsigned 64-bit integer (no sign allowed). */
+std::optional<std::uint64_t> parseUint64(const char *s);
+inline std::optional<std::uint64_t>
+parseUint64(const std::string &s)
+{
+    return parseUint64(s.c_str());
+}
+
+/**
+ * Parse a whole token as a finite double.
+ * @return nullopt for empty strings, trailing garbage, inf/nan or
+ *         out-of-range magnitudes.
+ */
+std::optional<double> parseFiniteDouble(const char *s);
+
+/**
+ * Parse a signed integer constrained to [lo, hi].
+ * @return nullopt when unparsable or outside the range.
+ */
+std::optional<std::int64_t> parseInt64InRange(const char *s,
+                                              std::int64_t lo,
+                                              std::int64_t hi);
+
+} // namespace dws
+
+#endif // DWS_SIM_PARSE_HH

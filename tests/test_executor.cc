@@ -68,6 +68,62 @@ TEST(Executor, DefaultJobsHonorsEnvOverride)
     EXPECT_GE(SweepExecutor::defaultJobs(), 1);
 }
 
+TEST(Executor, DefaultJobsRejectsGarbageEnv)
+{
+    // Malformed or out-of-range DWS_JOBS must not be silently
+    // truncated by atoi into a bogus pool size.
+    setenv("DWS_JOBS", "8cores", 1);
+    EXPECT_EXIT(SweepExecutor::defaultJobs(),
+                ::testing::ExitedWithCode(1), "DWS_JOBS");
+    setenv("DWS_JOBS", "-3", 1);
+    EXPECT_EXIT(SweepExecutor::defaultJobs(),
+                ::testing::ExitedWithCode(1), "DWS_JOBS");
+    unsetenv("DWS_JOBS");
+}
+
+TEST(Journal, MalformedNumericTokensForceReRun)
+{
+    const std::string path =
+            ::testing::TempDir() + "dws_corrupt_journal.jsonl";
+    std::remove(path.c_str());
+
+    const SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    {
+        SweepExecutor ex(1);
+        ex.setJournal(path, false);
+        const auto res = ex.runBatch(
+                {SweepJob{"SVM", cfg, KernelScale::Tiny, "J"}});
+        ASSERT_TRUE(res[0].ok());
+    }
+
+    // Corrupt the cycles token in the journaled line.
+    std::string text;
+    {
+        std::ifstream f(path);
+        std::getline(f, text);
+    }
+    const auto pos = text.find("\"cycles\":");
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos + 9, "x");
+    {
+        std::ofstream f(path, std::ios::trunc);
+        f << text << "\n";
+    }
+
+    // A resume over the corrupt journal must re-simulate the cell
+    // instead of restoring it with a garbage cycle count.
+    {
+        SweepExecutor ex(1);
+        ex.setJournal(path, true);
+        const auto res = ex.runBatch(
+                {SweepJob{"SVM", cfg, KernelScale::Tiny, "J"}});
+        ASSERT_TRUE(res[0].ok());
+        EXPECT_FALSE(res[0].resumed);
+        EXPECT_GT(res[0].run.stats.cycles, 0u);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(Executor, WritesJsonRecords)
 {
     const std::string path = ::testing::TempDir() + "dws_exec_test.json";

@@ -157,7 +157,10 @@ TEST(Sweep, ParseBenchArgsRejectsBadJobs)
 {
     const char *argv[] = {"prog", "--jobs", "0"};
     EXPECT_EXIT(parseBenchArgs(3, const_cast<char **>(argv)),
-                ::testing::ExitedWithCode(1), "positive integer");
+                ::testing::ExitedWithCode(2), "positive integer");
+    const char *argv3[] = {"prog", "--jobs", "4x"};
+    EXPECT_EXIT(parseBenchArgs(3, const_cast<char **>(argv3)),
+                ::testing::ExitedWithCode(2), "positive integer");
     const char *argv2[] = {"prog", "--jobs"};
     EXPECT_EXIT(parseBenchArgs(2, const_cast<char **>(argv2)),
                 ::testing::ExitedWithCode(1), "requires");

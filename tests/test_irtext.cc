@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Tests for the textual kernel IR: assembler/disassembler round-trip,
+ * assembler error paths, the scalar reference interpreter, the seeded
+ * kernel generator, the IR-file kernel adapter, and the validated
+ * CLI-number parsing helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/report.hh"
+#include "isa/asm.hh"
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+#include "isa/kgen.hh"
+#include "isa/scalar_ref.hh"
+#include "kernels/irfile.hh"
+#include "kernels/kernel.hh"
+#include "sim/parse.hh"
+
+#include "test_util.hh"
+
+namespace dws {
+namespace {
+
+// --- parse helpers ----------------------------------------------------
+
+TEST(Parse, Int64AcceptsDecimalAndHex)
+{
+    EXPECT_EQ(parseInt64("42"), 42);
+    EXPECT_EQ(parseInt64("-7"), -7);
+    EXPECT_EQ(parseInt64("0x10"), 16);
+    EXPECT_EQ(parseInt64("  8 "), 8);
+}
+
+TEST(Parse, Int64RejectsGarbage)
+{
+    EXPECT_FALSE(parseInt64("").has_value());
+    EXPECT_FALSE(parseInt64("abc").has_value());
+    EXPECT_FALSE(parseInt64("12abc").has_value());
+    EXPECT_FALSE(parseInt64("1 2").has_value());
+    EXPECT_FALSE(parseInt64("99999999999999999999999").has_value());
+}
+
+TEST(Parse, Uint64RejectsSign)
+{
+    EXPECT_EQ(parseUint64("123"), 123u);
+    EXPECT_FALSE(parseUint64("-1").has_value());
+    EXPECT_FALSE(parseUint64("+1").has_value());
+    EXPECT_FALSE(parseUint64("12x").has_value());
+}
+
+TEST(Parse, FiniteDouble)
+{
+    EXPECT_DOUBLE_EQ(*parseFiniteDouble("1.5"), 1.5);
+    EXPECT_FALSE(parseFiniteDouble("inf").has_value());
+    EXPECT_FALSE(parseFiniteDouble("nan").has_value());
+    EXPECT_FALSE(parseFiniteDouble("1.5x").has_value());
+}
+
+TEST(Parse, Int64InRange)
+{
+    EXPECT_EQ(parseInt64InRange("5", 1, 10), 5);
+    EXPECT_FALSE(parseInt64InRange("0", 1, 10).has_value());
+    EXPECT_FALSE(parseInt64InRange("11", 1, 10).has_value());
+    EXPECT_FALSE(parseInt64InRange("x", 1, 10).has_value());
+}
+
+// --- assembler basics -------------------------------------------------
+
+constexpr const char *kTinyKernel = R"(.kernel tiny
+.subdiv 9
+.membytes 64
+.data 0 5 -6 7
+    movi r2, 3
+    addi r3, r2, -1
+    ld r4, [r3]
+    st [r3 + 8], r4
+    halt
+)";
+
+TEST(Asm, ParsesDirectivesAndInstructions)
+{
+    std::vector<AsmDiag> diags;
+    auto ak = assemble(kTinyKernel, diags);
+    ASSERT_TRUE(ak.has_value()) << (diags.empty()
+                                            ? ""
+                                            : toString(diags[0]));
+    EXPECT_EQ(ak->name, "tiny");
+    EXPECT_EQ(ak->subdivThreshold, 9);
+    EXPECT_EQ(ak->memBytes, 64u);
+    ASSERT_EQ(ak->data.size(), 1u);
+    EXPECT_EQ(ak->data[0].words,
+              (std::vector<std::int64_t>{5, -6, 7}));
+    ASSERT_EQ(ak->program.size(), 5);
+    EXPECT_EQ(ak->program.at(0).op, Op::Movi);
+    EXPECT_EQ(ak->program.at(2).op, Op::Ld);
+    EXPECT_EQ(ak->program.at(2).imm, 0);
+    EXPECT_EQ(ak->program.at(3).op, Op::St);
+    EXPECT_EQ(ak->program.at(3).imm, 8);
+    EXPECT_EQ(ak->program.subdivThreshold(), 9);
+}
+
+TEST(Asm, ResolvesLabelsAndAbsoluteTargets)
+{
+    std::vector<AsmDiag> diags;
+    auto ak = assemble(R"(
+.membytes 8
+    movi r2, 1
+loop:
+    addi r2, r2, -1
+    br r2, loop
+    jmp @4
+    halt
+)",
+                       diags);
+    ASSERT_TRUE(ak.has_value());
+    EXPECT_EQ(ak->program.at(2).op, Op::Br);
+    EXPECT_EQ(ak->program.at(2).target, 1);
+    EXPECT_EQ(ak->program.at(3).target, 4);
+}
+
+TEST(Asm, InfersMemBytesFromSegments)
+{
+    std::vector<AsmDiag> diags;
+    auto ak = assemble(".data 16 1 2\n    halt\n", diags);
+    ASSERT_TRUE(ak.has_value());
+    EXPECT_EQ(ak->memBytes, 32u); // two words at byte 16 end at 32
+}
+
+TEST(Asm, InitMemoryAppliesDataAndFill)
+{
+    std::vector<AsmDiag> diags;
+    auto ak = assemble(
+            ".membytes 64\n.data 0 11 -2\n.fill 32 2 7 255\n    halt\n",
+            diags);
+    ASSERT_TRUE(ak.has_value());
+    Memory mem(ak->memBytes);
+    ak->initMemory(mem);
+    EXPECT_EQ(mem.read(0), 11);
+    EXPECT_EQ(mem.read(8), -2);
+    Rng rng(7);
+    EXPECT_EQ(mem.read(32), static_cast<std::int64_t>(rng.next() & 255));
+    EXPECT_EQ(mem.read(40), static_cast<std::int64_t>(rng.next() & 255));
+}
+
+// --- assembler error paths --------------------------------------------
+
+/** @return all diagnostics concatenated (for EXPECT_NE substring). */
+std::string
+diagText(const std::vector<AsmDiag> &diags)
+{
+    std::string s;
+    for (const AsmDiag &d : diags)
+        s += toString(d) + "\n";
+    return s;
+}
+
+TEST(AsmErrors, UnknownOpcodeCarriesLineNumber)
+{
+    std::vector<AsmDiag> diags;
+    auto ak = assemble("    movi r2, 1\n    frobnicate r2\n    halt\n",
+                       diags);
+    EXPECT_FALSE(ak.has_value());
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].line, 2);
+    EXPECT_NE(diagText(diags).find("frobnicate"), std::string::npos);
+}
+
+TEST(AsmErrors, BadRegisterAndMissingComma)
+{
+    std::vector<AsmDiag> diags;
+    EXPECT_FALSE(assemble("    movi r32, 1\n    halt\n", diags)
+                         .has_value());
+    EXPECT_NE(diagText(diags).find("line 1"), std::string::npos);
+
+    diags.clear();
+    EXPECT_FALSE(
+            assemble("    add r2 r3, r4\n    halt\n", diags).has_value());
+    EXPECT_FALSE(diags.empty());
+}
+
+TEST(AsmErrors, UnresolvedAndDuplicateLabels)
+{
+    std::vector<AsmDiag> diags;
+    EXPECT_FALSE(assemble("    jmp nowhere\n    halt\n", diags)
+                         .has_value());
+    EXPECT_NE(diagText(diags).find("nowhere"), std::string::npos);
+
+    diags.clear();
+    EXPECT_FALSE(assemble("a:\n    movi r2, 0\na:\n    halt\n", diags)
+                         .has_value());
+    EXPECT_NE(diagText(diags).find("duplicate"), std::string::npos);
+}
+
+TEST(AsmErrors, TargetPastEndIsVerifierErrorNotAbort)
+{
+    // @5 in a 2-instruction program: resolvable syntactically, invalid
+    // structurally. Must produce a diagnostic, not a process abort.
+    std::vector<AsmDiag> diags;
+    EXPECT_FALSE(
+            assemble("    jmp @5\n    halt\n", diags).has_value());
+    EXPECT_FALSE(diags.empty());
+}
+
+TEST(AsmErrors, TrailingTokensRejected)
+{
+    std::vector<AsmDiag> diags;
+    EXPECT_FALSE(assemble("    halt r2\n", diags).has_value());
+    EXPECT_FALSE(diags.empty());
+}
+
+TEST(AsmErrors, OutOfRangeImmediateCarriesLineNumber)
+{
+    std::vector<AsmDiag> diags;
+    EXPECT_FALSE(assemble("    movi r2, 99999999999999999999999\n"
+                          "    halt\n",
+                          diags)
+                         .has_value());
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].line, 1);
+
+    diags.clear();
+    EXPECT_FALSE(
+            assemble("    jmp @99999999\n    halt\n", diags).has_value());
+    EXPECT_FALSE(diags.empty());
+}
+
+TEST(AsmErrors, AnnotationMismatchIsChecked)
+{
+    // The branch condition depends on r0 (the tid), so the divergence
+    // analysis cannot prove it uniform: asserting !uniform must fail.
+    std::vector<AsmDiag> diags;
+    auto ak = assemble(R"(
+.membytes 8
+    andi r2, r0, 1
+    br r2, done !uniform
+    movi r3, 1
+done:
+    halt
+)",
+                       diags);
+    EXPECT_FALSE(ak.has_value());
+    EXPECT_NE(diagText(diags).find("uniform"), std::string::npos);
+
+    // Wrong ipdom assertion.
+    diags.clear();
+    ak = assemble(R"(
+.membytes 8
+    andi r2, r0, 1
+    br r2, done !ipdom=@1
+    movi r3, 1
+done:
+    halt
+)",
+                  diags);
+    EXPECT_FALSE(ak.has_value());
+    EXPECT_NE(diagText(diags).find("ipdom"), std::string::npos);
+}
+
+TEST(AsmErrors, DeclaredMemBytesTooSmallForSegments)
+{
+    std::vector<AsmDiag> diags;
+    EXPECT_FALSE(assemble(".membytes 8\n.data 8 1\n    halt\n", diags)
+                         .has_value());
+    EXPECT_NE(diagText(diags).find("membytes"), std::string::npos);
+}
+
+// --- round-trip: asm(disasm(P)) == P ----------------------------------
+
+/** Assemble `text`, requiring success. */
+AsmKernel
+mustAssemble(const std::string &text)
+{
+    std::vector<AsmDiag> diags;
+    auto ak = assemble(text, diags);
+    EXPECT_TRUE(ak.has_value()) << diagText(diags) << "\n" << text;
+    if (!ak.has_value())
+        return AsmKernel{};
+    return *ak;
+}
+
+TEST(RoundTrip, BuiltinKernelsAreBitExact)
+{
+    KernelParams kp;
+    kp.scale = KernelScale::Tiny;
+    for (const std::string &name : kernelNames()) {
+        auto k = makeKernel(name, kp);
+        ASSERT_NE(k, nullptr) << name;
+        const Program p = k->buildProgram();
+        const AsmKernel ak = mustAssemble(disasm(p, k->memBytes()));
+        EXPECT_TRUE(ak.program == p) << name;
+        EXPECT_EQ(ak.name, p.name()) << name;
+        EXPECT_EQ(ak.subdivThreshold, p.subdivThreshold()) << name;
+        EXPECT_EQ(ak.memBytes, k->memBytes()) << name;
+    }
+}
+
+TEST(RoundTrip, GeneratedKernelsAreBitExact)
+{
+    for (std::uint64_t seed = 1; seed <= 100; seed++) {
+        KgenOptions opt;
+        opt.seed = seed;
+        const AsmKernel a = mustAssemble(generateKernel(opt));
+        const AsmKernel b =
+                mustAssemble(disasm(a.program, a.memBytes));
+        EXPECT_TRUE(a.program == b.program) << "seed " << seed;
+        EXPECT_EQ(a.memBytes, b.memBytes) << "seed " << seed;
+    }
+}
+
+TEST(RoundTrip, DisasmOfReassembledListingIsAFixpoint)
+{
+    KgenOptions opt;
+    opt.seed = 3;
+    const AsmKernel a = mustAssemble(generateKernel(opt));
+    const std::string once = disasm(a.program, a.memBytes);
+    const std::string twice =
+            disasm(mustAssemble(once).program, a.memBytes);
+    EXPECT_EQ(once, twice);
+}
+
+// --- generated kernels are lint-clean ---------------------------------
+
+TEST(Kgen, HundredSeededKernelsAreLintClean)
+{
+    for (std::uint64_t seed = 1; seed <= 100; seed++) {
+        KgenOptions opt;
+        opt.seed = seed;
+        const AsmKernel ak = mustAssemble(generateKernel(opt));
+        AnalysisInput input;
+        input.memBytes = ak.memBytes;
+        input.numThreads = 64;
+        const StaticReport rep =
+                StaticAnalyzer::analyze(ak.program, input);
+        EXPECT_TRUE(rep.clean())
+                << "seed " << seed << ": " << rep.errors()
+                << " errors, " << rep.warnings() << " warnings";
+    }
+}
+
+TEST(Kgen, SameSeedSameText)
+{
+    KgenOptions opt;
+    opt.seed = 17;
+    EXPECT_EQ(generateKernel(opt), generateKernel(opt));
+    KgenOptions other = opt;
+    other.seed = 18;
+    EXPECT_NE(generateKernel(opt), generateKernel(other));
+}
+
+// --- scalar reference interpreter -------------------------------------
+
+TEST(ScalarRef, ComputesPerThreadStores)
+{
+    // mem[tid*8] = tid*3 for every thread.
+    const AsmKernel ak = mustAssemble(R"(
+.membytes 64
+    muli r2, r0, 3
+    shli r3, r0, 3
+    st [r3], r2
+    halt
+)");
+    Memory mem(ak.memBytes);
+    const ScalarRefResult r = runScalarRef(ak.program, mem, 8);
+    ASSERT_TRUE(r.ok) << r.error;
+    for (std::int64_t t = 0; t < 8; t++)
+        EXPECT_EQ(mem.read(static_cast<Addr>(t) * 8), t * 3);
+    EXPECT_EQ(r.instrs, 8u * 4u);
+}
+
+TEST(ScalarRef, BarrierOrdersPhases)
+{
+    // Phase 1: each thread stores tid. Barrier. Phase 2: thread t
+    // reads slot (t+1) mod n — defined only because of the barrier.
+    const AsmKernel ak = mustAssemble(R"(
+.membytes 128
+    shli r2, r0, 3
+    st [r2], r0
+    bar
+    addi r3, r0, 1
+    slt r4, r3, r1
+    br r4, ok
+    movi r3, 0
+ok:
+    shli r3, r3, 3
+    ld r5, [r3]
+    st [r2 + 64], r5
+    halt
+)");
+    Memory mem(ak.memBytes);
+    const ScalarRefResult r = runScalarRef(ak.program, mem, 8);
+    ASSERT_TRUE(r.ok) << r.error;
+    for (std::int64_t t = 0; t < 8; t++)
+        EXPECT_EQ(mem.read(static_cast<Addr>(t) * 8 + 64), (t + 1) % 8);
+}
+
+TEST(ScalarRef, ReportsOutOfBoundsAccess)
+{
+    const AsmKernel ak = mustAssemble(R"(
+.membytes 16
+    movi r2, 1024
+    ld r3, [r2]
+    halt
+)");
+    Memory mem(ak.memBytes);
+    const ScalarRefResult r = runScalarRef(ak.program, mem, 1);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("address"), std::string::npos);
+}
+
+TEST(ScalarRef, ReportsRunawayProgram)
+{
+    // The loop condition is data-dependent (always true at runtime),
+    // so the verifier's halt-reachability check passes but execution
+    // never terminates.
+    const AsmKernel ak = mustAssemble(R"(
+.membytes 8
+    movi r2, 1
+loop:
+    br r2, loop
+    halt
+)");
+    Memory mem(ak.memBytes);
+    const ScalarRefResult r = runScalarRef(ak.program, mem, 1, 1000);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+// --- differential oracle: scalar ref vs simulator ---------------------
+
+TEST(Oracle, GeneratedKernelsMatchAcrossPolicies)
+{
+    const SystemConfig base = testConfig(8, 2, 2);
+    const PolicyConfig policies[] = {
+        PolicyConfig::conv(),
+        PolicyConfig::reviveSplit(),
+        PolicyConfig::dws(SplitScheme::Aggressive),
+        PolicyConfig::adaptiveSlip(),
+    };
+    for (std::uint64_t seed = 1; seed <= 5; seed++) {
+        KgenOptions opt;
+        opt.seed = seed;
+        std::vector<AsmDiag> diags;
+        auto ak = assemble(generateKernel(opt), diags);
+        ASSERT_TRUE(ak.has_value());
+        for (const PolicyConfig &pol : policies) {
+            SystemConfig cfg = base;
+            cfg.policy = pol;
+            KernelParams kp;
+            kp.launchThreads = cfg.totalThreads();
+            auto kern = makeIrKernel(*ak, kp);
+            ASSERT_NE(kern, nullptr);
+            System sys(cfg, *kern);
+            sys.run();
+            EXPECT_TRUE(kern->validate(sys.memory()))
+                    << "seed " << seed << " policy " << pol.name();
+        }
+    }
+}
+
+// --- IR-file kernel adapter -------------------------------------------
+
+TEST(IrFile, SpecDetection)
+{
+    EXPECT_TRUE(looksLikeIrFile("foo.dws"));
+    EXPECT_TRUE(looksLikeIrFile("dir/foo"));
+    EXPECT_FALSE(looksLikeIrFile("FFT"));
+    EXPECT_FALSE(looksLikeIrFile("gen1"));
+}
+
+TEST(IrFile, MakeKernelLoadsAndRunsAFile)
+{
+    const std::string path = ::testing::TempDir() + "irtext_tiny.dws";
+    {
+        std::ofstream f(path, std::ios::trunc);
+        KgenOptions opt;
+        opt.seed = 42;
+        f << generateKernel(opt);
+    }
+    SystemConfig cfg = testConfig(8, 2, 1);
+    cfg.policy = PolicyConfig::reviveSplit();
+    KernelParams kp;
+    kp.launchThreads = cfg.totalThreads();
+    auto kern = makeKernel(path, kp);
+    ASSERT_NE(kern, nullptr);
+    EXPECT_EQ(kern->name(), "gen42");
+    System sys(cfg, *kern);
+    sys.run();
+    EXPECT_TRUE(kern->validate(sys.memory()));
+    std::remove(path.c_str());
+}
+
+TEST(IrFile, MissingFileYieldsNullNotAbort)
+{
+    EXPECT_EQ(makeKernel("no/such/file.dws", KernelParams{}), nullptr);
+}
+
+} // namespace
+} // namespace dws

@@ -227,7 +227,7 @@ TEST(Disasm, ProducesReadableListing)
     Program p = diamond();
     const std::string text = disasm(p);
     EXPECT_NE(text.find("br r3"), std::string::npos);
-    EXPECT_NE(text.find("ipdom=5"), std::string::npos);
+    EXPECT_NE(text.find("!ipdom=L5"), std::string::npos);
     EXPECT_NE(text.find("halt"), std::string::npos);
 }
 

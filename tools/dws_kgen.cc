@@ -1,0 +1,361 @@
+/**
+ * @file
+ * dws_kgen: seeded random kernel generator and differential-oracle
+ * fuzz driver.
+ *
+ * Generates lint-clean-by-construction IR kernels (isa/kgen.hh),
+ * optionally writes them out as `.dws` files, gates them through the
+ * full static analyzer, and runs the differential oracle: the scalar
+ * reference interpreter's final memory image must match the simulated
+ * image under the conventional policy, every DWS scheme and slip.
+ *
+ *   dws_kgen --seed 1 --count 100 --lint --oracle --report fuzz.json
+ *   dws_kgen --seed 7 --print
+ *   dws_kgen --seed 7 --out examples/ir
+ *
+ * Exit codes: 0 every kernel generated, linted clean and passed the
+ * oracle; 1 any failure; 2 usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "harness/system.hh"
+#include "isa/asm.hh"
+#include "isa/kgen.hh"
+#include "isa/scalar_ref.hh"
+#include "kernels/irfile.hh"
+#include "sim/abort.hh"
+#include "sim/json_writer.hh"
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+
+using namespace dws;
+
+namespace {
+
+void
+usage(std::FILE *out)
+{
+    std::fputs(
+        "usage: dws_kgen [options]\n"
+        "  --seed N      first seed (default 1)\n"
+        "  --count N     kernels to generate, seeds N..N+count-1 "
+        "(default 1)\n"
+        "  --stmts N     statements per phase (default 5)\n"
+        "  --phases N    barrier-separated phases (default 2)\n"
+        "  --depth N     max if/loop nesting depth (default 2)\n"
+        "  --slot-bits N log2 of per-phase output slots (default 6)\n"
+        "  --in-words N  read-only input words (default 64)\n"
+        "  --out DIR     write each kernel to DIR/<name>.dws\n"
+        "  --print       dump the kernel text to stdout\n"
+        "  --lint        require a clean static-analysis report\n"
+        "                (0 errors, 0 warnings)\n"
+        "  --oracle      run the differential oracle across policies\n"
+        "  --wpus N --warps N --width N  oracle machine (default "
+        "2x2x8)\n"
+        "  --report FILE write a JSON report\n"
+        "  --quiet       suppress warnings\n"
+        "exit codes: 0 all pass, 1 failures, 2 usage\n",
+        out);
+}
+
+struct PolicyEntry
+{
+    const char *name;
+    PolicyConfig cfg;
+};
+
+std::vector<PolicyEntry>
+oraclePolicies()
+{
+    return {
+        {"conv", PolicyConfig::conv()},
+        {"branch-stack", PolicyConfig::branchOnlyStack()},
+        {"branch", PolicyConfig::branchOnly()},
+        {"bl-aggress",
+         PolicyConfig::memOnlyBranchLimited(SplitScheme::Aggressive)},
+        {"bl-lazy", PolicyConfig::memOnlyBranchLimited(SplitScheme::Lazy)},
+        {"bl-revive",
+         PolicyConfig::memOnlyBranchLimited(SplitScheme::Revive)},
+        {"mem-only", PolicyConfig::reviveMemOnly()},
+        {"aggress", PolicyConfig::dws(SplitScheme::Aggressive)},
+        {"lazy", PolicyConfig::dws(SplitScheme::Lazy)},
+        {"revive", PolicyConfig::reviveSplit()},
+        {"slip", PolicyConfig::adaptiveSlip()},
+        {"slip-bb", PolicyConfig::slipBranchBypassCfg()},
+    };
+}
+
+struct KernelOutcome
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    int instrs = 0;
+    int lintErrors = 0;
+    int lintWarnings = 0;
+    bool assembled = false;
+    bool scalarOk = false;
+    std::uint64_t scalarInstrs = 0;
+    std::uint64_t regHash = 0;
+    std::vector<std::pair<std::string, std::string>> policies;
+    bool oracleOk = true;
+
+    bool
+    pass(bool wantLint, bool wantOracle) const
+    {
+        if (!assembled)
+            return false;
+        if (wantLint && (lintErrors > 0 || lintWarnings > 0))
+            return false;
+        if (wantOracle && (!scalarOk || !oracleOk))
+            return false;
+        return true;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    int count = 1;
+    KgenOptions base;
+    SystemConfig cfg;
+    cfg.numWpus = 2;
+    cfg.wpu.numWarps = 2;
+    cfg.wpu.simdWidth = 8;
+    cfg.wpu.dcache.banks = 8;
+    cfg.wpu.schedSlots = 4;
+    std::string outDir, reportPath;
+    bool print = false, wantLint = false, wantOracle = false;
+
+    auto intArg = [&](int &i, std::int64_t lo, std::int64_t hi) {
+        if (i + 1 >= argc) {
+            usage(stderr);
+            std::fprintf(stderr, "dws_kgen: missing value for %s\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        const auto v = parseInt64InRange(argv[i + 1], lo, hi);
+        if (!v) {
+            usage(stderr);
+            std::fprintf(stderr,
+                         "dws_kgen: %s: '%s' is not an integer in "
+                         "[%lld, %lld]\n",
+                         argv[i], argv[i + 1], (long long)lo,
+                         (long long)hi);
+            std::exit(2);
+        }
+        ++i;
+        return *v;
+    };
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            usage(stdout);
+            return 0;
+        } else if (!std::strcmp(a, "--seed")) {
+            seed = static_cast<std::uint64_t>(
+                    intArg(i, 0, std::int64_t(1) << 62));
+        } else if (!std::strcmp(a, "--count")) {
+            count = static_cast<int>(intArg(i, 1, 100000));
+        } else if (!std::strcmp(a, "--stmts")) {
+            base.stmts = static_cast<int>(intArg(i, 1, 16));
+        } else if (!std::strcmp(a, "--phases")) {
+            base.phases = static_cast<int>(intArg(i, 1, 8));
+        } else if (!std::strcmp(a, "--depth")) {
+            base.maxDepth = static_cast<int>(intArg(i, 0, 3));
+        } else if (!std::strcmp(a, "--slot-bits")) {
+            base.slotBits = static_cast<int>(intArg(i, 1, 10));
+        } else if (!std::strcmp(a, "--in-words")) {
+            base.inWords = static_cast<int>(intArg(i, 8, 4096));
+        } else if (!std::strcmp(a, "--wpus")) {
+            cfg.numWpus = static_cast<int>(intArg(i, 1, 64));
+        } else if (!std::strcmp(a, "--warps")) {
+            cfg.wpu.numWarps = static_cast<int>(intArg(i, 1, 64));
+            cfg.wpu.schedSlots = 2 * cfg.wpu.numWarps;
+        } else if (!std::strcmp(a, "--width")) {
+            cfg.wpu.simdWidth = static_cast<int>(intArg(i, 1, 64));
+            cfg.wpu.dcache.banks = cfg.wpu.simdWidth;
+        } else if (!std::strcmp(a, "--out") && i + 1 < argc) {
+            outDir = argv[++i];
+        } else if (!std::strcmp(a, "--report") && i + 1 < argc) {
+            reportPath = argv[++i];
+        } else if (!std::strcmp(a, "--print")) {
+            print = true;
+        } else if (!std::strcmp(a, "--lint")) {
+            wantLint = true;
+        } else if (!std::strcmp(a, "--oracle")) {
+            wantOracle = true;
+        } else if (!std::strcmp(a, "--quiet")) {
+            setQuiet(true);
+        } else {
+            usage(stderr);
+            std::fprintf(stderr, "dws_kgen: unknown option '%s'\n", a);
+            return 2;
+        }
+    }
+
+    const std::int64_t threads = cfg.totalThreads();
+    const auto policies = oraclePolicies();
+    std::vector<KernelOutcome> outcomes;
+    int failures = 0;
+
+    for (int k = 0; k < count; k++) {
+        KgenOptions opt = base;
+        opt.seed = seed + static_cast<std::uint64_t>(k);
+        const std::string text = generateKernel(opt);
+
+        KernelOutcome oc;
+        oc.seed = opt.seed;
+
+        if (print)
+            std::fputs(text.c_str(), stdout);
+
+        std::vector<AsmDiag> diags;
+        auto ak = assemble(text, diags);
+        if (!ak) {
+            // Generator bug: the construction discipline should make
+            // this impossible.
+            std::fprintf(stderr,
+                         "dws_kgen: seed %llu: generated kernel does "
+                         "not assemble:\n",
+                         (unsigned long long)opt.seed);
+            for (const AsmDiag &d : diags)
+                std::fprintf(stderr, "  %s\n", toString(d).c_str());
+            oc.name = "gen" + std::to_string(opt.seed);
+            outcomes.push_back(oc);
+            failures++;
+            continue;
+        }
+        oc.assembled = true;
+        oc.name = ak->name;
+        oc.instrs = ak->program.size();
+
+        if (!outDir.empty()) {
+            const std::string path = outDir + "/" + ak->name + ".dws";
+            std::ofstream f(path, std::ios::trunc);
+            if (!f.is_open())
+                fatal("cannot write '%s'", path.c_str());
+            f << text;
+        }
+
+        AnalysisInput input;
+        input.memBytes = ak->memBytes;
+        input.numThreads = threads;
+        const StaticReport rep =
+                StaticAnalyzer::analyze(ak->program, input);
+        oc.lintErrors = rep.errors();
+        oc.lintWarnings = rep.warnings();
+        if (wantLint && (oc.lintErrors > 0 || oc.lintWarnings > 0)) {
+            std::fprintf(stderr,
+                         "dws_kgen: seed %llu (%s): not lint-clean "
+                         "(%d errors, %d warnings):\n",
+                         (unsigned long long)opt.seed, oc.name.c_str(),
+                         oc.lintErrors, oc.lintWarnings);
+            for (const Diagnostic &d : rep.diags)
+                if (d.severity != Severity::Note)
+                    std::fprintf(stderr, "  %s\n", toString(d).c_str());
+        }
+
+        if (wantOracle) {
+            Memory golden(ak->memBytes);
+            ak->initMemory(golden);
+            const ScalarRefResult ref =
+                    runScalarRef(ak->program, golden, threads);
+            oc.scalarOk = ref.ok;
+            oc.scalarInstrs = ref.instrs;
+            oc.regHash = ref.regHash;
+            if (!ref.ok) {
+                std::fprintf(stderr,
+                             "dws_kgen: seed %llu (%s): scalar "
+                             "reference failed: %s\n",
+                             (unsigned long long)opt.seed,
+                             oc.name.c_str(), ref.error.c_str());
+            } else {
+                for (const PolicyEntry &pe : policies) {
+                    SystemConfig pcfg = cfg;
+                    pcfg.policy = pe.cfg;
+                    KernelParams kp;
+                    kp.launchThreads = threads;
+                    auto kern = makeIrKernel(*ak, kp);
+                    std::string verdict = "ok";
+                    try {
+                        ScopedRecoverableAborts recover;
+                        System sys(pcfg, *kern);
+                        sys.run();
+                        if (!kern->validate(sys.memory()))
+                            verdict = "memory-mismatch";
+                    } catch (const SimAbortError &e) {
+                        verdict = std::string(simOutcomeName(e.outcome)) +
+                                  ": " + e.what();
+                    }
+                    if (verdict != "ok") {
+                        oc.oracleOk = false;
+                        std::fprintf(stderr,
+                                     "dws_kgen: seed %llu (%s) under "
+                                     "%s: %s\n",
+                                     (unsigned long long)opt.seed,
+                                     oc.name.c_str(), pe.name,
+                                     verdict.c_str());
+                    }
+                    oc.policies.emplace_back(pe.name, verdict);
+                }
+            }
+        }
+
+        if (!oc.pass(wantLint, wantOracle))
+            failures++;
+        outcomes.push_back(std::move(oc));
+    }
+
+    if (!reportPath.empty()) {
+        std::ofstream f(reportPath, std::ios::trunc);
+        if (!f.is_open())
+            fatal("cannot write report '%s'", reportPath.c_str());
+        JsonWriter w(f, 2);
+        w.beginObject();
+        w.field("seed", seed);
+        w.field("count", count);
+        w.field("threads", threads);
+        w.field("failures", failures);
+        w.key("kernels");
+        w.beginArray();
+        for (const KernelOutcome &oc : outcomes) {
+            w.beginObject();
+            w.field("name", oc.name);
+            w.field("seed", oc.seed);
+            w.field("instrs", oc.instrs);
+            w.field("assembled", oc.assembled);
+            w.field("lint_errors", oc.lintErrors);
+            w.field("lint_warnings", oc.lintWarnings);
+            if (wantOracle) {
+                w.field("scalar_ok", oc.scalarOk);
+                w.field("scalar_instrs", oc.scalarInstrs);
+                w.field("reg_hash", oc.regHash);
+                w.key("policies");
+                w.beginObject();
+                for (const auto &[name, verdict] : oc.policies)
+                    w.field(name, verdict);
+                w.endObject();
+            }
+            w.field("pass", oc.pass(wantLint, wantOracle));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        f << "\n";
+    }
+
+    std::printf("dws_kgen: %d kernel(s), %d failure(s)%s%s\n", count,
+                failures, wantLint ? ", lint gated" : "",
+                wantOracle ? ", oracle across 12 policies" : "");
+    return failures == 0 ? 0 : 1;
+}

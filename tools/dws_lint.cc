@@ -33,6 +33,7 @@
 #include "kernels/kernel.hh"
 #include "sim/config.hh"
 #include "sim/json_writer.hh"
+#include "sim/parse.hh"
 
 using namespace dws;
 
@@ -43,7 +44,8 @@ usage(std::FILE *out)
 {
     std::fputs(
         "usage: dws_lint [options]\n"
-        "  --kernel NAME   lint one benchmark (repeatable)\n"
+        "  --kernel NAME   lint one benchmark or a textual IR file\n"
+        "                  (path or *.dws); repeatable\n"
         "  --all           lint every built-in benchmark\n"
         "  --scale S       tiny | default (input-size preset)\n"
         "  --subdiv N      branch heuristic bound (instrs)\n"
@@ -170,13 +172,15 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--json") && i + 1 < argc) {
             jsonPath = argv[++i];
         } else if (!std::strcmp(a, "--threads") && i + 1 < argc) {
-            threads = std::atoll(argv[++i]);
-            if (threads < 0) {
+            const auto v = parseInt64InRange(argv[++i], 0, 1 << 24);
+            if (!v) {
                 std::fprintf(stderr,
-                             "dws_lint: --threads must be >= 0 "
-                             "(0 = unknown)\n");
+                             "dws_lint: --threads: '%s' is not a valid "
+                             "thread count (0 = unknown)\n", argv[i]);
+                usage(stderr);
                 return 2;
             }
+            threads = *v;
         } else if (!std::strcmp(a, "--scale") && i + 1 < argc) {
             const std::string s = argv[++i];
             if (s == "tiny") {
@@ -190,7 +194,15 @@ main(int argc, char **argv)
                 return 2;
             }
         } else if (!std::strcmp(a, "--subdiv") && i + 1 < argc) {
-            kp.subdivThreshold = std::atoi(argv[++i]);
+            const auto v = parseInt64InRange(argv[++i], 0, 100000);
+            if (!v) {
+                std::fprintf(stderr,
+                             "dws_lint: --subdiv: '%s' is not a valid "
+                             "instruction bound\n", argv[i]);
+                usage(stderr);
+                return 2;
+            }
+            kp.subdivThreshold = static_cast<int>(*v);
         } else {
             std::fprintf(stderr, "dws_lint: unknown option '%s'\n", a);
             usage(stderr);
@@ -208,7 +220,8 @@ main(int argc, char **argv)
     for (const std::string &n : names) {
         if (!makeKernel(n, kp)) {
             std::fprintf(stderr,
-                         "dws_lint: unknown kernel '%s' (try --list)\n",
+                         "dws_lint: cannot load kernel '%s' "
+                         "(try --list, or check the IR file)\n",
                          n.c_str());
             usage(stderr);
             return 2;

@@ -29,6 +29,7 @@
 #include "isa/disasm.hh"
 #include "sim/abort.hh"
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "trace/trace.hh"
 
 using namespace dws;
@@ -40,7 +41,8 @@ usage()
 {
     std::puts(
         "usage: dws_sim [options]\n"
-        "  --kernel NAME     benchmark (see --list); default Filter\n"
+        "  --kernel NAME     benchmark (see --list) or a textual IR\n"
+        "                    file (path or *.dws); default Filter\n"
         "  --policy NAME     conv | branch-stack | branch | bl-aggress |\n"
         "                    bl-lazy | bl-revive | mem-only | aggress |\n"
         "                    lazy | revive | slip | slip-bb\n"
@@ -124,10 +126,15 @@ main(int argc, char **argv)
     std::string campaignOut;
     CampaignOptions copts;
 
-    auto intArg = [&](int &i) {
+    auto intArg = [&](int &i) -> long long {
         if (i + 1 >= argc)
             fatal("missing value for %s", argv[i]);
-        return std::atoll(argv[++i]);
+        const auto v = parseInt64(argv[i + 1]);
+        if (!v)
+            fatal("%s: '%s' is not a valid integer", argv[i],
+                  argv[i + 1]);
+        ++i;
+        return *v;
     };
 
     for (int i = 1; i < argc; i++) {
@@ -184,7 +191,11 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--check-invariants")) {
             cfg.checkInvariants = 256;
         } else if (!std::strncmp(a, "--check-invariants=", 19)) {
-            cfg.checkInvariants = static_cast<Cycle>(std::atoll(a + 19));
+            const auto v = parseInt64(a + 19);
+            if (!v || *v < 0)
+                fatal("--check-invariants: '%s' is not a valid cycle "
+                      "count", a + 19);
+            cfg.checkInvariants = static_cast<Cycle>(*v);
         } else if (!std::strcmp(a, "--trace")) {
             cfg.traceMode = static_cast<int>(TraceMode::All);
         } else if (!std::strncmp(a, "--trace=", 8)) {
@@ -255,10 +266,15 @@ main(int argc, char **argv)
         KernelParams kp;
         kp.scale = scale;
         kp.seed = cfg.seed;
+        kp.subdivThreshold = cfg.policy.subdivMaxPostBlock;
         auto kernel = makeKernel(kernelName, kp);
         if (!kernel)
             fatal("unknown kernel '%s' (try --list)", kernelName.c_str());
-        std::fputs(disasm(kernel->buildProgram()).c_str(), stdout);
+        // Include .membytes so the listing is directly runnable via
+        // --kernel FILE.
+        std::fputs(disasm(kernel->buildProgram(),
+                          kernel->memBytes()).c_str(),
+                   stdout);
         return 0;
     }
 
