@@ -26,11 +26,16 @@ main(int argc, char **argv)
     const std::vector<int> lats = {10, 30, 100, 200, 300};
     std::vector<PendingRun> convP, dwsP;
     for (int lat : lats) {
+        // The sweep axis lives on the hierarchy spec: take Table 3's
+        // fabric, override the first shared level's lookup latency, and
+        // install the spec on both configs.
+        HierarchySpec spec = HierarchySpec::table3();
+        spec.levels[0].cache.hitLatency = lat;
         SystemConfig convCfg = SystemConfig::table3(PolicyConfig::conv());
-        convCfg.mem.l2.hitLatency = lat;
+        convCfg.applyHierarchy(spec);
         SystemConfig dwsCfg =
                 SystemConfig::table3(PolicyConfig::reviveSplit());
-        dwsCfg.mem.l2.hitLatency = lat;
+        dwsCfg.applyHierarchy(spec);
         convP.push_back(runAllAsync("Conv L2 " + std::to_string(lat),
                                     convCfg, opts.scale,
                                     opts.benchmarks, ex));

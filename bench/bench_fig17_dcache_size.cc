@@ -27,14 +27,21 @@ main(int argc, char **argv)
     std::vector<PendingRun> convP, dwsP;
     for (std::uint64_t kb : sizesKb) {
         const std::string suffix = std::to_string(kb) + "KB";
-        convP.push_back(runAllAsync(
-                "Conv D$ " + suffix,
-                cfgWithDcache(PolicyConfig::conv(), kb * 1024, 8),
-                opts.scale, opts.benchmarks, ex));
-        dwsP.push_back(runAllAsync(
-                "DWS D$ " + suffix,
-                cfgWithDcache(PolicyConfig::reviveSplit(), kb * 1024, 8),
-                opts.scale, opts.benchmarks, ex));
+        // The sweep axis is an L1D override on the hierarchy spec;
+        // applyHierarchy writes it through to wpu.dcache.
+        HierarchySpec spec;
+        spec.l1d = SystemConfig{}.wpu.dcache;
+        spec.l1d->sizeBytes = kb * 1024;
+        spec.l1d->assoc = 8;
+        SystemConfig convCfg = SystemConfig::table3(PolicyConfig::conv());
+        convCfg.applyHierarchy(spec);
+        SystemConfig dwsCfg =
+                SystemConfig::table3(PolicyConfig::reviveSplit());
+        dwsCfg.applyHierarchy(spec);
+        convP.push_back(runAllAsync("Conv D$ " + suffix, convCfg,
+                                    opts.scale, opts.benchmarks, ex));
+        dwsP.push_back(runAllAsync("DWS D$ " + suffix, dwsCfg,
+                                   opts.scale, opts.benchmarks, ex));
     }
 
     TextTable t;

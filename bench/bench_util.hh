@@ -33,8 +33,9 @@ runBenchmarks(SweepExecutor &ex, const std::string &label,
     for (const auto &name : names)
         jobs.push_back(SweepJob{
                 name,
-                withBenchFault(withBenchTrace(cfg, label, name), label,
-                               name),
+                withBenchFault(withBenchTrace(withBenchHier(cfg), label,
+                                              name),
+                               label, name),
                 opts.scale, label});
     return ex.runBatch(std::move(jobs));
 }

@@ -354,11 +354,19 @@ InvariantChecker::auditWpu(const Wpu &w, Cycle now)
         ctx.add(-1, -1, kPcExit,
                 format("%d leaked L1 MSHR entries (readyAt < now)",
                        l1Leaks));
-    const int l2Leaks = w.memsys.l2MshrFile().overdueEntries(now);
-    if (l2Leaks > 0)
-        ctx.add(-1, -1, kPcExit,
-                format("%d leaked L2 MSHR entries (readyAt < now)",
-                       l2Leaks));
+    for (int li = 0; li < w.memsys.sharedLevels(); li++) {
+        for (int s = 0; s < w.memsys.sliceCount(li); s++) {
+            const int leaks =
+                    w.memsys.sharedMshrFile(li, s).overdueEntries(now);
+            if (leaks > 0)
+                ctx.add(-1, -1, kPcExit,
+                        format("%d leaked %s MSHR entries "
+                               "(readyAt < now)",
+                               leaks,
+                               w.memsys.sharedCache(li, s)
+                                       .name().c_str()));
+        }
+    }
 
     // Tracer occupancy mirrors: every split/WST/MSHR mutation must
     // flow through a trace hook, so the tracer's live counters must
@@ -380,21 +388,34 @@ InvariantChecker::auditWpu(const Wpu &w, Cycle now)
                     format("tracer mirrors %d L1 MSHRs, file holds %d",
                            t->l1MshrInUse(w.id()),
                            w.memsys.l1MshrFile(w.id()).inUse()));
-        if (t->l2MshrInUse() != w.memsys.l2MshrFile().inUse())
-            ctx.add(-1, -1, kPcExit,
-                    format("tracer mirrors %d L2 MSHRs, file holds %d",
-                           t->l2MshrInUse(),
-                           w.memsys.l2MshrFile().inUse()));
+        for (int li = 0; li < w.memsys.sharedLevels(); li++) {
+            for (int s = 0; s < w.memsys.sliceCount(li); s++) {
+                const int mirror = t->sharedMshrInUse(li + 1, s);
+                const int held =
+                        w.memsys.sharedMshrFile(li, s).inUse();
+                if (mirror != held)
+                    ctx.add(-1, -1, kPcExit,
+                            format("tracer mirrors %d %s MSHRs, file "
+                                   "holds %d",
+                                   mirror,
+                                   w.memsys.sharedCache(li, s)
+                                           .name().c_str(),
+                                   held));
+            }
+        }
     }
 
     // Tag uniqueness: find() returns the first matching way, so two
     // valid ways of a set with the same tag would silently shadow each
-    // other's MESI state. Checked on this WPU's L1s plus the shared L2
-    // (the L2 check is redundant across WPUs but cheap relative to the
-    // audit cadence).
-    for (const CacheArray *c :
-         {&w.memsys.icache(w.id()), &w.memsys.dcache(w.id()),
-          &w.memsys.l2()}) {
+    // other's MESI state. Checked on this WPU's L1s plus every shared
+    // level slice (the shared checks are redundant across WPUs but
+    // cheap relative to the audit cadence).
+    std::vector<const CacheArray *> audited = {&w.memsys.icache(w.id()),
+                                               &w.memsys.dcache(w.id())};
+    for (int li = 0; li < w.memsys.sharedLevels(); li++)
+        for (int s = 0; s < w.memsys.sliceCount(li); s++)
+            audited.push_back(&w.memsys.sharedCache(li, s));
+    for (const CacheArray *c : audited) {
         const std::vector<int> dups = c->duplicateTagSets();
         if (!dups.empty())
             ctx.add(-1, -1, kPcExit,

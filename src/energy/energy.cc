@@ -29,20 +29,30 @@ computeEnergy(const RunStats &stats, const SystemConfig &cfg,
     }
     e.caches += double(stats.mem.l2.accesses() + stats.mem.l2.writebacks) *
                 p.l2Access;
+    // Deeper shared levels (L3, ...) of an explicit hierarchy.
+    for (const auto &c : stats.mem.deeper)
+        e.caches += double(c.accesses() + c.writebacks) * p.l3Access;
 
     // Interconnect and DRAM.
     e.network = double(stats.mem.xbarTransfers) * p.xbarPerTransfer;
     e.dram = double(stats.mem.dramAccesses) * p.dramPerAccess;
 
-    // Leakage grows linearly with runtime (65 nm; Section 6.5).
+    // Leakage grows linearly with runtime (65 nm; Section 6.5). Shared
+    // capacity comes from the effective hierarchy spec so L3/sliced
+    // configs leak in proportion to what they instantiate; the default
+    // spec reduces to exactly mem.l2.sizeBytes.
     const double l1Kb =
             double(cfg.wpu.icache.sizeBytes + cfg.wpu.dcache.sizeBytes) /
             1024.0;
-    const double l2Kb = double(cfg.mem.l2.sizeBytes) / 1024.0;
+    std::uint64_t sharedBytes = 0;
+    for (const auto &lvl : cfg.hierarchy().levels)
+        sharedBytes += lvl.cache.sizeBytes *
+                       static_cast<std::uint64_t>(lvl.slices);
+    const double sharedKb = double(sharedBytes) / 1024.0;
     const double leakPerCycle =
             cfg.numWpus * (p.wpuLeakPerCycle +
                            l1Kb * p.cacheLeakPerKbCycle) +
-            l2Kb * p.cacheLeakPerKbCycle;
+            sharedKb * p.cacheLeakPerKbCycle;
     e.leakage = double(stats.cycles) * leakPerCycle;
 
     return e;

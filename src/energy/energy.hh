@@ -37,6 +37,7 @@ struct EnergyParams
     double l1iAccess = 0.10;
     double l1dAccess = 0.20;
     double l2Access = 1.20;
+    double l3Access = 2.00;             ///< shared levels below the L2
 
     // Interconnect and memory.
     double xbarPerTransfer = 0.60;      ///< line transfer over crossbar

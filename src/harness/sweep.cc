@@ -24,6 +24,10 @@ std::string gBenchTraceOut;
 std::string gBenchFaultSpec;
 std::string gBenchFaultCell;
 
+/** Bench-wide machine overrides, set once by parseBenchArgs. */
+int gBenchWpus = 0;
+HierarchySpec gBenchHier;
+
 std::string
 sanitizeToken(const std::string &s)
 {
@@ -90,6 +94,23 @@ withBenchFault(SystemConfig cfg, const std::string &label,
     return cfg;
 }
 
+void
+setBenchHier(int wpus, const HierarchySpec &hier)
+{
+    gBenchWpus = wpus;
+    gBenchHier = hier;
+}
+
+SystemConfig
+withBenchHier(SystemConfig cfg)
+{
+    if (gBenchWpus > 0)
+        cfg.numWpus = gBenchWpus;
+    if (!gBenchHier.empty())
+        cfg.applyHierarchy(gBenchHier);
+    return cfg;
+}
+
 PolicyRun
 PendingRun::get()
 {
@@ -119,7 +140,8 @@ runAllAsync(const std::string &label, const SystemConfig &cfg,
             benchmarks.empty() ? kernelNames() : benchmarks;
     for (const auto &name : names) {
         SystemConfig jobCfg = withBenchFault(
-                withBenchTrace(cfg, label, name), label, name);
+                withBenchTrace(withBenchHier(cfg), label, name), label,
+                name);
         pending.futures.emplace_back(
                 name,
                 ex.submit(SweepJob{name, std::move(jobCfg), scale,
@@ -141,7 +163,8 @@ runAll(const std::string &label, const SystemConfig &cfg,
             benchmarks.empty() ? kernelNames() : benchmarks;
     for (const auto &name : names) {
         const SystemConfig jobCfg = withBenchFault(
-                withBenchTrace(cfg, label, name), label, name);
+                withBenchTrace(withBenchHier(cfg), label, name), label,
+                name);
         const RunResult r = runKernel(name, jobCfg, scale);
         out.stats[name] = r.stats;
     }
@@ -228,6 +251,16 @@ printUsage(const char *prog)
                  "mask-flip@5000:wpu=1:seed=7\n"
                  "  --inject-cell LABEL/KERNEL  poison only the matching "
                  "sweep cell\n"
+                 "  --wpus N         override the WPU count for every "
+                 "cell (1..1024)\n"
+                 "  --hier SPEC      explicit cache fabric, levels "
+                 "name:size:assoc:lat[:slices[:mshrs]]\n"
+                 "                   comma-separated, e.g. "
+                 "l1d:32k:8:3,l2:1m:16:30,l3:8m:16:60:2\n"
+                 "  --l3-kb N        append a shared L3 of N KB behind "
+                 "the default L2\n"
+                 "  --l3-assoc N     L3 associativity (default 16)\n"
+                 "  --l3-lat N       L3 hit latency (default 60)\n"
                  "  --help        this message\n"
                  "benchmarks: %s\n",
                  prog, names.c_str());
@@ -240,6 +273,7 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
 {
     BenchOptions opts;
     opts.scale = defaultScale;
+    long long l3Kb = 0, l3Assoc = 16, l3Lat = 60;
     for (int i = 1; i < argc; i++) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--fast") == 0) {
@@ -354,6 +388,53 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
                 fatal("--inject-cell requires LABEL/KERNEL");
             }
             opts.injectCell = argv[++i];
+        } else if (std::strcmp(arg, "--wpus") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--wpus requires a WPU count");
+            }
+            const auto w = parseInt64InRange(argv[++i], 1, 1024);
+            if (!w) {
+                printUsage(argv[0]);
+                std::fprintf(stderr,
+                             "error: --wpus '%s' is not an integer in "
+                             "[1, 1024]\n", argv[i]);
+                std::exit(2);
+            }
+            opts.wpus = static_cast<int>(*w);
+        } else if (std::strcmp(arg, "--hier") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--hier requires a spec string");
+            }
+            std::string err;
+            if (!HierarchySpec::parse(argv[++i], opts.hier, err)) {
+                printUsage(argv[0]);
+                std::fprintf(stderr, "error: --hier: %s\n",
+                             err.c_str());
+                std::exit(2);
+            }
+        } else if (std::strcmp(arg, "--l3-kb") == 0 ||
+                   std::strcmp(arg, "--l3-assoc") == 0 ||
+                   std::strcmp(arg, "--l3-lat") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("%s requires a positive integer", arg);
+            }
+            const auto v = parseInt64InRange(argv[++i], 1, 1 << 30);
+            if (!v) {
+                printUsage(argv[0]);
+                std::fprintf(stderr,
+                             "error: %s '%s' is not a positive "
+                             "integer\n", arg, argv[i]);
+                std::exit(2);
+            }
+            if (std::strcmp(arg, "--l3-kb") == 0)
+                l3Kb = *v;
+            else if (std::strcmp(arg, "--l3-assoc") == 0)
+                l3Assoc = *v;
+            else
+                l3Lat = *v;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             printUsage(argv[0]);
@@ -375,8 +456,40 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
         printUsage(argv[0]);
         fatal("--inject-cell requires --inject");
     }
+    if (l3Kb > 0) {
+        if (!opts.hier.empty()) {
+            printUsage(argv[0]);
+            std::fprintf(stderr,
+                         "error: --hier and --l3-kb are mutually "
+                         "exclusive\n");
+            std::exit(2);
+        }
+        opts.hier = HierarchySpec::withL3(
+                static_cast<std::uint64_t>(l3Kb) * 1024,
+                static_cast<int>(l3Assoc), static_cast<int>(l3Lat));
+    } else if (l3Assoc != 16 || l3Lat != 60) {
+        printUsage(argv[0]);
+        std::fprintf(stderr,
+                     "error: --l3-assoc/--l3-lat require --l3-kb\n");
+        std::exit(2);
+    }
+    if (opts.wpus > 0 || !opts.hier.empty()) {
+        SystemConfig probe;
+        if (opts.wpus > 0)
+            probe.numWpus = opts.wpus;
+        if (!opts.hier.empty())
+            probe.applyHierarchy(opts.hier);
+        const std::string err =
+                probe.hierarchy().validate(probe.numWpus);
+        if (!err.empty()) {
+            printUsage(argv[0]);
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            std::exit(2);
+        }
+    }
     setBenchTrace(opts.traceMode, opts.traceOut);
     setBenchFault(opts.injectSpec, opts.injectCell);
+    setBenchHier(opts.wpus, opts.hier);
     return opts;
 }
 

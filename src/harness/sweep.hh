@@ -124,6 +124,11 @@ double hmeanSpeedup(const PolicyRun &base, const PolicyRun &test);
  *   --retry N         retry watchdog-cancelled cells up to N attempts
  *   --inject SPEC     plant a fault (fault/fault.hh spec syntax)
  *   --inject-cell LABEL/KERNEL  restrict --inject to one sweep cell
+ *   --wpus N          override the WPU count for every cell
+ *   --hier SPEC       explicit cache fabric (HierarchySpec::parse
+ *                     syntax) applied to every cell
+ *   --l3-kb N / --l3-assoc N / --l3-lat N
+ *                     append a shared L3 behind the default L2
  *   --help        print usage and exit
  *
  * Unknown flags and unknown benchmark names are rejected with a usage
@@ -153,6 +158,10 @@ struct BenchOptions
     std::string injectSpec;
     /** "LABEL/KERNEL" cell filter for --inject; empty = every cell. */
     std::string injectCell;
+    /** WPU-count override; 0 = keep each bench's own configuration. */
+    int wpus = 0;
+    /** Explicit cache fabric; empty() = keep each bench's own. */
+    HierarchySpec hier{};
 };
 
 /**
@@ -190,6 +199,16 @@ void setBenchFault(const std::string &spec, const std::string &cell);
  */
 SystemConfig withBenchFault(SystemConfig cfg, const std::string &label,
                             const std::string &kernel);
+
+/**
+ * Record the bench-wide machine overrides (parseBenchArgs calls this):
+ * a WPU count (0 = keep) and an explicit cache fabric (empty = keep).
+ * The job-building helpers then stamp every job's config.
+ */
+void setBenchHier(int wpus, const HierarchySpec &hier);
+
+/** @return cfg with the bench-wide WPU/hierarchy overrides applied. */
+SystemConfig withBenchHier(SystemConfig cfg);
 
 BenchOptions parseBenchArgs(int argc, char **argv,
                             KernelScale defaultScale =

@@ -16,8 +16,9 @@ coherStateName(CoherState s)
     return "?";
 }
 
-CacheArray::CacheArray(const CacheConfig &cfg, std::string name)
-    : cfg_(cfg), name_(std::move(name))
+CacheArray::CacheArray(const CacheConfig &cfg, std::string name,
+                       int indexShift)
+    : cfg_(cfg), name_(std::move(name)), indexShift_(indexShift)
 {
     const std::uint64_t nLines = cfg_.sizeBytes / cfg_.lineBytes;
     if (nLines == 0)
@@ -38,7 +39,7 @@ CacheArray::CacheArray(const CacheConfig &cfg, std::string name)
 int
 CacheArray::setIndex(Addr line) const
 {
-    return static_cast<int>((line / cfg_.lineBytes) &
+    return static_cast<int>(((line / cfg_.lineBytes) >> indexShift_) &
                             static_cast<Addr>(sets_ - 1));
 }
 

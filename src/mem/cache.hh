@@ -3,9 +3,10 @@
  * A set-associative, LRU, write-back cache tag array with MESI state.
  *
  * Used for L1 I-caches (states degenerate to Shared/Invalid), banked L1
- * D-caches, and the shared, inclusive L2. The L2 additionally uses the
- * per-line directory fields (sharer bitmask and exclusive owner) for the
- * MESI directory protocol (paper Section 3.3).
+ * D-caches, and the shared levels of the fabric (L2, optional L3, ...).
+ * The first shared level additionally uses the per-line directory fields
+ * (sharer set and exclusive owner) for the MESI directory protocol
+ * (paper Section 3.3).
  */
 
 #ifndef DWS_MEM_CACHE_HH
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/sharers.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -34,17 +36,23 @@ enum class CoherState : std::uint8_t {
 /** @return a printable name of a coherence state. */
 const char *coherStateName(CoherState s);
 
-/** One cache line's tags and metadata. */
+/**
+ * One cache line's tags and metadata.
+ *
+ * Field order keeps the struct at 48 bytes: CacheArray::find() strides
+ * over a whole set on every access, so padding here is paid on the
+ * simulator's hottest loop.
+ */
 struct CacheLine
 {
     Addr tag = 0;                       ///< full line address
-    CoherState state = CoherState::Invalid;
     Cycle lastUse = 0;                  ///< LRU timestamp
     Cycle readyAt = 0;                  ///< fill completion time (pending)
 
-    // Directory state, used by the L2 only.
-    std::uint32_t sharers = 0;          ///< bitmask of WPUs with a copy
+    // Directory state, used by the last-shared (directory) level only.
+    SharerSet sharers;                  ///< WPUs with a copy
     std::int32_t owner = -1;            ///< WPU holding the line M/E
+    CoherState state = CoherState::Invalid;
 
     bool valid() const { return state != CoherState::Invalid; }
     bool writable() const
@@ -59,10 +67,15 @@ class CacheArray
 {
   public:
     /**
-     * @param cfg  geometry (assoc == 0 means fully associative)
-     * @param name for error messages
+     * @param cfg        geometry (assoc == 0 means fully associative)
+     * @param name       for error messages
+     * @param indexShift line-address bits skipped before set indexing.
+     *                   A slice of an address-interleaved level passes
+     *                   log2(slices) so the slice-select bits don't
+     *                   alias every resident line into few sets.
      */
-    CacheArray(const CacheConfig &cfg, std::string name);
+    CacheArray(const CacheConfig &cfg, std::string name,
+               int indexShift = 0);
 
     /** @return the line address containing addr. */
     Addr lineAddr(Addr addr) const
@@ -148,6 +161,7 @@ class CacheArray
 
     CacheConfig cfg_;
     std::string name_;
+    int indexShift_;
     int ways_;
     int sets_;
     std::vector<CacheLine> lines_; ///< sets_ x ways_

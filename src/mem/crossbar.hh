@@ -1,6 +1,8 @@
 /**
  * @file
- * A bandwidth-limited crossbar between the private L1s and the shared L2.
+ * A bandwidth-limited link between adjacent cache levels: the crossbar
+ * joining the private L1s to the first shared level, and the narrower
+ * on-die links between deeper shared levels.
  *
  * Modeled as a fixed per-hop latency plus a next-free-time bandwidth
  * account for line-sized data transfers (paper Table 3: 300 MHz,
@@ -22,11 +24,21 @@ class Crossbar
 {
   public:
     explicit Crossbar(const MemConfig &cfg)
-        : latency(cfg.xbarLatency), bytesPerCycle(cfg.xbarBytesPerCycle)
+        : latency(cfg.xbarLatency), bytesPerCycle(cfg.xbarBytesPerCycle),
+          reqCycles(cfg.xbarRequestCycles)
+    {}
+
+    /** Link of explicit geometry (fabric levels, LevelSpec). */
+    Crossbar(int hopLatency, double bytesPerCycle, int requestCycles)
+        : latency(hopLatency), bytesPerCycle(bytesPerCycle),
+          reqCycles(requestCycles)
     {}
 
     /** @return the one-way traversal latency in cycles. */
     int hopLatency() const { return latency; }
+
+    /** @return cycles between successive requests from one client. */
+    int requestCycles() const { return reqCycles; }
 
     /**
      * Reserve bandwidth for a data transfer of the given size starting
@@ -43,6 +55,7 @@ class Crossbar
   private:
     int latency;
     double bytesPerCycle;
+    int reqCycles;
     Cycle nextFree = 0;
 };
 

@@ -2,18 +2,10 @@
 
 namespace dws {
 
-namespace {
-std::uint32_t
-bit(WpuId w)
-{
-    return 1u << static_cast<unsigned>(w);
-}
-} // namespace
-
 int
 Directory::sharerCount(const CacheLine &line)
 {
-    return __builtin_popcount(line.sharers);
+    return line.sharers.count();
 }
 
 DirOutcome
@@ -26,9 +18,8 @@ Directory::getS(CacheLine &line, WpuId wpu)
         out.dirtyRecall = true; // owner may hold M; charge the data hop
         line.owner = -1;
     }
-    const bool alone = line.sharers == 0 ||
-                       line.sharers == bit(wpu);
-    line.sharers |= bit(wpu);
+    const bool alone = line.sharers.noneExcept(wpu);
+    line.sharers.add(wpu);
     if (alone && line.owner < 0) {
         out.grant = CoherState::Exclusive;
         line.owner = wpu;
@@ -48,9 +39,9 @@ Directory::getX(CacheLine &line, WpuId wpu)
         out.dirtyRecall = true;
         line.owner = -1;
     }
-    const std::uint32_t others = line.sharers & ~bit(wpu);
-    out.invalidations = __builtin_popcount(others);
-    line.sharers = bit(wpu);
+    out.invalidations =
+            line.sharers.count() - (line.sharers.test(wpu) ? 1 : 0);
+    line.sharers.reset(wpu);
     line.owner = wpu;
     out.grant = CoherState::Modified;
     return out;
@@ -59,7 +50,7 @@ Directory::getX(CacheLine &line, WpuId wpu)
 void
 Directory::removeSharer(CacheLine &line, WpuId wpu)
 {
-    line.sharers &= ~bit(wpu);
+    line.sharers.remove(wpu);
     if (line.owner == wpu)
         line.owner = -1;
 }

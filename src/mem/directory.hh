@@ -1,10 +1,12 @@
 /**
  * @file
- * Directory bookkeeping helpers for the MESI protocol at the L2.
+ * Directory bookkeeping helpers for the MESI protocol at the first
+ * shared level of the fabric (the L2 in the default machine).
  *
- * The directory state itself lives in the L2's CacheLine entries
- * (sharers bitmask + exclusive owner); this class wraps the transitions
- * so memsys.cc stays readable and the protocol is unit-testable.
+ * The directory state itself lives in that level's CacheLine entries
+ * (width-independent sharer set + exclusive owner); this class wraps
+ * the transitions so memsys.cc stays readable and the protocol is
+ * unit-testable.
  */
 
 #ifndef DWS_MEM_DIRECTORY_HH
@@ -52,7 +54,7 @@ class Directory
     /** @return true if the WPU is recorded as holding the line. */
     static bool isSharer(const CacheLine &line, WpuId wpu)
     {
-        return (line.sharers >> static_cast<unsigned>(wpu)) & 1u;
+        return line.sharers.test(wpu);
     }
 
     /** @return number of recorded sharers. */

@@ -1,0 +1,71 @@
+#include "mem/level.hh"
+
+#include "sim/logging.hh"
+
+namespace dws {
+
+namespace {
+
+int
+log2OfPow2(int v)
+{
+    int s = 0;
+    while ((1 << s) < v)
+        s++;
+    return s;
+}
+
+} // namespace
+
+CacheLevel::CacheLevel(const LevelSpec &spec, int index, int numWpus)
+    : link(spec.linkLatency, spec.linkBytesPerCycle,
+           spec.linkRequestCycles),
+      spec_(spec), index_(index),
+      name_("l" + std::to_string(index + 2))
+{
+    if (spec_.slices < 1 || (spec_.slices & (spec_.slices - 1)) != 0)
+        fatal("%s: slice count %d is not a power of two", name_.c_str(),
+              spec_.slices);
+    const std::uint64_t lb = spec_.cache.lineBytes;
+    if (lb == 0 || (lb & (lb - 1)) != 0)
+        fatal("%s: line size %llu is not a power of two", name_.c_str(),
+              (unsigned long long)lb);
+    for (std::uint64_t b = lb; b > 1; b >>= 1)
+        lineShift_++;
+    sliceMask_ = static_cast<Addr>(spec_.slices) - 1;
+    const int shift = log2OfPow2(spec_.slices);
+    for (int s = 0; s < spec_.slices; s++) {
+        std::string sliceName = name_;
+        if (spec_.slices > 1)
+            sliceName += "." + std::to_string(s);
+        slices_.push_back(std::make_unique<CacheArray>(
+                spec_.cache, sliceName, shift));
+        mshrs_.push_back(std::make_unique<MshrFile>(spec_.cache, shift));
+    }
+    if (index == 0)
+        reqChannelFree.assign(numWpus, 0);
+}
+
+void
+CacheLevel::setTracer(Tracer *t)
+{
+    for (auto &s : slices_)
+        s->setTracer(t, kTraceSystemWpu);
+}
+
+std::vector<std::unique_ptr<CacheLevel>>
+buildFabric(const HierarchySpec &spec, int numWpus)
+{
+    if (spec.levels.empty())
+        fatal("cache fabric needs at least one shared level");
+    std::vector<std::unique_ptr<CacheLevel>> levels;
+    for (std::size_t i = 0; i < spec.levels.size(); i++) {
+        levels.push_back(std::make_unique<CacheLevel>(
+                spec.levels[i], static_cast<int>(i), numWpus));
+    }
+    for (std::size_t i = 0; i + 1 < levels.size(); i++)
+        levels[i]->connect(levels[i + 1].get());
+    return levels;
+}
+
+} // namespace dws

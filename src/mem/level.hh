@@ -1,0 +1,126 @@
+/**
+ * @file
+ * One shared level of the composable cache fabric.
+ *
+ * A CacheLevel bundles everything one shared cache needs: its
+ * address-interleaved tag-array slices, a banked MSHR file per slice,
+ * and the bandwidth-limited link that connects it to the level above
+ * (the per-WPU L1s for level 0, the previous shared level otherwise).
+ * The factory `buildFabric()` turns a declarative HierarchySpec into a
+ * connect()-wired chain of levels (FlexiCAS-style, SNIPPETS.md §2):
+ *
+ *     L1s  --link-->  levels[0] (L2, directory)  --link-->  levels[1]
+ *                      (L3)  --...-->  DRAM
+ *
+ * MemSystem walks the chain generically; nothing in the miss path
+ * names L2 or L3 explicitly anymore.
+ */
+
+#ifndef DWS_MEM_LEVEL_HH
+#define DWS_MEM_LEVEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/crossbar.hh"
+#include "mem/mshr.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dws {
+
+/** One shared cache level: slices + MSHRs + upward link. */
+class CacheLevel
+{
+  public:
+    /**
+     * @param spec    geometry of this level and its upward link
+     * @param index   depth among shared levels (0 = nearest the WPUs)
+     * @param numWpus clients of level 0's link (request channels)
+     */
+    CacheLevel(const LevelSpec &spec, int index, int numWpus);
+
+    /** Wire this level to the one below it (nullptr = DRAM next). */
+    void connect(CacheLevel *below) { below_ = below; }
+
+    /** @return the level below, or nullptr when DRAM is next. */
+    CacheLevel *below() const { return below_; }
+
+    /** @return depth among shared levels (0 = L2). */
+    int index() const { return index_; }
+
+    /** @return "l2", "l3", ... */
+    const std::string &name() const { return name_; }
+
+    /** @return number of address-interleaved slices. */
+    int sliceCount() const { return static_cast<int>(slices_.size()); }
+
+    /**
+     * @return the slice id serving a line address. Line size and slice
+     * count are powers of two (enforced at construction), so the miss
+     * path's slice decode is a shift and a mask, not a division.
+     */
+    int sliceOf(Addr line) const
+    {
+        return static_cast<int>((line >> lineShift_) & sliceMask_);
+    }
+
+    /** @return the tag-array slice serving a line address. */
+    CacheArray &sliceFor(Addr line) { return *slices_[sliceOf(line)]; }
+
+    /** @return the MSHR file of the slice serving a line address. */
+    MshrFile &mshrFor(Addr line) { return *mshrs_[sliceOf(line)]; }
+
+    /** @return slice `s`'s tag array. */
+    CacheArray &slice(int s) { return *slices_[s]; }
+    const CacheArray &slice(int s) const { return *slices_[s]; }
+
+    /** @return slice `s`'s MSHR file. */
+    MshrFile &mshrFile(int s) { return *mshrs_[s]; }
+    const MshrFile &mshrFile(int s) const { return *mshrs_[s]; }
+
+    /** @return this level's geometry and link spec. */
+    const LevelSpec &spec() const { return spec_; }
+
+    /** @return total capacity across slices, in bytes. */
+    std::uint64_t totalBytes() const
+    {
+        return spec_.cache.sizeBytes * slices_.size();
+    }
+
+    /** Attach the tracer to every slice (nullptr = off). */
+    void setTracer(Tracer *t);
+
+    /** Upward link (crossbar for level 0, on-die link deeper). */
+    Crossbar link;
+
+    /**
+     * Per-client next-accept time on the upward link: one entry per
+     * WPU at level 0 (request-channel serialization, Table 3). Deeper
+     * levels leave it empty — their request slots are not modeled.
+     */
+    std::vector<Cycle> reqChannelFree;
+
+  private:
+    LevelSpec spec_;
+    int index_;
+    int lineShift_ = 0;     ///< log2(lineBytes)
+    Addr sliceMask_ = 0;    ///< slices - 1
+    std::string name_;
+    CacheLevel *below_ = nullptr;
+    std::vector<std::unique_ptr<CacheArray>> slices_;
+    std::vector<std::unique_ptr<MshrFile>> mshrs_;
+};
+
+/**
+ * Build and connect() every shared level of `spec`.
+ * @return the chain, nearest-to-WPU first.
+ */
+std::vector<std::unique_ptr<CacheLevel>>
+buildFabric(const HierarchySpec &spec, int numWpus);
+
+} // namespace dws
+
+#endif // DWS_MEM_LEVEL_HH

@@ -5,21 +5,27 @@
 
 namespace dws {
 
+namespace {
+
+/** Fabric depth bound: keeps the miss path's scratch arrays on-stack. */
+constexpr int kMaxFabricLevels = 8;
+
+} // namespace
+
 MemSystem::MemSystem(const SystemConfig &sysCfg, EventQueue &eq)
-    : cfg(sysCfg), events(eq),
-      l2Mshrs(sysCfg.mem.l2.mshrs, sysCfg.mem.l2.mshrTargets),
-      xbar(sysCfg.mem), dram(sysCfg.mem)
+    : cfg(sysCfg), events(eq), dram(sysCfg.mem)
 {
     for (int w = 0; w < cfg.numWpus; w++) {
         icaches_.push_back(std::make_unique<CacheArray>(
                 cfg.wpu.icache, "l1i" + std::to_string(w)));
         dcaches_.push_back(std::make_unique<CacheArray>(
                 cfg.wpu.dcache, "l1d" + std::to_string(w)));
-        l1Mshrs.emplace_back(cfg.wpu.dcache.mshrs,
-                             cfg.wpu.dcache.mshrTargets);
-        reqChannelFree.push_back(0);
+        l1Mshrs.emplace_back(cfg.wpu.dcache, 0);
     }
-    l2_ = std::make_unique<CacheArray>(cfg.mem.l2, "l2");
+    levels_ = buildFabric(cfg.hierarchy(), cfg.numWpus);
+    if (sharedLevels() > kMaxFabricLevels)
+        fatal("cache fabric depth %d exceeds the supported maximum %d",
+              sharedLevels(), kMaxFabricLevels);
     events.bindMem(this);
 }
 
@@ -33,7 +39,8 @@ MemSystem::setTracer(Tracer *t)
         icaches_[static_cast<size_t>(w)]->setTracer(
                 t, static_cast<std::uint8_t>(w));
     }
-    l2_->setTracer(t, kTraceSystemWpu);
+    for (auto &lvl : levels_)
+        lvl->setTracer(t);
 }
 
 void
@@ -43,16 +50,24 @@ MemSystem::onSimEvent(const SimEvent &ev)
       case EventKind::L1MshrRelease: {
         MshrFile &f = l1Mshrs[static_cast<size_t>(ev.wpu)];
         f.release(ev.line);
-        DWS_TRACE(trace_, mshr(false, false, ev.wpu, ev.line,
+        DWS_TRACE(trace_, mshr(false, 0, ev.wpu, ev.line,
                                static_cast<std::uint32_t>(f.inUse())));
         break;
       }
-      case EventKind::L2MshrRelease:
-        l2Mshrs.release(ev.line);
-        DWS_TRACE(trace_, mshr(false, true, 0, ev.line,
-                               static_cast<std::uint32_t>(
-                                       l2Mshrs.inUse())));
+      case EventKind::L2MshrRelease: {
+        // The event's group field carries the shared-level index
+        // (0 = L2); events scheduled before the fabric existed carry
+        // the default -1 and mean level 0.
+        const int li = ev.group < 0 ? 0 : static_cast<int>(ev.group);
+        CacheLevel &lvl = *levels_[static_cast<size_t>(li)];
+        MshrFile &f = lvl.mshrFor(ev.line);
+        f.release(ev.line);
+        DWS_TRACE(trace_, mshr(false, li + 1,
+                               static_cast<WpuId>(lvl.sliceOf(ev.line)),
+                               ev.line,
+                               static_cast<std::uint32_t>(f.inUse())));
         break;
+      }
       default:
         panic("memory system got non-MSHR event %s",
               eventKindName(ev.kind));
@@ -63,11 +78,14 @@ void
 MemSystem::evictL1Data(WpuId wpu, Addr lineAddr, CoherState state, Cycle now)
 {
     CacheArray &d = *dcaches_[static_cast<size_t>(wpu)];
-    CacheLine *l2l = l2_->find(lineAddr);
+    CacheLevel &l0 = *levels_[0];
+    CacheLine *l2l = l0.sliceFor(lineAddr).find(lineAddr);
     if (state == CoherState::Modified) {
-        // Write the dirty line back to the inclusive L2.
+        // Write the dirty line back to the inclusive first shared level.
         d.stats.writebacks++;
-        xbar.transfer(now, cfg.wpu.dcache.lineBytes);
+        const Cycle done =
+                l0.link.transfer(now, cfg.wpu.dcache.lineBytes);
+        l1Mshrs[static_cast<size_t>(wpu)].noteDown(lineAddr, done, now);
         if (l2l)
             l2l->state = CoherState::Modified;
     }
@@ -76,9 +94,9 @@ MemSystem::evictL1Data(WpuId wpu, Addr lineAddr, CoherState state, Cycle now)
 }
 
 void
-MemSystem::evictL2(Addr lineAddr, CoherState state, Cycle now)
+MemSystem::evictShared(int li, Addr lineAddr, CoherState state, Cycle now)
 {
-    // Inclusive L2: back-invalidate any L1 copies of the victim.
+    // Inclusive fabric: back-invalidate any L1 copies of the victim.
     for (int w = 0; w < cfg.numWpus; w++) {
         CacheArray &d = *dcaches_[static_cast<size_t>(w)];
         const CoherState prior = d.invalidate(lineAddr);
@@ -93,9 +111,35 @@ MemSystem::evictL2(Addr lineAddr, CoherState state, Cycle now)
         if (lineAddr >= kInstrAddrBase)
             icaches_[static_cast<size_t>(w)]->invalidate(lineAddr);
     }
+    // ... and any shallower shared levels (loop is empty for the L2,
+    // so the default machine's arithmetic is untouched).
+    for (int i = li - 1; i >= 0; i--) {
+        CacheArray &arr = levels_[static_cast<size_t>(i)]
+                                  ->sliceFor(lineAddr);
+        const CoherState prior = arr.invalidate(lineAddr);
+        if (prior != CoherState::Invalid) {
+            arr.stats.invalidationsReceived++;
+            if (prior == CoherState::Modified) {
+                arr.stats.writebacks++;
+                state = CoherState::Modified;
+            }
+        }
+    }
     if (state == CoherState::Modified) {
-        l2_->stats.writebacks++;
-        dram.access(now, cfg.mem.l2.lineBytes);
+        CacheLevel &lvl = *levels_[static_cast<size_t>(li)];
+        const int lineBytes = lvl.spec().cache.lineBytes;
+        lvl.sliceFor(lineAddr).stats.writebacks++;
+        Cycle done;
+        if (li + 1 < sharedLevels()) {
+            CacheLevel &below = *levels_[static_cast<size_t>(li + 1)];
+            CacheLine *lower = below.sliceFor(lineAddr).find(lineAddr);
+            if (lower)
+                lower->state = CoherState::Modified;
+            done = below.link.transfer(now, lineBytes);
+        } else {
+            done = dram.access(now, lineBytes);
+        }
+        lvl.mshrFor(lineAddr).noteDown(lineAddr, done, now);
     }
 }
 
@@ -143,9 +187,10 @@ MemSystem::accessData(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
             // lands: one more round trip through the directory.
             mshr->write = true;
             CacheLine *pend = d.find(lineAddr);
-            Cycle t = mshr->readyAt + 2 * xbar.hopLatency() +
-                      cfg.mem.l2.hitLatency;
-            CacheLine *l2l = l2_->find(lineAddr);
+            CacheLevel &l0 = *levels_[0];
+            Cycle t = mshr->readyAt + 2 * l0.link.hopLatency() +
+                      l0.spec().cache.hitLatency;
+            CacheLine *l2l = l0.sliceFor(lineAddr).find(lineAddr);
             if (l2l) {
                 const DirOutcome out = Directory::getX(*l2l, wpu);
                 for (int w = 0; w < cfg.numWpus; w++) {
@@ -184,7 +229,7 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
                            : *dcaches_[static_cast<size_t>(wpu)];
     MshrFile &mshrs = l1Mshrs[static_cast<size_t>(wpu)];
 
-    if (!mshrs.available()) {
+    if (!mshrs.available(lineAddr)) {
         l1.stats.mshrFullEvents++;
         // A full file always has entries, but keep the no-hint fallback
         // (readyAt 0 = "retry next cycle") explicit.
@@ -210,78 +255,134 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
         }
     }
 
-    // Request hop: L1 lookup, then the WPU's L2 request channel (one
-    // request per crossbar cycle: requests to distinct lines
-    // serialize), then the crossbar traversal.
+    // Request hop: L1 lookup, then the WPU's request channel onto the
+    // first shared level's link (one request per link cycle: requests
+    // to distinct lines serialize), then the link traversal.
+    CacheLevel &l0 = *levels_[0];
     Cycle t = now + bankDelay + l1.config().hitLatency;
-    Cycle &chan = reqChannelFree[static_cast<size_t>(wpu)];
+    Cycle &chan = l0.reqChannelFree[static_cast<size_t>(wpu)];
     if (chan > t)
         t = chan;
-    chan = t + cfg.mem.xbarRequestCycles;
-    t += xbar.hopLatency();
+    chan = t + l0.link.requestCycles();
+    t += l0.link.hopLatency();
 
-    // --- L2 side -----------------------------------------------------
-    CacheLine *l2l = l2_->find(lineAddr);
-    MshrEntry *m2 = l2Mshrs.find(lineAddr);
-    if (m2) {
-        // A fill for this line is already in flight (another WPU's miss
-        // or an earlier request): serialize behind it. This stands in
-        // for the protocol's transient states.
-        if (m2->readyAt > t)
-            t = m2->readyAt;
-        t += cfg.mem.l2.hitLatency;
-        l2_->stats.reads++;
-        l2l = l2_->find(lineAddr);
-    } else if (l2l) {
-        t += cfg.mem.l2.hitLatency;
-        l2_->stats.reads++;
-    } else {
-        // L2 miss: go to DRAM and fill the L2.
-        l2_->stats.reads++;
-        l2_->stats.readMisses++;
-        t += cfg.mem.l2.hitLatency;
-        l2l = l2_->allocate(lineAddr, now,
+    // --- Descend the shared levels ------------------------------------
+    const int nLevels = sharedLevels();
+    CacheLine *installed[kMaxFabricLevels] = {};
+    CacheLine *hitLine = nullptr;
+    int hitLevel = -1;
+    for (int li = 0; li < nLevels; li++) {
+        CacheLevel &lvl = *levels_[static_cast<size_t>(li)];
+        CacheArray &arr = lvl.sliceFor(lineAddr);
+        MshrFile &lm = lvl.mshrFor(lineAddr);
+        const int hitLatency = lvl.spec().cache.hitLatency;
+        MshrEntry *ml = lm.find(lineAddr);
+        if (ml) {
+            // A fill for this line is already in flight (another WPU's
+            // miss or an earlier request): serialize behind it. This
+            // stands in for the protocol's transient states.
+            if (ml->readyAt > t)
+                t = ml->readyAt;
+            t += hitLatency;
+            arr.stats.reads++;
+            hitLine = arr.find(lineAddr);
+            hitLevel = li;
+            break;
+        }
+        CacheLine *cl = arr.find(lineAddr);
+        if (cl) {
+            t += hitLatency;
+            arr.stats.reads++;
+            hitLine = cl;
+            hitLevel = li;
+            break;
+        }
+        // Miss at this level: allocate on the way down and keep going.
+        arr.stats.reads++;
+        arr.stats.readMisses++;
+        t += hitLatency;
+        CacheLine *nl = arr.allocate(lineAddr, now,
                 [&](Addr victim, CoherState st) {
-                    evictL2(victim, st, now);
+                    evictShared(li, victim, st, now);
                 });
-        if (!l2l) {
-            // Every way pinned by in-flight fills: rare; retry. The L2
-            // MSHR file may legitimately be empty here (allocation is
-            // capacity-gated), so absence must not masquerade as a
-            // cycle-0 hint.
+        if (!nl) {
+            // Every way pinned by in-flight fills: rare; retry. The
+            // level's MSHR file may legitimately be empty here
+            // (allocation is capacity-gated), so absence must not
+            // masquerade as a cycle-0 hint.
             return LineResponse{.retry = true,
-                                .readyAt = l2Mshrs.earliestReady()
+                                .readyAt = lm.earliestReady()
                                                    .value_or(0)};
         }
-        t = dram.access(t, cfg.mem.l2.lineBytes);
-        l2l->state = CoherState::Exclusive; // clean w.r.t. DRAM
-        l2l->readyAt = t;
-        if (l2Mshrs.available()) {
-            l2Mshrs.allocate(lineAddr, t, write);
-            DWS_TRACE(trace_, mshr(true, true, 0, lineAddr,
+        installed[li] = nl;
+        if (li + 1 < nLevels) {
+            // Request hop down to the next level's link.
+            t += levels_[static_cast<size_t>(li + 1)]->link.hopLatency();
+        }
+    }
+
+    if (hitLevel < 0) {
+        // Walked past the last level: DRAM supplies the line.
+        t = dram.access(t, levels_[static_cast<size_t>(nLevels - 1)]
+                                   ->spec().cache.lineBytes);
+    } else if (hitLine) {
+        levels_[static_cast<size_t>(hitLevel)]
+                ->sliceFor(lineAddr).touch(hitLine, now);
+    }
+
+    // Unwind the fills deepest-first: each missed level receives the
+    // line over the link below it, then starts its own fill window.
+    for (int li = (hitLevel < 0 ? nLevels : hitLevel) - 1; li >= 0;
+         li--) {
+        CacheLevel &lvl = *levels_[static_cast<size_t>(li)];
+        if (li + 1 < nLevels) {
+            t = levels_[static_cast<size_t>(li + 1)]->link.transfer(
+                    t, lvl.spec().cache.lineBytes);
+        }
+        CacheLine *cl = installed[li];
+        cl->state = CoherState::Exclusive; // clean w.r.t. below
+        cl->readyAt = t;
+        MshrFile &lm = lvl.mshrFor(lineAddr);
+        if (lm.available(lineAddr)) {
+            lm.allocate(lineAddr, t, write);
+            DWS_TRACE(trace_, mshr(true, li + 1,
+                                   static_cast<WpuId>(
+                                           lvl.sliceOf(lineAddr)),
+                                   lineAddr,
                                    static_cast<std::uint32_t>(
-                                           l2Mshrs.inUse())));
+                                           lm.inUse())));
             events.schedule(SimEvent{.when = t,
                                      .kind = EventKind::L2MshrRelease,
+                                     .group = static_cast<GroupId>(li),
                                      .line = lineAddr});
         }
     }
-    l2_->touch(l2l, now);
 
     // --- Coherence actions (data lines only) ---------------------------
+    // The directory lives at level 0; its line is either the hit line
+    // or the fill installed on the way down.
+    CacheLine *dirLine = hitLevel == 0 ? hitLine : installed[0];
     if (!instr) {
-        const DirOutcome out = write ? Directory::getX(*l2l, wpu)
-                                     : Directory::getS(*l2l, wpu);
+        DirOutcome out;
+        if (dirLine) {
+            out = write ? Directory::getX(*dirLine, wpu)
+                        : Directory::getS(*dirLine, wpu);
+        } else {
+            // Only reachable in >= 3-level fabrics when the directory
+            // line vanished while a fill was in flight: grant
+            // conservatively without directory bookkeeping.
+            out.grant = write ? CoherState::Modified : CoherState::Shared;
+        }
         if (out.recall) {
             coherenceRecalls++;
             // Probe round trip to the remote owner.
-            Cycle probe = 2 * xbar.hopLatency() +
+            Cycle probe = 2 * l0.link.hopLatency() +
                           cfg.wpu.dcache.hitLatency;
             t += probe;
         }
         if (out.invalidations > 0) {
             // One overlapped invalidation round trip.
-            t += 2 * xbar.hopLatency();
+            t += 2 * l0.link.hopLatency();
             l1.stats.invalidationsSent +=
                     static_cast<std::uint64_t>(out.invalidations);
         }
@@ -302,8 +403,9 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
                        rl->state == CoherState::Exclusive) {
                 if (rl->state == CoherState::Modified) {
                     rd.stats.writebacks++;
-                    l2l->state = CoherState::Modified;
-                    xbar.transfer(now, cfg.wpu.dcache.lineBytes);
+                    if (dirLine)
+                        dirLine->state = CoherState::Modified;
+                    l0.link.transfer(now, cfg.wpu.dcache.lineBytes);
                 }
                 rl->state = CoherState::Shared;
             }
@@ -313,15 +415,15 @@ MemSystem::missPath(WpuId wpu, Addr lineAddr, bool write, int bankDelay,
         fill->state = CoherState::Shared;
     }
 
-    // --- Response hop: data transfer back over the crossbar ------------
-    t = xbar.transfer(t, l1.config().lineBytes);
+    // --- Response hop: data transfer back over the link ----------------
+    t = l0.link.transfer(t, l1.config().lineBytes);
 
     fill->tag = lineAddr;
     fill->readyAt = t;
     l1.touch(fill, now);
 
     mshrs.allocate(lineAddr, t, write);
-    DWS_TRACE(trace_, mshr(true, false, wpu, lineAddr,
+    DWS_TRACE(trace_, mshr(true, 0, wpu, lineAddr,
                            static_cast<std::uint32_t>(mshrs.inUse())));
     events.schedule(SimEvent{.when = t,
                              .kind = EventKind::L1MshrRelease,
@@ -354,9 +456,34 @@ MemStats
 MemSystem::stats() const
 {
     MemStats s;
-    s.l2 = l2_->stats;
+    auto accumulate = [](CacheStats &into, const CacheStats &from) {
+        into.reads += from.reads;
+        into.writes += from.writes;
+        into.readMisses += from.readMisses;
+        into.writeMisses += from.writeMisses;
+        into.writebacks += from.writebacks;
+        into.invalidationsSent += from.invalidationsSent;
+        into.invalidationsReceived += from.invalidationsReceived;
+        into.mshrFullEvents += from.mshrFullEvents;
+        into.bankConflicts += from.bankConflicts;
+        into.coalescedRequests += from.coalescedRequests;
+    };
+    for (int sl = 0; sl < levels_[0]->sliceCount(); sl++)
+        accumulate(s.l2, levels_[0]->slice(sl).stats);
+    for (int li = 1; li < sharedLevels(); li++) {
+        CacheStats cs;
+        for (int sl = 0; sl < levels_[static_cast<size_t>(li)]
+                                      ->sliceCount(); sl++) {
+            accumulate(cs,
+                       levels_[static_cast<size_t>(li)]->slice(sl).stats);
+        }
+        s.deeper.push_back(cs);
+    }
     s.dramAccesses = dram.accesses;
-    s.xbarTransfers = xbar.transfers;
+    std::uint64_t xfers = 0;
+    for (const auto &lvl : levels_)
+        xfers += lvl->link.transfers;
+    s.xbarTransfers = xfers;
     s.coherenceRecalls = coherenceRecalls;
     return s;
 }

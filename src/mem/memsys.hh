@@ -1,18 +1,24 @@
 /**
  * @file
- * The coherent two-level memory hierarchy (paper Section 3.3, Table 3).
+ * The coherent memory hierarchy (paper Section 3.3, Table 3),
+ * generalized into a composable fabric.
  *
- * Private, banked L1 D-caches and L1 I-caches per WPU; a shared,
- * inclusive L2 with a directory-based MESI protocol; a bandwidth-limited
- * crossbar between them; fixed-latency pipelined DRAM behind the L2.
+ * Private, banked L1 D-caches and L1 I-caches per WPU, then a chain of
+ * shared CacheLevels built by the fabric factory from the system's
+ * HierarchySpec — the paper's machine is the 1-entry chain (an
+ * inclusive, directory-based L2), but arbitrary depth (L3, L4, ...),
+ * address-interleaved slices and banked MSHRs all build from the spec
+ * alone. Fixed-latency pipelined DRAM sits behind the last level; the
+ * MESI directory lives at the first shared level, which every WPU's
+ * link reaches.
  *
  * Timing approximation: coherence state transitions are applied
  * atomically at request-issue time while the requester pays a
- * deterministic latency composed of L1 lookup, crossbar hops, L2
- * lookup, recall/invalidation round trips, DRAM and bandwidth queuing.
- * Requests racing for the same L2 line serialize behind the line's
- * in-flight transaction (MSHR readyAt), which stands in for transient
- * protocol states. See DESIGN.md.
+ * deterministic latency composed of L1 lookup, link hops, per-level
+ * lookups, recall/invalidation round trips, DRAM and bandwidth
+ * queuing. Requests racing for the same shared-level line serialize
+ * behind the line's in-flight transaction (MSHR readyAt), which stands
+ * in for transient protocol states. See DESIGN.md.
  */
 
 #ifndef DWS_MEM_MEMSYS_HH
@@ -22,8 +28,8 @@
 #include <vector>
 
 #include "mem/cache.hh"
-#include "mem/crossbar.hh"
 #include "mem/dram.hh"
+#include "mem/level.hh"
 #include "mem/mshr.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
@@ -74,15 +80,15 @@ class MemSystem : public EventTarget
      */
     LineResponse accessInstr(WpuId wpu, Addr lineAddr, Cycle now);
 
-    /** Handle an L1/L2 MSHR-release event at its firing cycle. */
+    /** Handle an L1/shared-level MSHR-release event at its cycle. */
     void onSimEvent(const SimEvent &ev) override;
 
     /** @return the D-cache of a WPU (stats, tests). */
     CacheArray &dcache(WpuId w) { return *dcaches_[static_cast<size_t>(w)]; }
     /** @return the I-cache of a WPU. */
     CacheArray &icache(WpuId w) { return *icaches_[static_cast<size_t>(w)]; }
-    /** @return the shared L2. */
-    CacheArray &l2() { return *l2_; }
+    /** @return slice 0 of the first shared level (the classic L2). */
+    CacheArray &l2() { return levels_[0]->slice(0); }
 
     const CacheArray &
     dcache(WpuId w) const
@@ -94,7 +100,31 @@ class MemSystem : public EventTarget
     {
         return *icaches_[static_cast<size_t>(w)];
     }
-    const CacheArray &l2() const { return *l2_; }
+    const CacheArray &l2() const { return levels_[0]->slice(0); }
+
+    /** @return number of shared fabric levels (1 = classic L2-only). */
+    int sharedLevels() const { return static_cast<int>(levels_.size()); }
+
+    /** @return slice count of shared level `li` (0 = L2). */
+    int sliceCount(int li) const { return levels_[li]->sliceCount(); }
+
+    /** @return tag-array slice `s` of shared level `li`. */
+    CacheArray &sharedCache(int li, int s) { return levels_[li]->slice(s); }
+    const CacheArray &
+    sharedCache(int li, int s) const
+    {
+        return levels_[li]->slice(s);
+    }
+
+    /** @return MSHR file of slice `s` of shared level `li` (audits). */
+    const MshrFile &
+    sharedMshrFile(int li, int s) const
+    {
+        return levels_[li]->mshrFile(s);
+    }
+
+    /** @return the whole CacheLevel (tests, factory inspection). */
+    const CacheLevel &level(int li) const { return *levels_[li]; }
 
     /** @return aggregated memory-side statistics. */
     MemStats stats() const;
@@ -106,8 +136,8 @@ class MemSystem : public EventTarget
         return l1Mshrs[static_cast<size_t>(w)];
     }
 
-    /** @return the shared L2 MSHR file (audits). */
-    const MshrFile &l2MshrFile() const { return l2Mshrs; }
+    /** @return the MSHR file of the first shared level's slice 0. */
+    const MshrFile &l2MshrFile() const { return levels_[0]->mshrFile(0); }
 
     /** @return line size in bytes of the D-caches. */
     int lineBytes() const { return cfg.wpu.dcache.lineBytes; }
@@ -121,8 +151,10 @@ class MemSystem : public EventTarget
 
   private:
     /**
-     * Shared miss path: request hop, L2 (hit/serialize/miss+DRAM),
-     * coherence actions, response hop, L1 fill.
+     * Shared miss path: request hop, descent through the shared levels
+     * (hit / serialize behind an in-flight fill / miss+descend, DRAM
+     * past the last level), fills unwound deepest-first, coherence
+     * actions at the directory level, response hop, L1 fill.
      *
      * @param existing a stable L1 line being upgraded (S->M), or nullptr
      */
@@ -133,8 +165,12 @@ class MemSystem : public EventTarget
     /** Evict callback applied to an L1 D-cache victim. */
     void evictL1Data(WpuId wpu, Addr lineAddr, CoherState state, Cycle now);
 
-    /** Evict callback applied to an L2 victim (back-invalidation). */
-    void evictL2(Addr lineAddr, CoherState state, Cycle now);
+    /**
+     * Evict callback applied to a shared-level victim: back-invalidate
+     * the L1s and every shallower shared level (the fabric is
+     * inclusive), write dirty data down.
+     */
+    void evictShared(int li, Addr lineAddr, CoherState state, Cycle now);
 
     SystemConfig cfg;
     EventQueue &events;
@@ -142,16 +178,12 @@ class MemSystem : public EventTarget
 
     std::vector<std::unique_ptr<CacheArray>> icaches_;
     std::vector<std::unique_ptr<CacheArray>> dcaches_;
-    std::unique_ptr<CacheArray> l2_;
-
     std::vector<MshrFile> l1Mshrs;
-    MshrFile l2Mshrs;
 
-    Crossbar xbar;
+    /** Shared levels, nearest-to-WPU first (levels_[0] = directory). */
+    std::vector<std::unique_ptr<CacheLevel>> levels_;
+
     Dram dram;
-
-    /** Per-WPU L2 request-channel next-free time (request serialization). */
-    std::vector<Cycle> reqChannelFree;
 
     std::uint64_t coherenceRecalls = 0;
 };

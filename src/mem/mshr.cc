@@ -1,8 +1,42 @@
 #include "mem/mshr.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dws {
+
+MshrFile::MshrFile(int numEntries, int maxTargets)
+    : capacity_(numEntries), perBankCap_(numEntries),
+      maxTargets_(maxTargets), bankCount_(1, 0), downBankCount_(1, 0)
+{
+    if (numEntries <= 0 || maxTargets <= 0)
+        fatal("MSHR file needs positive entries and targets");
+    downCapPerBank_ = CacheConfig{}.mshrDownEntries;
+}
+
+MshrFile::MshrFile(const CacheConfig &cfg, int bankShift)
+    : capacity_(cfg.mshrs), banks_(cfg.mshrBanks),
+      maxTargets_(cfg.mshrTargets), downCapPerBank_(cfg.mshrDownEntries)
+{
+    if (banks_ <= 0 || capacity_ % banks_ != 0)
+        fatal("MSHR file: %d entries not divisible across %d banks",
+              capacity_, banks_);
+    if ((banks_ & (banks_ - 1)) != 0)
+        fatal("MSHR file: bank count %d is not a power of two", banks_);
+    if (cfg.lineBytes == 0 ||
+        (cfg.lineBytes & (cfg.lineBytes - 1)) != 0) {
+        fatal("MSHR file: line size %llu is not a power of two",
+              (unsigned long long)cfg.lineBytes);
+    }
+    bankMask_ = static_cast<unsigned>(banks_) - 1;
+    addrShift_ = bankShift;
+    for (std::uint64_t b = cfg.lineBytes; b > 1; b >>= 1)
+        addrShift_++;
+    perBankCap_ = capacity_ / banks_;
+    bankCount_.assign(banks_, 0);
+    downBankCount_.assign(banks_, 0);
+}
 
 MshrEntry *
 MshrFile::find(Addr line)
@@ -14,7 +48,7 @@ MshrFile::find(Addr line)
 MshrEntry *
 MshrFile::allocate(Addr line, Cycle readyAt, bool write)
 {
-    if (!available())
+    if (!available(line))
         return nullptr;
     if (pending.count(line))
         panic("MSHR double-allocated for line %#llx",
@@ -23,13 +57,15 @@ MshrFile::allocate(Addr line, Cycle readyAt, bool write)
     e.readyAt = readyAt;
     e.targets = 1;
     e.write = write;
+    inUse_++;
+    bankCount_[bankOf(line)]++;
     return &e;
 }
 
 bool
 MshrFile::addTarget(MshrEntry *entry)
 {
-    if (entry->targets >= maxTargets)
+    if (entry->targets >= maxTargets_)
         return false;
     entry->targets++;
     return true;
@@ -38,7 +74,10 @@ MshrFile::addTarget(MshrEntry *entry)
 void
 MshrFile::release(Addr line)
 {
-    pending.erase(line);
+    if (pending.erase(line)) {
+        inUse_--;
+        bankCount_[bankOf(line)]--;
+    }
 }
 
 int
@@ -61,6 +100,53 @@ MshrFile::earliestReady() const
             best = e.readyAt;
     }
     return best;
+}
+
+void
+MshrFile::purgeDown(Cycle now)
+{
+    for (std::size_t i = downs_.size(); i-- > 0;) {
+        if (downs_[i].completesAt <= now) {
+            downBankCount_[downs_[i].bank]--;
+            downs_[i] = downs_.back();
+            downs_.pop_back();
+        }
+    }
+}
+
+void
+MshrFile::noteDown(Addr line, Cycle completesAt, Cycle now)
+{
+    purgeDown(now);
+    const int bank = bankOf(line);
+    if (downBankCount_[bank] >= downCapPerBank_) {
+        // The bank is full: a real machine would stall the eviction,
+        // but the down side is observational, so evict the entry that
+        // retires soonest and count the overflow instead.
+        downFullEvents_++;
+        std::size_t victim = downs_.size();
+        for (std::size_t i = 0; i < downs_.size(); i++) {
+            if (downs_[i].bank != bank)
+                continue;
+            if (victim == downs_.size() ||
+                downs_[i].completesAt < downs_[victim].completesAt) {
+                victim = i;
+            }
+        }
+        downBankCount_[downs_[victim].bank]--;
+        downs_[victim] = downs_.back();
+        downs_.pop_back();
+    }
+    downs_.push_back({line, completesAt, bank});
+    downBankCount_[bank]++;
+    downPeak_ = std::max(downPeak_, static_cast<int>(downs_.size()));
+}
+
+int
+MshrFile::downInUse(Cycle now)
+{
+    purgeDown(now);
+    return static_cast<int>(downs_.size());
 }
 
 } // namespace dws

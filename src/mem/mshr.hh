@@ -7,6 +7,18 @@
  * (paper Section 3.3: "All requests from a warp to the same cache line
  * are coalesced in the MSHR. Each MSHR hosts a cache line and can track
  * as many requests to that line as the SIMD width requires").
+ *
+ * The file is split two ways (esesc HierMSHR-style, SNIPPETS.md §3):
+ *
+ *  - *Banked up side.* Entries for misses travelling toward memory are
+ *    steered to a bank by line address; a full bank rejects a new miss
+ *    even while other banks have room. Every legacy config uses one
+ *    bank, which degenerates to the classic fully shared file.
+ *  - *Down side.* Writebacks/evictions travelling toward memory are
+ *    tracked in a separate, per-bank down file. It is observational:
+ *    occupancy and overflow are counted for audits and stats, but a
+ *    full down bank never stalls the simulated machine, so enabling
+ *    the accounting cannot perturb timing.
  */
 
 #ifndef DWS_MEM_MSHR_HH
@@ -15,7 +27,9 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
+#include "sim/config.hh"
 #include "sim/types.hh"
 
 namespace dws {
@@ -33,25 +47,47 @@ class MshrFile
 {
   public:
     /**
+     * Single-bank file (the classic shared organization).
      * @param numEntries number of MSHRs
      * @param maxTargets coalesced-request capacity per MSHR
      */
-    MshrFile(int numEntries, int maxTargets)
-        : capacity(numEntries), maxTargets(maxTargets)
-    {}
+    MshrFile(int numEntries, int maxTargets);
+
+    /**
+     * Banked file from a cache config: cfg.mshrs entries split evenly
+     * over cfg.mshrBanks banks, plus cfg.mshrDownEntries down-side
+     * entries per bank.
+     * @param bankShift line-address bits skipped before bank selection
+     *                  (a slice of an interleaved level passes
+     *                  log2(slices), mirroring CacheArray's indexShift)
+     */
+    MshrFile(const CacheConfig &cfg, int bankShift);
+
+    /**
+     * @return the bank serving a line address. Line size and bank
+     * count are powers of two (enforced at construction), so bank
+     * selection on the miss path is a shift and a mask.
+     */
+    int bankOf(Addr line) const
+    {
+        return static_cast<int>((line >> addrShift_) & bankMask_);
+    }
 
     /** @return the entry for a pending line, or nullptr. */
     MshrEntry *find(Addr line);
 
-    /** @return true if a new MSHR can be allocated. */
-    bool available() const
+    /** @return true if any MSHR in the whole file is free. */
+    bool available() const { return inUse_ < capacity_; }
+
+    /** @return true if the bank serving `line` can allocate. */
+    bool available(Addr line) const
     {
-        return static_cast<int>(pending.size()) < capacity;
+        return bankCount_[bankOf(line)] < perBankCap_;
     }
 
     /**
      * Allocate an MSHR for a missing line.
-     * @return the new entry, or nullptr if the file is full.
+     * @return the new entry, or nullptr if the line's bank is full.
      */
     MshrEntry *allocate(Addr line, Cycle readyAt, bool write);
 
@@ -64,8 +100,17 @@ class MshrFile
     /** Release the MSHR for a completed line fill. */
     void release(Addr line);
 
-    /** @return number of in-flight MSHRs. */
-    int inUse() const { return static_cast<int>(pending.size()); }
+    /** @return number of in-flight (up-side) MSHRs. */
+    int inUse() const { return inUse_; }
+
+    /** @return number of up-side entries in-flight in one bank. */
+    int bankInUse(int bank) const { return bankCount_[bank]; }
+
+    /** @return number of up-side banks. */
+    int banks() const { return banks_; }
+
+    /** @return up-side entries per bank. */
+    int perBankCapacity() const { return perBankCap_; }
 
     /**
      * @return the earliest completion among in-flight MSHRs, or
@@ -76,18 +121,56 @@ class MshrFile
     std::optional<Cycle> earliestReady() const;
 
     /**
-     * @return entries whose fill completed strictly before `now` but
-     *         were never released — leaked release events (audits).
+     * @return up-side entries whose fill completed strictly before
+     *         `now` but were never released — leaked release events
+     *         (audits).
      */
     int overdueEntries(Cycle now) const;
+
+    /**
+     * Record a writeback/eviction heading toward memory that completes
+     * at `completesAt`. Purely observational — see the file comment.
+     */
+    void noteDown(Addr line, Cycle completesAt, Cycle now);
+
+    /** @return down-side entries still in flight at `now`. */
+    int downInUse(Cycle now);
+
+    /** @return peak down-side occupancy across the whole run. */
+    int downPeak() const { return downPeak_; }
+
+    /** @return times a down bank was full when a writeback arrived. */
+    std::uint64_t downFullEvents() const { return downFullEvents_; }
 
   private:
     /** The fault injector inspects pending entries (src/fault/). */
     friend class FaultInjector;
 
-    int capacity;
-    int maxTargets;
+    /** Drop down-side entries that completed at or before `now`. */
+    void purgeDown(Cycle now);
+
+    struct DownEntry
+    {
+        Addr line = 0;
+        Cycle completesAt = 0;
+        int bank = 0;
+    };
+
+    int capacity_;
+    int perBankCap_;
+    int banks_ = 1;
+    int addrShift_ = 0;          ///< log2(lineBytes) + bankShift
+    unsigned bankMask_ = 0;      ///< banks - 1
+    int maxTargets_;
+    int inUse_ = 0;
+    std::vector<int> bankCount_;
     std::unordered_map<Addr, MshrEntry> pending;
+
+    int downCapPerBank_ = 0;
+    int downPeak_ = 0;
+    std::uint64_t downFullEvents_ = 0;
+    std::vector<DownEntry> downs_;
+    std::vector<int> downBankCount_;
 };
 
 } // namespace dws

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * A width-independent set of WPU ids, used for the per-line directory
+ * sharer list.
+ *
+ * The original directory state was a `std::uint32_t` bitmask, which
+ * silently capped the machine at 32 WPUs. SharerSet keeps the common
+ * case (ids 0..63) in one inline word and spills larger ids into a
+ * heap bitmap, so hierarchy configs can scale to hundreds of WPUs
+ * without a per-line allocation in the paper-sized machine.
+ *
+ * The set lives inside every CacheLine, and CacheArray::find() strides
+ * over lines on every access, so footprint matters: the spill hides
+ * behind one pointer (16 bytes total) instead of an inline vector.
+ */
+
+#ifndef DWS_MEM_SHARERS_HH
+#define DWS_MEM_SHARERS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dws {
+
+/** Set of WPU ids holding a copy of a cache line. */
+class SharerSet
+{
+  public:
+    /** Add a WPU to the set. */
+    void
+    add(WpuId w)
+    {
+        const unsigned i = index(w);
+        if (i < 64) {
+            lo_ |= word(i);
+            return;
+        }
+        const std::size_t slot = i / 64 - 1;
+        if (!hi_)
+            hi_ = std::make_unique<std::vector<std::uint64_t>>();
+        if (hi_->size() <= slot)
+            hi_->resize(slot + 1, 0);
+        (*hi_)[slot] |= word(i % 64);
+    }
+
+    /** Remove a WPU from the set (no-op if absent). */
+    void
+    remove(WpuId w)
+    {
+        const unsigned i = index(w);
+        if (i < 64) {
+            lo_ &= ~word(i);
+            return;
+        }
+        const std::size_t slot = i / 64 - 1;
+        if (hi_ && slot < hi_->size())
+            (*hi_)[slot] &= ~word(i % 64);
+    }
+
+    /** @return true if the WPU is in the set. */
+    bool
+    test(WpuId w) const
+    {
+        const unsigned i = index(w);
+        if (i < 64)
+            return (lo_ >> i) & 1u;
+        const std::size_t slot = i / 64 - 1;
+        return hi_ && slot < hi_->size() &&
+               (((*hi_)[slot] >> (i % 64)) & 1u);
+    }
+
+    /** @return number of WPUs in the set. */
+    int
+    count() const
+    {
+        int n = __builtin_popcountll(lo_);
+        if (hi_) {
+            for (std::uint64_t w : *hi_)
+                n += __builtin_popcountll(w);
+        }
+        return n;
+    }
+
+    bool
+    empty() const
+    {
+        if (lo_ != 0)
+            return false;
+        if (hi_) {
+            for (std::uint64_t w : *hi_)
+                if (w != 0)
+                    return false;
+        }
+        return true;
+    }
+
+    /** @return true if the set is empty or contains only `w`. */
+    bool
+    noneExcept(WpuId w) const
+    {
+        const unsigned i = index(w);
+        if (i < 64) {
+            if ((lo_ & ~word(i)) != 0)
+                return false;
+        } else if (lo_ != 0) {
+            return false;
+        }
+        if (hi_) {
+            for (std::size_t s = 0; s < hi_->size(); s++) {
+                std::uint64_t v = (*hi_)[s];
+                if (i >= 64 && s == i / 64 - 1)
+                    v &= ~word(i % 64);
+                if (v != 0)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    /** Empty the set. */
+    void
+    clear()
+    {
+        lo_ = 0;
+        hi_.reset();
+    }
+
+    /** Replace the set's contents with exactly `w`. */
+    void
+    reset(WpuId w)
+    {
+        clear();
+        add(w);
+    }
+
+    /** Invoke fn(WpuId) for every member, ascending. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        forWord(lo_, 0, fn);
+        if (hi_) {
+            for (std::size_t s = 0; s < hi_->size(); s++)
+                forWord((*hi_)[s], (static_cast<int>(s) + 1) * 64, fn);
+        }
+    }
+
+  private:
+    static unsigned
+    index(WpuId w)
+    {
+        return static_cast<unsigned>(w);
+    }
+
+    static std::uint64_t
+    word(unsigned bit)
+    {
+        return std::uint64_t(1) << bit;
+    }
+
+    template <typename Fn>
+    static void
+    forWord(std::uint64_t v, int base, Fn &&fn)
+    {
+        while (v != 0) {
+            const int b = __builtin_ctzll(v);
+            fn(static_cast<WpuId>(base + b));
+            v &= v - 1;
+        }
+    }
+
+    std::uint64_t lo_ = 0;  ///< WPU ids 0..63
+    /** Bitmap for ids >= 64 (64 per word); allocated only when used. */
+    std::unique_ptr<std::vector<std::uint64_t>> hi_;
+};
+
+} // namespace dws
+
+#endif // DWS_MEM_SHARERS_HH

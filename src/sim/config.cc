@@ -1,6 +1,10 @@
 #include "sim/config.hh"
 
+#include <cctype>
+#include <cstdio>
+
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 
 namespace dws {
 
@@ -125,6 +129,257 @@ SystemConfig::table3(const PolicyConfig &policy)
     SystemConfig cfg;
     cfg.policy = policy;
     return cfg;
+}
+
+HierarchySpec
+HierarchySpec::fromLegacy(const MemConfig &m)
+{
+    HierarchySpec spec;
+    LevelSpec l2;
+    l2.cache = m.l2;
+    l2.slices = 1;
+    l2.linkLatency = m.xbarLatency;
+    l2.linkRequestCycles = m.xbarRequestCycles;
+    l2.linkBytesPerCycle = m.xbarBytesPerCycle;
+    spec.levels.push_back(l2);
+    return spec;
+}
+
+HierarchySpec
+HierarchySpec::table3()
+{
+    return fromLegacy(MemConfig{});
+}
+
+HierarchySpec
+HierarchySpec::withL3(std::uint64_t sizeBytes, int assoc, int hitLatency)
+{
+    HierarchySpec spec = table3();
+    LevelSpec l3;
+    l3.cache = MemConfig{}.l2;
+    l3.cache.sizeBytes = sizeBytes;
+    l3.cache.assoc = assoc;
+    l3.cache.hitLatency = hitLatency;
+    // The L2<->L3 link is on-die and wider than the WPU crossbar.
+    l3.linkLatency = 4;
+    l3.linkRequestCycles = 1;
+    l3.linkBytesPerCycle = 64.0;
+    spec.levels.push_back(l3);
+    return spec;
+}
+
+namespace {
+
+/** Split `text` on `sep`, keeping empty fields. */
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+} // namespace
+
+bool
+HierarchySpec::parse(const std::string &text, HierarchySpec &out,
+                     std::string &err)
+{
+    HierarchySpec spec;
+    int nextShared = 2; // shared level names must run l2, l3, l4, ...
+    for (const std::string &levelText : splitOn(text, ',')) {
+        const std::vector<std::string> f = splitOn(levelText, ':');
+        if (f.size() < 4 || f.size() > 6) {
+            err = "level '" + levelText +
+                  "': want name:size:assoc:latency[:slices[:mshrs]]";
+            return false;
+        }
+        const std::string &name = f[0];
+        const bool isL1i = name == "l1i";
+        const bool isL1d = name == "l1d";
+        const bool isShared = name.size() >= 2 && name[0] == 'l' &&
+                              !isL1i && !isL1d;
+        if (!isL1i && !isL1d && !isShared) {
+            err = "unknown level name '" + name + "'";
+            return false;
+        }
+        const auto size = parseSizeBytes(f[1].c_str());
+        const auto assoc = parseInt64InRange(f[2].c_str(), 0, 1 << 20);
+        const auto lat = parseInt64InRange(f[3].c_str(), 0, 1 << 20);
+        if (!size || !assoc || !lat) {
+            err = "level '" + levelText + "': bad size/assoc/latency";
+            return false;
+        }
+        std::int64_t slices = 1;
+        if (f.size() >= 5) {
+            const auto s = parseInt64InRange(f[4].c_str(), 1, 1 << 16);
+            if (!s) {
+                err = "level '" + levelText + "': bad slice count";
+                return false;
+            }
+            slices = *s;
+        }
+        std::optional<std::int64_t> mshrs;
+        if (f.size() == 6) {
+            mshrs = parseInt64InRange(f[5].c_str(), 1, 1 << 20);
+            if (!mshrs) {
+                err = "level '" + levelText + "': bad mshr count";
+                return false;
+            }
+        }
+
+        if (isL1i || isL1d) {
+            if (slices != 1) {
+                err = "level '" + name + "' is per-WPU and cannot be sliced";
+                return false;
+            }
+            std::optional<CacheConfig> &slot = isL1i ? spec.l1i : spec.l1d;
+            if (slot) {
+                err = "duplicate level '" + name + "'";
+                return false;
+            }
+            CacheConfig c = isL1i ? WpuConfig{}.icache : WpuConfig{}.dcache;
+            c.sizeBytes = *size;
+            c.assoc = static_cast<int>(*assoc);
+            c.hitLatency = static_cast<int>(*lat);
+            if (mshrs)
+                c.mshrs = static_cast<int>(*mshrs);
+            slot = c;
+            continue;
+        }
+
+        const auto depth = parseInt64(name.substr(1));
+        if (!depth || *depth != nextShared) {
+            err = "shared levels must be named l2, l3, ... in order; got '" +
+                  name + "'";
+            return false;
+        }
+        nextShared++;
+        LevelSpec lvl;
+        lvl.cache = MemConfig{}.l2;
+        lvl.cache.sizeBytes = *size;
+        lvl.cache.assoc = static_cast<int>(*assoc);
+        lvl.cache.hitLatency = static_cast<int>(*lat);
+        if (mshrs)
+            lvl.cache.mshrs = static_cast<int>(*mshrs);
+        lvl.slices = static_cast<int>(slices);
+        if (*depth > 2) {
+            // Inter-cache links below the WPU crossbar are on-die.
+            lvl.linkLatency = 4;
+            lvl.linkRequestCycles = 1;
+            lvl.linkBytesPerCycle = 64.0;
+        }
+        spec.levels.push_back(lvl);
+    }
+    if (spec.levels.empty()) {
+        err = "hierarchy needs at least one shared level (l2)";
+        return false;
+    }
+    out = spec;
+    err.clear();
+    return true;
+}
+
+namespace {
+
+std::string
+checkCache(const std::string &name, const CacheConfig &c, int lineBytes)
+{
+    char buf[160];
+    if (c.sizeBytes == 0 || c.sizeBytes > (std::uint64_t(1) << 40)) {
+        std::snprintf(buf, sizeof(buf), "%s: size %llu out of range",
+                      name.c_str(), (unsigned long long)c.sizeBytes);
+        return buf;
+    }
+    if (c.lineBytes <= 0 || !isPowerOfTwo((std::uint64_t)c.lineBytes))
+        return name + ": line size must be a power of two";
+    if (c.lineBytes != lineBytes)
+        return name + ": all levels must share one line size";
+    if (c.assoc < 0 || (c.assoc != 0 && !isPowerOfTwo((std::uint64_t)c.assoc)))
+        return name + ": associativity must be 0 or a power of two";
+    const std::uint64_t lines = c.sizeBytes / c.lineBytes;
+    if (lines == 0 || c.sizeBytes % c.lineBytes != 0)
+        return name + ": size must be a multiple of the line size";
+    if (c.assoc != 0 && lines % c.assoc != 0)
+        return name + ": size not divisible by assoc x line";
+    if (c.mshrs <= 0 || c.mshrTargets <= 0)
+        return name + ": mshrs and targets must be positive";
+    if (c.mshrBanks <= 0 || !isPowerOfTwo((std::uint64_t)c.mshrBanks))
+        return name + ": mshr banks must be a power of two";
+    if (c.mshrs % c.mshrBanks != 0)
+        return name + ": mshrs must divide evenly across banks";
+    if (c.banks <= 0)
+        return name + ": bank count must be positive";
+    return "";
+}
+
+} // namespace
+
+std::string
+HierarchySpec::validate(int numWpus) const
+{
+    if (numWpus < 1 || numWpus > 1024)
+        return "wpus must be in [1, 1024]";
+    if (levels.empty())
+        return "hierarchy needs at least one shared level";
+    const int lineBytes =
+        l1d ? l1d->lineBytes : WpuConfig{}.dcache.lineBytes;
+    if (l1i) {
+        const std::string e = checkCache("l1i", *l1i, lineBytes);
+        if (!e.empty())
+            return e;
+    }
+    if (l1d) {
+        const std::string e = checkCache("l1d", *l1d, lineBytes);
+        if (!e.empty())
+            return e;
+    }
+    for (std::size_t i = 0; i < levels.size(); i++) {
+        const LevelSpec &lvl = levels[i];
+        const std::string name = "l" + std::to_string(i + 2);
+        const std::string e = checkCache(name, lvl.cache, lineBytes);
+        if (!e.empty())
+            return e;
+        if (lvl.slices < 1 || !isPowerOfTwo((std::uint64_t)lvl.slices))
+            return name + ": slice count must be a power of two";
+        if (lvl.cache.sizeBytes / lvl.cache.lineBytes <
+            (std::uint64_t)lvl.slices)
+            return name + ": more slices than cache lines";
+        if (lvl.linkLatency < 0 || lvl.linkRequestCycles < 0)
+            return name + ": link latencies must be non-negative";
+        if (!(lvl.linkBytesPerCycle > 0.0))
+            return name + ": link bandwidth must be positive";
+    }
+    return "";
+}
+
+HierarchySpec
+SystemConfig::hierarchy() const
+{
+    if (!mem.hier.levels.empty())
+        return mem.hier;
+    return HierarchySpec::fromLegacy(mem);
+}
+
+void
+SystemConfig::applyHierarchy(const HierarchySpec &spec)
+{
+    if (spec.l1i)
+        wpu.icache = *spec.l1i;
+    if (spec.l1d)
+        wpu.dcache = *spec.l1d;
+    mem.hier = spec;
+    mem.hier.l1i.reset();
+    mem.hier.l1d.reset();
 }
 
 } // namespace dws

@@ -12,7 +12,9 @@
 #define DWS_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -157,9 +159,93 @@ struct CacheConfig
     int mshrTargets = 32;
     /** Number of banks (D-caches are banked per lane). */
     int banks = 16;
+    /**
+     * Number of MSHR banks (up side). Misses are steered to a bank by
+     * line address; a full bank rejects an allocation even while other
+     * banks have room (esesc HierMSHR-style). 1 = the classic fully
+     * shared file, which every legacy config uses.
+     */
+    int mshrBanks = 1;
+    /**
+     * Down-side (toward-memory) MSHR entries per bank: writebacks and
+     * evictions in flight below this cache. Tracked observationally for
+     * occupancy accounting; capacity overflow is counted, not stalled.
+     */
+    int mshrDownEntries = 8;
 
     /** @return number of sets implied by size/assoc/line. */
     int numSets() const;
+};
+
+/**
+ * One shared cache level of a composable hierarchy (an L2, L3, ...),
+ * possibly sliced by line address, plus the link that connects it to
+ * the level above (the per-WPU L1s for the first entry, the previous
+ * shared level otherwise).
+ */
+struct LevelSpec
+{
+    /** Geometry and timing of each slice of this level. */
+    CacheConfig cache{};
+    /** Address-interleaved slices (power of two). 1 = monolithic. */
+    int slices = 1;
+    /** One-way traversal latency of the upward link, in cycles. */
+    int linkLatency = 8;
+    /** Cycles between successive requests from one upstream client. */
+    int linkRequestCycles = 3;
+    /** Upward-link bandwidth in bytes per cycle. */
+    double linkBytesPerCycle = 57.0;
+};
+
+struct MemConfig;
+
+/**
+ * Declarative description of the whole cache fabric. The factory
+ * (mem/level.hh) builds one CacheLevel per entry of `levels` and wires
+ * them into a tree: private L1s -> levels[0] -> ... -> levels[N-1] ->
+ * DRAM. The directory protocol lives at levels[0], the first level
+ * shared by every WPU. An empty `levels` vector means "synthesize the
+ * legacy 2-level machine from MemConfig's flat fields", which keeps
+ * every pre-fabric config bit-identical.
+ */
+struct HierarchySpec
+{
+    /** Optional per-WPU L1I override; nullopt keeps WpuConfig::icache. */
+    std::optional<CacheConfig> l1i;
+    /** Optional per-WPU L1D override; nullopt keeps WpuConfig::dcache. */
+    std::optional<CacheConfig> l1d;
+    /** Shared levels, nearest-to-WPU first. */
+    std::vector<LevelSpec> levels;
+
+    /** @return true when no explicit hierarchy has been requested. */
+    bool empty() const { return !l1i && !l1d && levels.empty(); }
+
+    /** Synthesize the legacy L2-over-crossbar machine from `m`. */
+    static HierarchySpec fromLegacy(const MemConfig &m);
+
+    /** The paper's Table 3 two-level hierarchy, spelled as a spec. */
+    static HierarchySpec table3();
+
+    /** Table 3 plus a shared L3 of the given geometry behind the L2. */
+    static HierarchySpec withL3(std::uint64_t sizeBytes, int assoc,
+                                int hitLatency);
+
+    /**
+     * Parse a spec string of comma-separated levels, each
+     * `name:size:assoc:latency[:slices[:mshrs]]` with name one of
+     * l1i/l1d/l2/l3/l4... and size accepting k/m/g suffixes, e.g.
+     * `l1d:32k:8:3,l2:1m:16:30,l3:8m:16:60:2`.
+     * @return false with a message in `err` on malformed input.
+     */
+    static bool parse(const std::string &text, HierarchySpec &out,
+                      std::string &err);
+
+    /**
+     * Sanity-check the spec for `numWpus` WPUs.
+     * @return an empty string when valid, else a description of the
+     *         first problem found.
+     */
+    std::string validate(int numWpus) const;
 };
 
 /** Parameters of one WPU (Table 3). */
@@ -213,6 +299,13 @@ struct MemConfig
     int dramLatency = 100;
     /** Memory bus bandwidth in bytes per cycle (16 GB/s at 1 GHz). */
     double dramBytesPerCycle = 16.0;
+
+    /**
+     * Explicit shared-level hierarchy. When `hier.levels` is empty the
+     * fabric factory synthesizes the legacy machine from the flat
+     * l2/xbar fields above, so untouched configs stay bit-identical.
+     */
+    HierarchySpec hier{};
 };
 
 /** Whole-system configuration. */
@@ -290,6 +383,20 @@ struct SystemConfig
 
     /** @return total thread contexts across all WPUs. */
     int totalThreads() const { return numWpus * wpu.numThreads(); }
+
+    /**
+     * @return the effective hierarchy: mem.hier when shared levels were
+     *         specified explicitly, else the legacy synthesis from the
+     *         flat MemConfig fields.
+     */
+    HierarchySpec hierarchy() const;
+
+    /**
+     * Install a hierarchy spec: L1 overrides are written into
+     * wpu.icache/wpu.dcache (so every WpuConfig consumer sees them) and
+     * the shared levels into mem.hier.
+     */
+    void applyHierarchy(const HierarchySpec &spec);
 
     /** Paper Table 3 configuration with the given policy. */
     static SystemConfig table3(const PolicyConfig &policy);

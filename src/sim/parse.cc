@@ -76,4 +76,33 @@ parseInt64InRange(const char *s, std::int64_t lo, std::int64_t hi)
     return v;
 }
 
+std::optional<std::uint64_t>
+parseSizeBytes(const char *s)
+{
+    if (s == nullptr)
+        return std::nullopt;
+    while (std::isspace(static_cast<unsigned char>(*s)))
+        s++;
+    if (*s == '\0' || *s == '-' || *s == '+')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno == ERANGE || end == s)
+        return std::nullopt;
+    std::uint64_t shift = 0;
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': shift = 10; end++; break;
+      case 'm': shift = 20; end++; break;
+      case 'g': shift = 30; end++; break;
+      default: break;
+    }
+    if (!restIsSpace(end))
+        return std::nullopt;
+    const std::uint64_t bytes = static_cast<std::uint64_t>(v) << shift;
+    if (shift != 0 && (bytes >> shift) != v)
+        return std::nullopt;
+    return bytes;
+}
+
 } // namespace dws

@@ -54,6 +54,20 @@ std::optional<std::int64_t> parseInt64InRange(const char *s,
                                               std::int64_t lo,
                                               std::int64_t hi);
 
+/**
+ * Parse a byte size: a non-negative integer with an optional k/m/g
+ * suffix (case-insensitive, powers of 1024), e.g. "32k", "1m", "8G".
+ * @return nullopt when unparsable or the scaled value overflows.
+ */
+std::optional<std::uint64_t> parseSizeBytes(const char *s);
+
+/** @return true for 1, 2, 4, 8, ...; false for 0. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
 } // namespace dws
 
 #endif // DWS_SIM_PARSE_HH

@@ -158,6 +158,8 @@ RunStats::fingerprint() const
     for (const auto &c : dcaches)
         appendCacheStats(s, c);
     appendCacheStats(s, mem.l2);
+    for (const auto &c : mem.deeper)
+        appendCacheStats(s, c);
     std::snprintf(buf, sizeof(buf), "dram%llu xbar%llu rec%llu",
                   (unsigned long long)mem.dramAccesses,
                   (unsigned long long)mem.xbarTransfers,
@@ -337,6 +339,17 @@ RunStats::parseFingerprint(const std::string &fp, RunStats &out)
     }
     if (!scanCacheStats(fp, at, out.mem.l2))
         return false;
+
+    // Deeper shared levels (L3, ...): more cache blocks before "dram".
+    // A cache block starts "r<digit>"; the tail starts "dram", so the
+    // two are unambiguous.
+    while (at + 1 < fp.size() && fp[at] == 'r' &&
+           std::isdigit(static_cast<unsigned char>(fp[at + 1]))) {
+        CacheStats c;
+        if (!scanCacheStats(fp, at, c))
+            return false;
+        out.mem.deeper.push_back(c);
+    }
 
     if (!scanTagged(fp, at, "dram", out.mem.dramAccesses) ||
         !scanChar(fp, at, ' ') ||

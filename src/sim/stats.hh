@@ -111,7 +111,14 @@ struct CacheStats
 /** System-level memory statistics. */
 struct MemStats
 {
+    /** First shared level (slices summed). */
     CacheStats l2;
+    /**
+     * Shared levels below the first (L3, L4, ...), slices summed.
+     * Empty in the default 2-level machine, so legacy fingerprints are
+     * unchanged.
+     */
+    std::vector<CacheStats> deeper;
     std::uint64_t dramAccesses = 0;
     std::uint64_t xbarTransfers = 0;
     std::uint64_t coherenceRecalls = 0;

@@ -304,17 +304,25 @@ Tracer::wst(TraceKind kind, WpuId w, WarpId warp, std::uint32_t inUseAfter)
 }
 
 void
-Tracer::mshr(bool fill, bool l2, WpuId w, std::uint64_t lineAddr,
+Tracer::mshr(bool fill, int level, WpuId w, std::uint64_t lineAddr,
              std::uint32_t inUseAfter)
 {
-    if (l2)
-        l2Mshr_ = static_cast<int>(inUseAfter);
-    else
+    if (level > 0) {
+        const auto li = static_cast<std::size_t>(level - 1);
+        const auto slice = static_cast<std::size_t>(w);
+        if (sharedMshr_.size() <= li)
+            sharedMshr_.resize(li + 1);
+        if (sharedMshr_[li].size() <= slice)
+            sharedMshr_[li].resize(slice + 1, 0);
+        sharedMshr_[li][slice] = static_cast<int>(inUseAfter);
+    } else {
         live_[ringIndex(w)].l1Mshr = static_cast<int>(inUseAfter);
+    }
     if (eventsOn())
         emit(fill ? TraceKind::MshrFill : TraceKind::MshrDrain,
-             l2 ? kTraceSystemWpu : static_cast<std::uint8_t>(w),
-             0, 0, lineAddr, inUseAfter, l2 ? 1 : 0);
+             level > 0 ? kTraceSystemWpu : static_cast<std::uint8_t>(w),
+             0, 0, lineAddr, inUseAfter,
+             static_cast<std::uint32_t>(level));
 }
 
 void

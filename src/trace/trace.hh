@@ -85,9 +85,9 @@ enum class TraceKind : std::uint8_t {
     WstFree = 14,   ///< arg0 = table entries in use after
     WstPark = 15,   ///< arg0 = table entries in use after
     WstUnpark = 16, ///< arg0 = table entries in use after
-    // Memory system. wpu = requester (kTraceSystemWpu for L2).
-    MshrFill = 17,   ///< mask = line addr, arg0 = entries in use after
-    MshrDrain = 18,  ///< mask = line addr, arg0 = entries in use after
+    // Memory system. wpu = requester (kTraceSystemWpu for shared levels).
+    MshrFill = 17,   ///< mask = line addr, arg0 = in use after, arg1 = level
+    MshrDrain = 18,  ///< mask = line addr, arg0 = in use after, arg1 = level
     CacheBurst = 19, ///< arg0 = hits, arg1 = misses since last cycle edge
     CacheEvict = 20, ///< mask = victim line addr, arg0 = coherence state
     // Barriers.
@@ -311,7 +311,13 @@ class Tracer
               std::uint32_t usedAfter);
     /** kind is WstAlloc/WstFree/WstPark/WstUnpark. */
     DWS_TRACE_COLD void wst(TraceKind kind, WpuId w, WarpId warp, std::uint32_t inUseAfter);
-    DWS_TRACE_COLD void mshr(bool fill, bool l2, WpuId w, std::uint64_t lineAddr,
+    /**
+     * MSHR fill/drain. `level` 0 = a WPU's L1 file (`w` = the WPU);
+     * level >= 1 = shared fabric level `level - 1` (`w` = the slice).
+     * The record's arg1 carries the level, so the default machine's
+     * records are byte-identical to the old bool-l2 encoding.
+     */
+    DWS_TRACE_COLD void mshr(bool fill, int level, WpuId w, std::uint64_t lineAddr,
               std::uint32_t inUseAfter);
     /** Aggregated into one CacheBurst record per WPU per cycle. */
     DWS_TRACE_COLD void
@@ -338,7 +344,20 @@ class Tracer
     int liveGroups(WpuId w) const { return live_[ringIndex(w)].groups; }
     int wstInUse(WpuId w) const { return live_[ringIndex(w)].wst; }
     int l1MshrInUse(WpuId w) const { return live_[ringIndex(w)].l1Mshr; }
-    int l2MshrInUse() const { return l2Mshr_; }
+
+    /** Mirror for shared level `level` (1-based), slice `slice`. */
+    int
+    sharedMshrInUse(int level, int slice) const
+    {
+        const auto li = static_cast<std::size_t>(level - 1);
+        if (li >= sharedMshr_.size())
+            return 0;
+        const auto &v = sharedMshr_[li];
+        const auto s = static_cast<std::size_t>(slice);
+        return s < v.size() ? v[s] : 0;
+    }
+
+    int l2MshrInUse() const { return sharedMshrInUse(1, 0); }
 
     // ---- accounting ----
 
@@ -402,7 +421,8 @@ class Tracer
     std::vector<Burst> bursts_;     ///< parallel to rings_
     std::vector<LiveCounters> live_;
     std::vector<RateCounters> rates_;
-    int l2Mshr_ = 0;
+    /** Per shared level (outer, 0 = L2), per slice (inner) mirrors. */
+    std::vector<std::vector<int>> sharedMshr_;
 
     std::unique_ptr<TraceSink> sink_;
     std::vector<TraceRecord> scratch_; ///< drain buffer for flushes

@@ -295,5 +295,53 @@ TEST(GoldenFingerprints, EveryKernelAndPolicyMatchesPreRefactorTree)
     }
 }
 
+// --- composable fabric equivalence ------------------------------------
+
+/**
+ * Spelling Table 3 as an explicit HierarchySpec must reproduce the
+ * legacy flat-field machine bit for bit: same cycles, same counters,
+ * same fingerprint, across every kernel and the three headline
+ * policies.
+ */
+TEST(CacheFabric, ExplicitTable3SpecMatchesLegacyFingerprints)
+{
+    const char *policies[] = {"Conv", "DWS.ReviveSplit", "Slip"};
+    for (const char *pol : policies) {
+        for (const auto &kernel : kernelNames()) {
+            const SystemConfig legacy =
+                    SystemConfig::table3(policyByName(pol));
+            SystemConfig spelled = legacy;
+            spelled.applyHierarchy(HierarchySpec::table3());
+            const RunResult a =
+                    runKernel(kernel, legacy, KernelScale::Tiny);
+            const RunResult b =
+                    runKernel(kernel, spelled, KernelScale::Tiny);
+            ASSERT_TRUE(a.valid && b.valid) << pol << "/" << kernel;
+            EXPECT_EQ(a.stats.fingerprint(), b.stats.fingerprint())
+                    << pol << "/" << kernel;
+        }
+    }
+}
+
+/**
+ * Fingerprints of runs on deeper hierarchies carry extra per-level
+ * cache blocks; the strict parser must round-trip them (the sweep
+ * journal's --resume depends on this).
+ */
+TEST(CacheFabric, DeeperFingerprintBlocksRoundTrip)
+{
+    SystemConfig cfg = SystemConfig::table3(PolicyConfig::reviveSplit());
+    cfg.applyHierarchy(HierarchySpec::withL3(8u << 20, 16, 60));
+    const RunResult r = runKernel("Merge", cfg, KernelScale::Tiny);
+    ASSERT_TRUE(r.valid);
+    ASSERT_EQ(r.stats.mem.deeper.size(), 1u);
+    const std::string fp = r.stats.fingerprint();
+    RunStats parsed;
+    ASSERT_TRUE(RunStats::parseFingerprint(fp, parsed));
+    ASSERT_EQ(parsed.mem.deeper.size(), 1u);
+    EXPECT_EQ(parsed.mem.deeper[0].reads, r.stats.mem.deeper[0].reads);
+    EXPECT_EQ(parsed.fingerprint(), fp);
+}
+
 } // namespace
 } // namespace dws

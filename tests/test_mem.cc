@@ -11,9 +11,11 @@
 #include "mem/crossbar.hh"
 #include "mem/directory.hh"
 #include "mem/dram.hh"
+#include "mem/level.hh"
 #include "mem/memory.hh"
 #include "mem/memsys.hh"
 #include "mem/mshr.hh"
+#include "mem/sharers.hh"
 #include "sim/event_queue.hh"
 
 namespace dws {
@@ -401,6 +403,274 @@ TEST(MemSystem, RequestChannelSerializesMisses)
     const LineResponse a = ms.accessData(0, 0, false, 0, 0);
     const LineResponse b = ms.accessData(0, 4096, false, 0, 0);
     EXPECT_GT(b.readyAt, a.readyAt);
+}
+
+// --- width-independent sharer sets ------------------------------------
+
+TEST(SharerSet, InlineWordBasics)
+{
+    SharerSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0);
+    s.add(0);
+    s.add(31);
+    s.add(63);
+    EXPECT_EQ(s.count(), 3);
+    EXPECT_TRUE(s.test(31));
+    EXPECT_FALSE(s.test(32));
+    EXPECT_FALSE(s.noneExcept(31));
+    s.remove(0);
+    s.remove(63);
+    EXPECT_TRUE(s.noneExcept(31));
+    s.reset(7);
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_TRUE(s.test(7));
+}
+
+TEST(SharerSet, SpillsBeyondSixtyFourIds)
+{
+    SharerSet s;
+    s.add(5);
+    s.add(64);
+    s.add(200);
+    EXPECT_EQ(s.count(), 3);
+    EXPECT_TRUE(s.test(64));
+    EXPECT_TRUE(s.test(200));
+    EXPECT_FALSE(s.test(199));
+    EXPECT_FALSE(s.noneExcept(200));
+    std::vector<WpuId> seen;
+    s.forEach([&](WpuId w) { seen.push_back(w); });
+    EXPECT_EQ(seen, (std::vector<WpuId>{5, 64, 200}));
+    s.remove(5);
+    s.remove(64);
+    EXPECT_TRUE(s.noneExcept(200));
+    s.remove(200);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Directory, TracksFortyEightSharers)
+{
+    CacheLine line;
+    for (WpuId w = 0; w < 48; w++)
+        Directory::getS(line, w);
+    EXPECT_EQ(Directory::sharerCount(line), 48);
+    for (WpuId w = 0; w < 48; w++)
+        EXPECT_TRUE(Directory::isSharer(line, w));
+    // WPU 47 writes: all 47 other copies are invalidated.
+    const DirOutcome x = Directory::getX(line, 47);
+    EXPECT_EQ(x.invalidations, 47);
+    EXPECT_EQ(Directory::sharerCount(line), 1);
+    EXPECT_TRUE(Directory::isSharer(line, 47));
+    EXPECT_EQ(line.owner, 47);
+}
+
+TEST(MemSystem, FortyEightWpuSharerRegression)
+{
+    EventQueue eq;
+    SystemConfig cfg;
+    cfg.numWpus = 48;
+    MemSystem ms(cfg, eq);
+    Cycle now = 0;
+    for (WpuId w = 0; w < 48; w++) {
+        const LineResponse r = ms.accessData(w, 0, false, 0, now);
+        ASSERT_FALSE(r.retry);
+        eq.runUntil(r.readyAt + 1);
+        now = r.readyAt + 1;
+    }
+    CacheLine *l2l = ms.l2().find(0);
+    ASSERT_NE(l2l, nullptr);
+    EXPECT_EQ(Directory::sharerCount(*l2l), 48);
+    EXPECT_TRUE(Directory::isSharer(*l2l, 47));
+    // WPU 0 writes: every remote copy (ids up to 47, past the old
+    // 32-bit mask) is invalidated.
+    const LineResponse w = ms.accessData(0, 0, true, 0, now);
+    eq.runUntil(w.readyAt + 1);
+    EXPECT_EQ(Directory::sharerCount(*l2l), 1);
+    for (WpuId v = 1; v < 48; v++) {
+        EXPECT_EQ(ms.dcache(v).find(0), nullptr);
+        EXPECT_EQ(ms.dcache(v).stats.invalidationsReceived, 1u);
+    }
+}
+
+// --- banked MSHR files ------------------------------------------------
+
+TEST(Mshr, BankedPerBankExhaustion)
+{
+    CacheConfig c;
+    c.lineBytes = 128;
+    c.mshrs = 4;
+    c.mshrBanks = 2;
+    MshrFile f(c, 0);
+    EXPECT_EQ(f.banks(), 2);
+    EXPECT_EQ(f.perBankCapacity(), 2);
+    // Lines 0 and 256 land in bank 0; 128 and 384 in bank 1.
+    EXPECT_EQ(f.bankOf(0), 0);
+    EXPECT_EQ(f.bankOf(128), 1);
+    ASSERT_NE(f.allocate(0, 10, false), nullptr);
+    ASSERT_NE(f.allocate(256, 10, false), nullptr);
+    EXPECT_FALSE(f.available(512));   // bank 0 full
+    EXPECT_EQ(f.allocate(512, 10, false), nullptr);
+    EXPECT_TRUE(f.available(128));    // bank 1 still open
+    ASSERT_NE(f.allocate(128, 10, false), nullptr);
+    EXPECT_EQ(f.inUse(), 3);
+    EXPECT_EQ(f.bankInUse(0), 2);
+    EXPECT_EQ(f.bankInUse(1), 1);
+    f.release(0);
+    EXPECT_TRUE(f.available(512));
+    EXPECT_EQ(f.inUse(), 2);
+    EXPECT_EQ(f.bankInUse(0), 1);
+}
+
+TEST(Mshr, DownSideOccupancyAccounting)
+{
+    CacheConfig c;
+    c.lineBytes = 128;
+    c.mshrs = 4;
+    c.mshrBanks = 1;
+    c.mshrDownEntries = 2;
+    MshrFile f(c, 0);
+    EXPECT_EQ(f.downInUse(0), 0);
+    f.noteDown(0, 100, 0);
+    f.noteDown(128, 200, 0);
+    EXPECT_EQ(f.downInUse(0), 2);
+    EXPECT_EQ(f.downPeak(), 2);
+    EXPECT_EQ(f.downFullEvents(), 0u);
+    // Bank full: the earliest-completing entry is displaced, counted,
+    // and the machine never stalls.
+    f.noteDown(256, 300, 0);
+    EXPECT_EQ(f.downFullEvents(), 1u);
+    EXPECT_EQ(f.downInUse(0), 2);
+    // Completions drain lazily.
+    EXPECT_EQ(f.downInUse(250), 1);
+    EXPECT_EQ(f.downInUse(300), 0);
+    EXPECT_EQ(f.downPeak(), 2);
+}
+
+// --- composable fabric ------------------------------------------------
+
+TEST(CacheFabric, FactoryBuildsTwoLevelTree)
+{
+    const auto levels = buildFabric(HierarchySpec::table3(), 4);
+    ASSERT_EQ(levels.size(), 1u);
+    EXPECT_EQ(levels[0]->name(), "l2");
+    EXPECT_EQ(levels[0]->index(), 0);
+    EXPECT_EQ(levels[0]->sliceCount(), 1);
+    EXPECT_EQ(levels[0]->below(), nullptr);
+    EXPECT_EQ(levels[0]->reqChannelFree.size(), 4u);
+}
+
+TEST(CacheFabric, FactoryBuildsThreeLevelSlicedTree)
+{
+    HierarchySpec spec;
+    std::string err;
+    ASSERT_TRUE(HierarchySpec::parse(
+            "l1d:32k:8:3,l2:1m:16:30,l3:8m:16:60:2", spec, err))
+            << err;
+    EXPECT_TRUE(err.empty());
+    ASSERT_TRUE(spec.l1d.has_value());
+    EXPECT_EQ(spec.l1d->sizeBytes, 32u * 1024);
+    EXPECT_EQ(spec.validate(16), "");
+    const auto levels = buildFabric(spec, 16);
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[0]->name(), "l2");
+    EXPECT_EQ(levels[1]->name(), "l3");
+    EXPECT_EQ(levels[0]->below(), levels[1].get());
+    EXPECT_EQ(levels[1]->below(), nullptr);
+    EXPECT_EQ(levels[1]->sliceCount(), 2);
+    EXPECT_EQ(levels[1]->totalBytes(), 16u * 1024 * 1024);
+    // Interleaved slices: consecutive lines alternate slices and each
+    // slice's MSHR bank decode skips the slice-select bits.
+    EXPECT_NE(levels[1]->sliceOf(0), levels[1]->sliceOf(128));
+    EXPECT_EQ(levels[1]->sliceOf(0), levels[1]->sliceOf(256));
+}
+
+TEST(HierarchySpec, ParseRejectsMalformedSpecs)
+{
+    HierarchySpec spec;
+    std::string err;
+    EXPECT_FALSE(HierarchySpec::parse("", spec, err));
+    EXPECT_FALSE(HierarchySpec::parse("bogus", spec, err));
+    EXPECT_FALSE(HierarchySpec::parse("l2:1m:16", spec, err));
+    EXPECT_FALSE(HierarchySpec::parse("l3:1m:16:30", spec, err));
+    EXPECT_FALSE(HierarchySpec::parse("l2:1m:16:30,l4:8m:16:60", spec,
+                                      err));
+    EXPECT_FALSE(HierarchySpec::parse("l1d:32k:8:3", spec, err));
+    EXPECT_FALSE(HierarchySpec::parse("l1d:32k:8:3,l1d:16k:8:3,"
+                                      "l2:1m:16:30", spec, err));
+    EXPECT_FALSE(HierarchySpec::parse("l2:nope:16:30", spec, err));
+}
+
+TEST(HierarchySpec, ValidateCatchesBadGeometry)
+{
+    HierarchySpec spec;
+    std::string err;
+    ASSERT_TRUE(HierarchySpec::parse("l2:1m:3:30", spec, err));
+    EXPECT_NE(spec.validate(4), "");      // non-pow2 assoc
+    ASSERT_TRUE(HierarchySpec::parse("l2:1m:16:30", spec, err));
+    EXPECT_EQ(spec.validate(4), "");
+    EXPECT_NE(spec.validate(0), "");      // absurd WPU counts
+    EXPECT_NE(spec.validate(4096), "");
+    ASSERT_TRUE(HierarchySpec::parse("l2:1m:16:30:3", spec, err));
+    EXPECT_NE(spec.validate(4), "");      // non-pow2 slices
+}
+
+TEST(CacheFabric, L3HitIsCheaperThanDram)
+{
+    EventQueue eq;
+    SystemConfig cfg = memCfg();
+    HierarchySpec spec;
+    std::string err;
+    // Two-line direct-mapped L2 over a large L3.
+    ASSERT_TRUE(HierarchySpec::parse("l2:256:1:30,l3:64k:16:60", spec,
+                                     err)) << err;
+    cfg.applyHierarchy(spec);
+    MemSystem ms(cfg, eq);
+    ASSERT_EQ(ms.sharedLevels(), 2);
+    // A goes to DRAM; B maps to A's L2 set and evicts it (inclusively
+    // back-invalidating WPU 0's L1 copy), leaving A only in the L3.
+    const LineResponse r0 = ms.accessData(0, 0, false, 0, 0);
+    eq.runUntil(r0.readyAt + 1);
+    const LineResponse rb = ms.accessData(0, 256, false, 0,
+                                          r0.readyAt + 1);
+    eq.runUntil(rb.readyAt + 1);
+    const Cycle now = rb.readyAt + 1;
+    EXPECT_EQ(ms.sharedCache(0, 0).find(0), nullptr);
+    ASSERT_NE(ms.sharedCache(1, 0).find(0), nullptr);
+    const std::uint64_t dramBefore = ms.stats().dramAccesses;
+    const LineResponse r2 = ms.accessData(1, 0, false, 0, now);
+    eq.runUntil(r2.readyAt + 1);
+    EXPECT_FALSE(r2.l1Hit);
+    EXPECT_EQ(ms.stats().dramAccesses, dramBefore); // served by the L3
+    EXPECT_LT(r2.readyAt - now, r0.readyAt - 0u);
+    ASSERT_GE(ms.stats().deeper.size(), 1u);
+    EXPECT_GT(ms.stats().deeper[0].reads,
+              ms.stats().deeper[0].readMisses);
+}
+
+TEST(CacheFabric, BackInvalidationThroughL3)
+{
+    EventQueue eq;
+    SystemConfig cfg = memCfg();
+    HierarchySpec spec;
+    std::string err;
+    // Large L2 over a two-line direct-mapped L3: an L3 conflict must
+    // back-invalidate the line from the L2 and every L1 above it.
+    ASSERT_TRUE(HierarchySpec::parse("l2:64k:16:30,l3:256:1:60", spec,
+                                     err)) << err;
+    cfg.applyHierarchy(spec);
+    MemSystem ms(cfg, eq);
+    const LineResponse r0 = ms.accessData(0, 0, false, 0, 0);
+    eq.runUntil(r0.readyAt + 1);
+    ASSERT_NE(ms.dcache(0).find(0), nullptr);
+    ASSERT_NE(ms.sharedCache(0, 0).find(0), nullptr);
+    // B maps onto A's L3 set.
+    const LineResponse rb = ms.accessData(1, 256, false, 0,
+                                          r0.readyAt + 1);
+    eq.runUntil(rb.readyAt + 1);
+    EXPECT_EQ(ms.sharedCache(1, 0).find(0), nullptr);
+    EXPECT_EQ(ms.sharedCache(0, 0).find(0), nullptr);
+    EXPECT_EQ(ms.dcache(0).find(0), nullptr);
+    EXPECT_EQ(ms.dcache(0).stats.invalidationsReceived, 1u);
 }
 
 } // namespace

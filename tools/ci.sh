@@ -2,7 +2,9 @@
 # Full CI sweep: Release build + tests + gating static analysis
 # (dws_lint --all --json, archived to LINT_report.json, plus a
 # dws_sim --check-oracle sweep proving execution never contradicts a
-# static claim) + the simulator
+# static claim) + a hierarchy smoke leg (a 3-level 16-WPU fabric built
+# from a --hier spec runs the scheme comparison and an
+# invariant-audited pass over the .dws examples) + the simulator
 # throughput benchmark (archived to BENCH_throughput.json), then the
 # tracing subsystem (fingerprint neutrality, a traced figure bench
 # validated with dws_trace check + Perfetto convert, tracing overhead
@@ -89,6 +91,24 @@ assert not bad, "policy mismatches: %r" % bad
 print("  100 generated kernels lint-clean; scalar oracle agrees "
       "across all 12 policies; archived FUZZ_report.json")
 EOF
+
+echo "=== Release: hierarchy smoke (3-level fabric, 16 WPUs) ==="
+# A machine the paper never built — sliced L2 over an L3, 16 WPUs —
+# must build from the declarative spec alone, run the full scheme
+# comparison, and survive an invariant-audited pass over the .dws
+# example kernels.
+# Modest capacities keep the per-audit tag scans (every line of every
+# slice) cheap enough for an every-1024-cycles cadence.
+HIER='l1d:16k:8:3,l2:256k:16:30:4,l3:2m:16:60:2'
+./build-ci-release/bench/bench_fig13_schemes --fast --wpus 16 \
+    --hier "$HIER" >/dev/null
+echo "  bench_fig13_schemes --fast --wpus 16 --hier: clean"
+for f in examples/ir/*.dws; do
+    ./build-ci-release/tools/dws_sim --kernel "$f" --policy revive \
+        --wpus 16 --hier "$HIER" --check-invariants=1024 --quiet \
+        >/dev/null
+done
+echo "  examples/ir/*.dws on the 3-level 16-WPU fabric: invariants clean"
 
 echo "=== Release: simulator throughput benchmark ==="
 ./build-ci-release/bench/bench_throughput --fast \

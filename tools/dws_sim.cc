@@ -52,6 +52,14 @@ usage()
         "  --wst N           warp-split entries    --seed N    input seed\n"
         "  --dcache-kb N     L1 D-cache capacity   --assoc N   (0 = full)\n"
         "  --l2-kb N         L2 capacity           --l2-lat N  L2 latency\n"
+        "  --hier SPEC       explicit cache fabric: comma-separated\n"
+        "                    levels name:size:assoc:lat[:slices[:mshrs]]\n"
+        "                    with name l1i|l1d|l2|l3|...; sizes accept\n"
+        "                    k/m/g, e.g. l1d:32k:8:3,l2:1m:16:30,\n"
+        "                    l3:8m:16:60:2\n"
+        "  --l3-kb N         add a shared L3 of N KB behind the L2\n"
+        "  --l3-assoc N      L3 associativity (default 16)\n"
+        "  --l3-lat N        L3 hit latency in cycles (default 60)\n"
         "  --subdiv N        branch heuristic bound (instrs)\n"
         "  --min-split N     over-subdivision width floor\n"
         "  --check-invariants[=N]  audit runtime invariants every N\n"
@@ -122,6 +130,8 @@ main(int argc, char **argv)
     SystemConfig cfg;
     bool wantDisasm = false;
     bool wantCampaign = false;
+    std::string hierSpec;
+    long long l3Kb = 0, l3Assoc = 16, l3Lat = 60;
     int campaignSeeds = 3;
     std::string campaignOut;
     CampaignOptions copts;
@@ -165,7 +175,25 @@ main(int argc, char **argv)
             cfg.wpu.numWarps = static_cast<int>(intArg(i));
             cfg.wpu.schedSlots = 2 * cfg.wpu.numWarps;
         } else if (!std::strcmp(a, "--wpus")) {
-            cfg.numWpus = static_cast<int>(intArg(i));
+            if (i + 1 >= argc)
+                fatal("missing value for --wpus");
+            const auto w = parseInt64InRange(argv[++i], 1, 1024);
+            if (!w) {
+                usage();
+                std::fprintf(stderr,
+                             "error: --wpus '%s' is not an integer in "
+                             "[1, 1024]\n", argv[i]);
+                return 2;
+            }
+            cfg.numWpus = static_cast<int>(*w);
+        } else if (!std::strcmp(a, "--hier") && i + 1 < argc) {
+            hierSpec = argv[++i];
+        } else if (!std::strcmp(a, "--l3-kb")) {
+            l3Kb = intArg(i);
+        } else if (!std::strcmp(a, "--l3-assoc")) {
+            l3Assoc = intArg(i);
+        } else if (!std::strcmp(a, "--l3-lat")) {
+            l3Lat = intArg(i);
         } else if (!std::strcmp(a, "--slots")) {
             cfg.wpu.schedSlots = static_cast<int>(intArg(i));
         } else if (!std::strcmp(a, "--wst")) {
@@ -249,6 +277,43 @@ main(int argc, char **argv)
             usage();
             fatal("unknown argument '%s'", a);
         }
+    }
+
+    if (!hierSpec.empty() && l3Kb > 0) {
+        usage();
+        std::fprintf(stderr,
+                     "error: --hier and --l3-kb are mutually "
+                     "exclusive\n");
+        return 2;
+    }
+    if (!hierSpec.empty()) {
+        HierarchySpec hs;
+        std::string err;
+        if (!HierarchySpec::parse(hierSpec, hs, err)) {
+            usage();
+            std::fprintf(stderr, "error: --hier: %s\n", err.c_str());
+            return 2;
+        }
+        cfg.applyHierarchy(hs);
+    } else if (l3Kb > 0) {
+        HierarchySpec hs = HierarchySpec::withL3(
+                static_cast<std::uint64_t>(l3Kb) * 1024,
+                static_cast<int>(l3Assoc), static_cast<int>(l3Lat));
+        // Keep any --l2-kb/--l2-lat overrides on the L2 level.
+        hs.levels[0].cache = cfg.mem.l2;
+        cfg.applyHierarchy(hs);
+    } else if (l3Kb < 0 || (l3Kb == 0 && (l3Assoc != 16 || l3Lat != 60))) {
+        usage();
+        std::fprintf(stderr,
+                     "error: --l3-assoc/--l3-lat require --l3-kb with a "
+                     "positive capacity\n");
+        return 2;
+    }
+    const std::string hierErr = cfg.hierarchy().validate(cfg.numWpus);
+    if (!hierErr.empty()) {
+        usage();
+        std::fprintf(stderr, "error: %s\n", hierErr.c_str());
+        return 2;
     }
 
     if (cfg.traceMode != 0 && cfg.traceOut.empty())
@@ -349,6 +414,10 @@ main(int argc, char **argv)
     std::printf("  L2 accesses:      %llu (%.1f%% miss)\n",
                 (unsigned long long)r.stats.mem.l2.accesses(),
                 100.0 * r.stats.mem.l2.missRate());
+    for (std::size_t d = 0; d < r.stats.mem.deeper.size(); d++)
+        std::printf("  L%zu accesses:      %llu (%.1f%% miss)\n", d + 3,
+                    (unsigned long long)r.stats.mem.deeper[d].accesses(),
+                    100.0 * r.stats.mem.deeper[d].missRate());
     std::printf("  DRAM accesses:    %llu\n",
                 (unsigned long long)r.stats.mem.dramAccesses);
     const EnergyBreakdown e = computeEnergy(r.stats, cfg);
