@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "serve/cache_key.hh"
+#include "serve/client.hh"
 #include "sim/json_writer.hh"
 #include "sim/logging.hh"
 #include "sim/parse.hh"
@@ -208,9 +210,10 @@ SweepExecutor::setRetry(int maxAttempts, double backoffMs)
 
 std::string
 SweepExecutor::journalKey(const std::string &label,
-                          const std::string &kernel)
+                          const std::string &kernel,
+                          const std::string &cfgHash)
 {
-    return label + "\x1f" + kernel;
+    return label + "\x1f" + kernel + "\x1f" + cfgHash;
 }
 
 void
@@ -237,6 +240,13 @@ SweepExecutor::setJournal(const std::string &path, bool resume)
             continue; // failed cells are re-run
         if (!journalField(line, "fingerprint", rec.fingerprint) ||
             rec.fingerprint.empty())
+            continue;
+        // The config hash binds a journaled cell to the exact
+        // configuration it was simulated under; without it (older
+        // journals) the cell cannot be trusted across config changes
+        // and is re-simulated.
+        if (!journalField(line, "cfg", rec.cfgHash) ||
+            rec.cfgHash.empty())
             continue;
         journalField(line, "policy", rec.policy);
         // A corrupt numeric token means the line cannot be trusted:
@@ -266,7 +276,9 @@ SweepExecutor::setJournal(const std::string &path, bool resume)
         }
         rec.valid = true;
         rec.resumed = true;
-        journaled[journalKey(rec.label, rec.kernel)] = std::move(rec);
+        const std::string key =
+                journalKey(rec.label, rec.kernel, rec.cfgHash);
+        journaled[key] = std::move(rec);
         restored++;
     }
     if (restored > 0)
@@ -285,6 +297,7 @@ SweepExecutor::journalRecord(const Record &rec)
     w.beginObject();
     w.field("label", rec.label);
     w.field("kernel", rec.kernel);
+    w.field("cfg", rec.cfgHash);
     w.field("policy", rec.policy);
     w.field("outcome", rec.outcome);
     w.field("cycles", rec.cycles);
@@ -305,12 +318,101 @@ SweepExecutor::journalRecord(const Record &rec)
 }
 
 // --------------------------------------------------------------------
+// Serve mode
+// --------------------------------------------------------------------
+
+void
+SweepExecutor::setServe(const std::string &socketPath)
+{
+    // Fail fast and loudly: a missing daemon should abort the bench
+    // before any cell runs, not surface as N per-job panics.
+    ServeClient probe;
+    std::string err;
+    ServeStatus st;
+    if (!probe.connectTo(socketPath, err) || !probe.status(st, err))
+        fatal("--serve %s: %s", socketPath.c_str(), err.c_str());
+    inform("serve: daemon at %s (%u workers, cache %s, build %s)",
+           socketPath.c_str(), st.workers, st.cacheDir.c_str(),
+           st.buildFingerprint.c_str());
+    serveSocket = socketPath;
+    std::lock_guard<std::mutex> lock(serveMtx);
+    serveIdle.push_back(
+            std::make_unique<ServeClient>(std::move(probe)));
+}
+
+void
+SweepExecutor::setKeepRecords(bool keep)
+{
+    keepRecords = keep;
+}
+
+JobResult
+SweepExecutor::runServeJob(const SweepJob &job)
+{
+    JobResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::unique_ptr<ServeClient> client;
+    {
+        std::lock_guard<std::mutex> lock(serveMtx);
+        if (!serveIdle.empty()) {
+            client = std::move(serveIdle.back());
+            serveIdle.pop_back();
+        }
+    }
+    std::string err;
+    if (!client) {
+        client = std::make_unique<ServeClient>();
+        if (!client->connectTo(serveSocket, err)) {
+            r.outcome = SimOutcome::Panic;
+            r.error = err;
+            return r;
+        }
+    }
+
+    std::vector<ServeResult> results;
+    if (!client->submitBatch({makeServeJob(job)}, results, err)) {
+        // The broken connection is dropped, not pooled: the next job
+        // on this worker reconnects fresh.
+        r.outcome = SimOutcome::Panic;
+        r.error = err;
+        return r;
+    }
+    {
+        std::lock_guard<std::mutex> lock(serveMtx);
+        serveIdle.push_back(std::move(client));
+    }
+
+    const ServeResult &res = results[0];
+    r.outcome = simOutcomeFromName(res.outcome);
+    r.error = res.error;
+    r.cached = res.cached;
+    r.run.kernel = job.kernel;
+    r.run.policy = res.policy;
+    if (res.ok()) {
+        if (!RunStats::parseFingerprint(res.fingerprint, r.run.stats)) {
+            r.outcome = SimOutcome::Panic;
+            r.error = "serve: daemon returned an unparsable "
+                      "fingerprint";
+        } else {
+            r.run.valid = true;
+        }
+    }
+    r.wallMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    return r;
+}
+
+// --------------------------------------------------------------------
 // Job execution
 // --------------------------------------------------------------------
 
 JobResult
 SweepExecutor::runJob(const SweepJob &job)
 {
+    if (!serveSocket.empty())
+        return runServeJob(job);
     JobResult r;
     const auto t0 = std::chrono::steady_clock::now();
     for (int attempt = 1;; attempt++) {
@@ -367,14 +469,19 @@ SweepExecutor::submit(SweepJob job)
         std::lock_guard<std::mutex> lock(mtx);
         if (stopping)
             panic("SweepExecutor: submit after shutdown");
-        seq = completed.size();
-        completed.emplace_back(); // reserve the submission-order slot
+        seq = seqCounter++;
+        if (keepRecords)
+            completed.emplace_back(); // reserve the submission slot
     }
+    const std::string cfgHash =
+            keyHex(jobConfigHash(job.cfg, job.scale));
 
-    // Resume: a cell the journal already records as ok is restored
-    // from its fingerprint instead of re-simulated.
+    // Resume: a cell the journal already records as ok — under this
+    // exact configuration — is restored from its fingerprint instead
+    // of re-simulated.
     {
-        const auto it = journaled.find(journalKey(job.label, job.kernel));
+        const auto it = journaled.find(
+                journalKey(job.label, job.kernel, cfgHash));
         if (it != journaled.end()) {
             JobResult r;
             if (RunStats::parseFingerprint(it->second.fingerprint,
@@ -384,7 +491,7 @@ SweepExecutor::submit(SweepJob job)
                 r.run.policy = it->second.policy;
                 r.outcome = SimOutcome::Ok;
                 r.resumed = true;
-                {
+                if (keepRecords) {
                     std::lock_guard<std::mutex> lock(mtx);
                     completed[seq] = it->second;
                 }
@@ -399,7 +506,7 @@ SweepExecutor::submit(SweepJob job)
     }
 
     std::packaged_task<JobResult()> task(
-            [this, seq, job = std::move(job)]() -> JobResult {
+            [this, seq, cfgHash, job = std::move(job)]() -> JobResult {
                 JobResult r = runJob(job);
                 Record rec;
                 rec.label = job.label;
@@ -413,10 +520,12 @@ SweepExecutor::submit(SweepJob job)
                 rec.outcome = simOutcomeName(r.outcome);
                 rec.error = r.error;
                 rec.attempts = r.attempts;
+                rec.cached = r.cached;
+                rec.cfgHash = cfgHash;
                 if (r.ok())
                     rec.fingerprint = r.run.stats.fingerprint();
                 journalRecord(rec);
-                {
+                if (keepRecords) {
                     std::lock_guard<std::mutex> lock(mtx);
                     completed[seq] = std::move(rec);
                 }
@@ -498,6 +607,8 @@ SweepExecutor::writeJson(const std::string &path) const
             w.field("attempts", r.attempts);
         if (r.resumed)
             w.field("resumed", true);
+        if (r.cached)
+            w.field("cached", true);
         w.endObject();
     }
     w.endArray();

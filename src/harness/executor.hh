@@ -34,6 +34,7 @@
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,6 +46,8 @@
 #include "sim/config.hh"
 
 namespace dws {
+
+class ServeClient;
 
 /** One simulation job: a kernel under one configuration. */
 struct SweepJob
@@ -78,6 +81,8 @@ struct JobResult
     int attempts = 1;
     /** True when the result was restored from the journal, not run. */
     bool resumed = false;
+    /** True when a serve daemon answered the cell from its cache. */
+    bool cached = false;
 
     /** @return true if the run completed with valid output. */
     bool ok() const { return outcome == SimOutcome::Ok; }
@@ -132,6 +137,10 @@ class SweepExecutor
         std::string error;
         int attempts = 1;
         bool resumed = false;
+        /** True when a serve daemon answered from its result cache. */
+        bool cached = false;
+        /** Hex jobConfigHash of the cell's config + scale (journal). */
+        std::string cfgHash;
         /** RunStats::fingerprint() of a completed run (journal). */
         std::string fingerprint;
     };
@@ -165,13 +174,36 @@ class SweepExecutor
 
     /**
      * Journal completed cells to `path` as JSON lines, one per job,
-     * keyed by (label, kernel). With `resume`, cells already journaled
-     * with outcome "ok" are not re-simulated: submit() restores their
-     * full RunStats from the journaled fingerprint and completes the
-     * future immediately (Record.resumed marks them). Call before
-     * submitting.
+     * keyed by (label, kernel, config hash) — the "cfg" field carries
+     * jobConfigHash(cfg, scale) so a journal written under one
+     * configuration can never resume a sweep under another. With
+     * `resume`, cells already journaled with outcome "ok" *and* a
+     * matching config hash are not re-simulated: submit() restores
+     * their full RunStats from the journaled fingerprint and completes
+     * the future immediately (Record.resumed marks them). Lines from
+     * older journals without a "cfg" field are ignored (re-simulated).
+     * Call before submitting.
      */
     void setJournal(const std::string &path, bool resume);
+
+    /**
+     * Route every job to a dws_serve daemon at `socketPath` instead of
+     * simulating locally (DESIGN.md §16): each worker thread sends a
+     * batch-of-one SubmitBatch and rebuilds the exact RunStats from the
+     * returned fingerprint, so results — and every figure table —
+     * are byte-identical to a local run. fatal()s immediately when no
+     * daemon answers a Status ping at `socketPath`. Call before
+     * submitting. A per-job transport failure after that becomes that
+     * job's Panic-outcome result; other cells are unaffected.
+     */
+    void setServe(const std::string &socketPath);
+
+    /**
+     * Retain per-job Records (records()/writeJson()) — default on.
+     * The serve daemon turns this off: it is long-lived and answers
+     * from its replies, so an ever-growing record vector would leak.
+     */
+    void setKeepRecords(bool keep);
 
     /**
      * @return the most severe outcome over all completed records —
@@ -190,11 +222,13 @@ class SweepExecutor
   private:
     void workerLoop();
     JobResult runJob(const SweepJob &job);
+    JobResult runServeJob(const SweepJob &job);
     void journalRecord(const Record &rec);
     void watchdogLoop();
-    /** @return journal-map key of a job. */
+    /** @return journal-map key of a cell (cfgHash in keyHex form). */
     static std::string journalKey(const std::string &label,
-                                  const std::string &kernel);
+                                  const std::string &kernel,
+                                  const std::string &cfgHash);
 
     int numWorkers;
     std::vector<std::thread> workers;
@@ -204,8 +238,18 @@ class SweepExecutor
     std::deque<std::packaged_task<JobResult()>> queue;
     bool stopping = false;
 
+    /** Submission-order sequence counter (also records() index). */
+    std::size_t seqCounter = 0;
+    bool keepRecords = true;
+
     /** Indexed by submission sequence; filled as jobs complete. */
     std::vector<Record> completed;
+
+    // --- serve --------------------------------------------------------
+    std::string serveSocket;
+    std::mutex serveMtx;
+    /** Idle daemon connections, borrowed per job by worker threads. */
+    std::vector<std::unique_ptr<ServeClient>> serveIdle;
 
     // --- watchdog -----------------------------------------------------
     /** One active job under watch. */

@@ -211,6 +211,8 @@ applyBenchOptions(SweepExecutor &ex, const BenchOptions &opts)
         ex.setWatchdog(opts.timeoutSec);
     if (opts.retryAttempts > 1)
         ex.setRetry(opts.retryAttempts);
+    if (!opts.serveSocket.empty())
+        ex.setServe(opts.serveSocket);
 }
 
 namespace {
@@ -261,6 +263,10 @@ printUsage(const char *prog)
                  "the default L2\n"
                  "  --l3-assoc N     L3 associativity (default 16)\n"
                  "  --l3-lat N       L3 hit latency (default 60)\n"
+                 "  --serve SOCKET   run every cell through the "
+                 "dws_serve daemon at SOCKET\n"
+                 "                   (cached cells are not re-simulated; "
+                 "incompatible with --trace)\n"
                  "  --help        this message\n"
                  "benchmarks: %s\n",
                  prog, names.c_str());
@@ -435,6 +441,12 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
                 l3Assoc = *v;
             else
                 l3Lat = *v;
+        } else if (std::strcmp(arg, "--serve") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--serve requires a daemon socket path");
+            }
+            opts.serveSocket = argv[++i];
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             printUsage(argv[0]);
@@ -447,6 +459,13 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
     if (opts.traceMode == 0 && !opts.traceOut.empty()) {
         printUsage(argv[0]);
         fatal("--trace-out requires --trace");
+    }
+    // Trace knobs are observationally pure and deliberately excluded
+    // from the served cache key, so a traced run routed through the
+    // daemon would silently produce no trace files.
+    if (!opts.serveSocket.empty() && opts.traceMode != 0) {
+        printUsage(argv[0]);
+        fatal("--serve and --trace are mutually exclusive");
     }
     if (opts.resume && opts.journalPath.empty()) {
         printUsage(argv[0]);

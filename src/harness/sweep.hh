@@ -129,6 +129,10 @@ double hmeanSpeedup(const PolicyRun &base, const PolicyRun &test);
  *                     syntax) applied to every cell
  *   --l3-kb N / --l3-assoc N / --l3-lat N
  *                     append a shared L3 behind the default L2
+ *   --serve SOCKET    run every cell through the dws_serve daemon at
+ *                     SOCKET instead of simulating locally (mutually
+ *                     exclusive with --trace: trace knobs are not part
+ *                     of the served cache key)
  *   --help        print usage and exit
  *
  * Unknown flags and unknown benchmark names are rejected with a usage
@@ -162,6 +166,8 @@ struct BenchOptions
     int wpus = 0;
     /** Explicit cache fabric; empty() = keep each bench's own. */
     HierarchySpec hier{};
+    /** dws_serve daemon socket; empty = simulate locally. */
+    std::string serveSocket;
 };
 
 /**

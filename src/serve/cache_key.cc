@@ -1,0 +1,97 @@
+#include "serve/cache_key.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "kernels/irfile.hh"
+
+namespace dws {
+
+/**
+ * Result-cache schema version. Part of every cache key: bump it when
+ * simulation semantics, RunStats::fingerprint() or the canonical
+ * config serialization change, so entries written by an older
+ * simulator become misses instead of wrong answers.
+ */
+static constexpr int kServeSchemaVersion = 1;
+
+std::string
+serveBuildFingerprint()
+{
+    std::string id = "dws-serve-schema-" +
+                     std::to_string(kServeSchemaVersion);
+#ifdef __VERSION__
+    id += " compiler:" __VERSION__;
+#endif
+    return keyHex(fnv1a(id));
+}
+
+const char *
+kernelScaleName(KernelScale scale)
+{
+    return scale == KernelScale::Tiny ? "tiny" : "default";
+}
+
+std::string
+kernelIdentity(const std::string &kernel, std::string &err)
+{
+    const auto &known = kernelNames();
+    if (std::find(known.begin(), known.end(), kernel) != known.end()) {
+        err.clear();
+        return "builtin:" + kernel;
+    }
+    if (!looksLikeIrFile(kernel)) {
+        err = "unknown kernel '" + kernel + "'";
+        return "";
+    }
+    std::ifstream f(kernel, std::ios::binary);
+    if (!f.is_open()) {
+        err = "cannot read kernel file '" + kernel + "'";
+        return "";
+    }
+    std::ostringstream body;
+    body << f.rdbuf();
+    err.clear();
+    return "ir:" + keyHex(fnv1a(body.str()));
+}
+
+std::string
+resultKeyText(const std::string &kernelId, KernelScale scale,
+              const std::string &configKey)
+{
+    std::string s = "dwskey v1\n";
+    s += "build=" + serveBuildFingerprint() + '\n';
+    s += "kernel=" + kernelId + '\n';
+    s += "scale=";
+    s += kernelScaleName(scale);
+    s += '\n';
+    s += configKey;
+    return s;
+}
+
+std::uint64_t
+resultKey(const std::string &kernelId, KernelScale scale,
+          const std::string &configKey)
+{
+    return fnv1a(resultKeyText(kernelId, scale, configKey));
+}
+
+std::string
+keyHex(std::uint64_t key)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)key);
+    return buf;
+}
+
+std::uint64_t
+jobConfigHash(const SystemConfig &cfg, KernelScale scale)
+{
+    return fnv1a(std::string(kernelScaleName(scale)),
+                 fnv1a(cfg.cacheKey()));
+}
+
+} // namespace dws

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Content-addressed result-cache keys for the sweep service.
+ *
+ * A cached simulation result is addressed by one 64-bit FNV-1a hash
+ * over everything that determines the result bit-exactly:
+ *
+ *   - the kernel identity: the registered name for built-in kernels
+ *     (their code is part of the simulator binary, which the build
+ *     fingerprint covers), or the hash of the `.dws` file bytes for IR
+ *     kernels (so editing the file invalidates its cells);
+ *   - the kernel input scale;
+ *   - the canonical SystemConfig serialization (SystemConfig::cacheKey,
+ *     which includes the expanded HierarchySpec, the policy, seed and
+ *     fault spec);
+ *   - the simulator build fingerprint, so results simulated by a
+ *     semantically different simulator are never served.
+ *
+ * The same config-hash material keys the sweep journal, so `--resume`
+ * and the serve cache agree on what "the same cell" means.
+ */
+
+#ifndef DWS_SERVE_CACHE_KEY_HH
+#define DWS_SERVE_CACHE_KEY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "kernels/kernel.hh"
+#include "sim/config.hh"
+
+namespace dws {
+
+/**
+ * @return a fingerprint of the simulator build: the cache schema
+ *         version plus the compiler identification. Bump
+ *         kServeSchemaVersion whenever simulation semantics change so
+ *         stale caches turn into misses instead of wrong answers.
+ */
+std::string serveBuildFingerprint();
+
+/** @return "tiny" or "default". */
+const char *kernelScaleName(KernelScale scale);
+
+/**
+ * @return the identity string of a kernel argument: "builtin:NAME" for
+ *         registered kernels, "ir:<fnv1a of file bytes>" for IR files.
+ *         Empty with a message in `err` when the argument names
+ *         neither (unknown kernel, unreadable file).
+ */
+std::string kernelIdentity(const std::string &kernel, std::string &err);
+
+/**
+ * @return the full key material of one (kernel, config, scale) cell;
+ *         hash with fnv1a() for the content address.
+ */
+std::string resultKeyText(const std::string &kernelId, KernelScale scale,
+                          const std::string &configKey);
+
+/** @return the 64-bit content address of one cell. */
+std::uint64_t resultKey(const std::string &kernelId, KernelScale scale,
+                        const std::string &configKey);
+
+/** @return `key` as a fixed-width lowercase hex string. */
+std::string keyHex(std::uint64_t key);
+
+/**
+ * @return the journal/config hash of one sweep cell: fnv1a over the
+ *         config's canonical serialization and the scale. Shared by
+ *         SweepExecutor::journalKey and the serve layer.
+ */
+std::uint64_t jobConfigHash(const SystemConfig &cfg, KernelScale scale);
+
+} // namespace dws
+
+#endif // DWS_SERVE_CACHE_KEY_HH

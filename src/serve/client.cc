@@ -1,0 +1,193 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "harness/executor.hh"
+
+namespace dws {
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+ServeClient::ServeClient(ServeClient &&other) noexcept : fd(other.fd)
+{
+    other.fd = -1;
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd = other.fd;
+        other.fd = -1;
+    }
+    return *this;
+}
+
+void
+ServeClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+ServeClient::connectTo(const std::string &socketPath, std::string &err)
+{
+    close();
+    if (socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        err = "socket path too long: " + socketPath;
+        return false;
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        err = "connect('" + socketPath + "'): " + std::strerror(errno);
+        close();
+        return false;
+    }
+    err.clear();
+    return true;
+}
+
+bool
+ServeClient::roundTrip(FrameType type,
+                       const std::vector<std::uint8_t> &payload,
+                       FrameType expect, ServeFrame &reply, std::string &err)
+{
+    if (fd < 0) {
+        err = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd, type, payload)) {
+        err = "serve: request write failed (daemon gone?)";
+        close();
+        return false;
+    }
+    const FrameIo io = readFrame(fd, reply);
+    if (io != FrameIo::Ok) {
+        err = std::string("serve: reply read failed (") +
+              frameIoName(io) + ")";
+        close();
+        return false;
+    }
+    if (reply.type == FrameType::Error) {
+        std::string message;
+        if (!decodeError(reply.payload, message))
+            message = "(malformed error frame)";
+        err = "serve: daemon refused: " + message;
+        close();
+        return false;
+    }
+    if (reply.type != expect) {
+        err = "serve: unexpected reply frame type " +
+              std::to_string(static_cast<int>(reply.type));
+        close();
+        return false;
+    }
+    err.clear();
+    return true;
+}
+
+bool
+ServeClient::submitBatch(const std::vector<ServeJob> &jobs,
+                         std::vector<ServeResult> &results,
+                         std::string &err)
+{
+    ServeFrame reply;
+    if (!roundTrip(FrameType::SubmitBatch, encodeSubmitBatch(jobs),
+                   FrameType::SubmitReply, reply, err))
+        return false;
+    if (!decodeSubmitReply(reply.payload, results) ||
+        results.size() != jobs.size()) {
+        err = "serve: malformed SubmitReply payload";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::status(ServeStatus &out, std::string &err)
+{
+    ServeFrame reply;
+    if (!roundTrip(FrameType::Status, {}, FrameType::StatusReply, reply,
+                   err))
+        return false;
+    if (!decodeStatusReply(reply.payload, out)) {
+        err = "serve: malformed StatusReply payload";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::cacheStats(ServeCacheCounters &out, std::string &err)
+{
+    ServeFrame reply;
+    if (!roundTrip(FrameType::CacheStats, {}, FrameType::CacheStatsReply,
+                   reply, err))
+        return false;
+    if (!decodeCacheStatsReply(reply.payload, out)) {
+        err = "serve: malformed CacheStatsReply payload";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::flushCache(std::uint64_t &removed, std::string &err)
+{
+    ServeFrame reply;
+    if (!roundTrip(FrameType::Flush, {}, FrameType::FlushReply, reply,
+                   err))
+        return false;
+    if (!decodeFlushReply(reply.payload, removed)) {
+        err = "serve: malformed FlushReply payload";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::shutdownServer(std::string &err)
+{
+    ServeFrame reply;
+    const bool ok = roundTrip(FrameType::Shutdown, {},
+                              FrameType::ShutdownReply, reply, err);
+    close();
+    return ok;
+}
+
+ServeJob
+makeServeJob(const SweepJob &job)
+{
+    ServeJob out;
+    out.kernel = job.kernel;
+    out.label = job.label;
+    out.scale = job.scale == KernelScale::Tiny ? 0 : 1;
+    out.configKey = job.cfg.cacheKey();
+    return out;
+}
+
+} // namespace dws

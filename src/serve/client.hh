@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Client side of the sweep service (DESIGN.md §16).
+ *
+ * ServeClient wraps one connection to a dws_serve daemon: connect to
+ * the Unix-domain socket, speak the frame protocol (serve/protocol.hh),
+ * and expose each request/reply pair as a blocking call. Benches use it
+ * through SweepExecutor::setServe (one client per worker thread);
+ * tools/dws_client uses it directly for status/stats/flush/shutdown and
+ * for rendering figure tables from served cells.
+ */
+
+#ifndef DWS_SERVE_CLIENT_HH
+#define DWS_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace dws {
+
+struct SweepJob;
+
+/** One blocking connection to a dws_serve daemon. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+
+    /**
+     * Connect to the daemon at `socketPath`.
+     * @return false with a message in `err` when the socket cannot be
+     *         reached (no daemon, wrong path, permission).
+     */
+    bool connectTo(const std::string &socketPath, std::string &err);
+
+    /** @return true while the connection is usable. */
+    bool connected() const { return fd >= 0; }
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    /**
+     * Submit a batch and wait for the matching SubmitReply.
+     * @return true and fill `results` (submission order, one per job);
+     *         false with `err` on any protocol or transport failure —
+     *         the connection is closed and must be re-established.
+     */
+    bool submitBatch(const std::vector<ServeJob> &jobs,
+                     std::vector<ServeResult> &results, std::string &err);
+
+    /** Fetch the daemon status snapshot. */
+    bool status(ServeStatus &out, std::string &err);
+
+    /** Fetch the result-cache counters. */
+    bool cacheStats(ServeCacheCounters &out, std::string &err);
+
+    /** Flush the result cache. @return removed count in `removed`. */
+    bool flushCache(std::uint64_t &removed, std::string &err);
+
+    /**
+     * Ask the daemon to shut down. The daemon replies first, then
+     * stops accepting; this client is closed afterwards either way.
+     */
+    bool shutdownServer(std::string &err);
+
+  private:
+    /** Send `type`+`payload`, read one frame, expect `expect`. */
+    bool roundTrip(FrameType type,
+                   const std::vector<std::uint8_t> &payload,
+                   FrameType expect, ServeFrame &reply, std::string &err);
+
+    int fd = -1;
+};
+
+/**
+ * @return `job` converted to its wire form: kernel/label verbatim,
+ *         scale as u8, config as SystemConfig::cacheKey().
+ */
+ServeJob makeServeJob(const SweepJob &job);
+
+} // namespace dws
+
+#endif // DWS_SERVE_CLIENT_HH

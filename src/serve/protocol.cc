@@ -1,0 +1,305 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dws {
+
+namespace {
+
+/**
+ * Read exactly `n` bytes (EINTR-safe).
+ * @return n on success, 0 on clean EOF before any byte, -1 on error,
+ *         or the short count when the stream ended mid-object.
+ */
+ssize_t
+readFull(int fd, void *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    auto *p = static_cast<std::uint8_t *>(buf);
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r == 0)
+            return static_cast<ssize_t>(got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return static_cast<ssize_t>(got);
+}
+
+/** Write exactly `n` bytes; MSG_NOSIGNAL keeps a dead peer from
+ *  delivering SIGPIPE to the daemon. */
+bool
+writeFull(int fd, const void *buf, std::size_t n)
+{
+    std::size_t sent = 0;
+    const auto *p = static_cast<const std::uint8_t *>(buf);
+    while (sent < n) {
+        const ssize_t r =
+                ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+constexpr std::size_t kHeaderBytes = 12;
+
+void
+putLe(std::uint8_t *p, std::uint64_t v, int n)
+{
+    for (int i = 0; i < n; i++)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getLe(const std::uint8_t *p, int n)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; i++)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+const char *
+frameIoName(FrameIo r)
+{
+    switch (r) {
+      case FrameIo::Ok:         return "ok";
+      case FrameIo::Eof:        return "eof";
+      case FrameIo::Truncated:  return "truncated";
+      case FrameIo::BadMagic:   return "bad-magic";
+      case FrameIo::BadVersion: return "bad-version";
+      case FrameIo::Oversized:  return "oversized";
+      case FrameIo::IoError:    return "io-error";
+    }
+    return "?";
+}
+
+FrameIo
+readFrame(int fd, ServeFrame &out, std::uint16_t *versionSeen)
+{
+    std::uint8_t hdr[kHeaderBytes];
+    const ssize_t got = readFull(fd, hdr, sizeof hdr);
+    if (got == 0)
+        return FrameIo::Eof;
+    if (got < 0)
+        return FrameIo::IoError;
+    if (static_cast<std::size_t>(got) < sizeof hdr)
+        return FrameIo::Truncated;
+    if (getLe(hdr, 4) != kServeMagic)
+        return FrameIo::BadMagic;
+    const auto version = static_cast<std::uint16_t>(getLe(hdr + 4, 2));
+    if (versionSeen)
+        *versionSeen = version;
+    if (version != kServeVersion)
+        return FrameIo::BadVersion;
+    const std::uint64_t len = getLe(hdr + 8, 4);
+    if (len > kMaxFramePayload)
+        return FrameIo::Oversized;
+    out.type = static_cast<FrameType>(getLe(hdr + 6, 2));
+    out.payload.resize(len);
+    if (len != 0) {
+        const ssize_t body = readFull(fd, out.payload.data(), len);
+        if (body < 0)
+            return FrameIo::IoError;
+        if (static_cast<std::uint64_t>(body) < len)
+            return FrameIo::Truncated;
+    }
+    return FrameIo::Ok;
+}
+
+bool
+writeFrame(int fd, FrameType type,
+           const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        return false;
+    std::uint8_t hdr[kHeaderBytes];
+    putLe(hdr, kServeMagic, 4);
+    putLe(hdr + 4, kServeVersion, 2);
+    putLe(hdr + 6, static_cast<std::uint16_t>(type), 2);
+    putLe(hdr + 8, payload.size(), 4);
+    if (!writeFull(fd, hdr, sizeof hdr))
+        return false;
+    return payload.empty() ||
+           writeFull(fd, payload.data(), payload.size());
+}
+
+// --------------------------------------------------------------------
+// Typed payloads
+// --------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+encodeSubmitBatch(const std::vector<ServeJob> &jobs)
+{
+    WireWriter w;
+    w.u32(static_cast<std::uint32_t>(jobs.size()));
+    for (const ServeJob &j : jobs) {
+        w.str(j.kernel);
+        w.str(j.label);
+        w.u8(j.scale);
+        w.str(j.configKey);
+    }
+    return w.take();
+}
+
+bool
+decodeSubmitBatch(const std::vector<std::uint8_t> &payload,
+                  std::vector<ServeJob> &out)
+{
+    WireReader r(payload);
+    const std::uint32_t n = r.u32();
+    out.clear();
+    for (std::uint32_t i = 0; i < n && r.ok(); i++) {
+        ServeJob j;
+        j.kernel = r.str();
+        j.label = r.str();
+        j.scale = r.u8();
+        j.configKey = r.str();
+        out.push_back(std::move(j));
+    }
+    return r.done() && out.size() == n;
+}
+
+std::vector<std::uint8_t>
+encodeSubmitReply(const std::vector<ServeResult> &results)
+{
+    WireWriter w;
+    w.u32(static_cast<std::uint32_t>(results.size()));
+    for (const ServeResult &res : results) {
+        w.str(res.outcome);
+        w.str(res.error);
+        w.str(res.policy);
+        w.u64(res.cycles);
+        w.f64(res.energyNj);
+        w.f64(res.wallMs);
+        w.u8(res.cached ? 1 : 0);
+        w.str(res.fingerprint);
+    }
+    return w.take();
+}
+
+bool
+decodeSubmitReply(const std::vector<std::uint8_t> &payload,
+                  std::vector<ServeResult> &out)
+{
+    WireReader r(payload);
+    const std::uint32_t n = r.u32();
+    out.clear();
+    for (std::uint32_t i = 0; i < n && r.ok(); i++) {
+        ServeResult res;
+        res.outcome = r.str();
+        res.error = r.str();
+        res.policy = r.str();
+        res.cycles = r.u64();
+        res.energyNj = r.f64();
+        res.wallMs = r.f64();
+        res.cached = r.u8() != 0;
+        res.fingerprint = r.str();
+        out.push_back(std::move(res));
+    }
+    return r.done() && out.size() == n;
+}
+
+std::vector<std::uint8_t>
+encodeStatusReply(const ServeStatus &s)
+{
+    WireWriter w;
+    w.u32(s.workers);
+    w.u64(s.batches);
+    w.u64(s.jobs);
+    w.str(s.cacheDir);
+    w.str(s.buildFingerprint);
+    return w.take();
+}
+
+bool
+decodeStatusReply(const std::vector<std::uint8_t> &payload,
+                  ServeStatus &out)
+{
+    WireReader r(payload);
+    out.workers = r.u32();
+    out.batches = r.u64();
+    out.jobs = r.u64();
+    out.cacheDir = r.str();
+    out.buildFingerprint = r.str();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeCacheStatsReply(const ServeCacheCounters &c)
+{
+    WireWriter w;
+    w.u64(c.entries);
+    w.u64(c.bytes);
+    w.u64(c.hits);
+    w.u64(c.misses);
+    w.u64(c.inserted);
+    w.u64(c.corrupt);
+    w.u64(c.evicted);
+    w.str(c.dir);
+    return w.take();
+}
+
+bool
+decodeCacheStatsReply(const std::vector<std::uint8_t> &payload,
+                      ServeCacheCounters &out)
+{
+    WireReader r(payload);
+    out.entries = r.u64();
+    out.bytes = r.u64();
+    out.hits = r.u64();
+    out.misses = r.u64();
+    out.inserted = r.u64();
+    out.corrupt = r.u64();
+    out.evicted = r.u64();
+    out.dir = r.str();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeError(const std::string &message)
+{
+    WireWriter w;
+    w.str(message);
+    return w.take();
+}
+
+bool
+decodeError(const std::vector<std::uint8_t> &payload, std::string &out)
+{
+    WireReader r(payload);
+    out = r.str();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeFlushReply(std::uint64_t removed)
+{
+    WireWriter w;
+    w.u64(removed);
+    return w.take();
+}
+
+bool
+decodeFlushReply(const std::vector<std::uint8_t> &payload,
+                 std::uint64_t &out)
+{
+    WireReader r(payload);
+    out = r.u64();
+    return r.done();
+}
+
+} // namespace dws

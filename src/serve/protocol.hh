@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Versioned, length-prefixed binary frame protocol of the sweep
+ * service (DESIGN.md §16).
+ *
+ * Every message is one frame on a Unix-domain stream socket:
+ *
+ *   offset  size  field
+ *        0     4  magic "DWSV" (0x44575356, little-endian u32)
+ *        4     2  protocol version (kServeVersion)
+ *        6     2  frame type (FrameType)
+ *        8     4  payload length in bytes (<= kMaxFramePayload)
+ *       12     N  payload
+ *
+ * Payloads are built with WireWriter/WireReader: little-endian
+ * fixed-width integers, doubles as their IEEE-754 bit pattern, strings
+ * as u32 length + bytes. The reader is bounds-checked: any over-read
+ * poisons it (ok() == false) instead of touching memory out of range,
+ * so a malformed payload can never crash the daemon.
+ *
+ * The request/reply vocabulary (task/reply records batched per frame,
+ * after the PIM-base task_base/driver batching exemplar):
+ *
+ *   SubmitBatch  N jobs in one frame -> SubmitReply with N results in
+ *                submission order (each flagged cache-hit or simulated)
+ *   Status       -> StatusReply (workers, jobs served, cache dir, build)
+ *   CacheStats   -> CacheStatsReply (entries/bytes/hits/misses/...)
+ *   Flush        -> FlushReply (entries removed)
+ *   Shutdown     -> ShutdownReply, then the daemon exits its loop
+ *   Error        server -> client: version mismatch or a request the
+ *                server refuses; the connection closes after it
+ */
+
+#ifndef DWS_SERVE_PROTOCOL_HH
+#define DWS_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dws {
+
+/** "DWSV" little-endian. */
+constexpr std::uint32_t kServeMagic = 0x56535744u;
+/** Protocol version; a mismatching client gets Error and a close. */
+constexpr std::uint16_t kServeVersion = 1;
+/** Upper bound on one frame's payload (sanity cap, not a target). */
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/** Frame type tags (u16 on the wire). */
+enum class FrameType : std::uint16_t {
+    SubmitBatch = 1,
+    SubmitReply = 2,
+    Status = 3,
+    StatusReply = 4,
+    CacheStats = 5,
+    CacheStatsReply = 6,
+    Flush = 7,
+    FlushReply = 8,
+    Shutdown = 9,
+    ShutdownReply = 10,
+    Error = 11,
+};
+
+/** One decoded frame of the serve protocol. */
+struct ServeFrame
+{
+    FrameType type = FrameType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Why readFrame() did not produce a frame. */
+enum class FrameIo {
+    Ok,
+    /** Clean EOF on the frame boundary (peer closed politely). */
+    Eof,
+    /** Stream ended inside a header or payload. */
+    Truncated,
+    /** Header magic is not kServeMagic — not our protocol. */
+    BadMagic,
+    /** Magic ok, version is not kServeVersion. */
+    BadVersion,
+    /** Length prefix exceeds kMaxFramePayload. */
+    Oversized,
+    /** read()/write() failed (errno-level). */
+    IoError,
+};
+
+/** @return printable FrameIo name for diagnostics. */
+const char *frameIoName(FrameIo r);
+
+/**
+ * Read one frame from `fd` (blocking, EINTR-safe).
+ * On BadVersion the header was fully read and `versionSeen` reports
+ * the peer's version so the server can answer with Error before
+ * closing.
+ */
+FrameIo readFrame(int fd, ServeFrame &out, std::uint16_t *versionSeen = nullptr);
+
+/** Write one frame to `fd`. @return false on any write failure. */
+bool writeFrame(int fd, FrameType type,
+                const std::vector<std::uint8_t> &payload);
+
+/** Append-only little-endian payload builder. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf.push_back(v); }
+    void u16(std::uint16_t v) { le(v, 2); }
+    void u32(std::uint32_t v) { le(v, 4); }
+    void u64(std::uint64_t v) { le(v, 8); }
+    void f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+    void str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf; }
+    std::vector<std::uint8_t> take() { return std::move(buf); }
+
+  private:
+    void
+    le(std::uint64_t v, int n)
+    {
+        for (int i = 0; i < n; i++)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    std::vector<std::uint8_t> buf;
+};
+
+/**
+ * Bounds-checked payload reader. Every accessor returns a value only
+ * while ok(); the first out-of-range read latches ok() false and
+ * yields zeros/empties from then on.
+ */
+class WireReader
+{
+  public:
+    explicit WireReader(const std::vector<std::uint8_t> &payload)
+        : data(payload.data()), size(payload.size())
+    {}
+
+    std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+    std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+    std::uint64_t u64() { return le(8); }
+    double
+    f64()
+    {
+        const std::uint64_t bits = le(8);
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (!good || size - at < n) {
+            good = false;
+            return "";
+        }
+        std::string s(reinterpret_cast<const char *>(data + at), n);
+        at += n;
+        return s;
+    }
+
+    /** @return true while every read so far was in range. */
+    bool ok() const { return good; }
+    /** @return true when ok() and the whole payload was consumed. */
+    bool done() const { return good && at == size; }
+
+  private:
+    std::uint64_t
+    le(int n)
+    {
+        if (!good || size - at < static_cast<std::size_t>(n)) {
+            good = false;
+            return 0;
+        }
+        std::uint64_t v = 0;
+        for (int i = 0; i < n; i++)
+            v |= static_cast<std::uint64_t>(data[at + i]) << (8 * i);
+        at += static_cast<std::size_t>(n);
+        return v;
+    }
+
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t at = 0;
+    bool good = true;
+};
+
+// --------------------------------------------------------------------
+// Typed payload records shared by server and client
+// --------------------------------------------------------------------
+
+/** One job of a SubmitBatch frame. */
+struct ServeJob
+{
+    /** Registered kernel name or a .dws file path (daemon-resolved). */
+    std::string kernel;
+    /** Row label carried into the daemon's records. */
+    std::string label;
+    /** KernelScale as u8 (0 tiny, 1 default). */
+    std::uint8_t scale = 1;
+    /** SystemConfig::cacheKey() canonical serialization. */
+    std::string configKey;
+};
+
+/** One result of a SubmitReply frame, in submission order. */
+struct ServeResult
+{
+    /** simOutcomeName() of the cell ("ok" when healthy). */
+    std::string outcome = "ok";
+    /** Abort/validation/dispatch error message (empty when ok). */
+    std::string error;
+    /** Policy name of the executed config. */
+    std::string policy;
+    std::uint64_t cycles = 0;
+    double energyNj = 0.0;
+    /** Daemon-side wall time: the original simulation for a miss,
+     *  the lookup for a hit. */
+    double wallMs = 0.0;
+    /** True when the result came from the cache, not a simulation. */
+    bool cached = false;
+    /** RunStats::fingerprint() (empty unless outcome "ok"). */
+    std::string fingerprint;
+
+    bool ok() const { return outcome == "ok"; }
+};
+
+/** StatusReply payload. */
+struct ServeStatus
+{
+    std::uint32_t workers = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t jobs = 0;
+    std::string cacheDir;
+    std::string buildFingerprint;
+};
+
+/** CacheStatsReply payload. */
+struct ServeCacheCounters
+{
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserted = 0;
+    std::uint64_t corrupt = 0;
+    std::uint64_t evicted = 0;
+    std::string dir;
+};
+
+/** Encode/decode SubmitBatch (u32 count + records). */
+std::vector<std::uint8_t> encodeSubmitBatch(
+        const std::vector<ServeJob> &jobs);
+bool decodeSubmitBatch(const std::vector<std::uint8_t> &payload,
+                       std::vector<ServeJob> &out);
+
+/** Encode/decode SubmitReply (u32 count + records). */
+std::vector<std::uint8_t> encodeSubmitReply(
+        const std::vector<ServeResult> &results);
+bool decodeSubmitReply(const std::vector<std::uint8_t> &payload,
+                       std::vector<ServeResult> &out);
+
+std::vector<std::uint8_t> encodeStatusReply(const ServeStatus &s);
+bool decodeStatusReply(const std::vector<std::uint8_t> &payload,
+                       ServeStatus &out);
+
+std::vector<std::uint8_t> encodeCacheStatsReply(
+        const ServeCacheCounters &c);
+bool decodeCacheStatsReply(const std::vector<std::uint8_t> &payload,
+                           ServeCacheCounters &out);
+
+/** Error frame: one string. */
+std::vector<std::uint8_t> encodeError(const std::string &message);
+bool decodeError(const std::vector<std::uint8_t> &payload,
+                 std::string &out);
+
+/** FlushReply: u64 removed-entry count. */
+std::vector<std::uint8_t> encodeFlushReply(std::uint64_t removed);
+bool decodeFlushReply(const std::vector<std::uint8_t> &payload,
+                      std::uint64_t &out);
+
+} // namespace dws
+
+#endif // DWS_SERVE_PROTOCOL_HH

@@ -1,0 +1,320 @@
+#include "serve/result_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "serve/cache_key.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+#include "sim/stats.hh"
+
+namespace fs = std::filesystem;
+
+namespace dws {
+
+namespace {
+
+constexpr const char *kEntryHeader = "dwsrec v1";
+constexpr const char *kEntrySuffix = ".dwsr";
+
+/** Split on '\n', dropping a trailing empty segment. */
+std::vector<std::string>
+entryLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir, std::size_t capEntries)
+    : dirPath(std::move(dir)), capEntries(capEntries)
+{
+}
+
+std::string
+ResultCache::entryPath(std::uint64_t key) const
+{
+    return dirPath + "/" + keyHex(key) + kEntrySuffix;
+}
+
+std::string
+ResultCache::encode(const Entry &entry)
+{
+    std::string s(kEntryHeader);
+    s += '\n';
+    s += "kernel=" + entry.kernel + '\n';
+    s += "scale=" + entry.scale + '\n';
+    s += "policy=" + entry.policy + '\n';
+    s += "cycles=" + std::to_string(entry.cycles) + '\n';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "energy_nj=%.17g\n", entry.energyNj);
+    s += buf;
+    std::snprintf(buf, sizeof(buf), "wall_ms=%.17g\n", entry.wallMs);
+    s += buf;
+    s += "fingerprint=" + entry.fingerprint + '\n';
+    return s;
+}
+
+bool
+ResultCache::decode(const std::string &text, Entry &out)
+{
+    // The last line must be `sum=<hex>` over everything before it.
+    const std::size_t sumAt = text.rfind("sum=");
+    if (sumAt == std::string::npos || sumAt == 0 ||
+        text[sumAt - 1] != '\n')
+        return false;
+    std::string sumTok = text.substr(sumAt + 4);
+    while (!sumTok.empty() && sumTok.back() == '\n')
+        sumTok.pop_back();
+    const auto sum = parseUint64(("0x" + sumTok).c_str());
+    if (!sum ||
+        *sum != fnv1a(static_cast<const void *>(text.data()), sumAt))
+        return false;
+
+    Entry e;
+    bool sawFingerprint = false;
+    const std::vector<std::string> lines =
+            entryLines(text.substr(0, sumAt));
+    if (lines.empty() || lines[0] != kEntryHeader)
+        return false;
+    for (std::size_t i = 1; i < lines.size(); i++) {
+        const std::size_t eq = lines[i].find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string key = lines[i].substr(0, eq);
+        const std::string val = lines[i].substr(eq + 1);
+        if (key == "kernel") {
+            e.kernel = val;
+        } else if (key == "scale") {
+            e.scale = val;
+        } else if (key == "policy") {
+            e.policy = val;
+        } else if (key == "cycles") {
+            const auto v = parseUint64(val);
+            if (!v)
+                return false;
+            e.cycles = *v;
+        } else if (key == "energy_nj" || key == "wall_ms") {
+            const auto v = parseFiniteDouble(val.c_str());
+            if (!v)
+                return false;
+            (key == "energy_nj" ? e.energyNj : e.wallMs) = *v;
+        } else if (key == "fingerprint") {
+            e.fingerprint = val;
+            sawFingerprint = true;
+        } else {
+            return false;
+        }
+    }
+    // The fingerprint is the payload: an entry without a parsable one
+    // cannot restore a RunStats and is useless (treated as corrupt).
+    RunStats probe;
+    if (!sawFingerprint || !RunStats::parseFingerprint(e.fingerprint,
+                                                       probe))
+        return false;
+    out = std::move(e);
+    return true;
+}
+
+bool
+ResultCache::open(std::string &err)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::error_code ec;
+    fs::create_directories(dirPath, ec);
+    if (ec) {
+        err = "cannot create cache directory '" + dirPath +
+              "': " + ec.message();
+        return false;
+    }
+    // Index resident entries; recency is seeded from mtime so the LRU
+    // order survives a daemon restart (oldest evicted first).
+    struct Found
+    {
+        std::uint64_t key;
+        std::uint64_t size;
+        fs::file_time_type mtime;
+    };
+    std::vector<Found> found;
+    for (const auto &de : fs::directory_iterator(dirPath, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.size() != 16 + 5 ||
+            name.substr(16) != kEntrySuffix)
+            continue; // temp files and strangers are not entries
+        const auto key = parseUint64(("0x" + name.substr(0, 16)).c_str());
+        if (!key)
+            continue;
+        std::error_code fec;
+        const auto size = de.file_size(fec);
+        const auto mtime = de.last_write_time(fec);
+        if (fec)
+            continue;
+        found.push_back(Found{*key, size, mtime});
+    }
+    if (ec) {
+        err = "cannot scan cache directory '" + dirPath +
+              "': " + ec.message();
+        return false;
+    }
+    std::sort(found.begin(), found.end(),
+              [](const Found &a, const Found &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Found &f : found) {
+        lru.push_front(f.key); // newest ends up at the front
+        index[f.key] = Resident{f.size, lru.begin()};
+        stats.entries++;
+        stats.bytes += f.size;
+    }
+    err.clear();
+    return true;
+}
+
+void
+ResultCache::touch(std::uint64_t key)
+{
+    auto it = index.find(key);
+    if (it == index.end())
+        return;
+    lru.splice(lru.begin(), lru, it->second.lruIt);
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, Entry &out)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = index.find(key);
+    if (it == index.end()) {
+        stats.misses++;
+        return false;
+    }
+    std::ifstream f(entryPath(key), std::ios::binary);
+    std::ostringstream body;
+    if (f.is_open())
+        body << f.rdbuf();
+    Entry e;
+    if (!f.is_open() || !decode(body.str(), e)) {
+        // Corrupt (or vanished) entry: drop it so the cell is
+        // re-simulated and the next insert rewrites it cleanly.
+        stats.corrupt++;
+        stats.misses++;
+        stats.entries--;
+        stats.bytes -= it->second.sizeBytes;
+        lru.erase(it->second.lruIt);
+        index.erase(it);
+        std::error_code ec;
+        fs::remove(entryPath(key), ec);
+        return false;
+    }
+    stats.hits++;
+    touch(key);
+    out = std::move(e);
+    return true;
+}
+
+void
+ResultCache::evictIfNeeded()
+{
+    while (capEntries != 0 && index.size() > capEntries) {
+        const std::uint64_t victim = lru.back();
+        const auto it = index.find(victim);
+        stats.evicted++;
+        stats.entries--;
+        stats.bytes -= it->second.sizeBytes;
+        lru.pop_back();
+        index.erase(it);
+        std::error_code ec;
+        fs::remove(entryPath(victim), ec);
+    }
+}
+
+void
+ResultCache::insert(std::uint64_t key, const Entry &entry)
+{
+    std::string body = encode(entry);
+    body += "sum=" + keyHex(fnv1a(body)) + '\n';
+
+    std::lock_guard<std::mutex> lock(mtx);
+    const std::string path = entryPath(key);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f.is_open()) {
+            warn("result cache: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        f << body;
+        f.flush();
+        if (!f.good()) {
+            warn("result cache: short write to '%s'", tmp.c_str());
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("result cache: cannot commit '%s': %s", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return;
+    }
+    const auto it = index.find(key);
+    if (it != index.end()) {
+        stats.bytes -= it->second.sizeBytes;
+        it->second.sizeBytes = body.size();
+        stats.bytes += body.size();
+        touch(key);
+    } else {
+        lru.push_front(key);
+        index[key] = Resident{body.size(), lru.begin()};
+        stats.entries++;
+        stats.bytes += body.size();
+    }
+    stats.inserted++;
+    evictIfNeeded();
+}
+
+std::uint64_t
+ResultCache::flush()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::uint64_t removed = 0;
+    for (const auto &[key, res] : index) {
+        std::error_code ec;
+        fs::remove(entryPath(key), ec);
+        removed++;
+    }
+    index.clear();
+    lru.clear();
+    stats.entries = 0;
+    stats.bytes = 0;
+    return removed;
+}
+
+ResultCache::Counters
+ResultCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return stats;
+}
+
+} // namespace dws

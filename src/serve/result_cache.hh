@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Content-addressed, disk-persistent result cache for the sweep
+ * service (DESIGN.md §16).
+ *
+ * One entry per (kernel, config, scale, build) content address
+ * (serve/cache_key.hh): a small checksummed text file holding the full
+ * journaled result of the cell — outcome, cycles, energy and the
+ * complete RunStats fingerprint, from which the exact RunStats is
+ * rebuilt without re-simulating. The simulator is deterministic, so a
+ * hit is bit-identical to a fresh run.
+ *
+ * Durability rules:
+ *   - writes are atomic: entry bodies land in a `.tmp` sibling first
+ *     and are rename()d into place, so a crashed or concurrent daemon
+ *     never leaves a half-written entry under a live key;
+ *   - every entry carries an FNV-1a checksum of its body; a corrupt or
+ *     truncated entry is detected at lookup, counted, deleted and
+ *     treated as a miss (the cell is re-simulated, never served);
+ *   - an LRU entry cap bounds the directory (hits refresh recency;
+ *     inserts past the cap evict the coldest entry).
+ *
+ * Only SimOutcome::Ok results are cached: failures are kept out so a
+ * transient host problem (watchdog timeout) is never replayed as a
+ * permanent answer.
+ */
+
+#ifndef DWS_SERVE_RESULT_CACHE_HH
+#define DWS_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace dws {
+
+/** Disk-persistent content-addressed store of completed sweep cells. */
+class ResultCache
+{
+  public:
+    /** One cached cell (everything a served Record needs). */
+    struct Entry
+    {
+        std::string kernel;
+        std::string scale;
+        std::string policy;
+        std::uint64_t cycles = 0;
+        double energyNj = 0.0;
+        /** Wall time of the original (cold) simulation, in ms. */
+        double wallMs = 0.0;
+        /** RunStats::fingerprint() — the complete result. */
+        std::string fingerprint;
+    };
+
+    /** Monotonic counters since open(). */
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserted = 0;
+        std::uint64_t corrupt = 0;
+        std::uint64_t evicted = 0;
+        /** Entries currently resident. */
+        std::uint64_t entries = 0;
+        /** Bytes currently resident (entry bodies). */
+        std::uint64_t bytes = 0;
+    };
+
+    /**
+     * @param dir        cache directory (created by open())
+     * @param capEntries LRU size cap; 0 means unbounded
+     */
+    ResultCache(std::string dir, std::size_t capEntries = 4096);
+
+    /**
+     * Create the directory if needed and index the entries already on
+     * disk (recency seeded from file mtimes, oldest first).
+     * @return false with a message in `err` when the directory cannot
+     *         be created or scanned.
+     */
+    bool open(std::string &err);
+
+    /**
+     * Look `key` up.
+     * @return true and fill `out` on a verified hit. A missing entry
+     *         is a miss; an entry whose checksum or format does not
+     *         verify is counted corrupt, deleted and reported as a
+     *         miss so the caller re-simulates.
+     */
+    bool lookup(std::uint64_t key, Entry &out);
+
+    /**
+     * Insert (or overwrite) the entry for `key` atomically
+     * (write-temp-then-rename). Evicts the least-recently-used entry
+     * when the cap is exceeded.
+     */
+    void insert(std::uint64_t key, const Entry &entry);
+
+    /** Remove every entry. @return number of entries removed. */
+    std::uint64_t flush();
+
+    /** @return a snapshot of the counters. */
+    Counters counters() const;
+
+    /** @return the cache directory. */
+    const std::string &dir() const { return dirPath; }
+
+    /** @return the on-disk path of `key`'s entry. */
+    std::string entryPath(std::uint64_t key) const;
+
+  private:
+    /** Serialize an entry body (sans checksum line). */
+    static std::string encode(const Entry &entry);
+    /** @return true when `body` parses and verifies into `out`. */
+    static bool decode(const std::string &text, Entry &out);
+    void evictIfNeeded();
+    void touch(std::uint64_t key);
+
+    std::string dirPath;
+    std::size_t capEntries;
+
+    mutable std::mutex mtx;
+    struct Resident
+    {
+        std::uint64_t sizeBytes = 0;
+        /** Position in `lru` (front = most recently used). */
+        std::list<std::uint64_t>::iterator lruIt;
+    };
+    std::unordered_map<std::uint64_t, Resident> index;
+    std::list<std::uint64_t> lru;
+    Counters stats;
+};
+
+} // namespace dws
+
+#endif // DWS_SERVE_RESULT_CACHE_HH

@@ -1,0 +1,353 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "harness/executor.hh"
+#include "serve/cache_key.hh"
+#include "sim/logging.hh"
+
+namespace dws {
+
+namespace {
+
+KernelScale
+scaleFromWire(std::uint8_t v)
+{
+    return v == 0 ? KernelScale::Tiny : KernelScale::Default;
+}
+
+ServeResult
+errorResult(std::string message)
+{
+    ServeResult r;
+    r.outcome = "panic";
+    r.error = std::move(message);
+    return r;
+}
+
+} // namespace
+
+ServeDaemon::ServeDaemon(Options options) : opts(std::move(options)) {}
+
+ServeDaemon::~ServeDaemon()
+{
+    stop();
+}
+
+bool
+ServeDaemon::start(std::string &err)
+{
+    resultCache = std::make_unique<ResultCache>(opts.cacheDir,
+                                                opts.cacheCapEntries);
+    if (!resultCache->open(err))
+        return false;
+    executor = std::make_unique<SweepExecutor>(opts.jobs);
+    // The daemon is long-lived: per-job Records would grow without
+    // bound, and nothing reads them (results travel in the replies).
+    executor->setKeepRecords(false);
+
+    if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        err = "socket path too long: " + opts.socketPath;
+        return false;
+    }
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        err = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    // A stale socket file from a dead daemon would fail bind() with
+    // EADDRINUSE; a live daemon holds the listen socket, so replacing
+    // the file only ever retires a corpse.
+    ::unlink(opts.socketPath.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        err = "bind('" + opts.socketPath + "'): " +
+              std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+    if (::listen(listenFd, 64) != 0) {
+        err = std::string("listen(): ") + std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+    acceptThread = std::thread([this] { acceptLoop(); });
+    err.clear();
+    return true;
+}
+
+void
+ServeDaemon::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen socket closed: stopping
+        }
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopRequested) {
+            ::close(fd);
+            return;
+        }
+        connFds.insert(fd);
+        connThreads.emplace_back(
+                [this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+ServeDaemon::serveConnection(int fd)
+{
+    bool shuttingDown = false;
+    for (;;) {
+        ServeFrame frame;
+        std::uint16_t version = 0;
+        const FrameIo io = readFrame(fd, frame, &version);
+        if (io == FrameIo::BadVersion) {
+            writeFrame(fd, FrameType::Error,
+                       encodeError("protocol version " +
+                                   std::to_string(version) +
+                                   " not supported (daemon speaks " +
+                                   std::to_string(kServeVersion) +
+                                   ")"));
+            break;
+        }
+        if (io != FrameIo::Ok) {
+            // Eof is a polite close; everything else poisons only
+            // this connection — the daemon keeps serving.
+            if (io != FrameIo::Eof)
+                warn("serve: dropping connection (%s frame)",
+                     frameIoName(io));
+            break;
+        }
+        bool alive = true;
+        switch (frame.type) {
+          case FrameType::SubmitBatch: {
+            std::vector<ServeJob> jobs;
+            if (!decodeSubmitBatch(frame.payload, jobs)) {
+                writeFrame(fd, FrameType::Error,
+                           encodeError("malformed SubmitBatch payload"));
+                alive = false;
+                break;
+            }
+            const std::vector<ServeResult> results = runBatch(jobs);
+            // A client that vanished mid-batch only loses its reply:
+            // the cells above are already simulated and cached.
+            alive = writeFrame(fd, FrameType::SubmitReply,
+                               encodeSubmitReply(results));
+            break;
+          }
+          case FrameType::Status:
+            alive = writeFrame(fd, FrameType::StatusReply,
+                               encodeStatusReply(status()));
+            break;
+          case FrameType::CacheStats: {
+            const ResultCache::Counters c = resultCache->counters();
+            ServeCacheCounters out;
+            out.entries = c.entries;
+            out.bytes = c.bytes;
+            out.hits = c.hits;
+            out.misses = c.misses;
+            out.inserted = c.inserted;
+            out.corrupt = c.corrupt;
+            out.evicted = c.evicted;
+            out.dir = resultCache->dir();
+            alive = writeFrame(fd, FrameType::CacheStatsReply,
+                               encodeCacheStatsReply(out));
+            break;
+          }
+          case FrameType::Flush:
+            alive = writeFrame(fd, FrameType::FlushReply,
+                               encodeFlushReply(resultCache->flush()));
+            break;
+          case FrameType::Shutdown:
+            writeFrame(fd, FrameType::ShutdownReply, {});
+            shuttingDown = true;
+            alive = false;
+            break;
+          default:
+            writeFrame(fd, FrameType::Error,
+                       encodeError("unexpected frame type"));
+            alive = false;
+            break;
+        }
+        if (!alive)
+            break;
+    }
+    ::close(fd);
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        connFds.erase(fd);
+    }
+    if (shuttingDown)
+        requestStop();
+}
+
+std::vector<ServeResult>
+ServeDaemon::runBatch(const std::vector<ServeJob> &jobs)
+{
+    batchesServed.fetch_add(1, std::memory_order_relaxed);
+    jobsServed.fetch_add(jobs.size(), std::memory_order_relaxed);
+
+    struct Pending
+    {
+        std::uint64_t key = 0;
+        std::future<JobResult> future;
+        std::string policyFallback;
+    };
+    std::vector<ServeResult> results(jobs.size());
+    std::vector<std::pair<std::size_t, Pending>> misses;
+
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        const ServeJob &job = jobs[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string err;
+        const std::string kid = kernelIdentity(job.kernel, err);
+        if (kid.empty()) {
+            results[i] = errorResult("serve: " + err);
+            continue;
+        }
+        const KernelScale scale = scaleFromWire(job.scale);
+        const std::uint64_t key =
+                resultKey(kid, scale, job.configKey);
+
+        ResultCache::Entry hit;
+        if (resultCache->lookup(key, hit)) {
+            ServeResult &r = results[i];
+            r.outcome = "ok";
+            r.policy = hit.policy;
+            r.cycles = hit.cycles;
+            r.energyNj = hit.energyNj;
+            r.cached = true;
+            r.fingerprint = hit.fingerprint;
+            r.wallMs = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+            continue;
+        }
+
+        SystemConfig cfg;
+        if (!SystemConfig::parseCacheKey(job.configKey, cfg, err)) {
+            results[i] = errorResult("serve: bad config: " + err);
+            continue;
+        }
+        const std::string invalid =
+                cfg.hierarchy().validate(cfg.numWpus);
+        if (!invalid.empty()) {
+            results[i] = errorResult("serve: bad config: " + invalid);
+            continue;
+        }
+        Pending p;
+        p.key = key;
+        p.policyFallback = cfg.policy.name();
+        p.future = executor->submit(
+                SweepJob{job.kernel, cfg, scale, job.label});
+        misses.emplace_back(i, std::move(p));
+    }
+
+    for (auto &[i, pending] : misses) {
+        JobResult jr = pending.future.get();
+        ServeResult &r = results[i];
+        r.outcome = simOutcomeName(jr.outcome);
+        r.error = jr.error;
+        r.policy = jr.ok() ? jr.run.policy : pending.policyFallback;
+        r.cycles = jr.run.stats.cycles;
+        r.energyNj = jr.run.stats.energyNj;
+        r.wallMs = jr.wallMs;
+        r.cached = false;
+        if (jr.ok()) {
+            r.fingerprint = jr.run.stats.fingerprint();
+            ResultCache::Entry e;
+            e.kernel = jobs[i].kernel;
+            e.scale = kernelScaleName(scaleFromWire(jobs[i].scale));
+            e.policy = r.policy;
+            e.cycles = r.cycles;
+            e.energyNj = r.energyNj;
+            e.wallMs = r.wallMs;
+            e.fingerprint = r.fingerprint;
+            resultCache->insert(pending.key, e);
+        }
+    }
+    return results;
+}
+
+ServeStatus
+ServeDaemon::status() const
+{
+    ServeStatus s;
+    s.workers = executor
+                        ? static_cast<std::uint32_t>(executor->jobs())
+                        : 0;
+    s.batches = batchesServed.load(std::memory_order_relaxed);
+    s.jobs = jobsServed.load(std::memory_order_relaxed);
+    s.cacheDir = resultCache ? resultCache->dir() : opts.cacheDir;
+    s.buildFingerprint = serveBuildFingerprint();
+    return s;
+}
+
+void
+ServeDaemon::requestStop()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (stopRequested)
+        return;
+    stopRequested = true;
+    if (listenFd >= 0)
+        ::shutdown(listenFd, SHUT_RDWR);
+    stopCv.notify_all();
+}
+
+void
+ServeDaemon::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    stopCv.wait(lock, [this] { return stopRequested; });
+}
+
+void
+ServeDaemon::stop()
+{
+    requestStop();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopped)
+            return;
+        stopped = true;
+        // Unblock connection threads parked in readFrame(); their
+        // in-flight simulations still run to completion (and populate
+        // the cache) before the executor is torn down below.
+        for (int fd : connFds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    if (acceptThread.joinable())
+        acceptThread.join();
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        threads.swap(connThreads);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        ::unlink(opts.socketPath.c_str());
+    }
+    executor.reset();
+}
+
+} // namespace dws

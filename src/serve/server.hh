@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The sweep-service daemon (DESIGN.md §16).
+ *
+ * One long-lived process owns a SweepExecutor worker pool and a
+ * disk-persistent content-addressed ResultCache, and serves batched
+ * simulation jobs to any number of clients over a Unix-domain socket
+ * (serve/protocol.hh). A SubmitBatch frame carries N jobs; each is
+ * content-addressed (serve/cache_key.hh) and either answered from the
+ * cache — bit-identical to a fresh run, the simulator being
+ * deterministic — or simulated on the pool and inserted, so every
+ * client after the first gets the cell at near-zero marginal cost.
+ *
+ * Robustness: each connection is served on its own thread; a garbage,
+ * truncated, oversized or version-mismatched frame closes only that
+ * connection (version mismatches are answered with an Error frame
+ * first); a client that disconnects mid-batch abandons only its reply —
+ * the submitted jobs still complete and populate the cache, so nothing
+ * leaks and the next client hits warm entries.
+ */
+
+#ifndef DWS_SERVE_SERVER_HH
+#define DWS_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+
+namespace dws {
+
+class SweepExecutor;
+
+/** Long-lived simulation service over a Unix-domain socket. */
+class ServeDaemon
+{
+  public:
+    struct Options
+    {
+        /** Unix-domain socket path (a stale file is replaced). */
+        std::string socketPath;
+        /** Result-cache directory (created if missing). */
+        std::string cacheDir = ".dws_serve_cache";
+        /** Worker threads; <= 0 selects SweepExecutor::defaultJobs(). */
+        int jobs = 0;
+        /** Result-cache LRU entry cap; 0 = unbounded. */
+        std::size_t cacheCapEntries = 4096;
+    };
+
+    explicit ServeDaemon(Options opts);
+    ~ServeDaemon();
+
+    ServeDaemon(const ServeDaemon &) = delete;
+    ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+    /**
+     * Open the cache, bind + listen on the socket and start accepting.
+     * @return false with a message in `err` on any setup failure.
+     */
+    bool start(std::string &err);
+
+    /** Block until a Shutdown frame arrives or stop() is called. */
+    void wait();
+
+    /** Stop accepting, unblock connections, join every thread. */
+    void stop();
+
+    /** @return the result cache (valid after start()). */
+    ResultCache &cache() { return *resultCache; }
+
+    /** @return a snapshot of the daemon counters. */
+    ServeStatus status() const;
+
+    /**
+     * Execute one decoded batch: cache hits answered directly, misses
+     * simulated on the pool and inserted. Public so tests can drive
+     * the dispatch path without a socket.
+     */
+    std::vector<ServeResult> runBatch(const std::vector<ServeJob> &jobs);
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    void requestStop();
+
+    Options opts;
+    std::unique_ptr<ResultCache> resultCache;
+    std::unique_ptr<SweepExecutor> executor;
+
+    int listenFd = -1;
+    std::thread acceptThread;
+
+    mutable std::mutex mtx;
+    std::condition_variable stopCv;
+    bool stopRequested = false;
+    bool stopped = false;
+    std::vector<std::thread> connThreads;
+    std::unordered_set<int> connFds;
+
+    std::atomic<std::uint64_t> batchesServed{0};
+    std::atomic<std::uint64_t> jobsServed{0};
+};
+
+} // namespace dws
+
+#endif // DWS_SERVE_SERVER_HH

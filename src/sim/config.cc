@@ -1,6 +1,7 @@
 #include "sim/config.hh"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 
 #include "sim/logging.hh"
@@ -360,6 +361,331 @@ HierarchySpec::validate(int numWpus) const
             return name + ": link bandwidth must be positive";
     }
     return "";
+}
+
+std::uint64_t
+fnv1a(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; i++) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+namespace {
+
+/** Append one `key=value\n` line. */
+void
+kv(std::string &s, const char *key, const std::string &value)
+{
+    s += key;
+    s += '=';
+    s += value;
+    s += '\n';
+}
+
+void
+kv(std::string &s, const char *key, std::int64_t value)
+{
+    kv(s, key, std::to_string(value));
+}
+
+/** %.17g renders a double so strtod round-trips it exactly. */
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Canonical colon-joined CacheConfig (every simulation field). */
+std::string
+cacheText(const CacheConfig &c)
+{
+    std::string s = std::to_string(c.sizeBytes);
+    for (int v : {c.assoc, c.lineBytes, c.hitLatency, c.mshrs,
+                  c.mshrTargets, c.banks, c.mshrBanks,
+                  c.mshrDownEntries}) {
+        s += ':';
+        s += std::to_string(v);
+    }
+    return s;
+}
+
+/** Inverse of cacheText. @return false on malformed input. */
+bool
+parseCacheText(const std::string &text, CacheConfig &out)
+{
+    const std::vector<std::string> f = splitOn(text, ':');
+    if (f.size() != 9)
+        return false;
+    const auto size = parseUint64(f[0]);
+    if (!size)
+        return false;
+    int *fields[] = {&out.assoc, &out.lineBytes, &out.hitLatency,
+                     &out.mshrs, &out.mshrTargets, &out.banks,
+                     &out.mshrBanks, &out.mshrDownEntries};
+    out.sizeBytes = *size;
+    for (std::size_t i = 0; i < 8; i++) {
+        const auto v = parseInt64InRange(f[i + 1].c_str(), 0, 1 << 30);
+        if (!v)
+            return false;
+        *fields[i] = static_cast<int>(*v);
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+SystemConfig::cacheKey() const
+{
+    std::string s = "dwscfg v1\n";
+    kv(s, "wpus", numWpus);
+    kv(s, "wpu.simd", wpu.simdWidth);
+    kv(s, "wpu.warps", wpu.numWarps);
+    kv(s, "wpu.slots", wpu.schedSlots);
+    kv(s, "wpu.wst", wpu.wstEntries);
+    kv(s, "wpu.icache", cacheText(wpu.icache));
+    kv(s, "wpu.dcache", cacheText(wpu.dcache));
+    const HierarchySpec hier = hierarchy();
+    kv(s, "hier.levels", static_cast<std::int64_t>(hier.levels.size()));
+    for (std::size_t i = 0; i < hier.levels.size(); i++) {
+        const LevelSpec &lvl = hier.levels[i];
+        const std::string key = "hier.l" + std::to_string(i + 2);
+        kv(s, key.c_str(),
+           cacheText(lvl.cache) + ':' + std::to_string(lvl.slices) +
+                   ':' + std::to_string(lvl.linkLatency) + ':' +
+                   std::to_string(lvl.linkRequestCycles) + ':' +
+                   fmtDouble(lvl.linkBytesPerCycle));
+    }
+    kv(s, "dram",
+       std::to_string(mem.dramLatency) + ':' +
+               fmtDouble(mem.dramBytesPerCycle));
+    kv(s, "policy.splitOnBranch", policy.splitOnBranch ? 1 : 0);
+    kv(s, "policy.splitScheme",
+       static_cast<std::int64_t>(policy.splitScheme));
+    kv(s, "policy.memReconv",
+       static_cast<std::int64_t>(policy.memReconv));
+    kv(s, "policy.pcReconv", policy.pcReconv ? 1 : 0);
+    kv(s, "policy.slip", policy.slip ? 1 : 0);
+    kv(s, "policy.slipBB", policy.slipBranchBypass ? 1 : 0);
+    kv(s, "policy.slipInterval",
+       static_cast<std::int64_t>(policy.slipInterval));
+    kv(s, "policy.slipRaise", fmtDouble(policy.slipRaiseMemFrac));
+    kv(s, "policy.slipLower", fmtDouble(policy.slipLowerActiveFrac));
+    kv(s, "policy.subdivMaxPostBlock", policy.subdivMaxPostBlock);
+    kv(s, "policy.minSplitWidth", policy.minSplitWidth);
+    kv(s, "seed", static_cast<std::int64_t>(seed));
+    kv(s, "maxCycles", static_cast<std::int64_t>(maxCycles));
+    kv(s, "fault", faultSpec);
+    return s;
+}
+
+std::uint64_t
+SystemConfig::cacheKeyHash() const
+{
+    return fnv1a(cacheKey());
+}
+
+bool
+SystemConfig::parseCacheKey(const std::string &text, SystemConfig &out,
+                            std::string &err)
+{
+    SystemConfig cfg;
+    cfg.mem.hier.levels.clear();
+    std::vector<std::string> lines = splitOn(text, '\n');
+    // cacheKey() ends every line (incl. the last) with '\n'.
+    if (!lines.empty() && lines.back().empty())
+        lines.pop_back();
+    if (lines.empty() || lines[0] != "dwscfg v1") {
+        err = "missing 'dwscfg v1' header";
+        return false;
+    }
+    std::int64_t declaredLevels = -1;
+    std::size_t nextLevel = 0;
+    for (std::size_t li = 1; li < lines.size(); li++) {
+        const std::string &line = lines[li];
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            err = "line " + std::to_string(li + 1) + ": missing '='";
+            return false;
+        }
+        const std::string key = line.substr(0, eq);
+        const std::string val = line.substr(eq + 1);
+        const auto intVal = [&](std::int64_t lo,
+                                std::int64_t hi) -> std::int64_t {
+            const auto v = parseInt64InRange(val.c_str(), lo, hi);
+            if (!v) {
+                err = key + ": bad integer '" + val + "'";
+                return INT64_MIN;
+            }
+            return *v;
+        };
+        std::int64_t v;
+        if (key == "wpus") {
+            if ((v = intVal(1, 1024)) == INT64_MIN)
+                return false;
+            cfg.numWpus = static_cast<int>(v);
+        } else if (key == "wpu.simd") {
+            if ((v = intVal(1, 1 << 16)) == INT64_MIN)
+                return false;
+            cfg.wpu.simdWidth = static_cast<int>(v);
+        } else if (key == "wpu.warps") {
+            if ((v = intVal(1, 1 << 16)) == INT64_MIN)
+                return false;
+            cfg.wpu.numWarps = static_cast<int>(v);
+        } else if (key == "wpu.slots") {
+            if ((v = intVal(1, 1 << 16)) == INT64_MIN)
+                return false;
+            cfg.wpu.schedSlots = static_cast<int>(v);
+        } else if (key == "wpu.wst") {
+            if ((v = intVal(1, 1 << 16)) == INT64_MIN)
+                return false;
+            cfg.wpu.wstEntries = static_cast<int>(v);
+        } else if (key == "wpu.icache" || key == "wpu.dcache") {
+            CacheConfig c;
+            if (!parseCacheText(val, c)) {
+                err = key + ": bad cache geometry '" + val + "'";
+                return false;
+            }
+            (key == "wpu.icache" ? cfg.wpu.icache : cfg.wpu.dcache) = c;
+        } else if (key == "hier.levels") {
+            if ((declaredLevels = intVal(0, 16)) == INT64_MIN)
+                return false;
+        } else if (key.rfind("hier.l", 0) == 0) {
+            const auto depth = parseInt64(key.substr(6));
+            if (!depth || *depth != static_cast<std::int64_t>(
+                                  nextLevel + 2)) {
+                err = "hierarchy levels must run l2, l3, ...; got '" +
+                      key + "'";
+                return false;
+            }
+            // cache (9 fields) + slices + linkLat + linkReq + linkBw
+            const std::vector<std::string> f = splitOn(val, ':');
+            if (f.size() != 13) {
+                err = key + ": want 13 colon-separated fields";
+                return false;
+            }
+            std::string cacheFields = f[0];
+            for (std::size_t i = 1; i < 9; i++)
+                cacheFields += ':' + f[i];
+            LevelSpec lvl;
+            const auto slices = parseInt64InRange(f[9].c_str(), 1,
+                                                  1 << 16);
+            const auto lat = parseInt64InRange(f[10].c_str(), 0,
+                                               1 << 20);
+            const auto req = parseInt64InRange(f[11].c_str(), 0,
+                                               1 << 20);
+            const auto bw = parseFiniteDouble(f[12].c_str());
+            if (!parseCacheText(cacheFields, lvl.cache) || !slices ||
+                !lat || !req || !bw) {
+                err = key + ": bad level fields '" + val + "'";
+                return false;
+            }
+            lvl.slices = static_cast<int>(*slices);
+            lvl.linkLatency = static_cast<int>(*lat);
+            lvl.linkRequestCycles = static_cast<int>(*req);
+            lvl.linkBytesPerCycle = *bw;
+            cfg.mem.hier.levels.push_back(lvl);
+            nextLevel++;
+        } else if (key == "dram") {
+            const std::vector<std::string> f = splitOn(val, ':');
+            std::optional<std::int64_t> lat;
+            std::optional<double> bw;
+            if (f.size() == 2) {
+                lat = parseInt64InRange(f[0].c_str(), 0, 1 << 20);
+                bw = parseFiniteDouble(f[1].c_str());
+            }
+            if (!lat || !bw) {
+                err = "dram: bad 'latency:bytes-per-cycle' pair";
+                return false;
+            }
+            cfg.mem.dramLatency = static_cast<int>(*lat);
+            cfg.mem.dramBytesPerCycle = *bw;
+        } else if (key == "policy.splitOnBranch") {
+            if ((v = intVal(0, 1)) == INT64_MIN)
+                return false;
+            cfg.policy.splitOnBranch = v != 0;
+        } else if (key == "policy.splitScheme") {
+            if ((v = intVal(0, 3)) == INT64_MIN)
+                return false;
+            cfg.policy.splitScheme = static_cast<SplitScheme>(v);
+        } else if (key == "policy.memReconv") {
+            if ((v = intVal(0, 1)) == INT64_MIN)
+                return false;
+            cfg.policy.memReconv = static_cast<MemReconv>(v);
+        } else if (key == "policy.pcReconv") {
+            if ((v = intVal(0, 1)) == INT64_MIN)
+                return false;
+            cfg.policy.pcReconv = v != 0;
+        } else if (key == "policy.slip") {
+            if ((v = intVal(0, 1)) == INT64_MIN)
+                return false;
+            cfg.policy.slip = v != 0;
+        } else if (key == "policy.slipBB") {
+            if ((v = intVal(0, 1)) == INT64_MIN)
+                return false;
+            cfg.policy.slipBranchBypass = v != 0;
+        } else if (key == "policy.slipInterval") {
+            if ((v = intVal(0, INT64_MAX)) == INT64_MIN)
+                return false;
+            cfg.policy.slipInterval = static_cast<Cycle>(v);
+        } else if (key == "policy.slipRaise" ||
+                   key == "policy.slipLower") {
+            const auto d = parseFiniteDouble(val.c_str());
+            if (!d) {
+                err = key + ": bad double '" + val + "'";
+                return false;
+            }
+            (key == "policy.slipRaise" ? cfg.policy.slipRaiseMemFrac
+                                       : cfg.policy.slipLowerActiveFrac) =
+                    *d;
+        } else if (key == "policy.subdivMaxPostBlock") {
+            if ((v = intVal(0, 1 << 20)) == INT64_MIN)
+                return false;
+            cfg.policy.subdivMaxPostBlock = static_cast<int>(v);
+        } else if (key == "policy.minSplitWidth") {
+            if ((v = intVal(0, 1 << 16)) == INT64_MIN)
+                return false;
+            cfg.policy.minSplitWidth = static_cast<int>(v);
+        } else if (key == "seed") {
+            const auto u = parseUint64(val);
+            if (!u) {
+                err = "seed: bad integer '" + val + "'";
+                return false;
+            }
+            cfg.seed = *u;
+        } else if (key == "maxCycles") {
+            const auto u = parseUint64(val);
+            if (!u) {
+                err = "maxCycles: bad integer '" + val + "'";
+                return false;
+            }
+            cfg.maxCycles = *u;
+        } else if (key == "fault") {
+            cfg.faultSpec = val;
+        } else {
+            err = "unknown key '" + key + "'";
+            return false;
+        }
+    }
+    if (declaredLevels < 0 ||
+        declaredLevels != static_cast<std::int64_t>(nextLevel)) {
+        err = "hier.levels count does not match the level lines";
+        return false;
+    }
+    if (cfg.mem.hier.levels.empty()) {
+        err = "config needs at least one shared cache level";
+        return false;
+    }
+    out = cfg;
+    err.clear();
+    return true;
 }
 
 HierarchySpec

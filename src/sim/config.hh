@@ -11,6 +11,7 @@
 #ifndef DWS_SIM_CONFIG_HH
 #define DWS_SIM_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -400,7 +401,51 @@ struct SystemConfig
 
     /** Paper Table 3 configuration with the given policy. */
     static SystemConfig table3(const PolicyConfig &policy);
+
+    /**
+     * @return the canonical serialization of every field that can
+     *         change simulation results: machine geometry (WPU count,
+     *         shape, L1 caches), the *expanded* cache hierarchy
+     *         (hierarchy(), so a default machine and an explicitly
+     *         spelled equivalent spec serialize identically), DRAM
+     *         timing, the full policy, seed, maxCycles and the fault
+     *         spec. Observationally pure knobs (tracing, invariant
+     *         audits, the oracle) are deliberately excluded: they never
+     *         change a RunStats fingerprint. Two configs produce the
+     *         same key text iff they simulate identically, which makes
+     *         this the shared key material for the sweep journal and
+     *         the serve-layer result cache (DESIGN.md §16).
+     */
+    std::string cacheKey() const;
+
+    /** @return FNV-1a hash of cacheKey(). */
+    std::uint64_t cacheKeyHash() const;
+
+    /**
+     * Rebuild a SystemConfig from its cacheKey() serialization (the
+     * serve daemon's wire format for job configs). The round trip is
+     * canonical: parseCacheKey(c.cacheKey(), out) leaves
+     * out.cacheKey() == c.cacheKey().
+     * @return false with a message in `err` on malformed input.
+     */
+    static bool parseCacheKey(const std::string &text, SystemConfig &out,
+                              std::string &err);
 };
+
+/**
+ * FNV-1a over a byte range; seed overload chains ranges. Used for the
+ * config/result cache keys (serve/) and the sweep journal.
+ */
+std::uint64_t fnv1a(const void *data, std::size_t n,
+                    std::uint64_t seed = 14695981039346656037ull);
+inline std::uint64_t
+fnv1a(const std::string &s, std::uint64_t seed = 14695981039346656037ull)
+{
+    return fnv1a(s.data(), s.size(), seed);
+}
+/** Deleted: fnv1a("literal", seed) would silently bind the seed to the
+ *  (void*, size_t) overload's byte count. Wrap in std::string. */
+std::uint64_t fnv1a(const char *, std::uint64_t) = delete;
 
 } // namespace dws
 

@@ -1,0 +1,902 @@
+/**
+ * @file
+ * Tests for the sweep service (src/serve/, DESIGN.md §16): canonical
+ * config cache keys, the content-addressed disk result cache, the
+ * binary frame protocol, the daemon over a real Unix-domain socket,
+ * the executor's serve mode, and the journal's config-hash
+ * invalidation.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "harness/executor.hh"
+#include "harness/runner.hh"
+#include "serve/cache_key.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
+#include "sim/stats.hh"
+
+namespace fs = std::filesystem;
+
+namespace dws {
+namespace {
+
+/** A unique scratch directory, removed on destruction. */
+struct TempDir
+{
+    TempDir()
+    {
+        char tmpl[] = "/tmp/dws_serve_test_XXXXXX";
+        path = mkdtemp(tmpl);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+/** Connect a raw fd to a Unix-domain socket (for malformed input). */
+int
+rawConnect(const std::string &socketPath)
+{
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  socketPath.c_str());
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+// --------------------------------------------------------------------
+// Canonical config cache keys
+// --------------------------------------------------------------------
+
+TEST(CacheKey, RoundTripIsCanonical)
+{
+    const SystemConfig cfg =
+            SystemConfig::table3(PolicyConfig::reviveSplit());
+    SystemConfig back;
+    std::string err;
+    ASSERT_TRUE(SystemConfig::parseCacheKey(cfg.cacheKey(), back, err))
+            << err;
+    EXPECT_EQ(back.cacheKey(), cfg.cacheKey());
+    EXPECT_EQ(back.cacheKeyHash(), cfg.cacheKeyHash());
+}
+
+TEST(CacheKey, EqualConfigsHashEqual)
+{
+    const SystemConfig a = SystemConfig::table3(PolicyConfig::conv());
+    const SystemConfig b = SystemConfig::table3(PolicyConfig::conv());
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+    EXPECT_EQ(a.cacheKeyHash(), b.cacheKeyHash());
+}
+
+TEST(CacheKey, DefaultAndExplicitHierarchySerializeIdentically)
+{
+    // A legacy default machine and the same machine spelled as an
+    // explicit HierarchySpec are the same cell: the key serializes the
+    // *expanded* hierarchy, not the input spelling.
+    const SystemConfig legacy =
+            SystemConfig::table3(PolicyConfig::conv());
+    SystemConfig spelled = legacy;
+    spelled.applyHierarchy(HierarchySpec::table3());
+    EXPECT_EQ(legacy.cacheKey(), spelled.cacheKey());
+}
+
+TEST(CacheKey, EverySingleFieldChangeChangesTheHash)
+{
+    const SystemConfig base =
+            SystemConfig::table3(PolicyConfig::reviveSplit());
+    const std::uint64_t h0 = base.cacheKeyHash();
+
+    std::vector<SystemConfig> variants;
+    auto var = [&]() -> SystemConfig & {
+        variants.push_back(base);
+        return variants.back();
+    };
+    var().numWpus = 8;
+    var().wpu.simdWidth = 8;
+    var().wpu.numWarps = 8;
+    var().wpu.schedSlots = 16;
+    var().wpu.wstEntries = 32;
+    var().wpu.icache.sizeBytes *= 2;
+    var().wpu.dcache.assoc = 4;
+    var().wpu.dcache.mshrBanks = 4;
+    var().mem.l2.sizeBytes *= 2;
+    var().mem.l2.hitLatency += 5;
+    var().mem.xbarLatency += 1;
+    var().mem.dramLatency += 50;
+    var().mem.dramBytesPerCycle *= 2.0;
+    var().policy.splitOnBranch = !base.policy.splitOnBranch;
+    var().policy.splitScheme = SplitScheme::Lazy;
+    var().policy.memReconv = MemReconv::BranchLimited;
+    var().policy.pcReconv = !base.policy.pcReconv;
+    var().policy.minSplitWidth += 1;
+    var().policy.subdivMaxPostBlock += 1;
+    var().seed += 1;
+    var().maxCycles = 123456;
+    var().faultSpec = "fault-spec-sentinel";
+    // Nested hierarchy levels count too: append an L3 and mutate deep
+    // LevelSpec fields of an explicit hierarchy.
+    var().applyHierarchy(HierarchySpec::withL3(8u << 20, 16, 60));
+    {
+        // += 2, not += 1: an explicit hierarchy with linkLatency + 1
+        // would (correctly) canonicalize to the same machine as the
+        // legacy xbarLatency + 1 variant above.
+        SystemConfig &v = var();
+        v.applyHierarchy(HierarchySpec::table3());
+        v.mem.hier.levels[0].linkLatency += 2;
+    }
+    {
+        SystemConfig &v = var();
+        v.applyHierarchy(HierarchySpec::table3());
+        v.mem.hier.levels[0].slices = 2;
+    }
+
+    std::set<std::uint64_t> seen{h0};
+    for (std::size_t i = 0; i < variants.size(); i++) {
+        const std::uint64_t h = variants[i].cacheKeyHash();
+        EXPECT_NE(h, h0) << "variant " << i << " did not change the key";
+        EXPECT_TRUE(seen.insert(h).second)
+                << "variant " << i << " collided with another variant";
+    }
+}
+
+TEST(CacheKey, ObservationallyPureKnobsDoNotChangeTheKey)
+{
+    // Tracing and checking knobs never change simulation results, so
+    // they must not fragment the cache (and --serve refuses --trace
+    // anyway, since trace output cannot be served from a cache).
+    const SystemConfig base = SystemConfig::table3(PolicyConfig::conv());
+    SystemConfig traced = base;
+    traced.traceMode = 3;
+    traced.traceOut = "trace.dwst";
+    traced.checkInvariants = 64;
+    traced.checkOracle = true;
+    EXPECT_EQ(base.cacheKey(), traced.cacheKey());
+}
+
+TEST(CacheKey, ParseRejectsGarbage)
+{
+    SystemConfig out;
+    std::string err;
+    EXPECT_FALSE(SystemConfig::parseCacheKey("", out, err));
+    EXPECT_FALSE(SystemConfig::parseCacheKey("not a key", out, err));
+    EXPECT_FALSE(SystemConfig::parseCacheKey("dwscfg v1\nwpus=x\n", out,
+                                             err));
+    // A truncated key (cut inside the final line) must not parse.
+    const std::string key =
+            SystemConfig::table3(PolicyConfig::conv()).cacheKey();
+    EXPECT_FALSE(SystemConfig::parseCacheKey(
+            key.substr(0, key.size() - 3), out, err));
+}
+
+TEST(CacheKey, KernelIdentityCoversBuiltinsAndIrFiles)
+{
+    std::string err;
+    EXPECT_EQ(kernelIdentity("FFT", err), "builtin:FFT");
+    EXPECT_EQ(kernelIdentity("NoSuchKernel", err), "");
+    EXPECT_FALSE(err.empty());
+
+    TempDir tmp;
+    const std::string irPath = tmp.path + "/k.dws";
+    {
+        std::ofstream f(irPath);
+        f << "kernel k\n";
+    }
+    const std::string id1 = kernelIdentity(irPath, err);
+    ASSERT_EQ(id1.rfind("ir:", 0), 0u) << err;
+    // Editing the file changes its identity (its cells invalidate).
+    {
+        std::ofstream f(irPath);
+        f << "kernel k2\n";
+    }
+    const std::string id2 = kernelIdentity(irPath, err);
+    EXPECT_NE(id1, id2);
+}
+
+TEST(CacheKey, JobConfigHashSeparatesScales)
+{
+    const SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    EXPECT_NE(jobConfigHash(cfg, KernelScale::Tiny),
+              jobConfigHash(cfg, KernelScale::Default));
+}
+
+// --------------------------------------------------------------------
+// Result cache
+// --------------------------------------------------------------------
+
+ResultCache::Entry
+sampleEntry()
+{
+    ResultCache::Entry e;
+    e.kernel = "FFT";
+    e.scale = "tiny";
+    e.policy = "Conv";
+    e.cycles = 12345;
+    e.energyNj = 6.5;
+    e.wallMs = 2.25;
+    e.fingerprint = RunStats{}.fingerprint();
+    return e;
+}
+
+TEST(ResultCache, InsertLookupAndPersistAcrossReopen)
+{
+    TempDir tmp;
+    const std::uint64_t key = 0xdeadbeefcafef00dull;
+    {
+        ResultCache cache(tmp.path + "/cache");
+        std::string err;
+        ASSERT_TRUE(cache.open(err)) << err;
+        ResultCache::Entry miss;
+        EXPECT_FALSE(cache.lookup(key, miss));
+        cache.insert(key, sampleEntry());
+        ResultCache::Entry hit;
+        ASSERT_TRUE(cache.lookup(key, hit));
+        EXPECT_EQ(hit.kernel, "FFT");
+        EXPECT_EQ(hit.cycles, 12345u);
+        EXPECT_DOUBLE_EQ(hit.energyNj, 6.5);
+        EXPECT_EQ(hit.fingerprint, RunStats{}.fingerprint());
+        EXPECT_EQ(cache.counters().hits, 1u);
+        EXPECT_EQ(cache.counters().misses, 1u);
+    }
+    // A second cache over the same directory serves the same entry:
+    // the store survives daemon restarts.
+    ResultCache cache(tmp.path + "/cache");
+    std::string err;
+    ASSERT_TRUE(cache.open(err)) << err;
+    EXPECT_EQ(cache.counters().entries, 1u);
+    ResultCache::Entry hit;
+    ASSERT_TRUE(cache.lookup(key, hit));
+    EXPECT_EQ(hit.cycles, 12345u);
+}
+
+TEST(ResultCache, CorruptAndTruncatedEntriesAreMissesAndRemoved)
+{
+    TempDir tmp;
+    ResultCache cache(tmp.path + "/cache");
+    std::string err;
+    ASSERT_TRUE(cache.open(err)) << err;
+    cache.insert(1, sampleEntry());
+    cache.insert(2, sampleEntry());
+
+    // Flipped bytes: the checksum fails.
+    {
+        std::ofstream f(cache.entryPath(1), std::ios::trunc);
+        f << "dwsrec v1\nkernel=FFT\ngarbage\nsum=0123456789abcdef\n";
+    }
+    ResultCache::Entry out;
+    EXPECT_FALSE(cache.lookup(1, out));
+    EXPECT_FALSE(fs::exists(cache.entryPath(1)));
+
+    // Truncation: cut the file mid-body.
+    {
+        std::ifstream in(cache.entryPath(2), std::ios::binary);
+        std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        in.close();
+        std::ofstream f(cache.entryPath(2),
+                        std::ios::trunc | std::ios::binary);
+        f << body.substr(0, body.size() / 2);
+    }
+    EXPECT_FALSE(cache.lookup(2, out));
+    EXPECT_EQ(cache.counters().corrupt, 2u);
+    EXPECT_EQ(cache.counters().entries, 0u);
+
+    // A re-insert repairs the slot.
+    cache.insert(1, sampleEntry());
+    EXPECT_TRUE(cache.lookup(1, out));
+}
+
+TEST(ResultCache, LruCapEvictsColdestEntry)
+{
+    TempDir tmp;
+    ResultCache cache(tmp.path + "/cache", 3);
+    std::string err;
+    ASSERT_TRUE(cache.open(err)) << err;
+    cache.insert(1, sampleEntry());
+    cache.insert(2, sampleEntry());
+    cache.insert(3, sampleEntry());
+    ResultCache::Entry out;
+    ASSERT_TRUE(cache.lookup(1, out)); // 1 becomes hottest
+    cache.insert(4, sampleEntry());    // evicts 2, the coldest
+    EXPECT_FALSE(fs::exists(cache.entryPath(2)));
+    EXPECT_TRUE(cache.lookup(1, out));
+    EXPECT_FALSE(cache.lookup(2, out));
+    EXPECT_TRUE(cache.lookup(3, out));
+    EXPECT_TRUE(cache.lookup(4, out));
+    EXPECT_EQ(cache.counters().evicted, 1u);
+    EXPECT_EQ(cache.counters().entries, 3u);
+}
+
+TEST(ResultCache, FlushRemovesEverything)
+{
+    TempDir tmp;
+    ResultCache cache(tmp.path + "/cache");
+    std::string err;
+    ASSERT_TRUE(cache.open(err)) << err;
+    cache.insert(1, sampleEntry());
+    cache.insert(2, sampleEntry());
+    EXPECT_EQ(cache.flush(), 2u);
+    EXPECT_EQ(cache.counters().entries, 0u);
+    ResultCache::Entry out;
+    EXPECT_FALSE(cache.lookup(1, out));
+}
+
+// --------------------------------------------------------------------
+// Wire format and frame protocol
+// --------------------------------------------------------------------
+
+TEST(ServeProtocol, PayloadRoundTrips)
+{
+    std::vector<ServeJob> jobs(2);
+    jobs[0] = ServeJob{"FFT", "Conv", 0, "dwscfg v1\nwpus=4\n"};
+    jobs[1] = ServeJob{"Merge", "Revive", 1, "dwscfg v1\nwpus=8\n"};
+    std::vector<ServeJob> jobs2;
+    ASSERT_TRUE(decodeSubmitBatch(encodeSubmitBatch(jobs), jobs2));
+    ASSERT_EQ(jobs2.size(), 2u);
+    EXPECT_EQ(jobs2[0].kernel, "FFT");
+    EXPECT_EQ(jobs2[1].label, "Revive");
+    EXPECT_EQ(jobs2[1].scale, 1);
+    EXPECT_EQ(jobs2[1].configKey, "dwscfg v1\nwpus=8\n");
+
+    std::vector<ServeResult> res(1);
+    res[0].outcome = "ok";
+    res[0].policy = "Conv";
+    res[0].cycles = 987;
+    res[0].energyNj = 1.5;
+    res[0].wallMs = 0.25;
+    res[0].cached = true;
+    res[0].fingerprint = "fp";
+    std::vector<ServeResult> res2;
+    ASSERT_TRUE(decodeSubmitReply(encodeSubmitReply(res), res2));
+    ASSERT_EQ(res2.size(), 1u);
+    EXPECT_EQ(res2[0].cycles, 987u);
+    EXPECT_TRUE(res2[0].cached);
+    EXPECT_EQ(res2[0].fingerprint, "fp");
+
+    ServeStatus st;
+    st.workers = 7;
+    st.batches = 3;
+    st.jobs = 21;
+    st.cacheDir = "/x";
+    st.buildFingerprint = "bf";
+    ServeStatus st2;
+    ASSERT_TRUE(decodeStatusReply(encodeStatusReply(st), st2));
+    EXPECT_EQ(st2.workers, 7u);
+    EXPECT_EQ(st2.jobs, 21u);
+    EXPECT_EQ(st2.buildFingerprint, "bf");
+}
+
+TEST(ServeProtocol, MalformedPayloadsAreRejectedNotCrashed)
+{
+    // A count prefix promising more records than the payload holds
+    // must poison the reader, not read out of bounds.
+    WireWriter w;
+    w.u32(2);          // promises two jobs
+    w.str("only-one"); // ...but delivers half of one
+    std::vector<ServeJob> jobs;
+    EXPECT_FALSE(decodeSubmitBatch(w.take(), jobs));
+
+    WireWriter w2;
+    w2.u32(1);
+    w2.u32(0xffffffffu); // string length far beyond the buffer
+    std::vector<ServeJob> jobs2;
+    EXPECT_FALSE(decodeSubmitBatch(w2.take(), jobs2));
+
+    // Trailing junk after a well-formed payload is rejected too.
+    std::vector<std::uint8_t> ok = encodeFlushReply(5);
+    ok.push_back(0x00);
+    std::uint64_t removed;
+    EXPECT_FALSE(decodeFlushReply(ok, removed));
+}
+
+TEST(ServeProtocol, FrameRoundTripOverSocketpair)
+{
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(writeFrame(sv[0], FrameType::Error,
+                           encodeError("hello")));
+    ServeFrame f;
+    EXPECT_EQ(readFrame(sv[1], f), FrameIo::Ok);
+    EXPECT_EQ(f.type, FrameType::Error);
+    std::string msg;
+    ASSERT_TRUE(decodeError(f.payload, msg));
+    EXPECT_EQ(msg, "hello");
+    ::close(sv[0]);
+    // A clean close on the frame boundary reads as Eof, not an error.
+    EXPECT_EQ(readFrame(sv[1], f), FrameIo::Eof);
+    ::close(sv[1]);
+}
+
+TEST(ServeProtocol, BadMagicVersionOversizedAndTruncatedFrames)
+{
+    // Bad magic.
+    {
+        int sv[2];
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        const std::uint8_t junk[12] = {'J', 'U', 'N', 'K', 1, 0,
+                                       1,   0,   0,   0,   0, 0};
+        ASSERT_EQ(write(sv[0], junk, sizeof junk),
+                  (ssize_t)sizeof junk);
+        ServeFrame f;
+        EXPECT_EQ(readFrame(sv[1], f), FrameIo::BadMagic);
+        ::close(sv[0]);
+        ::close(sv[1]);
+    }
+    // Version mismatch, with the peer's version reported back.
+    {
+        int sv[2];
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        std::uint8_t hdr[12] = {0};
+        hdr[0] = 'D'; hdr[1] = 'W'; hdr[2] = 'S'; hdr[3] = 'V';
+        hdr[4] = 99; // version 99
+        hdr[6] = 1;  // SubmitBatch
+        ASSERT_EQ(write(sv[0], hdr, sizeof hdr), (ssize_t)sizeof hdr);
+        ServeFrame f;
+        std::uint16_t seen = 0;
+        EXPECT_EQ(readFrame(sv[1], f, &seen), FrameIo::BadVersion);
+        EXPECT_EQ(seen, 99);
+        ::close(sv[0]);
+        ::close(sv[1]);
+    }
+    // Oversized length prefix.
+    {
+        int sv[2];
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        std::uint8_t hdr[12] = {0};
+        hdr[0] = 'D'; hdr[1] = 'W'; hdr[2] = 'S'; hdr[3] = 'V';
+        hdr[4] = 1;
+        hdr[6] = 1;
+        hdr[8] = 0xff; hdr[9] = 0xff; hdr[10] = 0xff; hdr[11] = 0xff;
+        ASSERT_EQ(write(sv[0], hdr, sizeof hdr), (ssize_t)sizeof hdr);
+        ServeFrame f;
+        EXPECT_EQ(readFrame(sv[1], f), FrameIo::Oversized);
+        ::close(sv[0]);
+        ::close(sv[1]);
+    }
+    // Truncated: the header promises a payload, then the peer vanishes.
+    {
+        int sv[2];
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        std::uint8_t hdr[12] = {0};
+        hdr[0] = 'D'; hdr[1] = 'W'; hdr[2] = 'S'; hdr[3] = 'V';
+        hdr[4] = 1;
+        hdr[6] = 1;
+        hdr[8] = 100; // 100-byte payload that never arrives
+        ASSERT_EQ(write(sv[0], hdr, sizeof hdr), (ssize_t)sizeof hdr);
+        ::close(sv[0]);
+        ServeFrame f;
+        EXPECT_EQ(readFrame(sv[1], f), FrameIo::Truncated);
+        ::close(sv[1]);
+    }
+    // Truncated inside the header itself.
+    {
+        int sv[2];
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        const std::uint8_t half[5] = {'D', 'W', 'S', 'V', 1};
+        ASSERT_EQ(write(sv[0], half, sizeof half),
+                  (ssize_t)sizeof half);
+        ::close(sv[0]);
+        ServeFrame f;
+        EXPECT_EQ(readFrame(sv[1], f), FrameIo::Truncated);
+        ::close(sv[1]);
+    }
+}
+
+// --------------------------------------------------------------------
+// The daemon over a real socket
+// --------------------------------------------------------------------
+
+/** A started daemon on a scratch socket + cache dir. */
+struct DaemonFixture
+{
+    DaemonFixture()
+    {
+        ServeDaemon::Options opts;
+        opts.socketPath = tmp.path + "/serve.sock";
+        opts.cacheDir = tmp.path + "/cache";
+        opts.jobs = 2;
+        daemon = std::make_unique<ServeDaemon>(opts);
+        std::string err;
+        started = daemon->start(err);
+        EXPECT_TRUE(started) << err;
+    }
+    std::string socket() const { return tmp.path + "/serve.sock"; }
+
+    TempDir tmp;
+    std::unique_ptr<ServeDaemon> daemon;
+    bool started = false;
+};
+
+ServeJob
+tinyJob(const std::string &kernel, const PolicyConfig &pol,
+        const std::string &label)
+{
+    ServeJob j;
+    j.kernel = kernel;
+    j.label = label;
+    j.scale = 0; // tiny
+    j.configKey = SystemConfig::table3(pol).cacheKey();
+    return j;
+}
+
+TEST(ServeDaemon, ColdMissesThenWarmHitsBitIdentical)
+{
+    DaemonFixture fx;
+    ASSERT_TRUE(fx.started);
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectTo(fx.socket(), err)) << err;
+
+    const std::vector<ServeJob> jobs = {
+        tinyJob("Short", PolicyConfig::conv(), "Conv"),
+        tinyJob("Short", PolicyConfig::reviveSplit(), "Revive"),
+    };
+    std::vector<ServeResult> cold, warm;
+    ASSERT_TRUE(client.submitBatch(jobs, cold, err)) << err;
+    ASSERT_EQ(cold.size(), 2u);
+    for (const auto &r : cold) {
+        EXPECT_TRUE(r.ok()) << r.error;
+        EXPECT_FALSE(r.cached);
+        EXPECT_FALSE(r.fingerprint.empty());
+    }
+    ASSERT_TRUE(client.submitBatch(jobs, warm, err)) << err;
+    ASSERT_EQ(warm.size(), 2u);
+    for (std::size_t i = 0; i < warm.size(); i++) {
+        EXPECT_TRUE(warm[i].cached);
+        // The warm cell is bit-identical: same fingerprint, so the
+        // rebuilt RunStats is the exact original.
+        EXPECT_EQ(warm[i].fingerprint, cold[i].fingerprint);
+    }
+    // And the fingerprint matches a local simulation of the same cell.
+    const RunResult local = runKernel(
+            "Short", SystemConfig::table3(PolicyConfig::conv()),
+            KernelScale::Tiny);
+    EXPECT_EQ(cold[0].fingerprint, local.stats.fingerprint());
+
+    ServeCacheCounters c;
+    ASSERT_TRUE(client.cacheStats(c, err)) << err;
+    EXPECT_EQ(c.entries, 2u);
+    EXPECT_EQ(c.hits, 2u);
+    EXPECT_EQ(c.misses, 2u);
+}
+
+TEST(ServeDaemon, BadJobsGetPerJobErrorsOthersComplete)
+{
+    DaemonFixture fx;
+    ASSERT_TRUE(fx.started);
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectTo(fx.socket(), err)) << err;
+
+    std::vector<ServeJob> jobs = {
+        tinyJob("Short", PolicyConfig::conv(), "Conv"),
+        tinyJob("NoSuchKernel", PolicyConfig::conv(), "Bad"),
+        ServeJob{"Short", "BadCfg", 0, "not a config"},
+    };
+    std::vector<ServeResult> res;
+    ASSERT_TRUE(client.submitBatch(jobs, res, err)) << err;
+    ASSERT_EQ(res.size(), 3u);
+    EXPECT_TRUE(res[0].ok()) << res[0].error;
+    EXPECT_FALSE(res[1].ok());
+    EXPECT_NE(res[1].error.find("unknown kernel"), std::string::npos)
+            << res[1].error;
+    EXPECT_FALSE(res[2].ok());
+    EXPECT_NE(res[2].error.find("bad config"), std::string::npos)
+            << res[2].error;
+}
+
+TEST(ServeDaemon, SurvivesGarbageAndVersionMismatchConnections)
+{
+    DaemonFixture fx;
+    ASSERT_TRUE(fx.started);
+    std::string err;
+
+    // Connection 1: pure garbage bytes, then close. The daemon drops
+    // only this connection.
+    {
+        const int fd = rawConnect(fx.socket());
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(write(fd, "garbage-not-a-frame", 19), 19);
+        ::close(fd);
+    }
+    // Connection 2: right magic, wrong version -> Error frame reply.
+    {
+        const int fd = rawConnect(fx.socket());
+        ASSERT_GE(fd, 0);
+        std::uint8_t hdr[12] = {0};
+        hdr[0] = 'D'; hdr[1] = 'W'; hdr[2] = 'S'; hdr[3] = 'V';
+        hdr[4] = 99;
+        hdr[6] = 1;
+        ASSERT_EQ(write(fd, hdr, sizeof hdr), (ssize_t)sizeof hdr);
+        ServeFrame f;
+        EXPECT_EQ(readFrame(fd, f), FrameIo::Ok);
+        EXPECT_EQ(f.type, FrameType::Error);
+        std::string msg;
+        ASSERT_TRUE(decodeError(f.payload, msg));
+        EXPECT_NE(msg.find("version"), std::string::npos) << msg;
+        ::close(fd);
+    }
+    // The daemon still serves a healthy client afterwards.
+    ServeClient client;
+    ASSERT_TRUE(client.connectTo(fx.socket(), err)) << err;
+    ServeStatus st;
+    EXPECT_TRUE(client.status(st, err)) << err;
+    EXPECT_EQ(st.workers, 2u);
+}
+
+TEST(ServeDaemon, MidBatchDisconnectStillPopulatesCache)
+{
+    DaemonFixture fx;
+    ASSERT_TRUE(fx.started);
+    std::string err;
+
+    // A ghost client submits a batch and vanishes without reading the
+    // reply: hand-roll the send half of submitBatch, then drop the
+    // connection.
+    {
+        const int fd = rawConnect(fx.socket());
+        ASSERT_GE(fd, 0);
+        const std::vector<ServeJob> jobs = {
+            tinyJob("Short", PolicyConfig::conv(), "Conv")};
+        ASSERT_TRUE(writeFrame(fd, FrameType::SubmitBatch,
+                               encodeSubmitBatch(jobs)));
+        ::close(fd); // gone before the reply
+    }
+
+    // The daemon must keep serving, and the ghost's cell must land in
+    // the cache: the next client gets a warm hit once the abandoned
+    // simulation drains. Re-submitting is harmless either way (a
+    // not-yet-cached cell just simulates again).
+    ServeClient client;
+    ASSERT_TRUE(client.connectTo(fx.socket(), err)) << err;
+    const std::vector<ServeJob> jobs = {
+        tinyJob("Short", PolicyConfig::conv(), "Conv")};
+    std::vector<ServeResult> res;
+    bool cached = false;
+    for (int tries = 0; tries < 100 && !cached; tries++) {
+        ASSERT_TRUE(client.submitBatch(jobs, res, err)) << err;
+        ASSERT_EQ(res.size(), 1u);
+        ASSERT_TRUE(res[0].ok()) << res[0].error;
+        cached = res[0].cached;
+    }
+    EXPECT_TRUE(cached)
+            << "ghost client's batch never populated the cache";
+}
+
+TEST(ServeDaemon, CacheSurvivesDaemonRestart)
+{
+    TempDir tmp;
+    ServeDaemon::Options opts;
+    opts.socketPath = tmp.path + "/serve.sock";
+    opts.cacheDir = tmp.path + "/cache";
+    opts.jobs = 2;
+    std::string err;
+    std::string coldFp;
+
+    {
+        ServeDaemon daemon(opts);
+        ASSERT_TRUE(daemon.start(err)) << err;
+        ServeClient client;
+        ASSERT_TRUE(client.connectTo(opts.socketPath, err)) << err;
+        std::vector<ServeResult> res;
+        ASSERT_TRUE(client.submitBatch(
+                {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res,
+                err))
+                << err;
+        ASSERT_EQ(res.size(), 1u);
+        ASSERT_TRUE(res[0].ok()) << res[0].error;
+        EXPECT_FALSE(res[0].cached);
+        coldFp = res[0].fingerprint;
+        client.close();
+        daemon.stop();
+    }
+
+    ServeDaemon daemon(opts);
+    ASSERT_TRUE(daemon.start(err)) << err;
+    ServeClient client;
+    ASSERT_TRUE(client.connectTo(opts.socketPath, err)) << err;
+    std::vector<ServeResult> res;
+    ASSERT_TRUE(client.submitBatch(
+            {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res, err))
+            << err;
+    ASSERT_EQ(res.size(), 1u);
+    ASSERT_TRUE(res[0].ok()) << res[0].error;
+    EXPECT_TRUE(res[0].cached);
+    EXPECT_EQ(res[0].fingerprint, coldFp);
+}
+
+TEST(ServeDaemon, CorruptedEntryIsResimulatedNotServed)
+{
+    DaemonFixture fx;
+    ASSERT_TRUE(fx.started);
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectTo(fx.socket(), err)) << err;
+    const std::vector<ServeJob> jobs = {
+        tinyJob("Short", PolicyConfig::conv(), "Conv")};
+    std::vector<ServeResult> cold;
+    ASSERT_TRUE(client.submitBatch(jobs, cold, err)) << err;
+    ASSERT_TRUE(cold[0].ok()) << cold[0].error;
+
+    // Vandalize the single entry on disk.
+    int vandalized = 0;
+    for (const auto &de :
+         fs::directory_iterator(fx.tmp.path + "/cache")) {
+        std::ofstream f(de.path(), std::ios::trunc);
+        f << "vandalized\n";
+        vandalized++;
+    }
+    ASSERT_EQ(vandalized, 1);
+    std::vector<ServeResult> again;
+    ASSERT_TRUE(client.submitBatch(jobs, again, err)) << err;
+    ASSERT_TRUE(again[0].ok()) << again[0].error;
+    EXPECT_FALSE(again[0].cached); // re-simulated, not served corrupt
+    EXPECT_EQ(again[0].fingerprint, cold[0].fingerprint);
+    ServeCacheCounters c;
+    ASSERT_TRUE(client.cacheStats(c, err)) << err;
+    EXPECT_EQ(c.corrupt, 1u);
+}
+
+TEST(ServeDaemon, FlushAndShutdownFrames)
+{
+    DaemonFixture fx;
+    ASSERT_TRUE(fx.started);
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectTo(fx.socket(), err)) << err;
+    std::vector<ServeResult> res;
+    ASSERT_TRUE(client.submitBatch(
+            {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res, err))
+            << err;
+    std::uint64_t removed = 0;
+    ASSERT_TRUE(client.flushCache(removed, err)) << err;
+    EXPECT_EQ(removed, 1u);
+    ASSERT_TRUE(client.shutdownServer(err)) << err;
+    fx.daemon->wait(); // returns because Shutdown requested the stop
+    fx.daemon->stop();
+}
+
+// --------------------------------------------------------------------
+// Executor serve mode
+// --------------------------------------------------------------------
+
+TEST(ServeExecutor, ServedSweepIsBitIdenticalToLocal)
+{
+    DaemonFixture fx;
+    ASSERT_TRUE(fx.started);
+
+    const SystemConfig cfg = SystemConfig::table3(PolicyConfig::conv());
+    const SweepJob job{"Short", cfg, KernelScale::Tiny, "Conv"};
+
+    SweepExecutor local(2);
+    const RunStats localStats = local.submit(job).get().run.stats;
+
+    SweepExecutor served(2);
+    served.setServe(fx.socket());
+    const JobResult cold = served.submit(job).get();
+    ASSERT_TRUE(cold.ok()) << cold.error;
+    EXPECT_FALSE(cold.cached);
+    EXPECT_EQ(cold.run.stats.fingerprint(), localStats.fingerprint());
+
+    SweepExecutor warm(2);
+    warm.setServe(fx.socket());
+    const JobResult hit = warm.submit(job).get();
+    ASSERT_TRUE(hit.ok()) << hit.error;
+    EXPECT_TRUE(hit.cached);
+    EXPECT_EQ(hit.run.stats.fingerprint(), localStats.fingerprint());
+    const auto recs = warm.records();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_TRUE(recs[0].cached);
+}
+
+TEST(ServeExecutorDeathTest, SetServeFatalsWhenNoDaemonListens)
+{
+    TempDir tmp;
+    SweepExecutor ex(1);
+    EXPECT_EXIT(ex.setServe(tmp.path + "/nobody.sock"),
+                ::testing::ExitedWithCode(1), "--serve");
+}
+
+// --------------------------------------------------------------------
+// Journal config-hash invalidation (the --resume staleness fix)
+// --------------------------------------------------------------------
+
+TEST(Journal, ResumeIgnoresCellsJournaledUnderADifferentConfig)
+{
+    TempDir tmp;
+    const std::string journal = tmp.path + "/sweep.jsonl";
+    const SweepJob jobA{"Short",
+                        SystemConfig::table3(PolicyConfig::conv()),
+                        KernelScale::Tiny, "Row"};
+    SweepJob jobB = jobA;
+    jobB.cfg.wpu.dcache.sizeBytes /= 2; // same label+kernel, new config
+
+    {
+        SweepExecutor ex(1);
+        ex.setJournal(journal, false);
+        ASSERT_TRUE(ex.submit(jobA).get().ok());
+    }
+    // Same label + kernel but a different config: the journaled cell
+    // must NOT be restored (this was the stale-resume bug).
+    {
+        SweepExecutor ex(1);
+        ex.setJournal(journal, true);
+        const JobResult r = ex.submit(jobB).get();
+        ASSERT_TRUE(r.ok());
+        EXPECT_FALSE(r.resumed);
+    }
+    // The identical config IS restored without re-simulation.
+    {
+        SweepExecutor ex(1);
+        ex.setJournal(journal, true);
+        const JobResult r = ex.submit(jobA).get();
+        ASSERT_TRUE(r.ok());
+        EXPECT_TRUE(r.resumed);
+    }
+    // And both configs now resume independently from the one journal.
+    {
+        SweepExecutor ex(1);
+        ex.setJournal(journal, true);
+        EXPECT_TRUE(ex.submit(jobA).get().resumed);
+        EXPECT_TRUE(ex.submit(jobB).get().resumed);
+    }
+}
+
+TEST(Journal, LinesWithoutConfigHashAreReSimulated)
+{
+    TempDir tmp;
+    const std::string journal = tmp.path + "/old.jsonl";
+    const SweepJob job{"Short",
+                       SystemConfig::table3(PolicyConfig::conv()),
+                       KernelScale::Tiny, "Row"};
+    // Journal the cell, then strip the cfg field to fake a journal
+    // written by a build predating the config hash.
+    {
+        SweepExecutor ex(1);
+        ex.setJournal(journal, false);
+        ASSERT_TRUE(ex.submit(job).get().ok());
+    }
+    {
+        std::ifstream in(journal);
+        std::string line;
+        std::getline(in, line);
+        in.close();
+        const auto at = line.find("\"cfg\":");
+        ASSERT_NE(at, std::string::npos);
+        const auto end = line.find(',', at);
+        ASSERT_NE(end, std::string::npos);
+        line.erase(at, end - at + 1);
+        std::ofstream out(journal, std::ios::trunc);
+        out << line << "\n";
+    }
+    SweepExecutor ex(1);
+    ex.setJournal(journal, true);
+    const JobResult r = ex.submit(job).get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.resumed);
+}
+
+} // namespace
+} // namespace dws

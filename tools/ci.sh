@@ -5,7 +5,11 @@
 # static claim) + a hierarchy smoke leg (a 3-level 16-WPU fabric built
 # from a --hier spec runs the scheme comparison and an
 # invariant-audited pass over the .dws examples) + the simulator
-# throughput benchmark (archived to BENCH_throughput.json), then the
+# throughput benchmark (archived to BENCH_throughput.json) + the sweep
+# service (a dws_serve daemon serves the figure sweep twice: the warm
+# run must be 100% cache hits, byte-identical and >=5x faster, and the
+# cache must survive a daemon restart; archived to BENCH_serve.json),
+# then the
 # tracing subsystem (fingerprint neutrality, a traced figure bench
 # validated with dws_trace check + Perfetto convert, tracing overhead
 # archived to BENCH_trace_overhead.json, and a DWS_TRACING=OFF build
@@ -195,6 +199,80 @@ print("  %d surviving cells byte-identical; poisoned cell: %s"
       % (len(c) - 1, p[poisoned]["outcome"]))
 EOF
 rm -rf "$FAULT_DIR"
+
+echo "=== Release: sweep service (dws_serve daemon; cold vs warm) ==="
+# A cold figure sweep through the daemon populates its content-
+# addressed result cache; the warm re-run must be served 100% from it,
+# byte-identical to a daemon-less run and >=5x faster; the cache must
+# survive a daemon restart. The cold/warm wall clocks and hit rate are
+# archived to BENCH_serve.json.
+SERVE_DIR=$(mktemp -d)
+SOCK="$SERVE_DIR/serve.sock"
+./build-ci-release/tools/dws_serve --socket "$SOCK" \
+    --cache-dir "$SERVE_DIR/cache" --jobs "$JOBS" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+./build-ci-release/tools/dws_client --socket "$SOCK" status >/dev/null
+
+./build-ci-release/bench/bench_fig13_schemes --fast \
+    > "$SERVE_DIR/direct.txt"
+COLD_NS=$(date +%s%N)
+./build-ci-release/bench/bench_fig13_schemes --fast --serve "$SOCK" \
+    --json "$SERVE_DIR/cold.json" > "$SERVE_DIR/cold.txt"
+COLD_NS=$(( $(date +%s%N) - COLD_NS ))
+WARM_NS=$(date +%s%N)
+./build-ci-release/bench/bench_fig13_schemes --fast --serve "$SOCK" \
+    --json "$SERVE_DIR/warm.json" > "$SERVE_DIR/warm.txt"
+WARM_NS=$(( $(date +%s%N) - WARM_NS ))
+cmp "$SERVE_DIR/direct.txt" "$SERVE_DIR/cold.txt"
+cmp "$SERVE_DIR/direct.txt" "$SERVE_DIR/warm.txt"
+echo "  direct / cold / warm table output byte-identical"
+
+# Restart the daemon on the same cache directory: still 100% warm.
+./build-ci-release/tools/dws_client --socket "$SOCK" shutdown >/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+./build-ci-release/tools/dws_serve --socket "$SOCK" \
+    --cache-dir "$SERVE_DIR/cache" --jobs "$JOBS" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+./build-ci-release/bench/bench_fig13_schemes --fast --serve "$SOCK" \
+    --json "$SERVE_DIR/restart.json" > "$SERVE_DIR/restart.txt"
+cmp "$SERVE_DIR/direct.txt" "$SERVE_DIR/restart.txt"
+./build-ci-release/tools/dws_client --socket "$SOCK" shutdown >/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+
+python3 - "$SERVE_DIR" "$COLD_NS" "$WARM_NS" <<'EOF'
+import json, sys
+d, cold_ns, warm_ns = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+def load(p):
+    return json.load(open(p))["results"]
+cold, warm, restart = (load("%s/%s.json" % (d, n))
+                       for n in ("cold", "warm", "restart"))
+assert cold and len(cold) == len(warm) == len(restart)
+assert all(r["outcome"] == "ok" for r in cold + warm + restart)
+assert not any(r.get("cached") for r in cold), "cold run hit the cache"
+miss = [r for r in warm if not r.get("cached")]
+assert not miss, "warm run not 100%% served: %d misses" % len(miss)
+miss = [r for r in restart if not r.get("cached")]
+assert not miss, "cache lost on restart: %d misses" % len(miss)
+def cells(rows):
+    return {(r["label"], r["kernel"]): (r["cycles"], r["energy_nj"])
+            for r in rows}
+assert cells(cold) == cells(warm) == cells(restart), "cells diverged"
+cold_ms, warm_ms = cold_ns / 1e6, warm_ns / 1e6
+speedup = cold_ms / warm_ms
+assert speedup >= 5.0, "warm speedup only %.1fx" % speedup
+out = {"cells": len(cold), "cold_wall_ms": round(cold_ms, 1),
+       "warm_wall_ms": round(warm_ms, 1),
+       "warm_speedup": round(speedup, 1), "warm_hit_rate": 1.0}
+json.dump(out, open("BENCH_serve.json", "w"), indent=2)
+print("  %d cells; cold %.0f ms, warm %.0f ms (%.0fx); 100%% warm hits;"
+      " archived BENCH_serve.json"
+      % (len(cold), cold_ms, warm_ms, speedup))
+EOF
+rm -rf "$SERVE_DIR"
 
 echo "=== Tracing compiled out (DWS_TRACING=OFF): build + ctest ==="
 cmake -S . -B build-ci-notrace -DCMAKE_BUILD_TYPE=Release \

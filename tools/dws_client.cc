@@ -1,0 +1,254 @@
+/**
+ * @file
+ * dws_client: command-line client of the dws_serve daemon.
+ *
+ * Speaks the batched frame protocol (serve/protocol.hh) directly:
+ *
+ *   dws_client --socket /tmp/dws.sock status
+ *   dws_client --socket /tmp/dws.sock cache-stats
+ *   dws_client --socket /tmp/dws.sock flush
+ *   dws_client --socket /tmp/dws.sock shutdown
+ *   dws_client --socket /tmp/dws.sock fig13 [--fast|--full]
+ *
+ * `fig13` renders the Figure 13 scheme-comparison table entirely from
+ * served cells: every (scheme x benchmark) job travels to the daemon
+ * in ONE SubmitBatch frame, results come back in one SubmitReply, and
+ * the exact RunStats of each cell is rebuilt from its fingerprint —
+ * warm cells never re-simulate, and the table is byte-identical to the
+ * bench_fig13_schemes output.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "serve/client.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "kernels/kernel.hh"
+
+using namespace dws;
+
+namespace {
+
+void
+usage()
+{
+    std::puts(
+        "usage: dws_client --socket PATH COMMAND\n"
+        "  --socket PATH  daemon Unix-domain socket (required)\n"
+        "commands:\n"
+        "  status         daemon snapshot: workers, batches/jobs "
+        "served\n"
+        "  cache-stats    result-cache counters: entries, bytes, "
+        "hits, misses\n"
+        "  flush          drop every cached result\n"
+        "  shutdown       stop the daemon (it replies, then exits)\n"
+        "  fig13          render the Figure 13 scheme table from "
+        "served cells\n"
+        "                 (--fast tiny inputs, --full paper-scale; "
+        "default tiny)");
+}
+
+ServeClient
+connectOrDie(const std::string &socketPath)
+{
+    ServeClient client;
+    std::string err;
+    if (!client.connectTo(socketPath, err))
+        fatal("dws_client: %s", err.c_str());
+    return client;
+}
+
+int
+cmdStatus(const std::string &socketPath)
+{
+    ServeClient client = connectOrDie(socketPath);
+    ServeStatus st;
+    std::string err;
+    if (!client.status(st, err))
+        fatal("dws_client: %s", err.c_str());
+    std::printf("workers:  %u\n", st.workers);
+    std::printf("batches:  %llu\n", (unsigned long long)st.batches);
+    std::printf("jobs:     %llu\n", (unsigned long long)st.jobs);
+    std::printf("cache:    %s\n", st.cacheDir.c_str());
+    std::printf("build:    %s\n", st.buildFingerprint.c_str());
+    return 0;
+}
+
+int
+cmdCacheStats(const std::string &socketPath)
+{
+    ServeClient client = connectOrDie(socketPath);
+    ServeCacheCounters c;
+    std::string err;
+    if (!client.cacheStats(c, err))
+        fatal("dws_client: %s", err.c_str());
+    std::printf("entries:  %llu\n", (unsigned long long)c.entries);
+    std::printf("bytes:    %llu\n", (unsigned long long)c.bytes);
+    std::printf("hits:     %llu\n", (unsigned long long)c.hits);
+    std::printf("misses:   %llu\n", (unsigned long long)c.misses);
+    std::printf("inserted: %llu\n", (unsigned long long)c.inserted);
+    std::printf("corrupt:  %llu\n", (unsigned long long)c.corrupt);
+    std::printf("evicted:  %llu\n", (unsigned long long)c.evicted);
+    std::printf("dir:      %s\n", c.dir.c_str());
+    return 0;
+}
+
+int
+cmdFlush(const std::string &socketPath)
+{
+    ServeClient client = connectOrDie(socketPath);
+    std::uint64_t removed = 0;
+    std::string err;
+    if (!client.flushCache(removed, err))
+        fatal("dws_client: %s", err.c_str());
+    std::printf("flushed %llu entries\n", (unsigned long long)removed);
+    return 0;
+}
+
+int
+cmdShutdown(const std::string &socketPath)
+{
+    ServeClient client = connectOrDie(socketPath);
+    std::string err;
+    if (!client.shutdownServer(err))
+        fatal("dws_client: %s", err.c_str());
+    std::puts("daemon shutting down");
+    return 0;
+}
+
+int
+cmdFig13(const std::string &socketPath, KernelScale scale)
+{
+    const std::vector<std::pair<std::string, PolicyConfig>> schemes = {
+        {"Conv", PolicyConfig::conv()},
+        {"BranchOnly", PolicyConfig::branchOnly()},
+        {"MemOnly", PolicyConfig::reviveMemOnly()},
+        {"Aggress", PolicyConfig::dws(SplitScheme::Aggressive)},
+        {"Lazy", PolicyConfig::dws(SplitScheme::Lazy)},
+        {"Revive", PolicyConfig::reviveSplit()},
+        {"Slip", PolicyConfig::adaptiveSlip()},
+        {"Slip.BB", PolicyConfig::slipBranchBypassCfg()},
+    };
+    const std::vector<std::string> &names = kernelNames();
+
+    // One frame carries the whole figure: every (scheme x benchmark)
+    // cell in a single SubmitBatch.
+    std::vector<ServeJob> jobs;
+    for (const auto &[label, pol] : schemes) {
+        const SystemConfig cfg = SystemConfig::table3(pol);
+        for (const auto &name : names) {
+            ServeJob j;
+            j.kernel = name;
+            j.label = label;
+            j.scale = scale == KernelScale::Tiny ? 0 : 1;
+            j.configKey = cfg.cacheKey();
+            jobs.push_back(std::move(j));
+        }
+    }
+
+    ServeClient client = connectOrDie(socketPath);
+    std::vector<ServeResult> results;
+    std::string err;
+    if (!client.submitBatch(jobs, results, err))
+        fatal("dws_client: %s", err.c_str());
+
+    // scheme label -> benchmark -> stats
+    std::map<std::string, std::map<std::string, RunStats>> cells;
+    std::size_t cachedCount = 0;
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const ServeResult &r = results[i];
+        if (!r.ok()) {
+            warn("cell %s/%s failed: %s: %s", jobs[i].label.c_str(),
+                 jobs[i].kernel.c_str(), r.outcome.c_str(),
+                 r.error.c_str());
+            continue;
+        }
+        RunStats stats;
+        if (!RunStats::parseFingerprint(r.fingerprint, stats))
+            fatal("dws_client: unparsable fingerprint for %s/%s",
+                  jobs[i].label.c_str(), jobs[i].kernel.c_str());
+        cells[jobs[i].label][jobs[i].kernel] = stats;
+        if (r.cached)
+            cachedCount++;
+    }
+
+    const auto &conv = cells["Conv"];
+    TextTable t;
+    std::vector<std::string> head = {"benchmark"};
+    for (std::size_t s = 1; s < schemes.size(); s++)
+        head.push_back(schemes[s].first);
+    t.header(head);
+    for (const auto &[name, cs] : conv) {
+        std::vector<std::string> row = {name};
+        for (std::size_t s = 1; s < schemes.size(); s++) {
+            const auto &run = cells[schemes[s].first];
+            const auto it = run.find(name);
+            row.push_back(it != run.end() ? fmt(speedup(cs, it->second))
+                                          : "FAIL");
+        }
+        t.row(row);
+    }
+    t.print();
+    std::printf("[%zu/%zu cells served from cache]\n", cachedCount,
+                results.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string command;
+    KernelScale scale = KernelScale::Tiny;
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--socket") == 0) {
+            if (i + 1 >= argc)
+                fatal("--socket requires a path");
+            socketPath = argv[++i];
+        } else if (std::strcmp(arg, "--fast") == 0) {
+            scale = KernelScale::Tiny;
+        } else if (std::strcmp(arg, "--full") == 0) {
+            scale = KernelScale::Default;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        } else if (arg[0] == '-') {
+            usage();
+            fatal("unknown argument '%s'", arg);
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            usage();
+            fatal("unexpected extra argument '%s'", arg);
+        }
+    }
+    if (socketPath.empty() || command.empty()) {
+        usage();
+        fatal("--socket and a command are required");
+    }
+
+    setQuiet(true);
+    if (command == "status")
+        return cmdStatus(socketPath);
+    if (command == "cache-stats")
+        return cmdCacheStats(socketPath);
+    if (command == "flush")
+        return cmdFlush(socketPath);
+    if (command == "shutdown")
+        return cmdShutdown(socketPath);
+    if (command == "fig13")
+        return cmdFig13(socketPath, scale);
+    usage();
+    fatal("unknown command '%s'", command.c_str());
+}

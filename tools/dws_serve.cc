@@ -1,0 +1,113 @@
+/**
+ * @file
+ * dws_serve: the long-lived sweep-service daemon (DESIGN.md §16).
+ *
+ * Owns a SweepExecutor worker pool and a disk-persistent
+ * content-addressed result cache, and serves batched simulation jobs
+ * over a Unix-domain socket. Benches attach with `--serve SOCKET`;
+ * dws_client drives status / cache-stats / flush / shutdown and can
+ * render figure tables from served cells.
+ *
+ *   dws_serve --socket /tmp/dws.sock
+ *   dws_serve --socket /tmp/dws.sock --cache-dir ~/.dws_cache --jobs 8
+ *
+ * The daemon runs until a Shutdown frame arrives (dws_client
+ * --socket ... shutdown) or the process is killed. The cache directory
+ * outlives the daemon: a restarted daemon serves the same entries.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hh"
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+
+using namespace dws;
+
+namespace {
+
+void
+usage()
+{
+    std::puts(
+        "usage: dws_serve --socket PATH [options]\n"
+        "  --socket PATH     Unix-domain socket to listen on "
+        "(required;\n"
+        "                    a stale socket file is replaced)\n"
+        "  --cache-dir DIR   result-cache directory (default "
+        ".dws_serve_cache;\n"
+        "                    created if missing, persists across "
+        "restarts)\n"
+        "  --jobs N          simulation worker threads (default: "
+        "DWS_JOBS\n"
+        "                    env, else hardware cores)\n"
+        "  --cache-cap N     LRU entry cap (default 4096; 0 = "
+        "unbounded)\n"
+        "  --help            this message");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeDaemon::Options opts;
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--socket") == 0) {
+            if (i + 1 >= argc)
+                fatal("--socket requires a path");
+            opts.socketPath = argv[++i];
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            if (i + 1 >= argc)
+                fatal("--cache-dir requires a directory");
+            opts.cacheDir = argv[++i];
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                fatal("--jobs requires a positive integer");
+            const auto n = parseInt64InRange(argv[++i], 1, 4096);
+            if (!n)
+                fatal("--jobs '%s' is not a positive integer "
+                      "(max 4096)", argv[i]);
+            opts.jobs = static_cast<int>(*n);
+        } else if (std::strcmp(arg, "--cache-cap") == 0) {
+            if (i + 1 >= argc)
+                fatal("--cache-cap requires an entry count");
+            const auto n = parseInt64InRange(argv[++i], 0, 1 << 30);
+            if (!n)
+                fatal("--cache-cap '%s' is not a non-negative "
+                      "integer", argv[i]);
+            opts.cacheCapEntries = static_cast<std::size_t>(*n);
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument '%s'", arg);
+        }
+    }
+    if (opts.socketPath.empty()) {
+        usage();
+        fatal("--socket is required");
+    }
+
+    setQuiet(false);
+    ServeDaemon daemon(opts);
+    std::string err;
+    if (!daemon.start(err))
+        fatal("dws_serve: %s", err.c_str());
+    const ServeStatus st = daemon.status();
+    inform("dws_serve: listening on %s (%u workers, cache %s, "
+           "build %s)",
+           opts.socketPath.c_str(), st.workers, st.cacheDir.c_str(),
+           st.buildFingerprint.c_str());
+    daemon.wait();
+    daemon.stop();
+    const ServeStatus end = daemon.status();
+    inform("dws_serve: shut down after %llu batches / %llu jobs",
+           (unsigned long long)end.batches, (unsigned long long)end.jobs);
+    return 0;
+}
