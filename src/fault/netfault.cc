@@ -1,0 +1,641 @@
+#include "fault/netfault.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <map>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness/executor.hh"
+#include "serve/server.hh"
+#include "sim/config.hh"
+#include "sim/json_writer.hh"
+#include "sim/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace dws {
+
+const char *
+netFaultClassName(NetFaultClass c)
+{
+    switch (c) {
+    case NetFaultClass::ConnRefused: return "conn-refused";
+    case NetFaultClass::MidFrameDisconnect: return "mid-frame-disconnect";
+    case NetFaultClass::CorruptByte: return "corrupt-byte";
+    case NetFaultClass::StallPastDeadline: return "stall-past-deadline";
+    case NetFaultClass::TruncatedReply: return "truncated-reply";
+    case NetFaultClass::BusyStorm: return "busy-storm";
+    }
+    return "?";
+}
+
+const std::vector<NetFaultClass> &
+allNetFaultClasses()
+{
+    static const std::vector<NetFaultClass> all = {
+            NetFaultClass::ConnRefused,
+            NetFaultClass::MidFrameDisconnect,
+            NetFaultClass::CorruptByte,
+            NetFaultClass::StallPastDeadline,
+            NetFaultClass::TruncatedReply,
+            NetFaultClass::BusyStorm,
+    };
+    return all;
+}
+
+namespace {
+
+/** Wait for readability on up to two fds. @return poll() result. */
+int
+pollPair(int fdA, int fdB, int timeoutMs, bool &readableA,
+         bool &readableB)
+{
+    struct pollfd pfds[2];
+    pfds[0].fd = fdA;
+    pfds[0].events = POLLIN;
+    pfds[0].revents = 0;
+    pfds[1].fd = fdB;
+    pfds[1].events = POLLIN;
+    pfds[1].revents = 0;
+    const nfds_t n = fdB >= 0 ? 2 : 1;
+    int r;
+    do {
+        r = ::poll(pfds, n, timeoutMs);
+    } while (r < 0 && errno == EINTR);
+    readableA = r > 0 && pfds[0].revents != 0;
+    readableB = r > 0 && n == 2 && pfds[1].revents != 0;
+    return r;
+}
+
+/** Blocking-with-deadline write of the whole buffer to a nonblocking
+ *  fd. @return false on error or deadline. */
+bool
+writeAll(int fd, const std::uint8_t *buf, std::size_t len, int deadlineMs)
+{
+    const auto end = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(deadlineMs);
+    std::size_t at = 0;
+    while (at < len) {
+        const ssize_t n = ::write(fd, buf + at, len - at);
+        if (n > 0) {
+            at += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno != EINTR && errno != EAGAIN &&
+            errno != EWOULDBLOCK)
+            return false;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= end)
+            return false;
+        struct pollfd p;
+        p.fd = fd;
+        p.events = POLLOUT;
+        p.revents = 0;
+        const int ms = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                        end - now)
+                        .count()) +
+                       1;
+        int r;
+        do {
+            r = ::poll(&p, 1, ms);
+        } while (r < 0 && errno == EINTR);
+        if (r <= 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+FaultProxy::FaultProxy(Options o) : opts(std::move(o)) {}
+
+FaultProxy::~FaultProxy()
+{
+    stop();
+}
+
+bool
+FaultProxy::start(std::string &err)
+{
+    if (!parseServeAddr(opts.upstream, upstreamAddr, err))
+        return false;
+    ServeAddr listen;
+    listen.kind = ServeAddr::Kind::Tcp;
+    listen.host = "127.0.0.1";
+    listen.port = 0;
+    listenFd = listenOn(listen, err, &port);
+    if (listenFd < 0)
+        return false;
+    if (::pipe(stopPipe) != 0) {
+        err = "fault proxy: pipe: " + std::string(std::strerror(errno));
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+    acceptThread = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+std::string
+FaultProxy::endpoint() const
+{
+    return "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+std::size_t
+FaultProxy::connectionsSeen() const
+{
+    return seen.load(std::memory_order_relaxed);
+}
+
+std::size_t
+FaultProxy::connectionsFaulted() const
+{
+    return faulted.load(std::memory_order_relaxed);
+}
+
+void
+FaultProxy::acceptLoop()
+{
+    for (;;) {
+        bool stopReady = false, listenReady = false;
+        pollPair(stopPipe[0], listenFd, -1, stopReady, listenReady);
+        if (stopReady)
+            return;
+        if (!listenReady)
+            continue;
+        for (;;) {
+            const int fd = acceptConn(listenFd);
+            if (fd < 0)
+                break;
+            const std::size_t idx =
+                    seen.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mtx);
+            if (stopping) {
+                ::close(fd);
+                return;
+            }
+            for (auto it : finished)
+                it->join();
+            for (auto it : finished)
+                connThreads.erase(it);
+            finished.clear();
+            liveFds.push_back(fd);
+            connThreads.emplace_back();
+            auto self = std::prev(connThreads.end());
+            *self = std::thread(
+                    [this, fd, idx, self] { serveConn(fd, idx, self); });
+        }
+    }
+}
+
+void
+FaultProxy::serveConn(int clientFd, std::size_t connIndex,
+                      std::list<std::thread>::iterator self)
+{
+    const bool inject = connIndex < opts.faultConns;
+    if (inject)
+        faulted.fetch_add(1, std::memory_order_relaxed);
+
+    int upstreamFd = -1;
+    if (inject && opts.cls == NetFaultClass::ConnRefused) {
+        // Refused at the door: the peer sees an immediate close
+        // before any protocol byte.
+    } else if (inject && opts.cls == NetFaultClass::StallPastDeadline) {
+        // Black hole: swallow the request, never answer. The client's
+        // RPC deadline — not this proxy — must end the wait.
+        const auto end = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(opts.maxWaitMs);
+        std::uint8_t buf[4096];
+        for (;;) {
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= end)
+                break;
+            const int ms = static_cast<int>(
+                    std::chrono::duration_cast<
+                            std::chrono::milliseconds>(end - now)
+                            .count()) +
+                           1;
+            bool readable = false, unused = false;
+            if (pollPair(clientFd, -1, ms, readable, unused) <= 0)
+                break;
+            const ssize_t n = ::read(clientFd, buf, sizeof(buf));
+            if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN &&
+                           errno != EWOULDBLOCK))
+                break;
+        }
+    } else if (inject && opts.cls == NetFaultClass::BusyStorm) {
+        // Answer the first frame with a crafted Busy, then hang up:
+        // the client must back off and try elsewhere.
+        ServeFrame f;
+        if (readFrameDeadline(clientFd, f, opts.maxWaitMs,
+                              opts.maxWaitMs) == FrameIo::Ok)
+            writeFrameDeadline(clientFd, FrameType::Busy,
+                               encodeBusy("injected busy storm", 10),
+                               1000);
+    } else {
+        std::string err;
+        upstreamFd = connectToAddr(upstreamAddr, opts.maxWaitMs, err);
+        if (upstreamFd >= 0) {
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                liveFds.push_back(upstreamFd);
+            }
+            if (inject)
+                faultedSplice(clientFd, upstreamFd);
+            else
+                spliceClean(clientFd, upstreamFd);
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mtx);
+    ::close(clientFd);
+    liveFds.erase(std::remove(liveFds.begin(), liveFds.end(), clientFd),
+                  liveFds.end());
+    if (upstreamFd >= 0) {
+        ::close(upstreamFd);
+        liveFds.erase(std::remove(liveFds.begin(), liveFds.end(),
+                                  upstreamFd),
+                      liveFds.end());
+    }
+    finished.push_back(self);
+}
+
+void
+FaultProxy::spliceClean(int clientFd, int upstreamFd)
+{
+    std::uint8_t buf[4096];
+    for (;;) {
+        bool cReady = false, uReady = false;
+        // A clean connection may sit idle between pooled requests;
+        // only a dead-silent maxWaitMs window severs it.
+        if (pollPair(clientFd, upstreamFd, opts.maxWaitMs, cReady,
+                     uReady) <= 0)
+            return;
+        if (cReady) {
+            const ssize_t n = ::read(clientFd, buf, sizeof(buf));
+            if (n == 0 ||
+                (n < 0 && errno != EINTR && errno != EAGAIN &&
+                 errno != EWOULDBLOCK))
+                return;
+            if (n > 0 && !writeAll(upstreamFd, buf,
+                                   static_cast<std::size_t>(n),
+                                   opts.maxWaitMs))
+                return;
+        }
+        if (uReady) {
+            const ssize_t n = ::read(upstreamFd, buf, sizeof(buf));
+            if (n == 0 ||
+                (n < 0 && errno != EINTR && errno != EAGAIN &&
+                 errno != EWOULDBLOCK))
+                return;
+            if (n > 0 && !writeAll(clientFd, buf,
+                                   static_cast<std::size_t>(n),
+                                   opts.maxWaitMs))
+                return;
+        }
+    }
+}
+
+void
+FaultProxy::faultedSplice(int clientFd, int upstreamFd)
+{
+    // Request bytes pass untouched; the fault lands on the reply
+    // stream, deterministically positioned by the seed.
+    std::uint8_t buf[4096];
+    std::size_t replySent = 0;
+    std::vector<std::uint8_t> held; // TruncatedReply frame buffer
+    const std::size_t corruptAt = kFrameHeaderBytes + opts.seed % 8;
+    for (;;) {
+        bool cReady = false, uReady = false;
+        if (pollPair(clientFd, upstreamFd, opts.maxWaitMs, cReady,
+                     uReady) <= 0)
+            return;
+        if (cReady) {
+            const ssize_t n = ::read(clientFd, buf, sizeof(buf));
+            if (n == 0 ||
+                (n < 0 && errno != EINTR && errno != EAGAIN &&
+                 errno != EWOULDBLOCK))
+                return;
+            if (n > 0 && !writeAll(upstreamFd, buf,
+                                   static_cast<std::size_t>(n),
+                                   opts.maxWaitMs))
+                return;
+        }
+        if (!uReady)
+            continue;
+        const ssize_t n = ::read(upstreamFd, buf, sizeof(buf));
+        if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN &&
+                       errno != EWOULDBLOCK))
+            return;
+        if (n <= 0)
+            continue;
+        const std::size_t got = static_cast<std::size_t>(n);
+        switch (opts.cls) {
+        case NetFaultClass::MidFrameDisconnect: {
+            // Forward at most the first 8 reply bytes — half a frame
+            // header — then hang up mid-frame.
+            const std::size_t room =
+                    replySent < 8 ? 8 - replySent : 0;
+            const std::size_t fwd = std::min(room, got);
+            if (fwd > 0 &&
+                !writeAll(clientFd, buf, fwd, opts.maxWaitMs))
+                return;
+            replySent += fwd;
+            if (replySent >= 8)
+                return;
+            break;
+        }
+        case NetFaultClass::CorruptByte: {
+            // Flip one payload byte of the first reply frame; the
+            // frame checksum must catch it on the client.
+            for (std::size_t i = 0; i < got; i++)
+                if (replySent + i == corruptAt)
+                    buf[i] ^= 0x5a;
+            if (!writeAll(clientFd, buf, got, opts.maxWaitMs))
+                return;
+            replySent += got;
+            break;
+        }
+        case NetFaultClass::TruncatedReply: {
+            // Hold the reply until one whole frame is buffered, then
+            // deliver everything but its last 4 bytes and hang up.
+            held.insert(held.end(), buf, buf + got);
+            if (held.size() < kFrameHeaderBytes)
+                break;
+            std::uint32_t len = 0;
+            std::memcpy(&len, held.data() + 8, 4);
+            if (len > kMaxFramePayload)
+                return; // nonsense header; just sever
+            const std::size_t total = kFrameHeaderBytes + len;
+            if (held.size() < total)
+                break;
+            writeAll(clientFd, held.data(), total - 4, opts.maxWaitMs);
+            return;
+        }
+        default:
+            return; // other classes never reach the splice
+        }
+    }
+}
+
+void
+FaultProxy::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopping)
+            return;
+        stopping = true;
+        // Sever every spliced stream so connection threads unblock.
+        for (int fd : liveFds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    if (stopPipe[1] >= 0) {
+        const char b = 1;
+        ssize_t ignored = ::write(stopPipe[1], &b, 1);
+        (void)ignored;
+    }
+    if (acceptThread.joinable())
+        acceptThread.join();
+    std::list<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        threads.swap(connThreads);
+        finished.clear();
+    }
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    for (int i = 0; i < 2; i++)
+        if (stopPipe[i] >= 0) {
+            ::close(stopPipe[i]);
+            stopPipe[i] = -1;
+        }
+}
+
+// --------------------------------------------------------------------
+// Campaign
+// --------------------------------------------------------------------
+
+namespace {
+
+PolicyConfig
+chaosPolicy(const std::string &name)
+{
+    if (name == "Conv")
+        return PolicyConfig::conv();
+    if (name == "DWS.AggressSplit")
+        return PolicyConfig::dws(SplitScheme::Aggressive);
+    if (name == "DWS.ReviveSplit")
+        return PolicyConfig::reviveSplit();
+    if (name == "Slip")
+        return PolicyConfig::adaptiveSlip();
+    fatal("chaos: unknown policy '%s'", name.c_str());
+    return PolicyConfig::conv(); // unreachable
+}
+
+std::vector<SweepJob>
+chaosJobs(const NetChaosOptions &opt)
+{
+    std::vector<SweepJob> jobs;
+    for (const std::string &policy : opt.policies)
+        for (const std::string &kernel : opt.kernels) {
+            SweepJob j;
+            j.kernel = kernel;
+            j.cfg = SystemConfig::table3(chaosPolicy(policy));
+            j.scale = KernelScale::Tiny;
+            j.label = policy;
+            jobs.push_back(std::move(j));
+        }
+    return jobs;
+}
+
+std::string
+cellKey(const SweepExecutor::Record &r)
+{
+    return r.label + "/" + r.kernel;
+}
+
+NetChaosCell
+runChaosCell(const NetChaosOptions &opt, NetFaultClass cls,
+             bool persistent,
+             const std::map<std::string, std::string> &baseline)
+{
+    NetChaosCell cell;
+    cell.cls = cls;
+    cell.mode = persistent ? "persistent" : "transient";
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const std::string dir = opt.workDir + "/" +
+                            std::string(netFaultClassName(cls)) + "." +
+                            cell.mode;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+    if (ec) {
+        cell.detail = "cannot create " + dir + ": " + ec.message();
+        return cell;
+    }
+
+    ServeDaemon::Options dopts;
+    dopts.socketPath = dir + "/daemon.sock";
+    dopts.cacheDir = dir + "/cache";
+    dopts.jobs = 1;
+    ServeDaemon daemon(dopts);
+    std::string err;
+    if (!daemon.start(err)) {
+        cell.detail = "daemon: " + err;
+        return cell;
+    }
+
+    FaultProxy::Options popts;
+    popts.upstream = "unix:" + dopts.socketPath;
+    popts.cls = cls;
+    popts.faultConns = persistent ? static_cast<std::size_t>(-1)
+                                  : opt.transientFaultConns;
+    popts.seed = opt.seed;
+    FaultProxy proxy(popts);
+    if (!proxy.start(err)) {
+        daemon.stop();
+        cell.detail = "proxy: " + err;
+        return cell;
+    }
+
+    {
+        // One worker: connection order — and hence which connections
+        // eat the fault prefix — is deterministic.
+        SweepExecutor ex(1);
+        ServeConfig sc;
+        sc.endpoint = proxy.endpoint();
+        sc.connectTimeoutMs = 2000;
+        sc.rpcTimeoutMs = opt.rpcTimeoutMs;
+        sc.retry.maxAttempts = opt.retryAttempts;
+        sc.retry.baseDelayMs = opt.retryBaseDelayMs;
+        sc.retry.maxDelayMs = 200;
+        sc.retry.seed = opt.seed;
+        sc.allowFallback = true;
+        ex.setServe(sc);
+        ex.runBatch(chaosJobs(opt));
+
+        for (const SweepExecutor::Record &r : ex.records()) {
+            cell.jobs++;
+            if (r.degraded)
+                cell.degraded++;
+            else
+                cell.served++;
+            const auto want = baseline.find(cellKey(r));
+            if (want == baseline.end()) {
+                if (cell.detail.empty())
+                    cell.detail = cellKey(r) + ": no baseline";
+                continue;
+            }
+            if (r.outcome == "ok" && r.fingerprint == want->second) {
+                cell.matched++;
+            } else if (cell.detail.empty()) {
+                cell.detail = cellKey(r) + ": outcome " + r.outcome +
+                              (r.error.empty() ? "" : " (" + r.error +
+                                                              ")") +
+                              ", fingerprint " +
+                              (r.fingerprint == want->second
+                                       ? "matches"
+                                       : "MISMATCH");
+            }
+        }
+    }
+
+    proxy.stop();
+    daemon.stop();
+    cell.faultedConns = proxy.connectionsFaulted();
+    cell.pass = cell.jobs > 0 && cell.matched == cell.jobs;
+    cell.wallMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    return cell;
+}
+
+} // namespace
+
+NetChaosReport
+runNetChaosCampaign(const NetChaosOptions &options)
+{
+    NetChaosReport report;
+    report.options = options;
+    std::vector<NetFaultClass> classes = options.classes;
+    if (classes.empty())
+        classes = allNetFaultClasses();
+
+    // The ground truth: the same sweep with no daemon anywhere near it.
+    std::map<std::string, std::string> baseline;
+    {
+        SweepExecutor ex(1);
+        ex.runBatch(chaosJobs(options));
+        for (const SweepExecutor::Record &r : ex.records()) {
+            if (r.outcome != "ok")
+                fatal("chaos: baseline cell %s failed: %s",
+                      cellKey(r).c_str(), r.error.c_str());
+            baseline[cellKey(r)] = r.fingerprint;
+        }
+    }
+
+    for (NetFaultClass cls : classes)
+        for (const bool persistent : {false, true}) {
+            inform("chaos: %s/%s ...", netFaultClassName(cls),
+                   persistent ? "persistent" : "transient");
+            NetChaosCell cell = runChaosCell(options, cls, persistent,
+                                             baseline);
+            if (cell.pass)
+                report.passed++;
+            else
+                report.failed++;
+            report.cells.push_back(std::move(cell));
+        }
+    return report;
+}
+
+void
+writeNetChaosReport(const NetChaosReport &report, std::ostream &os)
+{
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.field("seed", report.options.seed);
+    w.field("rpc_timeout_ms",
+            static_cast<std::int64_t>(report.options.rpcTimeoutMs));
+    w.field("retry_attempts",
+            static_cast<std::int64_t>(report.options.retryAttempts));
+    w.field("cells", static_cast<std::uint64_t>(report.cells.size()));
+    w.field("passed", report.passed);
+    w.field("failed", report.failed);
+    w.key("runs");
+    w.beginArray();
+    for (const NetChaosCell &c : report.cells) {
+        w.beginObject();
+        w.field("class", netFaultClassName(c.cls));
+        w.field("mode", c.mode);
+        w.field("jobs", c.jobs);
+        w.field("matched", c.matched);
+        w.field("served", c.served);
+        w.field("degraded", c.degraded);
+        w.field("faulted_conns",
+                static_cast<std::uint64_t>(c.faultedConns));
+        w.field("wall_ms", c.wallMs);
+        w.field("pass", c.pass);
+        w.field("detail", c.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace dws

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Deterministic network-fault injection for the sweep service
+ * (DESIGN.md §17) — the transport-level sibling of the simulator-state
+ * fault framework (fault/fault.hh).
+ *
+ * A FaultProxy is a byte-splicing shim between a ServeClient and a
+ * dws_serve daemon: it listens on a TCP loopback port, forwards every
+ * connection to the upstream daemon endpoint, and — on a configurable
+ * prefix of the connections it accepts — injects one network-fault
+ * class (refused connection, mid-frame disconnect, byte corruption,
+ * stall past the client's deadline, truncated reply, Busy storm).
+ * Faults are keyed by connection index and seed, never by the clock,
+ * so a campaign replays bit-identically.
+ *
+ * runNetChaosCampaign() is the proof obligation behind `--serve`'s
+ * robustness claim: for every fault class, in both a *transient* mode
+ * (first connections faulted, then clean — the client must retry to
+ * success) and a *persistent* mode (every connection faulted — the
+ * client must degrade to a correct local run), the mini-sweep's
+ * RunStats fingerprints must equal a daemon-less baseline. Zero wrong
+ * tables, zero hangs (every wait is deadline-bounded).
+ */
+
+#ifndef DWS_FAULT_NETFAULT_HH
+#define DWS_FAULT_NETFAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/transport.hh"
+
+namespace dws {
+
+/** Network-fault classes injected by the proxy. */
+enum class NetFaultClass {
+    /** Connection closed at accept, before any byte. */
+    ConnRefused,
+    /** Upstream reply cut off mid-frame-header. */
+    MidFrameDisconnect,
+    /** One reply byte XOR-flipped (caught by the frame checksum). */
+    CorruptByte,
+    /** Reply withheld until the client's deadline expires. */
+    StallPastDeadline,
+    /** Reply delivered minus its last bytes, then closed. */
+    TruncatedReply,
+    /** Every request answered with a crafted Busy frame. */
+    BusyStorm,
+};
+
+/** @return printable class name ("conn-refused", ...). */
+const char *netFaultClassName(NetFaultClass c);
+
+/** @return all injectable classes, in a fixed order. */
+const std::vector<NetFaultClass> &allNetFaultClasses();
+
+/** One byte-splicing fault shim between client and daemon. */
+class FaultProxy
+{
+  public:
+    struct Options
+    {
+        /** Upstream daemon endpoint (unix or tcp spec). */
+        std::string upstream;
+        /** Fault class applied to faulted connections. */
+        NetFaultClass cls = NetFaultClass::ConnRefused;
+        /** Number of initial connections to fault; connections past
+         *  this index splice transparently. SIZE_MAX faults all. */
+        std::size_t faultConns = 0;
+        /** Determinism seed (corrupt-byte position, etc.). */
+        std::uint64_t seed = 1;
+        /** Safety bound on any proxy-side wait, ms. */
+        int maxWaitMs = 10000;
+    };
+
+    explicit FaultProxy(Options opts);
+    ~FaultProxy();
+
+    FaultProxy(const FaultProxy &) = delete;
+    FaultProxy &operator=(const FaultProxy &) = delete;
+
+    /** Bind 127.0.0.1:0 and start accepting.
+     *  @return false with a message in `err`. */
+    bool start(std::string &err);
+
+    /** @return "tcp:127.0.0.1:PORT" of the listening shim. */
+    std::string endpoint() const;
+
+    /** Stop accepting, sever every spliced connection, join. */
+    void stop();
+
+    /** Connections accepted so far (faulted + clean). */
+    std::size_t connectionsSeen() const;
+    /** Connections that had a fault applied. */
+    std::size_t connectionsFaulted() const;
+
+  private:
+    void acceptLoop();
+    void serveConn(int clientFd, std::size_t connIndex,
+                   std::list<std::thread>::iterator self);
+    void spliceClean(int clientFd, int upstreamFd);
+    void faultedSplice(int clientFd, int upstreamFd);
+
+    Options opts;
+    ServeAddr upstreamAddr;
+    int listenFd = -1;
+    std::uint16_t port = 0;
+    int stopPipe[2] = {-1, -1};
+    std::thread acceptThread;
+
+    mutable std::mutex mtx;
+    std::list<std::thread> connThreads;
+    std::vector<std::list<std::thread>::iterator> finished;
+    std::vector<int> liveFds;
+    bool stopping = false;
+
+    std::atomic<std::size_t> seen{0};
+    std::atomic<std::size_t> faulted{0};
+};
+
+/** Parameters of one network-chaos campaign. */
+struct NetChaosOptions
+{
+    /** Classes to inject; empty = all of them. */
+    std::vector<NetFaultClass> classes;
+    /** Scratch directory for daemon socket + cache. */
+    std::string workDir = ".dws_chaos";
+    /** Determinism seed. */
+    std::uint64_t seed = 1;
+    /** Kernels of the mini-sweep (registered names). */
+    std::vector<std::string> kernels = {"Short", "Merge"};
+    /** Policies of the mini-sweep (Conv + one DWS scheme). */
+    std::vector<std::string> policies = {"Conv", "DWS.ReviveSplit"};
+    /** Client per-RPC deadline, ms (small: stalls must trip it). */
+    int rpcTimeoutMs = 2000;
+    /** Client retry schedule (fast backoff for test runtimes; 6
+     *  attempts cover the worst transient class, a Busy storm, which
+     *  burns two attempts per faulted connection). */
+    int retryAttempts = 6;
+    std::uint32_t retryBaseDelayMs = 10;
+    /** Faulted-connection prefix in transient mode. */
+    std::size_t transientFaultConns = 2;
+};
+
+/** One (class, mode) campaign cell. */
+struct NetChaosCell
+{
+    NetFaultClass cls = NetFaultClass::ConnRefused;
+    /** "transient" (faults then clean) or "persistent" (all faulted). */
+    std::string mode;
+    int jobs = 0;
+    /** Jobs whose fingerprint matched the daemon-less baseline. */
+    int matched = 0;
+    /** Jobs that degraded to local simulation. */
+    int degraded = 0;
+    /** Jobs answered by the daemon (through the proxy). */
+    int served = 0;
+    /** Connections the proxy faulted during the cell. */
+    std::size_t faultedConns = 0;
+    double wallMs = 0.0;
+    /** True iff every job matched the baseline (no wrong tables). */
+    bool pass = false;
+    /** First mismatch/failure description (empty when pass). */
+    std::string detail;
+};
+
+/** Aggregated chaos-campaign results. */
+struct NetChaosReport
+{
+    NetChaosOptions options;
+    std::vector<NetChaosCell> cells;
+    int passed = 0;
+    int failed = 0;
+
+    bool allPassed() const { return failed == 0 && !cells.empty(); }
+};
+
+/**
+ * Run the campaign: a daemon-less baseline sweep, then per (class,
+ * mode) a fresh daemon + FaultProxy + served sweep, comparing every
+ * cell's RunStats fingerprint to the baseline. Deterministic given
+ * options.seed (wall times aside).
+ */
+NetChaosReport runNetChaosCampaign(const NetChaosOptions &options);
+
+/** Emit the report as JSON (summary + per-cell detail). */
+void writeNetChaosReport(const NetChaosReport &report, std::ostream &os);
+
+} // namespace dws
+
+#endif // DWS_FAULT_NETFAULT_HH

@@ -322,22 +322,84 @@ SweepExecutor::journalRecord(const Record &rec)
 // --------------------------------------------------------------------
 
 void
-SweepExecutor::setServe(const std::string &socketPath)
+SweepExecutor::setServe(const std::string &endpoint)
 {
-    // Fail fast and loudly: a missing daemon should abort the bench
-    // before any cell runs, not surface as N per-job panics.
-    ServeClient probe;
-    std::string err;
+    ServeConfig cfg;
+    cfg.endpoint = endpoint;
+    setServe(std::move(cfg));
+}
+
+namespace {
+
+/** Client errors often already carry a "serve: " prefix; strip it so
+ *  the executor's own "serve: %s" warnings don't stutter. */
+const char *
+serveWhy(const std::string &why)
+{
+    const char *s = why.c_str();
+    return why.rfind("serve: ", 0) == 0 ? s + 7 : s;
+}
+
+} // namespace
+
+void
+SweepExecutor::setServe(ServeConfig cfg)
+{
+    serveCfg = std::move(cfg);
+    serveEnabled = true;
+    serveHealthy.store(true, std::memory_order_relaxed);
+
+    // Probe up front so a dead daemon surfaces before any cell runs —
+    // but with fallback enabled the answer is degradation, not death:
+    // the bench still produces its (correct, locally-simulated) tables.
+    // The probe runs under the same retry schedule as the jobs: a
+    // transiently-flaky network at startup must not condemn the whole
+    // sweep to local simulation.
+    ClientOptions copts;
+    copts.connectTimeoutMs = serveCfg.connectTimeoutMs;
+    copts.rpcTimeoutMs = serveCfg.rpcTimeoutMs;
+    copts.authToken = serveCfg.authToken;
+    auto probe = std::make_unique<ServeClient>(copts);
+    std::string err = "no probe attempt made";
     ServeStatus st;
-    if (!probe.connectTo(socketPath, err) || !probe.status(st, err))
-        fatal("--serve %s: %s", socketPath.c_str(), err.c_str());
+    bool alive = false;
+    const int maxAttempts =
+            serveCfg.retry.maxAttempts > 0 ? serveCfg.retry.maxAttempts
+                                           : 1;
+    for (int attempt = 0; attempt < maxAttempts && !alive; attempt++) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                    serveCfg.retry.delayMs(attempt - 1, 0x70726f6265)));
+        if (!probe->connected() &&
+            !probe->connectTo(serveCfg.endpoint, err))
+            continue;
+        if (probe->status(st, err)) {
+            alive = true;
+        } else if (probe->lastStatus() == RpcStatus::Busy) {
+            // An overloaded daemon is an alive daemon: leave serve
+            // mode on and let the per-job backoff absorb the storm.
+            alive = true;
+            st = ServeStatus{};
+        } else {
+            probe = std::make_unique<ServeClient>(copts);
+        }
+    }
+    if (!alive) {
+        if (!serveCfg.allowFallback)
+            fatal("--serve %s: %s", serveCfg.endpoint.c_str(),
+                  err.c_str());
+        serveHealthy.store(false, std::memory_order_relaxed);
+        if (!serveWarned.exchange(true))
+            warn("serve: %s; falling back to local simulation "
+                 "(results flagged degraded)",
+                 serveWhy(err));
+        return;
+    }
     inform("serve: daemon at %s (%u workers, cache %s, build %s)",
-           socketPath.c_str(), st.workers, st.cacheDir.c_str(),
+           serveCfg.endpoint.c_str(), st.workers, st.cacheDir.c_str(),
            st.buildFingerprint.c_str());
-    serveSocket = socketPath;
     std::lock_guard<std::mutex> lock(serveMtx);
-    serveIdle.push_back(
-            std::make_unique<ServeClient>(std::move(probe)));
+    serveIdle.push_back(std::move(probe));
 }
 
 void
@@ -347,57 +409,126 @@ SweepExecutor::setKeepRecords(bool keep)
 }
 
 JobResult
+SweepExecutor::degradeToLocal(const SweepJob &job,
+                              const std::string &why)
+{
+    serveHealthy.store(false, std::memory_order_relaxed);
+    if (!serveWarned.exchange(true))
+        warn("serve: %s; falling back to local simulation "
+             "(results flagged degraded)",
+             serveWhy(why));
+    JobResult r = runLocalJob(job);
+    r.degraded = true;
+    return r;
+}
+
+JobResult
 SweepExecutor::runServeJob(const SweepJob &job)
 {
-    JobResult r;
+    // An earlier job already proved the daemon unreachable: skip
+    // straight to local simulation instead of paying the retry
+    // schedule once per cell.
+    if (!serveHealthy.load(std::memory_order_relaxed))
+        return degradeToLocal(job, "daemon marked unreachable");
+
     const auto t0 = std::chrono::steady_clock::now();
-
-    std::unique_ptr<ServeClient> client;
-    {
-        std::lock_guard<std::mutex> lock(serveMtx);
-        if (!serveIdle.empty()) {
-            client = std::move(serveIdle.back());
-            serveIdle.pop_back();
-        }
-    }
-    std::string err;
-    if (!client) {
-        client = std::make_unique<ServeClient>();
-        if (!client->connectTo(serveSocket, err)) {
-            r.outcome = SimOutcome::Panic;
-            r.error = err;
-            return r;
-        }
+    // Per-job jitter salt: decorrelates the backoff of concurrent
+    // worker threads without any global RNG state.
+    std::uint64_t salt = 14695981039346656037ull;
+    for (const char c : job.label + "\x1f" + job.kernel) {
+        salt ^= static_cast<unsigned char>(c);
+        salt *= 1099511628211ull;
     }
 
-    std::vector<ServeResult> results;
-    if (!client->submitBatch({makeServeJob(job)}, results, err)) {
-        // The broken connection is dropped, not pooled: the next job
-        // on this worker reconnects fresh.
-        r.outcome = SimOutcome::Panic;
-        r.error = err;
+    ClientOptions copts;
+    copts.connectTimeoutMs = serveCfg.connectTimeoutMs;
+    copts.rpcTimeoutMs = serveCfg.rpcTimeoutMs;
+    copts.authToken = serveCfg.authToken;
+
+    std::string err = "no attempt made";
+    const int maxAttempts =
+            serveCfg.retry.maxAttempts > 0 ? serveCfg.retry.maxAttempts
+                                           : 1;
+    for (int attempt = 0; attempt < maxAttempts; attempt++) {
+        if (attempt > 0) {
+            // Idempotent replay: jobs are content-addressed, so
+            // re-submitting after a half-done failure at worst re-runs
+            // a cell the daemon already cached.
+            std::uint32_t delay =
+                    serveCfg.retry.delayMs(attempt - 1, salt);
+            std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+        }
+        std::unique_ptr<ServeClient> client;
+        {
+            std::lock_guard<std::mutex> lock(serveMtx);
+            if (!serveIdle.empty()) {
+                client = std::move(serveIdle.back());
+                serveIdle.pop_back();
+            }
+        }
+        if (!client)
+            client = std::make_unique<ServeClient>(copts);
+        if (!client->connected() &&
+            !client->connectTo(serveCfg.endpoint, err))
+            continue;
+
+        std::vector<ServeResult> results;
+        if (!client->submitBatch({makeServeJob(job)}, results, err)) {
+            if (client->lastStatus() == RpcStatus::Busy) {
+                // Backpressure: the connection survives a Busy reply,
+                // so pool it and wait at least the server's hint.
+                const std::uint32_t hint = client->busyRetryAfterMs();
+                {
+                    std::lock_guard<std::mutex> lock(serveMtx);
+                    serveIdle.push_back(std::move(client));
+                }
+                if (hint != 0)
+                    std::this_thread::sleep_for(
+                            std::chrono::milliseconds(hint));
+                continue;
+            }
+            // The broken connection is dropped, not pooled: the next
+            // attempt reconnects fresh.
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(serveMtx);
+            serveIdle.push_back(std::move(client));
+        }
+
+        const ServeResult &res = results[0];
+        JobResult r;
+        r.attempts = attempt + 1;
+        r.outcome = simOutcomeFromName(res.outcome);
+        r.error = res.error;
+        r.cached = res.cached;
+        r.run.kernel = job.kernel;
+        r.run.policy = res.policy;
+        if (res.ok()) {
+            if (!RunStats::parseFingerprint(res.fingerprint,
+                                            r.run.stats)) {
+                r.outcome = SimOutcome::Panic;
+                r.error = "serve: daemon returned an unparsable "
+                          "fingerprint";
+            } else {
+                r.run.valid = true;
+            }
+        }
+        r.wallMs = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
         return r;
     }
-    {
-        std::lock_guard<std::mutex> lock(serveMtx);
-        serveIdle.push_back(std::move(client));
-    }
 
-    const ServeResult &res = results[0];
-    r.outcome = simOutcomeFromName(res.outcome);
-    r.error = res.error;
-    r.cached = res.cached;
-    r.run.kernel = job.kernel;
-    r.run.policy = res.policy;
-    if (res.ok()) {
-        if (!RunStats::parseFingerprint(res.fingerprint, r.run.stats)) {
-            r.outcome = SimOutcome::Panic;
-            r.error = "serve: daemon returned an unparsable "
-                      "fingerprint";
-        } else {
-            r.run.valid = true;
-        }
-    }
+    if (serveCfg.allowFallback)
+        return degradeToLocal(job, "daemon unreachable after " +
+                                           std::to_string(maxAttempts) +
+                                           " attempts (" + err + ")");
+    JobResult r;
+    r.attempts = maxAttempts;
+    r.outcome = SimOutcome::Panic;
+    r.error = err;
     r.wallMs = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
@@ -411,8 +542,14 @@ SweepExecutor::runServeJob(const SweepJob &job)
 JobResult
 SweepExecutor::runJob(const SweepJob &job)
 {
-    if (!serveSocket.empty())
+    if (serveEnabled)
         return runServeJob(job);
+    return runLocalJob(job);
+}
+
+JobResult
+SweepExecutor::runLocalJob(const SweepJob &job)
+{
     JobResult r;
     const auto t0 = std::chrono::steady_clock::now();
     for (int attempt = 1;; attempt++) {
@@ -521,6 +658,7 @@ SweepExecutor::submit(SweepJob job)
                 rec.error = r.error;
                 rec.attempts = r.attempts;
                 rec.cached = r.cached;
+                rec.degraded = r.degraded;
                 rec.cfgHash = cfgHash;
                 if (r.ok())
                     rec.fingerprint = r.run.stats.fingerprint();
@@ -609,6 +747,8 @@ SweepExecutor::writeJson(const std::string &path) const
             w.field("resumed", true);
         if (r.cached)
             w.field("cached", true);
+        if (r.degraded)
+            w.field("degraded", true);
         w.endObject();
     }
     w.endArray();

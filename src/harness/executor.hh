@@ -28,6 +28,7 @@
 #ifndef DWS_HARNESS_EXECUTOR_HH
 #define DWS_HARNESS_EXECUTOR_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -42,12 +43,35 @@
 
 #include "harness/runner.hh"
 #include "kernels/kernel.hh"
+#include "serve/retry.hh"
 #include "sim/abort.hh"
 #include "sim/config.hh"
 
 namespace dws {
 
 class ServeClient;
+
+/**
+ * Serve-mode configuration (DESIGN.md §17): where the daemon lives,
+ * how long to wait for it, how hard to retry, and whether a job may
+ * degrade to local simulation when the daemon stays unreachable.
+ */
+struct ServeConfig
+{
+    /** Daemon endpoint (unix:PATH, tcp:HOST:PORT, bare path). */
+    std::string endpoint;
+    /** Pre-shared token; empty skips the Auth handshake. */
+    std::string authToken;
+    /** Bound on connect()+auth per attempt; < 0 waits forever. */
+    int connectTimeoutMs = 5000;
+    /** Per-RPC bound (request write + reply read); < 0 forever. */
+    int rpcTimeoutMs = 300000;
+    /** Bounded retry with deterministic jittered backoff. */
+    RetryPolicy retry;
+    /** Degrade to local simulation (flagged) instead of failing the
+     *  cell when the daemon stays unreachable past the retries. */
+    bool allowFallback = true;
+};
 
 /** One simulation job: a kernel under one configuration. */
 struct SweepJob
@@ -83,6 +107,10 @@ struct JobResult
     bool resumed = false;
     /** True when a serve daemon answered the cell from its cache. */
     bool cached = false;
+    /** True when serve mode fell back to local simulation because the
+     *  daemon was unreachable, overloaded past the retries, or timing
+     *  out — the result itself is still a correct local run. */
+    bool degraded = false;
 
     /** @return true if the run completed with valid output. */
     bool ok() const { return outcome == SimOutcome::Ok; }
@@ -139,6 +167,8 @@ class SweepExecutor
         bool resumed = false;
         /** True when a serve daemon answered from its result cache. */
         bool cached = false;
+        /** True when serve mode degraded this cell to a local run. */
+        bool degraded = false;
         /** Hex jobConfigHash of the cell's config + scale (journal). */
         std::string cfgHash;
         /** RunStats::fingerprint() of a completed run (journal). */
@@ -187,16 +217,21 @@ class SweepExecutor
     void setJournal(const std::string &path, bool resume);
 
     /**
-     * Route every job to a dws_serve daemon at `socketPath` instead of
-     * simulating locally (DESIGN.md §16): each worker thread sends a
-     * batch-of-one SubmitBatch and rebuilds the exact RunStats from the
-     * returned fingerprint, so results — and every figure table —
-     * are byte-identical to a local run. fatal()s immediately when no
-     * daemon answers a Status ping at `socketPath`. Call before
-     * submitting. A per-job transport failure after that becomes that
-     * job's Panic-outcome result; other cells are unaffected.
+     * Route every job to a dws_serve daemon (DESIGN.md §16–17): each
+     * worker thread sends a batch-of-one SubmitBatch and rebuilds the
+     * exact RunStats from the returned fingerprint, so results — and
+     * every figure table — are byte-identical to a local run. Per-job
+     * failures (daemon gone, timeout, Busy) are retried with jittered
+     * backoff per cfg.retry; when the daemon stays unreachable and
+     * cfg.allowFallback holds, the executor *degrades* — a one-line
+     * warning, then local simulation with JobResult/Record.degraded
+     * set — so `--serve` can never make a bench less reliable than no
+     * daemon. With allowFallback off, an unreachable daemon at
+     * setServe() time is fatal() and a per-job failure becomes that
+     * job's Panic result. Call before submitting.
      */
-    void setServe(const std::string &socketPath);
+    void setServe(ServeConfig cfg);
+    void setServe(const std::string &endpoint);
 
     /**
      * Retain per-job Records (records()/writeJson()) — default on.
@@ -222,7 +257,10 @@ class SweepExecutor
   private:
     void workerLoop();
     JobResult runJob(const SweepJob &job);
+    JobResult runLocalJob(const SweepJob &job);
     JobResult runServeJob(const SweepJob &job);
+    JobResult degradeToLocal(const SweepJob &job,
+                             const std::string &why);
     void journalRecord(const Record &rec);
     void watchdogLoop();
     /** @return journal-map key of a cell (cfgHash in keyHex form). */
@@ -246,7 +284,12 @@ class SweepExecutor
     std::vector<Record> completed;
 
     // --- serve --------------------------------------------------------
-    std::string serveSocket;
+    ServeConfig serveCfg;
+    bool serveEnabled = false;
+    /** Cleared after the first unrecoverable daemon failure: later
+     *  jobs skip straight to local simulation (degraded). */
+    std::atomic<bool> serveHealthy{true};
+    std::atomic<bool> serveWarned{false};
     std::mutex serveMtx;
     /** Idle daemon connections, borrowed per job by worker threads. */
     std::vector<std::unique_ptr<ServeClient>> serveIdle;

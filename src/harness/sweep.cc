@@ -211,8 +211,14 @@ applyBenchOptions(SweepExecutor &ex, const BenchOptions &opts)
         ex.setWatchdog(opts.timeoutSec);
     if (opts.retryAttempts > 1)
         ex.setRetry(opts.retryAttempts);
-    if (!opts.serveSocket.empty())
-        ex.setServe(opts.serveSocket);
+    if (!opts.serveSocket.empty()) {
+        ServeConfig cfg;
+        cfg.endpoint = opts.serveSocket;
+        cfg.authToken = opts.serveAuth;
+        cfg.rpcTimeoutMs = opts.serveTimeoutMs;
+        cfg.retry.maxAttempts = opts.serveRetries;
+        ex.setServe(std::move(cfg));
+    }
 }
 
 namespace {
@@ -263,10 +269,20 @@ printUsage(const char *prog)
                  "the default L2\n"
                  "  --l3-assoc N     L3 associativity (default 16)\n"
                  "  --l3-lat N       L3 hit latency (default 60)\n"
-                 "  --serve SOCKET   run every cell through the "
-                 "dws_serve daemon at SOCKET\n"
-                 "                   (cached cells are not re-simulated; "
-                 "incompatible with --trace)\n"
+                 "  --serve SPEC     run every cell through the "
+                 "dws_serve daemon at SPEC\n"
+                 "                   (unix:PATH, tcp:HOST:PORT, or a "
+                 "bare socket path; cached cells\n"
+                 "                   are not re-simulated; incompatible "
+                 "with --trace; an unreachable\n"
+                 "                   daemon degrades to local "
+                 "simulation)\n"
+                 "  --serve-timeout MS  per-RPC deadline for --serve "
+                 "(default 300000)\n"
+                 "  --serve-retries N   serve attempts per cell "
+                 "(default 4)\n"
+                 "  --serve-auth TOKEN  pre-shared token for an "
+                 "authenticated daemon\n"
                  "  --help        this message\n"
                  "benchmarks: %s\n",
                  prog, names.c_str());
@@ -444,9 +460,44 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
         } else if (std::strcmp(arg, "--serve") == 0) {
             if (i + 1 >= argc) {
                 printUsage(argv[0]);
-                fatal("--serve requires a daemon socket path");
+                fatal("--serve requires a daemon endpoint "
+                      "(unix:PATH, tcp:HOST:PORT, or a socket path)");
             }
             opts.serveSocket = argv[++i];
+        } else if (std::strcmp(arg, "--serve-timeout") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--serve-timeout requires milliseconds");
+            }
+            const auto ms = parseInt64InRange(argv[++i], 1, 86400000);
+            if (!ms) {
+                printUsage(argv[0]);
+                std::fprintf(stderr,
+                             "error: --serve-timeout '%s' is not a "
+                             "positive millisecond count\n", argv[i]);
+                std::exit(2);
+            }
+            opts.serveTimeoutMs = static_cast<int>(*ms);
+        } else if (std::strcmp(arg, "--serve-retries") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--serve-retries requires an attempt count");
+            }
+            const auto n = parseInt64InRange(argv[++i], 1, 100);
+            if (!n) {
+                printUsage(argv[0]);
+                std::fprintf(stderr,
+                             "error: --serve-retries '%s' is not a "
+                             "positive integer (max 100)\n", argv[i]);
+                std::exit(2);
+            }
+            opts.serveRetries = static_cast<int>(*n);
+        } else if (std::strcmp(arg, "--serve-auth") == 0) {
+            if (i + 1 >= argc) {
+                printUsage(argv[0]);
+                fatal("--serve-auth requires a token");
+            }
+            opts.serveAuth = argv[++i];
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             printUsage(argv[0]);
@@ -466,6 +517,13 @@ parseBenchArgs(int argc, char **argv, KernelScale defaultScale)
     if (!opts.serveSocket.empty() && opts.traceMode != 0) {
         printUsage(argv[0]);
         fatal("--serve and --trace are mutually exclusive");
+    }
+    if (opts.serveSocket.empty() &&
+        (opts.serveTimeoutMs != 300000 || opts.serveRetries != 4 ||
+         !opts.serveAuth.empty())) {
+        printUsage(argv[0]);
+        fatal("--serve-timeout/--serve-retries/--serve-auth require "
+              "--serve");
     }
     if (opts.resume && opts.journalPath.empty()) {
         printUsage(argv[0]);

@@ -129,10 +129,16 @@ double hmeanSpeedup(const PolicyRun &base, const PolicyRun &test);
  *                     syntax) applied to every cell
  *   --l3-kb N / --l3-assoc N / --l3-lat N
  *                     append a shared L3 behind the default L2
- *   --serve SOCKET    run every cell through the dws_serve daemon at
- *                     SOCKET instead of simulating locally (mutually
- *                     exclusive with --trace: trace knobs are not part
- *                     of the served cache key)
+ *   --serve SPEC      run every cell through the dws_serve daemon at
+ *                     SPEC — unix:PATH, tcp:HOST:PORT, or a bare
+ *                     socket path (mutually exclusive with --trace:
+ *                     trace knobs are not part of the served cache
+ *                     key). An unreachable daemon degrades to local
+ *                     simulation (records flagged "degraded").
+ *   --serve-timeout MS  per-RPC deadline for --serve (default 300000)
+ *   --serve-retries N   serve attempts per cell, with jittered
+ *                       exponential backoff (default 4)
+ *   --serve-auth TOKEN  pre-shared token for an authenticated daemon
  *   --help        print usage and exit
  *
  * Unknown flags and unknown benchmark names are rejected with a usage
@@ -166,8 +172,14 @@ struct BenchOptions
     int wpus = 0;
     /** Explicit cache fabric; empty() = keep each bench's own. */
     HierarchySpec hier{};
-    /** dws_serve daemon socket; empty = simulate locally. */
+    /** dws_serve endpoint spec; empty = simulate locally. */
     std::string serveSocket;
+    /** Per-RPC deadline for --serve, in milliseconds. */
+    int serveTimeoutMs = 300000;
+    /** Serve attempts per cell (retry with jittered backoff). */
+    int serveRetries = 4;
+    /** Pre-shared auth token for --serve; empty = no handshake. */
+    std::string serveAuth;
 };
 
 /**

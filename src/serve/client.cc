@@ -1,21 +1,34 @@
 #include "serve/client.hh"
 
-#include <cerrno>
-#include <cstring>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
+#include <utility>
 
 #include "harness/executor.hh"
 
 namespace dws {
+
+const char *
+rpcStatusName(RpcStatus s)
+{
+    switch (s) {
+      case RpcStatus::Ok:            return "ok";
+      case RpcStatus::ConnectFailed: return "connect-failed";
+      case RpcStatus::Busy:          return "busy";
+      case RpcStatus::TimedOut:      return "timed-out";
+      case RpcStatus::ProtocolError: return "protocol-error";
+      case RpcStatus::Refused:       return "refused";
+    }
+    return "?";
+}
 
 ServeClient::~ServeClient()
 {
     close();
 }
 
-ServeClient::ServeClient(ServeClient &&other) noexcept : fd(other.fd)
+ServeClient::ServeClient(ServeClient &&other) noexcept
+    : opts(std::move(other.opts)), fd(other.fd),
+      status_(other.status_), busyHintMs(other.busyHintMs)
 {
     other.fd = -1;
 }
@@ -25,7 +38,10 @@ ServeClient::operator=(ServeClient &&other) noexcept
 {
     if (this != &other) {
         close();
+        opts = std::move(other.opts);
         fd = other.fd;
+        status_ = other.status_;
+        busyHintMs = other.busyHintMs;
         other.fd = -1;
     }
     return *this;
@@ -41,28 +57,41 @@ ServeClient::close()
 }
 
 bool
-ServeClient::connectTo(const std::string &socketPath, std::string &err)
+ServeClient::connectTo(const std::string &spec, std::string &err)
+{
+    ServeAddr addr;
+    if (!parseServeAddr(spec, addr, err)) {
+        status_ = RpcStatus::ConnectFailed;
+        return false;
+    }
+    return connectTo(addr, err);
+}
+
+bool
+ServeClient::connectTo(const ServeAddr &addr, std::string &err)
 {
     close();
-    if (socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
-        err = "socket path too long: " + socketPath;
-        return false;
-    }
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fd = connectToAddr(addr, opts.connectTimeoutMs, err);
     if (fd < 0) {
-        err = std::string("socket(): ") + std::strerror(errno);
+        status_ = RpcStatus::ConnectFailed;
         return false;
     }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof addr) != 0) {
-        err = "connect('" + socketPath + "'): " + std::strerror(errno);
-        close();
-        return false;
+    if (!opts.authToken.empty()) {
+        ServeFrame reply;
+        if (!roundTrip(FrameType::Auth, encodeAuth(opts.authToken),
+                       FrameType::AuthReply, reply, err)) {
+            status_ = RpcStatus::ConnectFailed;
+            return false;
+        }
+        bool accepted = false;
+        if (!decodeAuthReply(reply.payload, accepted) || !accepted) {
+            err = addr.spec() + ": auth token rejected";
+            status_ = RpcStatus::ConnectFailed;
+            close();
+            return false;
+        }
     }
+    status_ = RpcStatus::Ok;
     err.clear();
     return true;
 }
@@ -70,22 +99,45 @@ ServeClient::connectTo(const std::string &socketPath, std::string &err)
 bool
 ServeClient::roundTrip(FrameType type,
                        const std::vector<std::uint8_t> &payload,
-                       FrameType expect, ServeFrame &reply, std::string &err)
+                       FrameType expect, ServeFrame &reply,
+                       std::string &err)
 {
     if (fd < 0) {
         err = "not connected";
+        status_ = RpcStatus::ConnectFailed;
         return false;
     }
-    if (!writeFrame(fd, type, payload)) {
-        err = "serve: request write failed (daemon gone?)";
+    const FrameIo wr =
+            writeFrameDeadline(fd, type, payload, opts.rpcTimeoutMs);
+    if (wr != FrameIo::Ok) {
+        err = std::string("serve: request write failed (") +
+              frameIoName(wr) + ")";
+        status_ = wr == FrameIo::TimedOut ? RpcStatus::TimedOut :
+                                            RpcStatus::ProtocolError;
         close();
         return false;
     }
-    const FrameIo io = readFrame(fd, reply);
+    const FrameIo io = readFrameDeadline(fd, reply, opts.rpcTimeoutMs,
+                                         opts.rpcTimeoutMs);
     if (io != FrameIo::Ok) {
         err = std::string("serve: reply read failed (") +
               frameIoName(io) + ")";
+        status_ = (io == FrameIo::TimedOut ||
+                   io == FrameIo::IdleTimeout) ?
+                          RpcStatus::TimedOut :
+                          RpcStatus::ProtocolError;
         close();
+        return false;
+    }
+    if (reply.type == FrameType::Busy) {
+        std::string message;
+        std::uint32_t hint = 0;
+        if (!decodeBusy(reply.payload, message, hint))
+            message = "(malformed busy frame)";
+        err = "serve: daemon busy: " + message;
+        busyHintMs = hint;
+        status_ = RpcStatus::Busy;
+        // Backpressure, not a broken stream: keep the connection.
         return false;
     }
     if (reply.type == FrameType::Error) {
@@ -93,15 +145,18 @@ ServeClient::roundTrip(FrameType type,
         if (!decodeError(reply.payload, message))
             message = "(malformed error frame)";
         err = "serve: daemon refused: " + message;
+        status_ = RpcStatus::Refused;
         close();
         return false;
     }
     if (reply.type != expect) {
         err = "serve: unexpected reply frame type " +
               std::to_string(static_cast<int>(reply.type));
+        status_ = RpcStatus::ProtocolError;
         close();
         return false;
     }
+    status_ = RpcStatus::Ok;
     err.clear();
     return true;
 }
@@ -118,6 +173,7 @@ ServeClient::submitBatch(const std::vector<ServeJob> &jobs,
     if (!decodeSubmitReply(reply.payload, results) ||
         results.size() != jobs.size()) {
         err = "serve: malformed SubmitReply payload";
+        status_ = RpcStatus::ProtocolError;
         close();
         return false;
     }
@@ -133,6 +189,23 @@ ServeClient::status(ServeStatus &out, std::string &err)
         return false;
     if (!decodeStatusReply(reply.payload, out)) {
         err = "serve: malformed StatusReply payload";
+        status_ = RpcStatus::ProtocolError;
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::health(ServeHealth &out, std::string &err)
+{
+    ServeFrame reply;
+    if (!roundTrip(FrameType::Health, {}, FrameType::HealthReply, reply,
+                   err))
+        return false;
+    if (!decodeHealthReply(reply.payload, out)) {
+        err = "serve: malformed HealthReply payload";
+        status_ = RpcStatus::ProtocolError;
         close();
         return false;
     }
@@ -148,6 +221,7 @@ ServeClient::cacheStats(ServeCacheCounters &out, std::string &err)
         return false;
     if (!decodeCacheStatsReply(reply.payload, out)) {
         err = "serve: malformed CacheStatsReply payload";
+        status_ = RpcStatus::ProtocolError;
         close();
         return false;
     }
@@ -163,6 +237,7 @@ ServeClient::flushCache(std::uint64_t &removed, std::string &err)
         return false;
     if (!decodeFlushReply(reply.payload, removed)) {
         err = "serve: malformed FlushReply payload";
+        status_ = RpcStatus::ProtocolError;
         close();
         return false;
     }

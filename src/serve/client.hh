@@ -1,13 +1,20 @@
 /**
  * @file
- * Client side of the sweep service (DESIGN.md §16).
+ * Client side of the sweep service (DESIGN.md §16–17).
  *
- * ServeClient wraps one connection to a dws_serve daemon: connect to
- * the Unix-domain socket, speak the frame protocol (serve/protocol.hh),
- * and expose each request/reply pair as a blocking call. Benches use it
- * through SweepExecutor::setServe (one client per worker thread);
- * tools/dws_client uses it directly for status/stats/flush/shutdown and
- * for rendering figure tables from served cells.
+ * ServeClient wraps one connection to a dws_serve daemon: connect to a
+ * Unix-domain or TCP endpoint (serve/transport.hh), speak the frame
+ * protocol, and expose each request/reply pair as a blocking call with
+ * explicit deadlines. Benches use it through SweepExecutor::setServe
+ * (one client per worker thread, with retry/backoff and local
+ * fallback); tools/dws_client uses it directly.
+ *
+ * Failure discipline: every RPC classifies its failure in lastStatus().
+ * A Busy reply leaves the connection OPEN (the server refused the
+ * request but the stream is intact — retry on it after the hint in
+ * busyRetryAfterMs()); every other failure closes the connection, and
+ * idempotent requests (cache-keyed job submission) are safe to replay
+ * on a fresh one.
  */
 
 #ifndef DWS_SERVE_CLIENT_HH
@@ -18,16 +25,47 @@
 #include <vector>
 
 #include "serve/protocol.hh"
+#include "serve/transport.hh"
 
 namespace dws {
 
 struct SweepJob;
+
+/** How the last RPC on a ServeClient ended. */
+enum class RpcStatus {
+    Ok,
+    /** connect()/resolve/auth-handshake failure — daemon unreachable. */
+    ConnectFailed,
+    /** Server refused with Busy; the connection is still open. */
+    Busy,
+    /** The RPC missed its deadline (half-open or stalled peer). */
+    TimedOut,
+    /** Transport/framing failure: bad frame, unexpected type, EOF. */
+    ProtocolError,
+    /** Server answered Error and closed (version/auth/bad request). */
+    Refused,
+};
+
+/** @return printable RpcStatus name for diagnostics. */
+const char *rpcStatusName(RpcStatus s);
+
+/** Connection/deadline knobs of one ServeClient. */
+struct ClientOptions
+{
+    /** Bound on connect()+auth; < 0 waits forever. */
+    int connectTimeoutMs = 5000;
+    /** Per-RPC bound (request write + reply read); < 0 forever. */
+    int rpcTimeoutMs = 300000;
+    /** Pre-shared token; empty skips the Auth handshake. */
+    std::string authToken;
+};
 
 /** One blocking connection to a dws_serve daemon. */
 class ServeClient
 {
   public:
     ServeClient() = default;
+    explicit ServeClient(ClientOptions o) : opts(std::move(o)) {}
     ~ServeClient();
 
     ServeClient(const ServeClient &) = delete;
@@ -35,12 +73,18 @@ class ServeClient
     ServeClient(ServeClient &&other) noexcept;
     ServeClient &operator=(ServeClient &&other) noexcept;
 
+    /** Options take effect at the next connectTo()/RPC. */
+    void setOptions(ClientOptions o) { opts = std::move(o); }
+    const ClientOptions &options() const { return opts; }
+
     /**
-     * Connect to the daemon at `socketPath`.
-     * @return false with a message in `err` when the socket cannot be
-     *         reached (no daemon, wrong path, permission).
+     * Connect to the daemon at `spec` (unix:PATH, tcp:HOST:PORT, a
+     * bare path, or HOST:PORT — see parseServeAddr), then run the
+     * Auth handshake when an authToken is set.
+     * @return false with the target address and errno string in `err`.
      */
-    bool connectTo(const std::string &socketPath, std::string &err);
+    bool connectTo(const std::string &spec, std::string &err);
+    bool connectTo(const ServeAddr &addr, std::string &err);
 
     /** @return true while the connection is usable. */
     bool connected() const { return fd >= 0; }
@@ -48,17 +92,25 @@ class ServeClient
     /** Close the connection (idempotent). */
     void close();
 
+    /** Classification of the most recent RPC/connect failure. */
+    RpcStatus lastStatus() const { return status_; }
+    /** Server's retry-after hint from the last Busy reply (ms). */
+    std::uint32_t busyRetryAfterMs() const { return busyHintMs; }
+
     /**
      * Submit a batch and wait for the matching SubmitReply.
      * @return true and fill `results` (submission order, one per job);
-     *         false with `err` on any protocol or transport failure —
-     *         the connection is closed and must be re-established.
+     *         false with `err` otherwise. On Busy the connection stays
+     *         open; on any other failure it is closed.
      */
     bool submitBatch(const std::vector<ServeJob> &jobs,
                      std::vector<ServeResult> &results, std::string &err);
 
     /** Fetch the daemon status snapshot. */
     bool status(ServeStatus &out, std::string &err);
+
+    /** Fetch the overload/health snapshot. */
+    bool health(ServeHealth &out, std::string &err);
 
     /** Fetch the result-cache counters. */
     bool cacheStats(ServeCacheCounters &out, std::string &err);
@@ -78,7 +130,10 @@ class ServeClient
                    const std::vector<std::uint8_t> &payload,
                    FrameType expect, ServeFrame &reply, std::string &err);
 
+    ClientOptions opts;
     int fd = -1;
+    RpcStatus status_ = RpcStatus::Ok;
+    std::uint32_t busyHintMs = 0;
 };
 
 /**

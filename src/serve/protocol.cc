@@ -52,8 +52,6 @@ writeFull(int fd, const void *buf, std::size_t n)
     return true;
 }
 
-constexpr std::size_t kHeaderBytes = 12;
-
 void
 putLe(std::uint8_t *p, std::uint64_t v, int n)
 {
@@ -70,33 +68,70 @@ getLe(const std::uint8_t *p, int n)
     return v;
 }
 
+/** Low 32 bits of FNV-1a over header bytes [4,12) then the payload. */
+std::uint32_t
+frameChecksum(const std::uint8_t *hdr, const std::uint8_t *payload,
+              std::size_t payloadLen)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](const std::uint8_t *p, std::size_t n) {
+        for (std::size_t i = 0; i < n; i++) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    };
+    mix(hdr + 4, 8);
+    if (payloadLen != 0)
+        mix(payload, payloadLen);
+    return static_cast<std::uint32_t>(h);
+}
+
+/** Result-to-FrameIo mapping shared by every source-driven read. */
+FrameIo
+sourceErr(ssize_t r)
+{
+    if (r == -3)
+        return FrameIo::TimedOut;
+    if (r == -2)
+        return FrameIo::IdleTimeout;
+    return FrameIo::IoError;
+}
+
 } // namespace
 
 const char *
 frameIoName(FrameIo r)
 {
     switch (r) {
-      case FrameIo::Ok:         return "ok";
-      case FrameIo::Eof:        return "eof";
-      case FrameIo::Truncated:  return "truncated";
-      case FrameIo::BadMagic:   return "bad-magic";
-      case FrameIo::BadVersion: return "bad-version";
-      case FrameIo::Oversized:  return "oversized";
-      case FrameIo::IoError:    return "io-error";
+      case FrameIo::Ok:          return "ok";
+      case FrameIo::Eof:         return "eof";
+      case FrameIo::Truncated:   return "truncated";
+      case FrameIo::BadMagic:    return "bad-magic";
+      case FrameIo::BadVersion:  return "bad-version";
+      case FrameIo::Oversized:   return "oversized";
+      case FrameIo::BadChecksum: return "bad-checksum";
+      case FrameIo::IoError:     return "io-error";
+      case FrameIo::IdleTimeout: return "idle-timeout";
+      case FrameIo::TimedOut:    return "timed-out";
     }
     return "?";
 }
 
 FrameIo
-readFrame(int fd, ServeFrame &out, std::uint16_t *versionSeen)
+readFrameFrom(const std::function<ssize_t(std::uint8_t *, std::size_t)> &src,
+              ServeFrame &out, std::uint16_t *versionSeen)
 {
-    std::uint8_t hdr[kHeaderBytes];
-    const ssize_t got = readFull(fd, hdr, sizeof hdr);
+    // The header is read in two halves: magic+version+type first, so a
+    // peer speaking an older (shorter-header) protocol version gets
+    // BadVersion instead of this side blocking on bytes that will
+    // never arrive.
+    std::uint8_t hdr[kFrameHeaderBytes];
+    ssize_t got = src(hdr, 8);
     if (got == 0)
         return FrameIo::Eof;
     if (got < 0)
-        return FrameIo::IoError;
-    if (static_cast<std::size_t>(got) < sizeof hdr)
+        return sourceErr(got);
+    if (got < 8)
         return FrameIo::Truncated;
     if (getLe(hdr, 4) != kServeMagic)
         return FrameIo::BadMagic;
@@ -105,19 +140,54 @@ readFrame(int fd, ServeFrame &out, std::uint16_t *versionSeen)
         *versionSeen = version;
     if (version != kServeVersion)
         return FrameIo::BadVersion;
+    got = src(hdr + 8, 8);
+    if (got < 0)
+        return sourceErr(got);
+    if (got < 8)
+        return FrameIo::Truncated;
     const std::uint64_t len = getLe(hdr + 8, 4);
     if (len > kMaxFramePayload)
         return FrameIo::Oversized;
     out.type = static_cast<FrameType>(getLe(hdr + 6, 2));
     out.payload.resize(len);
     if (len != 0) {
-        const ssize_t body = readFull(fd, out.payload.data(), len);
+        const ssize_t body = src(out.payload.data(), len);
         if (body < 0)
-            return FrameIo::IoError;
+            return sourceErr(body);
         if (static_cast<std::uint64_t>(body) < len)
             return FrameIo::Truncated;
     }
+    const auto sum = static_cast<std::uint32_t>(getLe(hdr + 12, 4));
+    if (sum != frameChecksum(hdr, out.payload.data(), len))
+        return FrameIo::BadChecksum;
     return FrameIo::Ok;
+}
+
+FrameIo
+readFrame(int fd, ServeFrame &out, std::uint16_t *versionSeen)
+{
+    return readFrameFrom(
+            [fd](std::uint8_t *buf, std::size_t n) {
+                return readFull(fd, buf, n);
+            },
+            out, versionSeen);
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> frame(kFrameHeaderBytes + payload.size());
+    std::uint8_t *hdr = frame.data();
+    putLe(hdr, kServeMagic, 4);
+    putLe(hdr + 4, kServeVersion, 2);
+    putLe(hdr + 6, static_cast<std::uint16_t>(type), 2);
+    putLe(hdr + 8, payload.size(), 4);
+    putLe(hdr + 12, frameChecksum(hdr, payload.data(), payload.size()),
+          4);
+    if (!payload.empty())
+        std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+                    payload.size());
+    return frame;
 }
 
 bool
@@ -126,15 +196,8 @@ writeFrame(int fd, FrameType type,
 {
     if (payload.size() > kMaxFramePayload)
         return false;
-    std::uint8_t hdr[kHeaderBytes];
-    putLe(hdr, kServeMagic, 4);
-    putLe(hdr + 4, kServeVersion, 2);
-    putLe(hdr + 6, static_cast<std::uint16_t>(type), 2);
-    putLe(hdr + 8, payload.size(), 4);
-    if (!writeFull(fd, hdr, sizeof hdr))
-        return false;
-    return payload.empty() ||
-           writeFull(fd, payload.data(), payload.size());
+    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+    return writeFull(fd, frame.data(), frame.size());
 }
 
 // --------------------------------------------------------------------
@@ -299,6 +362,102 @@ decodeFlushReply(const std::vector<std::uint8_t> &payload,
 {
     WireReader r(payload);
     out = r.u64();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeAuth(const std::string &token)
+{
+    WireWriter w;
+    w.str(token);
+    return w.take();
+}
+
+bool
+decodeAuth(const std::vector<std::uint8_t> &payload, std::string &out)
+{
+    WireReader r(payload);
+    out = r.str();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeAuthReply(bool ok)
+{
+    WireWriter w;
+    w.u8(ok ? 1 : 0);
+    return w.take();
+}
+
+bool
+decodeAuthReply(const std::vector<std::uint8_t> &payload, bool &ok)
+{
+    WireReader r(payload);
+    ok = r.u8() != 0;
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeBusy(const std::string &message, std::uint32_t retryAfterMs)
+{
+    WireWriter w;
+    w.str(message);
+    w.u32(retryAfterMs);
+    return w.take();
+}
+
+bool
+decodeBusy(const std::vector<std::uint8_t> &payload,
+           std::string &message, std::uint32_t &retryAfterMs)
+{
+    WireReader r(payload);
+    message = r.str();
+    retryAfterMs = r.u32();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeHealthReply(const ServeHealth &h)
+{
+    WireWriter w;
+    w.u32(h.activeConns);
+    w.u32(h.inFlightJobs);
+    w.u32(h.admissionCap);
+    w.u8(h.draining);
+    w.u64(h.busyRejected);
+    w.u64(h.batches);
+    w.u64(h.jobs);
+    w.u64(h.cache.entries);
+    w.u64(h.cache.bytes);
+    w.u64(h.cache.hits);
+    w.u64(h.cache.misses);
+    w.u64(h.cache.inserted);
+    w.u64(h.cache.corrupt);
+    w.u64(h.cache.evicted);
+    w.str(h.cache.dir);
+    return w.take();
+}
+
+bool
+decodeHealthReply(const std::vector<std::uint8_t> &payload,
+                  ServeHealth &out)
+{
+    WireReader r(payload);
+    out.activeConns = r.u32();
+    out.inFlightJobs = r.u32();
+    out.admissionCap = r.u32();
+    out.draining = r.u8();
+    out.busyRejected = r.u64();
+    out.batches = r.u64();
+    out.jobs = r.u64();
+    out.cache.entries = r.u64();
+    out.cache.bytes = r.u64();
+    out.cache.hits = r.u64();
+    out.cache.misses = r.u64();
+    out.cache.inserted = r.u64();
+    out.cache.corrupt = r.u64();
+    out.cache.evicted = r.u64();
+    out.cache.dir = r.str();
     return r.done();
 }
 

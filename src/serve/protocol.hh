@@ -3,14 +3,18 @@
  * Versioned, length-prefixed binary frame protocol of the sweep
  * service (DESIGN.md §16).
  *
- * Every message is one frame on a Unix-domain stream socket:
+ * Every message is one frame on a Unix-domain or TCP stream socket:
  *
  *   offset  size  field
  *        0     4  magic "DWSV" (0x44575356, little-endian u32)
  *        4     2  protocol version (kServeVersion)
  *        6     2  frame type (FrameType)
  *        8     4  payload length in bytes (<= kMaxFramePayload)
- *       12     N  payload
+ *       12     4  checksum: low 32 bits of FNV-1a over header bytes
+ *                 [4,12) followed by the payload — a frame whose bytes
+ *                 were corrupted in transit is *detected* (BadChecksum)
+ *                 rather than decoded into plausible garbage
+ *       16     N  payload
  *
  * Payloads are built with WireWriter/WireReader: little-endian
  * fixed-width integers, doubles as their IEEE-754 bit pattern, strings
@@ -27,6 +31,14 @@
  *   CacheStats   -> CacheStatsReply (entries/bytes/hits/misses/...)
  *   Flush        -> FlushReply (entries removed)
  *   Shutdown     -> ShutdownReply, then the daemon exits its loop
+ *   Auth         pre-shared token -> AuthReply; on a daemon started
+ *                with a token, an unauthenticated connection may only
+ *                Auth and Status (DESIGN.md §17)
+ *   Health       -> HealthReply (connections, in-flight jobs,
+ *                admission headroom, drain state, cache counters)
+ *   Busy         server -> client: overload backpressure — the request
+ *                was *refused*, not dropped; carries a retry-after
+ *                hint. The connection stays open (retry on it).
  *   Error        server -> client: version mismatch or a request the
  *                server refuses; the connection closes after it
  */
@@ -36,17 +48,23 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
+
+#include <sys/types.h>
 
 namespace dws {
 
 /** "DWSV" little-endian. */
 constexpr std::uint32_t kServeMagic = 0x56535744u;
-/** Protocol version; a mismatching client gets Error and a close. */
-constexpr std::uint16_t kServeVersion = 1;
+/** Protocol version; a mismatching client gets Error and a close.
+ *  v2: 16-byte header with a payload checksum, Auth/Health/Busy. */
+constexpr std::uint16_t kServeVersion = 2;
 /** Upper bound on one frame's payload (sanity cap, not a target). */
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+/** Bytes of the v2 frame header. */
+constexpr std::size_t kFrameHeaderBytes = 16;
 
 /** Frame type tags (u16 on the wire). */
 enum class FrameType : std::uint16_t {
@@ -61,6 +79,11 @@ enum class FrameType : std::uint16_t {
     Shutdown = 9,
     ShutdownReply = 10,
     Error = 11,
+    Auth = 12,
+    AuthReply = 13,
+    Busy = 14,
+    Health = 15,
+    HealthReply = 16,
 };
 
 /** One decoded frame of the serve protocol. */
@@ -83,8 +106,14 @@ enum class FrameIo {
     BadVersion,
     /** Length prefix exceeds kMaxFramePayload. */
     Oversized,
+    /** Header/payload bytes do not match the header checksum. */
+    BadChecksum,
     /** read()/write() failed (errno-level). */
     IoError,
+    /** No byte arrived within the idle deadline (deadline I/O only). */
+    IdleTimeout,
+    /** A started frame/write missed its deadline (deadline I/O only). */
+    TimedOut,
 };
 
 /** @return printable FrameIo name for diagnostics. */
@@ -101,6 +130,26 @@ FrameIo readFrame(int fd, ServeFrame &out, std::uint16_t *versionSeen = nullptr)
 /** Write one frame to `fd`. @return false on any write failure. */
 bool writeFrame(int fd, FrameType type,
                 const std::vector<std::uint8_t> &payload);
+
+/**
+ * @return the complete wire bytes of one frame (sealed v2 header +
+ *         payload) — for tests and byte-level tooling that need to
+ *         mutate a frame before sending it.
+ */
+std::vector<std::uint8_t> encodeFrame(FrameType type,
+                                      const std::vector<std::uint8_t> &payload);
+
+/**
+ * Frame parse over an arbitrary byte source, so the blocking and the
+ * deadline transports share one header/checksum state machine. The
+ * source must behave like a read-exactly loop: return n on success,
+ * 0 on clean EOF before any byte, a short count when the stream ends
+ * mid-object, -1 on I/O error, -2 when the idle deadline passed before
+ * the first byte, -3 when a frame deadline passed mid-frame.
+ */
+FrameIo readFrameFrom(
+        const std::function<ssize_t(std::uint8_t *, std::size_t)> &src,
+        ServeFrame &out, std::uint16_t *versionSeen = nullptr);
 
 /** Append-only little-endian payload builder. */
 class WireWriter
@@ -260,6 +309,24 @@ struct ServeCacheCounters
     std::string dir;
 };
 
+/** HealthReply payload (DESIGN.md §17 overload control). */
+struct ServeHealth
+{
+    /** Open connections (including the one asking). */
+    std::uint32_t activeConns = 0;
+    /** Jobs admitted and not yet finished, fleet-wide. */
+    std::uint32_t inFlightJobs = 0;
+    /** Admission cap (inFlight + batch > cap -> Busy). */
+    std::uint32_t admissionCap = 0;
+    /** Nonzero once the daemon refuses new work (drain mode). */
+    std::uint8_t draining = 0;
+    /** Batches refused with Busy since start. */
+    std::uint64_t busyRejected = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t jobs = 0;
+    ServeCacheCounters cache;
+};
+
 /** Encode/decode SubmitBatch (u32 count + records). */
 std::vector<std::uint8_t> encodeSubmitBatch(
         const std::vector<ServeJob> &jobs);
@@ -290,6 +357,26 @@ bool decodeError(const std::vector<std::uint8_t> &payload,
 std::vector<std::uint8_t> encodeFlushReply(std::uint64_t removed);
 bool decodeFlushReply(const std::vector<std::uint8_t> &payload,
                       std::uint64_t &out);
+
+/** Auth: the pre-shared token. */
+std::vector<std::uint8_t> encodeAuth(const std::string &token);
+bool decodeAuth(const std::vector<std::uint8_t> &payload,
+                std::string &out);
+
+/** AuthReply: u8 accepted flag. */
+std::vector<std::uint8_t> encodeAuthReply(bool ok);
+bool decodeAuthReply(const std::vector<std::uint8_t> &payload,
+                     bool &ok);
+
+/** Busy: reason string + retry-after hint in milliseconds. */
+std::vector<std::uint8_t> encodeBusy(const std::string &message,
+                                     std::uint32_t retryAfterMs);
+bool decodeBusy(const std::vector<std::uint8_t> &payload,
+                std::string &message, std::uint32_t &retryAfterMs);
+
+std::vector<std::uint8_t> encodeHealthReply(const ServeHealth &h);
+bool decodeHealthReply(const std::vector<std::uint8_t> &payload,
+                       ServeHealth &out);
 
 } // namespace dws
 

@@ -1,11 +1,16 @@
 #include "serve/result_cache.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "serve/cache_key.hh"
 #include "sim/config.hh"
@@ -155,9 +160,17 @@ ResultCache::open(std::string &err)
     std::vector<Found> found;
     for (const auto &de : fs::directory_iterator(dirPath, ec)) {
         const std::string name = de.path().filename().string();
+        // A daemon killed between write and rename leaves a *.tmp
+        // orphan that would otherwise accumulate forever; retire it.
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            std::error_code rec;
+            fs::remove(de.path(), rec);
+            continue;
+        }
         if (name.size() != 16 + 5 ||
             name.substr(16) != kEntrySuffix)
-            continue; // temp files and strangers are not entries
+            continue; // strangers are not entries
         const auto key = parseUint64(("0x" + name.substr(0, 16)).c_str());
         if (!key)
             continue;
@@ -255,15 +268,36 @@ ResultCache::insert(std::uint64_t key, const Entry &entry)
     const std::string path = entryPath(key);
     const std::string tmp = path + ".tmp";
     {
-        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-        if (!f.is_open()) {
-            warn("result cache: cannot write '%s'", tmp.c_str());
+        // POSIX I/O instead of ofstream: the tmp file is fsync'd
+        // before the rename, so a crash can leave an orphaned *.tmp
+        // (swept at open()) but never a committed entry with missing
+        // bytes.
+        const int fd = ::open(tmp.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd < 0) {
+            warn("result cache: cannot write '%s': %s", tmp.c_str(),
+                 std::strerror(errno));
             return;
         }
-        f << body;
-        f.flush();
-        if (!f.good()) {
-            warn("result cache: short write to '%s'", tmp.c_str());
+        std::size_t at = 0;
+        bool ok = true;
+        while (at < body.size()) {
+            const ssize_t n = ::write(fd, body.data() + at,
+                                      body.size() - at);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                ok = false;
+                break;
+            }
+            at += static_cast<std::size_t>(n);
+        }
+        if (ok && ::fsync(fd) != 0)
+            ok = false;
+        ::close(fd);
+        if (!ok) {
+            warn("result cache: short write to '%s': %s", tmp.c_str(),
+                 std::strerror(errno));
             std::error_code ec;
             fs::remove(tmp, ec);
             return;

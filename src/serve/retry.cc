@@ -1,0 +1,39 @@
+#include "serve/retry.hh"
+
+namespace dws {
+
+namespace {
+
+/** splitmix64: full-period scrambler, good enough for jitter. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint32_t
+RetryPolicy::delayMs(int attempt, std::uint64_t salt) const
+{
+    if (attempt < 0)
+        attempt = 0;
+    std::uint64_t base = baseDelayMs;
+    for (int i = 0; i < attempt && base < maxDelayMs; i++)
+        base <<= 1;
+    if (base > maxDelayMs)
+        base = maxDelayMs;
+    if (base == 0)
+        return 0;
+    const std::uint64_t half = base / 2;
+    const std::uint64_t r =
+            mix(mix(seed ^ salt) + static_cast<std::uint64_t>(attempt));
+    // (base/2, base]: never zero, never above the envelope.
+    return static_cast<std::uint32_t>(half + 1 +
+                                      r % (base - half));
+}
+
+} // namespace dws

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bounded retry with deterministic jittered exponential backoff
+ * (DESIGN.md §17). The delay for a given (seed, salt, attempt) is a
+ * pure function — no wall clock, no global RNG — so tests and the
+ * chaos campaign can assert exact schedules, and two clients with
+ * different salts (e.g. their PIDs) never thundering-herd in step.
+ *
+ * Delay for attempt k (0-based count of *failures so far*):
+ *
+ *   base = baseDelayMs << k, capped at maxDelayMs
+ *   delay = base/2 + uniform(0, base/2]   ("equal jitter")
+ *
+ * so the delay is always in (base/2, base], preserving the exponential
+ * envelope while decorrelating concurrent clients.
+ */
+
+#ifndef DWS_SERVE_RETRY_HH
+#define DWS_SERVE_RETRY_HH
+
+#include <cstdint>
+
+namespace dws {
+
+/** Retry schedule of one logical RPC. */
+struct RetryPolicy
+{
+    /** Total tries including the first (1 = no retry). */
+    int maxAttempts = 4;
+    /** First-retry backoff base in milliseconds. */
+    std::uint32_t baseDelayMs = 50;
+    /** Upper bound on the exponential base. */
+    std::uint32_t maxDelayMs = 2000;
+    /** Jitter seed; same (seed, salt, attempt) -> same delay. */
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+    /**
+     * @param attempt  failures so far (0 -> delay before 2nd try)
+     * @param salt     per-client decorrelator (PID, connection id, …)
+     * @return the jittered backoff in ms, in (base/2, base]
+     */
+    std::uint32_t delayMs(int attempt, std::uint64_t salt) const;
+};
+
+} // namespace dws
+
+#endif // DWS_SERVE_RETRY_HH

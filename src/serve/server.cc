@@ -4,8 +4,8 @@
 #include <chrono>
 #include <cstring>
 #include <future>
+#include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "harness/executor.hh"
@@ -31,6 +31,10 @@ errorResult(std::string message)
     return r;
 }
 
+/** Busy retry hint: refusals under transient pressure suggest a short
+ *  wait; a drain is permanent, so steer the client to fallback fast. */
+constexpr std::uint32_t kBusyRetryHintMs = 200;
+
 } // namespace
 
 ServeDaemon::ServeDaemon(Options options) : opts(std::move(options)) {}
@@ -43,6 +47,11 @@ ServeDaemon::~ServeDaemon()
 bool
 ServeDaemon::start(std::string &err)
 {
+    ignoreSigpipe();
+    if (opts.socketPath.empty() && opts.tcpListen.empty()) {
+        err = "serve: no endpoint configured (socket path or TCP)";
+        return false;
+    }
     resultCache = std::make_unique<ResultCache>(opts.cacheDir,
                                                 opts.cacheCapEntries);
     if (!resultCache->open(err))
@@ -52,35 +61,40 @@ ServeDaemon::start(std::string &err)
     // bound, and nothing reads them (results travel in the replies).
     executor->setKeepRecords(false);
 
-    if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
-        err = "socket path too long: " + opts.socketPath;
-        return false;
+    if (!opts.socketPath.empty()) {
+        ServeAddr addr;
+        addr.kind = ServeAddr::Kind::Unix;
+        addr.path = opts.socketPath;
+        // A stale socket file from a dead daemon would fail bind()
+        // with EADDRINUSE; a live daemon holds the listen socket, so
+        // replacing the file only ever retires a corpse.
+        unixListenFd = listenOn(addr, err);
+        if (unixListenFd < 0)
+            return false;
     }
-    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd < 0) {
-        err = std::string("socket(): ") + std::strerror(errno);
-        return false;
+    if (!opts.tcpListen.empty()) {
+        ServeAddr addr;
+        std::string spec = opts.tcpListen;
+        if (spec.rfind("tcp:", 0) != 0)
+            spec = "tcp:" + spec;
+        if (!parseServeAddr(spec, addr, err) ||
+            addr.kind != ServeAddr::Kind::Tcp) {
+            if (err.empty())
+                err = "serve: bad TCP listen spec '" + opts.tcpListen +
+                      "'";
+            stop();
+            return false;
+        }
+        tcpHost = addr.host.empty() ? "127.0.0.1" : addr.host;
+        tcpListenFd = listenOn(addr, err, &tcpBoundPort);
+        if (tcpListenFd < 0) {
+            stop();
+            return false;
+        }
     }
-    // A stale socket file from a dead daemon would fail bind() with
-    // EADDRINUSE; a live daemon holds the listen socket, so replacing
-    // the file only ever retires a corpse.
-    ::unlink(opts.socketPath.c_str());
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof addr) != 0) {
-        err = "bind('" + opts.socketPath + "'): " +
-              std::strerror(errno);
-        ::close(listenFd);
-        listenFd = -1;
-        return false;
-    }
-    if (::listen(listenFd, 64) != 0) {
-        err = std::string("listen(): ") + std::strerror(errno);
-        ::close(listenFd);
-        listenFd = -1;
+    if (::pipe(stopPipe) != 0) {
+        err = std::string("pipe(): ") + std::strerror(errno);
+        stop();
         return false;
     }
     acceptThread = std::thread([this] { acceptLoop(); });
@@ -88,72 +102,222 @@ ServeDaemon::start(std::string &err)
     return true;
 }
 
+std::string
+ServeDaemon::tcpEndpoint() const
+{
+    if (tcpListenFd < 0)
+        return "";
+    return "tcp:" + tcpHost + ":" + std::to_string(tcpBoundPort);
+}
+
 void
 ServeDaemon::acceptLoop()
 {
     for (;;) {
-        const int fd = ::accept(listenFd, nullptr, nullptr);
-        if (fd < 0) {
+        struct pollfd fds[3];
+        int listenFds[3] = {-1, -1, -1};
+        nfds_t n = 0;
+        fds[n++] = {stopPipe[0], POLLIN, 0};
+        if (unixListenFd >= 0) {
+            listenFds[n] = unixListenFd;
+            fds[n++] = {unixListenFd, POLLIN, 0};
+        }
+        if (tcpListenFd >= 0) {
+            listenFds[n] = tcpListenFd;
+            fds[n++] = {tcpListenFd, POLLIN, 0};
+        }
+        const int r = ::poll(fds, n, -1);
+        if (r < 0) {
             if (errno == EINTR)
                 continue;
-            return; // listen socket closed: stopping
-        }
-        std::lock_guard<std::mutex> lock(mtx);
-        if (stopRequested) {
-            ::close(fd);
             return;
         }
-        connFds.insert(fd);
-        connThreads.emplace_back(
-                [this, fd] { serveConnection(fd); });
+        if (fds[0].revents != 0)
+            return; // stop requested
+        reapFinishedThreads();
+        for (nfds_t i = 1; i < n; i++) {
+            if ((fds[i].revents & POLLIN) == 0)
+                continue;
+            for (;;) {
+                const int fd = acceptConn(listenFds[i]);
+                if (fd < 0)
+                    break; // EAGAIN: drained this listener
+                handleAccepted(fd);
+            }
+        }
     }
 }
 
 void
-ServeDaemon::serveConnection(int fd)
+ServeDaemon::handleAccepted(int fd)
 {
+    std::unique_lock<std::mutex> lock(mtx);
+    if (stopRequested) {
+        ::close(fd);
+        return;
+    }
+    if (connFds.size() >= opts.maxConns) {
+        lock.unlock();
+        busyRejected.fetch_add(1, std::memory_order_relaxed);
+        // Refused, not dropped: the excess client learns why and when
+        // to retry instead of watching a silent close. The write runs
+        // on the accept thread, so its deadline is kept short.
+        writeFrameDeadline(fd, FrameType::Busy,
+                           encodeBusy("connection limit reached",
+                                      kBusyRetryHintMs),
+                           1000);
+        ::close(fd);
+        return;
+    }
+    connFds.insert(fd);
+    connThreads.emplace_back();
+    const auto self = std::prev(connThreads.end());
+    *self = std::thread([this, fd, self] { serveConnection(fd, self); });
+}
+
+void
+ServeDaemon::reapFinishedThreads()
+{
+    std::vector<std::list<std::thread>::iterator> done;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        done.swap(finishedThreads);
+    }
+    for (auto it : done) {
+        if (it->joinable())
+            it->join();
+        std::lock_guard<std::mutex> lock(mtx);
+        connThreads.erase(it);
+    }
+}
+
+void
+ServeDaemon::serveConnection(int fd,
+                             std::list<std::thread>::iterator self)
+{
+    using Clock = std::chrono::steady_clock;
     bool shuttingDown = false;
+    bool authed = opts.authToken.empty();
+    auto rateWindow = Clock::now();
+    std::size_t framesInWindow = 0;
+    const auto reply = [&](FrameType t,
+                           const std::vector<std::uint8_t> &payload) {
+        return writeFrameDeadline(fd, t, payload,
+                                  opts.writeDeadlineMs) == FrameIo::Ok;
+    };
     for (;;) {
         ServeFrame frame;
         std::uint16_t version = 0;
-        const FrameIo io = readFrame(fd, frame, &version);
+        const FrameIo io = readFrameDeadline(
+                fd, frame, opts.idleTimeoutMs, opts.frameDeadlineMs,
+                &version);
         if (io == FrameIo::BadVersion) {
-            writeFrame(fd, FrameType::Error,
-                       encodeError("protocol version " +
-                                   std::to_string(version) +
-                                   " not supported (daemon speaks " +
-                                   std::to_string(kServeVersion) +
-                                   ")"));
+            reply(FrameType::Error,
+                  encodeError("protocol version " +
+                              std::to_string(version) +
+                              " not supported (daemon speaks " +
+                              std::to_string(kServeVersion) + ")"));
             break;
         }
         if (io != FrameIo::Ok) {
-            // Eof is a polite close; everything else poisons only
-            // this connection — the daemon keeps serving.
-            if (io != FrameIo::Eof)
+            // Eof is a polite close and IdleTimeout a quiet reap;
+            // everything else poisons only this connection — the
+            // daemon keeps serving.
+            if (io != FrameIo::Eof && io != FrameIo::IdleTimeout)
                 warn("serve: dropping connection (%s frame)",
                      frameIoName(io));
             break;
         }
+        if (opts.maxFramesPerSec != 0) {
+            const auto now = Clock::now();
+            if (now - rateWindow >= std::chrono::seconds(1)) {
+                rateWindow = now;
+                framesInWindow = 0;
+            }
+            if (++framesInWindow > opts.maxFramesPerSec) {
+                reply(FrameType::Error,
+                      encodeError("frame rate limit exceeded"));
+                break;
+            }
+        }
+        if (!authed && frame.type != FrameType::Auth &&
+            frame.type != FrameType::Status) {
+            reply(FrameType::Error,
+                  encodeError("authentication required"));
+            break;
+        }
         bool alive = true;
         switch (frame.type) {
-          case FrameType::SubmitBatch: {
-            std::vector<ServeJob> jobs;
-            if (!decodeSubmitBatch(frame.payload, jobs)) {
-                writeFrame(fd, FrameType::Error,
-                           encodeError("malformed SubmitBatch payload"));
+          case FrameType::Auth: {
+            std::string token;
+            if (!decodeAuth(frame.payload, token)) {
+                reply(FrameType::Error,
+                      encodeError("malformed Auth payload"));
                 alive = false;
                 break;
             }
+            const bool ok = opts.authToken.empty() ||
+                            constantTimeEq(token, opts.authToken);
+            alive = reply(FrameType::AuthReply, encodeAuthReply(ok)) &&
+                    ok;
+            if (ok)
+                authed = true;
+            break;
+          }
+          case FrameType::SubmitBatch: {
+            std::vector<ServeJob> jobs;
+            if (!decodeSubmitBatch(frame.payload, jobs)) {
+                reply(FrameType::Error,
+                      encodeError("malformed SubmitBatch payload"));
+                alive = false;
+                break;
+            }
+            if (jobs.size() > opts.maxJobsPerBatch) {
+                reply(FrameType::Error,
+                      encodeError("batch exceeds max jobs per batch (" +
+                                  std::to_string(opts.maxJobsPerBatch) +
+                                  ")"));
+                alive = false;
+                break;
+            }
+            if (draining.load(std::memory_order_relaxed)) {
+                busyRejected.fetch_add(1, std::memory_order_relaxed);
+                alive = reply(FrameType::Busy,
+                              encodeBusy("draining", 0));
+                break;
+            }
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (inFlightJobs + jobs.size() > opts.admissionCap) {
+                    busyRejected.fetch_add(1,
+                                           std::memory_order_relaxed);
+                    alive = reply(
+                            FrameType::Busy,
+                            encodeBusy("admission queue full",
+                                       kBusyRetryHintMs));
+                    break;
+                }
+                inFlightJobs += jobs.size();
+            }
             const std::vector<ServeResult> results = runBatch(jobs);
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                inFlightJobs -= jobs.size();
+            }
+            drainCv.notify_all();
             // A client that vanished mid-batch only loses its reply:
             // the cells above are already simulated and cached.
-            alive = writeFrame(fd, FrameType::SubmitReply,
-                               encodeSubmitReply(results));
+            alive = reply(FrameType::SubmitReply,
+                          encodeSubmitReply(results));
             break;
           }
           case FrameType::Status:
-            alive = writeFrame(fd, FrameType::StatusReply,
-                               encodeStatusReply(status()));
+            alive = reply(FrameType::StatusReply,
+                          encodeStatusReply(status()));
+            break;
+          case FrameType::Health:
+            alive = reply(FrameType::HealthReply,
+                          encodeHealthReply(health()));
             break;
           case FrameType::CacheStats: {
             const ResultCache::Counters c = resultCache->counters();
@@ -166,22 +330,22 @@ ServeDaemon::serveConnection(int fd)
             out.corrupt = c.corrupt;
             out.evicted = c.evicted;
             out.dir = resultCache->dir();
-            alive = writeFrame(fd, FrameType::CacheStatsReply,
-                               encodeCacheStatsReply(out));
+            alive = reply(FrameType::CacheStatsReply,
+                          encodeCacheStatsReply(out));
             break;
           }
           case FrameType::Flush:
-            alive = writeFrame(fd, FrameType::FlushReply,
-                               encodeFlushReply(resultCache->flush()));
+            alive = reply(FrameType::FlushReply,
+                          encodeFlushReply(resultCache->flush()));
             break;
           case FrameType::Shutdown:
-            writeFrame(fd, FrameType::ShutdownReply, {});
+            reply(FrameType::ShutdownReply, {});
             shuttingDown = true;
             alive = false;
             break;
           default:
-            writeFrame(fd, FrameType::Error,
-                       encodeError("unexpected frame type"));
+            reply(FrameType::Error,
+                  encodeError("unexpected frame type"));
             alive = false;
             break;
         }
@@ -192,6 +356,7 @@ ServeDaemon::serveConnection(int fd)
     {
         std::lock_guard<std::mutex> lock(mtx);
         connFds.erase(fd);
+        finishedThreads.push_back(self);
     }
     if (shuttingDown)
         requestStop();
@@ -299,6 +464,53 @@ ServeDaemon::status() const
     return s;
 }
 
+ServeHealth
+ServeDaemon::health() const
+{
+    ServeHealth h;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        h.activeConns = static_cast<std::uint32_t>(connFds.size());
+        h.inFlightJobs = static_cast<std::uint32_t>(inFlightJobs);
+    }
+    h.admissionCap = static_cast<std::uint32_t>(opts.admissionCap);
+    h.draining = draining.load(std::memory_order_relaxed) ? 1 : 0;
+    h.busyRejected = busyRejected.load(std::memory_order_relaxed);
+    h.batches = batchesServed.load(std::memory_order_relaxed);
+    h.jobs = jobsServed.load(std::memory_order_relaxed);
+    if (resultCache) {
+        const ResultCache::Counters c = resultCache->counters();
+        h.cache.entries = c.entries;
+        h.cache.bytes = c.bytes;
+        h.cache.hits = c.hits;
+        h.cache.misses = c.misses;
+        h.cache.inserted = c.inserted;
+        h.cache.corrupt = c.corrupt;
+        h.cache.evicted = c.evicted;
+        h.cache.dir = resultCache->dir();
+    }
+    return h;
+}
+
+void
+ServeDaemon::beginDrain()
+{
+    draining.store(true, std::memory_order_relaxed);
+}
+
+void
+ServeDaemon::drainAndStop()
+{
+    beginDrain();
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        drainCv.wait(lock, [this] {
+            return inFlightJobs == 0 || stopRequested;
+        });
+    }
+    stop();
+}
+
 void
 ServeDaemon::requestStop()
 {
@@ -306,9 +518,15 @@ ServeDaemon::requestStop()
     if (stopRequested)
         return;
     stopRequested = true;
-    if (listenFd >= 0)
-        ::shutdown(listenFd, SHUT_RDWR);
+    if (stopPipe[1] >= 0) {
+        const char byte = 1;
+        ssize_t rc;
+        do {
+            rc = ::write(stopPipe[1], &byte, 1);
+        } while (rc < 0 && errno == EINTR);
+    }
     stopCv.notify_all();
+    drainCv.notify_all();
 }
 
 void
@@ -316,6 +534,14 @@ ServeDaemon::wait()
 {
     std::unique_lock<std::mutex> lock(mtx);
     stopCv.wait(lock, [this] { return stopRequested; });
+}
+
+bool
+ServeDaemon::waitFor(int ms)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return stopCv.wait_for(lock, std::chrono::milliseconds(ms),
+                           [this] { return stopRequested; });
 }
 
 void
@@ -327,25 +553,37 @@ ServeDaemon::stop()
         if (stopped)
             return;
         stopped = true;
-        // Unblock connection threads parked in readFrame(); their
-        // in-flight simulations still run to completion (and populate
-        // the cache) before the executor is torn down below.
+        // Unblock connection threads parked in readFrameDeadline();
+        // their in-flight simulations still run to completion (and
+        // populate the cache) before the executor is torn down below.
         for (int fd : connFds)
             ::shutdown(fd, SHUT_RDWR);
     }
     if (acceptThread.joinable())
         acceptThread.join();
-    std::vector<std::thread> threads;
+    std::list<std::thread> threads;
     {
         std::lock_guard<std::mutex> lock(mtx);
         threads.swap(connThreads);
+        finishedThreads.clear();
     }
     for (std::thread &t : threads)
-        t.join();
-    if (listenFd >= 0) {
-        ::close(listenFd);
-        listenFd = -1;
+        if (t.joinable())
+            t.join();
+    if (unixListenFd >= 0) {
+        ::close(unixListenFd);
+        unixListenFd = -1;
         ::unlink(opts.socketPath.c_str());
+    }
+    if (tcpListenFd >= 0) {
+        ::close(tcpListenFd);
+        tcpListenFd = -1;
+    }
+    for (int &fd : stopPipe) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
     }
     executor.reset();
 }

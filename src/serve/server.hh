@@ -1,22 +1,28 @@
 /**
  * @file
- * The sweep-service daemon (DESIGN.md §16).
+ * The sweep-service daemon (DESIGN.md §16–17).
  *
  * One long-lived process owns a SweepExecutor worker pool and a
  * disk-persistent content-addressed ResultCache, and serves batched
  * simulation jobs to any number of clients over a Unix-domain socket
- * (serve/protocol.hh). A SubmitBatch frame carries N jobs; each is
- * content-addressed (serve/cache_key.hh) and either answered from the
- * cache — bit-identical to a fresh run, the simulator being
- * deterministic — or simulated on the pool and inserted, so every
- * client after the first gets the cell at near-zero marginal cost.
+ * and/or a TCP endpoint (serve/transport.hh). A SubmitBatch frame
+ * carries N jobs; each is content-addressed (serve/cache_key.hh) and
+ * either answered from the cache — bit-identical to a fresh run, the
+ * simulator being deterministic — or simulated on the pool and
+ * inserted, so every client after the first gets the cell at near-zero
+ * marginal cost.
  *
- * Robustness: each connection is served on its own thread; a garbage,
- * truncated, oversized or version-mismatched frame closes only that
- * connection (version mismatches are answered with an Error frame
- * first); a client that disconnects mid-batch abandons only its reply —
- * the submitted jobs still complete and populate the cache, so nothing
- * leaks and the next client hits warm entries.
+ * Robustness (§17): each connection is served on its own thread under
+ * explicit deadlines — an idle connection is reaped, a trickling
+ * (slow-loris) frame is cut off, and a reply write to a non-draining
+ * peer is abandoned at its deadline. A garbage, truncated, corrupted
+ * (BadChecksum), oversized or version-mismatched frame closes only
+ * that connection. Overload is *refused, never queued unbounded*: past
+ * the connection cap or the admission cap the daemon answers Busy with
+ * a retry-after hint instead of hanging or dropping the request. With
+ * an auth token set, an unauthenticated connection may only Auth and
+ * Status. beginDrain()/drainAndStop() implement clean SIGTERM
+ * handling: refuse new work, finish in-flight jobs, then stop.
  */
 
 #ifndef DWS_SERVE_SERVER_HH
@@ -24,6 +30,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,25 +40,46 @@
 
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
+#include "serve/transport.hh"
 
 namespace dws {
 
 class SweepExecutor;
 
-/** Long-lived simulation service over a Unix-domain socket. */
+/** Long-lived simulation service over Unix-domain/TCP sockets. */
 class ServeDaemon
 {
   public:
     struct Options
     {
-        /** Unix-domain socket path (a stale file is replaced). */
+        /** Unix-domain socket path (empty = no Unix listener). */
         std::string socketPath;
+        /** TCP listen spec "HOST:PORT" (empty = no TCP listener;
+         *  port 0 binds an ephemeral port, see tcpEndpoint()). */
+        std::string tcpListen;
+        /** Pre-shared auth token (empty = no auth required). */
+        std::string authToken;
         /** Result-cache directory (created if missing). */
         std::string cacheDir = ".dws_serve_cache";
         /** Worker threads; <= 0 selects SweepExecutor::defaultJobs(). */
         int jobs = 0;
         /** Result-cache LRU entry cap; 0 = unbounded. */
         std::size_t cacheCapEntries = 4096;
+        /** Connection cap; excess connections get Busy + close. */
+        std::size_t maxConns = 64;
+        /** Bound on jobs admitted and not yet finished; a batch that
+         *  would exceed it gets Busy (connection stays open). */
+        std::size_t admissionCap = 256;
+        /** Hard bound on jobs in one SubmitBatch frame. */
+        std::size_t maxJobsPerBatch = 4096;
+        /** Per-connection frames/second cap; 0 = unlimited. */
+        std::size_t maxFramesPerSec = 1000;
+        /** Reap a connection idle past this; < 0 = never. */
+        int idleTimeoutMs = 300000;
+        /** Slow-loris bound: first byte -> complete frame. */
+        int frameDeadlineMs = 10000;
+        /** Bound on writing one reply to a slow reader. */
+        int writeDeadlineMs = 30000;
     };
 
     explicit ServeDaemon(Options opts);
@@ -61,7 +89,8 @@ class ServeDaemon
     ServeDaemon &operator=(const ServeDaemon &) = delete;
 
     /**
-     * Open the cache, bind + listen on the socket and start accepting.
+     * Open the cache, bind + listen on every configured endpoint and
+     * start accepting.
      * @return false with a message in `err` on any setup failure.
      */
     bool start(std::string &err);
@@ -69,14 +98,33 @@ class ServeDaemon
     /** Block until a Shutdown frame arrives or stop() is called. */
     void wait();
 
+    /** As wait(), but give up after `ms`. @return true when stopping. */
+    bool waitFor(int ms);
+
     /** Stop accepting, unblock connections, join every thread. */
     void stop();
+
+    /** Refuse new work from now on (SubmitBatch -> Busy "draining");
+     *  Status/Health/Shutdown still answered. Idempotent. */
+    void beginDrain();
+
+    /** beginDrain(), wait for in-flight jobs to finish, then stop().
+     *  The clean-SIGTERM path of dws_serve. */
+    void drainAndStop();
 
     /** @return the result cache (valid after start()). */
     ResultCache &cache() { return *resultCache; }
 
+    /** @return "tcp:HOST:PORT" with the actually-bound port, or ""
+     *          when no TCP listener is configured (valid after
+     *          start(); the way tests learn an ephemeral port). */
+    std::string tcpEndpoint() const;
+
     /** @return a snapshot of the daemon counters. */
     ServeStatus status() const;
+
+    /** @return the overload/health snapshot behind HealthReply. */
+    ServeHealth health() const;
 
     /**
      * Execute one decoded batch: cache hits answered directly, misses
@@ -87,25 +135,36 @@ class ServeDaemon
 
   private:
     void acceptLoop();
-    void serveConnection(int fd);
+    void handleAccepted(int fd);
+    void serveConnection(int fd, std::list<std::thread>::iterator self);
+    void reapFinishedThreads();
     void requestStop();
 
     Options opts;
     std::unique_ptr<ResultCache> resultCache;
     std::unique_ptr<SweepExecutor> executor;
 
-    int listenFd = -1;
+    int unixListenFd = -1;
+    int tcpListenFd = -1;
+    std::uint16_t tcpBoundPort = 0;
+    std::string tcpHost;
+    int stopPipe[2] = {-1, -1};
     std::thread acceptThread;
 
     mutable std::mutex mtx;
     std::condition_variable stopCv;
+    std::condition_variable drainCv;
     bool stopRequested = false;
     bool stopped = false;
-    std::vector<std::thread> connThreads;
+    std::list<std::thread> connThreads;
+    std::vector<std::list<std::thread>::iterator> finishedThreads;
     std::unordered_set<int> connFds;
+    std::size_t inFlightJobs = 0;
 
+    std::atomic<bool> draining{false};
     std::atomic<std::uint64_t> batchesServed{0};
     std::atomic<std::uint64_t> jobsServed{0};
+    std::atomic<std::uint64_t> busyRejected{0};
 };
 
 } // namespace dws

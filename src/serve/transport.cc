@@ -1,0 +1,451 @@
+#include "serve/transport.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dws {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Monotonic deadline; negative ms means "never". */
+struct Deadline
+{
+    explicit Deadline(int ms)
+        : forever(ms < 0),
+          at(forever ? Clock::time_point() :
+                       Clock::now() + std::chrono::milliseconds(ms))
+    {}
+
+    /** Remaining time as a poll() timeout: -1 forever, >= 0 bounded. */
+    int
+    pollMs() const
+    {
+        if (forever)
+            return -1;
+        const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(at - Clock::now()).count();
+        return left <= 0 ? 0 : static_cast<int>(left);
+    }
+
+    bool
+    passed() const
+    {
+        return !forever && Clock::now() >= at;
+    }
+
+    bool forever;
+    Clock::time_point at;
+};
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** poll() one fd for `events` under a deadline; EINTR restarts with
+ *  the remaining time, never the full timeout. @return true when the
+ *  fd is ready, false when the deadline passed or poll failed. */
+bool
+pollFor(int fd, short events, const Deadline &dl)
+{
+    for (;;) {
+        struct pollfd p = {fd, events, 0};
+        const int r = ::poll(&p, 1, dl.pollMs());
+        if (r > 0)
+            return true;
+        if (r == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+        if (dl.passed())
+            return false;
+    }
+}
+
+std::string
+errnoStr()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+std::string
+ServeAddr::spec() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool
+parseServeAddr(const std::string &spec, ServeAddr &out, std::string &err)
+{
+    std::string rest = spec;
+    bool forcedTcp = false;
+    if (rest.rfind("unix:", 0) == 0) {
+        out.kind = ServeAddr::Kind::Unix;
+        out.path = rest.substr(5);
+        if (out.path.empty()) {
+            err = "empty unix socket path in '" + spec + "'";
+            return false;
+        }
+        return true;
+    }
+    if (rest.rfind("tcp:", 0) == 0) {
+        forcedTcp = true;
+        rest = rest.substr(4);
+    }
+    if (!forcedTcp && rest.find('/') != std::string::npos) {
+        out.kind = ServeAddr::Kind::Unix;
+        out.path = rest;
+        return true;
+    }
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+        if (forcedTcp) {
+            err = "tcp address '" + spec + "' is not HOST:PORT";
+            return false;
+        }
+        // No '/', no port: treat as a relative Unix socket path.
+        out.kind = ServeAddr::Kind::Unix;
+        out.path = rest;
+        if (out.path.empty()) {
+            err = "empty serve address";
+            return false;
+        }
+        return true;
+    }
+    const std::string portStr = rest.substr(colon + 1);
+    char *end = nullptr;
+    const long port = std::strtol(portStr.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+        if (forcedTcp) {
+            err = "bad port '" + portStr + "' in '" + spec + "'";
+            return false;
+        }
+        out.kind = ServeAddr::Kind::Unix;
+        out.path = rest;
+        return true;
+    }
+    out.kind = ServeAddr::Kind::Tcp;
+    out.host = rest.substr(0, colon);
+    out.port = static_cast<std::uint16_t>(port);
+    return true;
+}
+
+int
+listenOn(const ServeAddr &addr, std::string &err,
+         std::uint16_t *boundPort)
+{
+    if (addr.kind == ServeAddr::Kind::Unix) {
+        if (addr.path.size() >= sizeof(sockaddr_un::sun_path)) {
+            err = "socket path too long: " + addr.path;
+            return -1;
+        }
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            err = "socket(AF_UNIX): " + errnoStr();
+            return -1;
+        }
+        ::unlink(addr.path.c_str());
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::strncpy(sa.sun_path, addr.path.c_str(),
+                     sizeof sa.sun_path - 1);
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&sa), sizeof sa) !=
+                    0 ||
+            ::listen(fd, 64) != 0 || !setNonBlocking(fd)) {
+            err = "bind/listen " + addr.spec() + ": " + errnoStr();
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    struct addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    struct addrinfo *res = nullptr;
+    const std::string portStr = std::to_string(addr.port);
+    const char *node = addr.host.empty() ? nullptr : addr.host.c_str();
+    const int gai = ::getaddrinfo(node, portStr.c_str(), &hints, &res);
+    if (gai != 0) {
+        err = "resolve " + addr.spec() + ": " + ::gai_strerror(gai);
+        return -1;
+    }
+    int fd = -1;
+    for (struct addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, 64) == 0 && setNonBlocking(fd))
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        err = "bind/listen " + addr.spec() + ": " + errnoStr();
+        return -1;
+    }
+    if (boundPort != nullptr) {
+        sockaddr_storage ss{};
+        socklen_t len = sizeof ss;
+        *boundPort = addr.port;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&ss),
+                          &len) == 0) {
+            if (ss.ss_family == AF_INET)
+                *boundPort = ntohs(
+                        reinterpret_cast<sockaddr_in *>(&ss)->sin_port);
+            else if (ss.ss_family == AF_INET6)
+                *boundPort = ntohs(
+                        reinterpret_cast<sockaddr_in6 *>(&ss)
+                                ->sin6_port);
+        }
+    }
+    return fd;
+}
+
+namespace {
+
+/** Finish a nonblocking connect() under a deadline. */
+bool
+finishConnect(int fd, const Deadline &dl, std::string &err)
+{
+    if (!pollFor(fd, POLLOUT, dl)) {
+        err = "connect timed out";
+        return false;
+    }
+    int soErr = 0;
+    socklen_t len = sizeof soErr;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len) != 0) {
+        err = errnoStr();
+        return false;
+    }
+    if (soErr != 0) {
+        err = std::strerror(soErr);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+connectToAddr(const ServeAddr &addr, int timeoutMs, std::string &err)
+{
+    const Deadline dl(timeoutMs);
+    if (addr.kind == ServeAddr::Kind::Unix) {
+        if (addr.path.size() >= sizeof(sockaddr_un::sun_path)) {
+            err = addr.spec() + ": socket path too long";
+            return -1;
+        }
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            err = addr.spec() + ": socket: " + errnoStr();
+            return -1;
+        }
+        setNonBlocking(fd);
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::strncpy(sa.sun_path, addr.path.c_str(),
+                     sizeof sa.sun_path - 1);
+        int r;
+        do {
+            r = ::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                          sizeof sa);
+        } while (r != 0 && errno == EINTR);
+        if (r != 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+            std::string why;
+            if (finishConnect(fd, dl, why))
+                r = 0;
+            else {
+                err = addr.spec() + ": " + why;
+                ::close(fd);
+                return -1;
+            }
+        }
+        if (r != 0) {
+            err = addr.spec() + ": " + errnoStr();
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    struct addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *res = nullptr;
+    const std::string portStr = std::to_string(addr.port);
+    const int gai = ::getaddrinfo(addr.host.c_str(), portStr.c_str(),
+                                  &hints, &res);
+    if (gai != 0) {
+        err = addr.spec() + ": resolve: " + ::gai_strerror(gai);
+        return -1;
+    }
+    std::string lastErr = "no addresses";
+    int fd = -1;
+    for (struct addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            lastErr = "socket: " + errnoStr();
+            continue;
+        }
+        setNonBlocking(fd);
+        int r;
+        do {
+            r = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        } while (r != 0 && errno == EINTR);
+        if (r != 0 && errno == EINPROGRESS) {
+            std::string why;
+            if (finishConnect(fd, dl, why))
+                r = 0;
+            else
+                lastErr = why;
+        } else if (r != 0) {
+            lastErr = errnoStr();
+        }
+        if (r == 0) {
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof one);
+            break;
+        }
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        err = addr.spec() + ": " + lastErr;
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptConn(int listenFd)
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            setNonBlocking(fd);
+            const int one = 1;
+            // Harmless ENOTSUP on a Unix-domain socket.
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof one);
+            return fd;
+        }
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+void
+ignoreSigpipe()
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool
+constantTimeEq(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    unsigned diff = 0;
+    for (std::size_t i = 0; i < a.size(); i++)
+        diff |= static_cast<unsigned char>(a[i]) ^
+                static_cast<unsigned char>(b[i]);
+    return diff == 0;
+}
+
+FrameIo
+readFrameDeadline(int fd, ServeFrame &out, int idleMs, int frameMs,
+                  std::uint16_t *versionSeen)
+{
+    // The idle deadline governs the wait for the first byte of the
+    // frame; from that byte on, the frame deadline applies (slow-loris
+    // defense: a trickling peer cannot hold the connection open by
+    // sending one byte per idle period).
+    const Deadline idle(idleMs);
+    bool started = false;
+    Deadline frame(frameMs); // re-armed at the first byte
+    const auto src = [&](std::uint8_t *buf,
+                         std::size_t n) -> ssize_t {
+        std::size_t got = 0;
+        while (got < n) {
+            const Deadline &dl = started ? frame : idle;
+            const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+            if (r > 0) {
+                if (!started) {
+                    started = true;
+                    frame = Deadline(frameMs);
+                }
+                got += static_cast<std::size_t>(r);
+                continue;
+            }
+            if (r == 0)
+                return static_cast<ssize_t>(got);
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                return -1;
+            if (!pollFor(fd, POLLIN, dl))
+                return started ? -3 : -2;
+        }
+        return static_cast<ssize_t>(got);
+    };
+    return readFrameFrom(src, out, versionSeen);
+}
+
+FrameIo
+writeFrameDeadline(int fd, FrameType type,
+                   const std::vector<std::uint8_t> &payload,
+                   int deadlineMs)
+{
+    if (payload.size() > kMaxFramePayload)
+        return FrameIo::IoError;
+    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+    const Deadline dl(deadlineMs);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t r = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (r > 0) {
+            sent += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
+            return FrameIo::IoError;
+        if (!pollFor(fd, POLLOUT, dl))
+            return FrameIo::TimedOut;
+    }
+    return FrameIo::Ok;
+}
+
+} // namespace dws

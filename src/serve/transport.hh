@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Transport layer of the sweep service (DESIGN.md §17): one address
+ * abstraction over Unix-domain and TCP stream sockets, plus
+ * deadline-bounded framed I/O so neither side of a connection can be
+ * parked forever by a slow, dead or half-open peer.
+ *
+ * Address specs (parseServeAddr):
+ *
+ *   unix:/run/dws.sock   explicit Unix-domain socket
+ *   /run/dws.sock        any spec containing '/' is a Unix path
+ *   tcp:host:port        explicit TCP
+ *   host:port            HOST:PORT with a numeric port is TCP
+ *
+ * All fds produced here are O_NONBLOCK; I/O readiness is awaited with
+ * poll() under an explicit deadline, and every read/write loop is
+ * EINTR- and partial-transfer-correct. TCP listeners get SO_REUSEADDR,
+ * TCP connections get TCP_NODELAY (the protocol is request/reply with
+ * small frames; Nagle only adds latency).
+ */
+
+#ifndef DWS_SERVE_TRANSPORT_HH
+#define DWS_SERVE_TRANSPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace dws {
+
+/** One parsed service address: a Unix socket path or a TCP endpoint. */
+struct ServeAddr
+{
+    enum class Kind { Unix, Tcp };
+    Kind kind = Kind::Unix;
+    /** Unix-domain socket path (Kind::Unix). */
+    std::string path;
+    /** Host name or numeric address (Kind::Tcp). */
+    std::string host;
+    /** TCP port; 0 asks the kernel for an ephemeral port. */
+    std::uint16_t port = 0;
+
+    /** @return the canonical spec string ("unix:…" / "tcp:host:port"). */
+    std::string spec() const;
+};
+
+/**
+ * Parse an address spec (grammar in the file header).
+ * @return false with a message in `err` on a malformed spec.
+ */
+bool parseServeAddr(const std::string &spec, ServeAddr &out,
+                    std::string &err);
+
+/**
+ * Bind + listen on `addr` (a stale Unix socket file is replaced; TCP
+ * listeners are SO_REUSEADDR). The returned fd is O_NONBLOCK.
+ * @param boundPort with a TCP addr of port 0, receives the kernel-
+ *                  assigned port (may be null)
+ * @return the listen fd, or -1 with a message in `err`.
+ */
+int listenOn(const ServeAddr &addr, std::string &err,
+             std::uint16_t *boundPort = nullptr);
+
+/**
+ * Connect to `addr` with a bounded wait (nonblocking connect + poll).
+ * The returned fd is O_NONBLOCK, TCP_NODELAY for TCP.
+ * @return the connected fd, or -1 with the target address and errno
+ *         string in `err`.
+ */
+int connectToAddr(const ServeAddr &addr, int timeoutMs, std::string &err);
+
+/**
+ * Accept one connection from a nonblocking listen fd (EINTR/EAGAIN
+ * handled by the caller's poll loop). The returned fd is O_NONBLOCK.
+ * @return the fd, or -1 with errno preserved.
+ */
+int acceptConn(int listenFd);
+
+/**
+ * Ignore SIGPIPE process-wide: a write to a dead peer must surface as
+ * an error return at the call site, never kill the process. Idempotent;
+ * call early in every binary that touches the serve layer.
+ */
+void ignoreSigpipe();
+
+/**
+ * @return true iff `a` == `b`, in time dependent only on the lengths —
+ *         never on the position of the first mismatch — so the auth
+ *         token cannot be guessed byte-by-byte from response timing.
+ */
+bool constantTimeEq(const std::string &a, const std::string &b);
+
+/**
+ * Read one frame with deadlines (fd must be O_NONBLOCK).
+ *
+ * @param idleMs   bound on waiting for the FIRST byte (the connection
+ *                 sitting idle between requests); < 0 waits forever
+ * @param frameMs  bound from the first byte to the complete frame —
+ *                 the slow-loris defense: a peer trickling a header
+ *                 one byte a minute is cut off; < 0 waits forever
+ * @return FrameIo::IdleTimeout when no byte arrived within idleMs,
+ *         FrameIo::TimedOut when a started frame missed frameMs,
+ *         otherwise as readFrame().
+ */
+FrameIo readFrameDeadline(int fd, ServeFrame &out, int idleMs,
+                          int frameMs, std::uint16_t *versionSeen = nullptr);
+
+/**
+ * Write one frame within `deadlineMs` (fd must be O_NONBLOCK; < 0
+ * waits forever). Partial writes are resumed; a peer that stops
+ * draining its socket cannot park the writer past the deadline.
+ * @return FrameIo::Ok, TimedOut, or IoError.
+ */
+FrameIo writeFrameDeadline(int fd, FrameType type,
+                           const std::vector<std::uint8_t> &payload,
+                           int deadlineMs);
+
+} // namespace dws
+
+#endif // DWS_SERVE_TRANSPORT_HH

@@ -1,0 +1,651 @@
+/**
+ * @file
+ * Tests for the serve robustness layer (DESIGN.md §17): address
+ * parsing, deterministic retry backoff, deadline-bounded frame I/O,
+ * auth, overload control (Busy), drain, the TCP listener, the network
+ * fault proxy (fault/netfault.hh), and the executor's
+ * retry-to-success / degrade-to-local behavior behind each fault.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "fault/netfault.hh"
+#include "harness/executor.hh"
+#include "harness/runner.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/retry.hh"
+#include "serve/server.hh"
+#include "serve/transport.hh"
+#include "sim/config.hh"
+
+namespace fs = std::filesystem;
+
+namespace dws {
+namespace {
+
+/** A unique scratch directory, removed on destruction. */
+struct TempDir
+{
+    TempDir()
+    {
+        char tmpl[] = "/tmp/dws_netfault_test_XXXXXX";
+        path = mkdtemp(tmpl);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+void
+makeNonBlocking(int fd)
+{
+    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
+ServeJob
+tinyJob(const std::string &kernel, const PolicyConfig &pol,
+        const std::string &label)
+{
+    ServeJob j;
+    j.kernel = kernel;
+    j.label = label;
+    j.scale = 0; // KernelScale::Tiny
+    j.configKey = SystemConfig::table3(pol).cacheKey();
+    return j;
+}
+
+// --------------------------------------------------------------------
+// Retry policy
+// --------------------------------------------------------------------
+
+TEST(RetryPolicy, DeterministicJitteredBackoffWithinBounds)
+{
+    RetryPolicy p;
+    p.baseDelayMs = 50;
+    p.maxDelayMs = 2000;
+    p.seed = 42;
+    for (int attempt = 0; attempt < 8; attempt++) {
+        const std::uint32_t base = std::min<std::uint32_t>(
+                p.maxDelayMs, p.baseDelayMs << attempt);
+        const std::uint32_t d = p.delayMs(attempt, 7);
+        // Equal jitter: (base/2, base] — never zero, never above base.
+        EXPECT_GT(d, base / 2) << "attempt " << attempt;
+        EXPECT_LE(d, base) << "attempt " << attempt;
+        // Pure function of (seed, salt, attempt): replays identically.
+        EXPECT_EQ(d, p.delayMs(attempt, 7));
+    }
+}
+
+TEST(RetryPolicy, SaltAndSeedDecorrelateConcurrentClients)
+{
+    RetryPolicy p;
+    p.baseDelayMs = 1000;
+    RetryPolicy q = p;
+    q.seed ^= 0x1234;
+    // Two jobs (different salts) on the same schedule must not march
+    // in lockstep, nor must two sweeps with different seeds.
+    bool saltDiffers = false, seedDiffers = false;
+    for (int a = 0; a < 6; a++) {
+        saltDiffers |= p.delayMs(a, 1) != p.delayMs(a, 2);
+        seedDiffers |= p.delayMs(a, 1) != q.delayMs(a, 1);
+    }
+    EXPECT_TRUE(saltDiffers);
+    EXPECT_TRUE(seedDiffers);
+}
+
+TEST(RetryPolicy, CapsAtMaxDelay)
+{
+    RetryPolicy p;
+    p.baseDelayMs = 100;
+    p.maxDelayMs = 400;
+    for (int a = 0; a < 20; a++)
+        EXPECT_LE(p.delayMs(a, 0), 400u);
+    // Far past any sane attempt count (shift-overflow territory).
+    EXPECT_LE(p.delayMs(63, 0), 400u);
+}
+
+// --------------------------------------------------------------------
+// Address parsing and auth primitives
+// --------------------------------------------------------------------
+
+TEST(ServeAddr, ParsesTheWholeGrammar)
+{
+    ServeAddr a;
+    std::string err;
+
+    ASSERT_TRUE(parseServeAddr("unix:/run/dws.sock", a, err)) << err;
+    EXPECT_EQ(a.kind, ServeAddr::Kind::Unix);
+    EXPECT_EQ(a.path, "/run/dws.sock");
+
+    ASSERT_TRUE(parseServeAddr("/tmp/x.sock", a, err)) << err;
+    EXPECT_EQ(a.kind, ServeAddr::Kind::Unix);
+    EXPECT_EQ(a.path, "/tmp/x.sock");
+
+    ASSERT_TRUE(parseServeAddr("tcp:localhost:7811", a, err)) << err;
+    EXPECT_EQ(a.kind, ServeAddr::Kind::Tcp);
+    EXPECT_EQ(a.host, "localhost");
+    EXPECT_EQ(a.port, 7811);
+
+    // HOST:PORT with a numeric port is TCP...
+    ASSERT_TRUE(parseServeAddr("127.0.0.1:0", a, err)) << err;
+    EXPECT_EQ(a.kind, ServeAddr::Kind::Tcp);
+    EXPECT_EQ(a.port, 0);
+
+    // ...but a bare name without one is a (relative) Unix path.
+    ASSERT_TRUE(parseServeAddr("dws.sock", a, err)) << err;
+    EXPECT_EQ(a.kind, ServeAddr::Kind::Unix);
+    EXPECT_EQ(a.path, "dws.sock");
+
+    EXPECT_FALSE(parseServeAddr("", a, err));
+    EXPECT_FALSE(parseServeAddr("tcp:", a, err));
+    EXPECT_FALSE(parseServeAddr("tcp:host", a, err));
+    EXPECT_FALSE(parseServeAddr("tcp:host:notaport", a, err));
+    EXPECT_FALSE(parseServeAddr("tcp:host:99999", a, err));
+
+    // spec() round-trips.
+    ASSERT_TRUE(parseServeAddr("tcp:127.0.0.1:80", a, err));
+    ServeAddr b;
+    ASSERT_TRUE(parseServeAddr(a.spec(), b, err));
+    EXPECT_EQ(b.kind, ServeAddr::Kind::Tcp);
+    EXPECT_EQ(b.host, a.host);
+    EXPECT_EQ(b.port, a.port);
+}
+
+TEST(Auth, ConstantTimeEqCompares)
+{
+    EXPECT_TRUE(constantTimeEq("", ""));
+    EXPECT_TRUE(constantTimeEq("sekrit", "sekrit"));
+    EXPECT_FALSE(constantTimeEq("sekrit", "sekrit2"));
+    EXPECT_FALSE(constantTimeEq("sekrit", "Sekrit"));
+    EXPECT_FALSE(constantTimeEq("a", ""));
+}
+
+// --------------------------------------------------------------------
+// Deadline-bounded frame I/O
+// --------------------------------------------------------------------
+
+TEST(DeadlineIo, IdleConnectionTimesOut)
+{
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    makeNonBlocking(sv[1]);
+    ServeFrame f;
+    EXPECT_EQ(readFrameDeadline(sv[1], f, 50, 1000),
+              FrameIo::IdleTimeout);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(DeadlineIo, SlowLorisFrameIsCutOff)
+{
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    makeNonBlocking(sv[1]);
+    // Four bytes of a valid header, then silence: the *frame* deadline
+    // (not the idle deadline) must end the wait.
+    ASSERT_EQ(write(sv[0], "DWSV", 4), 4);
+    ServeFrame f;
+    EXPECT_EQ(readFrameDeadline(sv[1], f, 5000, 80), FrameIo::TimedOut);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(DeadlineIo, WriteToNonDrainingPeerTimesOut)
+{
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    makeNonBlocking(sv[0]);
+    // A reply bigger than any socket buffer, against a peer that never
+    // reads: the writer must give up at its deadline, not park forever.
+    const std::vector<std::uint8_t> huge(8u << 20, 0x7e);
+    EXPECT_EQ(writeFrameDeadline(sv[0], FrameType::Error, huge, 150),
+              FrameIo::TimedOut);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(DeadlineIo, CompleteFrameWithinDeadlineRoundTrips)
+{
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    makeNonBlocking(sv[0]);
+    makeNonBlocking(sv[1]);
+    ASSERT_EQ(writeFrameDeadline(sv[0], FrameType::Error,
+                                 encodeError("hi"), 1000),
+              FrameIo::Ok);
+    ServeFrame f;
+    ASSERT_EQ(readFrameDeadline(sv[1], f, 1000, 1000), FrameIo::Ok);
+    EXPECT_EQ(f.type, FrameType::Error);
+    std::string msg;
+    ASSERT_TRUE(decodeError(f.payload, msg));
+    EXPECT_EQ(msg, "hi");
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+// --------------------------------------------------------------------
+// Daemon: TCP listener, auth, overload, drain
+// --------------------------------------------------------------------
+
+TEST(ServeTcp, TcpAndUnixEndpointsServeByteIdenticalResults)
+{
+    TempDir tmp;
+    ServeDaemon::Options opts;
+    opts.socketPath = tmp.path + "/serve.sock";
+    opts.tcpListen = "127.0.0.1:0"; // ephemeral port
+    opts.cacheDir = tmp.path + "/cache";
+    opts.jobs = 1;
+    ServeDaemon daemon(opts);
+    std::string err;
+    ASSERT_TRUE(daemon.start(err)) << err;
+    const std::string tcpEp = daemon.tcpEndpoint();
+    ASSERT_EQ(tcpEp.rfind("tcp:127.0.0.1:", 0), 0u) << tcpEp;
+
+    const std::vector<ServeJob> jobs = {
+        tinyJob("Short", PolicyConfig::conv(), "Conv")};
+
+    ServeClient viaUnix;
+    ASSERT_TRUE(viaUnix.connectTo(opts.socketPath, err)) << err;
+    std::vector<ServeResult> cold;
+    ASSERT_TRUE(viaUnix.submitBatch(jobs, cold, err)) << err;
+    ASSERT_TRUE(cold[0].ok()) << cold[0].error;
+    EXPECT_FALSE(cold[0].cached);
+
+    ServeClient viaTcp;
+    ASSERT_TRUE(viaTcp.connectTo(tcpEp, err)) << err;
+    std::vector<ServeResult> warm;
+    ASSERT_TRUE(viaTcp.submitBatch(jobs, warm, err)) << err;
+    ASSERT_TRUE(warm[0].ok()) << warm[0].error;
+    // Same daemon, same cache: the TCP client gets the warm hit and
+    // the exact bytes the Unix client computed...
+    EXPECT_TRUE(warm[0].cached);
+    EXPECT_EQ(warm[0].fingerprint, cold[0].fingerprint);
+
+    // ...and both match a daemon-less local run.
+    const RunResult local = runKernel(
+            "Short", SystemConfig::table3(PolicyConfig::conv()),
+            KernelScale::Tiny);
+    EXPECT_EQ(cold[0].fingerprint, local.stats.fingerprint());
+    daemon.stop();
+}
+
+TEST(ServeAuth, TokenGatesEverythingButStatus)
+{
+    TempDir tmp;
+    ServeDaemon::Options opts;
+    opts.socketPath = tmp.path + "/serve.sock";
+    opts.cacheDir = tmp.path + "/cache";
+    opts.authToken = "sekrit";
+    opts.jobs = 1;
+    ServeDaemon daemon(opts);
+    std::string err;
+    ASSERT_TRUE(daemon.start(err)) << err;
+
+    // Right token: full service.
+    {
+        ClientOptions copts;
+        copts.authToken = "sekrit";
+        ServeClient client(copts);
+        ASSERT_TRUE(client.connectTo(opts.socketPath, err)) << err;
+        std::vector<ServeResult> res;
+        ASSERT_TRUE(client.submitBatch(
+                {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res,
+                err))
+                << err;
+        EXPECT_TRUE(res[0].ok()) << res[0].error;
+    }
+    // Wrong token: the handshake itself fails.
+    {
+        ClientOptions copts;
+        copts.authToken = "wrong";
+        ServeClient client(copts);
+        EXPECT_FALSE(client.connectTo(opts.socketPath, err));
+        EXPECT_EQ(client.lastStatus(), RpcStatus::ConnectFailed);
+        EXPECT_NE(err.find("auth"), std::string::npos) << err;
+    }
+    // No token: Status answers (liveness probing needs no secret),
+    // work does not.
+    {
+        ServeClient client;
+        ASSERT_TRUE(client.connectTo(opts.socketPath, err)) << err;
+        ServeStatus st;
+        EXPECT_TRUE(client.status(st, err)) << err;
+        std::vector<ServeResult> res;
+        EXPECT_FALSE(client.submitBatch(
+                {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res,
+                err));
+        EXPECT_EQ(client.lastStatus(), RpcStatus::Refused);
+        EXPECT_NE(err.find("auth"), std::string::npos) << err;
+    }
+    daemon.stop();
+}
+
+TEST(ServeOverload, AdmissionCapRepliesBusyAndConnectionSurvives)
+{
+    TempDir tmp;
+    ServeDaemon::Options opts;
+    opts.socketPath = tmp.path + "/serve.sock";
+    opts.cacheDir = tmp.path + "/cache";
+    opts.jobs = 1;
+    opts.admissionCap = 1; // any batch of 2 overflows
+    ServeDaemon daemon(opts);
+    std::string err;
+    ASSERT_TRUE(daemon.start(err)) << err;
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectTo(opts.socketPath, err)) << err;
+    std::vector<ServeResult> res;
+    EXPECT_FALSE(client.submitBatch(
+            {tinyJob("Short", PolicyConfig::conv(), "Conv"),
+             tinyJob("Merge", PolicyConfig::conv(), "Conv")},
+            res, err));
+    // Busy is backpressure, not a broken stream: classified, hinted,
+    // and the connection stays usable.
+    EXPECT_EQ(client.lastStatus(), RpcStatus::Busy);
+    EXPECT_GT(client.busyRetryAfterMs(), 0u);
+    EXPECT_TRUE(client.connected());
+    ASSERT_TRUE(client.submitBatch(
+            {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res, err))
+            << err;
+    EXPECT_TRUE(res[0].ok()) << res[0].error;
+
+    ServeHealth h;
+    ASSERT_TRUE(client.health(h, err)) << err;
+    EXPECT_EQ(h.admissionCap, 1u);
+    EXPECT_GE(h.busyRejected, 1u);
+    EXPECT_EQ(h.draining, 0);
+    daemon.stop();
+}
+
+TEST(ServeOverload, ConnectionCapRefusesWithBusyNotSilence)
+{
+    TempDir tmp;
+    ServeDaemon::Options opts;
+    opts.socketPath = tmp.path + "/serve.sock";
+    opts.cacheDir = tmp.path + "/cache";
+    opts.jobs = 1;
+    opts.maxConns = 1;
+    ServeDaemon daemon(opts);
+    std::string err;
+    ASSERT_TRUE(daemon.start(err)) << err;
+
+    ServeClient first;
+    ASSERT_TRUE(first.connectTo(opts.socketPath, err)) << err;
+    ServeStatus st;
+    ASSERT_TRUE(first.status(st, err)) << err; // holds the only slot
+
+    // The second connection is told why, then closed — never left
+    // hanging, never dropped without a reply.
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::snprintf(sa.sun_path, sizeof(sa.sun_path), "%s",
+                  opts.socketPath.c_str());
+    ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr *>(&sa), sizeof sa),
+              0);
+    ServeFrame f;
+    ASSERT_EQ(readFrame(fd, f), FrameIo::Ok);
+    EXPECT_EQ(f.type, FrameType::Busy);
+    std::string msg;
+    std::uint32_t hint = 0;
+    ASSERT_TRUE(decodeBusy(f.payload, msg, hint));
+    EXPECT_NE(msg.find("connection"), std::string::npos) << msg;
+    EXPECT_EQ(readFrame(fd, f), FrameIo::Eof);
+    ::close(fd);
+    daemon.stop();
+}
+
+TEST(ServeDrain, DrainRefusesNewWorkAnswersHealthThenStops)
+{
+    TempDir tmp;
+    ServeDaemon::Options opts;
+    opts.socketPath = tmp.path + "/serve.sock";
+    opts.cacheDir = tmp.path + "/cache";
+    opts.jobs = 1;
+    ServeDaemon daemon(opts);
+    std::string err;
+    ASSERT_TRUE(daemon.start(err)) << err;
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectTo(opts.socketPath, err)) << err;
+    std::vector<ServeResult> res;
+    ASSERT_TRUE(client.submitBatch(
+            {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res, err))
+            << err;
+    ASSERT_TRUE(res[0].ok()) << res[0].error;
+
+    daemon.beginDrain();
+    // New work is refused with Busy("draining")...
+    EXPECT_FALSE(client.submitBatch(
+            {tinyJob("Merge", PolicyConfig::conv(), "Conv")}, res,
+            err));
+    EXPECT_EQ(client.lastStatus(), RpcStatus::Busy);
+    EXPECT_NE(err.find("drain"), std::string::npos) << err;
+    // ...while health/status stay answerable for observability.
+    ServeHealth h;
+    ASSERT_TRUE(client.health(h, err)) << err;
+    EXPECT_EQ(h.draining, 1);
+
+    daemon.drainAndStop(); // no in-flight jobs: returns promptly
+    ServeClient after;
+    EXPECT_FALSE(after.connectTo(opts.socketPath, err));
+}
+
+// --------------------------------------------------------------------
+// The fault proxy, class by class
+// --------------------------------------------------------------------
+
+/** Daemon behind a proxy faulting the first `faultConns` connections. */
+struct ProxiedDaemon
+{
+    explicit ProxiedDaemon(NetFaultClass cls, std::size_t faultConns = 1)
+    {
+        ServeDaemon::Options opts;
+        opts.socketPath = tmp.path + "/serve.sock";
+        opts.cacheDir = tmp.path + "/cache";
+        opts.jobs = 1;
+        daemon = std::make_unique<ServeDaemon>(opts);
+        std::string err;
+        started = daemon->start(err);
+        EXPECT_TRUE(started) << err;
+
+        FaultProxy::Options popts;
+        popts.upstream = "unix:" + opts.socketPath;
+        popts.cls = cls;
+        popts.faultConns = faultConns;
+        popts.seed = 3;
+        popts.maxWaitMs = 5000;
+        proxy = std::make_unique<FaultProxy>(popts);
+        started = started && proxy->start(err);
+        EXPECT_TRUE(started) << err;
+    }
+    ~ProxiedDaemon()
+    {
+        proxy->stop();
+        daemon->stop();
+    }
+
+    TempDir tmp;
+    std::unique_ptr<ServeDaemon> daemon;
+    std::unique_ptr<FaultProxy> proxy;
+    bool started = false;
+};
+
+TEST(FaultProxy, CorruptByteIsDetectedThenCleanConnectionServes)
+{
+    ProxiedDaemon fx(NetFaultClass::CorruptByte);
+    ASSERT_TRUE(fx.started);
+    const std::vector<ServeJob> jobs = {
+        tinyJob("Short", PolicyConfig::conv(), "Conv")};
+    std::string err;
+
+    // Connection 0 is faulted: the flipped byte must be *detected*
+    // (checksum), never decoded into a wrong table.
+    ServeClient c0;
+    ASSERT_TRUE(c0.connectTo(fx.proxy->endpoint(), err)) << err;
+    std::vector<ServeResult> res;
+    EXPECT_FALSE(c0.submitBatch(jobs, res, err));
+    EXPECT_EQ(c0.lastStatus(), RpcStatus::ProtocolError);
+
+    // Connection 1 is clean; the reply matches a daemon-less run.
+    ServeClient c1;
+    ASSERT_TRUE(c1.connectTo(fx.proxy->endpoint(), err)) << err;
+    ASSERT_TRUE(c1.submitBatch(jobs, res, err)) << err;
+    ASSERT_TRUE(res[0].ok()) << res[0].error;
+    const RunResult local = runKernel(
+            "Short", SystemConfig::table3(PolicyConfig::conv()),
+            KernelScale::Tiny);
+    EXPECT_EQ(res[0].fingerprint, local.stats.fingerprint());
+    EXPECT_EQ(fx.proxy->connectionsFaulted(), 1u);
+    EXPECT_GE(fx.proxy->connectionsSeen(), 2u);
+}
+
+TEST(FaultProxy, StallPastDeadlineTripsTheRpcTimeout)
+{
+    ProxiedDaemon fx(NetFaultClass::StallPastDeadline);
+    ASSERT_TRUE(fx.started);
+    ClientOptions copts;
+    copts.rpcTimeoutMs = 200;
+    ServeClient client(copts);
+    std::string err;
+    ASSERT_TRUE(client.connectTo(fx.proxy->endpoint(), err)) << err;
+    std::vector<ServeResult> res;
+    EXPECT_FALSE(client.submitBatch(
+            {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res,
+            err));
+    EXPECT_EQ(client.lastStatus(), RpcStatus::TimedOut);
+}
+
+TEST(FaultProxy, MidFrameAndTruncatedRepliesAreProtocolErrors)
+{
+    for (const NetFaultClass cls : {NetFaultClass::MidFrameDisconnect,
+                                    NetFaultClass::TruncatedReply}) {
+        ProxiedDaemon fx(cls);
+        ASSERT_TRUE(fx.started);
+        ServeClient client;
+        std::string err;
+        ASSERT_TRUE(client.connectTo(fx.proxy->endpoint(), err)) << err;
+        std::vector<ServeResult> res;
+        EXPECT_FALSE(client.submitBatch(
+                {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res,
+                err))
+                << netFaultClassName(cls);
+        EXPECT_EQ(client.lastStatus(), RpcStatus::ProtocolError)
+                << netFaultClassName(cls);
+        EXPECT_FALSE(client.connected());
+    }
+}
+
+TEST(FaultProxy, BusyStormIsClassifiedBusy)
+{
+    ProxiedDaemon fx(NetFaultClass::BusyStorm);
+    ASSERT_TRUE(fx.started);
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectTo(fx.proxy->endpoint(), err)) << err;
+    std::vector<ServeResult> res;
+    EXPECT_FALSE(client.submitBatch(
+            {tinyJob("Short", PolicyConfig::conv(), "Conv")}, res,
+            err));
+    EXPECT_EQ(client.lastStatus(), RpcStatus::Busy);
+    EXPECT_EQ(client.busyRetryAfterMs(), 10u);
+}
+
+TEST(FaultProxy, ExecutorRetriesThroughTransientFaultToExactResult)
+{
+    ProxiedDaemon fx(NetFaultClass::MidFrameDisconnect, 1);
+    ASSERT_TRUE(fx.started);
+    const SweepJob job{"Short",
+                       SystemConfig::table3(PolicyConfig::conv()),
+                       KernelScale::Tiny, "Conv"};
+    SweepExecutor local(1);
+    const RunStats localStats = local.submit(job).get().run.stats;
+
+    SweepExecutor ex(1);
+    ServeConfig cfg;
+    cfg.endpoint = fx.proxy->endpoint();
+    cfg.connectTimeoutMs = 2000;
+    cfg.rpcTimeoutMs = 2000;
+    cfg.retry.maxAttempts = 4;
+    cfg.retry.baseDelayMs = 5;
+    cfg.retry.maxDelayMs = 50;
+    ex.setServe(cfg);
+    const JobResult r = ex.submit(job).get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    // Retried to success, not degraded — and the replay over a fresh
+    // connection is bit-identical to the daemon-less run.
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.run.stats.fingerprint(), localStats.fingerprint());
+    EXPECT_GE(fx.proxy->connectionsFaulted(), 1u);
+}
+
+TEST(NetChaos, SingleClassCampaignPassesBothModes)
+{
+    TempDir tmp;
+    NetChaosOptions opt;
+    opt.classes = {NetFaultClass::ConnRefused};
+    opt.workDir = tmp.path + "/chaos";
+    opt.kernels = {"Short"};
+    opt.policies = {"Conv"};
+    // Generous RPC deadline: sanitizer/Debug builds on a loaded 1-core
+    // box can take >500ms to answer even a Status probe, and a spurious
+    // timeout turns the transient cell into a degraded one.
+    opt.rpcTimeoutMs = 3000;
+    opt.retryBaseDelayMs = 5;
+    const NetChaosReport report = runNetChaosCampaign(opt);
+    ASSERT_EQ(report.cells.size(), 2u);
+    EXPECT_TRUE(report.allPassed())
+            << report.cells[0].detail << " / "
+            << report.cells[1].detail;
+    // Transient mode retried to success (nothing degraded);
+    // persistent mode degraded everything to correct local runs.
+    EXPECT_EQ(report.cells[0].mode, "transient");
+    EXPECT_EQ(report.cells[0].degraded, 0);
+    EXPECT_EQ(report.cells[1].mode, "persistent");
+    EXPECT_EQ(report.cells[1].degraded, report.cells[1].jobs);
+}
+
+// --------------------------------------------------------------------
+// Result-cache crash safety
+// --------------------------------------------------------------------
+
+TEST(ResultCacheCrash, OrphanedTmpFilesAreSweptAtOpen)
+{
+    TempDir tmp;
+    const std::string dir = tmp.path + "/cache";
+    fs::create_directories(dir);
+    // A daemon killed between write and rename leaves exactly this.
+    const std::string orphan = dir + "/00000000deadbeef.dwsr.tmp";
+    {
+        std::ofstream f(orphan);
+        f << "half-written entry";
+    }
+    ResultCache cache(dir);
+    std::string err;
+    ASSERT_TRUE(cache.open(err)) << err;
+    EXPECT_FALSE(fs::exists(orphan));
+    EXPECT_EQ(cache.counters().entries, 0u);
+}
+
+} // namespace
+} // namespace dws

@@ -460,13 +460,14 @@ TEST(ServeProtocol, BadMagicVersionOversizedAndTruncatedFrames)
         ::close(sv[0]);
         ::close(sv[1]);
     }
-    // Oversized length prefix.
+    // Oversized length prefix (v2 16-byte header; the length check
+    // runs before the checksum, so a bogus checksum is fine here).
     {
         int sv[2];
         ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
-        std::uint8_t hdr[12] = {0};
+        std::uint8_t hdr[kFrameHeaderBytes] = {0};
         hdr[0] = 'D'; hdr[1] = 'W'; hdr[2] = 'S'; hdr[3] = 'V';
-        hdr[4] = 1;
+        hdr[4] = kServeVersion;
         hdr[6] = 1;
         hdr[8] = 0xff; hdr[9] = 0xff; hdr[10] = 0xff; hdr[11] = 0xff;
         ASSERT_EQ(write(sv[0], hdr, sizeof hdr), (ssize_t)sizeof hdr);
@@ -479,15 +480,44 @@ TEST(ServeProtocol, BadMagicVersionOversizedAndTruncatedFrames)
     {
         int sv[2];
         ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
-        std::uint8_t hdr[12] = {0};
+        std::uint8_t hdr[kFrameHeaderBytes] = {0};
         hdr[0] = 'D'; hdr[1] = 'W'; hdr[2] = 'S'; hdr[3] = 'V';
-        hdr[4] = 1;
+        hdr[4] = kServeVersion;
         hdr[6] = 1;
         hdr[8] = 100; // 100-byte payload that never arrives
         ASSERT_EQ(write(sv[0], hdr, sizeof hdr), (ssize_t)sizeof hdr);
         ::close(sv[0]);
         ServeFrame f;
         EXPECT_EQ(readFrame(sv[1], f), FrameIo::Truncated);
+        ::close(sv[1]);
+    }
+    // One flipped payload byte: the frame checksum must catch it —
+    // corruption is *detected*, never decoded.
+    {
+        int sv[2];
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        std::vector<std::uint8_t> wire =
+                encodeFrame(FrameType::Error, encodeError("corrupt me"));
+        wire[kFrameHeaderBytes + 3] ^= 0x5a;
+        ASSERT_EQ(write(sv[0], wire.data(), wire.size()),
+                  (ssize_t)wire.size());
+        ServeFrame f;
+        EXPECT_EQ(readFrame(sv[1], f), FrameIo::BadChecksum);
+        ::close(sv[0]);
+        ::close(sv[1]);
+    }
+    // A flipped header byte (the frame type) is caught too.
+    {
+        int sv[2];
+        ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        std::vector<std::uint8_t> wire =
+                encodeFrame(FrameType::Error, encodeError("x"));
+        wire[6] ^= 0x01; // type low byte, covered by the checksum
+        ASSERT_EQ(write(sv[0], wire.data(), wire.size()),
+                  (ssize_t)wire.size());
+        ServeFrame f;
+        EXPECT_EQ(readFrame(sv[1], f), FrameIo::BadChecksum);
+        ::close(sv[0]);
         ::close(sv[1]);
     }
     // Truncated inside the header itself.
@@ -811,12 +841,45 @@ TEST(ServeExecutor, ServedSweepIsBitIdenticalToLocal)
     EXPECT_TRUE(recs[0].cached);
 }
 
-TEST(ServeExecutorDeathTest, SetServeFatalsWhenNoDaemonListens)
+TEST(ServeExecutor, UnreachableDaemonDegradesToBitIdenticalLocalRun)
+{
+    TempDir tmp;
+    const SweepJob job{"Short",
+                       SystemConfig::table3(PolicyConfig::conv()),
+                       KernelScale::Tiny, "Conv"};
+    SweepExecutor local(1);
+    const RunStats localStats = local.submit(job).get().run.stats;
+
+    SweepExecutor ex(1);
+    ServeConfig cfg;
+    cfg.endpoint = tmp.path + "/nobody.sock";
+    cfg.connectTimeoutMs = 200;
+    cfg.retry.maxAttempts = 2;
+    cfg.retry.baseDelayMs = 1;
+    cfg.retry.maxDelayMs = 4;
+    ex.setServe(cfg); // degrades: warn once, serve mode off
+    const JobResult r = ex.submit(job).get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.degraded);
+    EXPECT_FALSE(r.cached);
+    // Degraded means *local and correct*, not approximate.
+    EXPECT_EQ(r.run.stats.fingerprint(), localStats.fingerprint());
+    const auto recs = ex.records();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_TRUE(recs[0].degraded);
+}
+
+TEST(ServeExecutorDeathTest, NoFallbackMakesUnreachableDaemonFatal)
 {
     TempDir tmp;
     SweepExecutor ex(1);
-    EXPECT_EXIT(ex.setServe(tmp.path + "/nobody.sock"),
-                ::testing::ExitedWithCode(1), "--serve");
+    ServeConfig cfg;
+    cfg.endpoint = tmp.path + "/nobody.sock";
+    cfg.connectTimeoutMs = 200;
+    cfg.retry.maxAttempts = 1;
+    cfg.allowFallback = false;
+    EXPECT_EXIT(ex.setServe(cfg), ::testing::ExitedWithCode(1),
+                "--serve");
 }
 
 // --------------------------------------------------------------------

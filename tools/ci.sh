@@ -8,8 +8,14 @@
 # throughput benchmark (archived to BENCH_throughput.json) + the sweep
 # service (a dws_serve daemon serves the figure sweep twice: the warm
 # run must be 100% cache hits, byte-identical and >=5x faster, and the
-# cache must survive a daemon restart; archived to BENCH_serve.json),
-# then the
+# cache must survive a daemon restart; archived to BENCH_serve.json)
+# + a TCP-loopback serve leg (the same daemon reached over
+# --listen/--connect must produce byte-identical tables and 100% warm
+# hits across a SIGTERM-drained restart, and dws_client must exit 3 on
+# an unreachable endpoint)
+# + the network chaos campaign (dws_chaos: every fault class x
+# transient/persistent under a hard timeout, gated on all cells
+# passing; archived to BENCH_chaos.json), then the
 # tracing subsystem (fingerprint neutrality, a traced figure bench
 # validated with dws_trace check + Perfetto convert, tracing overhead
 # archived to BENCH_trace_overhead.json, and a DWS_TRACING=OFF build
@@ -273,6 +279,112 @@ print("  %d cells; cold %.0f ms, warm %.0f ms (%.0fx); 100%% warm hits;"
       % (len(cold), cold_ms, warm_ms, speedup))
 EOF
 rm -rf "$SERVE_DIR"
+
+echo "=== Release: sweep service over TCP loopback (+ drain, client UX) ==="
+# The same daemon, reached over --listen/--connect instead of the Unix
+# socket, must produce byte-identical figure tables; the cache must be
+# shared across both transports (the TCP run after the Unix run is 100%
+# warm); a SIGTERM must drain the daemon cleanly (exit 0); and after a
+# restart on the same cache directory the TCP run is still 100% warm.
+TCP_DIR=$(mktemp -d)
+SOCK="$TCP_DIR/serve.sock"
+./build-ci-release/tools/dws_serve --socket "$SOCK" \
+    --listen 127.0.0.1:0 --endpoint-file "$TCP_DIR/endpoint" \
+    --cache-dir "$TCP_DIR/cache" --jobs "$JOBS" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -s "$TCP_DIR/endpoint" ] && break; sleep 0.1; done
+EP=$(cat "$TCP_DIR/endpoint")
+./build-ci-release/tools/dws_client --connect "$EP" status >/dev/null
+./build-ci-release/tools/dws_client --connect "$EP" health >/dev/null
+
+# dws_client UX: an unreachable endpoint is a distinct exit code (3),
+# not a generic failure.
+set +e
+./build-ci-release/tools/dws_client --socket "$TCP_DIR/nobody.sock" \
+    status >/dev/null 2>&1
+UNREACH_RC=$?
+set -e
+if [ "$UNREACH_RC" -ne 3 ]; then
+    echo "  FAIL: unreachable endpoint exit code $UNREACH_RC (want 3)"
+    exit 1
+fi
+echo "  dws_client exit code on unreachable endpoint: 3"
+
+./build-ci-release/bench/bench_fig13_schemes --fast \
+    > "$TCP_DIR/direct.txt"
+./build-ci-release/bench/bench_fig13_schemes --fast --serve "$SOCK" \
+    --json "$TCP_DIR/unix.json" > "$TCP_DIR/unix.txt"
+./build-ci-release/bench/bench_fig13_schemes --fast --serve "$EP" \
+    --json "$TCP_DIR/tcp.json" > "$TCP_DIR/tcp.txt"
+cmp "$TCP_DIR/direct.txt" "$TCP_DIR/unix.txt"
+cmp "$TCP_DIR/direct.txt" "$TCP_DIR/tcp.txt"
+echo "  direct / unix-socket / tcp table output byte-identical"
+
+# Clean SIGTERM drain, then restart on the same cache: still 100% warm
+# over TCP.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+echo "  SIGTERM drain: daemon exited 0"
+./build-ci-release/tools/dws_serve --socket "$SOCK" \
+    --listen 127.0.0.1:0 --endpoint-file "$TCP_DIR/endpoint2" \
+    --cache-dir "$TCP_DIR/cache" --jobs "$JOBS" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$TCP_DIR/endpoint2" ] && break; sleep 0.1; done
+EP2=$(cat "$TCP_DIR/endpoint2")
+./build-ci-release/bench/bench_fig13_schemes --fast --serve "$EP2" \
+    --json "$TCP_DIR/restart.json" > "$TCP_DIR/restart.txt"
+cmp "$TCP_DIR/direct.txt" "$TCP_DIR/restart.txt"
+./build-ci-release/tools/dws_client --connect "$EP2" shutdown >/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+
+python3 - "$TCP_DIR" <<'EOF'
+import json, sys
+d = sys.argv[1]
+def load(p):
+    return json.load(open(p))["results"]
+unix, tcp, restart = (load("%s/%s.json" % (d, n))
+                      for n in ("unix", "tcp", "restart"))
+assert unix and len(unix) == len(tcp) == len(restart)
+assert all(r["outcome"] == "ok" for r in unix + tcp + restart)
+assert not any(r.get("degraded") for r in unix + tcp + restart), \
+    "a served run degraded to local simulation"
+miss = [r for r in tcp if not r.get("cached")]
+assert not miss, "tcp run not 100%% warm: %d misses" % len(miss)
+miss = [r for r in restart if not r.get("cached")]
+assert not miss, "cache lost on restart: %d misses" % len(miss)
+def cells(rows):
+    return {(r["label"], r["kernel"]): (r["cycles"], r["energy_nj"])
+            for r in rows}
+assert cells(unix) == cells(tcp) == cells(restart), "cells diverged"
+print("  %d cells; tcp + restarted-tcp 100%% warm, byte-identical"
+      % len(unix))
+EOF
+rm -rf "$TCP_DIR"
+
+echo "=== Release: network chaos campaign (all classes, fixed seed) ==="
+# Every network-fault class, in transient (retry-to-success) and
+# persistent (degrade-to-correct-local) mode, against a daemon-less
+# baseline: zero wrong tables, zero hangs. The hard timeout is the
+# no-hang gate; the report is archived to BENCH_chaos.json.
+CHAOS_DIR=$(mktemp -d)
+timeout 900 ./build-ci-release/tools/dws_chaos --seed 1 \
+    --work-dir "$CHAOS_DIR/work" --out BENCH_chaos.json
+python3 - <<'EOF'
+import json
+rep = json.load(open("BENCH_chaos.json"))
+assert rep["failed"] == 0, "chaos cells failed: %d" % rep["failed"]
+runs = rep["runs"]
+assert len(runs) == 12, "expected 12 cells (6 classes x 2), got %d" \
+    % len(runs)
+assert all(r["pass"] and r["matched"] == r["jobs"] for r in runs)
+deg = [r for r in runs if r["mode"] == "persistent"]
+assert all(r["degraded"] == r["jobs"] for r in deg), \
+    "a persistent-fault cell did not degrade to local"
+print("  12/12 chaos cells passed; archived BENCH_chaos.json")
+EOF
+rm -rf "$CHAOS_DIR"
 
 echo "=== Tracing compiled out (DWS_TRACING=OFF): build + ctest ==="
 cmake -S . -B build-ci-notrace -DCMAKE_BUILD_TYPE=Release \

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * dws_chaos: network-chaos campaign runner for the sweep service
+ * (DESIGN.md §17, EXPERIMENTS.md).
+ *
+ * Boots a real dws_serve daemon behind a deterministic fault proxy
+ * (fault/netfault.hh) and drives a mini-sweep through every
+ * network-fault class in two modes — transient (the client must retry
+ * to success) and persistent (the client must degrade to a correct
+ * local run). A campaign passes only if EVERY cell's RunStats
+ * fingerprint is byte-identical to a daemon-less baseline: zero wrong
+ * tables, zero hangs.
+ *
+ *   dws_chaos                          # all classes, default seed
+ *   dws_chaos --class corrupt-byte --seed 7 --out BENCH_chaos.json
+ *
+ * Exit code 0 iff all cells passed.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "fault/netfault.hh"
+#include "serve/transport.hh"
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+
+using namespace dws;
+
+namespace {
+
+void
+usage()
+{
+    std::puts(
+        "usage: dws_chaos [options]\n"
+        "  --class NAME    restrict to one fault class (repeatable):\n"
+        "                  conn-refused, mid-frame-disconnect, "
+        "corrupt-byte,\n"
+        "                  stall-past-deadline, truncated-reply, "
+        "busy-storm\n"
+        "  --seed N        determinism seed (default 1)\n"
+        "  --work-dir DIR  scratch directory (default .dws_chaos)\n"
+        "  --rpc-timeout MS  client per-RPC deadline (default 1500)\n"
+        "  --out FILE      write the JSON report to FILE\n"
+        "  --help          this message");
+}
+
+NetFaultClass
+classByName(const std::string &name)
+{
+    for (NetFaultClass c : allNetFaultClasses())
+        if (name == netFaultClassName(c))
+            return c;
+    fatal("unknown fault class '%s'", name.c_str());
+    return NetFaultClass::ConnRefused; // unreachable
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    NetChaosOptions opts;
+    opts.rpcTimeoutMs = 1500;
+    std::string outPath;
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--class") == 0) {
+            if (i + 1 >= argc)
+                fatal("--class requires a fault-class name");
+            opts.classes.push_back(classByName(argv[++i]));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            if (i + 1 >= argc)
+                fatal("--seed requires an integer");
+            const auto n = parseUint64(argv[++i]);
+            if (!n)
+                fatal("--seed '%s' is not an integer", argv[i]);
+            opts.seed = *n;
+        } else if (std::strcmp(arg, "--work-dir") == 0) {
+            if (i + 1 >= argc)
+                fatal("--work-dir requires a directory");
+            opts.workDir = argv[++i];
+        } else if (std::strcmp(arg, "--rpc-timeout") == 0) {
+            if (i + 1 >= argc)
+                fatal("--rpc-timeout requires milliseconds");
+            const auto n = parseInt64InRange(argv[++i], 50, 600000);
+            if (!n)
+                fatal("--rpc-timeout '%s' is not a valid millisecond "
+                      "count", argv[i]);
+            opts.rpcTimeoutMs = static_cast<int>(*n);
+        } else if (std::strcmp(arg, "--out") == 0) {
+            if (i + 1 >= argc)
+                fatal("--out requires a file path");
+            outPath = argv[++i];
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument '%s'", arg);
+        }
+    }
+
+    setQuiet(false);
+    ignoreSigpipe();
+    const NetChaosReport report = runNetChaosCampaign(opts);
+
+    std::printf("\n%-22s %-11s %5s %7s %6s %8s  %s\n", "class", "mode",
+                "jobs", "matched", "served", "degraded", "result");
+    for (const NetChaosCell &c : report.cells) {
+        std::printf("%-22s %-11s %5d %7d %6d %8d  %s%s%s\n",
+                    netFaultClassName(c.cls), c.mode.c_str(), c.jobs,
+                    c.matched, c.served, c.degraded,
+                    c.pass ? "PASS" : "FAIL",
+                    c.detail.empty() ? "" : " — ", c.detail.c_str());
+    }
+    std::printf("\n%d/%d cells passed\n", report.passed,
+                report.passed + report.failed);
+
+    if (!outPath.empty()) {
+        std::ofstream f(outPath, std::ios::trunc);
+        if (!f)
+            fatal("cannot write '%s'", outPath.c_str());
+        writeNetChaosReport(report, f);
+        inform("chaos report written to %s", outPath.c_str());
+    }
+    return report.allPassed() ? 0 : 1;
+}

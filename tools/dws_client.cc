@@ -5,6 +5,7 @@
  * Speaks the batched frame protocol (serve/protocol.hh) directly:
  *
  *   dws_client --socket /tmp/dws.sock status
+ *   dws_client --connect 127.0.0.1:7811 --auth SECRET health
  *   dws_client --socket /tmp/dws.sock cache-stats
  *   dws_client --socket /tmp/dws.sock flush
  *   dws_client --socket /tmp/dws.sock shutdown
@@ -16,9 +17,17 @@
  * the exact RunStats of each cell is rebuilt from its fingerprint —
  * warm cells never re-simulate, and the table is byte-identical to the
  * bench_fig13_schemes output.
+ *
+ * Exit codes (scriptable):
+ *   0  success
+ *   1  usage/configuration error
+ *   3  daemon unreachable (connect/auth failed)
+ *   4  protocol error (bad frame, timeout, unexpected reply)
+ *   5  daemon overloaded (Busy reply)
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -27,6 +36,7 @@
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "serve/client.hh"
+#include "serve/transport.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -36,15 +46,28 @@ using namespace dws;
 
 namespace {
 
+constexpr int kExitConnectFailed = 3;
+constexpr int kExitProtocolError = 4;
+constexpr int kExitBusy = 5;
+
 void
 usage()
 {
     std::puts(
-        "usage: dws_client --socket PATH COMMAND\n"
-        "  --socket PATH  daemon Unix-domain socket (required)\n"
+        "usage: dws_client (--socket PATH | --connect SPEC) [options] "
+        "COMMAND\n"
+        "  --socket PATH    daemon Unix-domain socket\n"
+        "  --connect SPEC   daemon endpoint: unix:PATH, tcp:HOST:PORT,\n"
+        "                   HOST:PORT, or a bare socket path\n"
+        "  --auth TOKEN     pre-shared token for an authenticated "
+        "daemon\n"
+        "  --timeout MS     per-RPC deadline (default 300000)\n"
         "commands:\n"
         "  status         daemon snapshot: workers, batches/jobs "
         "served\n"
+        "  health         overload snapshot: connections, in-flight "
+        "jobs,\n"
+        "                 admission cap, busy-rejections, drain state\n"
         "  cache-stats    result-cache counters: entries, bytes, "
         "hits, misses\n"
         "  flush          drop every cached result\n"
@@ -52,27 +75,55 @@ usage()
         "  fig13          render the Figure 13 scheme table from "
         "served cells\n"
         "                 (--fast tiny inputs, --full paper-scale; "
-        "default tiny)");
+        "default tiny)\n"
+        "exit codes: 0 ok, 1 usage, 3 unreachable, 4 protocol error, "
+        "5 busy");
+}
+
+/** Map the failed client's last RPC status to a distinct exit code so
+ *  scripts can tell "daemon down" from "daemon sick" from "try later". */
+[[noreturn]] void
+rpcDie(const ServeClient &client, const std::string &endpoint,
+       const std::string &err)
+{
+    std::fprintf(stderr, "dws_client: %s\n", err.c_str());
+    switch (client.lastStatus()) {
+    case RpcStatus::ConnectFailed:
+        std::fprintf(stderr,
+                     "dws_client: cannot reach a daemon at '%s' — is "
+                     "dws_serve running? (start one with: dws_serve "
+                     "--socket PATH)\n",
+                     endpoint.c_str());
+        std::exit(kExitConnectFailed);
+    case RpcStatus::Busy:
+        std::fprintf(stderr,
+                     "dws_client: daemon at '%s' is overloaded; retry "
+                     "after %u ms\n",
+                     endpoint.c_str(), client.busyRetryAfterMs());
+        std::exit(kExitBusy);
+    default:
+        std::exit(kExitProtocolError);
+    }
 }
 
 ServeClient
-connectOrDie(const std::string &socketPath)
+connectOrDie(const std::string &endpoint, const ClientOptions &copts)
 {
-    ServeClient client;
+    ServeClient client(copts);
     std::string err;
-    if (!client.connectTo(socketPath, err))
-        fatal("dws_client: %s", err.c_str());
+    if (!client.connectTo(endpoint, err))
+        rpcDie(client, endpoint, err);
     return client;
 }
 
 int
-cmdStatus(const std::string &socketPath)
+cmdStatus(const std::string &endpoint, const ClientOptions &copts)
 {
-    ServeClient client = connectOrDie(socketPath);
+    ServeClient client = connectOrDie(endpoint, copts);
     ServeStatus st;
     std::string err;
     if (!client.status(st, err))
-        fatal("dws_client: %s", err.c_str());
+        rpcDie(client, endpoint, err);
     std::printf("workers:  %u\n", st.workers);
     std::printf("batches:  %llu\n", (unsigned long long)st.batches);
     std::printf("jobs:     %llu\n", (unsigned long long)st.jobs);
@@ -82,13 +133,36 @@ cmdStatus(const std::string &socketPath)
 }
 
 int
-cmdCacheStats(const std::string &socketPath)
+cmdHealth(const std::string &endpoint, const ClientOptions &copts)
 {
-    ServeClient client = connectOrDie(socketPath);
+    ServeClient client = connectOrDie(endpoint, copts);
+    ServeHealth h;
+    std::string err;
+    if (!client.health(h, err))
+        rpcDie(client, endpoint, err);
+    std::printf("connections:    %u\n", h.activeConns);
+    std::printf("in-flight jobs: %u\n", h.inFlightJobs);
+    std::printf("admission cap:  %u\n", h.admissionCap);
+    std::printf("draining:       %s\n", h.draining ? "yes" : "no");
+    std::printf("busy-rejected:  %llu\n",
+                (unsigned long long)h.busyRejected);
+    std::printf("batches:        %llu\n", (unsigned long long)h.batches);
+    std::printf("jobs:           %llu\n", (unsigned long long)h.jobs);
+    std::printf("cache entries:  %llu\n",
+                (unsigned long long)h.cache.entries);
+    std::printf("cache hits:     %llu\n",
+                (unsigned long long)h.cache.hits);
+    return 0;
+}
+
+int
+cmdCacheStats(const std::string &endpoint, const ClientOptions &copts)
+{
+    ServeClient client = connectOrDie(endpoint, copts);
     ServeCacheCounters c;
     std::string err;
     if (!client.cacheStats(c, err))
-        fatal("dws_client: %s", err.c_str());
+        rpcDie(client, endpoint, err);
     std::printf("entries:  %llu\n", (unsigned long long)c.entries);
     std::printf("bytes:    %llu\n", (unsigned long long)c.bytes);
     std::printf("hits:     %llu\n", (unsigned long long)c.hits);
@@ -101,30 +175,31 @@ cmdCacheStats(const std::string &socketPath)
 }
 
 int
-cmdFlush(const std::string &socketPath)
+cmdFlush(const std::string &endpoint, const ClientOptions &copts)
 {
-    ServeClient client = connectOrDie(socketPath);
+    ServeClient client = connectOrDie(endpoint, copts);
     std::uint64_t removed = 0;
     std::string err;
     if (!client.flushCache(removed, err))
-        fatal("dws_client: %s", err.c_str());
+        rpcDie(client, endpoint, err);
     std::printf("flushed %llu entries\n", (unsigned long long)removed);
     return 0;
 }
 
 int
-cmdShutdown(const std::string &socketPath)
+cmdShutdown(const std::string &endpoint, const ClientOptions &copts)
 {
-    ServeClient client = connectOrDie(socketPath);
+    ServeClient client = connectOrDie(endpoint, copts);
     std::string err;
     if (!client.shutdownServer(err))
-        fatal("dws_client: %s", err.c_str());
+        rpcDie(client, endpoint, err);
     std::puts("daemon shutting down");
     return 0;
 }
 
 int
-cmdFig13(const std::string &socketPath, KernelScale scale)
+cmdFig13(const std::string &endpoint, const ClientOptions &copts,
+         KernelScale scale)
 {
     const std::vector<std::pair<std::string, PolicyConfig>> schemes = {
         {"Conv", PolicyConfig::conv()},
@@ -153,11 +228,11 @@ cmdFig13(const std::string &socketPath, KernelScale scale)
         }
     }
 
-    ServeClient client = connectOrDie(socketPath);
+    ServeClient client = connectOrDie(endpoint, copts);
     std::vector<ServeResult> results;
     std::string err;
     if (!client.submitBatch(jobs, results, err))
-        fatal("dws_client: %s", err.c_str());
+        rpcDie(client, endpoint, err);
 
     // scheme label -> benchmark -> stats
     std::map<std::string, std::map<std::string, RunStats>> cells;
@@ -171,9 +246,13 @@ cmdFig13(const std::string &socketPath, KernelScale scale)
             continue;
         }
         RunStats stats;
-        if (!RunStats::parseFingerprint(r.fingerprint, stats))
-            fatal("dws_client: unparsable fingerprint for %s/%s",
-                  jobs[i].label.c_str(), jobs[i].kernel.c_str());
+        if (!RunStats::parseFingerprint(r.fingerprint, stats)) {
+            std::fprintf(stderr,
+                         "dws_client: unparsable fingerprint for "
+                         "%s/%s\n",
+                         jobs[i].label.c_str(), jobs[i].kernel.c_str());
+            return kExitProtocolError;
+        }
         cells[jobs[i].label][jobs[i].kernel] = stats;
         if (r.cached)
             cachedCount++;
@@ -206,15 +285,28 @@ cmdFig13(const std::string &socketPath, KernelScale scale)
 int
 main(int argc, char **argv)
 {
-    std::string socketPath;
+    std::string endpoint;
     std::string command;
+    ClientOptions copts;
     KernelScale scale = KernelScale::Tiny;
     for (int i = 1; i < argc; i++) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--socket") == 0) {
+        if (std::strcmp(arg, "--socket") == 0 ||
+            std::strcmp(arg, "--connect") == 0) {
             if (i + 1 >= argc)
-                fatal("--socket requires a path");
-            socketPath = argv[++i];
+                fatal("%s requires an endpoint", arg);
+            endpoint = argv[++i];
+        } else if (std::strcmp(arg, "--auth") == 0) {
+            if (i + 1 >= argc)
+                fatal("--auth requires a token");
+            copts.authToken = argv[++i];
+        } else if (std::strcmp(arg, "--timeout") == 0) {
+            if (i + 1 >= argc)
+                fatal("--timeout requires milliseconds");
+            copts.rpcTimeoutMs = std::atoi(argv[++i]);
+            if (copts.rpcTimeoutMs <= 0)
+                fatal("--timeout '%s' is not a positive millisecond "
+                      "count", argv[i]);
         } else if (std::strcmp(arg, "--fast") == 0) {
             scale = KernelScale::Tiny;
         } else if (std::strcmp(arg, "--full") == 0) {
@@ -233,22 +325,26 @@ main(int argc, char **argv)
             fatal("unexpected extra argument '%s'", arg);
         }
     }
-    if (socketPath.empty() || command.empty()) {
+    if (endpoint.empty() || command.empty()) {
         usage();
-        fatal("--socket and a command are required");
+        fatal("an endpoint (--socket/--connect) and a command are "
+              "required");
     }
 
     setQuiet(true);
+    ignoreSigpipe();
     if (command == "status")
-        return cmdStatus(socketPath);
+        return cmdStatus(endpoint, copts);
+    if (command == "health")
+        return cmdHealth(endpoint, copts);
     if (command == "cache-stats")
-        return cmdCacheStats(socketPath);
+        return cmdCacheStats(endpoint, copts);
     if (command == "flush")
-        return cmdFlush(socketPath);
+        return cmdFlush(endpoint, copts);
     if (command == "shutdown")
-        return cmdShutdown(socketPath);
+        return cmdShutdown(endpoint, copts);
     if (command == "fig13")
-        return cmdFig13(socketPath, scale);
+        return cmdFig13(endpoint, copts, scale);
     usage();
     fatal("unknown command '%s'", command.c_str());
 }

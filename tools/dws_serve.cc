@@ -1,26 +1,34 @@
 /**
  * @file
- * dws_serve: the long-lived sweep-service daemon (DESIGN.md §16).
+ * dws_serve: the long-lived sweep-service daemon (DESIGN.md §16–17).
  *
  * Owns a SweepExecutor worker pool and a disk-persistent
  * content-addressed result cache, and serves batched simulation jobs
- * over a Unix-domain socket. Benches attach with `--serve SOCKET`;
- * dws_client drives status / cache-stats / flush / shutdown and can
- * render figure tables from served cells.
+ * over a Unix-domain socket and/or a TCP endpoint. Benches attach with
+ * `--serve SPEC`; dws_client drives status / health / cache-stats /
+ * flush / shutdown and can render figure tables from served cells.
  *
  *   dws_serve --socket /tmp/dws.sock
- *   dws_serve --socket /tmp/dws.sock --cache-dir ~/.dws_cache --jobs 8
+ *   dws_serve --listen 127.0.0.1:7811 --auth SECRET --jobs 8
+ *   dws_serve --socket /tmp/dws.sock --listen 127.0.0.1:0 \
+ *             --endpoint-file /tmp/dws.endpoint
  *
- * The daemon runs until a Shutdown frame arrives (dws_client
- * --socket ... shutdown) or the process is killed. The cache directory
- * outlives the daemon: a restarted daemon serves the same entries.
+ * The daemon runs until a Shutdown frame arrives (dws_client ...
+ * shutdown) or SIGTERM/SIGINT, which triggers a clean drain: new work
+ * is refused with Busy("draining"), in-flight jobs finish, then the
+ * process exits. The cache directory outlives the daemon: a restarted
+ * daemon serves the same entries.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include <csignal>
+
 #include "serve/server.hh"
+#include "serve/transport.hh"
 #include "sim/logging.hh"
 #include "sim/parse.hh"
 
@@ -28,24 +36,57 @@ using namespace dws;
 
 namespace {
 
+/** Set by the SIGTERM/SIGINT handler; the main loop drains on it.
+ *  A handler may not take locks, so it only flips this flag. */
+volatile std::sig_atomic_t drainRequested = 0;
+
+extern "C" void
+onDrainSignal(int)
+{
+    drainRequested = 1;
+}
+
 void
 usage()
 {
     std::puts(
-        "usage: dws_serve --socket PATH [options]\n"
-        "  --socket PATH     Unix-domain socket to listen on "
-        "(required;\n"
-        "                    a stale socket file is replaced)\n"
-        "  --cache-dir DIR   result-cache directory (default "
+        "usage: dws_serve [--socket PATH] [--listen HOST:PORT] "
+        "[options]\n"
+        "  --socket PATH       Unix-domain socket to listen on (a "
+        "stale\n"
+        "                      socket file is replaced)\n"
+        "  --listen HOST:PORT  TCP endpoint to listen on (port 0 binds "
+        "an\n"
+        "                      ephemeral port; see --endpoint-file)\n"
+        "  --auth TOKEN        require this pre-shared token; "
+        "unauthenticated\n"
+        "                      connections may only query status\n"
+        "  --endpoint-file F   write the bound TCP endpoint "
+        "(tcp:HOST:PORT)\n"
+        "                      to F after startup (for scripts/tests)\n"
+        "  --cache-dir DIR     result-cache directory (default "
         ".dws_serve_cache;\n"
-        "                    created if missing, persists across "
+        "                      created if missing, persists across "
         "restarts)\n"
-        "  --jobs N          simulation worker threads (default: "
+        "  --jobs N            simulation worker threads (default: "
         "DWS_JOBS\n"
-        "                    env, else hardware cores)\n"
-        "  --cache-cap N     LRU entry cap (default 4096; 0 = "
+        "                      env, else hardware cores)\n"
+        "  --cache-cap N       LRU entry cap (default 4096; 0 = "
         "unbounded)\n"
-        "  --help            this message");
+        "  --max-conns N       connection cap; excess get Busy + close "
+        "(default 64)\n"
+        "  --admission-cap N   bound on admitted-but-unfinished jobs; "
+        "a batch\n"
+        "                      past it gets Busy (default 256)\n"
+        "  --idle-timeout MS   reap a connection idle past MS (default "
+        "300000)\n"
+        "  --frame-deadline MS slow-loris bound: first byte to whole "
+        "frame\n"
+        "                      (default 10000)\n"
+        "  --help              this message\n"
+        "SIGTERM/SIGINT drain cleanly: refuse new work, finish "
+        "in-flight\n"
+        "jobs, then exit.");
 }
 
 } // namespace
@@ -54,12 +95,25 @@ int
 main(int argc, char **argv)
 {
     ServeDaemon::Options opts;
+    std::string endpointFile;
     for (int i = 1; i < argc; i++) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--socket") == 0) {
             if (i + 1 >= argc)
                 fatal("--socket requires a path");
             opts.socketPath = argv[++i];
+        } else if (std::strcmp(arg, "--listen") == 0) {
+            if (i + 1 >= argc)
+                fatal("--listen requires HOST:PORT");
+            opts.tcpListen = argv[++i];
+        } else if (std::strcmp(arg, "--auth") == 0) {
+            if (i + 1 >= argc)
+                fatal("--auth requires a token");
+            opts.authToken = argv[++i];
+        } else if (std::strcmp(arg, "--endpoint-file") == 0) {
+            if (i + 1 >= argc)
+                fatal("--endpoint-file requires a path");
+            endpointFile = argv[++i];
         } else if (std::strcmp(arg, "--cache-dir") == 0) {
             if (i + 1 >= argc)
                 fatal("--cache-dir requires a directory");
@@ -80,6 +134,40 @@ main(int argc, char **argv)
                 fatal("--cache-cap '%s' is not a non-negative "
                       "integer", argv[i]);
             opts.cacheCapEntries = static_cast<std::size_t>(*n);
+        } else if (std::strcmp(arg, "--max-conns") == 0) {
+            if (i + 1 >= argc)
+                fatal("--max-conns requires a count");
+            const auto n = parseInt64InRange(argv[++i], 1, 65536);
+            if (!n)
+                fatal("--max-conns '%s' is not a positive integer",
+                      argv[i]);
+            opts.maxConns = static_cast<std::size_t>(*n);
+        } else if (std::strcmp(arg, "--admission-cap") == 0) {
+            if (i + 1 >= argc)
+                fatal("--admission-cap requires a count");
+            const auto n = parseInt64InRange(argv[++i], 1, 1 << 30);
+            if (!n)
+                fatal("--admission-cap '%s' is not a positive "
+                      "integer", argv[i]);
+            opts.admissionCap = static_cast<std::size_t>(*n);
+        } else if (std::strcmp(arg, "--idle-timeout") == 0) {
+            if (i + 1 >= argc)
+                fatal("--idle-timeout requires milliseconds");
+            const auto n =
+                    parseInt64InRange(argv[++i], 100, 86400000);
+            if (!n)
+                fatal("--idle-timeout '%s' is not a valid "
+                      "millisecond count", argv[i]);
+            opts.idleTimeoutMs = static_cast<int>(*n);
+        } else if (std::strcmp(arg, "--frame-deadline") == 0) {
+            if (i + 1 >= argc)
+                fatal("--frame-deadline requires milliseconds");
+            const auto n =
+                    parseInt64InRange(argv[++i], 100, 86400000);
+            if (!n)
+                fatal("--frame-deadline '%s' is not a valid "
+                      "millisecond count", argv[i]);
+            opts.frameDeadlineMs = static_cast<int>(*n);
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             usage();
@@ -89,23 +177,50 @@ main(int argc, char **argv)
             fatal("unknown argument '%s'", arg);
         }
     }
-    if (opts.socketPath.empty()) {
+    if (opts.socketPath.empty() && opts.tcpListen.empty()) {
         usage();
-        fatal("--socket is required");
+        fatal("--socket and/or --listen is required");
     }
 
     setQuiet(false);
+    ignoreSigpipe();
+    std::signal(SIGTERM, onDrainSignal);
+    std::signal(SIGINT, onDrainSignal);
+
     ServeDaemon daemon(opts);
     std::string err;
     if (!daemon.start(err))
         fatal("dws_serve: %s", err.c_str());
     const ServeStatus st = daemon.status();
-    inform("dws_serve: listening on %s (%u workers, cache %s, "
+    const std::string tcpEp = daemon.tcpEndpoint();
+    inform("dws_serve: listening on %s%s%s (%u workers, cache %s, "
            "build %s)",
-           opts.socketPath.c_str(), st.workers, st.cacheDir.c_str(),
+           opts.socketPath.c_str(),
+           !opts.socketPath.empty() && !tcpEp.empty() ? " + " : "",
+           tcpEp.c_str(), st.workers, st.cacheDir.c_str(),
            st.buildFingerprint.c_str());
-    daemon.wait();
-    daemon.stop();
+    if (!endpointFile.empty()) {
+        std::ofstream f(endpointFile, std::ios::trunc);
+        f << tcpEp << "\n";
+        if (!f)
+            fatal("dws_serve: cannot write --endpoint-file %s",
+                  endpointFile.c_str());
+    }
+
+    // Wake periodically to notice the signal flag; waitFor() returns
+    // true as soon as a Shutdown frame (or stop()) lands.
+    bool drained = false;
+    while (!daemon.waitFor(200)) {
+        if (drainRequested) {
+            inform("dws_serve: drain requested (signal); refusing new "
+                   "work, finishing in-flight jobs");
+            daemon.drainAndStop();
+            drained = true;
+            break;
+        }
+    }
+    if (!drained)
+        daemon.stop();
     const ServeStatus end = daemon.status();
     inform("dws_serve: shut down after %llu batches / %llu jobs",
            (unsigned long long)end.batches, (unsigned long long)end.jobs);
